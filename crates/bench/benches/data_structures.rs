@@ -1,0 +1,68 @@
+//! Criterion micro-benches for the data substrate: synthetic generation,
+//! table construction, genotype gathering, and combinatorial (un)ranking —
+//! the fixed costs around the GA's hot loop.
+//!
+//! `cargo bench -p bench --bench data_structures`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_data::synthetic::lille_51_config;
+use ld_data::{AlleleFreqTable, LdTable};
+use ld_enum::combinations::{for_each_combination, unrank};
+use std::hint::black_box;
+
+fn data_structures(c: &mut Criterion) {
+    c.bench_function("synthetic_lille_51_generation", |b| {
+        let cfg = lille_51_config();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            cfg.generate(black_box(seed)).unwrap().n_individuals()
+        })
+    });
+
+    let data = bench::dataset();
+    c.bench_function("allele_freq_table_51snps", |b| {
+        b.iter(|| AlleleFreqTable::from_matrix(black_box(&data.genotypes)).len())
+    });
+
+    c.bench_function("ld_table_51snps_1275pairs", |b| {
+        b.iter(|| LdTable::from_matrix(black_box(&data.genotypes)).n_snps())
+    });
+
+    c.bench_function("gather_6snps_176rows", |b| {
+        let snps = [8usize, 12, 15, 21, 32, 43];
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..data.n_individuals() {
+                data.genotypes.gather_into(i, black_box(&snps), &mut buf);
+                acc += buf.len();
+            }
+            acc
+        })
+    });
+
+    let mut group = c.benchmark_group("combinations");
+    group.bench_function("walk_C51_3_20825", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            for_each_combination(51, 3, |c| {
+                count += c[0] as u64;
+            });
+            count
+        })
+    });
+    for k in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("unrank_C51", k), &k, |b, &k| {
+            let mut r = 0u128;
+            b.iter(|| {
+                r = (r + 9973) % 20000;
+                unrank(black_box(r), 51, k)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, data_structures);
+criterion_main!(benches);

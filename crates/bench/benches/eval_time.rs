@@ -1,0 +1,37 @@
+//! Criterion bench for **Figure 4**: evaluation cost vs haplotype size.
+//!
+//! `cargo bench -p bench --bench eval_time`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_core::rng::random_haplotype;
+use ld_core::Evaluator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn eval_time(c: &mut Criterion) {
+    let data = bench::dataset();
+    let eval = bench::objective(&data);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut group = c.benchmark_group("figure4_eval_time");
+    group.sample_size(20);
+    for k in [2usize, 3, 4, 5, 6, 7] {
+        // A fixed set of representative haplotypes per size.
+        let haps: Vec<Vec<usize>> = (0..8)
+            .map(|_| random_haplotype(&mut rng, data.n_snps(), k).snps().to_vec())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &haps, |b, haps| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for h in haps {
+                    acc += eval.evaluate_one(black_box(h));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, eval_time);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for a complete (small) GA run on the synthetic Lille
+//! dataset — the end-to-end cost a user pays per configuration tested.
+//!
+//! `cargo bench -p bench --bench ga_run`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ld_core::{GaConfig, GaEngine};
+use std::hint::black_box;
+
+fn ga_run(c: &mut Criterion) {
+    let data = bench::dataset();
+    let eval = bench::objective(&data);
+    let config = GaConfig {
+        population_size: 60,
+        min_size: 2,
+        max_size: 4,
+        matings_per_generation: 8,
+        stagnation_limit: 10,
+        max_generations: 30,
+        ..GaConfig::default()
+    };
+    let mut group = c.benchmark_group("ga_small_run");
+    group.sample_size(10);
+    group.bench_function("sizes2-4_pop60", |b| {
+        b.iter(|| {
+            let result = GaEngine::new(&eval, black_box(config.clone()), 1)
+                .expect("valid config")
+                .run();
+            result.total_evaluations
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ga_run);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benches for the GA's building blocks: the genetic
+//! operators, the replacement rule, and the adaptive-rate update. These
+//! quantify the "additional computations" the paper notes its advanced
+//! mechanisms require (they are negligible next to an evaluation).
+//!
+//! `cargo bench -p bench --bench operators`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ld_core::adaptive::AdaptiveRates;
+use ld_core::ops::crossover::{inter_crossover, uniform_crossover};
+use ld_core::ops::mutation::{apply_mutation, MutationKind};
+use ld_core::rng::random_haplotype;
+use ld_core::subpop::SubPopulation;
+use ld_core::Haplotype;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn operators(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let p6a = random_haplotype(&mut rng, 51, 6);
+    let p6b = random_haplotype(&mut rng, 51, 6);
+    let p3 = random_haplotype(&mut rng, 51, 3);
+
+    c.bench_function("uniform_crossover_k6", |b| {
+        b.iter(|| uniform_crossover(black_box(&p6a), black_box(&p6b), 51, &mut rng))
+    });
+    c.bench_function("inter_crossover_k3_k6", |b| {
+        b.iter(|| inter_crossover(black_box(&p3), black_box(&p6a), 51, &mut rng))
+    });
+    c.bench_function("snp_mutation_4tries_k6", |b| {
+        b.iter(|| {
+            apply_mutation(
+                MutationKind::Snp,
+                black_box(&p6a),
+                51,
+                2,
+                6,
+                4,
+                &mut rng,
+            )
+        })
+    });
+    c.bench_function("augmentation_k3", |b| {
+        b.iter(|| {
+            apply_mutation(
+                MutationKind::Augmentation,
+                black_box(&p3),
+                51,
+                2,
+                6,
+                1,
+                &mut rng,
+            )
+        })
+    });
+
+    c.bench_function("subpop_insert_cap50", |b| {
+        let mut pool: Vec<Haplotype> = (0..500)
+            .map(|i| {
+                let mut h = random_haplotype(&mut rng, 51, 4);
+                h.set_fitness((i % 97) as f64);
+                h
+            })
+            .collect();
+        b.iter(|| {
+            let mut sp = SubPopulation::new(4, 50);
+            for h in pool.drain(..).take(0) {
+                // drained pool trick avoids reallocation; reinsert below
+                let _ = sp.try_insert(h);
+            }
+            // fresh inserts from clones
+            for i in 0..200 {
+                let mut h = random_haplotype(&mut rng, 51, 4);
+                h.set_fitness((i % 97) as f64);
+                let _ = sp.try_insert(h);
+            }
+            sp.len()
+        })
+    });
+
+    c.bench_function("adaptive_rate_update_3ops", |b| {
+        b.iter(|| {
+            let mut a = AdaptiveRates::new(3, 0.9, 0.05, true);
+            for i in 0..100 {
+                a.record(i % 3, (i as f64 % 7.0 - 3.0) / 7.0);
+            }
+            a.end_generation();
+            a.rates()[0]
+        })
+    });
+}
+
+criterion_group!(benches, operators);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for the §4.5 master/slaves evaluation phase: batch
+//! throughput vs worker count on a latency-padded objective (the paper's
+//! cluster regime, where slaves are remote nodes and the master waits).
+//!
+//! `cargo bench -p bench --bench parallel_speedup`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_core::evaluator::FnEvaluator;
+use ld_core::rng::random_haplotype;
+use ld_core::{Evaluator, Haplotype};
+use ld_parallel::MasterSlaveEvaluator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn padded_objective() -> FnEvaluator<impl Fn(&[usize]) -> f64 + Send + Sync> {
+    FnEvaluator::new(51, |s: &[usize]| {
+        // 500 µs pad stands in for a remote-node round trip.
+        std::thread::sleep(Duration::from_micros(500));
+        s.iter().sum::<usize>() as f64
+    })
+}
+
+fn batch() -> Vec<Haplotype> {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    (0..32).map(|_| random_haplotype(&mut rng, 51, 4)).collect()
+}
+
+fn parallel_speedup(c: &mut Criterion) {
+    let proto = batch();
+    let mut group = c.benchmark_group("master_slave_batch32_padded");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        let eval = padded_objective();
+        b.iter(|| {
+            let mut batch = proto.clone();
+            eval.evaluate_batch(&mut batch);
+            batch[0].fitness()
+        })
+    });
+    for workers in [1usize, 2, 4, 8] {
+        let eval = MasterSlaveEvaluator::new(padded_objective(), workers);
+        group.bench_with_input(
+            BenchmarkId::new("slaves", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    let mut batch = proto.clone();
+                    eval.evaluate_batch(&mut batch);
+                    batch[0].fitness()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_speedup);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Regenerates the **§5.2 ablation study**: the paper "tested the GA in
+//! different manners in order to find the best configuration — without and
+//! with the random immigrant; without and with the reduction and the
+//! augmentation mutation; without and with the inter-population crossover.
+//! It appeared that mechanisms that link subpopulations are efficient and
+//! allow to find better solutions than without them."
+//!
+//! For each scheme this harness reports, per size, the mean best fitness
+//! over the runs and the mean evaluations to best — the full scheme should
+//! dominate.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation [--runs 10]
+//! ```
+
+use bench::{arg_usize, dataset, fit, markdown_table, objective};
+use ld_core::experiment::run_experiment;
+use ld_core::{GaConfig, Scheme};
+
+fn main() {
+    let n_runs = arg_usize("runs", 10);
+    let data = dataset();
+    let eval = objective(&data);
+
+    let schemes: Vec<(&str, Scheme)> = vec![
+        ("full", Scheme::FULL),
+        (
+            "no random immigrants",
+            Scheme {
+                random_immigrants: false,
+                ..Scheme::FULL
+            },
+        ),
+        (
+            "no size mutations",
+            Scheme {
+                size_mutations: false,
+                ..Scheme::FULL
+            },
+        ),
+        (
+            "no inter-pop crossover",
+            Scheme {
+                inter_crossover: false,
+                ..Scheme::FULL
+            },
+        ),
+        (
+            "no subpop links",
+            Scheme {
+                size_mutations: false,
+                inter_crossover: false,
+                ..Scheme::FULL
+            },
+        ),
+        (
+            "non-adaptive rates",
+            Scheme {
+                adaptive_mutation: false,
+                adaptive_crossover: false,
+                ..Scheme::FULL
+            },
+        ),
+        ("baseline (all off)", Scheme::BASELINE),
+    ];
+
+    println!("# §5.2 ablation — scheme comparison ({n_runs} runs each)\n");
+    let config = GaConfig::default();
+    let mut rows = Vec::new();
+    let mut eval_rows = Vec::new();
+    for (name, scheme) in schemes {
+        let cfg = GaConfig {
+            scheme,
+            ..config.clone()
+        };
+        let t0 = std::time::Instant::now();
+        let summary = run_experiment(&eval, &cfg, n_runs, 0, None, |_| None);
+        let per_size_mean: Vec<String> = summary
+            .sizes
+            .iter()
+            .map(|s| fit(s.mean_fitness))
+            .collect();
+        // Aggregate quality score: mean over sizes of the mean best fitness
+        // (sizes are not comparable in absolute terms, but the *same* sizes
+        // are compared across schemes).
+        let aggregate: f64 = summary
+            .sizes
+            .iter()
+            .map(|s| s.mean_fitness)
+            .filter(|f| f.is_finite())
+            .sum::<f64>();
+        let mut row = vec![name.to_string()];
+        row.extend(per_size_mean);
+        row.push(fit(aggregate));
+        row.push(format!("{:.0}", summary.mean_total_evaluations()));
+        row.push(format!("{:.1?}", t0.elapsed()));
+        rows.push(row);
+
+        // The paper's cost metric: evaluations needed to reach each size's
+        // best ("the evaluation is costly, so an interesting indicator is
+        // the number of evaluations needed").
+        let mut erow = vec![name.to_string()];
+        erow.extend(
+            summary
+                .sizes
+                .iter()
+                .map(|s| format!("{:.0}", s.mean_evals)),
+        );
+        eval_rows.push(erow);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "scheme", "mean k=2", "mean k=3", "mean k=4", "mean k=5", "mean k=6",
+                "sum", "mean evals", "time"
+            ],
+            &rows
+        )
+    );
+    println!("\n## mean evaluations to reach each size's best\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["scheme", "k=2", "k=3", "k=4", "k=5", "k=6"],
+            &eval_rows
+        )
+    );
+    println!(
+        "\nexpected shape (paper): with the full stagnation budget every\n\
+         scheme eventually reaches similar fitness on this instance, but the\n\
+         full scheme reaches it with the fewest evaluations — the paper's\n\
+         own cost indicator; removing the mechanisms that link\n\
+         subpopulations (size mutations, inter-population crossover)\n\
+         roughly doubles the evaluations needed."
+    );
+}

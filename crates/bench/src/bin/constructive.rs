@@ -1,0 +1,97 @@
+//! Constructive-baseline comparison — §3's central argument, demonstrated.
+//!
+//! The paper rejects constructive methods because good size-k haplotypes
+//! need not contain good size-(k−1) haplotypes. This harness runs the beam
+//! search (the constructive method §3 describes) at several widths and
+//! compares its per-size champions with the exhaustive optima and the GA.
+//!
+//! ```text
+//! cargo run --release -p bench --bin constructive [--exactk 4]
+//! ```
+
+use bench::{arg_usize, dataset, fit, markdown_table, objective};
+use ld_core::evaluator::CountingEvaluator;
+use ld_core::{GaConfig, GaEngine};
+use ld_enum::{beam_search, exhaustive_top_k};
+
+fn main() {
+    let exact_max_k = arg_usize("exactk", 4);
+    let data = dataset();
+    let eval = objective(&data);
+
+    // Exhaustive references.
+    println!("# Constructive (beam) baseline vs exact optima vs GA — 51 SNPs\n");
+    let mut exact = Vec::new();
+    for k in 2..=exact_max_k {
+        let top = exhaustive_top_k(&eval, k, 1);
+        let best = top.best().expect("non-empty space").clone();
+        println!("exact optimum size {k}: {:?} = {:.3}", best.snps, best.fitness);
+        exact.push(best);
+    }
+    println!();
+
+    // Beam searches at several widths.
+    let mut rows = Vec::new();
+    for width in [1usize, 5, 20, 50] {
+        let counted = CountingEvaluator::new(objective(&data));
+        let beam = beam_search(&counted, exact_max_k, width);
+        let mut row = vec![format!("beam W={width}")];
+        for (i, opt) in exact.iter().enumerate() {
+            let k = i + 2;
+            let found = beam.best_of_size(k);
+            let cell = match found {
+                Some(h) if (h.fitness - opt.fitness).abs() < 1e-9 => {
+                    format!("= opt ({})", fit(h.fitness))
+                }
+                Some(h) => format!(
+                    "MISS {} ({:.0}% of opt)",
+                    fit(h.fitness),
+                    100.0 * h.fitness / opt.fitness
+                ),
+                None => "-".into(),
+            };
+            row.push(cell);
+        }
+        row.push(beam.evaluations.to_string());
+        rows.push(row);
+    }
+
+    // The GA at a comparable budget.
+    let ga_eval = CountingEvaluator::new(objective(&data));
+    let cfg = GaConfig {
+        max_size: exact_max_k,
+        ..GaConfig::default()
+    };
+    let result = GaEngine::new(&ga_eval, cfg, 0).expect("valid config").run();
+    let mut row = vec!["adaptive GA".to_string()];
+    for (i, opt) in exact.iter().enumerate() {
+        let k = i + 2;
+        let cell = match result.best_of_size(k) {
+            Some(h) if (h.fitness() - opt.fitness).abs() < 1e-9 => {
+                format!("= opt ({})", fit(h.fitness()))
+            }
+            Some(h) => format!(
+                "MISS {} ({:.0}% of opt)",
+                fit(h.fitness()),
+                100.0 * h.fitness() / opt.fitness
+            ),
+            None => "-".into(),
+        };
+        row.push(cell);
+    }
+    row.push(result.total_evaluations.to_string());
+    rows.push(row);
+
+    let mut headers = vec!["method".to_string()];
+    headers.extend((2..=exact_max_k).map(|k| format!("size {k}")));
+    headers.push("evaluations".into());
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", markdown_table(&headers_ref, &rows));
+
+    println!(
+        "\nexpected shape (paper §3): narrow beams miss optima at some size\n\
+         (good size-k haplotypes are not extensions of good size-(k-1)\n\
+         ones); the GA reaches the exact optima at a comparable or smaller\n\
+         evaluation budget."
+    );
+}

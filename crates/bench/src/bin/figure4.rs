@@ -1,0 +1,65 @@
+//! Regenerates **Figure 4** — "Average time of an evaluation according to
+//! the haplotype size": the EH-DIALL + CLUMP evaluation cost grows
+//! exponentially with the number of SNPs in the haplotype.
+//!
+//! The paper reports ~6 ms at size 3 and ~201 ms at size 7 on a 2003-era
+//! Pentium IV; absolute numbers differ here, but the exponential *shape*
+//! (driven by the 2^(h−1) phase expansion inside EM) is the claim under
+//! test.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figure4 [--samples 200] [--maxk 8]
+//! ```
+
+use bench::{arg_usize, dataset, markdown_table, objective};
+use ld_core::Evaluator;
+use ld_core::rng::random_haplotype;
+use ld_parallel::TimingEvaluator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let samples = arg_usize("samples", 200);
+    let max_k = arg_usize("maxk", 8);
+    let data = dataset();
+    let timed = TimingEvaluator::new(objective(&data));
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    println!("# Figure 4 — mean evaluation time vs haplotype size\n");
+    println!(
+        "({} random haplotypes per size on the 51-SNP dataset)\n",
+        samples
+    );
+    let mut rows = Vec::new();
+    let mut prev_ms: Option<f64> = None;
+    for k in 2..=max_k {
+        // Fewer samples at the expensive large sizes keeps the run short
+        // without hurting the mean estimate.
+        let n = if k >= 7 { samples / 4 } else { samples }.max(10);
+        for _ in 0..n {
+            let h = random_haplotype(&mut rng, data.n_snps(), k);
+            let _ = timed.evaluate_one(h.snps());
+        }
+        let mean_ms = timed
+            .mean_ns_for_size(k)
+            .expect("samples were evaluated")
+            / 1e6;
+        let growth = prev_ms.map_or("-".to_string(), |p| format!("x{:.2}", mean_ms / p));
+        prev_ms = Some(mean_ms);
+        rows.push(vec![
+            k.to_string(),
+            n.to_string(),
+            format!("{mean_ms:.3}"),
+            growth,
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["size", "samples", "mean eval (ms)", "growth"], &rows)
+    );
+    println!(
+        "\nexpected shape: convex growth with size (the paper's curve is\n\
+         exponential; EM phase expansion is O(2^h) per individual and the\n\
+         haplotype table is O(2^k))."
+    );
+}

@@ -1,0 +1,86 @@
+//! Power study — haplotype vs single-marker tests, the Curtis et al.
+//! claim the paper's motivation cites ("simultaneous use of several
+//! markers is more powerful").
+//!
+//! ```text
+//! cargo run --release -p bench --bin power [--reps 60]
+//! ```
+
+use bench::{arg_usize, markdown_table};
+use ld_data::synthetic::lille_51_config;
+use ld_stats::power::{power_curve, PowerConfig};
+
+fn print_curve(cfg: &PowerConfig, seed: u64) {
+    let t0 = std::time::Instant::now();
+    let curve = power_curve(cfg, seed).expect("valid power config");
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.odds),
+                format!("{:.2}", p.haplotype_power),
+                format!("{:.2}", p.single_marker_power),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["odds per copy", "haplotype power", "single-marker power"],
+            &rows
+        )
+    );
+    println!("(computed in {:.1?})", t0.elapsed());
+}
+
+fn main() {
+    let reps = arg_usize("reps", 60);
+    println!("# Power: 3-SNP haplotype test vs best single marker (Bonferroni)\n");
+    println!(
+        "(53 cases / 53 controls per replicate, {} replicates per point, alpha 0.05)\n",
+        reps
+    );
+
+    // ---- Scenario A: planted haplotype (overwrite) ----
+    // The risk haplotype is written onto carrier chromosomes, so each
+    // component SNP also gains a *marginal* association.
+    println!("## scenario A — planted risk haplotype (marginal signal at each SNP)\n");
+    let mut base = lille_51_config();
+    base.signals.clear();
+    base.n_unknown = 0;
+    let cfg = PowerConfig {
+        base: base.clone(),
+        signal_snps: vec![8, 12, 15],
+        carrier_freq: 0.3,
+        odds_grid: vec![1.0, 1.5, 2.0, 2.5, 3.0, 4.0],
+        n_replicates: reps,
+        alpha: 0.05,
+    };
+    print_curve(&cfg, 2024);
+
+    // ---- Scenario B: phase-only signal ----
+    // carrier_freq = 0: nothing is overwritten; the disease depends on a
+    // *naturally occurring* allele combination. Marginal frequencies barely
+    // move, so single-marker tests lose their edge — the regime where
+    // haplotype analysis earns its keep (Curtis et al.).
+    println!("\n## scenario B — phase-only signal (no marginal enrichment injected)\n");
+    let mut phased_base = base;
+    phased_base.allele2_freq_range = (0.4, 0.6);
+    let cfg = PowerConfig {
+        base: phased_base,
+        signal_snps: vec![8, 12, 15],
+        carrier_freq: 0.0,
+        odds_grid: vec![1.0, 2.0, 3.0, 4.0, 6.0],
+        n_replicates: reps,
+        alpha: 0.05,
+    };
+    print_curve(&cfg, 4048);
+
+    println!(
+        "\nexpected shape: in scenario A the Bonferroni single-marker test is\n\
+         competitive (each SNP carries marginal signal; the haplotype test\n\
+         pays a degrees-of-freedom penalty). In scenario B — the situation\n\
+         that motivates the whole approach — marginal signals are weak and\n\
+         the multilocus haplotype test clearly dominates."
+    );
+}

@@ -1,0 +1,94 @@
+//! Regenerates **Table 2** — "Results obtained by the GA for 51 SNPs":
+//! the full scheme (adaptive mutation + adaptive crossover + random
+//! immigrants), 10 runs; per haplotype size the best haplotype found, its
+//! fitness, the mean fitness over runs, the deviation from the exact
+//! optimum (exhaustive reference for the enumerable sizes), and the
+//! minimum / mean number of evaluations needed to reach the best.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2 [--runs 10] [--exactk 4]
+//! ```
+
+use bench::{arg_usize, dataset, fit, markdown_table, objective};
+use ld_core::experiment::run_experiment;
+use ld_core::GaConfig;
+use ld_enum::exhaustive_top_k;
+use std::collections::HashMap;
+
+fn main() {
+    let n_runs = arg_usize("runs", 10);
+    let exact_max_k = arg_usize("exactk", 4);
+    let data = dataset();
+    let eval = objective(&data);
+    let config = GaConfig::default();
+
+    println!("# Table 2 — GA results for 51 SNPs ({n_runs} runs, full scheme)\n");
+
+    // Exact optima by exhaustive enumeration for the tractable sizes.
+    let mut exact: HashMap<usize, f64> = HashMap::new();
+    for k in config.min_size..=config.max_size.min(exact_max_k) {
+        let t0 = std::time::Instant::now();
+        let top = exhaustive_top_k(&eval, k, 1);
+        let best = top.best().expect("non-empty space");
+        println!(
+            "exact optimum size {k}: {:?} = {:.3}  (enumerated in {:.1?})",
+            best.snps,
+            best.fitness,
+            t0.elapsed()
+        );
+        exact.insert(k, best.fitness);
+    }
+    println!();
+
+    let t0 = std::time::Instant::now();
+    let summary = run_experiment(&eval, &config, n_runs, 0, None, |k| {
+        exact.get(&k).copied()
+    });
+    println!(
+        "GA: {n_runs} runs in {:.1?}; mean generations {:.1}; mean total evals {:.0}\n",
+        t0.elapsed(),
+        summary.mean_generations(),
+        summary.mean_total_evaluations()
+    );
+
+    let mut rows = Vec::new();
+    for s in &summary.sizes {
+        let best = s.best.as_ref();
+        rows.push(vec![
+            s.size.to_string(),
+            best.map_or("-".into(), |h| format!("{:?}", h.snps())),
+            best.map_or("-".into(), |h| fit(h.fitness())),
+            fit(s.mean_fitness),
+            if exact.contains_key(&s.size) {
+                fit(s.deviation)
+            } else {
+                format!("{}*", fit(s.deviation))
+            },
+            s.min_evals.to_string(),
+            format!("{:.1}", s.mean_evals),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "size",
+                "best haplotype",
+                "fitness",
+                "mean",
+                "dev",
+                "min #eval",
+                "mean #eval"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\n(*) deviation measured against the best-over-runs where exhaustive\n\
+         enumeration is impractical (sizes > {exact_max_k}; C(51,5) = 2.3e6,\n\
+         C(51,6) = 1.8e7 evaluations).\n\n\
+         expected shape (paper): dev = 0 for the enumerable sizes; fitness\n\
+         grows with size; evaluations to best are orders of magnitude below\n\
+         the Table-1 space sizes and grow with size."
+    );
+}

@@ -1,0 +1,113 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index); this library holds the common
+//! plumbing: the canonical dataset/objective construction, markdown table
+//! rendering, and simple CLI-argument parsing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ld_core::StatsEvaluator;
+use ld_data::Dataset;
+use ld_stats::FitnessKind;
+
+/// Canonical experiment dataset: the synthetic 51-SNP Lille stand-in with
+/// the fixed seed used by every harness binary (so results are comparable
+/// across binaries and runs).
+pub const DATASET_SEED: u64 = 42;
+
+/// Build the canonical dataset.
+pub fn dataset() -> Dataset {
+    ld_data::synthetic::lille_51(DATASET_SEED)
+}
+
+/// Build the paper's objective (CLUMP T1) over the canonical dataset.
+pub fn objective(data: &Dataset) -> StatsEvaluator {
+    StatsEvaluator::from_dataset(data, FitnessKind::ClumpT1)
+        .expect("canonical dataset has both groups")
+}
+
+/// Render a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&render_row(&sep, &widths));
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Parse `--name value` style arguments with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == format!("--{name}"))
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+/// Format a fitness value the way the paper's tables do.
+pub fn fit(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".into()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shapes_up() {
+        let t = markdown_table(
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbbb"));
+        assert!(lines[1].starts_with("| ---"));
+        // All lines are equally wide.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn canonical_objective_builds() {
+        let d = dataset();
+        let o = objective(&d);
+        use ld_core::Evaluator;
+        assert_eq!(o.n_snps(), 51);
+    }
+
+    #[test]
+    fn fit_formats() {
+        assert_eq!(fit(1.23456), "1.235");
+        assert_eq!(fit(f64::NAN), "n/a");
+    }
+}

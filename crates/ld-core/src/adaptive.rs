@@ -1,0 +1,303 @@
+//! Adaptive operator-rate control (paper §4.3.1–§4.3.2, after Hong, Wang &
+//! Chen, *Journal of Heuristics* 2000).
+//!
+//! For each operator family (the three mutations; the two crossovers) the
+//! engine records the *progress* of every application — the change in
+//! size-normalized fitness between input and output individuals. At the end
+//! of a generation, each operator's *profit* is its mean progress:
+//!
+//! ```text
+//! profit_i = Σ_j prog_j(op_i) / NbApplications(op_i)
+//! ```
+//!
+//! and the new rate allocates the global rate proportionally to profit,
+//! with a floor δ per operator:
+//!
+//! ```text
+//! rate_i = (profit_i / Σ profits) · (p_global − m·δ) + δ
+//! ```
+//!
+//! so that `Σ rate_i = p_global` and every operator keeps at least δ of the
+//! probability mass (it can always earn its way back). Negative profits are
+//! clamped to zero; if no operator made progress the rates are left
+//! unchanged. "The initial rate of each mutation operator is set to
+//! p_global / m."
+
+use rand::Rng;
+
+/// Adaptive allocation of one global application rate among `m` operators.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRates {
+    global_rate: f64,
+    delta: f64,
+    rates: Vec<f64>,
+    progress_sum: Vec<f64>,
+    applications: Vec<usize>,
+    /// When `false`, rates stay fixed at `p_global / m` (ablation mode).
+    adaptive: bool,
+}
+
+impl AdaptiveRates {
+    /// Equal initial split of `global_rate` among `m` operators.
+    ///
+    /// # Panics
+    /// Panics unless `m ≥ 1`, `0 < global_rate ≤ 1`, `delta ≥ 0` and
+    /// `global_rate ≥ m·delta` (otherwise the floor is unsatisfiable).
+    pub fn new(m: usize, global_rate: f64, delta: f64, adaptive: bool) -> Self {
+        assert!(m >= 1, "need at least one operator");
+        assert!(
+            global_rate > 0.0 && global_rate <= 1.0,
+            "global rate must be in (0, 1], got {global_rate}"
+        );
+        assert!(delta >= 0.0, "delta must be non-negative");
+        assert!(
+            global_rate >= m as f64 * delta - 1e-12,
+            "global rate {global_rate} cannot support {m} operators with floor {delta}"
+        );
+        AdaptiveRates {
+            global_rate,
+            delta,
+            rates: vec![global_rate / m as f64; m],
+            progress_sum: vec![0.0; m],
+            applications: vec![0; m],
+            adaptive,
+        }
+    }
+
+    /// Number of operators.
+    pub fn n_ops(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The global application rate `p_global`.
+    pub fn global_rate(&self) -> f64 {
+        self.global_rate
+    }
+
+    /// Current per-operator rates (sum = `p_global`).
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Restore previously captured rates (checkpoint resume). The rates
+    /// must match the operator count, sum to the global rate, and respect
+    /// the floor.
+    pub fn restore_rates(&mut self, rates: &[f64]) -> Result<(), String> {
+        if rates.len() != self.rates.len() {
+            return Err(format!(
+                "expected {} rates, got {}",
+                self.rates.len(),
+                rates.len()
+            ));
+        }
+        let sum: f64 = rates.iter().sum();
+        if (sum - self.global_rate).abs() > 1e-6 {
+            return Err(format!(
+                "rates sum {sum} does not match global rate {}",
+                self.global_rate
+            ));
+        }
+        if rates.iter().any(|&r| r < self.delta - 1e-9) {
+            return Err(format!("a rate is below the floor {}", self.delta));
+        }
+        self.rates.copy_from_slice(rates);
+        Ok(())
+    }
+
+    /// Record one application of operator `op` with the given normalized
+    /// progress (may be negative). Non-finite progress (possible only with
+    /// a pathological objective) is counted as zero so one bad evaluation
+    /// cannot poison the whole rate allocation.
+    pub fn record(&mut self, op: usize, progress: f64) {
+        self.progress_sum[op] += if progress.is_finite() { progress } else { 0.0 };
+        self.applications[op] += 1;
+    }
+
+    /// Recompute rates from the accumulated generation statistics and reset
+    /// the accumulators.
+    pub fn end_generation(&mut self) {
+        if self.adaptive {
+            let m = self.n_ops();
+            let profits: Vec<f64> = (0..m)
+                .map(|i| {
+                    if self.applications[i] == 0 {
+                        0.0
+                    } else {
+                        (self.progress_sum[i] / self.applications[i] as f64).max(0.0)
+                    }
+                })
+                .collect();
+            let total: f64 = profits.iter().sum();
+            if total > 0.0 {
+                let spread = self.global_rate - m as f64 * self.delta;
+                for (rate, profit) in self.rates.iter_mut().zip(&profits) {
+                    *rate = (profit / total) * spread + self.delta;
+                }
+            }
+            // total == 0: no operator earned anything — keep current rates.
+        }
+        self.progress_sum.iter_mut().for_each(|p| *p = 0.0);
+        self.applications.iter_mut().for_each(|a| *a = 0);
+    }
+
+    /// Sample an operator index with probability proportional to its rate
+    /// (conditioned on the family being applied at all).
+    pub fn select<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random_range(0.0..self.global_rate);
+        let mut acc = 0.0;
+        for (i, &r) in self.rates.iter().enumerate() {
+            acc += r;
+            if u < acc {
+                return i;
+            }
+        }
+        self.rates.len() - 1
+    }
+
+    /// Whether the family fires this time (probability `p_global`).
+    pub fn fires<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.random::<f64>() < self.global_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sum(rates: &[f64]) -> f64 {
+        rates.iter().sum()
+    }
+
+    #[test]
+    fn initial_rates_are_uniform() {
+        let a = AdaptiveRates::new(3, 0.9, 0.05, true);
+        for &r in a.rates() {
+            assert!((r - 0.3).abs() < 1e-12);
+        }
+        assert!((sum(a.rates()) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profitable_operator_gains_rate() {
+        let mut a = AdaptiveRates::new(3, 0.9, 0.05, true);
+        a.record(0, 0.8);
+        a.record(0, 0.6);
+        a.record(1, 0.1);
+        a.record(2, -0.5); // negative clamps to zero profit
+        a.end_generation();
+        let r = a.rates().to_vec();
+        assert!(r[0] > r[1], "{r:?}");
+        assert!(r[1] > r[2], "{r:?}");
+        // Invariants: sum preserved, floor respected.
+        assert!((sum(&r) - 0.9).abs() < 1e-9);
+        for &x in &r {
+            assert!(x >= 0.05 - 1e-12);
+        }
+        // Loser sits exactly at the floor.
+        assert!((r[2] - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_progress_keeps_rates() {
+        let mut a = AdaptiveRates::new(2, 0.5, 0.1, true);
+        a.record(0, -0.3);
+        a.record(1, 0.0);
+        let before = a.rates().to_vec();
+        a.end_generation();
+        assert_eq!(a.rates(), &before[..]);
+    }
+
+    #[test]
+    fn accumulators_reset_each_generation() {
+        let mut a = AdaptiveRates::new(2, 0.8, 0.05, true);
+        a.record(0, 1.0);
+        a.end_generation();
+        let after_first = a.rates().to_vec();
+        // Second generation with no applications: rates unchanged.
+        a.end_generation();
+        assert_eq!(a.rates(), &after_first[..]);
+    }
+
+    #[test]
+    fn non_adaptive_mode_is_frozen() {
+        let mut a = AdaptiveRates::new(3, 0.9, 0.05, false);
+        a.record(0, 10.0);
+        a.end_generation();
+        for &r in a.rates() {
+            assert!((r - 0.3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_progress_not_total_drives_profit() {
+        // Operator 0: many mediocre applications; operator 1: one great one.
+        let mut a = AdaptiveRates::new(2, 1.0, 0.0, true);
+        for _ in 0..10 {
+            a.record(0, 0.2);
+        }
+        a.record(1, 0.9);
+        a.end_generation();
+        // Mean progress: 0.2 vs 0.9 -> operator 1 wins despite fewer apps.
+        assert!(a.rates()[1] > a.rates()[0]);
+    }
+
+    #[test]
+    fn selection_follows_rates() {
+        let mut a = AdaptiveRates::new(2, 1.0, 0.05, true);
+        a.record(0, 1.0);
+        a.record(1, 0.001);
+        a.end_generation();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0usize; 2];
+        for _ in 0..5000 {
+            counts[a.select(&mut rng)] += 1;
+        }
+        let p0 = counts[0] as f64 / 5000.0;
+        assert!((p0 - a.rates()[0]).abs() < 0.03, "p0 = {p0}");
+    }
+
+    #[test]
+    fn fires_respects_global_rate() {
+        let a = AdaptiveRates::new(2, 0.3, 0.05, true);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let fired = (0..10000).filter(|_| a.fires(&mut rng)).count();
+        let p = fired as f64 / 10000.0;
+        assert!((p - 0.3).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn non_finite_progress_is_neutralized() {
+        let mut a = AdaptiveRates::new(2, 0.8, 0.05, true);
+        a.record(0, f64::NAN);
+        a.record(0, f64::INFINITY);
+        a.record(1, 0.5);
+        a.end_generation();
+        let r = a.rates();
+        assert!(r.iter().all(|x| x.is_finite()), "{r:?}");
+        assert!((r.iter().sum::<f64>() - 0.8).abs() < 1e-9);
+        // Operator 1 made the only real progress.
+        assert!(r[1] > r[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot support")]
+    fn infeasible_floor_panics() {
+        let _ = AdaptiveRates::new(4, 0.1, 0.05, true);
+    }
+
+    #[test]
+    fn repeated_adaptation_converges_toward_winner() {
+        let mut a = AdaptiveRates::new(3, 0.9, 0.05, true);
+        for _ in 0..20 {
+            a.record(0, 0.5);
+            a.record(1, 0.05);
+            a.record(2, 0.0);
+            a.end_generation();
+        }
+        let r = a.rates();
+        assert!(r[0] > 0.7, "{r:?}");
+        assert!((sum(r) - 0.9).abs() < 1e-9);
+    }
+}

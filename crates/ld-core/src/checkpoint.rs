@@ -1,0 +1,290 @@
+//! Checkpoint / resume for long GA runs.
+//!
+//! The paper ran on a shared 2003 cluster where long jobs die; today's
+//! equivalent is spot instances and preemptible batch queues. A
+//! [`Checkpoint`] captures the *entire* run state — populations, champion
+//! trackers, adaptive rates, counters, and (critically) the exact RNG
+//! state — so a restored run continues **bit-identically** to the
+//! uninterrupted one. The struct is `serde`-serializable; pick any format
+//! (the `hga` CLI uses JSON).
+
+use crate::adaptive::AdaptiveRates;
+use crate::config::GaConfig;
+use crate::engine::{FeasibilityFilter, GaRun, GenerationStats};
+use crate::evaluator::Evaluator;
+use crate::individual::Haplotype;
+use crate::population::MultiPopulation;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Complete serializable state of a [`GaRun`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Configuration of the run.
+    pub config: GaConfig,
+    /// Original seed (provenance only; the live state is in `rng`).
+    pub seed: u64,
+    /// Exact PRNG state.
+    pub rng: ChaCha8Rng,
+    /// Individuals per subpopulation, ascending size.
+    pub population: Vec<Vec<Haplotype>>,
+    /// Best individual per size.
+    pub best_per_size: Vec<Option<Haplotype>>,
+    /// Evaluations at which each size's best was reached.
+    pub evals_to_best: Vec<u64>,
+    /// Total evaluations so far.
+    pub total_evaluations: u64,
+    /// Generations executed.
+    pub generation: usize,
+    /// Stagnation counter.
+    pub stagnation: usize,
+    /// Random-immigrant counter.
+    pub ri_counter: usize,
+    /// Current mutation-operator rates.
+    pub mutation_rates: Vec<f64>,
+    /// Current crossover-operator rates.
+    pub crossover_rates: Vec<f64>,
+    /// Per-generation telemetry so far.
+    pub history: Vec<GenerationStats>,
+}
+
+impl<'e, E: Evaluator> GaRun<'e, E> {
+    /// Capture the run state. Valid between generations (i.e. any time
+    /// [`GaRun::step`] is not executing — which is always, from safe code).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            config: self.cfg().clone(),
+            seed: self.seed(),
+            rng: self.rng_state().clone(),
+            population: self
+                .population()
+                .iter()
+                .map(|sp| sp.individuals().to_vec())
+                .collect(),
+            best_per_size: self.champions(),
+            evals_to_best: self.evals_to_best().to_vec(),
+            total_evaluations: self.total_evaluations(),
+            generation: self.generation(),
+            stagnation: self.stagnation(),
+            ri_counter: self.ri_counter(),
+            mutation_rates: self.mutation_rates().rates().to_vec(),
+            crossover_rates: self.crossover_rates().rates().to_vec(),
+            history: self.history().to_vec(),
+        }
+    }
+
+    /// Restore a run from a checkpoint. The evaluator must serve the same
+    /// panel the checkpoint was taken on; the feasibility filter (not
+    /// serializable) must be re-supplied by the caller.
+    pub fn restore(
+        evaluator: &'e E,
+        checkpoint: Checkpoint,
+        feasibility: Option<FeasibilityFilter>,
+    ) -> Result<Self, String> {
+        let cfg = &checkpoint.config;
+        cfg.validate(evaluator.n_snps())?;
+        let n_sizes = cfg.max_size - cfg.min_size + 1;
+        if checkpoint.population.len() != n_sizes
+            || checkpoint.best_per_size.len() != n_sizes
+            || checkpoint.evals_to_best.len() != n_sizes
+        {
+            return Err(format!(
+                "checkpoint shape mismatch: expected {n_sizes} sizes"
+            ));
+        }
+        let mut pop = MultiPopulation::new(
+            evaluator.n_snps(),
+            cfg.min_size,
+            cfg.max_size,
+            cfg.population_size,
+        );
+        for (i, members) in checkpoint.population.iter().enumerate() {
+            let size = cfg.min_size + i;
+            for h in members {
+                if h.size() != size {
+                    return Err(format!(
+                        "checkpoint individual {h} in the size-{size} subpopulation"
+                    ));
+                }
+                if !h.is_evaluated() {
+                    return Err(format!("checkpoint individual {h} unevaluated"));
+                }
+                if h.snps().iter().any(|&s| s >= evaluator.n_snps()) {
+                    return Err(format!(
+                        "checkpoint individual {h} references SNPs outside the panel"
+                    ));
+                }
+            }
+            let subpop = pop.get_mut(size).expect("managed size");
+            subpop.replace_all(members.clone());
+            subpop
+                .check_invariants()
+                .map_err(|e| format!("size-{size} subpopulation invalid: {e}"))?;
+        }
+        let mut mutation_rates = AdaptiveRates::new(
+            3,
+            cfg.mutation_rate,
+            cfg.delta,
+            cfg.scheme.adaptive_mutation,
+        );
+        mutation_rates
+            .restore_rates(&checkpoint.mutation_rates)
+            .map_err(|e| format!("mutation rates: {e}"))?;
+        let mut crossover_rates = AdaptiveRates::new(
+            2,
+            cfg.crossover_rate,
+            cfg.delta,
+            cfg.scheme.adaptive_crossover,
+        );
+        crossover_rates
+            .restore_rates(&checkpoint.crossover_rates)
+            .map_err(|e| format!("crossover rates: {e}"))?;
+
+        Ok(GaRun::from_parts(
+            evaluator,
+            checkpoint.config,
+            checkpoint.rng,
+            checkpoint.seed,
+            feasibility,
+            pop,
+            checkpoint.total_evaluations,
+            checkpoint.best_per_size,
+            checkpoint.evals_to_best,
+            mutation_rates,
+            crossover_rates,
+            checkpoint.stagnation,
+            checkpoint.ri_counter,
+            checkpoint.history,
+            checkpoint.generation,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::FnEvaluator;
+    use crate::StepOutcome;
+    use ld_data::SnpId;
+
+    fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+        FnEvaluator::new(25, |s: &[SnpId]| {
+            s.iter().map(|&x| x as f64).sum::<f64>() + 10.0 * s.len() as f64
+        })
+    }
+
+    fn cfg() -> GaConfig {
+        GaConfig {
+            population_size: 50,
+            min_size: 2,
+            max_size: 3,
+            matings_per_generation: 8,
+            stagnation_limit: 20,
+            max_generations: 200,
+            ..GaConfig::default()
+        }
+    }
+
+    /// The decisive property: interrupt + restore continues bit-identically.
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted_run() {
+        let eval = toy();
+        // Uninterrupted reference.
+        let mut reference = GaRun::new(&eval, cfg(), 11, None).unwrap();
+        loop {
+            match reference.step() {
+                StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+                _ => {}
+            }
+        }
+        let reference = reference.finish();
+
+        // Interrupted at generation 7, checkpointed, restored, continued.
+        let mut first = GaRun::new(&eval, cfg(), 11, None).unwrap();
+        for _ in 0..7 {
+            let _ = first.step();
+        }
+        let cp = first.checkpoint();
+        drop(first);
+        let mut resumed = GaRun::restore(&eval, cp, None).unwrap();
+        loop {
+            match resumed.step() {
+                StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+                _ => {}
+            }
+        }
+        let resumed = resumed.finish();
+
+        assert_eq!(resumed.generations, reference.generations);
+        assert_eq!(resumed.total_evaluations, reference.total_evaluations);
+        assert_eq!(
+            resumed.best_of_size(3).unwrap().snps(),
+            reference.best_of_size(3).unwrap().snps()
+        );
+        assert_eq!(resumed.history.len(), reference.history.len());
+        // Spot-check a late-history row for exact agreement.
+        let (a, b) = (
+            resumed.history.last().unwrap(),
+            reference.history.last().unwrap(),
+        );
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.mutation_rates, b.mutation_rates);
+    }
+
+    #[test]
+    fn checkpoint_json_roundtrip() {
+        let eval = toy();
+        let mut run = GaRun::new(&eval, cfg(), 3, None).unwrap();
+        for _ in 0..5 {
+            let _ = run.step();
+        }
+        let cp = run.checkpoint();
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.generation, cp.generation);
+        assert_eq!(back.total_evaluations, cp.total_evaluations);
+        assert_eq!(back.population.len(), cp.population.len());
+        // Restore from the JSON roundtrip and take one step.
+        let mut restored = GaRun::restore(&eval, back, None).unwrap();
+        let _ = restored.step();
+        assert_eq!(restored.generation(), cp.generation + 1);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_checkpoints() {
+        let eval = toy();
+        let mut run = GaRun::new(&eval, cfg(), 3, None).unwrap();
+        let _ = run.step();
+        let cp = run.checkpoint();
+
+        // Wrong panel: a 10-SNP evaluator cannot serve a 25-SNP checkpoint.
+        let small = FnEvaluator::new(10, |_: &[SnpId]| 0.0);
+        let mut bad = cp.clone();
+        bad.config.max_size = 3;
+        // (config validates against panel first: max_size 3 <= 10 passes,
+        // but individuals reference SNPs >= 10.)
+        assert!(GaRun::restore(&small, bad, None).is_err());
+
+        // Truncated population vector.
+        let mut bad = cp.clone();
+        bad.population.pop();
+        assert!(GaRun::restore(&eval, bad, None).is_err());
+
+        // Corrupt adaptive rates.
+        let mut bad = cp.clone();
+        bad.mutation_rates = vec![0.5, 0.5, 0.5];
+        assert!(GaRun::restore(&eval, bad, None).is_err());
+
+        // Unevaluated individual smuggled in.
+        let mut bad = cp.clone();
+        bad.population[0].push(Haplotype::new(vec![1, 2]));
+        assert!(GaRun::restore(&eval, bad, None).is_err());
+
+        // Wrong-size individual.
+        let mut bad = cp;
+        let mut h = Haplotype::new(vec![1, 2, 3]);
+        h.set_fitness(1.0);
+        bad.population[0].push(h);
+        assert!(GaRun::restore(&eval, bad, None).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! GA configuration (paper §5.2.1 parameters and §5.2 scheme toggles).
+
+use crate::init::InitStrategy;
+use crate::selection::SelectionStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Which advanced mechanisms are enabled — the paper's §5.2 ablation axes:
+/// "Without and with the random immigrant / the reduction and the
+/// augmentation mutation / the inter-population crossover."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scheme {
+    /// Adapt mutation-operator rates (vs fixed uniform split).
+    pub adaptive_mutation: bool,
+    /// Adapt crossover-operator rates (vs fixed uniform split).
+    pub adaptive_crossover: bool,
+    /// Enable reduction + augmentation mutations (inter-size migration).
+    pub size_mutations: bool,
+    /// Enable inter-population crossover.
+    pub inter_crossover: bool,
+    /// Enable the random-immigrant diversity mechanism.
+    pub random_immigrants: bool,
+}
+
+impl Scheme {
+    /// Everything on — the paper's best combination.
+    pub const FULL: Scheme = Scheme {
+        adaptive_mutation: true,
+        adaptive_crossover: true,
+        size_mutations: true,
+        inter_crossover: true,
+        random_immigrants: true,
+    };
+
+    /// Everything off — plain per-size GAs evolving independently.
+    pub const BASELINE: Scheme = Scheme {
+        adaptive_mutation: false,
+        adaptive_crossover: false,
+        size_mutations: false,
+        inter_crossover: false,
+        random_immigrants: false,
+    };
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        if *self == Scheme::FULL {
+            return "full".into();
+        }
+        if *self == Scheme::BASELINE {
+            return "baseline".into();
+        }
+        let mut parts = Vec::new();
+        if self.adaptive_mutation {
+            parts.push("aMut");
+        }
+        if self.adaptive_crossover {
+            parts.push("aCross");
+        }
+        if self.size_mutations {
+            parts.push("size");
+        }
+        if self.inter_crossover {
+            parts.push("inter");
+        }
+        if self.random_immigrants {
+            parts.push("RI");
+        }
+        if parts.is_empty() {
+            "none".into()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+impl Default for Scheme {
+    fn default() -> Self {
+        Scheme::FULL
+    }
+}
+
+/// Full GA configuration.
+///
+/// Defaults follow the paper's §5.2.1 experimental setup: global mutation
+/// rate 0.9, δ = 0.05, population 150, termination after 100 stagnant
+/// generations, haplotype sizes 2–6, random-immigrant stagnation 20.
+/// (The PDF's parameter list is partially garbled; `0.9` is printed against
+/// the global mutation rate and we take δ = 0.05, a twentieth of the
+/// population-level rate, matching Hong et al.'s recommendation.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Total individuals across all subpopulations.
+    pub population_size: usize,
+    /// Smallest haplotype size.
+    pub min_size: usize,
+    /// Largest haplotype size ("Biologists choose 6 … as a first experiment").
+    pub max_size: usize,
+    /// Global mutation rate `p_mut_glob` split adaptively among the three
+    /// mutation operators.
+    pub mutation_rate: f64,
+    /// Global crossover rate split adaptively among the two crossovers.
+    pub crossover_rate: f64,
+    /// Minimum per-operator rate δ.
+    pub delta: f64,
+    /// Mating events per generation (each yields two crossover children).
+    pub matings_per_generation: usize,
+    /// Parallel tries of the SNP mutation ("several times in parallel,
+    /// keep the best").
+    pub snp_mutation_tries: usize,
+    /// Parent-selection strategy (the paper's "Selection" box; unpinned in
+    /// the text, binary tournament by default).
+    pub selection: SelectionStrategy,
+    /// Population initialization (random in the paper; single-marker warm
+    /// start available for the §3 ablation).
+    pub init: InitStrategy,
+    /// Stop after this many generations without any subpopulation-best
+    /// improvement.
+    pub stagnation_limit: usize,
+    /// Trigger random immigrants after this many stagnant generations.
+    pub ri_stagnation: usize,
+    /// Hard generation cap (safety net; the paper's run length is governed
+    /// by stagnation).
+    pub max_generations: usize,
+    /// Mechanism toggles.
+    pub scheme: Scheme,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population_size: 150,
+            min_size: 2,
+            max_size: 6,
+            mutation_rate: 0.9,
+            crossover_rate: 0.8,
+            delta: 0.05,
+            matings_per_generation: 20,
+            snp_mutation_tries: 4,
+            selection: SelectionStrategy::Tournament(2),
+            init: InitStrategy::Random,
+            stagnation_limit: 100,
+            ri_stagnation: 20,
+            max_generations: 10_000,
+            scheme: Scheme::FULL,
+        }
+    }
+}
+
+impl GaConfig {
+    /// Validate parameter ranges; returns a description of the first
+    /// problem found.
+    pub fn validate(&self, n_snps: usize) -> Result<(), String> {
+        if self.min_size < 1 || self.min_size > self.max_size {
+            return Err(format!(
+                "bad size range [{}, {}]",
+                self.min_size, self.max_size
+            ));
+        }
+        if self.max_size > n_snps {
+            return Err(format!(
+                "max_size {} exceeds panel width {n_snps}",
+                self.max_size
+            ));
+        }
+        for (name, rate) in [
+            ("mutation_rate", self.mutation_rate),
+            ("crossover_rate", self.crossover_rate),
+        ] {
+            if !(0.0 < rate && rate <= 1.0) {
+                return Err(format!("{name} must be in (0, 1], got {rate}"));
+            }
+        }
+        if self.delta < 0.0 {
+            return Err("delta must be non-negative".into());
+        }
+        if self.mutation_rate < 3.0 * self.delta {
+            return Err(format!(
+                "mutation_rate {} cannot support 3 operators with floor {}",
+                self.mutation_rate, self.delta
+            ));
+        }
+        if self.crossover_rate < 2.0 * self.delta {
+            return Err(format!(
+                "crossover_rate {} cannot support 2 operators with floor {}",
+                self.crossover_rate, self.delta
+            ));
+        }
+        if self.population_size == 0
+            || self.matings_per_generation == 0
+            || self.snp_mutation_tries == 0
+            || self.stagnation_limit == 0
+            || self.max_generations == 0
+        {
+            return Err("counts must be positive".into());
+        }
+        if matches!(self.selection, SelectionStrategy::Tournament(0)) {
+            return Err("tournament size must be positive".into());
+        }
+        self.init.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GaConfig::default();
+        assert_eq!(c.population_size, 150);
+        assert_eq!(c.max_size, 6);
+        assert_eq!(c.stagnation_limit, 100);
+        assert_eq!(c.ri_stagnation, 20);
+        assert!((c.mutation_rate - 0.9).abs() < 1e-12);
+        assert!((c.delta - 0.05).abs() < 1e-12);
+        assert_eq!(c.scheme, Scheme::FULL);
+        assert!(c.validate(51).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let bad = [
+            GaConfig { max_size: 60, ..GaConfig::default() },
+            GaConfig { min_size: 0, ..GaConfig::default() },
+            GaConfig { mutation_rate: 0.0, ..GaConfig::default() },
+            // 3 operators * 0.5 floor > 0.9 global rate.
+            GaConfig { delta: 0.5, ..GaConfig::default() },
+            GaConfig { matings_per_generation: 0, ..GaConfig::default() },
+            GaConfig {
+                selection: SelectionStrategy::Tournament(0),
+                ..GaConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate(51).is_err(), "accepted bad config {c:?}");
+        }
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(Scheme::FULL.label(), "full");
+        assert_eq!(Scheme::BASELINE.label(), "baseline");
+        let s = Scheme {
+            random_immigrants: false,
+            ..Scheme::FULL
+        };
+        assert_eq!(s.label(), "aMut+aCross+size+inter");
+        let s = Scheme {
+            random_immigrants: true,
+            ..Scheme::BASELINE
+        };
+        assert_eq!(s.label(), "RI");
+    }
+}

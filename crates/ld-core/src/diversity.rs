@@ -1,0 +1,177 @@
+//! Population diversity metrics.
+//!
+//! §4.4 motivates random immigrants as a diversity mechanism ("Random
+//! Immigrant is another process that helps to maintain diversity in the
+//! population … It should also help to avoid premature convergence").
+//! These metrics make that claim measurable:
+//!
+//! * **SNP entropy** — Shannon entropy of the SNP-usage distribution over
+//!   a subpopulation (how spread the population is over the panel);
+//! * **mean pairwise Jaccard distance** — average dissimilarity between
+//!   individuals' SNP sets;
+//! * **fitness spread** — relative interquartile-style spread of fitness.
+
+use crate::subpop::SubPopulation;
+use ld_data::SnpId;
+
+/// Diversity summary of one subpopulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversityReport {
+    /// Shannon entropy (nats) of SNP usage, normalized by `ln(n_used)` to
+    /// `[0, 1]` (1 = uniform usage of every SNP that appears).
+    pub snp_entropy: f64,
+    /// Number of distinct SNPs used by the subpopulation.
+    pub snps_used: usize,
+    /// Mean pairwise Jaccard *distance* between individuals (0 = clones,
+    /// 1 = fully disjoint).
+    pub mean_jaccard_distance: f64,
+    /// `(best − worst) / max(|best|, 1)` fitness spread.
+    pub fitness_spread: f64,
+}
+
+/// Jaccard distance between two ascending SNP sets.
+pub fn jaccard_distance(a: &[SnpId], b: &[SnpId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    1.0 - inter as f64 / union as f64
+}
+
+/// Measure the diversity of a subpopulation.
+pub fn measure(subpop: &SubPopulation) -> DiversityReport {
+    let individuals = subpop.individuals();
+    if individuals.is_empty() {
+        return DiversityReport {
+            snp_entropy: 0.0,
+            snps_used: 0,
+            mean_jaccard_distance: 0.0,
+            fitness_spread: 0.0,
+        };
+    }
+
+    // SNP usage entropy.
+    let mut counts: std::collections::BTreeMap<SnpId, usize> = std::collections::BTreeMap::new();
+    let mut total = 0usize;
+    for h in individuals {
+        for &s in h.snps() {
+            *counts.entry(s).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    let snps_used = counts.len();
+    let entropy: f64 = counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.ln()
+        })
+        .sum();
+    let snp_entropy = if snps_used > 1 {
+        entropy / (snps_used as f64).ln()
+    } else {
+        0.0
+    };
+
+    // Mean pairwise Jaccard distance (exact; subpopulations are small).
+    let mut dist_sum = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..individuals.len() {
+        for j in i + 1..individuals.len() {
+            dist_sum += jaccard_distance(individuals[i].snps(), individuals[j].snps());
+            pairs += 1;
+        }
+    }
+    let mean_jaccard_distance = if pairs > 0 { dist_sum / pairs as f64 } else { 0.0 };
+
+    let best = subpop.best().map_or(0.0, |h| h.fitness());
+    let worst = subpop.worst().map_or(0.0, |h| h.fitness());
+    let fitness_spread = (best - worst) / best.abs().max(1.0);
+
+    DiversityReport {
+        snp_entropy,
+        snps_used,
+        mean_jaccard_distance,
+        fitness_spread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::individual::Haplotype;
+
+    fn hap(snps: &[usize], fitness: f64) -> Haplotype {
+        let mut h = Haplotype::new(snps.to_vec());
+        h.set_fitness(fitness);
+        h
+    }
+
+    #[test]
+    fn jaccard_distance_basics() {
+        assert_eq!(jaccard_distance(&[1, 2], &[1, 2]), 0.0);
+        assert_eq!(jaccard_distance(&[1, 2], &[3, 4]), 1.0);
+        assert!((jaccard_distance(&[1, 2], &[2, 3]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jaccard_distance(&[], &[]), 0.0);
+        assert_eq!(jaccard_distance(&[], &[1]), 1.0);
+    }
+
+    #[test]
+    fn clones_have_zero_diversity() {
+        let mut p = SubPopulation::new(2, 5);
+        p.try_insert(hap(&[1, 2], 5.0));
+        // Duplicates rejected, so build near-clones sharing both SNPs is
+        // impossible; single individual => zero diversity.
+        let d = measure(&p);
+        assert_eq!(d.mean_jaccard_distance, 0.0);
+        assert_eq!(d.snps_used, 2);
+        assert_eq!(d.fitness_spread, 0.0);
+    }
+
+    #[test]
+    fn disjoint_population_is_maximally_diverse() {
+        let mut p = SubPopulation::new(2, 5);
+        p.try_insert(hap(&[0, 1], 1.0));
+        p.try_insert(hap(&[2, 3], 2.0));
+        p.try_insert(hap(&[4, 5], 3.0));
+        let d = measure(&p);
+        assert!((d.mean_jaccard_distance - 1.0).abs() < 1e-12);
+        // Uniform usage of 6 SNPs: entropy normalized to 1.
+        assert!((d.snp_entropy - 1.0).abs() < 1e-12);
+        assert_eq!(d.snps_used, 6);
+        assert!(d.fitness_spread > 0.0);
+    }
+
+    #[test]
+    fn concentrated_usage_lowers_entropy() {
+        let mut spread = SubPopulation::new(2, 5);
+        spread.try_insert(hap(&[0, 1], 1.0));
+        spread.try_insert(hap(&[2, 3], 1.0));
+        let mut focused = SubPopulation::new(2, 5);
+        focused.try_insert(hap(&[0, 1], 1.0));
+        focused.try_insert(hap(&[0, 2], 1.0));
+        // Focused population reuses SNP 0: lower normalized entropy.
+        assert!(measure(&focused).snp_entropy < measure(&spread).snp_entropy);
+    }
+
+    #[test]
+    fn empty_population() {
+        let p = SubPopulation::new(3, 4);
+        let d = measure(&p);
+        assert_eq!(d.snps_used, 0);
+        assert_eq!(d.snp_entropy, 0.0);
+    }
+}

@@ -1,0 +1,1207 @@
+//! The GA engine: Figure 5's loop.
+//!
+//! ```text
+//! Initialization → // Evaluation
+//!   ┌─ Selection → Crossover (choice: intra / inter, adaptive)
+//!   │      → Mutation (choice: SNP / reduction / augmentation, adaptive)
+//!   │      → Replacement → Random-Immigrant test → Termination test ─┐
+//!   └──────────────────────────────────────────────────────────────◄─┘
+//! ```
+//!
+//! Each generation evaluates offspring in *batches* through the
+//! [`Evaluator`] trait: one batch of crossover children, one batch of
+//! mutation candidates, and (when triggered) one batch of random
+//! immigrants. Those batch boundaries are the synchronous master/slave
+//! evaluation phases of the paper's Figure 6 — plugging in
+//! `ld-parallel`'s evaluator parallelizes them without touching this file.
+//!
+//! Two driving styles:
+//!
+//! * [`GaEngine::run`] — the paper's closed loop: generations until the
+//!   best has not evolved for `stagnation_limit` generations.
+//! * [`GaRun`] — a stepping handle: [`GaRun::step`] executes one
+//!   generation and [`GaRun::inject`] inserts externally produced
+//!   individuals (island-model migrants) mid-run; this is what
+//!   `ld-parallel`'s ring-migration islands build on.
+
+use crate::adaptive::AdaptiveRates;
+use crate::config::GaConfig;
+use crate::evaluator::Evaluator;
+use crate::immigrants::replace_below_mean;
+use crate::individual::Haplotype;
+use crate::ops::crossover::{inter_crossover, uniform_crossover, CrossoverKind};
+use crate::ops::mutation::{apply_mutation, MutationKind};
+use crate::population::MultiPopulation;
+use crate::rng::random_haplotype;
+use ld_data::SnpId;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Optional feasibility predicate applied to every candidate before it is
+/// evaluated (the §2.3 LD / frequency constraints).
+pub type FeasibilityFilter = Arc<dyn Fn(&[SnpId]) -> bool + Send + Sync>;
+
+/// Telemetry for one generation.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GenerationStats {
+    /// Generation number (1-based).
+    pub generation: usize,
+    /// Cumulative evaluations after this generation.
+    pub evaluations: u64,
+    /// Best fitness per size (ascending sizes; `NAN` for empty subpops).
+    pub best_per_size: Vec<f64>,
+    /// Mutation-operator rates after adaptation.
+    pub mutation_rates: Vec<f64>,
+    /// Crossover-operator rates after adaptation.
+    pub crossover_rates: Vec<f64>,
+    /// Immigrants introduced this generation.
+    pub immigrants: usize,
+}
+
+/// Result of one GA run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Smallest managed haplotype size.
+    pub min_size: usize,
+    /// Best individual found per size (ascending sizes).
+    pub best_per_size: Vec<Option<Haplotype>>,
+    /// Cumulative evaluation count at which each size's best was reached —
+    /// the paper's "# of Eval." metric.
+    pub evals_to_best: Vec<u64>,
+    /// Total evaluations performed.
+    pub total_evaluations: u64,
+    /// Generations executed.
+    pub generations: usize,
+    /// Per-generation telemetry.
+    pub history: Vec<GenerationStats>,
+    /// Seed the run used.
+    pub seed: u64,
+}
+
+impl RunResult {
+    /// Best individual of haplotype size `k`, if that size was managed and
+    /// populated.
+    pub fn best_of_size(&self, k: usize) -> Option<&Haplotype> {
+        k.checked_sub(self.min_size)
+            .and_then(|i| self.best_per_size.get(i))
+            .and_then(|o| o.as_ref())
+    }
+
+    /// Evaluations needed to reach the best of size `k`.
+    pub fn evals_to_best_of_size(&self, k: usize) -> Option<u64> {
+        k.checked_sub(self.min_size)
+            .and_then(|i| self.evals_to_best.get(i))
+            .copied()
+            .filter(|_| self.best_of_size(k).is_some())
+    }
+}
+
+/// What a [`GaRun::step`] call observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Some subpopulation's best improved this generation.
+    Improved,
+    /// No improvement, but the stagnation criterion is not yet met.
+    Stagnating,
+    /// The §4.6 termination criterion is met (best unchanged for
+    /// `stagnation_limit` generations). Stepping further is allowed —
+    /// injected migrants may revive the search.
+    StagnationLimitReached,
+    /// The hard generation cap was reached; further steps are no-ops.
+    GenerationCapReached,
+}
+
+/// One crossover application awaiting its progress measurement.
+struct MatingRecord {
+    kind: CrossoverKind,
+    /// Normalized fitness of the reference parent for each child (for
+    /// intra: the parents' mean, same for both children; for inter: each
+    /// child's same-size parent).
+    parent_norms: (f64, f64),
+    /// Indices of the two children in the generation's child list.
+    children: (usize, usize),
+    /// Sizes of the two children (normalization needs them).
+    sizes: (usize, usize),
+}
+
+/// One mutation application awaiting candidate selection.
+struct MutationRecord {
+    kind: MutationKind,
+    /// Index of the mutated child.
+    child: usize,
+    /// Candidate range in the generation's candidate list.
+    candidates: Range<usize>,
+}
+
+/// A live, steppable GA run.
+///
+/// Construction initializes and evaluates the multi-population; each
+/// [`GaRun::step`] then executes one full Figure-5 generation. External
+/// individuals (e.g. migrants from another island) can be inserted at any
+/// point with [`GaRun::inject`].
+pub struct GaRun<'e, E: Evaluator> {
+    evaluator: &'e E,
+    cfg: GaConfig,
+    rng: ChaCha8Rng,
+    seed: u64,
+    feasibility: Option<FeasibilityFilter>,
+    pop: MultiPopulation,
+    total_evals: u64,
+    best_per_size: Vec<Option<Haplotype>>,
+    evals_to_best: Vec<u64>,
+    mutation_rates: AdaptiveRates,
+    crossover_rates: AdaptiveRates,
+    stagnation: usize,
+    ri_counter: usize,
+    history: Vec<GenerationStats>,
+    generation: usize,
+}
+
+impl<'e, E: Evaluator> GaRun<'e, E> {
+    /// Initialize a run: validate the configuration, build the sized
+    /// subpopulations, fill them with random feasible individuals, and
+    /// evaluate the initial population (one batch per size).
+    pub fn new(
+        evaluator: &'e E,
+        config: GaConfig,
+        seed: u64,
+        feasibility: Option<FeasibilityFilter>,
+    ) -> Result<Self, String> {
+        config.validate(evaluator.n_snps())?;
+        let n_snps = evaluator.n_snps();
+        let n_sizes = config.max_size - config.min_size + 1;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pop =
+            MultiPopulation::new(n_snps, config.min_size, config.max_size, config.population_size);
+        let mut total_evals: u64 = 0;
+
+        let feasible = |f: &Option<FeasibilityFilter>, snps: &[SnpId]| {
+            f.as_ref().is_none_or(|f| f(snps))
+        };
+        // Warm start: rank SNPs by single-marker fitness once (costs
+        // n_snps evaluations) when the init strategy asks for it.
+        let (seed_pool, seeded_fraction) = match config.init {
+            crate::init::InitStrategy::Random => (Vec::new(), 0.0),
+            crate::init::InitStrategy::SingleMarkerSeeded {
+                seeded_fraction,
+                pool_size,
+            } => {
+                let (mut ranked, cost) = crate::init::rank_single_markers(evaluator);
+                total_evals += cost;
+                ranked.truncate(pool_size);
+                (ranked, seeded_fraction)
+            }
+        };
+        for size in config.min_size..=config.max_size {
+            let capacity = pop.get(size).expect("managed size").capacity();
+            let n_seeded = (capacity as f64 * seeded_fraction).round() as usize;
+            let mut initial: Vec<Haplotype> = Vec::with_capacity(capacity);
+            let mut attempts = 0usize;
+            while initial.len() < capacity && attempts < capacity * 100 {
+                attempts += 1;
+                let h = if initial.len() < n_seeded {
+                    crate::init::seeded_haplotype(&mut rng, &seed_pool, n_snps, size)
+                } else {
+                    random_haplotype(&mut rng, n_snps, size)
+                };
+                if feasible(&feasibility, h.snps())
+                    && !initial.iter().any(|x| x.key() == h.key())
+                {
+                    initial.push(h);
+                }
+            }
+            total_evals += initial.len() as u64;
+            evaluator.evaluate_batch(&mut initial);
+            let subpop = pop.get_mut(size).expect("managed size");
+            for h in initial {
+                subpop.try_insert(h);
+            }
+        }
+
+        let best_per_size: Vec<Option<Haplotype>> =
+            pop.bests().into_iter().map(|b| b.cloned()).collect();
+        let mutation_rates = AdaptiveRates::new(
+            3,
+            config.mutation_rate,
+            config.delta,
+            config.scheme.adaptive_mutation,
+        );
+        let crossover_rates = AdaptiveRates::new(
+            2,
+            config.crossover_rate,
+            config.delta,
+            config.scheme.adaptive_crossover,
+        );
+        Ok(GaRun {
+            evaluator,
+            evals_to_best: vec![total_evals; n_sizes],
+            cfg: config,
+            rng,
+            seed,
+            feasibility,
+            pop,
+            total_evals,
+            best_per_size,
+            mutation_rates,
+            crossover_rates,
+            stagnation: 0,
+            ri_counter: 0,
+            history: Vec::new(),
+            generation: 0,
+        })
+    }
+
+    /// Rebuild a run from previously captured parts (checkpoint restore;
+    /// see [`crate::checkpoint`]). Crate-visible so the checkpoint module
+    /// owns the validation logic.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        evaluator: &'e E,
+        cfg: GaConfig,
+        rng: ChaCha8Rng,
+        seed: u64,
+        feasibility: Option<FeasibilityFilter>,
+        pop: MultiPopulation,
+        total_evals: u64,
+        best_per_size: Vec<Option<Haplotype>>,
+        evals_to_best: Vec<u64>,
+        mutation_rates: AdaptiveRates,
+        crossover_rates: AdaptiveRates,
+        stagnation: usize,
+        ri_counter: usize,
+        history: Vec<GenerationStats>,
+        generation: usize,
+    ) -> Self {
+        GaRun {
+            evaluator,
+            cfg,
+            rng,
+            seed,
+            feasibility,
+            pop,
+            total_evals,
+            best_per_size,
+            evals_to_best,
+            mutation_rates,
+            crossover_rates,
+            stagnation,
+            ri_counter,
+            history,
+            generation,
+        }
+    }
+
+    fn feasible(&self, snps: &[SnpId]) -> bool {
+        self.feasibility.as_ref().is_none_or(|f| f(snps))
+    }
+
+    /// The live multi-population (read-only).
+    pub fn population(&self) -> &MultiPopulation {
+        &self.pop
+    }
+
+    /// The configuration driving this run.
+    pub fn cfg(&self) -> &GaConfig {
+        &self.cfg
+    }
+
+    /// The seed the run was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The live PRNG state (checkpointing).
+    pub fn rng_state(&self) -> &ChaCha8Rng {
+        &self.rng
+    }
+
+    /// Evaluations at which each size's best was reached.
+    pub fn evals_to_best(&self) -> &[u64] {
+        &self.evals_to_best
+    }
+
+    /// Generations since the last improvement, as seen by the
+    /// random-immigrant trigger.
+    pub fn ri_counter(&self) -> usize {
+        self.ri_counter
+    }
+
+    /// The mutation-rate controller (read-only).
+    pub fn mutation_rates(&self) -> &AdaptiveRates {
+        &self.mutation_rates
+    }
+
+    /// The crossover-rate controller (read-only).
+    pub fn crossover_rates(&self) -> &AdaptiveRates {
+        &self.crossover_rates
+    }
+
+    /// Per-generation telemetry so far.
+    pub fn history(&self) -> &[GenerationStats] {
+        &self.history
+    }
+
+    /// Generations executed so far.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// Total evaluations spent so far.
+    pub fn total_evaluations(&self) -> u64 {
+        self.total_evals
+    }
+
+    /// Consecutive generations without improvement.
+    pub fn stagnation(&self) -> usize {
+        self.stagnation
+    }
+
+    /// Whether the §4.6 stagnation criterion is currently met.
+    pub fn is_stagnated(&self) -> bool {
+        self.stagnation >= self.cfg.stagnation_limit
+    }
+
+    /// Best individual per size so far (clones).
+    pub fn champions(&self) -> Vec<Option<Haplotype>> {
+        self.best_per_size.clone()
+    }
+
+    /// Insert externally produced individuals (island migrants). They are
+    /// feasibility-filtered and evaluated (one batch) if needed, then go
+    /// through the normal §4.6 replacement rule. Improvements reset the
+    /// stagnation counters exactly like native offspring.
+    pub fn inject(&mut self, migrants: Vec<Haplotype>) {
+        let mut migrants: Vec<Haplotype> = migrants
+            .into_iter()
+            .filter(|h| self.feasible(h.snps()))
+            .collect();
+        self.total_evals += evaluate_unevaluated(self.evaluator, &mut migrants);
+        for h in migrants {
+            self.pop.try_insert(h);
+        }
+        if self.track_improvements() {
+            self.stagnation = 0;
+            self.ri_counter = 0;
+        }
+    }
+
+    /// Execute one generation. See the module docs for the phase order.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.generation >= self.cfg.max_generations {
+            return StepOutcome::GenerationCapReached;
+        }
+        self.generation += 1;
+        let n_snps = self.evaluator.n_snps();
+        let n_sizes = self.cfg.max_size - self.cfg.min_size + 1;
+        let norms = self.pop.normalizer_snapshot();
+
+        // ------ Phase A: selection + crossover ------
+        let mut children: Vec<Haplotype> = Vec::new();
+        let mut matings: Vec<MatingRecord> = Vec::new();
+        for _ in 0..self.cfg.matings_per_generation {
+            if !self.crossover_rates.fires(&mut self.rng) {
+                // No crossover: a selected parent passes through (it may
+                // still be mutated in phase B). Fitness is preserved, so no
+                // re-evaluation is needed.
+                if let Some(parent) = self.select_any_parent() {
+                    children.push(parent);
+                }
+                continue;
+            }
+            let kind = if self.cfg.scheme.inter_crossover && n_sizes >= 2 {
+                match self.crossover_rates.select(&mut self.rng) {
+                    0 => CrossoverKind::Intra,
+                    _ => CrossoverKind::Inter,
+                }
+            } else {
+                CrossoverKind::Intra
+            };
+            match kind {
+                CrossoverKind::Intra => {
+                    let Some((p1, p2)) = self.select_intra_parents() else {
+                        continue;
+                    };
+                    let (c1, c2) = uniform_crossover(&p1, &p2, n_snps, &mut self.rng);
+                    let parent_mean = (norms.normalized(p1.size(), p1.fitness())
+                        + norms.normalized(p2.size(), p2.fitness()))
+                        / 2.0;
+                    push_children(
+                        &mut children,
+                        &mut matings,
+                        kind,
+                        (parent_mean, parent_mean),
+                        c1,
+                        c2,
+                    );
+                }
+                CrossoverKind::Inter => {
+                    let Some((p1, p2)) = self.select_inter_parents() else {
+                        continue;
+                    };
+                    let (c1, c2) = inter_crossover(&p1, &p2, n_snps, &mut self.rng);
+                    // §4.3.2: for inter-population crossover each child is
+                    // compared with its parent of the same size (c1 aligns
+                    // with p1, c2 with p2).
+                    let n1 = norms.normalized(p1.size(), p1.fitness());
+                    let n2 = norms.normalized(p2.size(), p2.fitness());
+                    push_children(&mut children, &mut matings, kind, (n1, n2), c1, c2);
+                }
+            }
+        }
+
+        // Evaluate the unevaluated children (one synchronous batch).
+        self.total_evals += evaluate_unevaluated(self.evaluator, &mut children);
+
+        // Crossover progress (§4.3.2): average improvement of children over
+        // their reference parents.
+        for m in &matings {
+            let c1 = &children[m.children.0];
+            let c2 = &children[m.children.1];
+            let prog = ((norms.normalized(m.sizes.0, c1.fitness()) - m.parent_norms.0)
+                + (norms.normalized(m.sizes.1, c2.fitness()) - m.parent_norms.1))
+                / 2.0;
+            self.crossover_rates.record(m.kind.index(), prog);
+        }
+
+        // ------ Phase B: mutation ------
+        let mut candidates: Vec<Haplotype> = Vec::new();
+        let mut mut_records: Vec<MutationRecord> = Vec::new();
+        for (i, child) in children.iter().enumerate() {
+            if !self.mutation_rates.fires(&mut self.rng) {
+                continue;
+            }
+            let kind = if self.cfg.scheme.size_mutations {
+                MutationKind::from_index(self.mutation_rates.select(&mut self.rng))
+                    .expect("3 mutation operators")
+            } else {
+                MutationKind::Snp
+            };
+            let tries = if kind == MutationKind::Snp {
+                self.cfg.snp_mutation_tries
+            } else {
+                1
+            };
+            let mut cands = apply_mutation(
+                kind,
+                child,
+                n_snps,
+                self.cfg.min_size,
+                self.cfg.max_size,
+                tries,
+                &mut self.rng,
+            );
+            let feasibility = self.feasibility.clone();
+            cands.retain(|h| feasibility.as_ref().is_none_or(|f| f(h.snps())));
+            if cands.is_empty() {
+                continue;
+            }
+            let start = candidates.len();
+            candidates.extend(cands);
+            mut_records.push(MutationRecord {
+                kind,
+                child: i,
+                candidates: start..candidates.len(),
+            });
+        }
+        self.total_evals += candidates.len() as u64;
+        self.evaluator.evaluate_batch(&mut candidates);
+
+        // "Keep the best individual found by this mutation": the best
+        // candidate becomes the mutated child; progress is measured against
+        // the pre-mutation child on normalized fitness.
+        for rec in &mut_records {
+            let best = candidates[rec.candidates.clone()]
+                .iter()
+                .max_by(|a, b| a.fitness().total_cmp(&b.fitness()))
+                .expect("non-empty candidate range")
+                .clone();
+            let before = &children[rec.child];
+            let prog = norms.normalized(best.size(), best.fitness())
+                - norms.normalized(before.size(), before.fitness());
+            self.mutation_rates.record(rec.kind.index(), prog);
+            children[rec.child] = best;
+        }
+
+        // ------ Replacement (§4.6) ------
+        for child in children {
+            self.pop.try_insert(child);
+        }
+
+        self.mutation_rates.end_generation();
+        self.crossover_rates.end_generation();
+
+        // ------ Improvement tracking ------
+        let improved = self.track_improvements();
+        if improved {
+            self.stagnation = 0;
+            self.ri_counter = 0;
+        } else {
+            self.stagnation += 1;
+            self.ri_counter += 1;
+        }
+
+        // ------ Random immigrants (§4.4) ------
+        let mut n_immigrants = 0usize;
+        if self.cfg.scheme.random_immigrants && self.ri_counter >= self.cfg.ri_stagnation {
+            let mut immigrants: Vec<Haplotype> = Vec::new();
+            let feasibility = self.feasibility.clone();
+            for subpop in self.pop.iter_mut() {
+                let mut imms = replace_below_mean(subpop, n_snps, &mut self.rng);
+                imms.retain(|h| feasibility.as_ref().is_none_or(|f| f(h.snps())));
+                immigrants.extend(imms);
+            }
+            n_immigrants = immigrants.len();
+            self.total_evals += immigrants.len() as u64;
+            self.evaluator.evaluate_batch(&mut immigrants);
+            for h in immigrants {
+                self.pop.try_insert(h);
+            }
+            self.ri_counter = 0;
+        }
+
+        self.history.push(GenerationStats {
+            generation: self.generation,
+            evaluations: self.total_evals,
+            best_per_size: self
+                .pop
+                .bests()
+                .into_iter()
+                .map(|b| b.map_or(f64::NAN, |h| h.fitness()))
+                .collect(),
+            mutation_rates: self.mutation_rates.rates().to_vec(),
+            crossover_rates: self.crossover_rates.rates().to_vec(),
+            immigrants: n_immigrants,
+        });
+
+        if improved {
+            StepOutcome::Improved
+        } else if self.is_stagnated() {
+            StepOutcome::StagnationLimitReached
+        } else {
+            StepOutcome::Stagnating
+        }
+    }
+
+    /// Update the per-size champions from the live population; returns
+    /// whether any size improved.
+    fn track_improvements(&mut self) -> bool {
+        let mut improved = false;
+        for (idx, best) in self.pop.bests().into_iter().enumerate() {
+            let Some(best) = best else { continue };
+            let record = &mut self.best_per_size[idx];
+            let is_better = record
+                .as_ref()
+                .is_none_or(|prev| best.fitness() > prev.fitness());
+            if is_better {
+                *record = Some(best.clone());
+                self.evals_to_best[idx] = self.total_evals;
+                improved = true;
+            }
+        }
+        improved
+    }
+
+    /// Snapshot the run into a [`RunResult`].
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            min_size: self.cfg.min_size,
+            best_per_size: self.best_per_size.clone(),
+            evals_to_best: self.evals_to_best.clone(),
+            total_evaluations: self.total_evals,
+            generations: self.generation,
+            history: self.history.clone(),
+            seed: self.seed,
+        }
+    }
+
+    /// Finish the run, consuming the handle.
+    pub fn finish(self) -> RunResult {
+        RunResult {
+            min_size: self.cfg.min_size,
+            best_per_size: self.best_per_size,
+            evals_to_best: self.evals_to_best,
+            total_evaluations: self.total_evals,
+            generations: self.generation,
+            history: self.history,
+            seed: self.seed,
+        }
+    }
+
+    /// Pick any parent, from a subpopulation chosen by membership weight.
+    fn select_any_parent(&mut self) -> Option<Haplotype> {
+        let sizes: Vec<(usize, usize)> = self
+            .pop
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| (p.size_k(), p.len()))
+            .collect();
+        let total: usize = sizes.iter().map(|(_, l)| l).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut u = self.rng.random_range(0..total);
+        for (size, len) in sizes {
+            if u < len {
+                let idx = self.cfg.selection.select(&mut self.rng, len, None);
+                return Some(
+                    self.pop.get(size).expect("managed size").individuals()[idx].clone(),
+                );
+            }
+            u -= len;
+        }
+        None
+    }
+
+    /// Two (preferably distinct) same-size parents.
+    fn select_intra_parents(&mut self) -> Option<(Haplotype, Haplotype)> {
+        let sizes: Vec<(usize, usize)> = self
+            .pop
+            .iter()
+            .filter(|p| p.len() >= 2)
+            .map(|p| (p.size_k(), p.len()))
+            .collect();
+        let total: usize = sizes.iter().map(|(_, l)| l).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut u = self.rng.random_range(0..total);
+        for (size, len) in sizes {
+            if u < len {
+                let i1 = self.cfg.selection.select(&mut self.rng, len, None);
+                let i2 = self.cfg.selection.select(&mut self.rng, len, Some(i1));
+                let subpop = self.pop.get(size).expect("managed size");
+                return Some((
+                    subpop.individuals()[i1].clone(),
+                    subpop.individuals()[i2].clone(),
+                ));
+            }
+            u -= len;
+        }
+        None
+    }
+
+    /// Two parents from two different size subpopulations.
+    fn select_inter_parents(&mut self) -> Option<(Haplotype, Haplotype)> {
+        let sizes: Vec<usize> = self
+            .pop
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| p.size_k())
+            .collect();
+        if sizes.len() < 2 {
+            return None;
+        }
+        let a = self.rng.random_range(0..sizes.len());
+        let mut b = self.rng.random_range(0..sizes.len() - 1);
+        if b >= a {
+            b += 1;
+        }
+        let (size_a, size_b) = (sizes[a], sizes[b]);
+        let n_a = self.pop.get(size_a).expect("managed").len();
+        let n_b = self.pop.get(size_b).expect("managed").len();
+        let i1 = self.cfg.selection.select(&mut self.rng, n_a, None);
+        let i2 = self.cfg.selection.select(&mut self.rng, n_b, None);
+        Some((
+            self.pop.get(size_a).expect("managed").individuals()[i1].clone(),
+            self.pop.get(size_b).expect("managed").individuals()[i2].clone(),
+        ))
+    }
+}
+
+fn push_children(
+    children: &mut Vec<Haplotype>,
+    matings: &mut Vec<MatingRecord>,
+    kind: CrossoverKind,
+    parent_norms: (f64, f64),
+    c1: Haplotype,
+    c2: Haplotype,
+) {
+    let i1 = children.len();
+    let sizes = (c1.size(), c2.size());
+    children.push(c1);
+    children.push(c2);
+    matings.push(MatingRecord {
+        kind,
+        parent_norms,
+        children: (i1, i1 + 1),
+        sizes,
+    });
+}
+
+/// The dedicated adaptive multi-population GA — the paper's closed loop.
+///
+/// ```
+/// use ld_core::{evaluator::FnEvaluator, GaConfig, GaEngine};
+///
+/// // A toy objective over 30 SNPs: bigger ids and bigger sets score higher.
+/// let objective = FnEvaluator::new(30, |snps: &[usize]| {
+///     snps.iter().map(|&s| s as f64).sum::<f64>() + 10.0 * snps.len() as f64
+/// });
+/// let config = GaConfig {
+///     population_size: 60,
+///     min_size: 2,
+///     max_size: 4,
+///     stagnation_limit: 25,
+///     ..GaConfig::default()
+/// };
+/// let result = GaEngine::new(&objective, config, 42).unwrap().run();
+/// // The engine finds the known optimum {28, 29} for size 2.
+/// assert_eq!(result.best_of_size(2).unwrap().snps(), &[28, 29]);
+/// ```
+pub struct GaEngine<'e, E: Evaluator> {
+    evaluator: &'e E,
+    config: GaConfig,
+    seed: u64,
+    feasibility: Option<FeasibilityFilter>,
+}
+
+impl<'e, E: Evaluator> GaEngine<'e, E> {
+    /// Build an engine; validates the configuration against the panel.
+    pub fn new(evaluator: &'e E, config: GaConfig, seed: u64) -> Result<Self, String> {
+        config.validate(evaluator.n_snps())?;
+        Ok(GaEngine {
+            evaluator,
+            config,
+            seed,
+            feasibility: None,
+        })
+    }
+
+    /// Restrict the search to haplotypes satisfying `filter` (§2.3
+    /// constraints). Infeasible candidates are discarded unevaluated.
+    pub fn with_feasibility(mut self, filter: FeasibilityFilter) -> Self {
+        self.feasibility = Some(filter);
+        self
+    }
+
+    /// Start a steppable run (island-model building block).
+    pub fn start(&self) -> Result<GaRun<'e, E>, String> {
+        GaRun::new(
+            self.evaluator,
+            self.config.clone(),
+            self.seed,
+            self.feasibility.clone(),
+        )
+    }
+
+    /// Execute the full run: generations until stagnation (§4.6) or the
+    /// hard cap.
+    pub fn run(&mut self) -> RunResult {
+        let mut run = self.start().expect("configuration validated in new()");
+        loop {
+            match run.step() {
+                StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+                StepOutcome::Improved | StepOutcome::Stagnating => {}
+            }
+        }
+        run.finish()
+    }
+}
+
+/// Evaluate only the unevaluated members of `batch` (clone pass-through
+/// parents keep their fitness); returns the number of evaluations spent.
+fn evaluate_unevaluated<E: Evaluator>(evaluator: &E, batch: &mut [Haplotype]) -> u64 {
+    let idx: Vec<usize> = batch
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| !h.is_evaluated())
+        .map(|(i, _)| i)
+        .collect();
+    if idx.is_empty() {
+        return 0;
+    }
+    let mut pending: Vec<Haplotype> = idx
+        .iter()
+        .map(|&i| Haplotype::from_sorted(batch[i].snps().to_vec()))
+        .collect();
+    evaluator.evaluate_batch(&mut pending);
+    for (&i, h) in idx.iter().zip(pending) {
+        batch[i].set_fitness(h.fitness());
+    }
+    idx.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use crate::evaluator::{CountingEvaluator, FnEvaluator};
+
+    /// Toy objective with a known optimum: fitness grows with SNP ids and
+    /// size, so the best size-k haplotype is the top-k ids.
+    fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+        FnEvaluator::new(30, |s: &[SnpId]| {
+            s.iter().map(|&x| x as f64).sum::<f64>() + 10.0 * s.len() as f64
+        })
+    }
+
+    fn small_config() -> GaConfig {
+        GaConfig {
+            population_size: 60,
+            min_size: 2,
+            max_size: 4,
+            matings_per_generation: 10,
+            stagnation_limit: 25,
+            ri_stagnation: 8,
+            max_generations: 400,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn run_finds_toy_optima() {
+        let eval = toy();
+        let mut engine = GaEngine::new(&eval, small_config(), 42).unwrap();
+        let result = engine.run();
+        // Optimum of size k is the k largest SNP ids {30-k .. 29}.
+        let best4 = result.best_of_size(4).expect("size-4 best");
+        assert_eq!(best4.snps(), &[26, 27, 28, 29], "found {best4}");
+        let best2 = result.best_of_size(2).expect("size-2 best");
+        assert_eq!(best2.snps(), &[28, 29], "found {best2}");
+        assert!(result.total_evaluations > 0);
+        assert!(result.generations >= 25);
+        assert_eq!(result.history.len(), result.generations);
+    }
+
+    #[test]
+    fn runs_are_reproducible_by_seed() {
+        let eval = toy();
+        let r1 = GaEngine::new(&eval, small_config(), 7).unwrap().run();
+        let r2 = GaEngine::new(&eval, small_config(), 7).unwrap().run();
+        assert_eq!(r1.total_evaluations, r2.total_evaluations);
+        assert_eq!(r1.generations, r2.generations);
+        assert_eq!(
+            r1.best_of_size(3).unwrap().snps(),
+            r2.best_of_size(3).unwrap().snps()
+        );
+        let r3 = GaEngine::new(&eval, small_config(), 8).unwrap().run();
+        // Different seed: almost surely a different trajectory.
+        assert!(
+            r1.total_evaluations != r3.total_evaluations
+                || r1.generations != r3.generations
+        );
+    }
+
+    #[test]
+    fn eval_accounting_matches_counting_evaluator() {
+        let eval = CountingEvaluator::new(toy());
+        let result = GaEngine::new(&eval, small_config(), 3).unwrap().run();
+        assert_eq!(result.total_evaluations, eval.count());
+    }
+
+    #[test]
+    fn evals_to_best_is_monotone_in_history() {
+        let eval = toy();
+        let result = GaEngine::new(&eval, small_config(), 5).unwrap().run();
+        for k in 2..=4 {
+            let e = result.evals_to_best_of_size(k).unwrap();
+            assert!(e <= result.total_evaluations);
+            assert!(e > 0);
+        }
+        // History evaluations are non-decreasing.
+        for w in result.history.windows(2) {
+            assert!(w[0].evaluations <= w[1].evaluations);
+        }
+    }
+
+    #[test]
+    fn baseline_scheme_still_works() {
+        let eval = toy();
+        let cfg = GaConfig {
+            scheme: Scheme::BASELINE,
+            ..small_config()
+        };
+        let result = GaEngine::new(&eval, cfg, 11).unwrap().run();
+        // Even the stripped-down GA should find the small-size optimum.
+        let best2 = result.best_of_size(2).expect("size-2 best");
+        assert!(best2.fitness() >= 65.0, "found {best2}");
+        // No immigrants should ever be introduced.
+        assert!(result.history.iter().all(|g| g.immigrants == 0));
+    }
+
+    #[test]
+    fn random_immigrants_fire_under_stagnation() {
+        // Flat objective: everything ties, so no improvement ever happens
+        // and the run must terminate by stagnation without immigrants
+        // (nothing is strictly below the mean).
+        let eval = FnEvaluator::new(20, |_: &[SnpId]| 1.0);
+        let cfg = GaConfig {
+            population_size: 40,
+            min_size: 2,
+            max_size: 3,
+            matings_per_generation: 5,
+            stagnation_limit: 30,
+            ri_stagnation: 5,
+            max_generations: 100,
+            ..GaConfig::default()
+        };
+        let result = GaEngine::new(&eval, cfg.clone(), 9).unwrap().run();
+        assert_eq!(result.generations, 30);
+
+        // Now a graded objective (fitness = leading SNP id): once the best
+        // is found the run stagnates while fitness spread persists in each
+        // subpopulation, so the immigrant replacement has targets.
+        let eval = FnEvaluator::new(20, |s: &[SnpId]| s[0] as f64);
+        let result = GaEngine::new(&eval, cfg, 9).unwrap().run();
+        let total_immigrants: usize = result.history.iter().map(|g| g.immigrants).sum();
+        assert!(total_immigrants > 0, "random immigrants never fired");
+    }
+
+    #[test]
+    fn feasibility_filter_is_respected() {
+        let eval = toy();
+        // Forbid SNP 29 anywhere.
+        let filter: FeasibilityFilter = Arc::new(|s: &[SnpId]| !s.contains(&29));
+        let result = GaEngine::new(&eval, small_config(), 13)
+            .unwrap()
+            .with_feasibility(filter)
+            .run();
+        for k in 2..=4 {
+            let best = result.best_of_size(k).unwrap();
+            assert!(!best.contains(29), "infeasible best {best}");
+        }
+        // The constrained optimum of size 2 is {27, 28}.
+        assert_eq!(result.best_of_size(2).unwrap().snps(), &[27, 28]);
+    }
+
+    #[test]
+    fn engine_survives_pathological_objective() {
+        // Failure injection: the objective returns NaN or infinity for a
+        // slice of the space. The engine must neither panic nor stall, and
+        // NaN-scored individuals must never enter the population.
+        let eval = FnEvaluator::new(20, |s: &[SnpId]| match s[0] % 4 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => s.iter().sum::<usize>() as f64,
+        });
+        let cfg = GaConfig {
+            population_size: 40,
+            min_size: 2,
+            max_size: 3,
+            matings_per_generation: 6,
+            stagnation_limit: 10,
+            max_generations: 50,
+            ..GaConfig::default()
+        };
+        let result = GaEngine::new(&eval, cfg, 23).unwrap().run();
+        assert!(result.generations > 0);
+        for k in 2..=3 {
+            if let Some(best) = result.best_of_size(k) {
+                assert!(!best.fitness().is_nan());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_initialization_works_and_costs_n_snps_extra() {
+        use crate::init::InitStrategy;
+        let eval = CountingEvaluator::new(toy());
+        let cfg = GaConfig {
+            init: InitStrategy::SingleMarkerSeeded {
+                seeded_fraction: 0.5,
+                pool_size: 10,
+            },
+            max_generations: 1,
+            ..small_config()
+        };
+        let result = GaEngine::new(&eval, cfg, 3).unwrap().run();
+        assert_eq!(result.total_evaluations, eval.count());
+        // With fitness increasing in SNP id, the seeded half comes from the
+        // top-10 ids {20..29}; the size-2 initial best must be near-optimal
+        // immediately (the seeded pool contains the optimum {28, 29}).
+        let best2 = result.best_of_size(2).unwrap();
+        assert!(best2.fitness() >= 72.0, "seeded init missed: {best2}");
+    }
+
+    #[test]
+    fn alternative_selection_strategies_work_end_to_end() {
+        use crate::selection::SelectionStrategy;
+        let eval = toy();
+        for selection in [
+            SelectionStrategy::Tournament(4),
+            SelectionStrategy::RankRoulette,
+            SelectionStrategy::Uniform,
+        ] {
+            let cfg = GaConfig {
+                selection,
+                ..small_config()
+            };
+            let result = GaEngine::new(&eval, cfg, 19).unwrap().run();
+            let best2 = result.best_of_size(2).expect("size-2 best");
+            // Even the drift baseline should do reasonably on this easy
+            // landscape; pressured strategies should nail the optimum.
+            assert!(
+                best2.fitness() >= 60.0,
+                "{selection:?} found only {best2}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let eval = toy();
+        let cfg = GaConfig {
+            max_size: 40, // > 30 SNPs
+            ..GaConfig::default()
+        };
+        assert!(GaEngine::new(&eval, cfg, 0).is_err());
+    }
+
+    #[test]
+    fn adaptive_rates_appear_in_history() {
+        let eval = toy();
+        let result = GaEngine::new(&eval, small_config(), 21).unwrap().run();
+        let g = result.history.last().unwrap();
+        assert_eq!(g.mutation_rates.len(), 3);
+        assert_eq!(g.crossover_rates.len(), 2);
+        let msum: f64 = g.mutation_rates.iter().sum();
+        let csum: f64 = g.crossover_rates.iter().sum();
+        assert!((msum - 0.9).abs() < 1e-9);
+        assert!((csum - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_size_range_disables_inter_crossover() {
+        let eval = toy();
+        let cfg = GaConfig {
+            min_size: 3,
+            max_size: 3,
+            population_size: 30,
+            matings_per_generation: 5,
+            stagnation_limit: 15,
+            max_generations: 200,
+            ..GaConfig::default()
+        };
+        let result = GaEngine::new(&eval, cfg, 17).unwrap().run();
+        let best = result.best_of_size(3).expect("size-3 best");
+        assert_eq!(best.snps(), &[27, 28, 29]);
+        assert!(result.best_of_size(2).is_none());
+        assert!(result.best_of_size(4).is_none());
+    }
+
+    // ------ stepping API ------
+
+    #[test]
+    fn stepping_matches_closed_loop() {
+        let eval = toy();
+        let closed = GaEngine::new(&eval, small_config(), 31).unwrap().run();
+        let engine = GaEngine::new(&eval, small_config(), 31).unwrap();
+        let mut run = engine.start().unwrap();
+        loop {
+            match run.step() {
+                StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+                _ => {}
+            }
+        }
+        let stepped = run.finish();
+        assert_eq!(closed.total_evaluations, stepped.total_evaluations);
+        assert_eq!(closed.generations, stepped.generations);
+        assert_eq!(
+            closed.best_of_size(4).unwrap().snps(),
+            stepped.best_of_size(4).unwrap().snps()
+        );
+    }
+
+    #[test]
+    fn step_outcomes_and_accessors_are_coherent() {
+        let eval = toy();
+        let engine = GaEngine::new(&eval, small_config(), 4).unwrap();
+        let mut run = engine.start().unwrap();
+        assert_eq!(run.generation(), 0);
+        assert!(run.total_evaluations() > 0, "init population evaluated");
+        let outcome = run.step();
+        assert_eq!(run.generation(), 1);
+        assert!(matches!(
+            outcome,
+            StepOutcome::Improved | StepOutcome::Stagnating
+        ));
+        // result() snapshots without consuming.
+        let snap = run.result();
+        assert_eq!(snap.generations, 1);
+        let _ = run.step();
+        assert_eq!(run.result().generations, 2);
+        assert!(!run.population().is_empty());
+        assert_eq!(run.champions().len(), 3);
+    }
+
+    #[test]
+    fn injection_revives_a_stagnated_run() {
+        // An objective the GA cannot climb alone: only one specific
+        // haplotype scores high, everything else is flat.
+        let eval = FnEvaluator::new(20, |s: &[SnpId]| {
+            if s == [5, 6] {
+                100.0
+            } else {
+                1.0
+            }
+        });
+        let cfg = GaConfig {
+            population_size: 24,
+            min_size: 2,
+            max_size: 2,
+            matings_per_generation: 4,
+            stagnation_limit: 5,
+            ri_stagnation: 3,
+            max_generations: 100,
+            scheme: Scheme::BASELINE,
+            ..GaConfig::default()
+        };
+        let engine = GaEngine::new(&eval, cfg, 2).unwrap();
+        let mut run = engine.start().unwrap();
+        // Step until stagnated (the needle is 1 of C(20,2)=190 subsets; the
+        // flat landscape gives no gradient).
+        while !run.is_stagnated() {
+            let _ = run.step();
+        }
+        let before = run.champions()[0].clone().unwrap().fitness();
+        // Inject the needle as a migrant.
+        run.inject(vec![Haplotype::new(vec![5, 6])]);
+        assert_eq!(run.stagnation(), 0, "injection improvement resets stagnation");
+        let after = run.champions()[0].clone().unwrap();
+        assert_eq!(after.snps(), &[5, 6]);
+        assert!(after.fitness() > before);
+    }
+
+    #[test]
+    fn injection_respects_feasibility_and_dedup() {
+        let eval = toy();
+        let filter: FeasibilityFilter = Arc::new(|s: &[SnpId]| !s.contains(&29));
+        let engine = GaEngine::new(&eval, small_config(), 6)
+            .unwrap()
+            .with_feasibility(filter);
+        let mut run = engine.start().unwrap();
+        let evals_before = run.total_evaluations();
+        // Infeasible migrant: filtered before evaluation.
+        run.inject(vec![Haplotype::new(vec![28, 29])]);
+        assert_eq!(run.total_evaluations(), evals_before);
+        for sub in run.population().iter() {
+            assert!(sub.individuals().iter().all(|h| !h.contains(29)));
+        }
+        // Pre-evaluated migrant costs nothing either.
+        let mut h = Haplotype::new(vec![1, 2]);
+        h.set_fitness(33.0);
+        run.inject(vec![h]);
+        assert_eq!(run.total_evaluations(), evals_before);
+    }
+
+    #[test]
+    fn generation_cap_makes_step_a_noop() {
+        let eval = toy();
+        let cfg = GaConfig {
+            max_generations: 3,
+            ..small_config()
+        };
+        let engine = GaEngine::new(&eval, cfg, 8).unwrap();
+        let mut run = engine.start().unwrap();
+        for _ in 0..3 {
+            let _ = run.step();
+        }
+        let evals = run.total_evaluations();
+        assert_eq!(run.step(), StepOutcome::GenerationCapReached);
+        assert_eq!(run.generation(), 3);
+        assert_eq!(run.total_evaluations(), evals);
+    }
+}

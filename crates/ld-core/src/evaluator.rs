@@ -1,0 +1,333 @@
+//! Fitness evaluation abstraction.
+//!
+//! The engine talks to fitness through [`Evaluator`], whose unit of work is
+//! a *batch* of individuals: the paper evaluates each generation's offspring
+//! in a synchronous parallel phase (Figure 6), and the batch boundary is
+//! exactly where `ld-parallel`'s master/slave evaluator plugs in. The
+//! default [`Evaluator::evaluate_batch`] is sequential.
+//!
+//! Wrappers:
+//! * [`StatsEvaluator`] — the real objective (EH-DIALL → CLUMP pipeline);
+//! * [`CountingEvaluator`] — atomically counts evaluations (the paper's
+//!   primary cost metric, Table 2's "# of Eval." columns);
+//! * [`CachingEvaluator`] — memoizes by SNP set, exploiting the GA's many
+//!   duplicate candidates; the cache is sharded to stay scalable under a
+//!   parallel evaluator.
+
+use crate::individual::Haplotype;
+use ld_data::SnpId;
+use ld_stats::{EvalPipeline, FitnessKind};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Batch-oriented fitness function.
+pub trait Evaluator: Send + Sync {
+    /// Width of the SNP panel (bounds haplotype contents).
+    fn n_snps(&self) -> usize;
+
+    /// Evaluate one haplotype.
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64;
+
+    /// Evaluate a batch in place (sets each individual's fitness).
+    ///
+    /// The default runs sequentially; parallel evaluators override this.
+    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+        for h in batch.iter_mut() {
+            let f = self.evaluate_one(h.snps());
+            h.set_fitness(f);
+        }
+    }
+}
+
+/// The paper's objective function: EH-DIALL per status group, then a CLUMP
+/// statistic on the concatenated table (see `ld-stats::fitness`).
+#[derive(Debug, Clone)]
+pub struct StatsEvaluator {
+    pipeline: EvalPipeline,
+}
+
+impl StatsEvaluator {
+    /// Wrap an evaluation pipeline.
+    pub fn new(pipeline: EvalPipeline) -> Self {
+        StatsEvaluator { pipeline }
+    }
+
+    /// Build directly from a dataset.
+    pub fn from_dataset(
+        dataset: &ld_data::Dataset,
+        kind: FitnessKind,
+    ) -> Result<Self, ld_stats::StatsError> {
+        Ok(StatsEvaluator {
+            pipeline: EvalPipeline::new(dataset, kind)?,
+        })
+    }
+
+    /// The wrapped pipeline.
+    pub fn pipeline(&self) -> &EvalPipeline {
+        &self.pipeline
+    }
+}
+
+impl Evaluator for StatsEvaluator {
+    fn n_snps(&self) -> usize {
+        self.pipeline.n_snps()
+    }
+
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        // Evaluation errors (degenerate EM input, e.g. every individual
+        // missing at these SNPs) mean "no evidence of association": score 0.
+        self.pipeline.evaluate(snps).unwrap_or(0.0)
+    }
+}
+
+/// Counts evaluations flowing through an inner evaluator.
+#[derive(Debug)]
+pub struct CountingEvaluator<E> {
+    inner: E,
+    count: AtomicU64,
+}
+
+impl<E: Evaluator> CountingEvaluator<E> {
+    /// Wrap `inner` with a zeroed counter.
+    pub fn new(inner: E) -> Self {
+        CountingEvaluator {
+            inner,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Evaluations performed so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reset the counter.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    /// Unwrap the inner evaluator.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: Evaluator> Evaluator for CountingEvaluator<E> {
+    fn n_snps(&self) -> usize {
+        self.inner.n_snps()
+    }
+
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.evaluate_one(snps)
+    }
+
+    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+        self.count.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.inner.evaluate_batch(batch);
+    }
+}
+
+/// Number of shards in [`CachingEvaluator`]; a small power of two keeps
+/// lock contention negligible under a handful of evaluation workers.
+const CACHE_SHARDS: usize = 16;
+
+/// Memoizes fitness by SNP set.
+///
+/// The GA frequently regenerates identical candidates (crossover of
+/// overlapping parents, repeated SNP-mutation neighbours); caching converts
+/// those into hash lookups. Note the eval *counter* wraps the cache or the
+/// inner evaluator depending on which cost you want to measure — the paper
+/// counts true evaluations, so the harness uses
+/// `CachingEvaluator<CountingEvaluator<StatsEvaluator>>`.
+#[derive(Debug)]
+pub struct CachingEvaluator<E> {
+    inner: E,
+    shards: Vec<RwLock<HashMap<Vec<SnpId>, f64>>>,
+}
+
+impl<E: Evaluator> CachingEvaluator<E> {
+    /// Wrap `inner` with an empty cache.
+    pub fn new(inner: E) -> Self {
+        CachingEvaluator {
+            inner,
+            shards: (0..CACHE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, snps: &[SnpId]) -> &RwLock<HashMap<Vec<SnpId>, f64>> {
+        // Cheap FNV-style fold over the SNP ids.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &s in snps {
+            h = (h ^ s as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) % CACHE_SHARDS]
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Access the wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Evaluator> Evaluator for CachingEvaluator<E> {
+    fn n_snps(&self) -> usize {
+        self.inner.n_snps()
+    }
+
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        if let Some(&f) = self.shard(snps).read().get(snps) {
+            return f;
+        }
+        let f = self.inner.evaluate_one(snps);
+        self.shard(snps).write().insert(snps.to_vec(), f);
+        f
+    }
+
+    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+        // Serve hits, then delegate the misses as one (possibly parallel)
+        // inner batch.
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, h) in batch.iter_mut().enumerate() {
+            if let Some(&f) = self.shard(h.snps()).read().get(h.snps()) {
+                h.set_fitness(f);
+            } else {
+                miss_idx.push(i);
+            }
+        }
+        if miss_idx.is_empty() {
+            return;
+        }
+        let mut misses: Vec<Haplotype> = miss_idx
+            .iter()
+            .map(|&i| Haplotype::from_sorted(batch[i].snps().to_vec()))
+            .collect();
+        self.inner.evaluate_batch(&mut misses);
+        for (&i, m) in miss_idx.iter().zip(misses) {
+            self.shard(m.snps())
+                .write()
+                .insert(m.snps().to_vec(), m.fitness());
+            batch[i].set_fitness(m.fitness());
+        }
+    }
+}
+
+/// Closure-backed evaluator for tests and toy objectives.
+pub struct FnEvaluator<F> {
+    n_snps: usize,
+    f: F,
+}
+
+impl<F> FnEvaluator<F>
+where
+    F: Fn(&[SnpId]) -> f64 + Send + Sync,
+{
+    /// Wrap a closure over an `n_snps`-wide panel.
+    pub fn new(n_snps: usize, f: F) -> Self {
+        FnEvaluator { n_snps, f }
+    }
+}
+
+impl<F> Evaluator for FnEvaluator<F>
+where
+    F: Fn(&[SnpId]) -> f64 + Send + Sync,
+{
+    fn n_snps(&self) -> usize {
+        self.n_snps
+    }
+
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        (self.f)(snps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+        // Fitness = sum of SNP ids (deterministic, monotone in content).
+        FnEvaluator::new(51, |s: &[SnpId]| s.iter().sum::<usize>() as f64)
+    }
+
+    #[test]
+    fn default_batch_is_sequential_map() {
+        let e = toy();
+        let mut batch = vec![
+            Haplotype::new(vec![1, 2]),
+            Haplotype::new(vec![10, 20]),
+        ];
+        e.evaluate_batch(&mut batch);
+        assert_eq!(batch[0].fitness(), 3.0);
+        assert_eq!(batch[1].fitness(), 30.0);
+    }
+
+    #[test]
+    fn counting_counts_both_paths() {
+        let e = CountingEvaluator::new(toy());
+        assert_eq!(e.count(), 0);
+        let _ = e.evaluate_one(&[1, 2]);
+        assert_eq!(e.count(), 1);
+        let mut batch = vec![Haplotype::new(vec![3]); 5];
+        e.evaluate_batch(&mut batch);
+        assert_eq!(e.count(), 6);
+        e.reset();
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn caching_avoids_recomputation() {
+        let e = CachingEvaluator::new(CountingEvaluator::new(toy()));
+        assert!(e.is_empty());
+        assert_eq!(e.evaluate_one(&[1, 2, 3]), 6.0);
+        assert_eq!(e.evaluate_one(&[1, 2, 3]), 6.0);
+        assert_eq!(e.inner().count(), 1);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn caching_batch_mixes_hits_and_misses() {
+        let e = CachingEvaluator::new(CountingEvaluator::new(toy()));
+        let _ = e.evaluate_one(&[1, 2]);
+        let mut batch = vec![
+            Haplotype::new(vec![1, 2]),  // hit
+            Haplotype::new(vec![4, 5]),  // miss
+            Haplotype::new(vec![4, 5]),  // duplicate miss in same batch:
+                                         // both go to the inner evaluator
+        ];
+        e.evaluate_batch(&mut batch);
+        assert_eq!(batch[0].fitness(), 3.0);
+        assert_eq!(batch[1].fitness(), 9.0);
+        assert_eq!(batch[2].fitness(), 9.0);
+        // 1 initial + 2 misses (intra-batch duplicates are not coalesced).
+        assert_eq!(e.inner().count(), 3);
+        // Cache now holds both keys.
+        assert_eq!(e.len(), 2);
+        // Re-evaluating the whole batch is free.
+        e.evaluate_batch(&mut batch);
+        assert_eq!(e.inner().count(), 3);
+    }
+
+    #[test]
+    fn stats_evaluator_over_synthetic_data() {
+        let d = ld_data::synthetic::lille_51(42);
+        let e = StatsEvaluator::from_dataset(&d, FitnessKind::ClumpT1).unwrap();
+        assert_eq!(e.n_snps(), 51);
+        let signal = e.evaluate_one(&[8, 12, 15]);
+        let noise = e.evaluate_one(&[0, 24, 38]);
+        assert!(signal > noise);
+        // Error path: empty haplotype scores 0 instead of panicking.
+        assert_eq!(e.evaluate_one(&[]), 0.0);
+    }
+}

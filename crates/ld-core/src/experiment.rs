@@ -1,0 +1,224 @@
+//! Multi-run experiment harness — computes the paper's Table-2 columns.
+//!
+//! Table 2 reports, per haplotype size and over 10 runs: the best haplotype
+//! found, its fitness, the mean fitness across runs, the deviation from the
+//! expected (exact) optimum, and the minimum / mean number of evaluations
+//! needed to reach each run's best.
+
+use crate::config::GaConfig;
+use crate::engine::{FeasibilityFilter, GaEngine, RunResult};
+use crate::evaluator::Evaluator;
+use crate::individual::Haplotype;
+
+/// Per-size aggregate over a batch of runs.
+#[derive(Debug, Clone)]
+pub struct SizeSummary {
+    /// Haplotype size.
+    pub size: usize,
+    /// Best individual over all runs.
+    pub best: Option<Haplotype>,
+    /// Mean of the per-run best fitness.
+    pub mean_fitness: f64,
+    /// Mean deviation from `reference` (the exact optimum when known;
+    /// otherwise from the best-over-runs): `mean(ref_fitness − run_best)`.
+    pub deviation: f64,
+    /// Minimum over runs of the evaluations needed to reach the run's best.
+    pub min_evals: u64,
+    /// Mean over runs of the evaluations needed to reach the run's best.
+    pub mean_evals: f64,
+    /// Number of runs that produced a best of this size.
+    pub n_runs: usize,
+}
+
+/// Aggregate of a multi-run experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentSummary {
+    /// One row per managed size (ascending).
+    pub sizes: Vec<SizeSummary>,
+    /// The raw per-run results.
+    pub runs: Vec<RunResult>,
+    /// Scheme label of the configuration used.
+    pub scheme_label: String,
+}
+
+impl ExperimentSummary {
+    /// Row for a specific size.
+    pub fn size(&self, k: usize) -> Option<&SizeSummary> {
+        self.sizes.iter().find(|s| s.size == k)
+    }
+
+    /// Mean total evaluations per run.
+    pub fn mean_total_evaluations(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs
+            .iter()
+            .map(|r| r.total_evaluations as f64)
+            .sum::<f64>()
+            / self.runs.len() as f64
+    }
+
+    /// Mean generations per run.
+    pub fn mean_generations(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|r| r.generations as f64).sum::<f64>() / self.runs.len() as f64
+    }
+}
+
+/// Run the GA `n_runs` times (seeds `seed0..seed0 + n_runs`) and aggregate.
+///
+/// `reference_fitness(k)` supplies the exact optimum fitness of size `k`
+/// when known (from exhaustive enumeration); when `None`, deviation is
+/// measured against the best fitness observed across the runs (the paper
+/// compares against "the best solutions calculated during the study of
+/// landscape" where available).
+pub fn run_experiment<E, F>(
+    evaluator: &E,
+    config: &GaConfig,
+    n_runs: usize,
+    seed0: u64,
+    feasibility: Option<FeasibilityFilter>,
+    reference_fitness: F,
+) -> ExperimentSummary
+where
+    E: Evaluator,
+    F: Fn(usize) -> Option<f64>,
+{
+    assert!(n_runs > 0, "need at least one run");
+    let mut runs: Vec<RunResult> = Vec::with_capacity(n_runs);
+    for i in 0..n_runs {
+        let mut engine = GaEngine::new(evaluator, config.clone(), seed0 + i as u64)
+            .expect("configuration validated by caller");
+        if let Some(f) = &feasibility {
+            engine = engine.with_feasibility(f.clone());
+        }
+        runs.push(engine.run());
+    }
+
+    let mut sizes = Vec::new();
+    for k in config.min_size..=config.max_size {
+        let per_run: Vec<(&Haplotype, u64)> = runs
+            .iter()
+            .filter_map(|r| {
+                r.best_of_size(k)
+                    .map(|h| (h, r.evals_to_best_of_size(k).unwrap_or(r.total_evaluations)))
+            })
+            .collect();
+        if per_run.is_empty() {
+            sizes.push(SizeSummary {
+                size: k,
+                best: None,
+                mean_fitness: f64::NAN,
+                deviation: f64::NAN,
+                min_evals: 0,
+                mean_evals: 0.0,
+                n_runs: 0,
+            });
+            continue;
+        }
+        let best = per_run
+            .iter()
+            .max_by(|a, b| a.0.fitness().total_cmp(&b.0.fitness()))
+            .map(|(h, _)| (*h).clone());
+        let mean_fitness =
+            per_run.iter().map(|(h, _)| h.fitness()).sum::<f64>() / per_run.len() as f64;
+        let reference = reference_fitness(k)
+            .or(best.as_ref().map(|h| h.fitness()))
+            .unwrap_or(f64::NAN);
+        let deviation = per_run
+            .iter()
+            .map(|(h, _)| (reference - h.fitness()).max(0.0))
+            .sum::<f64>()
+            / per_run.len() as f64;
+        let min_evals = per_run.iter().map(|(_, e)| *e).min().unwrap_or(0);
+        let mean_evals =
+            per_run.iter().map(|(_, e)| *e as f64).sum::<f64>() / per_run.len() as f64;
+        sizes.push(SizeSummary {
+            size: k,
+            best,
+            mean_fitness,
+            deviation,
+            min_evals,
+            mean_evals,
+            n_runs: per_run.len(),
+        });
+    }
+
+    ExperimentSummary {
+        sizes,
+        runs,
+        scheme_label: config.scheme.label(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::FnEvaluator;
+    use ld_data::SnpId;
+
+    fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+        FnEvaluator::new(25, |s: &[SnpId]| {
+            s.iter().map(|&x| x as f64).sum::<f64>() + 10.0 * s.len() as f64
+        })
+    }
+
+    fn cfg() -> GaConfig {
+        GaConfig {
+            population_size: 50,
+            min_size: 2,
+            max_size: 3,
+            matings_per_generation: 8,
+            stagnation_limit: 20,
+            ri_stagnation: 7,
+            max_generations: 300,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn experiment_aggregates_runs() {
+        let eval = toy();
+        // Exact optima: size 2 -> 24+23+20 = 67; size 3 -> 24+23+22+30 = 99.
+        let summary = run_experiment(&eval, &cfg(), 4, 100, None, |k| match k {
+            2 => Some(67.0),
+            3 => Some(99.0),
+            _ => None,
+        });
+        assert_eq!(summary.runs.len(), 4);
+        assert_eq!(summary.sizes.len(), 2);
+        let s2 = summary.size(2).unwrap();
+        assert_eq!(s2.n_runs, 4);
+        assert_eq!(s2.best.as_ref().unwrap().snps(), &[23, 24]);
+        // Every run found the optimum -> deviation 0, mean == best.
+        assert!(s2.deviation.abs() < 1e-9, "dev = {}", s2.deviation);
+        assert!((s2.mean_fitness - 67.0).abs() < 1e-9);
+        assert!(s2.min_evals > 0);
+        assert!(s2.mean_evals >= s2.min_evals as f64);
+        assert_eq!(summary.scheme_label, "full");
+        assert!(summary.mean_total_evaluations() > 0.0);
+        assert!(summary.mean_generations() >= 20.0);
+    }
+
+    #[test]
+    fn deviation_against_observed_best_when_no_reference() {
+        let eval = toy();
+        let summary = run_experiment(&eval, &cfg(), 3, 7, None, |_| None);
+        for s in &summary.sizes {
+            // Deviation measured from the best run: non-negative and zero
+            // for the best run itself, so the mean is < best - worst.
+            assert!(s.deviation >= 0.0);
+            assert!(s.deviation.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        let eval = toy();
+        let _ = run_experiment(&eval, &cfg(), 0, 0, None, |_| None);
+    }
+}

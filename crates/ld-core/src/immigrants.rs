@@ -1,0 +1,104 @@
+//! Random immigrants (paper §4.4).
+//!
+//! "When the best individual is the same during λ generations, all the
+//! individuals of the population, whose scores are under the mean, are
+//! replaced by new individuals randomly generated."
+
+use crate::individual::Haplotype;
+use crate::rng::random_haplotype;
+use crate::subpop::SubPopulation;
+use rand::Rng;
+
+/// How many random draws to attempt per needed immigrant before giving up
+/// (duplicates of surviving members are re-drawn).
+const DRAW_ATTEMPTS: usize = 20;
+
+/// Apply the random-immigrant replacement to one subpopulation: drop every
+/// individual strictly below the mean and return freshly drawn random
+/// haplotypes (unevaluated) to take their places.
+///
+/// The caller evaluates the returned immigrants in its batched evaluation
+/// phase and inserts them back; returning them unevaluated keeps the
+/// policy decoupled from the (possibly parallel) evaluator.
+pub fn replace_below_mean<R: Rng + ?Sized>(
+    subpop: &mut SubPopulation,
+    n_snps: usize,
+    rng: &mut R,
+) -> Vec<Haplotype> {
+    let dropped = subpop.drain_below_mean();
+    let needed = dropped.len();
+    let mut immigrants: Vec<Haplotype> = Vec::with_capacity(needed);
+    let mut attempts = 0usize;
+    while immigrants.len() < needed && attempts < needed * DRAW_ATTEMPTS {
+        attempts += 1;
+        let candidate = random_haplotype(rng, n_snps, subpop.size_k());
+        let duplicate = subpop.contains(&candidate)
+            || immigrants.iter().any(|h| h.key() == candidate.key());
+        if !duplicate {
+            immigrants.push(candidate);
+        }
+    }
+    immigrants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn hap(snps: &[usize], fitness: f64) -> Haplotype {
+        let mut h = Haplotype::new(snps.to_vec());
+        h.set_fitness(fitness);
+        h
+    }
+
+    #[test]
+    fn replaces_exactly_the_below_mean_individuals() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut p = SubPopulation::new(2, 10);
+        for (i, f) in [10.0, 9.0, 2.0, 1.0].iter().enumerate() {
+            p.try_insert(hap(&[i, i + 20], *f));
+        }
+        // Mean 5.5: two survivors, two immigrants needed.
+        let imms = replace_below_mean(&mut p, 51, &mut rng);
+        assert_eq!(imms.len(), 2);
+        assert_eq!(p.len(), 2);
+        assert!(p.individuals().iter().all(|h| h.fitness() >= 5.5));
+        for h in &imms {
+            assert_eq!(h.size(), 2);
+            assert!(!h.is_evaluated());
+            assert!(!p.contains(h));
+        }
+        // Immigrants are mutually distinct.
+        assert_ne!(imms[0].key(), imms[1].key());
+    }
+
+    #[test]
+    fn uniform_population_needs_no_immigrants() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut p = SubPopulation::new(2, 5);
+        p.try_insert(hap(&[1, 2], 4.0));
+        p.try_insert(hap(&[2, 3], 4.0));
+        assert!(replace_below_mean(&mut p, 51, &mut rng).is_empty());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn tiny_panel_caps_immigrant_count() {
+        // Panel of 3 SNPs holds only 3 distinct size-2 haplotypes; if the
+        // survivors already use them all, no immigrant can be drawn.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut p = SubPopulation::new(2, 5);
+        p.try_insert(hap(&[0, 1], 10.0));
+        p.try_insert(hap(&[0, 2], 10.0));
+        p.try_insert(hap(&[1, 2], 1.0)); // below mean, will be dropped
+        let imms = replace_below_mean(&mut p, 3, &mut rng);
+        // The only possible immigrant is [1,2] itself or a survivor dup —
+        // [1,2] was dropped from the population, so it may be redrawn.
+        for h in &imms {
+            assert!(!p.contains(h));
+        }
+        assert!(imms.len() <= 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! The haplotype individual (paper §4.1).
+//!
+//! "An haplotype is a structure composed of: an integer indicating the size
+//! of the haplotype, a table with SNPs ordered in ascending order without
+//! repetition, and a real to store the value of the individual."
+
+use ld_data::SnpId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A candidate haplotype: an ascending, duplicate-free SNP set plus its
+/// fitness (`NAN` until evaluated).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Haplotype {
+    snps: Vec<SnpId>,
+    fitness: f64,
+}
+
+impl Haplotype {
+    /// Build from an arbitrary SNP list: sorts and deduplicates, so the
+    /// §4.1 invariant holds by construction. Fitness starts unset.
+    pub fn new(mut snps: Vec<SnpId>) -> Self {
+        snps.sort_unstable();
+        snps.dedup();
+        Haplotype {
+            snps,
+            fitness: f64::NAN,
+        }
+    }
+
+    /// Build from a list already known to be ascending and duplicate-free.
+    ///
+    /// # Panics
+    /// Debug-asserts the invariant; use [`Haplotype::new`] for untrusted input.
+    pub fn from_sorted(snps: Vec<SnpId>) -> Self {
+        debug_assert!(
+            snps.windows(2).all(|w| w[0] < w[1]),
+            "SNPs must be strictly ascending: {snps:?}"
+        );
+        Haplotype {
+            snps,
+            fitness: f64::NAN,
+        }
+    }
+
+    /// Haplotype size (number of SNPs).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.snps.len()
+    }
+
+    /// The ascending SNP ids.
+    #[inline]
+    pub fn snps(&self) -> &[SnpId] {
+        &self.snps
+    }
+
+    /// Fitness value; `NAN` when not yet evaluated.
+    #[inline]
+    pub fn fitness(&self) -> f64 {
+        self.fitness
+    }
+
+    /// Whether the individual has been evaluated.
+    #[inline]
+    pub fn is_evaluated(&self) -> bool {
+        !self.fitness.is_nan()
+    }
+
+    /// Record the fitness.
+    pub fn set_fitness(&mut self, fitness: f64) {
+        self.fitness = fitness;
+    }
+
+    /// Whether the haplotype contains a SNP.
+    pub fn contains(&self, snp: SnpId) -> bool {
+        self.snps.binary_search(&snp).is_ok()
+    }
+
+    /// New haplotype with `snp` added (no-op clone if already present).
+    pub fn with_snp(&self, snp: SnpId) -> Haplotype {
+        match self.snps.binary_search(&snp) {
+            Ok(_) => Haplotype {
+                snps: self.snps.clone(),
+                fitness: self.fitness,
+            },
+            Err(pos) => {
+                let mut snps = self.snps.clone();
+                snps.insert(pos, snp);
+                Haplotype {
+                    snps,
+                    fitness: f64::NAN,
+                }
+            }
+        }
+    }
+
+    /// New haplotype with the SNP at `index` removed.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn without_index(&self, index: usize) -> Haplotype {
+        let mut snps = self.snps.clone();
+        snps.remove(index);
+        Haplotype {
+            snps,
+            fitness: f64::NAN,
+        }
+    }
+
+    /// New haplotype with the SNP at `index` replaced by `snp`
+    /// (re-sorted; caller must ensure `snp` is not already present).
+    pub fn with_replaced(&self, index: usize, snp: SnpId) -> Haplotype {
+        debug_assert!(!self.contains(snp) || self.snps[index] == snp);
+        let mut snps = self.snps.clone();
+        snps[index] = snp;
+        snps.sort_unstable();
+        Haplotype {
+            snps,
+            fitness: f64::NAN,
+        }
+    }
+
+    /// Identity key for duplicate detection (the SNP set).
+    pub fn key(&self) -> &[SnpId] {
+        &self.snps
+    }
+}
+
+impl fmt::Display for Haplotype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.snps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")?;
+        if self.is_evaluated() {
+            write!(f, " = {:.3}", self.fitness)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let h = Haplotype::new(vec![9, 3, 3, 1]);
+        assert_eq!(h.snps(), &[1, 3, 9]);
+        assert_eq!(h.size(), 3);
+        assert!(!h.is_evaluated());
+    }
+
+    #[test]
+    fn fitness_lifecycle() {
+        let mut h = Haplotype::new(vec![1, 2]);
+        assert!(h.fitness().is_nan());
+        h.set_fitness(12.5);
+        assert!(h.is_evaluated());
+        assert_eq!(h.fitness(), 12.5);
+    }
+
+    #[test]
+    fn with_snp_inserts_in_order_and_clears_fitness() {
+        let mut h = Haplotype::new(vec![1, 5]);
+        h.set_fitness(3.0);
+        let h2 = h.with_snp(3);
+        assert_eq!(h2.snps(), &[1, 3, 5]);
+        assert!(!h2.is_evaluated());
+        // Adding an existing SNP keeps fitness (identical individual).
+        let h3 = h.with_snp(5);
+        assert_eq!(h3.snps(), h.snps());
+        assert_eq!(h3.fitness(), 3.0);
+    }
+
+    #[test]
+    fn without_index_removes() {
+        let h = Haplotype::new(vec![1, 3, 5]);
+        assert_eq!(h.without_index(1).snps(), &[1, 5]);
+        assert_eq!(h.without_index(0).snps(), &[3, 5]);
+    }
+
+    #[test]
+    fn with_replaced_resorts() {
+        let h = Haplotype::new(vec![2, 4, 6]);
+        let r = h.with_replaced(0, 9);
+        assert_eq!(r.snps(), &[4, 6, 9]);
+        assert!(!r.is_evaluated());
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let h = Haplotype::new(vec![2, 4, 6]);
+        assert!(h.contains(4));
+        assert!(!h.contains(5));
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let mut h = Haplotype::new(vec![8, 12, 15]);
+        assert_eq!(h.to_string(), "[8 12 15]");
+        h.set_fitness(58.814);
+        assert_eq!(h.to_string(), "[8 12 15] = 58.814");
+    }
+
+    #[test]
+    fn key_equality_is_set_equality() {
+        let a = Haplotype::new(vec![3, 1]);
+        let b = Haplotype::new(vec![1, 3]);
+        assert_eq!(a.key(), b.key());
+    }
+}

@@ -1,0 +1,167 @@
+//! Population initialization strategies.
+//!
+//! The paper initializes randomly. Its §3 landscape study argues that
+//! *constructive* approaches (building good size-k haplotypes from good
+//! smaller ones) miss optima — but says nothing about *soft* seeding:
+//! biasing part of the initial population toward SNPs that look good
+//! individually, while keeping the rest random. [`InitStrategy::
+//! SingleMarkerSeeded`] implements that warm start so the claim can be
+//! tested as an ablation (see the `warmstart` harness binary): if §3 is
+//! right, seeding should help little — the planted optima are precisely
+//! the haplotypes whose members are *not* individually strong.
+
+use crate::evaluator::Evaluator;
+use crate::individual::Haplotype;
+use crate::rng::random_haplotype;
+use ld_data::SnpId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a subpopulation's initial individuals are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum InitStrategy {
+    /// Uniformly random SNP subsets (the paper's choice).
+    #[default]
+    Random,
+    /// Rank SNPs by single-marker fitness (costing `n_snps` evaluations),
+    /// then draw `seeded_fraction` of each subpopulation from the top
+    /// `pool_size` SNPs and the rest uniformly.
+    SingleMarkerSeeded {
+        /// Fraction of each subpopulation drawn from the top pool.
+        seeded_fraction: f64,
+        /// Number of top-ranked SNPs forming the pool.
+        pool_size: usize,
+    },
+}
+
+impl InitStrategy {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if let InitStrategy::SingleMarkerSeeded {
+            seeded_fraction,
+            pool_size,
+        } = self
+        {
+            if !(0.0..=1.0).contains(seeded_fraction) {
+                return Err(format!(
+                    "seeded_fraction must be in [0, 1], got {seeded_fraction}"
+                ));
+            }
+            if *pool_size < 2 {
+                return Err("pool_size must be at least 2".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            InitStrategy::Random => "random".into(),
+            InitStrategy::SingleMarkerSeeded {
+                seeded_fraction,
+                pool_size,
+            } => format!("seeded({:.0}%, top{pool_size})", seeded_fraction * 100.0),
+        }
+    }
+}
+
+/// Rank all SNPs by their single-marker fitness, best first. Costs exactly
+/// `n_snps` evaluations (returned alongside for the caller's accounting).
+pub fn rank_single_markers<E: Evaluator>(evaluator: &E) -> (Vec<SnpId>, u64) {
+    let n = evaluator.n_snps();
+    let mut singles: Vec<Haplotype> = (0..n).map(|s| Haplotype::from_sorted(vec![s])).collect();
+    evaluator.evaluate_batch(&mut singles);
+    singles.sort_by(|a, b| b.fitness().total_cmp(&a.fitness()));
+    (singles.iter().map(|h| h.snps()[0]).collect(), n as u64)
+}
+
+/// Draw one size-`k` haplotype from a ranked pool (uniform subset of the
+/// pool). Falls back to a panel-wide draw when the pool is too small.
+pub fn seeded_haplotype<R: Rng + ?Sized>(
+    rng: &mut R,
+    pool: &[SnpId],
+    n_snps: usize,
+    k: usize,
+) -> Haplotype {
+    if pool.len() < k {
+        return random_haplotype(rng, n_snps, k);
+    }
+    // Draw k distinct indices into the pool, then map to SNP ids.
+    let picks = random_haplotype(rng, pool.len(), k);
+    Haplotype::new(picks.snps().iter().map(|&i| pool[i]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::FnEvaluator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ranking_orders_by_single_marker_fitness() {
+        // Fitness of a single SNP s = (s * 7) % 13 — a known permutation.
+        let eval = FnEvaluator::new(13, |s: &[SnpId]| ((s[0] * 7) % 13) as f64);
+        let (ranked, cost) = rank_single_markers(&eval);
+        assert_eq!(cost, 13);
+        assert_eq!(ranked.len(), 13);
+        // Best first: fitness of ranked[i] is non-increasing.
+        for w in ranked.windows(2) {
+            assert!((w[0] * 7) % 13 >= (w[1] * 7) % 13);
+        }
+    }
+
+    #[test]
+    fn seeded_haplotypes_stay_in_pool() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let pool = vec![3usize, 8, 15, 22, 40];
+        for _ in 0..100 {
+            let h = seeded_haplotype(&mut rng, &pool, 51, 3);
+            assert_eq!(h.size(), 3);
+            assert!(h.snps().iter().all(|s| pool.contains(s)), "{h}");
+            assert!(h.snps().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn small_pool_falls_back_to_panel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let pool = vec![3usize, 8];
+        let h = seeded_haplotype(&mut rng, &pool, 51, 4);
+        assert_eq!(h.size(), 4);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(InitStrategy::Random.validate().is_ok());
+        assert!(InitStrategy::SingleMarkerSeeded {
+            seeded_fraction: 0.5,
+            pool_size: 10
+        }
+        .validate()
+        .is_ok());
+        assert!(InitStrategy::SingleMarkerSeeded {
+            seeded_fraction: 1.5,
+            pool_size: 10
+        }
+        .validate()
+        .is_err());
+        assert!(InitStrategy::SingleMarkerSeeded {
+            seeded_fraction: 0.5,
+            pool_size: 1
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(InitStrategy::Random.label(), "random");
+        let s = InitStrategy::SingleMarkerSeeded {
+            seeded_fraction: 0.5,
+            pool_size: 12,
+        };
+        assert!(s.label().contains("top12"));
+    }
+}

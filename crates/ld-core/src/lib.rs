@@ -1,0 +1,57 @@
+//! # ld-core — the paper's dedicated adaptive multi-population GA
+//!
+//! Implements the genetic algorithm of §4 of *"A Parallel Adaptive GA for
+//! Linkage Disequilibrium in Genomics"* (IPDPS 2004):
+//!
+//! * **Encoding** ([`individual`]) — a haplotype is its size, an ascending
+//!   duplicate-free table of SNP ids, and a real fitness value (§4.1).
+//! * **Multi-population** ([`subpop`], [`population`]) — one subpopulation
+//!   per haplotype size, because fitness values of different sizes are not
+//!   comparable; capacities grow with the size-specific search space (§4.2).
+//! * **Operators** ([`ops`]) — SNP mutation (multi-try local search),
+//!   reduction and augmentation mutations that migrate individuals between
+//!   subpopulations, uniform intra-population crossover, and
+//!   inter-population crossover producing one child per parent size (§4.3).
+//! * **Adaptive operator rates** ([`adaptive`]) — the Hong–Wang–Chen
+//!   progress/profit scheme on size-normalized fitness (§4.3.1–§4.3.2).
+//! * **Random immigrants** ([`immigrants`]) — §4.4's diversity mechanism.
+//! * **Engine** ([`engine`]) — Figure 5's loop: selection, crossover,
+//!   mutation, batched (parallelizable) evaluation, elitist no-duplicate
+//!   replacement, random-immigrant test, stagnation termination (§4.6).
+//! * **Evaluator abstraction** ([`evaluator`]) — the engine sees fitness
+//!   through a batch-evaluation trait, which is the seam where
+//!   `ld-parallel`'s master/slave evaluator (Figure 6) plugs in.
+//! * **Experiments** ([`experiment`]) — multi-run harness computing the
+//!   paper's Table-2 columns (best / mean fitness, deviation from the
+//!   reference optimum, min / mean evaluations to reach the best).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod checkpoint;
+pub mod config;
+pub mod diversity;
+pub mod engine;
+pub mod evaluator;
+pub mod experiment;
+pub mod immigrants;
+pub mod individual;
+pub mod init;
+pub mod ops;
+pub mod population;
+pub mod rng;
+pub mod selection;
+pub mod subpop;
+pub mod telemetry;
+
+pub use checkpoint::Checkpoint;
+pub use config::{GaConfig, Scheme};
+pub use engine::{GaEngine, GaRun, RunResult, StepOutcome};
+pub use evaluator::{CachingEvaluator, CountingEvaluator, Evaluator, StatsEvaluator};
+pub use experiment::{ExperimentSummary, SizeSummary};
+pub use individual::Haplotype;
+pub use init::InitStrategy;
+pub use population::MultiPopulation;
+pub use selection::SelectionStrategy;
+pub use subpop::SubPopulation;

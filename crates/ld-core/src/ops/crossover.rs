@@ -1,0 +1,285 @@
+//! The two crossover operators (paper §4.3.2).
+//!
+//! Both use uniform crossover on the ascending SNP tables: "take the two
+//! strings of SNPs of the parents and create two children by randomly
+//! shuffling the variables corresponding to the SNP at each site".
+//!
+//! * **Intra-population** — parents of the same size produce two children
+//!   of that size.
+//! * **Inter-population** — parents of different sizes produce "one child
+//!   of each parents size".
+//!
+//! With set-encoded individuals, naive position-wise exchange can create a
+//! child containing the same SNP twice (e.g. parents `[1 5]` and `[5 9]`);
+//! children are therefore *repaired* back to their target size by drawing
+//! replacement SNPs first from the parents' combined pool, then uniformly
+//! from the panel.
+
+use crate::individual::Haplotype;
+use crate::rng::random_snp_not_in;
+use ld_data::SnpId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which crossover operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CrossoverKind {
+    /// Both parents from the same size subpopulation.
+    Intra,
+    /// Parents from different size subpopulations.
+    Inter,
+}
+
+impl CrossoverKind {
+    /// Operator index used by the adaptive-rate controller.
+    pub fn index(self) -> usize {
+        match self {
+            CrossoverKind::Intra => 0,
+            CrossoverKind::Inter => 1,
+        }
+    }
+
+    /// Human-readable operator name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrossoverKind::Intra => "intra-crossover",
+            CrossoverKind::Inter => "inter-crossover",
+        }
+    }
+}
+
+/// Uniform crossover between same-size parents; two same-size children.
+///
+/// # Panics
+/// Panics if the parents differ in size (use [`inter_crossover`]).
+pub fn uniform_crossover<R: Rng + ?Sized>(
+    p1: &Haplotype,
+    p2: &Haplotype,
+    n_snps: usize,
+    rng: &mut R,
+) -> (Haplotype, Haplotype) {
+    assert_eq!(
+        p1.size(),
+        p2.size(),
+        "uniform_crossover requires same-size parents"
+    );
+    let k = p1.size();
+    let mut c1 = Vec::with_capacity(k);
+    let mut c2 = Vec::with_capacity(k);
+    for i in 0..k {
+        if rng.random::<bool>() {
+            c1.push(p1.snps()[i]);
+            c2.push(p2.snps()[i]);
+        } else {
+            c1.push(p2.snps()[i]);
+            c2.push(p1.snps()[i]);
+        }
+    }
+    let pool = parent_pool(p1, p2);
+    (
+        repair_to_size(c1, k, n_snps, &pool, rng),
+        repair_to_size(c2, k, n_snps, &pool, rng),
+    )
+}
+
+/// Inter-population crossover between different-size parents; one child of
+/// each parent's size.
+pub fn inter_crossover<R: Rng + ?Sized>(
+    p1: &Haplotype,
+    p2: &Haplotype,
+    n_snps: usize,
+    rng: &mut R,
+) -> (Haplotype, Haplotype) {
+    // Order so `short` has the smaller size; remember if we swapped so the
+    // children come back aligned with the argument order.
+    let (short, long, swapped) = if p1.size() <= p2.size() {
+        (p1, p2, false)
+    } else {
+        (p2, p1, true)
+    };
+    let ks = short.size();
+    let kl = long.size();
+    let mut cs = Vec::with_capacity(ks);
+    let mut cl = Vec::with_capacity(kl);
+    for i in 0..ks {
+        if rng.random::<bool>() {
+            cs.push(short.snps()[i]);
+            cl.push(long.snps()[i]);
+        } else {
+            cs.push(long.snps()[i]);
+            cl.push(short.snps()[i]);
+        }
+    }
+    // The long child keeps the long parent's tail.
+    cl.extend_from_slice(&long.snps()[ks..]);
+    let pool = parent_pool(p1, p2);
+    let child_short = repair_to_size(cs, ks, n_snps, &pool, rng);
+    let child_long = repair_to_size(cl, kl, n_snps, &pool, rng);
+    if swapped {
+        (child_long, child_short)
+    } else {
+        (child_short, child_long)
+    }
+}
+
+/// Combined, deduplicated SNP pool of both parents.
+fn parent_pool(p1: &Haplotype, p2: &Haplotype) -> Vec<SnpId> {
+    let mut pool: Vec<SnpId> = p1.snps().iter().chain(p2.snps()).copied().collect();
+    pool.sort_unstable();
+    pool.dedup();
+    pool
+}
+
+/// Dedup `snps` and bring the haplotype back to exactly `k` SNPs: first by
+/// drawing unused SNPs from the parents' `pool`, then uniformly from the
+/// panel.
+fn repair_to_size<R: Rng + ?Sized>(
+    snps: Vec<SnpId>,
+    k: usize,
+    n_snps: usize,
+    pool: &[SnpId],
+    rng: &mut R,
+) -> Haplotype {
+    let mut h = Haplotype::new(snps); // sorts + dedups
+    while h.size() < k {
+        let unused: Vec<SnpId> = pool.iter().copied().filter(|&s| !h.contains(s)).collect();
+        let next = if unused.is_empty() {
+            random_snp_not_in(rng, n_snps, h.snps())
+        } else {
+            Some(unused[rng.random_range(0..unused.len())])
+        };
+        match next {
+            Some(s) => h = h.with_snp(s),
+            None => break, // panel saturated; return what we have
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn uniform_children_have_parent_size_and_invariant() {
+        let mut rng = rng();
+        let p1 = Haplotype::new(vec![1, 5, 9]);
+        let p2 = Haplotype::new(vec![2, 5, 30]);
+        for _ in 0..100 {
+            let (c1, c2) = uniform_crossover(&p1, &p2, 51, &mut rng);
+            for c in [&c1, &c2] {
+                assert_eq!(c.size(), 3);
+                assert!(c.snps().windows(2).all(|w| w[0] < w[1]));
+                assert!(!c.is_evaluated());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_crossover_mixes_genes() {
+        let mut rng = rng();
+        let p1 = Haplotype::new(vec![1, 2, 3]);
+        let p2 = Haplotype::new(vec![40, 41, 42]);
+        // Disjoint parents: children partition the union position-wise.
+        let mut mixed = false;
+        for _ in 0..50 {
+            let (c1, _) = uniform_crossover(&p1, &p2, 51, &mut rng);
+            let from_p1 = c1.snps().iter().filter(|s| p1.contains(**s)).count();
+            if from_p1 > 0 && from_p1 < 3 {
+                mixed = true;
+            }
+            // No repair needed for disjoint parents.
+            assert!(c1
+                .snps()
+                .iter()
+                .all(|&s| p1.contains(s) || p2.contains(s)));
+        }
+        assert!(mixed, "crossover never mixed parent genes");
+    }
+
+    #[test]
+    fn overlapping_parents_get_repaired() {
+        let mut rng = rng();
+        // Heavy overlap forces duplicate collisions.
+        let p1 = Haplotype::new(vec![1, 5]);
+        let p2 = Haplotype::new(vec![5, 9]);
+        for _ in 0..200 {
+            let (c1, c2) = uniform_crossover(&p1, &p2, 51, &mut rng);
+            assert_eq!(c1.size(), 2);
+            assert_eq!(c2.size(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same-size")]
+    fn uniform_rejects_mixed_sizes() {
+        let mut rng = rng();
+        let p1 = Haplotype::new(vec![1, 2]);
+        let p2 = Haplotype::new(vec![1, 2, 3]);
+        let _ = uniform_crossover(&p1, &p2, 51, &mut rng);
+    }
+
+    #[test]
+    fn inter_children_match_parent_sizes_in_argument_order() {
+        let mut rng = rng();
+        let small = Haplotype::new(vec![1, 9]);
+        let big = Haplotype::new(vec![3, 14, 30, 44]);
+        for _ in 0..100 {
+            let (c1, c2) = inter_crossover(&small, &big, 51, &mut rng);
+            assert_eq!(c1.size(), 2);
+            assert_eq!(c2.size(), 4);
+            // Swapped argument order swaps child sizes accordingly.
+            let (d1, d2) = inter_crossover(&big, &small, 51, &mut rng);
+            assert_eq!(d1.size(), 4);
+            assert_eq!(d2.size(), 2);
+        }
+    }
+
+    #[test]
+    fn inter_crossover_inherits_from_both_parents() {
+        let mut rng = rng();
+        let small = Haplotype::new(vec![1, 2]);
+        let big = Haplotype::new(vec![40, 41, 42, 43]);
+        let mut small_got_big_gene = false;
+        for _ in 0..100 {
+            let (c_small, c_big) = inter_crossover(&small, &big, 51, &mut rng);
+            if c_small.snps().iter().any(|s| big.contains(*s)) {
+                small_got_big_gene = true;
+            }
+            // The big child always keeps the big parent's tail genes.
+            assert!(c_big.contains(42) || c_big.contains(43));
+        }
+        assert!(small_got_big_gene);
+    }
+
+    #[test]
+    fn inter_same_size_degenerates_to_uniform_like() {
+        let mut rng = rng();
+        let p1 = Haplotype::new(vec![1, 2, 3]);
+        let p2 = Haplotype::new(vec![10, 20, 30]);
+        let (c1, c2) = inter_crossover(&p1, &p2, 51, &mut rng);
+        assert_eq!(c1.size(), 3);
+        assert_eq!(c2.size(), 3);
+    }
+
+    #[test]
+    fn repair_saturated_panel_returns_shorter() {
+        let mut rng = rng();
+        // Panel of 2 SNPs, target size 3 impossible.
+        let h = repair_to_size(vec![0, 0, 1], 3, 2, &[0, 1], &mut rng);
+        assert_eq!(h.size(), 2);
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert_eq!(CrossoverKind::Intra.index(), 0);
+        assert_eq!(CrossoverKind::Inter.index(), 1);
+        assert_eq!(CrossoverKind::Inter.name(), "inter-crossover");
+    }
+}

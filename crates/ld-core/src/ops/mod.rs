@@ -1,0 +1,8 @@
+//! Genetic operators (paper §4.3): three mutations and two crossovers,
+//! each adapted to the ascending-SNP-set encoding.
+
+pub mod crossover;
+pub mod mutation;
+
+pub use crossover::{inter_crossover, uniform_crossover, CrossoverKind};
+pub use mutation::{apply_mutation, MutationKind};

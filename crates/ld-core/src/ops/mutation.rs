@@ -1,0 +1,221 @@
+//! The three mutation operators (paper §4.3.1).
+//!
+//! * **SNP mutation** — "randomly choose a SNP of the individual and
+//!   replace it by another randomly chosen SNP. … We use this mutation
+//!   several times in parallel and keep the best individual found": the
+//!   operator returns `n_tries` candidate neighbours; the engine evaluates
+//!   them (in one parallel batch) and keeps the best.
+//! * **Reduction mutation** — remove a random SNP; the individual migrates
+//!   to the size-(k−1) subpopulation.
+//! * **Augmentation mutation** — add a random new SNP; the individual
+//!   migrates to the size-(k+1) subpopulation.
+
+use crate::individual::Haplotype;
+use crate::rng::random_snp_not_in;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which mutation operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MutationKind {
+    /// Replace one SNP by a random unused SNP (multi-try local search).
+    Snp,
+    /// Remove one SNP (size decreases).
+    Reduction,
+    /// Add one SNP (size increases).
+    Augmentation,
+}
+
+impl MutationKind {
+    /// Operator index used by the adaptive-rate controller.
+    pub fn index(self) -> usize {
+        match self {
+            MutationKind::Snp => 0,
+            MutationKind::Reduction => 1,
+            MutationKind::Augmentation => 2,
+        }
+    }
+
+    /// Inverse of [`MutationKind::index`].
+    pub fn from_index(i: usize) -> Option<Self> {
+        match i {
+            0 => Some(MutationKind::Snp),
+            1 => Some(MutationKind::Reduction),
+            2 => Some(MutationKind::Augmentation),
+            _ => None,
+        }
+    }
+
+    /// Human-readable operator name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::Snp => "snp-mutation",
+            MutationKind::Reduction => "reduction",
+            MutationKind::Augmentation => "augmentation",
+        }
+    }
+}
+
+/// Apply a mutation to `parent`, producing unevaluated candidates.
+///
+/// * `Snp` yields up to `n_tries` distinct neighbours (the multi-try local
+///   search; the engine keeps the best after evaluation).
+/// * `Reduction` / `Augmentation` yield one candidate.
+///
+/// Returns an empty vector when the operator is not applicable: reduction
+/// at `min_size`, augmentation at `max_size` or on a saturated panel, SNP
+/// mutation when no replacement SNP exists.
+pub fn apply_mutation<R: Rng + ?Sized>(
+    kind: MutationKind,
+    parent: &Haplotype,
+    n_snps: usize,
+    min_size: usize,
+    max_size: usize,
+    n_tries: usize,
+    rng: &mut R,
+) -> Vec<Haplotype> {
+    match kind {
+        MutationKind::Snp => snp_mutation(parent, n_snps, n_tries, rng),
+        MutationKind::Reduction => {
+            if parent.size() <= min_size || parent.size() <= 1 {
+                return Vec::new();
+            }
+            let idx = rng.random_range(0..parent.size());
+            vec![parent.without_index(idx)]
+        }
+        MutationKind::Augmentation => {
+            if parent.size() >= max_size {
+                return Vec::new();
+            }
+            match random_snp_not_in(rng, n_snps, parent.snps()) {
+                Some(snp) => vec![parent.with_snp(snp)],
+                None => Vec::new(),
+            }
+        }
+    }
+}
+
+fn snp_mutation<R: Rng + ?Sized>(
+    parent: &Haplotype,
+    n_snps: usize,
+    n_tries: usize,
+    rng: &mut R,
+) -> Vec<Haplotype> {
+    if parent.size() == 0 || n_snps <= parent.size() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n_tries);
+    for _ in 0..n_tries.max(1) {
+        let idx = rng.random_range(0..parent.size());
+        let Some(snp) = random_snp_not_in(rng, n_snps, parent.snps()) else {
+            break;
+        };
+        let child = parent.with_replaced(idx, snp);
+        if !out.iter().any(|h: &Haplotype| h.key() == child.key()) {
+            out.push(child);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    fn parent() -> Haplotype {
+        Haplotype::new(vec![3, 10, 20])
+    }
+
+    #[test]
+    fn kind_index_roundtrip() {
+        for k in [
+            MutationKind::Snp,
+            MutationKind::Reduction,
+            MutationKind::Augmentation,
+        ] {
+            assert_eq!(MutationKind::from_index(k.index()), Some(k));
+        }
+        assert_eq!(MutationKind::from_index(3), None);
+    }
+
+    #[test]
+    fn snp_mutation_preserves_size_and_changes_one() {
+        let mut rng = rng();
+        let p = parent();
+        for c in apply_mutation(MutationKind::Snp, &p, 51, 2, 6, 5, &mut rng) {
+            assert_eq!(c.size(), 3);
+            assert!(!c.is_evaluated());
+            // Exactly one SNP differs (set difference of size 1 each way).
+            let shared = c.snps().iter().filter(|s| p.contains(**s)).count();
+            assert_eq!(shared, 2, "child {c} parent {p}");
+            assert!(c.snps().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn snp_mutation_candidates_are_distinct() {
+        let mut rng = rng();
+        let cands = apply_mutation(MutationKind::Snp, &parent(), 51, 2, 6, 10, &mut rng);
+        assert!(!cands.is_empty());
+        let mut keys: Vec<_> = cands.iter().map(|h| h.key().to_vec()).collect();
+        keys.sort();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+    }
+
+    #[test]
+    fn snp_mutation_saturated_panel_yields_nothing() {
+        let mut rng = rng();
+        let p = Haplotype::new(vec![0, 1, 2]);
+        assert!(apply_mutation(MutationKind::Snp, &p, 3, 2, 6, 4, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn reduction_shrinks_by_one() {
+        let mut rng = rng();
+        let c = apply_mutation(MutationKind::Reduction, &parent(), 51, 2, 6, 1, &mut rng);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].size(), 2);
+        // Child SNPs are a subset of the parent's.
+        assert!(c[0].snps().iter().all(|&s| parent().contains(s)));
+    }
+
+    #[test]
+    fn reduction_blocked_at_min_size() {
+        let mut rng = rng();
+        let p = Haplotype::new(vec![1, 2]);
+        assert!(apply_mutation(MutationKind::Reduction, &p, 51, 2, 6, 1, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn augmentation_grows_by_one() {
+        let mut rng = rng();
+        let p = parent();
+        let c = apply_mutation(MutationKind::Augmentation, &p, 51, 2, 6, 1, &mut rng);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].size(), 4);
+        // Parent SNPs preserved.
+        assert!(p.snps().iter().all(|&s| c[0].contains(s)));
+    }
+
+    #[test]
+    fn augmentation_blocked_at_max_size() {
+        let mut rng = rng();
+        let p = Haplotype::new(vec![1, 2, 3, 4, 5, 6]);
+        assert!(apply_mutation(MutationKind::Augmentation, &p, 51, 2, 6, 1, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn augmentation_blocked_on_saturated_panel() {
+        let mut rng = rng();
+        let p = Haplotype::new(vec![0, 1, 2]);
+        assert!(apply_mutation(MutationKind::Augmentation, &p, 3, 2, 6, 1, &mut rng).is_empty());
+    }
+}

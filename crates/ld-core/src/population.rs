@@ -1,0 +1,317 @@
+//! The multi-population container: one subpopulation per haplotype size.
+//!
+//! §4.2: "The number of individuals in each subpopulation are not equal and
+//! increases with the size of the haplotypes in order to follow the growth
+//! of the size of the search space related to each size." We allocate the
+//! global population budget proportionally to `ln C(n, k)` (the log of the
+//! size-k search space), with a floor so every subpopulation can evolve.
+
+use crate::individual::Haplotype;
+use crate::subpop::{InsertOutcome, SubPopulation};
+
+/// Minimum individuals any subpopulation receives.
+pub const MIN_SUBPOP_CAPACITY: usize = 8;
+
+/// All subpopulations, indexed by haplotype size.
+#[derive(Debug, Clone)]
+pub struct MultiPopulation {
+    min_size: usize,
+    subpops: Vec<SubPopulation>,
+}
+
+impl MultiPopulation {
+    /// Build subpopulations for sizes `min_size..=max_size` over an
+    /// `n_snps`-wide panel, splitting `total_capacity` proportionally to
+    /// the log search-space size.
+    ///
+    /// # Panics
+    /// Panics on an empty or inverted size range, or `max_size > n_snps`.
+    pub fn new(n_snps: usize, min_size: usize, max_size: usize, total_capacity: usize) -> Self {
+        assert!(
+            min_size >= 1 && min_size <= max_size,
+            "bad size range [{min_size}, {max_size}]"
+        );
+        assert!(
+            max_size <= n_snps,
+            "max haplotype size {max_size} exceeds panel width {n_snps}"
+        );
+        let sizes: Vec<usize> = (min_size..=max_size).collect();
+        let weights: Vec<f64> = sizes
+            .iter()
+            .map(|&k| ln_choose(n_snps, k).max(1.0))
+            .collect();
+        let weight_sum: f64 = weights.iter().sum();
+        let budget = total_capacity.max(MIN_SUBPOP_CAPACITY * sizes.len());
+        let mut capacities: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / weight_sum) * budget as f64).round() as usize)
+            .map(|c| c.max(MIN_SUBPOP_CAPACITY))
+            .collect();
+        // Nudge the largest subpopulation so the total matches the budget
+        // (rounding and flooring can drift by a few individuals).
+        let assigned: usize = capacities.iter().sum();
+        if assigned < budget {
+            *capacities.last_mut().expect("non-empty sizes") += budget - assigned;
+        }
+        let subpops = sizes
+            .iter()
+            .zip(capacities)
+            .map(|(&k, c)| SubPopulation::new(k, c))
+            .collect();
+        MultiPopulation { min_size, subpops }
+    }
+
+    /// Smallest haplotype size managed.
+    pub fn min_size(&self) -> usize {
+        self.min_size
+    }
+
+    /// Largest haplotype size managed.
+    pub fn max_size(&self) -> usize {
+        self.min_size + self.subpops.len() - 1
+    }
+
+    /// Subpopulation for haplotypes of `size`, if managed.
+    pub fn get(&self, size: usize) -> Option<&SubPopulation> {
+        size.checked_sub(self.min_size)
+            .and_then(|i| self.subpops.get(i))
+    }
+
+    /// Mutable subpopulation access.
+    pub fn get_mut(&mut self, size: usize) -> Option<&mut SubPopulation> {
+        size.checked_sub(self.min_size)
+            .and_then(|i| self.subpops.get_mut(i))
+    }
+
+    /// Iterate subpopulations in ascending size order.
+    pub fn iter(&self) -> impl Iterator<Item = &SubPopulation> {
+        self.subpops.iter()
+    }
+
+    /// Iterate subpopulations mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut SubPopulation> {
+        self.subpops.iter_mut()
+    }
+
+    /// Total individuals across subpopulations.
+    pub fn len(&self) -> usize {
+        self.subpops.iter().map(|p| p.len()).sum()
+    }
+
+    /// Whether no individuals exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity across subpopulations.
+    pub fn total_capacity(&self) -> usize {
+        self.subpops.iter().map(|p| p.capacity()).sum()
+    }
+
+    /// Route an evaluated individual to the subpopulation of its size.
+    /// Returns [`InsertOutcome::Invalid`] for unmanaged sizes.
+    pub fn try_insert(&mut self, candidate: Haplotype) -> InsertOutcome {
+        match self.get_mut(candidate.size()) {
+            Some(p) => p.try_insert(candidate),
+            None => InsertOutcome::Invalid,
+        }
+    }
+
+    /// Best individual of each subpopulation, ascending size order.
+    pub fn bests(&self) -> Vec<Option<&Haplotype>> {
+        self.subpops.iter().map(|p| p.best()).collect()
+    }
+
+    /// Fitness normalization bounds `(best, worst)` per size, captured for
+    /// the adaptive-operator progress computation (§4.3.1). `None` for
+    /// empty subpopulations.
+    pub fn normalizer_snapshot(&self) -> NormalizerSnapshot {
+        NormalizerSnapshot {
+            min_size: self.min_size,
+            bounds: self
+                .subpops
+                .iter()
+                .map(|p| match (p.best(), p.worst()) {
+                    (Some(b), Some(w)) => Some((b.fitness(), w.fitness())),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-size `(best, worst)` fitness bounds frozen at a generation start.
+#[derive(Debug, Clone)]
+pub struct NormalizerSnapshot {
+    min_size: usize,
+    bounds: Vec<Option<(f64, f64)>>,
+}
+
+impl NormalizerSnapshot {
+    /// §4.3.1 size-normalized fitness:
+    /// `f̄(ind) = (f(ind) − f(worst_k)) / (f(best_k) − f(worst_k))`
+    /// where `best_k` / `worst_k` are the bounds of the individual's own
+    /// size subpopulation. Degenerate bounds (empty subpopulation or
+    /// best == worst) yield `0.5` so progress terms stay finite.
+    pub fn normalized(&self, size: usize, fitness: f64) -> f64 {
+        let bounds = size
+            .checked_sub(self.min_size)
+            .and_then(|i| self.bounds.get(i))
+            .copied()
+            .flatten();
+        match bounds {
+            Some((best, worst)) if best > worst => {
+                let norm = (fitness - worst) / (best - worst);
+                // Guard non-finite inputs (a custom objective may emit ±inf
+                // or NaN): clamp(NaN) is NaN and would poison the adaptive
+                // rates, so degrade to the neutral value instead.
+                if norm.is_finite() {
+                    norm.clamp(0.0, 1.0)
+                } else if norm == f64::INFINITY {
+                    1.0
+                } else if norm == f64::NEG_INFINITY {
+                    0.0
+                } else {
+                    0.5
+                }
+            }
+            _ => 0.5,
+        }
+    }
+}
+
+/// `ln C(n, k)` without overflow (sum of logs).
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    (0..k)
+        .map(|i| ((n - i) as f64).ln() - ((i + 1) as f64).ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_data::SnpId;
+
+    fn hap(snps: &[SnpId], fitness: f64) -> Haplotype {
+        let mut h = Haplotype::new(snps.to_vec());
+        h.set_fitness(fitness);
+        h
+    }
+
+    #[test]
+    fn ln_choose_matches_exact_values() {
+        assert!((ln_choose(51, 2) - (1275f64).ln()).abs() < 1e-9);
+        assert!((ln_choose(51, 3) - (20_825f64).ln()).abs() < 1e-9);
+        assert!((ln_choose(5, 0)).abs() < 1e-12);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        // Symmetry.
+        assert!((ln_choose(20, 4) - ln_choose(20, 16)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacities_grow_with_size_and_sum_to_budget() {
+        let mp = MultiPopulation::new(51, 2, 6, 150);
+        let caps: Vec<usize> = mp.iter().map(|p| p.capacity()).collect();
+        assert_eq!(caps.len(), 5);
+        for w in caps.windows(2) {
+            assert!(w[0] <= w[1], "capacities must be non-decreasing: {caps:?}");
+        }
+        assert_eq!(mp.total_capacity(), 150);
+        assert!(caps.iter().all(|&c| c >= MIN_SUBPOP_CAPACITY));
+    }
+
+    #[test]
+    fn small_budget_is_floored() {
+        let mp = MultiPopulation::new(51, 2, 6, 10);
+        assert!(mp.total_capacity() >= 5 * MIN_SUBPOP_CAPACITY);
+    }
+
+    #[test]
+    fn routing_by_size() {
+        let mut mp = MultiPopulation::new(51, 2, 4, 60);
+        assert_eq!(
+            mp.try_insert(hap(&[1, 2], 5.0)),
+            crate::subpop::InsertOutcome::Added
+        );
+        assert_eq!(
+            mp.try_insert(hap(&[1, 2, 3, 4], 7.0)),
+            crate::subpop::InsertOutcome::Added
+        );
+        // Size 5 not managed.
+        assert_eq!(
+            mp.try_insert(hap(&[1, 2, 3, 4, 5], 9.0)),
+            crate::subpop::InsertOutcome::Invalid
+        );
+        assert_eq!(mp.get(2).unwrap().len(), 1);
+        assert_eq!(mp.get(4).unwrap().len(), 1);
+        assert_eq!(mp.len(), 2);
+        assert!(mp.get(1).is_none());
+        assert!(mp.get(5).is_none());
+    }
+
+    #[test]
+    fn bests_in_size_order() {
+        let mut mp = MultiPopulation::new(51, 2, 3, 40);
+        mp.try_insert(hap(&[1, 2], 5.0));
+        mp.try_insert(hap(&[3, 4], 8.0));
+        let bests = mp.bests();
+        assert_eq!(bests.len(), 2);
+        assert_eq!(bests[0].unwrap().fitness(), 8.0);
+        assert!(bests[1].is_none());
+    }
+
+    #[test]
+    fn normalizer_behaviour() {
+        let mut mp = MultiPopulation::new(51, 2, 2, 20);
+        mp.try_insert(hap(&[1, 2], 10.0));
+        mp.try_insert(hap(&[2, 3], 20.0));
+        let snap = mp.normalizer_snapshot();
+        assert!((snap.normalized(2, 20.0) - 1.0).abs() < 1e-12);
+        assert!((snap.normalized(2, 10.0) - 0.0).abs() < 1e-12);
+        assert!((snap.normalized(2, 15.0) - 0.5).abs() < 1e-12);
+        // Out-of-range fitness clamps.
+        assert_eq!(snap.normalized(2, 100.0), 1.0);
+        assert_eq!(snap.normalized(2, -5.0), 0.0);
+        // Unmanaged or empty size: degenerate 0.5.
+        assert_eq!(snap.normalized(7, 3.0), 0.5);
+    }
+
+    #[test]
+    fn normalizer_handles_non_finite_fitness() {
+        let mut mp = MultiPopulation::new(51, 2, 2, 20);
+        mp.try_insert(hap(&[1, 2], 10.0));
+        mp.try_insert(hap(&[2, 3], 20.0));
+        let snap = mp.normalizer_snapshot();
+        assert_eq!(snap.normalized(2, f64::INFINITY), 1.0);
+        assert_eq!(snap.normalized(2, f64::NEG_INFINITY), 0.0);
+        assert_eq!(snap.normalized(2, f64::NAN), 0.5);
+    }
+
+    #[test]
+    fn normalizer_degenerate_bounds() {
+        let mut mp = MultiPopulation::new(51, 2, 2, 20);
+        mp.try_insert(hap(&[1, 2], 10.0));
+        let snap = mp.normalizer_snapshot();
+        // best == worst -> 0.5 regardless of input.
+        assert_eq!(snap.normalized(2, 10.0), 0.5);
+        assert_eq!(snap.normalized(2, 0.0), 0.5);
+    }
+
+    #[test]
+    fn min_max_size_accessors() {
+        let mp = MultiPopulation::new(51, 3, 6, 100);
+        assert_eq!(mp.min_size(), 3);
+        assert_eq!(mp.max_size(), 6);
+        assert_eq!(mp.iter().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds panel width")]
+    fn oversized_range_panics() {
+        let _ = MultiPopulation::new(4, 2, 6, 100);
+    }
+}

@@ -1,0 +1,137 @@
+//! Random construction helpers for haplotypes.
+
+use crate::individual::Haplotype;
+use ld_data::SnpId;
+use rand::prelude::*;
+
+/// Draw a uniformly random haplotype of `size` distinct SNPs from
+/// `0..n_snps` (Floyd's algorithm, then sort).
+///
+/// # Panics
+/// Panics if `size > n_snps`.
+pub fn random_haplotype<R: Rng + ?Sized>(rng: &mut R, n_snps: usize, size: usize) -> Haplotype {
+    assert!(
+        size <= n_snps,
+        "cannot draw {size} distinct SNPs from {n_snps}"
+    );
+    // Floyd's subset sampling: O(size) expected insertions, no full shuffle.
+    let mut chosen: Vec<SnpId> = Vec::with_capacity(size);
+    for j in (n_snps - size)..n_snps {
+        let t = rng.random_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    Haplotype::new(chosen)
+}
+
+/// Draw a SNP uniformly from `0..n_snps` that is not already in `exclude`
+/// (ascending slice). Returns `None` when every SNP is excluded.
+pub fn random_snp_not_in<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_snps: usize,
+    exclude: &[SnpId],
+) -> Option<SnpId> {
+    let available = n_snps.checked_sub(exclude.len())?;
+    if available == 0 {
+        return None;
+    }
+    // Draw a rank among the non-excluded SNPs, then map rank -> id by
+    // walking the exclusion list (it is ascending and short).
+    let rank = rng.random_range(0..available);
+    let mut id = rank;
+    for &e in exclude {
+        if e <= id {
+            id += 1;
+        } else {
+            break;
+        }
+    }
+    Some(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn random_haplotype_has_requested_size_and_invariant() {
+        let mut rng = rng();
+        for size in 1..=6 {
+            for _ in 0..50 {
+                let h = random_haplotype(&mut rng, 51, size);
+                assert_eq!(h.size(), size);
+                assert!(h.snps().windows(2).all(|w| w[0] < w[1]));
+                assert!(h.snps().iter().all(|&s| s < 51));
+            }
+        }
+    }
+
+    #[test]
+    fn random_haplotype_full_panel() {
+        let mut rng = rng();
+        let h = random_haplotype(&mut rng, 5, 5);
+        assert_eq!(h.snps(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn random_haplotype_oversize_panics() {
+        let mut rng = rng();
+        let _ = random_haplotype(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn random_haplotype_is_roughly_uniform() {
+        // Each SNP of 0..10 should appear in a size-3 draw with p = 0.3.
+        let mut rng = rng();
+        let mut counts = [0usize; 10];
+        let n = 6000;
+        for _ in 0..n {
+            for &s in random_haplotype(&mut rng, 10, 3).snps() {
+                counts[s] += 1;
+            }
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            let p = c as f64 / n as f64;
+            assert!((p - 0.3).abs() < 0.03, "snp {s}: p = {p}");
+        }
+    }
+
+    #[test]
+    fn random_snp_not_in_avoids_exclusions() {
+        let mut rng = rng();
+        let exclude = [1, 3, 5, 7];
+        for _ in 0..200 {
+            let s = random_snp_not_in(&mut rng, 9, &exclude).unwrap();
+            assert!(!exclude.contains(&s));
+            assert!(s < 9);
+        }
+    }
+
+    #[test]
+    fn random_snp_not_in_exhausted() {
+        let mut rng = rng();
+        assert_eq!(random_snp_not_in(&mut rng, 3, &[0, 1, 2]), None);
+        assert_eq!(random_snp_not_in(&mut rng, 0, &[]), None);
+    }
+
+    #[test]
+    fn random_snp_not_in_covers_all_free_snps() {
+        let mut rng = rng();
+        let exclude = [0, 2, 4];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(random_snp_not_in(&mut rng, 6, &exclude).unwrap());
+        }
+        assert_eq!(seen, [1, 3, 5].into_iter().collect());
+    }
+}

@@ -1,0 +1,184 @@
+//! Parent-selection strategies.
+//!
+//! The paper does not pin its selection operator ("Selection" box of
+//! Figure 5); tournament selection is the default here, with the other
+//! classic schemes available for ablation:
+//!
+//! * **Tournament(t)** — draw `t` members, keep the fittest; selection
+//!   pressure grows with `t`.
+//! * **RankRoulette** — roulette wheel over linear rank weights (best gets
+//!   weight `n`, worst gets `1`); rank-based, so it is invariant to the
+//!   fitness scale — important here, where fitness ranges differ wildly
+//!   between subpopulations.
+//! * **Uniform** — no selection pressure (drift baseline).
+//!
+//! All strategies operate on *indices into a best-first-sorted
+//! subpopulation*, which is the invariant [`crate::subpop::SubPopulation`]
+//! maintains.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which parent-selection scheme the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Keep the best of `t` uniform draws.
+    Tournament(usize),
+    /// Roulette wheel over linear rank weights.
+    RankRoulette,
+    /// Uniform random (no pressure).
+    Uniform,
+}
+
+impl Default for SelectionStrategy {
+    fn default() -> Self {
+        SelectionStrategy::Tournament(2)
+    }
+}
+
+impl SelectionStrategy {
+    /// Select an index into a best-first-sorted population of `n` members.
+    /// When `distinct_from` is given and `n > 1`, one colliding draw is
+    /// re-rolled (best-effort distinctness, as the engine wants two
+    /// different parents when possible).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+        distinct_from: Option<usize>,
+    ) -> usize {
+        assert!(n > 0, "cannot select from an empty population");
+        let raw = match self {
+            SelectionStrategy::Tournament(t) => {
+                let mut best = usize::MAX;
+                for _ in 0..(*t).max(1) {
+                    let idx = rng.random_range(0..n);
+                    // Sorted best-first: a smaller index is a fitter member.
+                    if idx < best {
+                        best = idx;
+                    }
+                }
+                best
+            }
+            SelectionStrategy::RankRoulette => {
+                // Weight of index i (0 = best) is n - i; total n(n+1)/2.
+                let total = n * (n + 1) / 2;
+                let mut u = rng.random_range(0..total);
+                let mut idx = 0usize;
+                loop {
+                    let w = n - idx;
+                    if u < w {
+                        break idx;
+                    }
+                    u -= w;
+                    idx += 1;
+                }
+            }
+            SelectionStrategy::Uniform => rng.random_range(0..n),
+        };
+        if Some(raw) == distinct_from && n > 1 {
+            (raw + 1 + rng.random_range(0..n - 1)) % n
+        } else {
+            raw
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            SelectionStrategy::Tournament(t) => format!("tournament({t})"),
+            SelectionStrategy::RankRoulette => "rank-roulette".into(),
+            SelectionStrategy::Uniform => "uniform".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(17)
+    }
+
+    fn frequencies(strategy: SelectionStrategy, n: usize, draws: usize) -> Vec<f64> {
+        let mut rng = rng();
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[strategy.select(&mut rng, n, None)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn tournament_prefers_low_indices() {
+        let f = frequencies(SelectionStrategy::Tournament(2), 10, 20000);
+        // P(best of 2 draws = i) decreases with i; index 0 ≈ 19/100.
+        assert!((f[0] - 0.19).abs() < 0.02, "f0 = {}", f[0]);
+        for w in f.windows(2) {
+            assert!(w[0] > w[1] - 0.02, "non-monotone {f:?}");
+        }
+    }
+
+    #[test]
+    fn bigger_tournament_means_more_pressure() {
+        let f2 = frequencies(SelectionStrategy::Tournament(2), 10, 20000);
+        let f5 = frequencies(SelectionStrategy::Tournament(5), 10, 20000);
+        assert!(f5[0] > f2[0] + 0.1, "t=5 {} vs t=2 {}", f5[0], f2[0]);
+    }
+
+    #[test]
+    fn rank_roulette_matches_linear_weights() {
+        let n = 5;
+        let f = frequencies(SelectionStrategy::RankRoulette, n, 30000);
+        let total = (n * (n + 1) / 2) as f64;
+        for (i, &p) in f.iter().enumerate() {
+            let expect = (n - i) as f64 / total;
+            assert!((p - expect).abs() < 0.01, "idx {i}: {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let f = frequencies(SelectionStrategy::Uniform, 8, 20000);
+        for &p in &f {
+            assert!((p - 0.125).abs() < 0.015, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_from_is_respected_when_possible() {
+        let mut rng = rng();
+        for strategy in [
+            SelectionStrategy::Tournament(3),
+            SelectionStrategy::RankRoulette,
+            SelectionStrategy::Uniform,
+        ] {
+            for _ in 0..500 {
+                let idx = strategy.select(&mut rng, 6, Some(2));
+                assert_ne!(idx, 2, "{strategy:?} returned the excluded index");
+            }
+            // n == 1: exclusion impossible, must still return 0.
+            assert_eq!(strategy.select(&mut rng, 1, Some(0)), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let mut rng = rng();
+        let _ = SelectionStrategy::default().select(&mut rng, 0, None);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SelectionStrategy::Tournament(2).label(), "tournament(2)");
+        assert_eq!(SelectionStrategy::RankRoulette.label(), "rank-roulette");
+        assert_eq!(SelectionStrategy::Uniform.label(), "uniform");
+    }
+}

@@ -1,0 +1,304 @@
+//! A subpopulation of haplotypes of one fixed size (paper §4.2).
+//!
+//! "Our global population will be divided into several subpopulations,
+//! where each subpopulation corresponds to a given size of haplotype."
+//!
+//! Individuals are kept sorted by descending fitness; the §4.6 replacement
+//! rule ("inserted … if it is better than the worst individual of the
+//! population and if it is not already in the population") is enforced by
+//! [`SubPopulation::try_insert`].
+
+use crate::individual::Haplotype;
+
+/// A fixed-size-haplotype subpopulation with bounded capacity.
+#[derive(Debug, Clone)]
+pub struct SubPopulation {
+    size_k: usize,
+    capacity: usize,
+    /// Sorted by descending fitness.
+    individuals: Vec<Haplotype>,
+}
+
+/// Outcome of an insertion attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Individual added (population had spare capacity).
+    Added,
+    /// Individual replaced the worst member.
+    ReplacedWorst,
+    /// Rejected: identical individual already present.
+    Duplicate,
+    /// Rejected: not better than the current worst of a full population.
+    NotBetter,
+    /// Rejected: wrong haplotype size or unevaluated.
+    Invalid,
+}
+
+impl SubPopulation {
+    /// Empty subpopulation for haplotypes of `size_k` SNPs.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(size_k: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "subpopulation capacity must be positive");
+        SubPopulation {
+            size_k,
+            capacity,
+            individuals: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Haplotype size this subpopulation holds.
+    #[inline]
+    pub fn size_k(&self) -> usize {
+        self.size_k
+    }
+
+    /// Maximum number of individuals.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of individuals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// Whether the subpopulation holds no individuals.
+    pub fn is_empty(&self) -> bool {
+        self.individuals.is_empty()
+    }
+
+    /// Whether the subpopulation is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.individuals.len() >= self.capacity
+    }
+
+    /// Individuals, best first.
+    pub fn individuals(&self) -> &[Haplotype] {
+        &self.individuals
+    }
+
+    /// Best individual, if any.
+    pub fn best(&self) -> Option<&Haplotype> {
+        self.individuals.first()
+    }
+
+    /// Worst individual, if any.
+    pub fn worst(&self) -> Option<&Haplotype> {
+        self.individuals.last()
+    }
+
+    /// Mean fitness (0 when empty).
+    pub fn mean_fitness(&self) -> f64 {
+        if self.individuals.is_empty() {
+            return 0.0;
+        }
+        self.individuals.iter().map(|h| h.fitness()).sum::<f64>() / self.individuals.len() as f64
+    }
+
+    /// Whether an identical SNP set is already present.
+    pub fn contains(&self, candidate: &Haplotype) -> bool {
+        self.individuals.iter().any(|h| h.key() == candidate.key())
+    }
+
+    /// §4.6 replacement: insert if evaluated, of the right size, not a
+    /// duplicate, and (when full) better than the worst.
+    pub fn try_insert(&mut self, candidate: Haplotype) -> InsertOutcome {
+        if candidate.size() != self.size_k || !candidate.is_evaluated() {
+            return InsertOutcome::Invalid;
+        }
+        if self.contains(&candidate) {
+            return InsertOutcome::Duplicate;
+        }
+        if self.is_full() {
+            let worst = self
+                .worst()
+                .expect("full population is non-empty")
+                .fitness();
+            if candidate.fitness() <= worst {
+                return InsertOutcome::NotBetter;
+            }
+            self.individuals.pop();
+            self.insert_sorted(candidate);
+            InsertOutcome::ReplacedWorst
+        } else {
+            self.insert_sorted(candidate);
+            InsertOutcome::Added
+        }
+    }
+
+    fn insert_sorted(&mut self, candidate: Haplotype) {
+        let pos = self
+            .individuals
+            .partition_point(|h| h.fitness() >= candidate.fitness());
+        self.individuals.insert(pos, candidate);
+    }
+
+    /// Remove and return every individual with fitness strictly below the
+    /// subpopulation mean — the random-immigrant replacement targets (§4.4).
+    pub fn drain_below_mean(&mut self) -> Vec<Haplotype> {
+        let mean = self.mean_fitness();
+        // Individuals are sorted descending: find the first below-mean index.
+        let cut = self.individuals.partition_point(|h| h.fitness() >= mean);
+        self.individuals.split_off(cut)
+    }
+
+    /// Replace the whole membership (used by tests and immigrant refill);
+    /// re-sorts to maintain the invariant.
+    pub fn replace_all(&mut self, mut individuals: Vec<Haplotype>) {
+        individuals.sort_by(|a, b| b.fitness().total_cmp(&a.fitness()));
+        individuals.truncate(self.capacity);
+        self.individuals = individuals;
+    }
+
+    /// Validate internal invariants (descending order, unique keys, size,
+    /// capacity) — used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.individuals.len() > self.capacity {
+            return Err(format!(
+                "len {} exceeds capacity {}",
+                self.individuals.len(),
+                self.capacity
+            ));
+        }
+        for h in &self.individuals {
+            if h.size() != self.size_k {
+                return Err(format!("individual {h} has size != {}", self.size_k));
+            }
+            if !h.is_evaluated() {
+                return Err(format!("individual {h} unevaluated"));
+            }
+        }
+        for w in self.individuals.windows(2) {
+            if w[0].fitness() < w[1].fitness() {
+                return Err("not sorted descending".into());
+            }
+        }
+        let mut keys: Vec<_> = self.individuals.iter().map(|h| h.key().to_vec()).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        if keys.len() != before {
+            return Err("duplicate individuals".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hap(snps: &[usize], fitness: f64) -> Haplotype {
+        let mut h = Haplotype::new(snps.to_vec());
+        h.set_fitness(fitness);
+        h
+    }
+
+    #[test]
+    fn insert_keeps_descending_order() {
+        let mut p = SubPopulation::new(2, 5);
+        for (snps, f) in [(&[1, 2], 3.0), (&[2, 3], 9.0), (&[3, 4], 6.0)] {
+            assert_eq!(p.try_insert(hap(snps, f)), InsertOutcome::Added);
+        }
+        let fits: Vec<f64> = p.individuals().iter().map(|h| h.fitness()).collect();
+        assert_eq!(fits, vec![9.0, 6.0, 3.0]);
+        assert_eq!(p.best().unwrap().fitness(), 9.0);
+        assert_eq!(p.worst().unwrap().fitness(), 3.0);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn full_population_replacement_rule() {
+        let mut p = SubPopulation::new(2, 2);
+        p.try_insert(hap(&[1, 2], 5.0));
+        p.try_insert(hap(&[2, 3], 8.0));
+        assert!(p.is_full());
+        // Worse than worst: rejected.
+        assert_eq!(p.try_insert(hap(&[4, 5], 4.0)), InsertOutcome::NotBetter);
+        // Equal to worst: rejected (must be strictly better).
+        assert_eq!(p.try_insert(hap(&[4, 5], 5.0)), InsertOutcome::NotBetter);
+        // Better: replaces worst.
+        assert_eq!(
+            p.try_insert(hap(&[4, 5], 6.0)),
+            InsertOutcome::ReplacedWorst
+        );
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.worst().unwrap().fitness(), 6.0);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicates_rejected_regardless_of_fitness() {
+        let mut p = SubPopulation::new(2, 5);
+        p.try_insert(hap(&[1, 2], 5.0));
+        assert_eq!(p.try_insert(hap(&[1, 2], 99.0)), InsertOutcome::Duplicate);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn invalid_insertions() {
+        let mut p = SubPopulation::new(3, 5);
+        // Wrong size.
+        assert_eq!(p.try_insert(hap(&[1, 2], 5.0)), InsertOutcome::Invalid);
+        // Unevaluated.
+        assert_eq!(
+            p.try_insert(Haplotype::new(vec![1, 2, 3])),
+            InsertOutcome::Invalid
+        );
+    }
+
+    #[test]
+    fn mean_and_drain_below_mean() {
+        let mut p = SubPopulation::new(2, 10);
+        for (i, f) in [10.0, 8.0, 4.0, 2.0].iter().enumerate() {
+            p.try_insert(hap(&[i, i + 10], *f));
+        }
+        assert!((p.mean_fitness() - 6.0).abs() < 1e-12);
+        let drained = p.drain_below_mean();
+        // 4.0 and 2.0 are below the mean of 6.
+        assert_eq!(drained.len(), 2);
+        assert_eq!(p.len(), 2);
+        assert!(p.individuals().iter().all(|h| h.fitness() >= 6.0));
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drain_below_mean_empty_population() {
+        let mut p = SubPopulation::new(2, 3);
+        assert!(p.drain_below_mean().is_empty());
+    }
+
+    #[test]
+    fn drain_below_mean_uniform_population_keeps_all() {
+        let mut p = SubPopulation::new(2, 4);
+        p.try_insert(hap(&[1, 2], 5.0));
+        p.try_insert(hap(&[2, 3], 5.0));
+        // Everyone at the mean: nothing strictly below.
+        assert!(p.drain_below_mean().is_empty());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn replace_all_sorts_and_truncates() {
+        let mut p = SubPopulation::new(2, 2);
+        p.replace_all(vec![
+            hap(&[1, 2], 1.0),
+            hap(&[2, 3], 9.0),
+            hap(&[3, 4], 5.0),
+        ]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.best().unwrap().fitness(), 9.0);
+        assert_eq!(p.worst().unwrap().fitness(), 5.0);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SubPopulation::new(2, 0);
+    }
+}

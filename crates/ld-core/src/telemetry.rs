@@ -1,0 +1,304 @@
+//! Post-run analysis of GA telemetry.
+//!
+//! [`RunResult::history`] records per-generation state; this module turns
+//! it into the summaries the paper discusses qualitatively: convergence
+//! curves per size, adaptive-rate trajectories (which operator "won"),
+//! and random-immigrant episodes.
+
+use crate::engine::RunResult;
+use crate::ops::crossover::CrossoverKind;
+use crate::ops::mutation::MutationKind;
+
+/// Convergence curve of one haplotype size: `(generation, best fitness)`
+/// sampled at every improvement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceCurve {
+    /// Haplotype size.
+    pub size: usize,
+    /// `(generation, best-so-far)` at each improvement step.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Mean adaptive rate of each operator over a window of generations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSummary {
+    /// Operator name.
+    pub operator: &'static str,
+    /// Mean rate over the first quarter of the run.
+    pub early: f64,
+    /// Mean rate over the last quarter of the run.
+    pub late: f64,
+    /// Mean rate over the whole run.
+    pub overall: f64,
+}
+
+/// One random-immigrant episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImmigrantEpisode {
+    /// Generation the episode fired.
+    pub generation: usize,
+    /// Individuals replaced.
+    pub replaced: usize,
+}
+
+/// Full telemetry report.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Convergence curve per managed size (ascending).
+    pub convergence: Vec<ConvergenceCurve>,
+    /// Rate trajectory summary for the three mutation operators.
+    pub mutation_rates: Vec<RateSummary>,
+    /// Rate trajectory summary for the two crossover operators.
+    pub crossover_rates: Vec<RateSummary>,
+    /// All random-immigrant episodes.
+    pub immigrant_episodes: Vec<ImmigrantEpisode>,
+    /// Generation at which the last improvement (any size) happened.
+    pub last_improvement: usize,
+}
+
+/// Analyse a run's history.
+pub fn analyze(result: &RunResult) -> TelemetryReport {
+    let n_sizes = result.best_per_size.len();
+    let history = &result.history;
+
+    // Convergence curves: record a point whenever a size's best strictly
+    // improves over the previous generation's value.
+    let mut convergence = Vec::with_capacity(n_sizes);
+    let mut last_improvement = 0usize;
+    for idx in 0..n_sizes {
+        let mut points = Vec::new();
+        let mut best = f64::NEG_INFINITY;
+        for g in history {
+            let f = g.best_per_size.get(idx).copied().unwrap_or(f64::NAN);
+            if f.is_finite() && f > best {
+                best = f;
+                points.push((g.generation, f));
+                last_improvement = last_improvement.max(g.generation);
+            }
+        }
+        convergence.push(ConvergenceCurve {
+            size: result.min_size + idx,
+            points,
+        });
+    }
+
+    let mutation_names = [
+        MutationKind::Snp.name(),
+        MutationKind::Reduction.name(),
+        MutationKind::Augmentation.name(),
+    ];
+    let crossover_names = [CrossoverKind::Intra.name(), CrossoverKind::Inter.name()];
+    let mutation_rates = summarize_rates(history, &mutation_names, |g| &g.mutation_rates);
+    let crossover_rates = summarize_rates(history, &crossover_names, |g| &g.crossover_rates);
+
+    let immigrant_episodes = history
+        .iter()
+        .filter(|g| g.immigrants > 0)
+        .map(|g| ImmigrantEpisode {
+            generation: g.generation,
+            replaced: g.immigrants,
+        })
+        .collect();
+
+    TelemetryReport {
+        convergence,
+        mutation_rates,
+        crossover_rates,
+        immigrant_episodes,
+        last_improvement,
+    }
+}
+
+fn summarize_rates<F>(
+    history: &[crate::engine::GenerationStats],
+    names: &[&'static str],
+    extract: F,
+) -> Vec<RateSummary>
+where
+    F: Fn(&crate::engine::GenerationStats) -> &Vec<f64>,
+{
+    if history.is_empty() {
+        return names
+            .iter()
+            .map(|&operator| RateSummary {
+                operator,
+                early: f64::NAN,
+                late: f64::NAN,
+                overall: f64::NAN,
+            })
+            .collect();
+    }
+    let quarter = (history.len() / 4).max(1);
+    let mean_over = |slice: &[crate::engine::GenerationStats], op: usize| -> f64 {
+        slice.iter().map(|g| extract(g)[op]).sum::<f64>() / slice.len() as f64
+    };
+    names
+        .iter()
+        .enumerate()
+        .map(|(op, &operator)| RateSummary {
+            operator,
+            early: mean_over(&history[..quarter], op),
+            late: mean_over(&history[history.len() - quarter..], op),
+            overall: mean_over(history, op),
+        })
+        .collect()
+}
+
+/// Write the per-generation history as TSV (one row per generation;
+/// per-size best columns, operator rates, immigrant counts) — ready for
+/// any plotting tool.
+pub fn write_history_tsv<W: std::io::Write>(
+    result: &RunResult,
+    mut w: W,
+) -> std::io::Result<()> {
+    let n_sizes = result.best_per_size.len();
+    write!(w, "generation\tevaluations")?;
+    for i in 0..n_sizes {
+        write!(w, "\tbest_k{}", result.min_size + i)?;
+    }
+    write!(w, "\tmut_snp\tmut_reduction\tmut_augmentation\tcross_intra\tcross_inter\timmigrants")?;
+    writeln!(w)?;
+    for g in &result.history {
+        write!(w, "{}\t{}", g.generation, g.evaluations)?;
+        for i in 0..n_sizes {
+            let f = g.best_per_size.get(i).copied().unwrap_or(f64::NAN);
+            if f.is_nan() {
+                write!(w, "\t")?;
+            } else {
+                write!(w, "\t{f:.6}")?;
+            }
+        }
+        for r in g.mutation_rates.iter().chain(&g.crossover_rates) {
+            write!(w, "\t{r:.6}")?;
+        }
+        writeln!(w, "\t{}", g.immigrants)?;
+    }
+    Ok(())
+}
+
+impl TelemetryReport {
+    /// The mutation operator with the highest overall mean rate.
+    pub fn dominant_mutation(&self) -> &'static str {
+        self.mutation_rates
+            .iter()
+            .max_by(|a, b| a.overall.total_cmp(&b.overall))
+            .map_or("n/a", |r| r.operator)
+    }
+
+    /// Total individuals replaced by random immigrants.
+    pub fn total_immigrants(&self) -> usize {
+        self.immigrant_episodes.iter().map(|e| e.replaced).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GaConfig;
+    use crate::engine::GaEngine;
+    use crate::evaluator::FnEvaluator;
+    use ld_data::SnpId;
+
+    fn run() -> RunResult {
+        let eval = FnEvaluator::new(25, |s: &[SnpId]| {
+            s.iter().map(|&x| x as f64).sum::<f64>() + 10.0 * s.len() as f64
+        });
+        let cfg = GaConfig {
+            population_size: 50,
+            min_size: 2,
+            max_size: 3,
+            matings_per_generation: 8,
+            stagnation_limit: 20,
+            ri_stagnation: 7,
+            max_generations: 300,
+            ..GaConfig::default()
+        };
+        GaEngine::new(&eval, cfg, 5).unwrap().run()
+    }
+
+    #[test]
+    fn convergence_curves_are_monotone_and_sized() {
+        let result = run();
+        let report = analyze(&result);
+        assert_eq!(report.convergence.len(), 2);
+        for curve in &report.convergence {
+            assert!(!curve.points.is_empty(), "size {} has no points", curve.size);
+            for w in curve.points.windows(2) {
+                assert!(w[0].0 < w[1].0, "generations must increase");
+                assert!(w[0].1 < w[1].1, "best must strictly improve");
+            }
+            // The final point matches the run's champion.
+            let champion = result.best_of_size(curve.size).unwrap().fitness();
+            assert!((curve.points.last().unwrap().1 - champion).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rate_summaries_cover_all_operators() {
+        let report = analyze(&run());
+        assert_eq!(report.mutation_rates.len(), 3);
+        assert_eq!(report.crossover_rates.len(), 2);
+        for r in report.mutation_rates.iter().chain(&report.crossover_rates) {
+            assert!(r.overall.is_finite());
+            assert!(r.early > 0.0 && r.late > 0.0);
+        }
+        // Rates of a family sum to the family's global rate at all windows.
+        let sum: f64 = report.mutation_rates.iter().map(|r| r.overall).sum();
+        assert!((sum - 0.9).abs() < 1e-9, "sum = {sum}");
+        assert!(!report.dominant_mutation().is_empty());
+    }
+
+    #[test]
+    fn last_improvement_before_termination() {
+        let result = run();
+        let report = analyze(&result);
+        assert!(report.last_improvement > 0);
+        assert!(report.last_improvement <= result.generations);
+        // Stagnation termination: the gap to the end is the stagnation limit.
+        assert_eq!(result.generations - report.last_improvement, 20);
+    }
+
+    #[test]
+    fn immigrant_episodes_match_history() {
+        let result = run();
+        let report = analyze(&result);
+        let from_history: usize = result.history.iter().map(|g| g.immigrants).sum();
+        assert_eq!(report.total_immigrants(), from_history);
+        for e in &report.immigrant_episodes {
+            assert!(e.replaced > 0);
+        }
+    }
+
+    #[test]
+    fn history_tsv_has_one_row_per_generation() {
+        let result = run();
+        let mut buf = Vec::new();
+        write_history_tsv(&result, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), result.generations + 1);
+        assert!(lines[0].starts_with("generation\tevaluations\tbest_k2"));
+        // Every data row has the full column count.
+        let n_cols = lines[0].split('\t').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split('\t').count(), n_cols, "row: {l}");
+        }
+    }
+
+    #[test]
+    fn empty_history_is_handled() {
+        let result = RunResult {
+            min_size: 2,
+            best_per_size: vec![None],
+            evals_to_best: vec![0],
+            total_evaluations: 0,
+            generations: 0,
+            history: vec![],
+            seed: 0,
+        };
+        let report = analyze(&result);
+        assert!(report.convergence[0].points.is_empty());
+        assert!(report.mutation_rates[0].overall.is_nan());
+        assert_eq!(report.total_immigrants(), 0);
+    }
+}

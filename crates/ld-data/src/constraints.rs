@@ -1,0 +1,242 @@
+//! Haplotype feasibility constraints (§2.3 of the paper).
+//!
+//! In a linkage-disequilibrium study, two SNPs of the same haplotype must
+//! satisfy:
+//!
+//! 1. their pairwise disequilibrium must be **below** a threshold `s1`
+//!    (strongly linked SNPs are redundant — they tag the same signal);
+//! 2. the difference between the smaller frequencies (MAF) of their two
+//!    variants must be **above** a threshold `s2`.
+//!
+//! The paper leaves the exact measures open; we use `r²` for (1) and the
+//!, absolute MAF difference for (2), plus a conventional per-SNP minimum
+//! MAF filter that any real association pipeline applies.
+
+use crate::freq::AlleleFreqTable;
+use crate::ld::LdTable;
+use crate::snp::SnpId;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for haplotype feasibility.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HaplotypeConstraints {
+    /// `s1`: maximum allowed pairwise `r²` between any two SNPs of the
+    /// haplotype (exclusive bound; pairs at or above are rejected).
+    pub max_pairwise_r2: f64,
+    /// `s2`: minimum required absolute difference between the MAFs of any
+    /// two SNPs of the haplotype (inclusive bound).
+    pub min_maf_difference: f64,
+    /// Per-SNP minimum MAF (monomorphic-marker filter).
+    pub min_maf: f64,
+}
+
+impl Default for HaplotypeConstraints {
+    fn default() -> Self {
+        // Loose defaults: r² < 0.8 rules out near-duplicate tag SNPs, no MAF
+        // spacing requirement, 1% polymorphism floor.
+        HaplotypeConstraints {
+            max_pairwise_r2: 0.8,
+            min_maf_difference: 0.0,
+            min_maf: 0.01,
+        }
+    }
+}
+
+/// A single constraint violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A pair of SNPs exceeds the `r²` ceiling.
+    PairwiseLdTooHigh {
+        /// First SNP of the offending pair.
+        a: SnpId,
+        /// Second SNP of the offending pair.
+        b: SnpId,
+        /// Observed `r²`.
+        r2: f64,
+    },
+    /// A pair of SNPs has too-similar MAFs.
+    MafDifferenceTooLow {
+        /// First SNP of the offending pair.
+        a: SnpId,
+        /// Second SNP of the offending pair.
+        b: SnpId,
+        /// Observed |MAF(a) − MAF(b)|.
+        diff: f64,
+    },
+    /// A SNP is (nearly) monomorphic.
+    MafTooLow {
+        /// Offending SNP.
+        snp: SnpId,
+        /// Observed MAF.
+        maf: f64,
+    },
+}
+
+/// Result of checking one haplotype against the constraints.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConstraintReport {
+    /// All violations found (empty ⇒ feasible).
+    pub violations: Vec<Violation>,
+}
+
+impl ConstraintReport {
+    /// Whether the haplotype satisfies every constraint.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl HaplotypeConstraints {
+    /// Check a haplotype (ascending SNP list) against the frequency and LD
+    /// tables; collects *all* violations rather than stopping at the first.
+    pub fn check(
+        &self,
+        snps: &[SnpId],
+        freqs: &AlleleFreqTable,
+        ld: &LdTable,
+    ) -> ConstraintReport {
+        let mut report = ConstraintReport::default();
+        for (i, &a) in snps.iter().enumerate() {
+            let maf_a = freqs.maf(a);
+            if maf_a < self.min_maf {
+                report.violations.push(Violation::MafTooLow { snp: a, maf: maf_a });
+            }
+            for &b in &snps[i + 1..] {
+                let r2 = ld.get(a, b).r2;
+                if r2 >= self.max_pairwise_r2 {
+                    report
+                        .violations
+                        .push(Violation::PairwiseLdTooHigh { a, b, r2 });
+                }
+                let diff = (maf_a - freqs.maf(b)).abs();
+                if diff < self.min_maf_difference {
+                    report
+                        .violations
+                        .push(Violation::MafDifferenceTooLow { a, b, diff });
+                }
+            }
+        }
+        report
+    }
+
+    /// Fast boolean feasibility check (stops at the first violation).
+    pub fn is_feasible(&self, snps: &[SnpId], freqs: &AlleleFreqTable, ld: &LdTable) -> bool {
+        for (i, &a) in snps.iter().enumerate() {
+            let maf_a = freqs.maf(a);
+            if maf_a < self.min_maf {
+                return false;
+            }
+            for &b in &snps[i + 1..] {
+                if ld.get(a, b).r2 >= self.max_pairwise_r2 {
+                    return false;
+                }
+                if (maf_a - freqs.maf(b)).abs() < self.min_maf_difference {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genotype::Genotype as G;
+    use crate::matrix::GenotypeMatrix;
+
+    /// 3 SNPs: 0 and 1 perfectly correlated, 2 independent; SNP 2 has
+    /// lower MAF than 0/1.
+    fn fixtures() -> (AlleleFreqTable, LdTable) {
+        let m = GenotypeMatrix::from_rows(
+            8,
+            3,
+            vec![
+                G::HomA1, G::HomA1, G::HomA1, //
+                G::HomA1, G::HomA1, G::HomA1, //
+                G::Het, G::Het, G::HomA1, //
+                G::Het, G::Het, G::HomA1, //
+                G::HomA2, G::HomA2, G::HomA1, //
+                G::HomA2, G::HomA2, G::Het, //
+                G::Het, G::Het, G::HomA1, //
+                G::HomA1, G::HomA1, G::HomA1,
+            ],
+        )
+        .unwrap();
+        (AlleleFreqTable::from_matrix(&m), LdTable::from_matrix(&m))
+    }
+
+    #[test]
+    fn duplicate_tags_are_rejected() {
+        let (f, ld) = fixtures();
+        let c = HaplotypeConstraints::default();
+        let report = c.check(&[0, 1], &f, &ld);
+        assert!(!report.is_feasible());
+        assert!(matches!(
+            report.violations[0],
+            Violation::PairwiseLdTooHigh { a: 0, b: 1, .. }
+        ));
+        assert!(!c.is_feasible(&[0, 1], &f, &ld));
+    }
+
+    #[test]
+    fn independent_pair_is_feasible() {
+        let (f, ld) = fixtures();
+        let c = HaplotypeConstraints {
+            min_maf: 0.01,
+            ..Default::default()
+        };
+        assert!(c.check(&[0, 2], &f, &ld).is_feasible());
+        assert!(c.is_feasible(&[0, 2], &f, &ld));
+    }
+
+    #[test]
+    fn maf_floor_applies() {
+        let (f, ld) = fixtures();
+        let c = HaplotypeConstraints {
+            min_maf: 0.2,
+            ..Default::default()
+        };
+        // SNP 2 MAF = 1/16 < 0.2.
+        let report = c.check(&[2], &f, &ld);
+        assert!(matches!(report.violations[0], Violation::MafTooLow { snp: 2, .. }));
+    }
+
+    #[test]
+    fn maf_spacing_constraint() {
+        let (f, ld) = fixtures();
+        let c = HaplotypeConstraints {
+            max_pairwise_r2: 2.0, // disable LD constraint
+            min_maf_difference: 0.5,
+            min_maf: 0.0,
+        };
+        // SNPs 0 and 1 have identical MAF -> diff = 0 < 0.5.
+        let report = c.check(&[0, 1], &f, &ld);
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0],
+            Violation::MafDifferenceTooLow { .. }
+        ));
+    }
+
+    #[test]
+    fn check_collects_all_violations() {
+        let (f, ld) = fixtures();
+        let c = HaplotypeConstraints {
+            max_pairwise_r2: 0.0001,
+            min_maf_difference: 0.9,
+            min_maf: 0.99,
+        };
+        let report = c.check(&[0, 1, 2], &f, &ld);
+        // 3 MAF-floor + pair violations for every pair (LD and/or spacing).
+        assert!(report.violations.len() >= 6);
+    }
+
+    #[test]
+    fn empty_and_singleton_haplotypes() {
+        let (f, ld) = fixtures();
+        let c = HaplotypeConstraints::default();
+        assert!(c.check(&[], &f, &ld).is_feasible());
+        assert!(c.check(&[0], &f, &ld).is_feasible());
+    }
+}

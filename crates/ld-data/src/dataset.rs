@@ -1,0 +1,214 @@
+//! A complete case/control study dataset.
+
+use crate::error::DataError;
+use crate::matrix::GenotypeMatrix;
+use crate::snp::{SnpId, SnpInfo};
+use crate::status::Status;
+
+/// A genotype matrix bundled with per-individual status and SNP metadata —
+/// the unit of input the paper's whole pipeline operates on.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Individuals × SNPs genotypes.
+    pub genotypes: GenotypeMatrix,
+    /// Per-individual disease status, `statuses.len() == n_individuals`.
+    pub statuses: Vec<Status>,
+    /// Per-SNP metadata, `snps.len() == n_snps`.
+    pub snps: Vec<SnpInfo>,
+    /// Free-form provenance label (e.g. `"lille-51 seed=42"`).
+    pub label: String,
+}
+
+impl Dataset {
+    /// Bundle parts into a dataset, validating dimensions.
+    pub fn new(
+        genotypes: GenotypeMatrix,
+        statuses: Vec<Status>,
+        snps: Vec<SnpInfo>,
+        label: impl Into<String>,
+    ) -> Result<Self, DataError> {
+        if statuses.len() != genotypes.n_individuals() {
+            return Err(DataError::DimensionMismatch {
+                what: "Dataset statuses",
+                expected: genotypes.n_individuals(),
+                actual: statuses.len(),
+            });
+        }
+        if snps.len() != genotypes.n_snps() {
+            return Err(DataError::DimensionMismatch {
+                what: "Dataset snp info",
+                expected: genotypes.n_snps(),
+                actual: snps.len(),
+            });
+        }
+        if genotypes.n_individuals() == 0 {
+            return Err(DataError::Empty("dataset individuals"));
+        }
+        if genotypes.n_snps() == 0 {
+            return Err(DataError::Empty("dataset SNPs"));
+        }
+        Ok(Dataset {
+            genotypes,
+            statuses,
+            snps,
+            label: label.into(),
+        })
+    }
+
+    /// Number of individuals.
+    #[inline]
+    pub fn n_individuals(&self) -> usize {
+        self.genotypes.n_individuals()
+    }
+
+    /// Number of SNPs.
+    #[inline]
+    pub fn n_snps(&self) -> usize {
+        self.genotypes.n_snps()
+    }
+
+    /// Row indices of individuals with the given status.
+    pub fn rows_with_status(&self, status: Status) -> Vec<usize> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == status)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Count of individuals with the given status.
+    pub fn count_status(&self, status: Status) -> usize {
+        self.statuses.iter().filter(|&&s| s == status).count()
+    }
+
+    /// `(affected, unaffected, unknown)` counts.
+    pub fn group_sizes(&self) -> (usize, usize, usize) {
+        (
+            self.count_status(Status::Affected),
+            self.count_status(Status::Unaffected),
+            self.count_status(Status::Unknown),
+        )
+    }
+
+    /// Sub-dataset restricted to phenotyped individuals (affected + unaffected),
+    /// which is what association tests consume.
+    pub fn phenotyped(&self) -> Result<Dataset, DataError> {
+        let rows: Vec<usize> = self
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_phenotyped())
+            .map(|(i, _)| i)
+            .collect();
+        let genotypes = self.genotypes.select_rows(&rows)?;
+        let statuses = rows.iter().map(|&r| self.statuses[r]).collect();
+        Dataset::new(
+            genotypes,
+            statuses,
+            self.snps.clone(),
+            format!("{} (phenotyped)", self.label),
+        )
+    }
+
+    /// All valid SNP ids `0..n_snps`.
+    pub fn snp_ids(&self) -> impl Iterator<Item = SnpId> {
+        0..self.n_snps()
+    }
+
+    /// Validate that a candidate haplotype refers to in-range, strictly
+    /// ascending SNP ids — the encoding invariant of §4.1.
+    pub fn validate_haplotype(&self, snps: &[SnpId]) -> Result<(), DataError> {
+        let n = self.n_snps();
+        for (idx, &s) in snps.iter().enumerate() {
+            if s >= n {
+                return Err(DataError::SnpOutOfBounds { snp: s, n_snps: n });
+            }
+            if idx > 0 && snps[idx - 1] >= s {
+                return Err(DataError::InvalidConfig(format!(
+                    "haplotype SNPs must be strictly ascending, got {:?}",
+                    snps
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genotype::Genotype as G;
+
+    fn tiny() -> Dataset {
+        let m = GenotypeMatrix::from_rows(
+            4,
+            2,
+            vec![
+                G::HomA1, G::Het, //
+                G::Het, G::HomA2, //
+                G::HomA2, G::HomA1, //
+                G::Missing, G::Het,
+            ],
+        )
+        .unwrap();
+        Dataset::new(
+            m,
+            vec![
+                Status::Affected,
+                Status::Unaffected,
+                Status::Unknown,
+                Status::Affected,
+            ],
+            vec![SnpInfo::synthetic(0, 1, 0.0), SnpInfo::synthetic(1, 1, 5.0)],
+            "tiny",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn group_accounting() {
+        let d = tiny();
+        assert_eq!(d.group_sizes(), (2, 1, 1));
+        assert_eq!(d.rows_with_status(Status::Affected), vec![0, 3]);
+        assert_eq!(d.rows_with_status(Status::Unknown), vec![2]);
+    }
+
+    #[test]
+    fn phenotyped_drops_unknown() {
+        let d = tiny().phenotyped().unwrap();
+        assert_eq!(d.n_individuals(), 3);
+        assert_eq!(d.count_status(Status::Unknown), 0);
+        // Order preserved: rows 0,1,3 of the original.
+        assert_eq!(d.genotypes.get(2, 1), G::Het);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let m = GenotypeMatrix::filled(2, 2, G::Het);
+        assert!(Dataset::new(
+            m.clone(),
+            vec![Status::Affected],
+            vec![SnpInfo::synthetic(0, 1, 0.0), SnpInfo::synthetic(1, 1, 1.0)],
+            "bad"
+        )
+        .is_err());
+        assert!(Dataset::new(
+            m,
+            vec![Status::Affected, Status::Unaffected],
+            vec![SnpInfo::synthetic(0, 1, 0.0)],
+            "bad"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn haplotype_validation() {
+        let d = tiny();
+        assert!(d.validate_haplotype(&[0, 1]).is_ok());
+        assert!(d.validate_haplotype(&[1, 0]).is_err());
+        assert!(d.validate_haplotype(&[0, 0]).is_err());
+        assert!(d.validate_haplotype(&[0, 2]).is_err());
+        assert!(d.validate_haplotype(&[]).is_ok());
+    }
+}

@@ -1,0 +1,122 @@
+//! Error type for data construction, validation and IO.
+
+use std::fmt;
+
+/// Errors produced while building, validating or (de)serializing datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// A matrix was built with inconsistent dimensions.
+    DimensionMismatch {
+        /// What was being constructed.
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// A SNP index was out of bounds for the matrix.
+    SnpOutOfBounds {
+        /// Offending SNP index.
+        snp: usize,
+        /// Number of SNPs in the matrix.
+        n_snps: usize,
+    },
+    /// An individual index was out of bounds for the matrix.
+    IndividualOutOfBounds {
+        /// Offending row index.
+        individual: usize,
+        /// Number of individuals in the matrix.
+        n_individuals: usize,
+    },
+    /// A genotype code outside `{0,1,2,3}` / `{"11","12","22","00"}` was read.
+    InvalidGenotypeCode(String),
+    /// A status code outside `{A,U,?}` was read.
+    InvalidStatusCode(String),
+    /// A numeric field failed to parse.
+    Parse {
+        /// Line number (1-based) in the input.
+        line: usize,
+        /// Description of the failure.
+        message: String,
+    },
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The dataset is structurally valid but empty where content is required.
+    Empty(&'static str),
+    /// A synthetic-generation configuration is infeasible.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch building {what}: expected {expected} elements, got {actual}"
+            ),
+            DataError::SnpOutOfBounds { snp, n_snps } => {
+                write!(f, "SNP index {snp} out of bounds (matrix has {n_snps} SNPs)")
+            }
+            DataError::IndividualOutOfBounds {
+                individual,
+                n_individuals,
+            } => write!(
+                f,
+                "individual index {individual} out of bounds (matrix has {n_individuals} rows)"
+            ),
+            DataError::InvalidGenotypeCode(code) => {
+                write!(f, "invalid genotype code {code:?}")
+            }
+            DataError::InvalidStatusCode(code) => write!(f, "invalid status code {code:?}"),
+            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Io(e) => write!(f, "io error: {e}"),
+            DataError::Empty(what) => write!(f, "{what} must not be empty"),
+            DataError::InvalidConfig(msg) => write!(f, "invalid synthetic config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::SnpOutOfBounds { snp: 60, n_snps: 51 };
+        assert!(e.to_string().contains("60"));
+        assert!(e.to_string().contains("51"));
+
+        let e = DataError::DimensionMismatch {
+            what: "GenotypeMatrix",
+            expected: 10,
+            actual: 9,
+        };
+        assert!(e.to_string().contains("GenotypeMatrix"));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error;
+        let e = DataError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

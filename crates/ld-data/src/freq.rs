@@ -1,0 +1,197 @@
+//! Per-SNP allele frequency tables.
+//!
+//! This is the first of the paper's two auxiliary input tables (§5.1): "a
+//! table indicates for each SNP the frequency of each alternative (1 and 2)".
+//! Frequencies are estimated by allele counting over called genotypes, either
+//! over all individuals or restricted to a status group.
+
+use crate::dataset::Dataset;
+use crate::matrix::GenotypeMatrix;
+use crate::snp::SnpId;
+use crate::status::Status;
+
+/// Allele frequencies of one SNP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnpFreq {
+    /// Frequency of allele `1` (wild type).
+    pub a1: f64,
+    /// Frequency of allele `2` (mutant).
+    pub a2: f64,
+    /// Number of called genotypes that contributed.
+    pub n_called: usize,
+}
+
+impl SnpFreq {
+    /// Minor allele frequency: the smaller of the two frequencies.
+    #[inline]
+    pub fn maf(&self) -> f64 {
+        self.a1.min(self.a2)
+    }
+}
+
+/// Per-SNP allele frequency table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlleleFreqTable {
+    freqs: Vec<SnpFreq>,
+}
+
+impl AlleleFreqTable {
+    /// Estimate frequencies over every individual of the matrix.
+    pub fn from_matrix(m: &GenotypeMatrix) -> Self {
+        let rows: Vec<usize> = (0..m.n_individuals()).collect();
+        Self::from_matrix_rows(m, &rows)
+    }
+
+    /// Estimate frequencies over a row subset.
+    pub fn from_matrix_rows(m: &GenotypeMatrix, rows: &[usize]) -> Self {
+        let freqs = (0..m.n_snps())
+            .map(|snp| Self::snp_freq(m, rows, snp))
+            .collect();
+        AlleleFreqTable { freqs }
+    }
+
+    /// Estimate frequencies over a dataset, optionally restricted to a group.
+    pub fn from_dataset(d: &Dataset, group: Option<Status>) -> Self {
+        match group {
+            None => Self::from_matrix(&d.genotypes),
+            Some(status) => Self::from_matrix_rows(&d.genotypes, &d.rows_with_status(status)),
+        }
+    }
+
+    fn snp_freq(m: &GenotypeMatrix, rows: &[usize], snp: SnpId) -> SnpFreq {
+        let mut a2_alleles = 0usize;
+        let mut called = 0usize;
+        for &r in rows {
+            if let Some(c) = m.get(r, snp).a2_count() {
+                a2_alleles += c as usize;
+                called += 1;
+            }
+        }
+        if called == 0 {
+            return SnpFreq {
+                a1: 0.0,
+                a2: 0.0,
+                n_called: 0,
+            };
+        }
+        let a2 = a2_alleles as f64 / (2 * called) as f64;
+        SnpFreq {
+            a1: 1.0 - a2,
+            a2,
+            n_called: called,
+        }
+    }
+
+    /// Frequencies of one SNP.
+    #[inline]
+    pub fn get(&self, snp: SnpId) -> SnpFreq {
+        self.freqs[snp]
+    }
+
+    /// Minor allele frequency of one SNP.
+    #[inline]
+    pub fn maf(&self, snp: SnpId) -> f64 {
+        self.freqs[snp].maf()
+    }
+
+    /// Number of SNPs in the table.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Iterate `(snp, freq)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SnpId, &SnpFreq)> {
+        self.freqs.iter().enumerate()
+    }
+
+    /// SNPs whose MAF is at least `min_maf` — the usual pre-filter for
+    /// association studies (monomorphic SNPs carry no signal).
+    pub fn polymorphic_snps(&self, min_maf: f64) -> Vec<SnpId> {
+        self.iter()
+            .filter(|(_, f)| f.maf() >= min_maf)
+            .map(|(s, _)| s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genotype::Genotype as G;
+
+    fn matrix() -> GenotypeMatrix {
+        // 4 individuals × 3 SNPs.
+        GenotypeMatrix::from_rows(
+            4,
+            3,
+            vec![
+                G::HomA1, G::Het, G::Missing, //
+                G::HomA1, G::Het, G::HomA2, //
+                G::Het, G::HomA2, G::HomA2, //
+                G::HomA1, G::HomA2, G::Missing,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counting_matches_hand_calc() {
+        let t = AlleleFreqTable::from_matrix(&matrix());
+        // SNP 0: alleles = 1,1,1,1,1,2,1,1 -> a2 = 1/8.
+        assert!((t.get(0).a2 - 0.125).abs() < 1e-12);
+        assert!((t.get(0).a1 - 0.875).abs() < 1e-12);
+        assert_eq!(t.get(0).n_called, 4);
+        // SNP 1: 1,2 / 1,2 / 2,2 / 2,2 -> a2 = 6/8.
+        assert!((t.get(1).a2 - 0.75).abs() < 1e-12);
+        // SNP 2: only two called, both 2/2 -> a2 = 1.
+        assert!((t.get(2).a2 - 1.0).abs() < 1e-12);
+        assert_eq!(t.get(2).n_called, 2);
+    }
+
+    #[test]
+    fn maf_is_smaller_frequency() {
+        let t = AlleleFreqTable::from_matrix(&matrix());
+        assert!((t.maf(0) - 0.125).abs() < 1e-12);
+        assert!((t.maf(1) - 0.25).abs() < 1e-12);
+        assert!((t.maf(2) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_subset_changes_estimates() {
+        let m = matrix();
+        let t = AlleleFreqTable::from_matrix_rows(&m, &[2]);
+        // Only the het/HomA2/HomA2 row: SNP0 a2 = 1/2.
+        assert!((t.get(0).a2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_missing_column_gives_zero_called() {
+        let m = GenotypeMatrix::filled(3, 1, G::Missing);
+        let t = AlleleFreqTable::from_matrix(&m);
+        assert_eq!(t.get(0).n_called, 0);
+        assert_eq!(t.maf(0), 0.0);
+    }
+
+    #[test]
+    fn polymorphic_filter() {
+        let t = AlleleFreqTable::from_matrix(&matrix());
+        assert_eq!(t.polymorphic_snps(0.2), vec![1]);
+        assert_eq!(t.polymorphic_snps(0.1), vec![0, 1]);
+        assert_eq!(t.polymorphic_snps(0.0).len(), 3);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one_when_called() {
+        let t = AlleleFreqTable::from_matrix(&matrix());
+        for (_, f) in t.iter() {
+            if f.n_called > 0 {
+                assert!((f.a1 + f.a2 - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+}

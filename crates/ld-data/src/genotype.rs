@@ -1,0 +1,181 @@
+//! Unphased single-SNP genotypes.
+//!
+//! Genotype data (what a sequencing panel reports) gives, per individual and
+//! per SNP, the unordered pair of alleles — *not* which chromosome each
+//! allele came from. Phase ambiguity across heterozygous loci is exactly
+//! what the EH-DIALL EM procedure (crate `ld-stats`) resolves.
+
+use crate::snp::Allele;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unphased genotype of one individual at one bi-allelic SNP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Genotype {
+    /// Homozygous wild type (`1/1`).
+    HomA1,
+    /// Heterozygous (`1/2`).
+    Het,
+    /// Homozygous mutant (`2/2`).
+    HomA2,
+    /// Missing call.
+    Missing,
+}
+
+impl Genotype {
+    /// Build a genotype from an unordered pair of alleles.
+    #[inline]
+    pub fn from_alleles(a: Allele, b: Allele) -> Self {
+        match (a, b) {
+            (Allele::A1, Allele::A1) => Genotype::HomA1,
+            (Allele::A2, Allele::A2) => Genotype::HomA2,
+            _ => Genotype::Het,
+        }
+    }
+
+    /// Number of copies of the mutant allele `A2` (0, 1 or 2); `None` if missing.
+    #[inline]
+    pub fn a2_count(self) -> Option<u8> {
+        match self {
+            Genotype::HomA1 => Some(0),
+            Genotype::Het => Some(1),
+            Genotype::HomA2 => Some(2),
+            Genotype::Missing => None,
+        }
+    }
+
+    /// Whether the genotype is heterozygous.
+    #[inline]
+    pub fn is_het(self) -> bool {
+        matches!(self, Genotype::Het)
+    }
+
+    /// Whether the genotype call is present.
+    #[inline]
+    pub fn is_called(self) -> bool {
+        !matches!(self, Genotype::Missing)
+    }
+
+    /// Two-character paper-style code: `11`, `12`, `22`, or `00` for missing.
+    pub fn code(self) -> &'static str {
+        match self {
+            Genotype::HomA1 => "11",
+            Genotype::Het => "12",
+            Genotype::HomA2 => "22",
+            Genotype::Missing => "00",
+        }
+    }
+
+    /// Parse a paper-style code (order-insensitive: `21` is accepted as `12`).
+    pub fn from_code(code: &str) -> Option<Self> {
+        match code {
+            "11" => Some(Genotype::HomA1),
+            "12" | "21" => Some(Genotype::Het),
+            "22" => Some(Genotype::HomA2),
+            "00" => Some(Genotype::Missing),
+            _ => None,
+        }
+    }
+
+    /// Compact numeric encoding used by the binary writer: count of A2
+    /// alleles, with `3` for missing.
+    #[inline]
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Genotype::HomA1 => 0,
+            Genotype::Het => 1,
+            Genotype::HomA2 => 2,
+            Genotype::Missing => 3,
+        }
+    }
+
+    /// Inverse of [`Genotype::to_u8`].
+    #[inline]
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Genotype::HomA1),
+            1 => Some(Genotype::Het),
+            2 => Some(Genotype::HomA2),
+            3 => Some(Genotype::Missing),
+            _ => None,
+        }
+    }
+
+    /// The unordered allele pair, `None` when missing.
+    pub fn alleles(self) -> Option<(Allele, Allele)> {
+        match self {
+            Genotype::HomA1 => Some((Allele::A1, Allele::A1)),
+            Genotype::Het => Some((Allele::A1, Allele::A2)),
+            Genotype::HomA2 => Some((Allele::A2, Allele::A2)),
+            Genotype::Missing => None,
+        }
+    }
+}
+
+impl fmt::Display for Genotype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Genotype; 4] = [
+        Genotype::HomA1,
+        Genotype::Het,
+        Genotype::HomA2,
+        Genotype::Missing,
+    ];
+
+    #[test]
+    fn code_roundtrip() {
+        for g in ALL {
+            assert_eq!(Genotype::from_code(g.code()), Some(g));
+            assert_eq!(Genotype::from_u8(g.to_u8()), Some(g));
+        }
+        assert_eq!(Genotype::from_code("21"), Some(Genotype::Het));
+        assert_eq!(Genotype::from_code("13"), None);
+        assert_eq!(Genotype::from_u8(4), None);
+    }
+
+    #[test]
+    fn from_alleles_is_order_insensitive() {
+        assert_eq!(
+            Genotype::from_alleles(Allele::A1, Allele::A2),
+            Genotype::from_alleles(Allele::A2, Allele::A1)
+        );
+        assert_eq!(
+            Genotype::from_alleles(Allele::A2, Allele::A2),
+            Genotype::HomA2
+        );
+    }
+
+    #[test]
+    fn a2_count_matches_definition() {
+        assert_eq!(Genotype::HomA1.a2_count(), Some(0));
+        assert_eq!(Genotype::Het.a2_count(), Some(1));
+        assert_eq!(Genotype::HomA2.a2_count(), Some(2));
+        assert_eq!(Genotype::Missing.a2_count(), None);
+    }
+
+    #[test]
+    fn alleles_reconstruct_genotype() {
+        for g in ALL {
+            if let Some((a, b)) = g.alleles() {
+                assert_eq!(Genotype::from_alleles(a, b), g);
+            } else {
+                assert_eq!(g, Genotype::Missing);
+            }
+        }
+    }
+
+    #[test]
+    fn het_detection() {
+        assert!(Genotype::Het.is_het());
+        assert!(!Genotype::HomA1.is_het());
+        assert!(Genotype::HomA1.is_called());
+        assert!(!Genotype::Missing.is_called());
+    }
+}

@@ -1,0 +1,221 @@
+//! Missing-genotype handling.
+//!
+//! EH drops individuals with any missing call among the selected SNPs
+//! (exactly what `ld-stats::em` does), which wastes samples when
+//! missingness is high. Real pipelines pre-process instead; two standard
+//! options are provided:
+//!
+//! * [`impute_mode`] — replace each missing call with its SNP's most
+//!   frequent genotype (per status group, so imputation cannot leak
+//!   case/control signal across groups);
+//! * [`complete_case_filter`] — drop individuals whose overall call rate
+//!   is below a threshold (bad samples, not bad markers).
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::genotype::Genotype;
+use crate::status::Status;
+
+/// Per-group modal genotype of one SNP (falls back to `HomA1` when a group
+/// has no called genotype at all).
+fn group_mode(d: &Dataset, rows: &[usize], snp: usize) -> Genotype {
+    let mut counts = [0usize; 3];
+    for &r in rows {
+        match d.genotypes.get(r, snp) {
+            Genotype::HomA1 => counts[0] += 1,
+            Genotype::Het => counts[1] += 1,
+            Genotype::HomA2 => counts[2] += 1,
+            Genotype::Missing => {}
+        }
+    }
+    let best = (0..3).max_by_key(|&i| counts[i]).expect("3 candidates");
+    match best {
+        0 => Genotype::HomA1,
+        1 => Genotype::Het,
+        _ => Genotype::HomA2,
+    }
+}
+
+/// Mode-impute every missing genotype, using the individual's own status
+/// group to compute the mode. Returns the imputed dataset and the number
+/// of calls filled in.
+pub fn impute_mode(d: &Dataset) -> Result<(Dataset, usize), DataError> {
+    let groups: Vec<(Status, Vec<usize>)> = [Status::Affected, Status::Unaffected, Status::Unknown]
+        .into_iter()
+        .map(|s| (s, d.rows_with_status(s)))
+        .collect();
+    let mut genotypes = d.genotypes.clone();
+    let mut filled = 0usize;
+    for snp in 0..d.n_snps() {
+        // Modes computed once per SNP per group, from the *original* data.
+        let modes: Vec<(Status, Genotype)> = groups
+            .iter()
+            .map(|(s, rows)| (*s, group_mode(d, rows, snp)))
+            .collect();
+        for (status, rows) in &groups {
+            let mode = modes
+                .iter()
+                .find(|(s, _)| s == status)
+                .map(|(_, g)| *g)
+                .expect("every status has a mode");
+            for &r in rows {
+                if !d.genotypes.get(r, snp).is_called() {
+                    genotypes.set(r, snp, mode);
+                    filled += 1;
+                }
+            }
+        }
+    }
+    let out = Dataset::new(
+        genotypes,
+        d.statuses.clone(),
+        d.snps.clone(),
+        format!("{} (mode-imputed)", d.label),
+    )?;
+    Ok((out, filled))
+}
+
+/// Drop individuals whose fraction of called genotypes is below
+/// `min_call_rate`. Returns the filtered dataset and the dropped row
+/// indices (in the original dataset's numbering).
+pub fn complete_case_filter(
+    d: &Dataset,
+    min_call_rate: f64,
+) -> Result<(Dataset, Vec<usize>), DataError> {
+    if !(0.0..=1.0).contains(&min_call_rate) {
+        return Err(DataError::InvalidConfig(format!(
+            "min_call_rate must be in [0, 1], got {min_call_rate}"
+        )));
+    }
+    let n_snps = d.n_snps() as f64;
+    let mut keep = Vec::new();
+    let mut dropped = Vec::new();
+    for i in 0..d.n_individuals() {
+        let called = d.genotypes.row(i).iter().filter(|g| g.is_called()).count();
+        if called as f64 / n_snps >= min_call_rate {
+            keep.push(i);
+        } else {
+            dropped.push(i);
+        }
+    }
+    if keep.is_empty() {
+        return Err(DataError::Empty("dataset after complete-case filter"));
+    }
+    let genotypes = d.genotypes.select_rows(&keep)?;
+    let statuses = keep.iter().map(|&r| d.statuses[r]).collect();
+    let out = Dataset::new(
+        genotypes,
+        statuses,
+        d.snps.clone(),
+        format!("{} (call rate >= {min_call_rate})", d.label),
+    )?;
+    Ok((out, dropped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::lille_51_config;
+
+    fn with_missing(rate: f64, seed: u64) -> Dataset {
+        let mut cfg = lille_51_config();
+        cfg.missing_rate = rate;
+        cfg.generate(seed).unwrap()
+    }
+
+    #[test]
+    fn impute_fills_every_missing_call() {
+        let d = with_missing(0.1, 5);
+        let before = d
+            .genotypes
+            .as_slice()
+            .iter()
+            .filter(|g| !g.is_called())
+            .count();
+        assert!(before > 0);
+        let (imputed, filled) = impute_mode(&d).unwrap();
+        assert_eq!(filled, before);
+        assert!(imputed
+            .genotypes
+            .as_slice()
+            .iter()
+            .all(|g| g.is_called()));
+        // Non-missing calls untouched.
+        for i in 0..d.n_individuals() {
+            for s in 0..d.n_snps() {
+                let orig = d.genotypes.get(i, s);
+                if orig.is_called() {
+                    assert_eq!(imputed.genotypes.get(i, s), orig);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impute_noop_on_complete_data() {
+        let d = with_missing(0.0, 5);
+        let (imputed, filled) = impute_mode(&d).unwrap();
+        assert_eq!(filled, 0);
+        assert_eq!(imputed.genotypes, d.genotypes);
+    }
+
+    #[test]
+    fn imputation_is_group_aware() {
+        // Build a tiny dataset where the modal genotype differs by group.
+        use crate::genotype::Genotype as G;
+        use crate::matrix::GenotypeMatrix;
+        use crate::snp::SnpInfo;
+        let m = GenotypeMatrix::from_rows(
+            4,
+            1,
+            vec![G::HomA2, G::Missing, G::HomA1, G::Missing],
+        )
+        .unwrap();
+        let d = Dataset::new(
+            m,
+            vec![
+                Status::Affected,
+                Status::Affected,
+                Status::Unaffected,
+                Status::Unaffected,
+            ],
+            vec![SnpInfo::synthetic(0, 1, 0.0)],
+            "tiny",
+        )
+        .unwrap();
+        let (imputed, filled) = impute_mode(&d).unwrap();
+        assert_eq!(filled, 2);
+        // Affected missing -> affected mode (HomA2); unaffected -> HomA1.
+        assert_eq!(imputed.genotypes.get(1, 0), G::HomA2);
+        assert_eq!(imputed.genotypes.get(3, 0), G::HomA1);
+    }
+
+    #[test]
+    fn complete_case_filter_drops_bad_samples() {
+        let d = with_missing(0.15, 9);
+        let (filtered, dropped) = complete_case_filter(&d, 0.9).unwrap();
+        assert_eq!(filtered.n_individuals() + dropped.len(), d.n_individuals());
+        // Every kept row satisfies the threshold.
+        for i in 0..filtered.n_individuals() {
+            let called = filtered
+                .genotypes
+                .row(i)
+                .iter()
+                .filter(|g| g.is_called())
+                .count();
+            assert!(called as f64 / filtered.n_snps() as f64 >= 0.9);
+        }
+        assert!(!dropped.is_empty(), "15% missingness should drop someone");
+    }
+
+    #[test]
+    fn filter_validation_and_degenerate_cases() {
+        let d = with_missing(0.0, 5);
+        assert!(complete_case_filter(&d, 1.5).is_err());
+        // Impossible threshold on fully missing rows only: keep everyone
+        // with complete data.
+        let (filtered, dropped) = complete_case_filter(&d, 1.0).unwrap();
+        assert!(dropped.is_empty());
+        assert_eq!(filtered.n_individuals(), d.n_individuals());
+    }
+}

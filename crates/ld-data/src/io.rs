@@ -1,0 +1,219 @@
+//! TSV (de)serialization of datasets — the paper's input tables (§5.1).
+//!
+//! The format is one header line, then one line per individual:
+//!
+//! ```text
+//! id<TAB>status<TAB>snp000<TAB>snp001<TAB>...
+//! ind000<TAB>A<TAB>11<TAB>12<TAB>...
+//! ```
+//!
+//! Genotypes use the paper's `11 / 12 / 22` coding with `00` for missing;
+//! statuses use `A / U / ?`. Auxiliary tables (allele frequencies, pairwise
+//! LD) have writers too, since the paper distributes them alongside the
+//! genotype table.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::freq::AlleleFreqTable;
+use crate::genotype::Genotype;
+use crate::ld::LdTable;
+use crate::matrix::GenotypeMatrix;
+use crate::snp::SnpInfo;
+use crate::status::Status;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Write a dataset as TSV.
+pub fn write_dataset_tsv<W: Write>(d: &Dataset, mut w: W) -> Result<(), DataError> {
+    write!(w, "id\tstatus")?;
+    for s in &d.snps {
+        write!(w, "\t{}", s.name)?;
+    }
+    writeln!(w)?;
+    for i in 0..d.n_individuals() {
+        write!(w, "ind{i:03}\t{}", d.statuses[i].code())?;
+        for g in d.genotypes.row(i) {
+            write!(w, "\t{}", g.code())?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a dataset from TSV written by [`write_dataset_tsv`].
+pub fn read_dataset_tsv<R: Read>(r: R, label: impl Into<String>) -> Result<Dataset, DataError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines().enumerate();
+
+    let header = lines
+        .next()
+        .ok_or(DataError::Empty("TSV input"))?
+        .1?;
+    let cols: Vec<&str> = header.split('\t').collect();
+    if cols.len() < 3 || cols[0] != "id" || cols[1] != "status" {
+        return Err(DataError::Parse {
+            line: 1,
+            message: format!("bad header {header:?}: expected id\\tstatus\\t<snps...>"),
+        });
+    }
+    let snps: Vec<SnpInfo> = cols[2..]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| SnpInfo {
+            id: i,
+            name: (*name).to_string(),
+            chromosome: 1,
+            position_kb: 0.0,
+        })
+        .collect();
+    let n_snps = snps.len();
+
+    let mut data: Vec<Genotype> = Vec::new();
+    let mut statuses: Vec<Status> = Vec::new();
+    for (idx, line) in lines {
+        let line = line?;
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != n_snps + 2 {
+            return Err(DataError::Parse {
+                line: line_no,
+                message: format!(
+                    "expected {} fields, got {}",
+                    n_snps + 2,
+                    fields.len()
+                ),
+            });
+        }
+        let status_field = fields[1];
+        let status = status_field
+            .chars()
+            .next()
+            .and_then(Status::from_code)
+            .filter(|_| status_field.chars().count() == 1)
+            .ok_or_else(|| DataError::InvalidStatusCode(status_field.to_string()))?;
+        statuses.push(status);
+        for f in &fields[2..] {
+            data.push(
+                Genotype::from_code(f).ok_or_else(|| DataError::InvalidGenotypeCode(f.to_string()))?,
+            );
+        }
+    }
+    let n_individuals = statuses.len();
+    let matrix = GenotypeMatrix::from_rows(n_individuals, n_snps, data)?;
+    Dataset::new(matrix, statuses, snps, label)
+}
+
+/// Write the per-SNP allele frequency table as TSV.
+pub fn write_freq_tsv<W: Write>(t: &AlleleFreqTable, mut w: W) -> Result<(), DataError> {
+    writeln!(w, "snp\tfreq1\tfreq2\tmaf\tn_called")?;
+    for (id, f) in t.iter() {
+        writeln!(
+            w,
+            "{id}\t{:.6}\t{:.6}\t{:.6}\t{}",
+            f.a1,
+            f.a2,
+            f.maf(),
+            f.n_called
+        )?;
+    }
+    Ok(())
+}
+
+/// Write the pairwise LD table as TSV (upper triangle).
+pub fn write_ld_tsv<W: Write>(t: &LdTable, mut w: W) -> Result<(), DataError> {
+    writeln!(w, "snp_a\tsnp_b\td\td_prime\tr2")?;
+    for (i, j, ld) in t.iter() {
+        writeln!(w, "{i}\t{j}\t{:.6}\t{:.6}\t{:.6}", ld.d, ld.d_prime, ld.r2)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::lille_51;
+
+    #[test]
+    fn dataset_roundtrip() {
+        let d = lille_51(5);
+        let mut buf = Vec::new();
+        write_dataset_tsv(&d, &mut buf).unwrap();
+        let d2 = read_dataset_tsv(&buf[..], "roundtrip").unwrap();
+        assert_eq!(d.genotypes, d2.genotypes);
+        assert_eq!(d.statuses, d2.statuses);
+        assert_eq!(d.n_snps(), d2.n_snps());
+        assert_eq!(d.snps[10].name, d2.snps[10].name);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let input = b"noid\tstatus\tsnp0\n";
+        assert!(matches!(
+            read_dataset_tsv(&input[..], "x"),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_short_row() {
+        let input = b"id\tstatus\tsnp0\tsnp1\nind\tA\t11\n";
+        assert!(matches!(
+            read_dataset_tsv(&input[..], "x"),
+            Err(DataError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_codes() {
+        let bad_geno = b"id\tstatus\tsnp0\nind\tA\t13\n";
+        assert!(matches!(
+            read_dataset_tsv(&bad_geno[..], "x"),
+            Err(DataError::InvalidGenotypeCode(_))
+        ));
+        let bad_status = b"id\tstatus\tsnp0\nind\tZ\t11\n";
+        assert!(matches!(
+            read_dataset_tsv(&bad_status[..], "x"),
+            Err(DataError::InvalidStatusCode(_))
+        ));
+        let long_status = b"id\tstatus\tsnp0\nind\tAA\t11\n";
+        assert!(matches!(
+            read_dataset_tsv(&long_status[..], "x"),
+            Err(DataError::InvalidStatusCode(_))
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let input = b"id\tstatus\tsnp0\nind0\tA\t11\n\nind1\tU\t22\n";
+        let d = read_dataset_tsv(&input[..], "x").unwrap();
+        assert_eq!(d.n_individuals(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let input: &[u8] = b"";
+        assert!(matches!(
+            read_dataset_tsv(input, "x"),
+            Err(DataError::Empty(_))
+        ));
+    }
+
+    #[test]
+    fn aux_tables_write_headers() {
+        let d = lille_51(5);
+        let f = AlleleFreqTable::from_matrix(&d.genotypes);
+        let mut buf = Vec::new();
+        write_freq_tsv(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("snp\tfreq1"));
+        assert_eq!(text.lines().count(), 52);
+
+        let ld = LdTable::from_matrix(&d.genotypes);
+        let mut buf = Vec::new();
+        write_ld_tsv(&ld, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1 + 51 * 50 / 2);
+    }
+}

@@ -1,0 +1,343 @@
+//! Pairwise linkage-disequilibrium measures and the pairwise LD table.
+//!
+//! This is the second auxiliary input table of §5.1: "the last table gives
+//! the disequilibrium between every couples of SNPs".
+//!
+//! Two estimation routes are provided:
+//!
+//! * [`PairwiseLd::from_haplotype_freqs`] — the textbook `D`, `D'`, `r²`
+//!   given known two-locus haplotype frequencies (used on simulated truth
+//!   and on EM-estimated frequencies);
+//! * [`PairwiseLd::composite_from_genotypes`] — Burrows' *composite* LD from
+//!   unphased genotype data, which needs no phase information: the
+//!   composite coefficient is `cov(X, Y) / 2` where `X, Y ∈ {0,1,2}` are
+//!   mutant-allele counts at the two loci.
+
+use crate::matrix::GenotypeMatrix;
+use crate::snp::SnpId;
+
+/// Linkage-disequilibrium summary for one pair of SNPs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseLd {
+    /// Raw disequilibrium coefficient `D` (or composite `Δ`).
+    pub d: f64,
+    /// Lewontin's normalized `D' ∈ [-1, 1]` (0 when undefined).
+    pub d_prime: f64,
+    /// Squared correlation `r² ∈ [0, 1]` (0 when undefined).
+    pub r2: f64,
+}
+
+impl PairwiseLd {
+    /// No detectable disequilibrium.
+    pub const NULL: PairwiseLd = PairwiseLd {
+        d: 0.0,
+        d_prime: 0.0,
+        r2: 0.0,
+    };
+
+    /// Compute `D`, `D'`, `r²` from the four two-locus haplotype frequencies
+    /// `(p11, p12, p21, p22)` where `p_ab` is the frequency of the haplotype
+    /// carrying allele `a` at the first SNP and `b` at the second.
+    pub fn from_haplotype_freqs(p11: f64, p12: f64, p21: f64, p22: f64) -> PairwiseLd {
+        let total = p11 + p12 + p21 + p22;
+        if total <= 0.0 {
+            return PairwiseLd::NULL;
+        }
+        let (p11, p12, p21) = (p11 / total, p12 / total, p21 / total);
+        let p1 = p11 + p12; // allele 1 at locus A
+        let q1 = p11 + p21; // allele 1 at locus B
+        let d = p11 - p1 * q1;
+        Self::normalize(d, p1, q1)
+    }
+
+    /// Normalize a raw coefficient `d` given marginal allele-1 frequencies
+    /// `p1` (locus A) and `q1` (locus B).
+    fn normalize(d: f64, p1: f64, q1: f64) -> PairwiseLd {
+        let p2 = 1.0 - p1;
+        let q2 = 1.0 - q1;
+        let denom_r = p1 * p2 * q1 * q2;
+        let r2 = if denom_r > 0.0 {
+            (d * d / denom_r).min(1.0)
+        } else {
+            0.0
+        };
+        let d_max = if d >= 0.0 {
+            (p1 * q2).min(p2 * q1)
+        } else {
+            (p1 * q1).min(p2 * q2)
+        };
+        let d_prime = if d_max > 0.0 {
+            (d / d_max).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        };
+        PairwiseLd { d, d_prime, r2 }
+    }
+
+    /// Burrows' composite LD from unphased genotypes over a row subset.
+    ///
+    /// Pairs with a missing call at either locus are skipped. Returns
+    /// [`PairwiseLd::NULL`] when fewer than two complete observations exist
+    /// or either locus is monomorphic in the subset.
+    pub fn composite_from_genotypes(
+        m: &GenotypeMatrix,
+        rows: &[usize],
+        a: SnpId,
+        b: SnpId,
+    ) -> PairwiseLd {
+        let mut n = 0.0f64;
+        let mut sx = 0.0f64;
+        let mut sy = 0.0f64;
+        let mut sxx = 0.0f64;
+        let mut syy = 0.0f64;
+        let mut sxy = 0.0f64;
+        for &r in rows {
+            let (Some(x), Some(y)) = (m.get(r, a).a2_count(), m.get(r, b).a2_count()) else {
+                continue;
+            };
+            let (x, y) = (x as f64, y as f64);
+            n += 1.0;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+        if n < 2.0 {
+            return PairwiseLd::NULL;
+        }
+        let cov = (sxy - sx * sy / n) / n;
+        let var_x = (sxx - sx * sx / n) / n;
+        let var_y = (syy - sy * sy / n) / n;
+        if var_x <= 0.0 || var_y <= 0.0 {
+            return PairwiseLd::NULL;
+        }
+        // Composite Δ is cov/2; marginal allele-2 freqs are mean/2, so the
+        // normalization reuses the haplotype-frequency formulas with the
+        // allele-1 frequencies 1 - mean/2.
+        let d = cov / 2.0;
+        let p1 = 1.0 - sx / n / 2.0;
+        let q1 = 1.0 - sy / n / 2.0;
+        // For composite data the sign convention follows allele 2; flip so
+        // `d` refers to the 1-1 haplotype excess as in the phased case.
+        let mut out = Self::normalize(d, p1, q1);
+        // r² from the genotypic correlation is more robust than the
+        // allele-frequency denominator under Hardy-Weinberg deviation.
+        let r = cov / (var_x * var_y).sqrt();
+        out.r2 = (r * r).min(1.0);
+        out
+    }
+}
+
+/// Symmetric pairwise LD table over all SNPs of a matrix.
+#[derive(Debug, Clone)]
+pub struct LdTable {
+    n_snps: usize,
+    /// Upper-triangular storage, row-major: entry for `(i, j)` with `i < j`
+    /// lives at `index(i, j)`.
+    entries: Vec<PairwiseLd>,
+}
+
+impl LdTable {
+    /// Compute the composite-LD table over all individuals.
+    pub fn from_matrix(m: &GenotypeMatrix) -> Self {
+        let rows: Vec<usize> = (0..m.n_individuals()).collect();
+        Self::from_matrix_rows(m, &rows)
+    }
+
+    /// Compute the composite-LD table over a row subset.
+    pub fn from_matrix_rows(m: &GenotypeMatrix, rows: &[usize]) -> Self {
+        let n = m.n_snps();
+        let mut entries = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                entries.push(PairwiseLd::composite_from_genotypes(m, rows, i, j));
+            }
+        }
+        LdTable { n_snps: n, entries }
+    }
+
+    #[inline]
+    fn index(&self, i: SnpId, j: SnpId) -> usize {
+        debug_assert!(i < j && j < self.n_snps);
+        // Offset of row i in the packed upper triangle.
+        i * (2 * self.n_snps - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// LD between two distinct SNPs (symmetric).
+    ///
+    /// # Panics
+    /// Panics if `i == j` or either index is out of range.
+    pub fn get(&self, i: SnpId, j: SnpId) -> PairwiseLd {
+        assert!(i != j, "LD of a SNP with itself is undefined");
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        assert!(j < self.n_snps, "SNP index out of range");
+        self.entries[self.index(i, j)]
+    }
+
+    /// Number of SNPs covered.
+    pub fn n_snps(&self) -> usize {
+        self.n_snps
+    }
+
+    /// Iterate all `(i, j, ld)` with `i < j`.
+    pub fn iter(&self) -> impl Iterator<Item = (SnpId, SnpId, &PairwiseLd)> {
+        let n = self.n_snps;
+        (0..n)
+            .flat_map(move |i| ((i + 1)..n).map(move |j| (i, j)))
+            .zip(self.entries.iter())
+            .map(|((i, j), ld)| (i, j, ld))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genotype::Genotype as G;
+
+    #[test]
+    fn perfect_ld_from_haplotype_freqs() {
+        // Only 11 and 22 haplotypes: complete positive LD.
+        let ld = PairwiseLd::from_haplotype_freqs(0.6, 0.0, 0.0, 0.4);
+        assert!((ld.d_prime - 1.0).abs() < 1e-12);
+        assert!((ld.r2 - 1.0).abs() < 1e-12);
+        assert!(ld.d > 0.0);
+    }
+
+    #[test]
+    fn equilibrium_from_haplotype_freqs() {
+        // Independent loci: p11 = p1*q1 etc.
+        let (p1, q1) = (0.3, 0.7);
+        let ld = PairwiseLd::from_haplotype_freqs(
+            p1 * q1,
+            p1 * (1.0 - q1),
+            (1.0 - p1) * q1,
+            (1.0 - p1) * (1.0 - q1),
+        );
+        assert!(ld.d.abs() < 1e-12);
+        assert!(ld.r2 < 1e-12);
+    }
+
+    #[test]
+    fn negative_ld_sign() {
+        // Repulsion: 12 and 21 haplotypes only.
+        let ld = PairwiseLd::from_haplotype_freqs(0.0, 0.5, 0.5, 0.0);
+        assert!(ld.d < 0.0);
+        assert!((ld.d_prime + 1.0).abs() < 1e-12);
+        assert!((ld.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unnormalized_freqs_are_rescaled() {
+        let a = PairwiseLd::from_haplotype_freqs(6.0, 0.0, 0.0, 4.0);
+        let b = PairwiseLd::from_haplotype_freqs(0.6, 0.0, 0.0, 0.4);
+        assert!((a.d - b.d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_detects_correlated_columns() {
+        // Two identical columns: maximal composite LD.
+        let m = GenotypeMatrix::from_rows(
+            6,
+            2,
+            vec![
+                G::HomA1, G::HomA1, //
+                G::HomA1, G::HomA1, //
+                G::Het, G::Het, //
+                G::Het, G::Het, //
+                G::HomA2, G::HomA2, //
+                G::HomA2, G::HomA2,
+            ],
+        )
+        .unwrap();
+        let rows: Vec<usize> = (0..6).collect();
+        let ld = PairwiseLd::composite_from_genotypes(&m, &rows, 0, 1);
+        assert!((ld.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composite_null_on_independent_columns() {
+        // Column 1 constant Het varies orthogonally to column 0.
+        let m = GenotypeMatrix::from_rows(
+            4,
+            2,
+            vec![
+                G::HomA1, G::HomA1, //
+                G::HomA1, G::HomA2, //
+                G::HomA2, G::HomA1, //
+                G::HomA2, G::HomA2,
+            ],
+        )
+        .unwrap();
+        let rows: Vec<usize> = (0..4).collect();
+        let ld = PairwiseLd::composite_from_genotypes(&m, &rows, 0, 1);
+        assert!(ld.r2 < 1e-12, "r2 = {}", ld.r2);
+    }
+
+    #[test]
+    fn composite_handles_monomorphic_and_missing() {
+        let m = GenotypeMatrix::from_rows(
+            3,
+            2,
+            vec![
+                G::HomA1, G::Het, //
+                G::HomA1, G::HomA2, //
+                G::HomA1, G::Missing,
+            ],
+        )
+        .unwrap();
+        let rows: Vec<usize> = (0..3).collect();
+        assert_eq!(
+            PairwiseLd::composite_from_genotypes(&m, &rows, 0, 1),
+            PairwiseLd::NULL
+        );
+        // Fewer than 2 complete pairs.
+        assert_eq!(
+            PairwiseLd::composite_from_genotypes(&m, &[2], 0, 1),
+            PairwiseLd::NULL
+        );
+    }
+
+    #[test]
+    fn table_symmetric_access_and_indexing() {
+        let m = GenotypeMatrix::from_rows(
+            4,
+            3,
+            vec![
+                G::HomA1, G::HomA1, G::Het, //
+                G::Het, G::Het, G::HomA2, //
+                G::HomA2, G::HomA2, G::HomA1, //
+                G::Het, G::HomA1, G::Het,
+            ],
+        )
+        .unwrap();
+        let t = LdTable::from_matrix(&m);
+        assert_eq!(t.n_snps(), 3);
+        assert_eq!(t.get(0, 2), t.get(2, 0));
+        assert_eq!(t.iter().count(), 3);
+        // Entry (0,1) should show strong correlation (columns nearly equal).
+        assert!(t.get(0, 1).r2 > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn table_rejects_self_pair() {
+        let m = GenotypeMatrix::filled(2, 2, G::Het);
+        let t = LdTable::from_matrix(&m);
+        let _ = t.get(1, 1);
+    }
+
+    #[test]
+    fn packed_index_is_bijective() {
+        let m = GenotypeMatrix::filled(2, 7, G::Het);
+        let t = LdTable::from_matrix(&m);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                assert!(seen.insert(t.index(i, j)));
+            }
+        }
+        assert_eq!(seen.len(), 21);
+        assert_eq!(*seen.iter().max().unwrap(), 20);
+    }
+}

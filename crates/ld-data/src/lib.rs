@@ -1,0 +1,49 @@
+//! # ld-data — genotype data substrate for linkage-disequilibrium studies
+//!
+//! This crate provides everything the IPDPS 2004 paper's GA consumes as
+//! *input data*:
+//!
+//! * a genotype model for bi-allelic SNP markers ([`snp`], [`genotype`]),
+//! * a dense individuals × SNPs genotype matrix with case/control status
+//!   ([`matrix`], [`dataset`]),
+//! * the three "paper input tables": per-SNP allele frequencies ([`freq`]),
+//!   pairwise linkage disequilibrium ([`ld`]), and the genotype table itself
+//!   ([`io`]),
+//! * the §2.3 haplotype feasibility constraints ([`constraints`]),
+//! * and a synthetic population generator ([`synthetic`]) standing in for the
+//!   private Lille diabetes/obesity dataset (176 individuals, 51 SNPs), with
+//!   planted causal haplotypes so that ground-truth optima exist.
+//!
+//! The original study's data cannot be redistributed; [`synthetic::lille_51`]
+//! builds a deterministic instance with the same dimensions and the same
+//! qualitative landscape structure (non-nested optima across haplotype
+//! sizes, LD block structure, unknown-status individuals).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod dataset;
+pub mod error;
+pub mod freq;
+pub mod genotype;
+pub mod impute;
+pub mod io;
+pub mod ld;
+pub mod linkage;
+pub mod matrix;
+pub mod snp;
+pub mod status;
+pub mod synthetic;
+
+pub use constraints::{ConstraintReport, HaplotypeConstraints};
+pub use dataset::Dataset;
+pub use error::DataError;
+pub use freq::AlleleFreqTable;
+pub use genotype::Genotype;
+pub use io::{read_dataset_tsv, write_dataset_tsv};
+pub use ld::{LdTable, PairwiseLd};
+pub use matrix::GenotypeMatrix;
+pub use snp::{Allele, SnpId, SnpInfo};
+pub use status::Status;
+pub use synthetic::{PlantedSignal, SyntheticConfig};

@@ -1,0 +1,236 @@
+//! LINKAGE (pre-makeped) pedigree format.
+//!
+//! EH and CLUMP — the two programs the paper's evaluation wraps — consume
+//! genotypes in the LINKAGE pedigree format of Terwilliger & Ott's
+//! *Handbook of Human Genetic Linkage* (the paper's reference [13]). One
+//! whitespace-separated line per individual:
+//!
+//! ```text
+//! fam  id  father  mother  sex  status  a1 a2  a1 a2 ...
+//! ```
+//!
+//! with `status` coded `2` = affected, `1` = unaffected, `0` = unknown,
+//! and each marker as an unordered allele pair coded `1`/`2` (`0 0` for a
+//! missing call). The paper's design is case/control (unrelated
+//! individuals), so the writer emits singleton families (`father` =
+//! `mother` = `0`) and the reader accepts any pedigree columns but ignores
+//! the relationships.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::genotype::Genotype;
+use crate::matrix::GenotypeMatrix;
+use crate::snp::{Allele, SnpInfo};
+use crate::status::Status;
+use std::io::{BufRead, BufReader, Read, Write};
+
+fn status_code(s: Status) -> u8 {
+    match s {
+        Status::Affected => 2,
+        Status::Unaffected => 1,
+        Status::Unknown => 0,
+    }
+}
+
+fn status_from_code(c: &str) -> Option<Status> {
+    match c {
+        "2" => Some(Status::Affected),
+        "1" => Some(Status::Unaffected),
+        "0" => Some(Status::Unknown),
+        _ => None,
+    }
+}
+
+fn allele_pair(g: Genotype) -> (u8, u8) {
+    match g.alleles() {
+        Some((a, b)) => (a.code(), b.code()),
+        None => (0, 0),
+    }
+}
+
+/// Write a dataset as a LINKAGE pedigree file (singleton families).
+pub fn write_linkage_ped<W: Write>(d: &Dataset, mut w: W) -> Result<(), DataError> {
+    for i in 0..d.n_individuals() {
+        // fam = id = row+1 (LINKAGE ids are 1-based), founders.
+        write!(w, "{0} {0} 0 0 0 {1}", i + 1, status_code(d.statuses[i]))?;
+        for g in d.genotypes.row(i) {
+            let (a, b) = allele_pair(*g);
+            write!(w, " {a} {b}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a LINKAGE pedigree file. Pedigree structure (father/mother/sex) is
+/// parsed but ignored — the paper's analysis treats individuals as
+/// unrelated cases and controls.
+pub fn read_linkage_ped<R: Read>(r: R, label: impl Into<String>) -> Result<Dataset, DataError> {
+    let reader = BufReader::new(r);
+    let mut statuses: Vec<Status> = Vec::new();
+    let mut data: Vec<Genotype> = Vec::new();
+    let mut n_snps: Option<usize> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 6 {
+            return Err(DataError::Parse {
+                line: line_no,
+                message: format!("expected at least 6 pedigree columns, got {}", fields.len()),
+            });
+        }
+        let allele_fields = &fields[6..];
+        if !allele_fields.len().is_multiple_of(2) {
+            return Err(DataError::Parse {
+                line: line_no,
+                message: format!("odd number of allele columns ({})", allele_fields.len()),
+            });
+        }
+        let k = allele_fields.len() / 2;
+        match n_snps {
+            None => n_snps = Some(k),
+            Some(k0) if k0 != k => {
+                return Err(DataError::Parse {
+                    line: line_no,
+                    message: format!("marker count changed: {k} vs {k0}"),
+                });
+            }
+            _ => {}
+        }
+        let status = status_from_code(fields[5]).ok_or_else(|| DataError::Parse {
+            line: line_no,
+            message: format!("bad status code {:?} (expected 0/1/2)", fields[5]),
+        })?;
+        statuses.push(status);
+        for pair in allele_fields.chunks_exact(2) {
+            let parse = |s: &str| -> Result<u8, DataError> {
+                s.parse().map_err(|_| DataError::Parse {
+                    line: line_no,
+                    message: format!("bad allele code {s:?}"),
+                })
+            };
+            let (a, b) = (parse(pair[0])?, parse(pair[1])?);
+            let g = match (a, b) {
+                (0, _) | (_, 0) => Genotype::Missing,
+                _ => {
+                    let aa = Allele::from_code(a).ok_or_else(|| DataError::Parse {
+                        line: line_no,
+                        message: format!("allele code {a} out of range (0/1/2)"),
+                    })?;
+                    let bb = Allele::from_code(b).ok_or_else(|| DataError::Parse {
+                        line: line_no,
+                        message: format!("allele code {b} out of range (0/1/2)"),
+                    })?;
+                    Genotype::from_alleles(aa, bb)
+                }
+            };
+            data.push(g);
+        }
+    }
+    let n_snps = n_snps.ok_or(DataError::Empty("LINKAGE pedigree input"))?;
+    let n_individuals = statuses.len();
+    let matrix = GenotypeMatrix::from_rows(n_individuals, n_snps, data)?;
+    let snps = (0..n_snps)
+        .map(|i| SnpInfo::synthetic(i, 1, 0.0))
+        .collect();
+    Dataset::new(matrix, statuses, snps, label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::lille_51;
+
+    #[test]
+    fn roundtrip_preserves_genotypes_and_status() {
+        let d = lille_51(3);
+        let mut buf = Vec::new();
+        write_linkage_ped(&d, &mut buf).unwrap();
+        let d2 = read_linkage_ped(&buf[..], "roundtrip").unwrap();
+        assert_eq!(d.genotypes, d2.genotypes);
+        assert_eq!(d.statuses, d2.statuses);
+    }
+
+    #[test]
+    fn writer_emits_singleton_founders() {
+        let d = lille_51(3);
+        let mut buf = Vec::new();
+        write_linkage_ped(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let first = text.lines().next().unwrap();
+        let cols: Vec<&str> = first.split_whitespace().collect();
+        assert_eq!(cols[0], "1"); // fam
+        assert_eq!(cols[1], "1"); // id
+        assert_eq!(cols[2], "0"); // father
+        assert_eq!(cols[3], "0"); // mother
+        assert_eq!(cols.len(), 6 + 2 * 51);
+    }
+
+    #[test]
+    fn reads_hand_written_pedigree() {
+        let input = b"\
+# two markers, three unrelated individuals
+1 1 0 0 1 2  1 1  1 2
+2 2 0 0 2 1  2 2  0 0
+3 3 0 0 0 0  1 2  2 1
+";
+        let d = read_linkage_ped(&input[..], "hand").unwrap();
+        assert_eq!(d.n_individuals(), 3);
+        assert_eq!(d.n_snps(), 2);
+        assert_eq!(d.statuses[0], Status::Affected);
+        assert_eq!(d.statuses[1], Status::Unaffected);
+        assert_eq!(d.statuses[2], Status::Unknown);
+        assert_eq!(d.genotypes.get(0, 0), Genotype::HomA1);
+        assert_eq!(d.genotypes.get(0, 1), Genotype::Het);
+        assert_eq!(d.genotypes.get(1, 0), Genotype::HomA2);
+        assert_eq!(d.genotypes.get(1, 1), Genotype::Missing);
+        // Unordered pair: "2 1" is the same het as "1 2".
+        assert_eq!(d.genotypes.get(2, 1), Genotype::Het);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        // Too few columns.
+        let input = b"1 1 0 0 1\n";
+        assert!(matches!(
+            read_linkage_ped(&input[..], "x"),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+        // Odd allele columns.
+        let input = b"1 1 0 0 1 2 1\n";
+        assert!(matches!(
+            read_linkage_ped(&input[..], "x"),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+        // Bad status.
+        let input = b"1 1 0 0 1 9 1 1\n";
+        assert!(matches!(
+            read_linkage_ped(&input[..], "x"),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+        // Bad allele.
+        let input = b"1 1 0 0 1 2 1 7\n";
+        assert!(matches!(
+            read_linkage_ped(&input[..], "x"),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+        // Marker count change on line 2.
+        let input = b"1 1 0 0 1 2 1 1\n2 2 0 0 1 1 1 1 2 2\n";
+        assert!(matches!(
+            read_linkage_ped(&input[..], "x"),
+            Err(DataError::Parse { line: 2, .. })
+        ));
+        // Empty.
+        let input = b"\n# only a comment\n";
+        assert!(matches!(
+            read_linkage_ped(&input[..], "x"),
+            Err(DataError::Empty(_))
+        ));
+    }
+}

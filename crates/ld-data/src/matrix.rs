@@ -1,0 +1,251 @@
+//! Dense genotype matrix: individuals × SNPs.
+//!
+//! Row-major storage (one row per individual) because the GA's evaluation
+//! pipeline iterates individuals and gathers the genotypes of a small SNP
+//! subset per individual; a row is one cache-friendly strip.
+
+use crate::error::DataError;
+use crate::genotype::Genotype;
+use crate::snp::SnpId;
+
+/// Dense individuals × SNPs genotype matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenotypeMatrix {
+    n_individuals: usize,
+    n_snps: usize,
+    /// Row-major: `data[i * n_snps + s]`.
+    data: Vec<Genotype>,
+}
+
+impl GenotypeMatrix {
+    /// Build from a row-major genotype vector.
+    pub fn from_rows(
+        n_individuals: usize,
+        n_snps: usize,
+        data: Vec<Genotype>,
+    ) -> Result<Self, DataError> {
+        if data.len() != n_individuals * n_snps {
+            return Err(DataError::DimensionMismatch {
+                what: "GenotypeMatrix",
+                expected: n_individuals * n_snps,
+                actual: data.len(),
+            });
+        }
+        Ok(GenotypeMatrix {
+            n_individuals,
+            n_snps,
+            data,
+        })
+    }
+
+    /// An all-missing matrix, useful as a builder target.
+    pub fn filled(n_individuals: usize, n_snps: usize, g: Genotype) -> Self {
+        GenotypeMatrix {
+            n_individuals,
+            n_snps,
+            data: vec![g; n_individuals * n_snps],
+        }
+    }
+
+    /// Number of individuals (rows).
+    #[inline]
+    pub fn n_individuals(&self) -> usize {
+        self.n_individuals
+    }
+
+    /// Number of SNP markers (columns).
+    #[inline]
+    pub fn n_snps(&self) -> usize {
+        self.n_snps
+    }
+
+    /// Genotype of `individual` at `snp`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds (this is the hot path; use
+    /// [`GenotypeMatrix::try_get`] for checked access).
+    #[inline]
+    pub fn get(&self, individual: usize, snp: SnpId) -> Genotype {
+        debug_assert!(individual < self.n_individuals && snp < self.n_snps);
+        self.data[individual * self.n_snps + snp]
+    }
+
+    /// Checked access.
+    pub fn try_get(&self, individual: usize, snp: SnpId) -> Result<Genotype, DataError> {
+        if individual >= self.n_individuals {
+            return Err(DataError::IndividualOutOfBounds {
+                individual,
+                n_individuals: self.n_individuals,
+            });
+        }
+        if snp >= self.n_snps {
+            return Err(DataError::SnpOutOfBounds {
+                snp,
+                n_snps: self.n_snps,
+            });
+        }
+        Ok(self.get(individual, snp))
+    }
+
+    /// Set one genotype.
+    pub fn set(&mut self, individual: usize, snp: SnpId, g: Genotype) {
+        assert!(
+            individual < self.n_individuals && snp < self.n_snps,
+            "GenotypeMatrix::set out of bounds ({individual},{snp})"
+        );
+        self.data[individual * self.n_snps + snp] = g;
+    }
+
+    /// Full row (all SNPs) of one individual.
+    #[inline]
+    pub fn row(&self, individual: usize) -> &[Genotype] {
+        &self.data[individual * self.n_snps..(individual + 1) * self.n_snps]
+    }
+
+    /// Gather the genotypes of `individual` at an ordered SNP subset into `out`.
+    ///
+    /// This is the innermost gather of every haplotype evaluation; it avoids
+    /// allocation by writing into a caller-provided buffer.
+    #[inline]
+    pub fn gather_into(&self, individual: usize, snps: &[SnpId], out: &mut Vec<Genotype>) {
+        out.clear();
+        let row = self.row(individual);
+        out.extend(snps.iter().map(|&s| row[s]));
+    }
+
+    /// Allocating variant of [`GenotypeMatrix::gather_into`].
+    pub fn gather(&self, individual: usize, snps: &[SnpId]) -> Vec<Genotype> {
+        let mut out = Vec::with_capacity(snps.len());
+        self.gather_into(individual, snps, &mut out);
+        out
+    }
+
+    /// Column iterator over all individuals for one SNP.
+    pub fn column(&self, snp: SnpId) -> impl Iterator<Item = Genotype> + '_ {
+        debug_assert!(snp < self.n_snps);
+        (0..self.n_individuals).map(move |i| self.get(i, snp))
+    }
+
+    /// Call rate of one SNP: fraction of non-missing genotypes.
+    pub fn call_rate(&self, snp: SnpId) -> f64 {
+        if self.n_individuals == 0 {
+            return 0.0;
+        }
+        let called = self.column(snp).filter(|g| g.is_called()).count();
+        called as f64 / self.n_individuals as f64
+    }
+
+    /// Restrict to a subset of rows (cloning), preserving row order.
+    pub fn select_rows(&self, rows: &[usize]) -> Result<Self, DataError> {
+        let mut data = Vec::with_capacity(rows.len() * self.n_snps);
+        for &r in rows {
+            if r >= self.n_individuals {
+                return Err(DataError::IndividualOutOfBounds {
+                    individual: r,
+                    n_individuals: self.n_individuals,
+                });
+            }
+            data.extend_from_slice(self.row(r));
+        }
+        Ok(GenotypeMatrix {
+            n_individuals: rows.len(),
+            n_snps: self.n_snps,
+            data,
+        })
+    }
+
+    /// Raw row-major data.
+    pub fn as_slice(&self) -> &[Genotype] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genotype::Genotype as G;
+
+    fn small() -> GenotypeMatrix {
+        // 3 individuals × 4 SNPs
+        GenotypeMatrix::from_rows(
+            3,
+            4,
+            vec![
+                G::HomA1, G::Het, G::HomA2, G::Missing, //
+                G::Het, G::Het, G::HomA1, G::HomA1, //
+                G::HomA2, G::HomA1, G::Het, G::HomA2,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dims_and_access() {
+        let m = small();
+        assert_eq!(m.n_individuals(), 3);
+        assert_eq!(m.n_snps(), 4);
+        assert_eq!(m.get(0, 2), G::HomA2);
+        assert_eq!(m.get(2, 0), G::HomA2);
+        assert_eq!(m.try_get(2, 3).unwrap(), G::HomA2);
+    }
+
+    #[test]
+    fn bad_dims_rejected() {
+        assert!(matches!(
+            GenotypeMatrix::from_rows(2, 3, vec![G::Het; 5]),
+            Err(DataError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_access_errors() {
+        let m = small();
+        assert!(matches!(
+            m.try_get(3, 0),
+            Err(DataError::IndividualOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.try_get(0, 4),
+            Err(DataError::SnpOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn gather_follows_subset_order() {
+        let m = small();
+        assert_eq!(m.gather(1, &[2, 0]), vec![G::HomA1, G::Het]);
+        let mut buf = Vec::new();
+        m.gather_into(0, &[0, 1, 2], &mut buf);
+        assert_eq!(buf, vec![G::HomA1, G::Het, G::HomA2]);
+        // Reuse does not leak previous content.
+        m.gather_into(0, &[3], &mut buf);
+        assert_eq!(buf, vec![G::Missing]);
+    }
+
+    #[test]
+    fn column_and_call_rate() {
+        let m = small();
+        let col3: Vec<_> = m.column(3).collect();
+        assert_eq!(col3, vec![G::Missing, G::HomA1, G::HomA2]);
+        assert!((m.call_rate(3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.call_rate(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_rows_clones_in_order() {
+        let m = small();
+        let sub = m.select_rows(&[2, 0]).unwrap();
+        assert_eq!(sub.n_individuals(), 2);
+        assert_eq!(sub.row(0), m.row(2));
+        assert_eq!(sub.row(1), m.row(0));
+        assert!(m.select_rows(&[5]).is_err());
+    }
+
+    #[test]
+    fn set_roundtrip() {
+        let mut m = GenotypeMatrix::filled(2, 2, G::Missing);
+        m.set(1, 1, G::Het);
+        assert_eq!(m.get(1, 1), G::Het);
+        assert_eq!(m.get(0, 0), G::Missing);
+    }
+}

@@ -1,0 +1,141 @@
+//! SNP identifiers, alleles and marker metadata.
+//!
+//! The paper codes the two forms of a bi-allelic SNP as `1` (wild type) and
+//! `2` (mutation); we keep that convention throughout (an haplotype value
+//! such as `1221` in the paper's Figure 2 is a string of these codes).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Zero-based index of a SNP column in a [`crate::GenotypeMatrix`].
+///
+/// The paper reports haplotypes as lists of SNP numbers (e.g. `8 12 15`);
+/// we use the same integers as zero-based column indices.
+pub type SnpId = usize;
+
+/// One of the two forms of a bi-allelic SNP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Allele {
+    /// The wild-type form, coded `1` in the paper.
+    A1,
+    /// The mutated form, coded `2` in the paper.
+    A2,
+}
+
+impl Allele {
+    /// Paper-style numeric code (`1` or `2`).
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            Allele::A1 => 1,
+            Allele::A2 => 2,
+        }
+    }
+
+    /// Parse a paper-style code.
+    #[inline]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(Allele::A1),
+            2 => Some(Allele::A2),
+            _ => None,
+        }
+    }
+
+    /// The other allele.
+    #[inline]
+    pub fn other(self) -> Self {
+        match self {
+            Allele::A1 => Allele::A2,
+            Allele::A2 => Allele::A1,
+        }
+    }
+
+    /// Index `0`/`1` usable for bit-packing haplotypes (A1 → 0, A2 → 1).
+    #[inline]
+    pub fn bit(self) -> usize {
+        match self {
+            Allele::A1 => 0,
+            Allele::A2 => 1,
+        }
+    }
+
+    /// Inverse of [`Allele::bit`].
+    #[inline]
+    pub fn from_bit(bit: usize) -> Self {
+        if bit == 0 {
+            Allele::A1
+        } else {
+            Allele::A2
+        }
+    }
+}
+
+impl fmt::Display for Allele {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// Metadata describing one SNP marker.
+///
+/// Mirrors the descriptive columns of the paper's SNP information table:
+/// a name, a chromosome, and a physical position (in kilobases, the unit
+/// the paper uses for inter-SNP distances).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnpInfo {
+    /// Column index in the genotype matrix.
+    pub id: SnpId,
+    /// Human-readable marker name (e.g. `rs1234` style).
+    pub name: String,
+    /// Chromosome number the SNP sits on.
+    pub chromosome: u8,
+    /// Position on the chromosome, in kilobases.
+    pub position_kb: f64,
+}
+
+impl SnpInfo {
+    /// Build a default marker record for column `id`.
+    pub fn synthetic(id: SnpId, chromosome: u8, position_kb: f64) -> Self {
+        SnpInfo {
+            id,
+            name: format!("snp{id:03}"),
+            chromosome,
+            position_kb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allele_codes_roundtrip() {
+        for a in [Allele::A1, Allele::A2] {
+            assert_eq!(Allele::from_code(a.code()), Some(a));
+            assert_eq!(Allele::from_bit(a.bit()), a);
+        }
+        assert_eq!(Allele::from_code(0), None);
+        assert_eq!(Allele::from_code(3), None);
+    }
+
+    #[test]
+    fn other_is_involutive() {
+        assert_eq!(Allele::A1.other(), Allele::A2);
+        assert_eq!(Allele::A2.other().other(), Allele::A2);
+    }
+
+    #[test]
+    fn display_matches_paper_coding() {
+        assert_eq!(Allele::A1.to_string(), "1");
+        assert_eq!(Allele::A2.to_string(), "2");
+    }
+
+    #[test]
+    fn synthetic_info_has_padded_name() {
+        let s = SnpInfo::synthetic(7, 3, 120.5);
+        assert_eq!(s.name, "snp007");
+        assert_eq!(s.chromosome, 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! Disease status of study individuals.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Case/control status, matching the paper's dataset description
+/// (53 affected, 53 healthy, 70 unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Status {
+    /// Affected individual (group A in the paper).
+    Affected,
+    /// Healthy / unaffected individual (group U).
+    Unaffected,
+    /// Status not determined; excluded from association tests.
+    Unknown,
+}
+
+impl Status {
+    /// One-character file code: `A`, `U`, `?`.
+    pub fn code(self) -> char {
+        match self {
+            Status::Affected => 'A',
+            Status::Unaffected => 'U',
+            Status::Unknown => '?',
+        }
+    }
+
+    /// Parse a one-character file code.
+    pub fn from_code(c: char) -> Option<Self> {
+        match c {
+            'A' | 'a' => Some(Status::Affected),
+            'U' | 'u' => Some(Status::Unaffected),
+            '?' => Some(Status::Unknown),
+            _ => None,
+        }
+    }
+
+    /// Whether the individual participates in association testing.
+    #[inline]
+    pub fn is_phenotyped(self) -> bool {
+        !matches!(self, Status::Unknown)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for s in [Status::Affected, Status::Unaffected, Status::Unknown] {
+            assert_eq!(Status::from_code(s.code()), Some(s));
+        }
+        assert_eq!(Status::from_code('x'), None);
+        assert_eq!(Status::from_code('a'), Some(Status::Affected));
+    }
+
+    #[test]
+    fn phenotyped() {
+        assert!(Status::Affected.is_phenotyped());
+        assert!(Status::Unaffected.is_phenotyped());
+        assert!(!Status::Unknown.is_phenotyped());
+    }
+}

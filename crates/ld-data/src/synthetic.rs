@@ -1,0 +1,614 @@
+//! Synthetic case/control population generator.
+//!
+//! The paper's evaluation uses a private dataset from the Biological
+//! Institute of Lille (diabetes/obesity): 176 individuals — 53 affected,
+//! 53 unaffected, 70 unknown — typed at 51 SNPs, with scale-ups at 150 and
+//! 249 SNPs. That data cannot be redistributed, so this module builds a
+//! synthetic stand-in with the same dimensions and — crucially — the same
+//! *landscape structure* the paper's §3 reports:
+//!
+//! * SNPs are organised in LD blocks (founder haplotypes per block, within-
+//!   block recombination and mutation noise), so realistic pairwise LD
+//!   exists;
+//! * one or more **planted causal haplotypes** raise the odds of being
+//!   affected for carriers; planting signals of *different sizes on
+//!   disjoint SNP sets* reproduces the paper's observation that the best
+//!   haplotype of size `k` is not always an extension of the best of size
+//!   `k − 1`;
+//! * case/control status is drawn from a logistic disease model and
+//!   individuals are accepted into the affected / unaffected / unknown
+//!   quotas, mimicking retrospective case-control ascertainment.
+//!
+//! Everything is deterministic given the seed (ChaCha8 PRNG).
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::genotype::Genotype;
+use crate::matrix::GenotypeMatrix;
+use crate::snp::{Allele, SnpId, SnpInfo};
+use crate::status::Status;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A causal haplotype planted into the population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantedSignal {
+    /// Ascending SNP ids the signal spans.
+    pub snps: Vec<SnpId>,
+    /// Risk allele at each of `snps` (same length).
+    pub risk_alleles: Vec<Allele>,
+    /// Multiplicative odds of disease per carried copy of the risk
+    /// haplotype (`> 1` increases risk).
+    pub odds: f64,
+    /// Frequency with which a sampled chromosome is overwritten with the
+    /// risk pattern (this is what creates the haplotype and its internal LD).
+    pub carrier_freq: f64,
+}
+
+impl PlantedSignal {
+    /// Convenience constructor with all-`A2` risk pattern.
+    pub fn all_a2(snps: Vec<SnpId>, odds: f64, carrier_freq: f64) -> Self {
+        let risk_alleles = vec![Allele::A2; snps.len()];
+        PlantedSignal {
+            snps,
+            risk_alleles,
+            odds,
+            carrier_freq,
+        }
+    }
+
+    fn validate(&self, n_snps: usize) -> Result<(), DataError> {
+        if self.snps.len() != self.risk_alleles.len() {
+            return Err(DataError::InvalidConfig(format!(
+                "signal has {} SNPs but {} risk alleles",
+                self.snps.len(),
+                self.risk_alleles.len()
+            )));
+        }
+        if self.snps.is_empty() {
+            return Err(DataError::InvalidConfig("signal with no SNPs".into()));
+        }
+        for w in self.snps.windows(2) {
+            if w[0] >= w[1] {
+                return Err(DataError::InvalidConfig(format!(
+                    "signal SNPs must be strictly ascending: {:?}",
+                    self.snps
+                )));
+            }
+        }
+        if *self.snps.last().unwrap() >= n_snps {
+            return Err(DataError::InvalidConfig(format!(
+                "signal SNP {} out of range (n_snps = {})",
+                self.snps.last().unwrap(),
+                n_snps
+            )));
+        }
+        if self.odds.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(DataError::InvalidConfig("signal odds must be > 0".into()));
+        }
+        if !(0.0..=1.0).contains(&self.carrier_freq) {
+            return Err(DataError::InvalidConfig(
+                "carrier_freq must be in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether a chromosome (allele per SNP of the whole panel) carries the
+    /// risk pattern.
+    fn carried_by(&self, chromosome: &[Allele]) -> bool {
+        self.snps
+            .iter()
+            .zip(&self.risk_alleles)
+            .all(|(&s, &a)| chromosome[s] == a)
+    }
+}
+
+/// Configuration of the synthetic population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of SNP markers.
+    pub n_snps: usize,
+    /// Affected-individual quota.
+    pub n_affected: usize,
+    /// Unaffected-individual quota.
+    pub n_unaffected: usize,
+    /// Unknown-status quota.
+    pub n_unknown: usize,
+    /// Inclusive range of LD-block lengths (in SNPs).
+    pub block_len_range: (usize, usize),
+    /// Founder haplotypes per block.
+    pub founders_per_block: usize,
+    /// Inclusive range of per-SNP mutant-allele frequencies among founders.
+    pub allele2_freq_range: (f64, f64),
+    /// Probability that a sampled block haplotype recombines two founders.
+    pub within_block_recomb: f64,
+    /// Per-locus allele flip probability (mutation noise).
+    pub mutation_rate: f64,
+    /// Per-genotype missing-call probability.
+    pub missing_rate: f64,
+    /// Baseline disease prevalence for non-carriers.
+    pub baseline_prevalence: f64,
+    /// Planted causal haplotypes.
+    pub signals: Vec<PlantedSignal>,
+}
+
+impl SyntheticConfig {
+    /// Total number of individuals.
+    pub fn n_individuals(&self) -> usize {
+        self.n_affected + self.n_unaffected + self.n_unknown
+    }
+
+    fn validate(&self) -> Result<(), DataError> {
+        if self.n_snps == 0 {
+            return Err(DataError::InvalidConfig("n_snps must be > 0".into()));
+        }
+        if self.n_individuals() == 0 {
+            return Err(DataError::InvalidConfig("no individuals requested".into()));
+        }
+        let (lo, hi) = self.block_len_range;
+        if lo == 0 || lo > hi {
+            return Err(DataError::InvalidConfig(format!(
+                "bad block_len_range ({lo}, {hi})"
+            )));
+        }
+        if self.founders_per_block < 2 {
+            return Err(DataError::InvalidConfig(
+                "need at least 2 founder haplotypes per block".into(),
+            ));
+        }
+        let (flo, fhi) = self.allele2_freq_range;
+        if !(0.0..=1.0).contains(&flo) || !(0.0..=1.0).contains(&fhi) || flo > fhi {
+            return Err(DataError::InvalidConfig(format!(
+                "bad allele2_freq_range ({flo}, {fhi})"
+            )));
+        }
+        for p in [
+            self.within_block_recomb,
+            self.mutation_rate,
+            self.missing_rate,
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(DataError::InvalidConfig(
+                    "probabilities must be in [0, 1]".into(),
+                ));
+            }
+        }
+        if !(0.0 < self.baseline_prevalence && self.baseline_prevalence < 1.0) {
+            return Err(DataError::InvalidConfig(
+                "baseline_prevalence must be in (0, 1)".into(),
+            ));
+        }
+        for s in &self.signals {
+            s.validate(self.n_snps)?;
+        }
+        Ok(())
+    }
+
+    /// Generate the dataset. Deterministic for a given `(config, seed)`.
+    pub fn generate(&self, seed: u64) -> Result<Dataset, DataError> {
+        self.validate()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let founders = FounderPool::build(self, &mut rng);
+
+        let mut rows: Vec<(Vec<Genotype>, Status)> = Vec::with_capacity(self.n_individuals());
+        let mut need_a = self.n_affected;
+        let mut need_u = self.n_unaffected;
+        let mut need_q = self.n_unknown;
+        // Retrospective ascertainment: sample individuals from the
+        // population model and accept them into whichever quota their drawn
+        // status still has room for. Bounded to avoid pathological configs
+        // spinning forever.
+        let max_attempts = 4000 * self.n_individuals().max(1);
+        let mut attempts = 0usize;
+        while need_a + need_u + need_q > 0 {
+            attempts += 1;
+            if attempts > max_attempts {
+                return Err(DataError::InvalidConfig(format!(
+                    "could not fill group quotas after {max_attempts} draws; \
+                     disease model too extreme (baseline {}, {} signals)",
+                    self.baseline_prevalence,
+                    self.signals.len()
+                )));
+            }
+            let c1 = founders.sample_chromosome(self, &mut rng);
+            let c2 = founders.sample_chromosome(self, &mut rng);
+            let p = self.disease_probability(&c1, &c2);
+            let affected = rng.random::<f64>() < p;
+            let slot = if affected && need_a > 0 {
+                need_a -= 1;
+                Some(Status::Affected)
+            } else if !affected && need_u > 0 {
+                need_u -= 1;
+                Some(Status::Unaffected)
+            } else if need_q > 0 {
+                need_q -= 1;
+                Some(Status::Unknown)
+            } else {
+                None
+            };
+            if let Some(status) = slot {
+                rows.push((self.genotypes_from(&c1, &c2, &mut rng), status));
+            }
+        }
+        // Group-block ordering (affected first) like the paper's tables.
+        rows.sort_by_key(|(_, s)| match s {
+            Status::Affected => 0u8,
+            Status::Unaffected => 1,
+            Status::Unknown => 2,
+        });
+
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * self.n_snps);
+        let mut statuses = Vec::with_capacity(n);
+        for (gs, st) in rows {
+            data.extend(gs);
+            statuses.push(st);
+        }
+        let matrix = GenotypeMatrix::from_rows(n, self.n_snps, data)?;
+        let snps = founders.snp_infos();
+        Dataset::new(matrix, statuses, snps, format!("synthetic seed={seed}"))
+    }
+
+    /// Logistic disease model: logit(p) = logit(baseline) + Σ copies·ln(odds).
+    fn disease_probability(&self, c1: &[Allele], c2: &[Allele]) -> f64 {
+        let base = self.baseline_prevalence;
+        let mut logit = (base / (1.0 - base)).ln();
+        for s in &self.signals {
+            let copies =
+                usize::from(s.carried_by(c1)) + usize::from(s.carried_by(c2));
+            logit += copies as f64 * s.odds.ln();
+        }
+        1.0 / (1.0 + (-logit).exp())
+    }
+
+    fn genotypes_from(&self, c1: &[Allele], c2: &[Allele], rng: &mut ChaCha8Rng) -> Vec<Genotype> {
+        c1.iter()
+            .zip(c2)
+            .map(|(&a, &b)| {
+                if self.missing_rate > 0.0 && rng.random::<f64>() < self.missing_rate {
+                    Genotype::Missing
+                } else {
+                    Genotype::from_alleles(a, b)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Founder haplotypes organised in LD blocks.
+struct FounderPool {
+    /// `blocks[b] = (start_snp, haplotypes, weights)`.
+    blocks: Vec<Block>,
+    n_snps: usize,
+    /// Per-SNP kilobase positions (blocks are contiguous runs).
+    positions_kb: Vec<f64>,
+}
+
+struct Block {
+    len: usize,
+    /// `founders_per_block` haplotypes of length `len`.
+    haplotypes: Vec<Vec<Allele>>,
+    /// Sampling weights (sum to 1).
+    weights: Vec<f64>,
+}
+
+impl FounderPool {
+    fn build(cfg: &SyntheticConfig, rng: &mut ChaCha8Rng) -> Self {
+        let (lo, hi) = cfg.block_len_range;
+        let mut blocks = Vec::new();
+        let mut start = 0usize;
+        while start < cfg.n_snps {
+            let len = rng.random_range(lo..=hi).min(cfg.n_snps - start);
+            // Per-SNP target mutant frequency.
+            let (flo, fhi) = cfg.allele2_freq_range;
+            let freqs: Vec<f64> = (0..len)
+                .map(|_| {
+                    if (fhi - flo).abs() < f64::EPSILON {
+                        flo
+                    } else {
+                        rng.random_range(flo..fhi)
+                    }
+                })
+                .collect();
+            let haplotypes: Vec<Vec<Allele>> = (0..cfg.founders_per_block)
+                .map(|_| {
+                    freqs
+                        .iter()
+                        .map(|&p| {
+                            if rng.random::<f64>() < p {
+                                Allele::A2
+                            } else {
+                                Allele::A1
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            // Random founder weights (normalized positive draws).
+            let raw: Vec<f64> = (0..cfg.founders_per_block)
+                .map(|_| rng.random_range(0.2..1.0))
+                .collect();
+            let total: f64 = raw.iter().sum();
+            let weights = raw.into_iter().map(|w| w / total).collect();
+            blocks.push(Block {
+                len,
+                haplotypes,
+                weights,
+            });
+            start += len;
+        }
+        // Positions: 5 kb spacing within blocks, 200 kb gaps between blocks.
+        let mut positions_kb = Vec::with_capacity(cfg.n_snps);
+        let mut pos = 0.0;
+        for b in &blocks {
+            pos += 200.0;
+            for _ in 0..b.len {
+                positions_kb.push(pos);
+                pos += 5.0;
+            }
+        }
+        FounderPool {
+            blocks,
+            n_snps: cfg.n_snps,
+            positions_kb,
+        }
+    }
+
+    fn pick_founder<'a>(block: &'a Block, rng: &mut ChaCha8Rng) -> &'a [Allele] {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for (h, &w) in block.haplotypes.iter().zip(&block.weights) {
+            acc += w;
+            if u < acc {
+                return h;
+            }
+        }
+        block.haplotypes.last().expect("non-empty founders")
+    }
+
+    /// Sample one chromosome: per block, draw a founder (possibly
+    /// recombining two founders at a crossover point), apply mutation
+    /// noise, then overwrite with any planted signal pattern that fires.
+    fn sample_chromosome(&self, cfg: &SyntheticConfig, rng: &mut ChaCha8Rng) -> Vec<Allele> {
+        let mut chrom = Vec::with_capacity(self.n_snps);
+        for block in &self.blocks {
+            let a = Self::pick_founder(block, rng);
+            if block.len > 1 && rng.random::<f64>() < cfg.within_block_recomb {
+                let b = Self::pick_founder(block, rng);
+                let cut = rng.random_range(1..block.len);
+                chrom.extend_from_slice(&a[..cut]);
+                chrom.extend_from_slice(&b[cut..]);
+            } else {
+                chrom.extend_from_slice(a);
+            }
+        }
+        if cfg.mutation_rate > 0.0 {
+            for allele in chrom.iter_mut() {
+                if rng.random::<f64>() < cfg.mutation_rate {
+                    *allele = allele.other();
+                }
+            }
+        }
+        for s in &cfg.signals {
+            if rng.random::<f64>() < s.carrier_freq {
+                for (&snp, &a) in s.snps.iter().zip(&s.risk_alleles) {
+                    chrom[snp] = a;
+                }
+            }
+        }
+        chrom
+    }
+
+    fn snp_infos(&self) -> Vec<SnpInfo> {
+        (0..self.n_snps)
+            .map(|i| SnpInfo::synthetic(i, 1, self.positions_kb[i]))
+            .collect()
+    }
+}
+
+/// The paper's primary instance: 51 SNPs, 176 individuals
+/// (53 affected / 53 unaffected / 70 unknown).
+///
+/// ```
+/// let data = ld_data::synthetic::lille_51(42);
+/// assert_eq!(data.n_snps(), 51);
+/// assert_eq!(data.group_sizes(), (53, 53, 70));
+/// ```
+///
+/// Signals are planted on the SNP sets the paper reports as per-size optima
+/// (Table 2): a strong size-3 signal on `{8, 12, 15}`, a moderate size-3
+/// signal on `{18, 26, 50}` (which combines with SNP 8 at size 4), and a
+/// weaker size-3 signal on `{21, 32, 43}` (which combines with the primary
+/// signal at size 6). Planting *disjoint* signal sets is what makes optima
+/// non-nested across sizes, matching the paper's landscape observation.
+pub fn lille_51(seed: u64) -> Dataset {
+    lille_51_config()
+        .generate(seed)
+        .expect("lille_51 preset is a valid configuration")
+}
+
+/// Configuration behind [`lille_51`], exposed for parameter sweeps.
+pub fn lille_51_config() -> SyntheticConfig {
+    SyntheticConfig {
+        n_snps: 51,
+        n_affected: 53,
+        n_unaffected: 53,
+        n_unknown: 70,
+        block_len_range: (3, 7),
+        founders_per_block: 4,
+        allele2_freq_range: (0.15, 0.5),
+        within_block_recomb: 0.15,
+        mutation_rate: 0.01,
+        missing_rate: 0.0,
+        baseline_prevalence: 0.25,
+        signals: vec![
+            PlantedSignal::all_a2(vec![8, 12, 15], 3.4, 0.30),
+            PlantedSignal::all_a2(vec![18, 26, 50], 2.4, 0.25),
+            PlantedSignal::all_a2(vec![21, 32, 43], 1.9, 0.25),
+        ],
+    }
+}
+
+/// Scale-up instance with 150 SNPs (same individuals), matching the paper's
+/// intermediate problem size of Table 1.
+pub fn scale_150(seed: u64) -> Dataset {
+    let mut cfg = lille_51_config();
+    cfg.n_snps = 150;
+    cfg.signals = vec![
+        PlantedSignal::all_a2(vec![8, 12, 15], 3.4, 0.30),
+        PlantedSignal::all_a2(vec![18, 26, 50], 2.4, 0.25),
+        PlantedSignal::all_a2(vec![61, 88, 104], 2.0, 0.25),
+        PlantedSignal::all_a2(vec![120, 133, 141, 149], 2.2, 0.2),
+    ];
+    cfg.generate(seed).expect("scale_150 preset is valid")
+}
+
+/// Scale-up instance with 249 SNPs — the paper's largest real dataset size.
+pub fn scale_249(seed: u64) -> Dataset {
+    let mut cfg = lille_51_config();
+    cfg.n_snps = 249;
+    cfg.signals = vec![
+        PlantedSignal::all_a2(vec![8, 12, 15], 3.4, 0.30),
+        PlantedSignal::all_a2(vec![18, 26, 50], 2.4, 0.25),
+        PlantedSignal::all_a2(vec![101, 140, 175], 2.0, 0.25),
+        PlantedSignal::all_a2(vec![200, 216, 233, 247], 2.2, 0.2),
+    ];
+    cfg.generate(seed).expect("scale_249 preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::AlleleFreqTable;
+    use crate::ld::LdTable;
+
+    #[test]
+    fn lille_51_has_paper_dimensions() {
+        let d = lille_51(42);
+        assert_eq!(d.n_individuals(), 176);
+        assert_eq!(d.n_snps(), 51);
+        assert_eq!(d.group_sizes(), (53, 53, 70));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = lille_51(7);
+        let b = lille_51(7);
+        assert_eq!(a.genotypes, b.genotypes);
+        assert_eq!(a.statuses, b.statuses);
+        let c = lille_51(8);
+        assert_ne!(a.genotypes, c.genotypes);
+    }
+
+    #[test]
+    fn scale_instances_have_right_width() {
+        assert_eq!(scale_150(1).n_snps(), 150);
+        assert_eq!(scale_249(1).n_snps(), 249);
+    }
+
+    #[test]
+    fn planted_signal_enriches_risk_allele_in_cases() {
+        let d = lille_51(42);
+        let aff = AlleleFreqTable::from_dataset(&d, Some(Status::Affected));
+        let una = AlleleFreqTable::from_dataset(&d, Some(Status::Unaffected));
+        // Averaged over the primary signal's SNPs, A2 must be materially
+        // more frequent in cases.
+        let mean =
+            |t: &AlleleFreqTable| (t.get(8).a2 + t.get(12).a2 + t.get(15).a2) / 3.0;
+        assert!(
+            mean(&aff) > mean(&una) + 0.05,
+            "affected {:.3} vs unaffected {:.3}",
+            mean(&aff),
+            mean(&una)
+        );
+    }
+
+    #[test]
+    fn signal_snps_are_in_ld() {
+        let d = lille_51(42);
+        let t = LdTable::from_matrix(&d.genotypes);
+        // Planted carriers share the whole pattern, creating LD between
+        // signal SNPs even across blocks.
+        assert!(t.get(8, 12).r2 > 0.02, "r2 = {}", t.get(8, 12).r2);
+    }
+
+    #[test]
+    fn missing_rate_produces_missing_calls() {
+        let mut cfg = lille_51_config();
+        cfg.missing_rate = 0.2;
+        let d = cfg.generate(3).unwrap();
+        let missing = d
+            .genotypes
+            .as_slice()
+            .iter()
+            .filter(|g| !g.is_called())
+            .count();
+        let total = d.n_individuals() * d.n_snps();
+        let rate = missing as f64 / total as f64;
+        assert!((rate - 0.2).abs() < 0.03, "rate = {rate}");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = lille_51_config();
+        cfg.block_len_range = (0, 3);
+        assert!(cfg.generate(0).is_err());
+
+        let mut cfg = lille_51_config();
+        cfg.signals[0].snps = vec![100]; // out of range
+        cfg.signals[0].risk_alleles = vec![Allele::A2];
+        assert!(cfg.generate(0).is_err());
+
+        let mut cfg = lille_51_config();
+        cfg.signals[0].snps = vec![5, 5, 9];
+        cfg.signals[0].risk_alleles = vec![Allele::A2; 3];
+        assert!(cfg.generate(0).is_err());
+
+        let mut cfg = lille_51_config();
+        cfg.baseline_prevalence = 0.0;
+        assert!(cfg.generate(0).is_err());
+    }
+
+    #[test]
+    fn signal_validation_rejects_length_mismatch() {
+        let s = PlantedSignal {
+            snps: vec![1, 2],
+            risk_alleles: vec![Allele::A2],
+            odds: 2.0,
+            carrier_freq: 0.2,
+        };
+        assert!(s.validate(10).is_err());
+    }
+
+    #[test]
+    fn disease_probability_monotone_in_copies() {
+        let cfg = lille_51_config();
+        let sig = &cfg.signals[0];
+        let mut none = vec![Allele::A1; cfg.n_snps];
+        // Ensure the no-carrier chromosome really does not match.
+        none[8] = Allele::A1;
+        let mut carrier = none.clone();
+        for (&s, &a) in sig.snps.iter().zip(&sig.risk_alleles) {
+            carrier[s] = a;
+        }
+        let p0 = cfg.disease_probability(&none, &none);
+        let p1 = cfg.disease_probability(&carrier, &none);
+        let p2 = cfg.disease_probability(&carrier, &carrier);
+        assert!(p0 < p1 && p1 < p2, "p0={p0} p1={p1} p2={p2}");
+        assert!((p0 - cfg.baseline_prevalence).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quota_failure_reports_config_error() {
+        let mut cfg = lille_51_config();
+        // Practically no one is affected -> affected quota cannot fill.
+        cfg.baseline_prevalence = 1e-9;
+        cfg.signals.clear();
+        cfg.n_affected = 100;
+        cfg.n_unaffected = 1;
+        cfg.n_unknown = 0;
+        assert!(matches!(cfg.generate(0), Err(DataError::InvalidConfig(_))));
+    }
+}

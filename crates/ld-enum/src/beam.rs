@@ -1,0 +1,176 @@
+//! The constructive baseline the paper argues against (§3).
+//!
+//! "First, we can see that some very good haplotypes of size k are not
+//! always composed of haplotypes of smaller size with a good score. This
+//! characteristic makes the use of constructive method difficult, because
+//! this algorithm would combine good haplotypes of size s−1 in order to
+//! construct haplotypes of size s. With this method it wouldn't be
+//! possible to get all the good haplotypes of size s."
+//!
+//! This module implements exactly that method — a beam search that keeps
+//! the best `W` haplotypes of each size and extends them by one SNP — so
+//! the claim can be tested: compare [`beam_search`]'s per-size champions
+//! with the exhaustive optima ([`crate::enumerate`]). Whenever the beam
+//! misses an optimum, the paper's §3 argument is demonstrated concretely.
+
+use crate::enumerate::{ScoredHaplotype, TopK};
+use ld_core::Evaluator;
+use ld_data::SnpId;
+
+/// Result of a beam search.
+#[derive(Debug, Clone)]
+pub struct BeamResult {
+    /// Per-size retained haplotypes (best first), ascending size from 1.
+    pub levels: Vec<Vec<ScoredHaplotype>>,
+    /// Total evaluations spent.
+    pub evaluations: u64,
+}
+
+impl BeamResult {
+    /// Best haplotype of `size`, if that level was built.
+    pub fn best_of_size(&self, size: usize) -> Option<&ScoredHaplotype> {
+        self.levels.get(size.checked_sub(1)?)?.first()
+    }
+}
+
+/// Greedy constructive search: level 1 scores every single SNP; level k
+/// extends each of the best `beam_width` size-(k−1) haplotypes by every
+/// unused SNP, keeping the best `beam_width` distinct results.
+///
+/// # Panics
+/// Panics if `beam_width` is zero or `max_size` is zero.
+pub fn beam_search<E: Evaluator>(evaluator: &E, max_size: usize, beam_width: usize) -> BeamResult {
+    assert!(beam_width > 0, "beam width must be positive");
+    assert!(max_size > 0, "max size must be positive");
+    let n = evaluator.n_snps();
+    let mut levels: Vec<Vec<ScoredHaplotype>> = Vec::with_capacity(max_size);
+    let mut evaluations = 0u64;
+
+    // Level 1: all singles.
+    let mut level1 = TopK::new(beam_width);
+    for s in 0..n {
+        level1.offer(&[s], evaluator.evaluate_one(&[s]));
+        evaluations += 1;
+    }
+    levels.push(level1.items().to_vec());
+
+    for _k in 2..=max_size {
+        let prev = levels.last().expect("previous level exists");
+        let mut next = TopK::new(beam_width);
+        let mut seen: std::collections::HashSet<Vec<SnpId>> = std::collections::HashSet::new();
+        for parent in prev {
+            for s in 0..n {
+                if parent.snps.binary_search(&s).is_ok() {
+                    continue;
+                }
+                let mut child = parent.snps.clone();
+                let pos = child.partition_point(|&x| x < s);
+                child.insert(pos, s);
+                if !seen.insert(child.clone()) {
+                    continue; // extension already scored via another parent
+                }
+                let fitness = evaluator.evaluate_one(&child);
+                evaluations += 1;
+                next.offer(&child, fitness);
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next.items().to_vec());
+    }
+    BeamResult {
+        levels,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::exhaustive_top_k;
+    use ld_core::evaluator::{CountingEvaluator, FnEvaluator};
+
+    #[test]
+    fn beam_solves_monotone_objectives() {
+        // Fitness = sum of ids: the optimum is built greedily, so even a
+        // width-1 beam finds it at every size.
+        let eval = FnEvaluator::new(12, |s: &[SnpId]| s.iter().map(|&x| x as f64).sum());
+        let r = beam_search(&eval, 4, 1);
+        assert_eq!(r.best_of_size(1).unwrap().snps, vec![11]);
+        assert_eq!(r.best_of_size(4).unwrap().snps, vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn beam_misses_deceptive_optima() {
+        // Deceptive objective (the §3 situation): singles score by id, but
+        // the best pair is {0, 1} — composed of the two *worst* singles.
+        let eval = FnEvaluator::new(10, |s: &[SnpId]| match s {
+            [0, 1] => 1000.0,
+            _ => s.iter().map(|&x| x as f64).sum(),
+        });
+        let beam = beam_search(&eval, 2, 2);
+        let exact = exhaustive_top_k(&eval, 2, 1);
+        assert_eq!(exact.best().unwrap().snps, vec![0, 1]);
+        // The beam kept singles {9} and {8}; neither extends to {0, 1}.
+        assert_ne!(
+            beam.best_of_size(2).unwrap().snps,
+            exact.best().unwrap().snps,
+            "beam unexpectedly found the deceptive optimum"
+        );
+        assert!(beam.best_of_size(2).unwrap().fitness < exact.best().unwrap().fitness);
+    }
+
+    #[test]
+    fn wider_beam_recovers_more() {
+        // With the full panel as beam width, level k is built from every
+        // size-(k-1) haplotype extension of the beam... still not
+        // exhaustive, but the deceptive pair IS found when the beam covers
+        // all singles.
+        let eval = FnEvaluator::new(10, |s: &[SnpId]| match s {
+            [0, 1] => 1000.0,
+            _ => s.iter().map(|&x| x as f64).sum(),
+        });
+        let beam = beam_search(&eval, 2, 10);
+        assert_eq!(beam.best_of_size(2).unwrap().snps, vec![0, 1]);
+    }
+
+    #[test]
+    fn evaluation_accounting_is_exact() {
+        let eval = CountingEvaluator::new(FnEvaluator::new(8, |s: &[SnpId]| s.len() as f64));
+        let r = beam_search(&eval, 3, 2);
+        assert_eq!(r.evaluations, eval.count());
+        // Level 1 = 8 singles; level 2 = 2 parents × 7 extensions minus
+        // duplicates; level 3 similar.
+        assert!(r.evaluations >= 8);
+        assert_eq!(r.levels.len(), 3);
+    }
+
+    #[test]
+    fn dedup_across_parents() {
+        // Parents {0} and {1} both extend to {0,1}: scored once.
+        let eval = CountingEvaluator::new(FnEvaluator::new(3, |s: &[SnpId]| {
+            10.0 - s.iter().sum::<usize>() as f64
+        }));
+        let r = beam_search(&eval, 2, 2);
+        // Level 1: 3 evals. Level 2 candidates from parents {0},{1}:
+        // {0,1},{0,2},{1,2} -> 3 evals, not 4.
+        assert_eq!(r.evaluations, 6);
+    }
+
+    #[test]
+    fn saturated_panel_stops_early() {
+        let eval = FnEvaluator::new(3, |s: &[SnpId]| s.len() as f64);
+        let r = beam_search(&eval, 5, 2);
+        // Only sizes 1..=3 exist on a 3-SNP panel.
+        assert_eq!(r.levels.len(), 3);
+        assert!(r.best_of_size(4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "beam width")]
+    fn zero_width_panics() {
+        let eval = FnEvaluator::new(3, |_: &[SnpId]| 0.0);
+        let _ = beam_search(&eval, 2, 0);
+    }
+}

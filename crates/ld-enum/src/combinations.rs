@@ -1,0 +1,212 @@
+//! Lexicographic k-subset iteration and combinatorial (un)ranking.
+//!
+//! The enumeration sweep wants two things:
+//!
+//! * a cheap successor function to walk subsets in lexicographic order
+//!   without allocation ([`for_each_combination`], [`Combinations`]);
+//! * random access by rank ([`unrank`]) so a rank interval `0..C(n,k)` can
+//!   be split into chunks for data-parallel processing — each worker
+//!   unranks its chunk start once, then walks successors.
+//!
+//! Ranks use the combinatorial number system: the rank of subset
+//! `{c_1 < c_2 < … < c_k}` is `Σ_i C(c_i, i)`.
+
+use crate::count::choose_exact;
+
+/// Call `f` on every k-subset of `0..n` in lexicographic order. The slice
+/// passed to `f` is a reused buffer — copy it if you need to keep it.
+pub fn for_each_combination<F: FnMut(&[usize])>(n: usize, k: usize, mut f: F) {
+    if k > n {
+        return;
+    }
+    if k == 0 {
+        f(&[]);
+        return;
+    }
+    let mut c: Vec<usize> = (0..k).collect();
+    loop {
+        f(&c);
+        if !next_combination(&mut c, n) {
+            return;
+        }
+    }
+}
+
+/// Advance `c` to the lexicographic successor among k-subsets of `0..n`.
+/// Returns `false` when `c` was the last subset.
+pub fn next_combination(c: &mut [usize], n: usize) -> bool {
+    let k = c.len();
+    // Find the rightmost position that can be incremented.
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if c[i] < n - k + i {
+            c[i] += 1;
+            for j in i + 1..k {
+                c[j] = c[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Rank of a subset in the lexicographic order of k-subsets of `0..n`.
+pub fn rank(c: &[usize], n: usize) -> u128 {
+    // Lexicographic rank: count subsets that precede c.
+    let k = c.len();
+    let mut r: u128 = 0;
+    let mut prev = 0usize;
+    for (i, &ci) in c.iter().enumerate() {
+        for v in prev..ci {
+            r += choose_exact((n - v - 1) as u64, (k - i - 1) as u64)
+                .expect("rank fits u128");
+        }
+        prev = ci + 1;
+    }
+    r
+}
+
+/// Subset of `0..n` at lexicographic `rank` among k-subsets.
+///
+/// # Panics
+/// Panics when `rank ≥ C(n, k)`.
+pub fn unrank(mut rank: u128, n: usize, k: usize) -> Vec<usize> {
+    let total = choose_exact(n as u64, k as u64).expect("C(n,k) fits u128");
+    assert!(rank < total.max(1), "rank {rank} out of range (C = {total})");
+    let mut out = Vec::with_capacity(k);
+    let mut v = 0usize;
+    for i in 0..k {
+        loop {
+            let with_v = choose_exact((n - v - 1) as u64, (k - i - 1) as u64)
+                .expect("fits u128");
+            if rank < with_v {
+                out.push(v);
+                v += 1;
+                break;
+            }
+            rank -= with_v;
+            v += 1;
+        }
+    }
+    out
+}
+
+/// Allocating iterator over k-subsets (convenience; the sweep uses the
+/// visitor form).
+pub struct Combinations {
+    n: usize,
+    state: Option<Vec<usize>>,
+}
+
+impl Combinations {
+    /// All k-subsets of `0..n`, lexicographic.
+    pub fn new(n: usize, k: usize) -> Self {
+        let state = if k <= n {
+            Some((0..k).collect())
+        } else {
+            None
+        };
+        Combinations { n, state }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let current = self.state.clone()?;
+        let mut next = current.clone();
+        if next.is_empty() || !next_combination(&mut next, self.n) {
+            self.state = None;
+        } else {
+            self.state = Some(next);
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::choose_exact;
+
+    #[test]
+    fn visits_all_subsets_in_order() {
+        let mut seen = Vec::new();
+        for_each_combination(5, 3, |c| seen.push(c.to_vec()));
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen.first().unwrap(), &[0, 1, 2]);
+        assert_eq!(seen.last().unwrap(), &[2, 3, 4]);
+        // Strictly increasing lexicographic order, no duplicates.
+        for w in seen.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        let mut count = 0;
+        for_each_combination(4, 0, |c| {
+            assert!(c.is_empty());
+            count += 1;
+        });
+        assert_eq!(count, 1);
+
+        count = 0;
+        for_each_combination(3, 5, |_| count += 1);
+        assert_eq!(count, 0);
+
+        count = 0;
+        for_each_combination(4, 4, |c| {
+            assert_eq!(c, &[0, 1, 2, 3]);
+            count += 1;
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn iterator_matches_visitor() {
+        let via_iter: Vec<Vec<usize>> = Combinations::new(6, 2).collect();
+        let mut via_visit = Vec::new();
+        for_each_combination(6, 2, |c| via_visit.push(c.to_vec()));
+        assert_eq!(via_iter, via_visit);
+        assert_eq!(via_iter.len(), 15);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        let n = 9;
+        let k = 4;
+        let total = choose_exact(n as u64, k as u64).unwrap();
+        let mut expected_rank: u128 = 0;
+        for_each_combination(n, k, |c| {
+            assert_eq!(rank(c, n), expected_rank);
+            assert_eq!(unrank(expected_rank, n, k), c);
+            expected_rank += 1;
+        });
+        assert_eq!(expected_rank, total);
+    }
+
+    #[test]
+    fn unrank_then_walk_matches_full_enumeration() {
+        // The parallel-chunking pattern: unrank a mid rank, walk successors.
+        let n = 8;
+        let k = 3;
+        let all: Vec<Vec<usize>> = Combinations::new(n, k).collect();
+        let start_rank = 17u128;
+        let mut c = unrank(start_rank, n, k);
+        for expect in &all[start_rank as usize..] {
+            assert_eq!(&c, expect);
+            if !next_combination(&mut c, n) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_out_of_range_panics() {
+        let _ = unrank(10, 5, 5); // C(5,5) = 1
+    }
+}

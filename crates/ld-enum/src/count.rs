@@ -1,0 +1,116 @@
+//! Exact search-space counting — the paper's Table 1.
+
+/// Exact binomial coefficient `C(n, k)` in `u128`; `None` on overflow.
+pub fn choose_exact(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // Multiply then divide; the running product C(n, i+1) is always an
+        // integer, and dividing by (i+1) right after multiplying by
+        // (n - i) keeps intermediate values minimal.
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128;
+    }
+    Some(acc)
+}
+
+/// Binomial coefficient as `f64` (for the astronomically large entries of
+/// Table 1, e.g. `C(249, 6) ≈ 3.11e11`).
+pub fn choose_f64(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Total search space over haplotype sizes `min_k..=max_k` (f64; the paper's
+/// problem is the union of all per-size spaces).
+pub fn total_space_f64(n: u64, min_k: u64, max_k: u64) -> f64 {
+    (min_k..=max_k).map(|k| choose_f64(n, k)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 1, exact column entries.
+    #[test]
+    fn table1_51_snps() {
+        assert_eq!(choose_exact(51, 2), Some(1_275));
+        assert_eq!(choose_exact(51, 3), Some(20_825));
+        assert_eq!(choose_exact(51, 4), Some(249_900));
+        assert_eq!(choose_exact(51, 5), Some(2_349_060));
+        assert_eq!(choose_exact(51, 6), Some(18_009_460));
+    }
+
+    #[test]
+    fn table1_150_snps() {
+        assert_eq!(choose_exact(150, 2), Some(11_175));
+        assert_eq!(choose_exact(150, 3), Some(551_300));
+        assert_eq!(choose_exact(150, 4), Some(20_260_275));
+        assert_eq!(choose_exact(150, 5), Some(591_600_030));
+        // Paper prints "14.3e9" for k = 6.
+        let c6 = choose_exact(150, 6).unwrap();
+        assert!((c6 as f64 / 1e9 - 14.3).abs() < 0.05, "C(150,6) = {c6}");
+    }
+
+    #[test]
+    fn table1_249_snps() {
+        assert_eq!(choose_exact(249, 2), Some(30_876));
+        assert_eq!(choose_exact(249, 3), Some(2_542_124));
+        assert_eq!(choose_exact(249, 4), Some(156_340_626));
+        // Paper prints "7.6e9" for k = 5 and "3.11e11" for k = 6.
+        let c5 = choose_exact(249, 5).unwrap() as f64;
+        assert!((c5 / 1e9 - 7.6).abs() < 0.1, "C(249,5) = {c5}");
+        let c6 = choose_exact(249, 6).unwrap() as f64;
+        assert!((c6 / 1e11 - 3.11).abs() < 0.05, "C(249,6) = {c6}");
+    }
+
+    #[test]
+    fn boundary_cases() {
+        assert_eq!(choose_exact(5, 0), Some(1));
+        assert_eq!(choose_exact(5, 5), Some(1));
+        assert_eq!(choose_exact(5, 6), Some(0));
+        assert_eq!(choose_exact(0, 0), Some(1));
+        assert_eq!(choose_f64(5, 6), 0.0);
+    }
+
+    #[test]
+    fn f64_matches_exact_where_both_exist() {
+        for n in [10u64, 51, 150] {
+            for k in 0..=6 {
+                let exact = choose_exact(n, k).unwrap() as f64;
+                let approx = choose_f64(n, k);
+                assert!(
+                    (approx - exact).abs() / exact.max(1.0) < 1e-12,
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        assert_eq!(choose_exact(30, 7), choose_exact(30, 23));
+    }
+
+    #[test]
+    fn total_space_sums_sizes() {
+        let t = total_space_f64(51, 2, 6);
+        let sum = 1_275.0 + 20_825.0 + 249_900.0 + 2_349_060.0 + 18_009_460.0;
+        assert!((t - sum).abs() < 1.0);
+    }
+
+    #[test]
+    fn overflow_returns_none() {
+        assert_eq!(choose_exact(1000, 500), None);
+    }
+}

@@ -1,0 +1,238 @@
+//! Parallel exhaustive sweep with top-K tracking.
+//!
+//! This is the §3 landscape machinery and the source of the exact optima
+//! in Table 2's "Dev." column: every k-subset of the SNP panel is scored
+//! and the best K are retained. The rank space `0..C(n,k)` is chunked;
+//! each rayon task unranks its chunk start, walks lexicographic
+//! successors, and keeps a local top-K; locals merge at the end.
+
+use crate::combinations::{next_combination, unrank};
+use crate::count::choose_exact;
+use ld_core::Evaluator;
+use ld_data::SnpId;
+use rayon::prelude::*;
+
+/// A haplotype with its fitness, as produced by the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredHaplotype {
+    /// Ascending SNP ids.
+    pub snps: Vec<SnpId>,
+    /// Fitness value.
+    pub fitness: f64,
+}
+
+/// Bounded best-K collection (min at the back once sorted).
+#[derive(Debug, Clone)]
+pub struct TopK {
+    capacity: usize,
+    /// Kept sorted descending by fitness.
+    items: Vec<ScoredHaplotype>,
+}
+
+impl TopK {
+    /// Empty collection retaining the best `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TopK capacity must be positive");
+        TopK {
+            capacity,
+            items: Vec::with_capacity(capacity + 1),
+        }
+    }
+
+    /// Offer one candidate.
+    pub fn offer(&mut self, snps: &[SnpId], fitness: f64) {
+        if self.items.len() == self.capacity
+            && fitness <= self.items.last().expect("non-empty").fitness
+        {
+            return;
+        }
+        let pos = self
+            .items
+            .partition_point(|x| x.fitness >= fitness);
+        self.items.insert(
+            pos,
+            ScoredHaplotype {
+                snps: snps.to_vec(),
+                fitness,
+            },
+        );
+        if self.items.len() > self.capacity {
+            self.items.pop();
+        }
+    }
+
+    /// Merge another collection into this one.
+    pub fn merge(&mut self, other: TopK) {
+        for item in other.items {
+            self.offer(&item.snps, item.fitness);
+        }
+    }
+
+    /// Best-first contents.
+    pub fn items(&self) -> &[ScoredHaplotype] {
+        &self.items
+    }
+
+    /// The single best item, if any.
+    pub fn best(&self) -> Option<&ScoredHaplotype> {
+        self.items.first()
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Exhaustively score every k-subset of `0..evaluator.n_snps()` and return
+/// the best `top_k`, sweeping the rank space in parallel.
+///
+/// ```
+/// use ld_core::evaluator::FnEvaluator;
+/// use ld_enum::exhaustive_top_k;
+///
+/// let objective = FnEvaluator::new(10, |s: &[usize]| s.iter().sum::<usize>() as f64);
+/// let top = exhaustive_top_k(&objective, 3, 2);
+/// assert_eq!(top.best().unwrap().snps, vec![7, 8, 9]);
+/// ```
+///
+/// # Panics
+/// Panics when `C(n, k)` does not fit in `u128` (far beyond any enumerable
+/// size) or `k > n`.
+pub fn exhaustive_top_k<E: Evaluator>(evaluator: &E, k: usize, top_k: usize) -> TopK {
+    let n = evaluator.n_snps();
+    assert!(k <= n, "cannot enumerate {k}-subsets of {n} SNPs");
+    let total = choose_exact(n as u64, k as u64).expect("search space fits u128");
+    if total == 0 {
+        return TopK::new(top_k);
+    }
+    // Chunks sized for good load balance without unranking overhead.
+    let n_chunks = (rayon::current_num_threads() * 8).max(1) as u128;
+    let chunk = total.div_ceil(n_chunks).max(1);
+    let starts: Vec<u128> = (0..n_chunks).map(|i| i * chunk).filter(|&s| s < total).collect();
+
+    starts
+        .into_par_iter()
+        .map(|start| {
+            let end = (start + chunk).min(total);
+            let mut local = TopK::new(top_k);
+            let mut c = unrank(start, n, k);
+            let mut r = start;
+            loop {
+                local.offer(&c, evaluator.evaluate_one(&c));
+                r += 1;
+                if r >= end || !next_combination(&mut c, n) {
+                    break;
+                }
+            }
+            local
+        })
+        .reduce(
+            || TopK::new(top_k),
+            |mut a, b| {
+                a.merge(b);
+                a
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::evaluator::FnEvaluator;
+
+    fn toy(n: usize) -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+        FnEvaluator::new(n, |s: &[SnpId]| s.iter().map(|&x| x as f64).sum())
+    }
+
+    #[test]
+    fn topk_keeps_best_sorted() {
+        let mut t = TopK::new(3);
+        t.offer(&[1], 5.0);
+        t.offer(&[2], 9.0);
+        t.offer(&[3], 1.0);
+        t.offer(&[4], 7.0); // evicts 1.0
+        assert_eq!(t.len(), 3);
+        let fits: Vec<f64> = t.items().iter().map(|x| x.fitness).collect();
+        assert_eq!(fits, vec![9.0, 7.0, 5.0]);
+        assert_eq!(t.best().unwrap().snps, vec![2]);
+        // Below-threshold offer is ignored.
+        t.offer(&[5], 0.5);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.items().last().unwrap().fitness, 5.0);
+    }
+
+    #[test]
+    fn topk_merge_is_global_best() {
+        let mut a = TopK::new(2);
+        a.offer(&[1], 3.0);
+        a.offer(&[2], 8.0);
+        let mut b = TopK::new(2);
+        b.offer(&[3], 5.0);
+        b.offer(&[4], 9.0);
+        a.merge(b);
+        let fits: Vec<f64> = a.items().iter().map(|x| x.fitness).collect();
+        assert_eq!(fits, vec![9.0, 8.0]);
+    }
+
+    #[test]
+    fn exhaustive_finds_known_optimum() {
+        // Fitness = sum of ids: the best 3-subset of 0..10 is {7, 8, 9}.
+        let eval = toy(10);
+        let t = exhaustive_top_k(&eval, 3, 5);
+        assert_eq!(t.best().unwrap().snps, vec![7, 8, 9]);
+        assert_eq!(t.best().unwrap().fitness, 24.0);
+        assert_eq!(t.len(), 5);
+        // Second best is {6, 8, 9} = 23.
+        assert_eq!(t.items()[1].fitness, 23.0);
+    }
+
+    #[test]
+    fn exhaustive_covers_entire_space() {
+        // top_k = C(n, k): the sweep must return every subset exactly once.
+        let eval = toy(7);
+        let t = exhaustive_top_k(&eval, 3, 35);
+        assert_eq!(t.len(), 35);
+        let mut keys: Vec<Vec<usize>> = t.items().iter().map(|x| x.snps.clone()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 35);
+    }
+
+    #[test]
+    fn exhaustive_matches_paper_scale_quickly() {
+        // C(51, 2) = 1275 — instantaneous even sequentially.
+        let eval = toy(51);
+        let t = exhaustive_top_k(&eval, 2, 1);
+        assert_eq!(t.best().unwrap().snps, vec![49, 50]);
+    }
+
+    #[test]
+    fn k_equals_n_single_subset() {
+        let eval = toy(4);
+        let t = exhaustive_top_k(&eval, 4, 3);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.best().unwrap().snps, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot enumerate")]
+    fn k_above_n_panics() {
+        let eval = toy(3);
+        let _ = exhaustive_top_k(&eval, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_topk_rejected() {
+        let _ = TopK::new(0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Landscape analysis (paper §3).
+//!
+//! From exhaustive sweeps of consecutive sizes, quantify the two structural
+//! observations that motivated the GA:
+//!
+//! 1. **Non-constructiveness** — "some very good haplotypes of size k are
+//!    not always composed of haplotypes of smaller size with a good score":
+//!    for each of the top size-k haplotypes, check whether it contains the
+//!    best (or any top-M) size-(k−1) haplotype.
+//! 2. **Incomparability across sizes** — "more the haplotype is large more
+//!    its value is large": the per-size fitness ranges shift upward with k,
+//!    so values from different sizes must not be compared directly.
+
+use crate::enumerate::{exhaustive_top_k, ScoredHaplotype, TopK};
+use ld_core::Evaluator;
+
+/// Exhaustive statistics for one haplotype size.
+#[derive(Debug, Clone)]
+pub struct SizeLandscape {
+    /// Haplotype size.
+    pub size: usize,
+    /// Best haplotypes, best first.
+    pub top: Vec<ScoredHaplotype>,
+    /// Maximum fitness over the whole size-k space.
+    pub max_fitness: f64,
+    /// Mean fitness over the whole space.
+    pub mean_fitness: f64,
+    /// Minimum fitness over the whole space.
+    pub min_fitness: f64,
+    /// Number of haplotypes enumerated (= C(n, k)).
+    pub n_enumerated: u128,
+}
+
+/// Cross-size landscape report.
+#[derive(Debug, Clone)]
+pub struct LandscapeReport {
+    /// Per-size statistics, ascending size.
+    pub sizes: Vec<SizeLandscape>,
+    /// For each consecutive size pair `(k−1, k)`: the fraction of the top
+    /// size-k haplotypes that contain the *best* size-(k−1) haplotype.
+    /// Low values demonstrate the paper's non-constructiveness claim.
+    pub best_nested_fraction: Vec<f64>,
+}
+
+impl LandscapeReport {
+    /// Statistics for one size.
+    pub fn size(&self, k: usize) -> Option<&SizeLandscape> {
+        self.sizes.iter().find(|s| s.size == k)
+    }
+
+    /// Exact optimum fitness for one size (for Table 2's Dev. column).
+    pub fn optimum(&self, k: usize) -> Option<f64> {
+        self.size(k).map(|s| s.max_fitness)
+    }
+}
+
+/// Whether `inner` (ascending) is a subset of `outer` (ascending).
+fn is_subset(inner: &[usize], outer: &[usize]) -> bool {
+    let mut it = outer.iter();
+    inner
+        .iter()
+        .all(|x| it.by_ref().any(|y| y == x))
+}
+
+/// Exhaustively analyse sizes `min_k..=max_k`, keeping `top_m` haplotypes
+/// per size.
+pub fn landscape_report<E: Evaluator>(
+    evaluator: &E,
+    min_k: usize,
+    max_k: usize,
+    top_m: usize,
+) -> LandscapeReport {
+    assert!(min_k >= 1 && min_k <= max_k, "bad size range");
+    let mut sizes = Vec::new();
+    for k in min_k..=max_k {
+        sizes.push(sweep_size(evaluator, k, top_m));
+    }
+    let mut best_nested_fraction = Vec::new();
+    for pair in sizes.windows(2) {
+        let smaller_best = pair[0].top.first();
+        let frac = match smaller_best {
+            Some(b) if !pair[1].top.is_empty() => {
+                let n_containing = pair[1]
+                    .top
+                    .iter()
+                    .filter(|h| is_subset(&b.snps, &h.snps))
+                    .count();
+                n_containing as f64 / pair[1].top.len() as f64
+            }
+            _ => 0.0,
+        };
+        best_nested_fraction.push(frac);
+    }
+    LandscapeReport {
+        sizes,
+        best_nested_fraction,
+    }
+}
+
+/// One size's sweep, also computing whole-space min/mean/max.
+fn sweep_size<E: Evaluator>(evaluator: &E, k: usize, top_m: usize) -> SizeLandscape {
+    use crate::combinations::for_each_combination;
+    // The top-K pass is parallel; the moment statistics ride along in a
+    // second cheap sequential pass only for small spaces, otherwise they
+    // are folded into the same parallel sweep. For simplicity and because
+    // evaluation dominates, we fold statistics into a sequential sweep when
+    // the space is small and reuse exhaustive_top_k otherwise.
+    let n = evaluator.n_snps();
+    let space = crate::count::choose_exact(n as u64, k as u64).expect("fits u128");
+    if space <= 200_000 {
+        let mut top = TopK::new(top_m);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        let mut count: u128 = 0;
+        for_each_combination(n, k, |c| {
+            let f = evaluator.evaluate_one(c);
+            top.offer(c, f);
+            min = min.min(f);
+            max = max.max(f);
+            sum += f;
+            count += 1;
+        });
+        SizeLandscape {
+            size: k,
+            top: top.items().to_vec(),
+            max_fitness: max,
+            mean_fitness: if count > 0 { sum / count as f64 } else { f64::NAN },
+            min_fitness: min,
+            n_enumerated: count,
+        }
+    } else {
+        // Large space: parallel top-K; min/mean come from a sample via the
+        // top-K machinery's complement is impractical, so report NAN means.
+        let top = exhaustive_top_k(evaluator, k, top_m);
+        let max = top.best().map_or(f64::NAN, |b| b.fitness);
+        SizeLandscape {
+            size: k,
+            top: top.items().to_vec(),
+            max_fitness: max,
+            mean_fitness: f64::NAN,
+            min_fitness: f64::NAN,
+            n_enumerated: space,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::evaluator::FnEvaluator;
+    use ld_data::SnpId;
+
+    #[test]
+    fn subset_check() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 1], &[1, 2]));
+        assert!(is_subset(&[2], &[0, 2, 5]));
+    }
+
+    #[test]
+    fn nested_objective_reports_full_nesting() {
+        // Fitness = sum of ids: the best size-k extends the best size-(k-1),
+        // so the best-nested fraction of the #1 entry is 1 when top_m = 1.
+        let eval = FnEvaluator::new(10, |s: &[SnpId]| s.iter().map(|&x| x as f64).sum());
+        let r = landscape_report(&eval, 2, 4, 1);
+        assert_eq!(r.sizes.len(), 3);
+        assert_eq!(r.best_nested_fraction, vec![1.0, 1.0]);
+        assert_eq!(r.optimum(2), Some(17.0));
+        assert_eq!(r.optimum(4), Some(30.0));
+        assert_eq!(r.size(3).unwrap().n_enumerated, 120);
+    }
+
+    #[test]
+    fn non_nested_objective_reports_low_nesting() {
+        // A deceptive objective: pairs containing SNP 0 are great, triples
+        // are best when they avoid SNP 0 entirely.
+        let eval = FnEvaluator::new(8, |s: &[SnpId]| {
+            if s.len() == 2 {
+                if s[0] == 0 {
+                    100.0
+                } else {
+                    1.0
+                }
+            } else if s.contains(&0) {
+                1.0
+            } else {
+                50.0 + s.iter().map(|&x| x as f64).sum::<f64>()
+            }
+        });
+        let r = landscape_report(&eval, 2, 3, 5);
+        // Best pair contains 0; none of the top triples do.
+        assert_eq!(r.best_nested_fraction, vec![0.0]);
+    }
+
+    #[test]
+    fn fitness_ranges_grow_with_size() {
+        // Mirrors the paper's observation: with a size-increasing objective,
+        // per-size ranges shift upward.
+        let eval = FnEvaluator::new(9, |s: &[SnpId]| {
+            10.0 * s.len() as f64 + s.iter().map(|&x| x as f64).sum::<f64>() / 10.0
+        });
+        let r = landscape_report(&eval, 2, 4, 3);
+        for w in r.sizes.windows(2) {
+            assert!(w[1].max_fitness > w[0].max_fitness);
+            assert!(w[1].mean_fitness > w[0].mean_fitness);
+            assert!(w[1].min_fitness > w[0].min_fitness);
+        }
+    }
+
+    #[test]
+    fn moments_are_consistent() {
+        let eval = FnEvaluator::new(7, |s: &[SnpId]| s.iter().map(|&x| x as f64).sum());
+        let r = landscape_report(&eval, 2, 2, 2);
+        let s = r.size(2).unwrap();
+        assert!(s.min_fitness <= s.mean_fitness && s.mean_fitness <= s.max_fitness);
+        assert_eq!(s.min_fitness, 1.0); // {0,1}
+        assert_eq!(s.max_fitness, 11.0); // {5,6}
+        assert_eq!(s.n_enumerated, 21);
+    }
+}

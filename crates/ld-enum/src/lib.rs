@@ -1,0 +1,33 @@
+//! # ld-enum — exhaustive enumeration and landscape analysis
+//!
+//! The paper's §3 justifies the GA by studying the problem structure:
+//!
+//! * **Table 1** counts the search space `C(n, k)` for n ∈ {51, 150, 249}
+//!   and k = 2…6 — [`count`] reproduces those numbers exactly.
+//! * The **landscape study** enumerates every haplotype of sizes 2–4 on the
+//!   51-SNP problem and scores it, establishing that (a) good size-k
+//!   haplotypes are not always extensions of good size-(k−1) haplotypes
+//!   (killing constructive/greedy methods) and (b) fitness ranges grow
+//!   with size (killing naive cross-size enumeration) — [`enumerate`] and
+//!   [`landscape`] reproduce both, and the exact optima feed Table 2's
+//!   "Dev." column.
+//!
+//! Enumeration parallelizes over the combinatorial rank space
+//! ([`combinations`]): ranks are split into contiguous chunks, each chunk
+//! is unranked once and then walked with the O(1)-amortized successor
+//! function, and per-chunk top-K lists are merged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beam;
+pub mod combinations;
+pub mod count;
+pub mod enumerate;
+pub mod landscape;
+
+pub use beam::{beam_search, BeamResult};
+pub use combinations::{for_each_combination, unrank, Combinations};
+pub use count::{choose_exact, choose_f64};
+pub use enumerate::{exhaustive_top_k, ScoredHaplotype, TopK};
+pub use landscape::{landscape_report, LandscapeReport, SizeLandscape};

@@ -1,0 +1,37 @@
+//! # ld-net — distributed master/slaves evaluation over TCP
+//!
+//! The paper ran its synchronous master/slaves evaluation on a cluster via
+//! **C/PVM** (Parallel Virtual Machine): slave processes on remote nodes
+//! were "initiated at the beginning", loaded the dataset once, and then
+//! exchanged *(solution → fitness)* messages with the master for every
+//! evaluation (§4.5, Figure 6). PVM is long obsolete; this crate rebuilds
+//! that substrate on plain TCP:
+//!
+//! * [`protocol`] — a small length-prefixed binary wire format
+//!   (`bytes`-based): `Hello` handshake, `EvalRequest { id, snps }`,
+//!   `EvalResponse { id, fitness }`, `Shutdown`.
+//! * [`slave`] — the slave daemon: owns the objective (= "accesses the
+//!   data once"), accepts master connections, and answers evaluation
+//!   requests; one thread per connection.
+//! * [`master`] — [`master::TcpSlavePool`], an [`ld_core::Evaluator`]
+//!   whose `evaluate_batch` deals jobs to the connected slaves through a
+//!   shared work queue (on-demand load balancing, like PVM's task
+//!   farming). A slave that dies mid-batch has its in-flight job requeued
+//!   and is retired — the batch completes as long as one slave survives.
+//! * [`cluster`] — helpers to spawn an in-process loopback "cluster" for
+//!   tests, examples and single-machine use.
+//!
+//! The GA engine does not know any of this exists: the pool plugs into the
+//! same batched-evaluation seam as the in-process evaluators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod master;
+pub mod protocol;
+pub mod slave;
+
+pub use cluster::LocalCluster;
+pub use master::TcpSlavePool;
+pub use slave::SlaveServer;

@@ -1,0 +1,367 @@
+//! The master side: a pool of TCP slave connections behind the
+//! [`Evaluator`] trait.
+//!
+//! `evaluate_batch` is one synchronous evaluation phase (paper Figure 6):
+//! jobs go into a shared work stack; one master-side thread per live slave
+//! pulls jobs on demand (PVM-style task farming, so a slow node simply
+//! takes fewer jobs), sends the request, and waits for the response.
+//!
+//! **Fault tolerance:** if a slave connection fails mid-batch, its
+//! in-flight job is pushed back onto the stack, the slave is retired, and
+//! the remaining slaves finish the batch. Only when *every* slave has
+//! failed does the pool panic (the engine cannot make progress without
+//! fitness values).
+
+use crate::protocol::{read_message, write_message, Message, ProtoError, PROTOCOL_VERSION};
+use crossbeam::channel::{unbounded, RecvTimeoutError};
+use ld_core::{Evaluator, Haplotype};
+use ld_data::SnpId;
+use parking_lot::Mutex;
+use std::io::BufWriter;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// One slave connection (stream halves behind a lock, since the pool is
+/// shared by reference).
+struct SlaveConn {
+    addr: String,
+    io: Mutex<ConnIo>,
+    dead: AtomicBool,
+}
+
+struct ConnIo {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+/// A pool of remote evaluation slaves implementing [`Evaluator`].
+pub struct TcpSlavePool {
+    slaves: Vec<SlaveConn>,
+    n_snps: usize,
+}
+
+/// Pool construction errors.
+#[derive(Debug)]
+pub enum PoolError {
+    /// No addresses supplied.
+    NoSlaves,
+    /// A slave could not be reached or greeted.
+    Connect {
+        /// Slave address.
+        addr: String,
+        /// Underlying failure.
+        source: ProtoError,
+    },
+    /// Slaves disagree about the dataset width.
+    InconsistentPanels {
+        /// Widths seen, in address order.
+        widths: Vec<u32>,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::NoSlaves => write!(f, "no slave addresses supplied"),
+            PoolError::Connect { addr, source } => write!(f, "connecting {addr}: {source}"),
+            PoolError::InconsistentPanels { widths } => {
+                write!(f, "slaves serve different panels: {widths:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl TcpSlavePool {
+    /// Connect to every address and perform the `Hello` handshake.
+    pub fn connect(addrs: &[String]) -> Result<TcpSlavePool, PoolError> {
+        if addrs.is_empty() {
+            return Err(PoolError::NoSlaves);
+        }
+        let mut slaves = Vec::with_capacity(addrs.len());
+        let mut widths = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let (conn, n_snps) = Self::connect_one(addr).map_err(|source| PoolError::Connect {
+                addr: addr.clone(),
+                source,
+            })?;
+            widths.push(n_snps);
+            slaves.push(conn);
+        }
+        if widths.windows(2).any(|w| w[0] != w[1]) {
+            return Err(PoolError::InconsistentPanels { widths });
+        }
+        Ok(TcpSlavePool {
+            n_snps: widths[0] as usize,
+            slaves,
+        })
+    }
+
+    fn connect_one(addr: &str) -> Result<(SlaveConn, u32), ProtoError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut reader = stream.try_clone()?;
+        let writer = BufWriter::new(stream);
+        let n_snps = match read_message(&mut reader)? {
+            Message::Hello { version, n_snps } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ProtoError::VersionMismatch {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    });
+                }
+                n_snps
+            }
+            other => {
+                return Err(ProtoError::Malformed(format!(
+                    "expected Hello, got {other:?}"
+                )))
+            }
+        };
+        Ok((
+            SlaveConn {
+                addr: addr.to_string(),
+                io: Mutex::new(ConnIo { reader, writer }),
+                dead: AtomicBool::new(false),
+            },
+            n_snps,
+        ))
+    }
+
+    /// Number of slaves still considered alive.
+    pub fn alive(&self) -> usize {
+        self.slaves
+            .iter()
+            .filter(|s| !s.dead.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Addresses of retired (failed) slaves.
+    pub fn dead_slaves(&self) -> Vec<String> {
+        self.slaves
+            .iter()
+            .filter(|s| s.dead.load(Ordering::Relaxed))
+            .map(|s| s.addr.clone())
+            .collect()
+    }
+
+    /// Send one request on one connection and wait for its response.
+    fn request(conn: &SlaveConn, id: u64, snps: &[SnpId]) -> Result<f64, ProtoError> {
+        let mut io = conn.io.lock();
+        write_message(
+            &mut io.writer,
+            &Message::EvalRequest {
+                id,
+                snps: snps.to_vec(),
+            },
+        )?;
+        loop {
+            match read_message(&mut io.reader)? {
+                Message::EvalResponse { id: rid, fitness } if rid == id => return Ok(fitness),
+                Message::EvalResponse { .. } => {
+                    // A stale response from a requeued job evaluated twice;
+                    // skip it and keep waiting for ours.
+                    continue;
+                }
+                other => {
+                    return Err(ProtoError::Malformed(format!(
+                        "unexpected message from slave: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl Evaluator for TcpSlavePool {
+    fn n_snps(&self) -> usize {
+        self.n_snps
+    }
+
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        for conn in &self.slaves {
+            if conn.dead.load(Ordering::Relaxed) {
+                continue;
+            }
+            match Self::request(conn, 0, snps) {
+                Ok(f) => return f,
+                Err(_) => {
+                    conn.dead.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        panic!("every evaluation slave has failed");
+    }
+
+    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+        if batch.is_empty() {
+            return;
+        }
+        // Shared work stack: (index, snps). Requeued jobs land back here.
+        let work: Mutex<Vec<(usize, Vec<SnpId>)>> = Mutex::new(
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, h)| (i, h.snps().to_vec()))
+                .collect(),
+        );
+        let (result_tx, result_rx) = unbounded::<(usize, f64)>();
+        let done = AtomicBool::new(false);
+        let alive_workers = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for conn in &self.slaves {
+                if conn.dead.load(Ordering::Relaxed) {
+                    continue;
+                }
+                alive_workers.fetch_add(1, Ordering::SeqCst);
+                let work = &work;
+                let result_tx = result_tx.clone();
+                let done = &done;
+                let alive_workers = &alive_workers;
+                scope.spawn(move || {
+                    let mut next_id: u64 = 1;
+                    loop {
+                        if done.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let job = work.lock().pop();
+                        let Some((index, snps)) = job else {
+                            // Stack empty: the batch may still be finishing
+                            // on other slaves (and could requeue on their
+                            // failure), so poll briefly.
+                            std::thread::sleep(Duration::from_millis(1));
+                            continue;
+                        };
+                        match Self::request(conn, next_id, &snps) {
+                            Ok(fitness) => {
+                                next_id += 1;
+                                let _ = result_tx.send((index, fitness));
+                            }
+                            Err(_) => {
+                                // Slave failed: requeue the job, retire.
+                                conn.dead.store(true, Ordering::Relaxed);
+                                work.lock().push((index, snps));
+                                break;
+                            }
+                        }
+                    }
+                    alive_workers.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            drop(result_tx);
+
+            let mut received = 0usize;
+            while received < batch.len() {
+                match result_rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok((index, fitness)) => {
+                        batch[index].set_fitness(fitness);
+                        received += 1;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if alive_workers.load(Ordering::SeqCst) == 0 {
+                            done.store(true, Ordering::Relaxed);
+                            panic!(
+                                "all evaluation slaves failed with {} of {} jobs outstanding",
+                                batch.len() - received,
+                                batch.len()
+                            );
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        if received < batch.len() {
+                            done.store(true, Ordering::Relaxed);
+                            panic!(
+                                "all evaluation slaves failed with {} of {} jobs outstanding",
+                                batch.len() - received,
+                                batch.len()
+                            );
+                        }
+                    }
+                }
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+    }
+}
+
+impl Drop for TcpSlavePool {
+    fn drop(&mut self) {
+        for conn in &self.slaves {
+            if !conn.dead.load(Ordering::Relaxed) {
+                let mut io = conn.io.lock();
+                let _ = write_message(&mut io.writer, &Message::Shutdown);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+
+    /// A fake peer that greets with the wrong protocol version.
+    fn spawn_bad_version_peer() -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                let hello = Message::Hello {
+                    version: PROTOCOL_VERSION + 1,
+                    n_snps: 51,
+                };
+                let _ = stream.write_all(&hello.encode());
+                // Hold the socket briefly so the master reads the greeting.
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_at_connect() {
+        let addr = spawn_bad_version_peer();
+        let err = match TcpSlavePool::connect(&[addr.to_string()]) {
+            Err(e) => e,
+            Ok(_) => panic!("connected to an incompatible peer"),
+        };
+        match err {
+            PoolError::Connect { source, .. } => {
+                assert!(
+                    matches!(source, ProtoError::VersionMismatch { .. }),
+                    "wrong source: {source}"
+                );
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    /// A fake peer that sends garbage instead of a Hello.
+    #[test]
+    fn non_hello_greeting_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                let msg = Message::Shutdown;
+                let _ = stream.write_all(&msg.encode());
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        });
+        let err = match TcpSlavePool::connect(&[addr.to_string()]) {
+            Err(e) => e,
+            Ok(_) => panic!("connected despite bad greeting"),
+        };
+        assert!(matches!(
+            err,
+            PoolError::Connect {
+                source: ProtoError::Malformed(_),
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,330 @@
+//! Wire protocol: length-prefixed binary frames.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! [u32 payload_len] [u8 tag] [payload...]
+//! ```
+//!
+//! | tag | message | payload |
+//! |-----|---------|---------|
+//! | 0 | `Hello` | u32 protocol version, u32 n_snps |
+//! | 1 | `EvalRequest` | u64 id, u32 k, k × u32 snp ids |
+//! | 2 | `EvalResponse` | u64 id, f64 fitness (bits) |
+//! | 3 | `Shutdown` | — |
+//!
+//! The `Hello` is sent by the slave on accept; the master checks the
+//! version and panel width before dealing work. Payloads are bounded
+//! ([`MAX_PAYLOAD`]) so a corrupt peer cannot trigger huge allocations.
+
+use bytes::{Buf, BufMut, BytesMut};
+use ld_data::SnpId;
+use std::io::{self, Read, Write};
+
+/// Protocol version; bumped on any frame-format change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload (a request for a 10k-SNP haplotype is
+/// far beyond anything real; reject earlier).
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Slave → master greeting: protocol version and served panel width.
+    Hello {
+        /// Protocol version spoken by the peer.
+        version: u32,
+        /// Number of SNPs in the slave's dataset.
+        n_snps: u32,
+    },
+    /// Master → slave: evaluate one haplotype.
+    EvalRequest {
+        /// Correlation id chosen by the master.
+        id: u64,
+        /// Ascending SNP ids.
+        snps: Vec<SnpId>,
+    },
+    /// Slave → master: the fitness of request `id`.
+    EvalResponse {
+        /// Correlation id echoed back.
+        id: u64,
+        /// Fitness value.
+        fitness: f64,
+    },
+    /// Either side: orderly termination.
+    Shutdown,
+}
+
+/// Protocol-level errors.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying socket failure.
+    Io(io::Error),
+    /// Frame violated the format (bad tag, truncated payload, oversize).
+    Malformed(String),
+    /// Peer speaks an incompatible version.
+    VersionMismatch {
+        /// What we speak.
+        ours: u32,
+        /// What the peer announced.
+        theirs: u32,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            ProtoError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::EvalRequest { .. } => 1,
+            Message::EvalResponse { .. } => 2,
+            Message::Shutdown => 3,
+        }
+    }
+
+    /// Encode into a frame.
+    pub fn encode(&self) -> BytesMut {
+        let mut payload = BytesMut::new();
+        match self {
+            Message::Hello { version, n_snps } => {
+                payload.put_u32_le(*version);
+                payload.put_u32_le(*n_snps);
+            }
+            Message::EvalRequest { id, snps } => {
+                payload.put_u64_le(*id);
+                payload.put_u32_le(snps.len() as u32);
+                for &s in snps {
+                    payload.put_u32_le(s as u32);
+                }
+            }
+            Message::EvalResponse { id, fitness } => {
+                payload.put_u64_le(*id);
+                payload.put_u64_le(fitness.to_bits());
+            }
+            Message::Shutdown => {}
+        }
+        let mut frame = BytesMut::with_capacity(5 + payload.len());
+        frame.put_u32_le(payload.len() as u32 + 1);
+        frame.put_u8(self.tag());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decode from tag + payload bytes.
+    fn decode(tag: u8, mut payload: BytesMut) -> Result<Message, ProtoError> {
+        let need = |p: &BytesMut, n: usize, what: &str| -> Result<(), ProtoError> {
+            if p.remaining() < n {
+                Err(ProtoError::Malformed(format!(
+                    "truncated {what}: need {n} bytes, have {}",
+                    p.remaining()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        let msg = match tag {
+            0 => {
+                need(&payload, 8, "Hello")?;
+                Message::Hello {
+                    version: payload.get_u32_le(),
+                    n_snps: payload.get_u32_le(),
+                }
+            }
+            1 => {
+                need(&payload, 12, "EvalRequest header")?;
+                let id = payload.get_u64_le();
+                let k = payload.get_u32_le() as usize;
+                need(&payload, k * 4, "EvalRequest snps")?;
+                let snps = (0..k).map(|_| payload.get_u32_le() as SnpId).collect();
+                Message::EvalRequest { id, snps }
+            }
+            2 => {
+                need(&payload, 16, "EvalResponse")?;
+                Message::EvalResponse {
+                    id: payload.get_u64_le(),
+                    fitness: f64::from_bits(payload.get_u64_le()),
+                }
+            }
+            3 => Message::Shutdown,
+            other => return Err(ProtoError::Malformed(format!("unknown tag {other}"))),
+        };
+        if payload.has_remaining() {
+            return Err(ProtoError::Malformed(format!(
+                "{} trailing bytes after tag {tag}",
+                payload.remaining()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+/// Write one message to a (buffered) stream and flush.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<(), ProtoError> {
+    w.write_all(&msg.encode())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one message from a stream (blocking).
+pub fn read_message<R: Read>(r: &mut R) -> Result<Message, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(ProtoError::Malformed("zero-length frame".into()));
+    }
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Malformed(format!(
+            "frame of {len} bytes exceeds cap {MAX_PAYLOAD}"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let tag = body[0];
+    Message::decode(tag, BytesMut::from(&body[1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let frame = msg.encode();
+        let mut cursor = std::io::Cursor::new(frame.to_vec());
+        let back = read_message(&mut cursor).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Message::Hello {
+            version: PROTOCOL_VERSION,
+            n_snps: 51,
+        });
+        roundtrip(Message::EvalRequest {
+            id: 42,
+            snps: vec![8, 12, 15],
+        });
+        roundtrip(Message::EvalRequest { id: 0, snps: vec![] });
+        roundtrip(Message::EvalResponse {
+            id: 42,
+            fitness: 123.456,
+        });
+        // (NaN fitness is covered by `nan_fitness_survives_bit_encoding`;
+        // it cannot go through `assert_eq!` since NaN != NaN.)
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn nan_fitness_survives_bit_encoding() {
+        let frame = Message::EvalResponse {
+            id: 7,
+            fitness: f64::NAN,
+        }
+        .encode();
+        let mut cursor = std::io::Cursor::new(frame.to_vec());
+        match read_message(&mut cursor).unwrap() {
+            Message::EvalResponse { id: 7, fitness } => assert!(fitness.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        // Unknown tag.
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(1);
+        bad.put_u8(9);
+        let mut cursor = std::io::Cursor::new(bad.to_vec());
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ProtoError::Malformed(_))
+        ));
+
+        // Truncated EvalRequest (claims 3 snps, carries none).
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(13);
+        bad.put_u8(1);
+        bad.put_u64_le(1);
+        bad.put_u32_le(3);
+        let mut cursor = std::io::Cursor::new(bad.to_vec());
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ProtoError::Malformed(_))
+        ));
+
+        // Oversize declared length.
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(MAX_PAYLOAD + 1);
+        bad.put_u8(3);
+        let mut cursor = std::io::Cursor::new(bad.to_vec());
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ProtoError::Malformed(_))
+        ));
+
+        // Trailing garbage after a Shutdown.
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(3);
+        bad.put_u8(3);
+        bad.put_u16_le(99);
+        let mut cursor = std::io::Cursor::new(bad.to_vec());
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn eof_is_io_error() {
+        let mut cursor = std::io::Cursor::new(vec![1u8, 0]);
+        assert!(matches!(read_message(&mut cursor), Err(ProtoError::Io(_))));
+    }
+
+    #[test]
+    fn streamed_messages_parse_in_sequence() {
+        let mut buf = Vec::new();
+        let msgs = vec![
+            Message::Hello {
+                version: 1,
+                n_snps: 51,
+            },
+            Message::EvalRequest {
+                id: 1,
+                snps: vec![2, 4],
+            },
+            Message::EvalResponse {
+                id: 1,
+                fitness: 5.0,
+            },
+            Message::Shutdown,
+        ];
+        for m in &msgs {
+            buf.extend_from_slice(&m.encode());
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for expected in &msgs {
+            assert_eq!(&read_message(&mut cursor).unwrap(), expected);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The slave daemon: owns the objective, answers evaluation requests.
+//!
+//! Mirrors the paper's PVM slaves: "the slaves are initiated at the
+//! beginning and access only once to the data" — the dataset/objective is
+//! loaded at construction; each master connection then only carries
+//! `(solution → fitness)` traffic.
+
+use crate::protocol::{read_message, write_message, Message, ProtoError, PROTOCOL_VERSION};
+use ld_core::Evaluator;
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running slave server.
+pub struct SlaveServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl SlaveServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and serve
+    /// evaluations of `objective` until [`SlaveServer::stop`] or drop.
+    ///
+    /// Each accepted connection is served on its own thread; a connection
+    /// ends on `Shutdown`, EOF, or a protocol error.
+    pub fn spawn<E>(addr: &str, objective: E) -> std::io::Result<SlaveServer>
+    where
+        E: Evaluator + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let objective = Arc::new(objective);
+        let accept_stop = Arc::clone(&stop);
+        let accept_served = Arc::clone(&served);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("ld-slave-accept-{local}"))
+            .spawn(move || {
+                // Polling accept loop so `stop` is honored promptly.
+                listener
+                    .set_nonblocking(true)
+                    .expect("set nonblocking listener");
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            stream
+                                .set_nonblocking(false)
+                                .expect("connection back to blocking");
+                            let objective = Arc::clone(&objective);
+                            let served = Arc::clone(&accept_served);
+                            // Connection threads are detached: they exit on
+                            // the master's Shutdown, EOF (master socket
+                            // dropped), or a protocol error. Joining them
+                            // here would deadlock a server dropped while a
+                            // quiet master connection is still open.
+                            std::thread::Builder::new()
+                                .name("ld-slave-conn".into())
+                                .spawn(move || {
+                                    let _ = serve_connection(stream, &*objective, &served);
+                                })
+                                .expect("spawn connection thread");
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(SlaveServer {
+            addr: local,
+            stop,
+            served,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Evaluations served so far, across all connections.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Ask the server to stop accepting; existing connections finish their
+    /// current request and close on the next `Shutdown`/EOF.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for SlaveServer {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serve one master connection: greet, then answer requests until
+/// `Shutdown` or EOF.
+fn serve_connection<E: Evaluator>(
+    stream: TcpStream,
+    objective: &E,
+    served: &AtomicU64,
+) -> Result<(), ProtoError> {
+    stream.set_nodelay(true)?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+    write_message(
+        &mut writer,
+        &Message::Hello {
+            version: PROTOCOL_VERSION,
+            n_snps: objective.n_snps() as u32,
+        },
+    )?;
+    loop {
+        match read_message(&mut reader)? {
+            Message::EvalRequest { id, snps } => {
+                let fitness = objective.evaluate_one(&snps);
+                served.fetch_add(1, Ordering::Relaxed);
+                write_message(&mut writer, &Message::EvalResponse { id, fitness })?;
+            }
+            Message::Shutdown => return Ok(()),
+            other => {
+                return Err(ProtoError::Malformed(format!(
+                    "unexpected message from master: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{read_message, write_message, Message};
+    use ld_core::evaluator::FnEvaluator;
+    use ld_data::SnpId;
+    use std::net::TcpStream;
+
+    fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+        FnEvaluator::new(51, |s: &[SnpId]| s.iter().sum::<usize>() as f64)
+    }
+
+    #[test]
+    fn slave_answers_requests() {
+        let server = SlaveServer::spawn("127.0.0.1:0", toy()).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = stream.try_clone().unwrap();
+        let mut writer = stream;
+        // Handshake.
+        match read_message(&mut reader).unwrap() {
+            Message::Hello { version, n_snps } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(n_snps, 51);
+            }
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        // A couple of evaluations.
+        for (id, snps, expect) in [(1u64, vec![1, 2], 3.0), (2, vec![10, 20, 30], 60.0)] {
+            write_message(&mut writer, &Message::EvalRequest { id, snps }).unwrap();
+            match read_message(&mut reader).unwrap() {
+                Message::EvalResponse { id: rid, fitness } => {
+                    assert_eq!(rid, id);
+                    assert_eq!(fitness, expect);
+                }
+                other => panic!("expected EvalResponse, got {other:?}"),
+            }
+        }
+        assert_eq!(server.served(), 2);
+        write_message(&mut writer, &Message::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn slave_serves_multiple_connections() {
+        let server = SlaveServer::spawn("127.0.0.1:0", toy()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = stream.try_clone().unwrap();
+                    let mut writer = stream;
+                    let _ = read_message(&mut reader).unwrap(); // Hello
+                    write_message(
+                        &mut writer,
+                        &Message::EvalRequest {
+                            id: i,
+                            snps: vec![i as usize],
+                        },
+                    )
+                    .unwrap();
+                    match read_message(&mut reader).unwrap() {
+                        Message::EvalResponse { fitness, .. } => fitness,
+                        other => panic!("unexpected {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        let mut results: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_by(f64::total_cmp);
+        assert_eq!(results, vec![0.0, 1.0, 2.0]);
+        assert_eq!(server.served(), 3);
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_drop_joins() {
+        let server = SlaveServer::spawn("127.0.0.1:0", toy()).unwrap();
+        server.stop();
+        server.stop();
+        drop(server); // must not hang or panic
+    }
+}

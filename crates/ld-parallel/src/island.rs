@@ -1,0 +1,355 @@
+//! Coarse-grained island parallelism above the GA.
+//!
+//! The paper parallelizes the evaluation *phase*; a second, coarser axis —
+//! natural on today's multicore hardware and hinted at by the paper's
+//! multi-run experimental protocol (10 independent runs per configuration)
+//! — is to run several GA instances ("islands") concurrently with
+//! different seeds and merge their per-size champions. Each island is a
+//! full adaptive multi-population GA; islands share the (read-only)
+//! objective but nothing else, so they scale embarrassingly.
+
+use ld_core::{Evaluator, GaConfig, GaEngine, GaRun, Haplotype, RunResult};
+use std::sync::Mutex;
+
+/// Island-run configuration.
+#[derive(Debug, Clone)]
+pub struct IslandConfig {
+    /// Number of concurrent islands.
+    pub n_islands: usize,
+    /// Base seed; island `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// GA configuration shared by every island.
+    pub ga: GaConfig,
+}
+
+/// Merged result of an island run.
+#[derive(Debug)]
+pub struct IslandResult {
+    /// Per-island raw results (index = island id).
+    pub islands: Vec<RunResult>,
+    /// Best individual per size over all islands (ascending sizes).
+    pub best_per_size: Vec<Option<Haplotype>>,
+    /// Smallest managed size.
+    pub min_size: usize,
+    /// Total evaluations across islands.
+    pub total_evaluations: u64,
+}
+
+impl IslandResult {
+    /// Best individual of size `k` across every island.
+    pub fn best_of_size(&self, k: usize) -> Option<&Haplotype> {
+        k.checked_sub(self.min_size)
+            .and_then(|i| self.best_per_size.get(i))
+            .and_then(|o| o.as_ref())
+    }
+}
+
+/// Run `cfg.n_islands` GA instances concurrently over a shared objective
+/// and merge their champions.
+pub fn run_islands<E: Evaluator>(evaluator: &E, cfg: &IslandConfig) -> IslandResult {
+    assert!(cfg.n_islands > 0, "need at least one island");
+    cfg.ga
+        .validate(evaluator.n_snps())
+        .expect("island GA configuration must be valid");
+
+    let results: Mutex<Vec<(usize, RunResult)>> = Mutex::new(Vec::with_capacity(cfg.n_islands));
+    std::thread::scope(|scope| {
+        for island in 0..cfg.n_islands {
+            let results = &results;
+            let ga = cfg.ga.clone();
+            let seed = cfg.base_seed + island as u64;
+            scope.spawn(move || {
+                let run = GaEngine::new(evaluator, ga, seed)
+                    .expect("validated configuration")
+                    .run();
+                results.lock().expect("no poisoned lock").push((island, run));
+            });
+        }
+    });
+    let mut islands: Vec<(usize, RunResult)> = results.into_inner().expect("threads joined");
+    islands.sort_by_key(|(i, _)| *i);
+    let islands: Vec<RunResult> = islands.into_iter().map(|(_, r)| r).collect();
+
+    let min_size = cfg.ga.min_size;
+    let n_sizes = cfg.ga.max_size - min_size + 1;
+    let mut best_per_size: Vec<Option<Haplotype>> = vec![None; n_sizes];
+    for run in &islands {
+        for (i, best) in run.best_per_size.iter().enumerate() {
+            let Some(best) = best else { continue };
+            let slot = &mut best_per_size[i];
+            if slot
+                .as_ref()
+                .is_none_or(|cur| best.fitness() > cur.fitness())
+            {
+                *slot = Some(best.clone());
+            }
+        }
+    }
+    let total_evaluations = islands.iter().map(|r| r.total_evaluations).sum();
+    IslandResult {
+        islands,
+        best_per_size,
+        min_size,
+        total_evaluations,
+    }
+}
+
+/// Ring-migration configuration.
+#[derive(Debug, Clone)]
+pub struct RingConfig {
+    /// Number of islands in the ring.
+    pub n_islands: usize,
+    /// Base seed; island `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Generations each island evolves between migration rounds (the
+    /// migration *epoch*).
+    pub epoch_generations: usize,
+    /// Maximum migration rounds.
+    pub max_rounds: usize,
+    /// GA configuration shared by every island.
+    pub ga: GaConfig,
+}
+
+/// Run a **ring-migration island model**: islands evolve concurrently for
+/// an epoch, then each island's per-size champions migrate to the next
+/// island in the ring, repeating until every island is stagnated or the
+/// round cap is reached.
+///
+/// Unlike [`run_islands`] (independent multi-start), migration lets a
+/// discovery on one island propagate: champions injected into a neighbour
+/// go through the normal replacement rule and, via inter-population
+/// crossover and size mutations, seed improvements at *other* sizes too.
+/// Rounds are synchronous — the same structure as the paper's synchronous
+/// master/slaves evaluation, one level up.
+pub fn run_ring_migration<E: Evaluator>(evaluator: &E, cfg: &RingConfig) -> IslandResult {
+    assert!(cfg.n_islands > 0, "need at least one island");
+    assert!(cfg.epoch_generations > 0, "epoch must be at least 1 generation");
+    cfg.ga
+        .validate(evaluator.n_snps())
+        .expect("island GA configuration must be valid");
+
+    // Initialize all runs (cheap relative to evolution; sequential keeps
+    // seeding deterministic).
+    let mut runs: Vec<GaRun<'_, E>> = (0..cfg.n_islands)
+        .map(|i| {
+            GaRun::new(
+                evaluator,
+                cfg.ga.clone(),
+                cfg.base_seed + i as u64,
+                None,
+            )
+            .expect("validated configuration")
+        })
+        .collect();
+
+    for _round in 0..cfg.max_rounds {
+        // Epoch: evolve each island concurrently.
+        std::thread::scope(|scope| {
+            for run in runs.iter_mut() {
+                let epoch = cfg.epoch_generations;
+                scope.spawn(move || {
+                    for _ in 0..epoch {
+                        if run.step() == ld_core::StepOutcome::GenerationCapReached {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        if runs.iter().all(|r| r.is_stagnated()) {
+            break;
+        }
+        // Migration: champions of island i go to island (i + 1) mod K.
+        let emigrants: Vec<Vec<Haplotype>> = runs
+            .iter()
+            .map(|r| r.champions().into_iter().flatten().collect())
+            .collect();
+        let k = runs.len();
+        for (i, migrants) in emigrants.into_iter().enumerate() {
+            runs[(i + 1) % k].inject(migrants);
+        }
+    }
+
+    let islands: Vec<RunResult> = runs.into_iter().map(|r| r.finish()).collect();
+    let min_size = cfg.ga.min_size;
+    let n_sizes = cfg.ga.max_size - min_size + 1;
+    let mut best_per_size: Vec<Option<Haplotype>> = vec![None; n_sizes];
+    for run in &islands {
+        for (i, best) in run.best_per_size.iter().enumerate() {
+            let Some(best) = best else { continue };
+            let slot = &mut best_per_size[i];
+            if slot
+                .as_ref()
+                .is_none_or(|cur| best.fitness() > cur.fitness())
+            {
+                *slot = Some(best.clone());
+            }
+        }
+    }
+    let total_evaluations = islands.iter().map(|r| r.total_evaluations).sum();
+    IslandResult {
+        islands,
+        best_per_size,
+        min_size,
+        total_evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::evaluator::FnEvaluator;
+    use ld_data::SnpId;
+
+    fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+        FnEvaluator::new(30, |s: &[SnpId]| {
+            s.iter().map(|&x| x as f64).sum::<f64>() + 10.0 * s.len() as f64
+        })
+    }
+
+    fn cfg(n_islands: usize) -> IslandConfig {
+        IslandConfig {
+            n_islands,
+            base_seed: 50,
+            ga: GaConfig {
+                population_size: 40,
+                min_size: 2,
+                max_size: 3,
+                matings_per_generation: 6,
+                stagnation_limit: 12,
+                max_generations: 150,
+                ..GaConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn islands_run_and_merge() {
+        let eval = toy();
+        let r = run_islands(&eval, &cfg(4));
+        assert_eq!(r.islands.len(), 4);
+        // Merged champion is at least as good as every island's champion.
+        let merged = r.best_of_size(3).unwrap().fitness();
+        for island in &r.islands {
+            assert!(merged >= island.best_of_size(3).unwrap().fitness());
+        }
+        assert_eq!(
+            r.total_evaluations,
+            r.islands.iter().map(|i| i.total_evaluations).sum::<u64>()
+        );
+        // With 4 islands on this easy objective, the optimum is found.
+        assert_eq!(r.best_of_size(3).unwrap().snps(), &[27, 28, 29]);
+    }
+
+    #[test]
+    fn island_results_are_seed_deterministic() {
+        let eval = toy();
+        let a = run_islands(&eval, &cfg(3));
+        let b = run_islands(&eval, &cfg(3));
+        for (x, y) in a.islands.iter().zip(&b.islands) {
+            assert_eq!(x.total_evaluations, y.total_evaluations);
+            assert_eq!(x.seed, y.seed);
+        }
+        // Island i of run A equals a solo run with the same seed.
+        let solo = GaEngine::new(&eval, cfg(3).ga, 51).unwrap().run();
+        assert_eq!(a.islands[1].total_evaluations, solo.total_evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one island")]
+    fn zero_islands_rejected() {
+        let eval = toy();
+        let _ = run_islands(&eval, &cfg(0));
+    }
+
+    fn ring_cfg(n: usize) -> RingConfig {
+        RingConfig {
+            n_islands: n,
+            base_seed: 70,
+            epoch_generations: 5,
+            max_rounds: 20,
+            ga: cfg(1).ga,
+        }
+    }
+
+    #[test]
+    fn ring_migration_finds_optimum_and_merges() {
+        let eval = toy();
+        let r = run_ring_migration(&eval, &ring_cfg(3));
+        assert_eq!(r.islands.len(), 3);
+        assert_eq!(r.best_of_size(3).unwrap().snps(), &[27, 28, 29]);
+        // Merged >= each island.
+        for island in &r.islands {
+            assert!(
+                r.best_of_size(2).unwrap().fitness()
+                    >= island.best_of_size(2).unwrap().fitness()
+            );
+        }
+    }
+
+    #[test]
+    fn ring_migration_is_deterministic() {
+        let eval = toy();
+        let a = run_ring_migration(&eval, &ring_cfg(3));
+        let b = run_ring_migration(&eval, &ring_cfg(3));
+        assert_eq!(a.total_evaluations, b.total_evaluations);
+        assert_eq!(
+            a.best_of_size(3).unwrap().snps(),
+            b.best_of_size(3).unwrap().snps()
+        );
+    }
+
+    #[test]
+    fn migration_propagates_a_needle_between_islands() {
+        // Only one haplotype scores: a flat-landscape needle. With
+        // independent islands, an island that misses the needle keeps its
+        // flat champion; with ring migration every island ends up holding
+        // the needle once any island finds it.
+        let eval = FnEvaluator::new(12, |s: &[SnpId]| {
+            if s == [3, 7] {
+                100.0
+            } else {
+                1.0
+            }
+        });
+        let cfg = RingConfig {
+            n_islands: 4,
+            base_seed: 0,
+            epoch_generations: 4,
+            max_rounds: 40,
+            ga: GaConfig {
+                population_size: 30,
+                min_size: 2,
+                max_size: 2,
+                matings_per_generation: 4,
+                stagnation_limit: 10,
+                ri_stagnation: 4,
+                max_generations: 200,
+                ..GaConfig::default()
+            },
+        };
+        let r = run_ring_migration(&eval, &cfg);
+        // C(12,2) = 66 pairs; 4 islands × 30 initial individuals make it
+        // overwhelmingly likely some island holds the needle from the
+        // start; migration must spread it to every island's champion set.
+        let holders = r
+            .islands
+            .iter()
+            .filter(|i| i.best_of_size(2).is_some_and(|h| h.snps() == [3, 7]))
+            .count();
+        assert!(
+            holders >= 2,
+            "needle propagated to only {holders} of 4 islands"
+        );
+        assert_eq!(r.best_of_size(2).unwrap().snps(), &[3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must be")]
+    fn zero_epoch_rejected() {
+        let eval = toy();
+        let mut c = ring_cfg(2);
+        c.epoch_generations = 0;
+        let _ = run_ring_migration(&eval, &c);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ld-parallel — parallel evaluation for the GA
+//!
+//! §4.5 of the paper: "the evaluation function can be time consuming …
+//! we have made a synchronous parallel implementation of the evaluation
+//! phase. The implementation is based on a master / slaves model. The
+//! slaves are initiated at the beginning and access only once to the data."
+//! The original used C/PVM on a cluster; this crate reproduces the same
+//! architecture on shared memory:
+//!
+//! * [`master_slave`] — a faithful master/slaves evaluator: worker threads
+//!   are spawned once, each holding a shared reference to the objective
+//!   (= "access only once to the data"); per batch, the master deals
+//!   individuals over a crossbeam channel and collects `(index, fitness)`
+//!   results — Figure 6 verbatim.
+//! * [`rayon_pool`] — the idiomatic-Rust alternative: a rayon parallel
+//!   iterator over the batch, optionally on a dedicated pool.
+//! * [`metrics`] — timing instrumentation used to regenerate Figure 4
+//!   (evaluation time vs haplotype size) and the speedup experiment.
+//! * [`island`] — a coarse-grained parallel layer above the GA: several
+//!   islands run concurrently and their per-size bests are merged.
+//!
+//! Both evaluators implement `ld-core`'s [`ld_core::Evaluator`] trait, so
+//! the engine's batched evaluation phases parallelize with zero changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod island;
+pub mod master_slave;
+pub mod metrics;
+pub mod rayon_pool;
+
+pub use island::{run_islands, run_ring_migration, IslandConfig, IslandResult, RingConfig};
+pub use master_slave::MasterSlaveEvaluator;
+pub use metrics::TimingEvaluator;
+pub use rayon_pool::RayonEvaluator;

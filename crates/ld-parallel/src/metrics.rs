@@ -1,0 +1,178 @@
+//! Evaluation timing instrumentation.
+//!
+//! The paper's Figure 4 plots the average evaluation time against haplotype
+//! size; [`TimingEvaluator`] collects exactly that: per-size evaluation
+//! counts and cumulative wall time, with negligible overhead (two relaxed
+//! atomic adds per call).
+
+use ld_core::Evaluator;
+use ld_data::SnpId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Widest haplotype size tracked individually; larger sizes pool into the
+/// last bucket.
+const MAX_TRACKED_SIZE: usize = 32;
+
+/// Per-size timing statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeTiming {
+    /// Haplotype size.
+    pub size: usize,
+    /// Evaluations performed at this size.
+    pub count: u64,
+    /// Mean evaluation time in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Evaluator wrapper recording per-size evaluation timings.
+#[derive(Debug)]
+pub struct TimingEvaluator<E> {
+    inner: E,
+    counts: Vec<AtomicU64>,
+    total_ns: Vec<AtomicU64>,
+}
+
+impl<E: Evaluator> TimingEvaluator<E> {
+    /// Wrap `inner` with zeroed timers.
+    pub fn new(inner: E) -> Self {
+        TimingEvaluator {
+            inner,
+            counts: (0..=MAX_TRACKED_SIZE).map(|_| AtomicU64::new(0)).collect(),
+            total_ns: (0..=MAX_TRACKED_SIZE).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The wrapped objective.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Timing summary for every size that was evaluated at least once.
+    pub fn timings(&self) -> Vec<SizeTiming> {
+        (0..=MAX_TRACKED_SIZE)
+            .filter_map(|size| {
+                let count = self.counts[size].load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                let total = self.total_ns[size].load(Ordering::Relaxed);
+                Some(SizeTiming {
+                    size,
+                    count,
+                    mean_ns: total as f64 / count as f64,
+                })
+            })
+            .collect()
+    }
+
+    /// Mean evaluation time for one size, if measured.
+    pub fn mean_ns_for_size(&self, size: usize) -> Option<f64> {
+        let bucket = size.min(MAX_TRACKED_SIZE);
+        let count = self.counts[bucket].load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        Some(self.total_ns[bucket].load(Ordering::Relaxed) as f64 / count as f64)
+    }
+
+    /// Reset all timers.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        for t in &self.total_ns {
+            t.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<E: Evaluator> Evaluator for TimingEvaluator<E> {
+    fn n_snps(&self) -> usize {
+        self.inner.n_snps()
+    }
+
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        let start = Instant::now();
+        let f = self.inner.evaluate_one(snps);
+        let ns = start.elapsed().as_nanos() as u64;
+        let bucket = snps.len().min(MAX_TRACKED_SIZE);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_ns[bucket].fetch_add(ns, Ordering::Relaxed);
+        f
+    }
+    // evaluate_batch intentionally inherits the default sequential loop so
+    // each call is timed individually; wrap a TimingEvaluator *inside* a
+    // parallel evaluator (which calls evaluate_one per job) to time
+    // parallel runs.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::evaluator::FnEvaluator;
+    use ld_core::Haplotype;
+
+    fn slow_by_size() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+        FnEvaluator::new(51, |s: &[SnpId]| {
+            std::thread::sleep(std::time::Duration::from_micros(50 * s.len() as u64));
+            s.len() as f64
+        })
+    }
+
+    #[test]
+    fn records_per_size_counts_and_means() {
+        // A widely separated sleep (1 ms per SNP) keeps the ordering
+        // assertion robust against scheduler jitter on loaded CI hosts.
+        let t = TimingEvaluator::new(FnEvaluator::new(51, |s: &[SnpId]| {
+            std::thread::sleep(std::time::Duration::from_millis(s.len() as u64));
+            s.len() as f64
+        }));
+        for _ in 0..3 {
+            let _ = t.evaluate_one(&[1, 2]);
+        }
+        let _ = t.evaluate_one(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let timings = t.timings();
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].size, 2);
+        assert_eq!(timings[0].count, 3);
+        assert_eq!(timings[1].size, 8);
+        assert_eq!(timings[1].count, 1);
+        // Size 8 sleeps 4x as long as size 2; even heavy jitter cannot
+        // close a 6 ms gap.
+        assert!(
+            timings[1].mean_ns > timings[0].mean_ns,
+            "8-SNP mean {} <= 2-SNP mean {}",
+            timings[1].mean_ns,
+            timings[0].mean_ns
+        );
+        assert!(t.mean_ns_for_size(2).unwrap() > 0.0);
+        assert!(t.mean_ns_for_size(7).is_none());
+    }
+
+    #[test]
+    fn batch_goes_through_timed_path() {
+        let t = TimingEvaluator::new(slow_by_size());
+        let mut batch = vec![Haplotype::new(vec![1, 2, 3]); 4];
+        t.evaluate_batch(&mut batch);
+        assert_eq!(t.timings()[0].count, 4);
+        assert_eq!(batch[0].fitness(), 3.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let t = TimingEvaluator::new(slow_by_size());
+        let _ = t.evaluate_one(&[1]);
+        assert!(!t.timings().is_empty());
+        t.reset();
+        assert!(t.timings().is_empty());
+    }
+
+    #[test]
+    fn oversized_haplotypes_pool_into_last_bucket() {
+        let t = TimingEvaluator::new(FnEvaluator::new(100, |_: &[SnpId]| 0.0));
+        let wide: Vec<usize> = (0..40).collect();
+        let _ = t.evaluate_one(&wide);
+        assert_eq!(t.timings()[0].size, MAX_TRACKED_SIZE);
+    }
+}

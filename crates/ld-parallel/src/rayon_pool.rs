@@ -1,0 +1,134 @@
+//! Rayon-based batch evaluator — the idiomatic shared-memory alternative
+//! to the explicit master/slaves model.
+//!
+//! A batch evaluation is a `par_iter_mut` over the individuals. By default
+//! work runs on rayon's global pool; [`RayonEvaluator::with_threads`]
+//! builds a dedicated pool, which the speedup experiment uses to sweep
+//! worker counts without poisoning the global pool's sizing.
+
+use ld_core::{Evaluator, Haplotype};
+use ld_data::SnpId;
+use rayon::prelude::*;
+use rayon::ThreadPool;
+
+/// Evaluator that fans a batch out over a rayon thread pool.
+pub struct RayonEvaluator<E> {
+    inner: E,
+    pool: Option<ThreadPool>,
+}
+
+impl<E: Evaluator> RayonEvaluator<E> {
+    /// Use rayon's global thread pool.
+    pub fn new(inner: E) -> Self {
+        RayonEvaluator { inner, pool: None }
+    }
+
+    /// Use a dedicated pool with exactly `n_threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `n_threads` is zero or the pool cannot be built.
+    pub fn with_threads(inner: E, n_threads: usize) -> Self {
+        assert!(n_threads > 0, "need at least one thread");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n_threads)
+            .thread_name(|i| format!("ga-rayon-{i}"))
+            .build()
+            .expect("build rayon pool");
+        RayonEvaluator {
+            inner,
+            pool: Some(pool),
+        }
+    }
+
+    /// The wrapped objective.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    fn run_batch(&self, batch: &mut [Haplotype]) {
+        let inner = &self.inner;
+        batch.par_iter_mut().for_each(|h| {
+            let f = inner.evaluate_one(h.snps());
+            h.set_fitness(f);
+        });
+    }
+}
+
+impl<E: Evaluator> Evaluator for RayonEvaluator<E> {
+    fn n_snps(&self) -> usize {
+        self.inner.n_snps()
+    }
+
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        self.inner.evaluate_one(snps)
+    }
+
+    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+        match &self.pool {
+            Some(pool) => pool.install(|| self.run_batch(batch)),
+            None => self.run_batch(batch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_core::evaluator::{CountingEvaluator, FnEvaluator};
+
+    fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+        FnEvaluator::new(51, |s: &[SnpId]| s.iter().sum::<usize>() as f64)
+    }
+
+    fn batch(n: usize) -> Vec<Haplotype> {
+        (0..n)
+            .map(|i| Haplotype::new(vec![i % 51, (i * 3 + 1) % 51]))
+            .collect()
+    }
+
+    #[test]
+    fn global_pool_matches_sequential() {
+        let seq = toy();
+        let par = RayonEvaluator::new(toy());
+        let mut a = batch(200);
+        let mut b = a.clone();
+        seq.evaluate_batch(&mut a);
+        par.evaluate_batch(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fitness(), y.fitness());
+        }
+    }
+
+    #[test]
+    fn dedicated_pool_matches_sequential() {
+        let par = RayonEvaluator::with_threads(toy(), 3);
+        let seq = toy();
+        let mut a = batch(100);
+        let mut b = a.clone();
+        seq.evaluate_batch(&mut a);
+        par.evaluate_batch(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fitness(), y.fitness());
+        }
+    }
+
+    #[test]
+    fn counting_is_exact_under_parallelism() {
+        let par = RayonEvaluator::with_threads(CountingEvaluator::new(toy()), 4);
+        let mut b = batch(500);
+        par.evaluate_batch(&mut b);
+        assert_eq!(par.inner().count(), 500);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let par = RayonEvaluator::new(toy());
+        par.evaluate_batch(&mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = RayonEvaluator::with_threads(toy(), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Per-haplotype association measures — the biologist-facing report.
+//!
+//! CLUMP's T1 says *whether* a haplotype set separates cases from
+//! controls; the follow-up questions are *which* haplotype carries the
+//! risk and *how strong* it is. This module provides:
+//!
+//! * [`fisher_exact_2x2`] — Fisher's exact test for 2×2 tables (the
+//!   small-count companion to χ², computed from log-factorials);
+//! * [`odds_ratio`] — the odds ratio with a Woolf (log-normal) 95%
+//!   confidence interval, Haldane-corrected for zero cells;
+//! * [`risk_report`] — per-haplotype odds ratios and exact p-values from
+//!   an evaluation's concatenated table.
+
+use crate::error::StatsError;
+use crate::fitness::EvalDetail;
+use crate::special::ln_factorial;
+
+/// Odds ratio with a 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OddsRatio {
+    /// Point estimate (Haldane-corrected when any cell is zero).
+    pub or: f64,
+    /// Lower 95% bound.
+    pub ci_low: f64,
+    /// Upper 95% bound.
+    pub ci_high: f64,
+}
+
+/// Woolf's method on `[[a, b], [c, d]]` (a = exposed cases, b = unexposed
+/// cases, c = exposed controls, d = unexposed controls), with the Haldane
+/// +0.5 correction when any cell is (near-)zero.
+///
+/// The correction triggers below half a count, not at exact zero: the
+/// inputs here are EM *expected* counts, where an empty cell often comes
+/// out as 1e-14 rather than 0.0 and would otherwise explode the ratio.
+pub fn odds_ratio(a: f64, b: f64, c: f64, d: f64) -> OddsRatio {
+    let (a, b, c, d) = if a < 0.5 || b < 0.5 || c < 0.5 || d < 0.5 {
+        (a + 0.5, b + 0.5, c + 0.5, d + 0.5)
+    } else {
+        (a, b, c, d)
+    };
+    let or = (a * d) / (b * c);
+    let se = (1.0 / a + 1.0 / b + 1.0 / c + 1.0 / d).sqrt();
+    const Z95: f64 = 1.959_963_984_540_054;
+    OddsRatio {
+        or,
+        ci_low: (or.ln() - Z95 * se).exp(),
+        ci_high: (or.ln() + Z95 * se).exp(),
+    }
+}
+
+/// Log of the hypergeometric probability of the table
+/// `[[a, b], [c, d]]` with fixed margins.
+fn ln_hypergeom(a: u64, b: u64, c: u64, d: u64) -> f64 {
+    let n = a + b + c + d;
+    ln_factorial(a + b) + ln_factorial(c + d) + ln_factorial(a + c) + ln_factorial(b + d)
+        - ln_factorial(n)
+        - ln_factorial(a)
+        - ln_factorial(b)
+        - ln_factorial(c)
+        - ln_factorial(d)
+}
+
+/// Two-sided Fisher's exact test on a 2×2 table of integer counts: the sum
+/// of the probabilities of all tables (with the same margins) no more
+/// probable than the observed one.
+pub fn fisher_exact_2x2(a: u64, b: u64, c: u64, d: u64) -> f64 {
+    let row1 = a + b;
+    let col1 = a + c;
+    let n = a + b + c + d;
+    if n == 0 {
+        return 1.0;
+    }
+    let observed = ln_hypergeom(a, b, c, d);
+    let a_min = col1.saturating_sub(n - row1);
+    let a_max = row1.min(col1);
+    let mut p = 0.0;
+    for x in a_min..=a_max {
+        // Note `n + x - row1 - col1`: adding x first keeps the u64 math
+        // non-negative for every x in [a_min, a_max].
+        let (xa, xb, xc, xd) = (x, row1 - x, col1 - x, n + x - row1 - col1);
+        let lp = ln_hypergeom(xa, xb, xc, xd);
+        if lp <= observed + 1e-9 {
+            p += lp.exp();
+        }
+    }
+    p.min(1.0)
+}
+
+/// Šidák adjustment of a nominal p-value for a search over `n_tests`
+/// candidates: `1 − (1 − p)^n`, computed stably via `ln1p`/`expm1`.
+///
+/// The GA's winning haplotype was selected from thousands of evaluated
+/// candidates, so its nominal p-value is optimistically biased (winner's
+/// curse). Treating every evaluation as an independent test is
+/// *conservative* (candidates overlap heavily), which is the right
+/// direction for a screening report; the paper's CLUMP reference solves
+/// the same problem for its own statistics with Monte-Carlo simulation.
+pub fn sidak_adjust(p: f64, n_tests: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if n_tests <= 1 {
+        return p;
+    }
+    // 1 - (1-p)^n = -expm1(n * ln(1-p))
+    (-((n_tests as f64) * (-p).ln_1p()).exp_m1()).clamp(0.0, 1.0)
+}
+
+/// Risk summary of one haplotype column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaplotypeRisk {
+    /// Haplotype bitmask (bit i ⇒ allele 2 at the i-th selected SNP).
+    pub haplotype: usize,
+    /// Paper-style allele string, e.g. `"221"` for mask `0b011` over 3 SNPs.
+    pub label: String,
+    /// Expected count among affected chromosomes.
+    pub affected_count: f64,
+    /// Expected count among unaffected chromosomes.
+    pub unaffected_count: f64,
+    /// Odds ratio (this haplotype vs all others) with CI.
+    pub odds_ratio: OddsRatio,
+    /// Two-sided Fisher exact p (on rounded counts).
+    pub fisher_p: f64,
+}
+
+/// Build per-haplotype risk summaries from an evaluation's table, keeping
+/// haplotypes whose pooled expected count is at least `min_count`, sorted
+/// by descending odds ratio.
+pub fn risk_report(detail: &EvalDetail, min_count: f64) -> Result<Vec<HaplotypeRisk>, StatsError> {
+    let table = &detail.table;
+    if table.n_rows() != 2 {
+        return Err(StatsError::BadTable("risk_report needs a 2×m table".into()));
+    }
+    let k = detail.affected.k;
+    let row_totals = table.row_totals();
+    let mut out = Vec::new();
+    for h in 0..table.n_cols() {
+        let aff = table.get(0, h);
+        let una = table.get(1, h);
+        if aff + una < min_count {
+            continue;
+        }
+        let or = odds_ratio(aff, row_totals[0] - aff, una, row_totals[1] - una);
+        let fisher_p = fisher_exact_2x2(
+            aff.round() as u64,
+            (row_totals[0] - aff).round() as u64,
+            una.round() as u64,
+            (row_totals[1] - una).round() as u64,
+        );
+        // Paper coding: allele 2 where the bit is set, printed low SNP first.
+        let label: String = (0..k)
+            .map(|i| if h >> i & 1 == 1 { '2' } else { '1' })
+            .collect();
+        out.push(HaplotypeRisk {
+            haplotype: h,
+            label,
+            affected_count: aff,
+            unaffected_count: una,
+            odds_ratio: or,
+            fisher_p,
+        });
+    }
+    out.sort_by(|a, b| b.odds_ratio.or.total_cmp(&a.odds_ratio.or));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odds_ratio_hand_computed() {
+        // a=20 b=10 c=5 d=25 -> OR = (20*25)/(10*5) = 10.
+        let or = odds_ratio(20.0, 10.0, 5.0, 25.0);
+        assert!((or.or - 10.0).abs() < 1e-12);
+        assert!(or.ci_low > 1.0, "strong association excludes 1");
+        assert!(or.ci_low < or.or && or.or < or.ci_high);
+    }
+
+    #[test]
+    fn odds_ratio_null_is_one() {
+        let or = odds_ratio(10.0, 10.0, 10.0, 10.0);
+        assert!((or.or - 1.0).abs() < 1e-12);
+        assert!(or.ci_low < 1.0 && or.ci_high > 1.0);
+    }
+
+    #[test]
+    fn haldane_correction_on_zero_cells() {
+        let or = odds_ratio(10.0, 0.0, 5.0, 5.0);
+        assert!(or.or.is_finite() && or.or > 0.0);
+        let or = odds_ratio(0.0, 10.0, 10.0, 0.0);
+        assert!(or.or.is_finite());
+    }
+
+    #[test]
+    fn haldane_correction_on_numerically_empty_cells() {
+        // EM expected counts leave 1e-14 in empty cells; the correction
+        // must still fire or the OR explodes to ~1e15.
+        let wild = odds_ratio(35.4, 70.6, 1e-14, 106.0);
+        let corrected = odds_ratio(35.4, 70.6, 0.0, 106.0);
+        assert!(
+            (wild.or - corrected.or).abs() / corrected.or < 1e-9,
+            "near-zero cell not corrected: {} vs {}",
+            wild.or,
+            corrected.or
+        );
+        assert!(wild.or < 1000.0, "OR exploded: {}", wild.or);
+    }
+
+    #[test]
+    fn fisher_matches_known_value() {
+        // The classic tea-tasting table [[3,1],[1,3]]: two-sided p ≈ 0.4857.
+        let p = fisher_exact_2x2(3, 1, 1, 3);
+        assert!((p - 0.485_714_285).abs() < 1e-6, "p = {p}");
+        // Perfectly balanced: p = 1.
+        let p = fisher_exact_2x2(5, 5, 5, 5);
+        assert!((p - 1.0).abs() < 1e-9);
+        // Strong association: tiny p.
+        let p = fisher_exact_2x2(20, 0, 0, 20);
+        assert!(p < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn fisher_degenerate_tables() {
+        assert_eq!(fisher_exact_2x2(0, 0, 0, 0), 1.0);
+        assert!((fisher_exact_2x2(5, 0, 5, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fisher_agrees_with_chi2_asymptotically() {
+        // Large balanced-margin table: Fisher and χ² p-values converge.
+        use crate::chi2::pearson_chi2;
+        use crate::table::ContingencyTable;
+        let (a, b, c, d) = (60u64, 40, 45, 55);
+        let fisher = fisher_exact_2x2(a, b, c, d);
+        let t = ContingencyTable::from_rows(
+            2,
+            2,
+            vec![a as f64, b as f64, c as f64, d as f64],
+        )
+        .unwrap();
+        let chi = pearson_chi2(&t).p_value;
+        assert!((fisher - chi).abs() < 0.02, "fisher {fisher} vs chi2 {chi}");
+    }
+
+    #[test]
+    fn sidak_adjustment_behaviour() {
+        // Single test: unchanged.
+        assert_eq!(sidak_adjust(0.01, 1), 0.01);
+        assert_eq!(sidak_adjust(0.01, 0), 0.01);
+        // Known value: 1 - 0.99^10 ≈ 0.0956.
+        assert!((sidak_adjust(0.01, 10) - 0.095_617_925).abs() < 1e-6);
+        // Monotone in n; saturates at 1.
+        assert!(sidak_adjust(0.01, 100) > sidak_adjust(0.01, 10));
+        assert!((sidak_adjust(0.05, 10_000) - 1.0).abs() < 1e-9);
+        // Stable for tiny p and huge n (naive pow would lose precision).
+        let adj = sidak_adjust(1e-12, 1_000_000);
+        assert!((adj - 1e-6).abs() / 1e-6 < 1e-3, "adj = {adj}");
+        // Edges.
+        assert_eq!(sidak_adjust(0.0, 50), 0.0);
+        assert_eq!(sidak_adjust(1.0, 50), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn sidak_rejects_bad_p() {
+        let _ = sidak_adjust(1.5, 2);
+    }
+
+    #[test]
+    fn risk_report_ranks_planted_haplotype_first() {
+        use crate::fitness::{EvalPipeline, FitnessKind};
+        let data = ld_data::synthetic::lille_51(42);
+        let pipeline = EvalPipeline::new(&data, FitnessKind::ClumpT1).unwrap();
+        let detail = pipeline.evaluate_detailed(&[8, 12, 15]).unwrap();
+        let report = risk_report(&detail, 2.0).unwrap();
+        assert!(!report.is_empty());
+        // The all-2 risk haplotype (mask 0b111, label "222") must be the
+        // top odds-ratio entry.
+        let top = &report[0];
+        assert_eq!(top.haplotype, 0b111, "top entry {top:?}");
+        assert_eq!(top.label, "222");
+        assert!(top.odds_ratio.or > 1.5);
+        assert!(top.fisher_p < 0.05);
+        // Sorted descending by OR.
+        for w in report.windows(2) {
+            assert!(w[0].odds_ratio.or >= w[1].odds_ratio.or);
+        }
+    }
+
+    #[test]
+    fn risk_report_filters_rare_haplotypes() {
+        use crate::fitness::{EvalPipeline, FitnessKind};
+        let data = ld_data::synthetic::lille_51(42);
+        let pipeline = EvalPipeline::new(&data, FitnessKind::ClumpT1).unwrap();
+        let detail = pipeline.evaluate_detailed(&[8, 12]).unwrap();
+        let all = risk_report(&detail, 0.0).unwrap();
+        let filtered = risk_report(&detail, 10.0).unwrap();
+        assert!(filtered.len() <= all.len());
+        for r in &filtered {
+            assert!(r.affected_count + r.unaffected_count >= 10.0);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Pearson's χ² test on contingency tables.
+
+use crate::special::chi2_sf;
+use crate::table::ContingencyTable;
+
+/// Result of a χ² test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom `(r' − 1)(c' − 1)` counting only non-degenerate
+    /// rows/columns.
+    pub df: f64,
+    /// Asymptotic p-value `Pr[χ²_df ≥ statistic]`.
+    pub p_value: f64,
+}
+
+impl Chi2Result {
+    /// A test that carries no information (degenerate table).
+    pub const NULL: Chi2Result = Chi2Result {
+        statistic: 0.0,
+        df: 0.0,
+        p_value: 1.0,
+    };
+}
+
+/// Pearson's χ² statistic `Σ (O − E)² / E` over all cells with `E > 0`,
+/// with degrees of freedom computed after dropping zero-margin rows and
+/// columns.
+///
+/// Fractional counts are accepted (EM expected counts); the asymptotic
+/// p-value is then approximate, which is why CLUMP backs the statistic
+/// with a Monte-Carlo test (see [`crate::clump`]).
+pub fn pearson_chi2(t: &ContingencyTable) -> Chi2Result {
+    let row_totals = t.row_totals();
+    let col_totals = t.col_totals();
+    let total = t.total();
+    if total <= 0.0 {
+        return Chi2Result::NULL;
+    }
+    let live_rows: Vec<usize> = (0..t.n_rows()).filter(|&r| row_totals[r] > 0.0).collect();
+    let live_cols: Vec<usize> = (0..t.n_cols()).filter(|&c| col_totals[c] > 0.0).collect();
+    if live_rows.len() < 2 || live_cols.len() < 2 {
+        return Chi2Result::NULL;
+    }
+    let mut stat = 0.0;
+    for &r in &live_rows {
+        for &c in &live_cols {
+            let e = row_totals[r] * col_totals[c] / total;
+            let o = t.get(r, c);
+            stat += (o - e) * (o - e) / e;
+        }
+    }
+    let df = ((live_rows.len() - 1) * (live_cols.len() - 1)) as f64;
+    Chi2Result {
+        statistic: stat,
+        df,
+        p_value: chi2_sf(stat, df),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two_hand_computed() {
+        // | 10 20 |   margins: 30, 30; cols 25, 35; total 60.
+        // | 15 15 |
+        let t = ContingencyTable::from_rows(2, 2, vec![10.0, 20.0, 15.0, 15.0]).unwrap();
+        let r = pearson_chi2(&t);
+        // E = [12.5, 17.5, 12.5, 17.5]; chi2 = 2*(2.5^2/12.5) + 2*(2.5^2/17.5)
+        let expected = 2.0 * (6.25 / 12.5) + 2.0 * (6.25 / 17.5);
+        assert!((r.statistic - expected).abs() < 1e-12);
+        assert_eq!(r.df, 1.0);
+        assert!(r.p_value > 0.15 && r.p_value < 0.25, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn independent_table_gives_zero() {
+        // Perfectly proportional rows.
+        let t = ContingencyTable::from_rows(2, 3, vec![10.0, 20.0, 30.0, 5.0, 10.0, 15.0]).unwrap();
+        let r = pearson_chi2(&t);
+        assert!(r.statistic.abs() < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        assert_eq!(r.df, 2.0);
+    }
+
+    #[test]
+    fn zero_margins_reduce_df() {
+        // Middle column empty: df should be (2-1)(2-1) = 1, not 2.
+        let t = ContingencyTable::from_rows(2, 3, vec![10.0, 0.0, 20.0, 20.0, 0.0, 10.0]).unwrap();
+        let r = pearson_chi2(&t);
+        assert_eq!(r.df, 1.0);
+        assert!(r.statistic > 0.0);
+    }
+
+    #[test]
+    fn degenerate_tables_are_null() {
+        let t = ContingencyTable::from_rows(2, 2, vec![0.0; 4]).unwrap();
+        assert_eq!(pearson_chi2(&t), Chi2Result::NULL);
+        // Single live row.
+        let t = ContingencyTable::from_rows(2, 2, vec![5.0, 5.0, 0.0, 0.0]).unwrap();
+        assert_eq!(pearson_chi2(&t), Chi2Result::NULL);
+        // Single live column.
+        let t = ContingencyTable::from_rows(2, 2, vec![5.0, 0.0, 7.0, 0.0]).unwrap();
+        assert_eq!(pearson_chi2(&t), Chi2Result::NULL);
+    }
+
+    #[test]
+    fn strong_association_small_p() {
+        let t = ContingencyTable::from_rows(2, 2, vec![50.0, 5.0, 5.0, 50.0]).unwrap();
+        let r = pearson_chi2(&t);
+        assert!(r.statistic > 30.0);
+        assert!(r.p_value < 1e-7);
+    }
+
+    #[test]
+    fn fractional_counts_accepted() {
+        let t = ContingencyTable::from_rows(2, 2, vec![10.5, 19.5, 14.25, 15.75]).unwrap();
+        let r = pearson_chi2(&t);
+        assert!(r.statistic.is_finite());
+        assert!(r.p_value.is_finite());
+    }
+
+    #[test]
+    fn statistic_grows_with_association_strength() {
+        let mut prev = -1.0;
+        for shift in [0.0, 5.0, 10.0, 15.0] {
+            let t = ContingencyTable::from_rows(
+                2,
+                2,
+                vec![20.0 + shift, 20.0 - shift, 20.0 - shift, 20.0 + shift],
+            )
+            .unwrap();
+            let r = pearson_chi2(&t);
+            assert!(r.statistic > prev);
+            prev = r.statistic;
+        }
+    }
+}

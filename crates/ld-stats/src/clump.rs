@@ -1,0 +1,294 @@
+//! CLUMP: association statistics on 2×m contingency tables
+//! (Sham & Curtis, *Ann. Hum. Genet.* 1995).
+//!
+//! CLUMP takes a table of category counts (here: haplotype counts) per
+//! status group and produces four statistics:
+//!
+//! * **T1** — Pearson's χ² of the raw table. This is the statistic the
+//!   paper uses as the GA's fitness ("a good haplotype … corresponds to a
+//!   high value of T1", §2.4.2).
+//! * **T2** — χ² after collapsing rare columns until every expected count
+//!   is at least 5 (the classic validity rule).
+//! * **T3** — the maximum 2×2 χ² over "one column vs the rest"
+//!   comparisons.
+//! * **T4** — the maximum 2×2 χ² over "a *clump* of columns vs the rest",
+//!   with the clump grown greedily (the original program's heuristic;
+//!   exhaustive subset search is exponential in m).
+//!
+//! Because T3/T4 maximize over comparisons their asymptotic null
+//! distribution is unknown; CLUMP assesses significance by Monte-Carlo
+//! simulation of tables with the same margins ([`crate::mc`]).
+
+use crate::chi2::pearson_chi2;
+use crate::error::StatsError;
+use crate::mc::mc_pvalue;
+use crate::table::ContingencyTable;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which CLUMP statistic to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClumpStatistic {
+    /// Raw-table χ².
+    T1,
+    /// Collapsed-table χ² (all expected ≥ 5).
+    T2,
+    /// Max single-column 2×2 χ².
+    T3,
+    /// Max greedy-clump 2×2 χ².
+    T4,
+}
+
+impl ClumpStatistic {
+    /// All four statistics in definition order.
+    pub const ALL: [ClumpStatistic; 4] = [
+        ClumpStatistic::T1,
+        ClumpStatistic::T2,
+        ClumpStatistic::T3,
+        ClumpStatistic::T4,
+    ];
+
+    /// Evaluate this statistic on a 2×m table.
+    pub fn evaluate(self, table: &ContingencyTable) -> Result<f64, StatsError> {
+        if table.n_rows() != 2 {
+            return Err(StatsError::BadTable(format!(
+                "CLUMP requires a two-row table, got {} rows",
+                table.n_rows()
+            )));
+        }
+        Ok(match self {
+            ClumpStatistic::T1 => pearson_chi2(table).statistic,
+            ClumpStatistic::T2 => pearson_chi2(&table.collapse_rare_cols(5.0)).statistic,
+            ClumpStatistic::T3 => t3(table)?,
+            ClumpStatistic::T4 => t4(table)?,
+        })
+    }
+}
+
+/// Max over columns of the 2×2 (column vs rest) χ².
+fn t3(table: &ContingencyTable) -> Result<f64, StatsError> {
+    let mut best = 0.0f64;
+    for c in 0..table.n_cols() {
+        let sub = table.col_vs_rest(c)?;
+        best = best.max(pearson_chi2(&sub).statistic);
+    }
+    Ok(best)
+}
+
+/// Greedy clump search: starting from the best single column, keep adding
+/// the column that most improves the pooled 2×2 χ², stopping when no
+/// addition improves it.
+fn t4(table: &ContingencyTable) -> Result<f64, StatsError> {
+    let m = table.n_cols();
+    if m == 0 {
+        return Ok(0.0);
+    }
+    // Seed: best single column.
+    let mut in_clump = vec![false; m];
+    let mut clump: Vec<usize> = Vec::new();
+    let mut best = 0.0f64;
+    let mut seed = 0usize;
+    for c in 0..m {
+        let stat = pearson_chi2(&table.col_vs_rest(c)?).statistic;
+        if stat > best {
+            best = stat;
+            seed = c;
+        }
+    }
+    clump.push(seed);
+    in_clump[seed] = true;
+    // Grow while improving.
+    loop {
+        let mut best_add: Option<(usize, f64)> = None;
+        for (c, _) in in_clump.iter().enumerate().filter(|(_, used)| !**used) {
+            clump.push(c);
+            let stat = pearson_chi2(&table.cols_vs_rest(&clump)?).statistic;
+            clump.pop();
+            if stat > best && best_add.is_none_or(|(_, s)| stat > s) {
+                best_add = Some((c, stat));
+            }
+        }
+        match best_add {
+            Some((c, stat)) => {
+                clump.push(c);
+                in_clump[c] = true;
+                best = stat;
+            }
+            None => break,
+        }
+    }
+    Ok(best)
+}
+
+/// Result of a full CLUMP analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClumpResult {
+    /// T1–T4 in order.
+    pub statistics: [f64; 4],
+    /// Monte-Carlo p-values for T1–T4 (present when simulations were run).
+    pub mc_p_values: Option<[f64; 4]>,
+    /// Asymptotic p-value of T1 (valid: its null is χ² with m−1 df).
+    pub t1_asymptotic_p: f64,
+}
+
+impl ClumpResult {
+    /// Fetch one statistic.
+    pub fn statistic(&self, which: ClumpStatistic) -> f64 {
+        self.statistics[index(which)]
+    }
+
+    /// Fetch one Monte-Carlo p-value, if simulations were run.
+    pub fn mc_p_value(&self, which: ClumpStatistic) -> Option<f64> {
+        self.mc_p_values.map(|p| p[index(which)])
+    }
+}
+
+fn index(which: ClumpStatistic) -> usize {
+    match which {
+        ClumpStatistic::T1 => 0,
+        ClumpStatistic::T2 => 1,
+        ClumpStatistic::T3 => 2,
+        ClumpStatistic::T4 => 3,
+    }
+}
+
+/// Run CLUMP on a 2×m table: all four statistics, the asymptotic T1
+/// p-value, and (when `n_sims > 0`) Monte-Carlo p-values for each.
+pub fn clump<R: Rng + ?Sized>(
+    table: &ContingencyTable,
+    n_sims: usize,
+    rng: &mut R,
+) -> Result<ClumpResult, StatsError> {
+    let mut statistics = [0.0f64; 4];
+    for (i, stat) in ClumpStatistic::ALL.into_iter().enumerate() {
+        statistics[i] = stat.evaluate(table)?;
+    }
+    let t1_asymptotic_p = pearson_chi2(table).p_value;
+    let mc_p_values = if n_sims > 0 {
+        let mut ps = [1.0f64; 4];
+        for (i, stat) in ClumpStatistic::ALL.into_iter().enumerate() {
+            ps[i] = mc_pvalue(table, n_sims, rng, |t| {
+                stat.evaluate(t).unwrap_or(0.0)
+            })?;
+        }
+        Some(ps)
+    } else {
+        None
+    };
+    Ok(ClumpResult {
+        statistics,
+        mc_p_values,
+        t1_asymptotic_p,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    fn associated() -> ContingencyTable {
+        // Column 0 enriched in row 0, column 3 enriched in row 1.
+        ContingencyTable::two_by_m(&[40.0, 10.0, 10.0, 5.0], &[10.0, 10.0, 10.0, 35.0]).unwrap()
+    }
+
+    fn null_table() -> ContingencyTable {
+        ContingencyTable::two_by_m(&[20.0, 20.0, 20.0], &[20.0, 20.0, 20.0]).unwrap()
+    }
+
+    #[test]
+    fn t1_matches_pearson() {
+        let t = associated();
+        assert_eq!(
+            ClumpStatistic::T1.evaluate(&t).unwrap(),
+            pearson_chi2(&t).statistic
+        );
+    }
+
+    #[test]
+    fn all_statistics_zero_on_null_table() {
+        let t = null_table();
+        for s in ClumpStatistic::ALL {
+            assert!(s.evaluate(&t).unwrap().abs() < 1e-9, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn t3_at_most_t1_total_but_positive_under_association() {
+        let t = associated();
+        let t3 = ClumpStatistic::T3.evaluate(&t).unwrap();
+        assert!(t3 > 10.0);
+    }
+
+    #[test]
+    fn t4_at_least_t3() {
+        // T4's search space includes single columns, so T4 >= T3.
+        for table in [associated(), null_table()] {
+            let t3 = ClumpStatistic::T3.evaluate(&table).unwrap();
+            let t4 = ClumpStatistic::T4.evaluate(&table).unwrap();
+            assert!(t4 >= t3 - 1e-12, "t3 {t3} t4 {t4}");
+        }
+    }
+
+    #[test]
+    fn t4_finds_composite_clump() {
+        // Two columns each weakly enriched in row 0; pooling them beats any
+        // single column.
+        let t = ContingencyTable::two_by_m(&[18.0, 18.0, 14.0, 14.0], &[10.0, 10.0, 22.0, 22.0])
+            .unwrap();
+        let t3 = ClumpStatistic::T3.evaluate(&t).unwrap();
+        let t4 = ClumpStatistic::T4.evaluate(&t).unwrap();
+        assert!(t4 > t3 + 0.5, "t3 {t3} t4 {t4}");
+    }
+
+    #[test]
+    fn t2_collapse_bounds_expected() {
+        // A rare column would break the expected>=5 rule; T2 must collapse it.
+        let t = ContingencyTable::two_by_m(&[30.0, 30.0, 1.0], &[30.0, 30.0, 0.0]).unwrap();
+        let t2 = ClumpStatistic::T2.evaluate(&t).unwrap();
+        assert!(t2.is_finite());
+        // After collapse the tiny column is pooled, usually shrinking χ².
+        let t1 = ClumpStatistic::T1.evaluate(&t).unwrap();
+        assert!(t2 <= t1 + 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_two_row_tables() {
+        let t = ContingencyTable::from_rows(3, 2, vec![1.0; 6]).unwrap();
+        assert!(ClumpStatistic::T1.evaluate(&t).is_err());
+        assert!(clump(&t, 0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn full_clump_with_mc() {
+        let t = associated();
+        let r = clump(&t, 300, &mut rng()).unwrap();
+        assert!(r.statistic(ClumpStatistic::T1) > 20.0);
+        let ps = r.mc_p_values.unwrap();
+        for p in ps {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // Strong association: T1's MC p-value at the floor.
+        assert!(r.mc_p_value(ClumpStatistic::T1).unwrap() <= 2.0 / 301.0);
+        assert!(r.t1_asymptotic_p < 1e-6);
+    }
+
+    #[test]
+    fn clump_without_mc_has_no_p_values() {
+        let r = clump(&associated(), 0, &mut rng()).unwrap();
+        assert!(r.mc_p_values.is_none());
+        assert!(r.mc_p_value(ClumpStatistic::T1).is_none());
+    }
+
+    #[test]
+    fn mc_pvalues_calibrated_under_null() {
+        // Under a null table the MC p-value should be large.
+        let r = clump(&null_table(), 200, &mut rng()).unwrap();
+        assert!(r.mc_p_value(ClumpStatistic::T1).unwrap() > 0.5);
+    }
+}

@@ -1,0 +1,623 @@
+//! EH-DIALL replacement: EM estimation of multilocus haplotype frequencies
+//! from unphased genotypes.
+//!
+//! Terwilliger & Ott's EH program determines "the most probable distribution
+//! of alleles in an haplotype according to values of the SNPs" (paper §2.4.1)
+//! by maximum likelihood over the 2^k possible haplotypes of k bi-allelic
+//! SNPs, using EM to resolve phase ambiguity: an individual heterozygous at
+//! `h` of the `k` loci is compatible with `2^(h−1)` distinct haplotype pairs.
+//!
+//! This module implements that algorithm:
+//!
+//! 1. genotype vectors are reduced to `(hom2_mask, het_mask)` bit patterns
+//!    and identical patterns are pooled (a large constant-factor win);
+//! 2. frequencies are initialized from the product of single-SNP allele
+//!    frequencies (the linkage-equilibrium start EH uses);
+//! 3. E-step: each pattern distributes its count over compatible haplotype
+//!    pairs with weights `p_a · p_b` (×2 when `a ≠ b`); M-step: normalize
+//!    expected haplotype counts.
+//!
+//! The per-iteration cost is `Σ_patterns 2^(h_pattern − 1)` — exponential in
+//! haplotype size, which is exactly the cost curve the paper's Figure 4
+//! reports for its evaluation function.
+//!
+//! Haplotypes are encoded as bitmasks: bit `i` set ⇔ allele `2` at the i-th
+//! SNP of the (ascending) selection.
+
+use crate::error::StatsError;
+use ld_data::Genotype;
+use std::collections::BTreeMap;
+
+/// Widest supported haplotype (bitmask width and 2^k table size guard).
+pub const MAX_HAPLOTYPE_SNPS: usize = 20;
+
+/// EM hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmConfig {
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Convergence threshold on the max absolute frequency change.
+    pub tol: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            max_iter: 1000,
+            tol: 1e-8,
+        }
+    }
+}
+
+/// Estimated haplotype frequency distribution for one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaplotypeDist {
+    /// Number of SNPs in the haplotype.
+    pub k: usize,
+    /// `freqs[h]` is the estimated frequency of haplotype bitmask `h`
+    /// (length `2^k`, sums to 1).
+    pub freqs: Vec<f64>,
+    /// Log-likelihood of the sample at the estimate.
+    pub log_likelihood: f64,
+    /// EM iterations performed.
+    pub iterations: usize,
+    /// Individuals actually used (complete genotypes only).
+    pub n_individuals: usize,
+}
+
+impl HaplotypeDist {
+    /// Expected haplotype counts `2N · p̂` — the entries CLUMP's contingency
+    /// table is built from.
+    pub fn expected_counts(&self) -> Vec<f64> {
+        let scale = 2.0 * self.n_individuals as f64;
+        self.freqs.iter().map(|&p| p * scale).collect()
+    }
+
+    /// The most frequent haplotype `(bitmask, frequency)`.
+    pub fn mode(&self) -> (usize, f64) {
+        self.freqs
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("freqs is non-empty")
+    }
+}
+
+/// One pooled genotype pattern: which loci are homozygous-mutant and which
+/// are heterozygous (the remaining loci are homozygous wild type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Pattern {
+    hom2: u32,
+    het: u32,
+}
+
+impl Pattern {
+    /// Reduce a complete genotype vector to a pattern. `None` if any locus
+    /// is missing (EH drops incomplete observations).
+    fn from_genotypes(gs: &[Genotype]) -> Option<Pattern> {
+        let mut hom2 = 0u32;
+        let mut het = 0u32;
+        for (i, g) in gs.iter().enumerate() {
+            match g {
+                Genotype::HomA1 => {}
+                Genotype::HomA2 => hom2 |= 1 << i,
+                Genotype::Het => het |= 1 << i,
+                Genotype::Missing => return None,
+            }
+        }
+        Some(Pattern { hom2, het })
+    }
+
+    /// Enumerate compatible unordered haplotype pairs `(a, b)`.
+    ///
+    /// With no heterozygous locus there is exactly one pair `(m, m)`.
+    /// Otherwise the lowest het bit is pinned to the first haplotype,
+    /// yielding `2^(h−1)` distinct pairs with `a ≠ b`.
+    fn pairs(&self) -> PatternPairs {
+        PatternPairs::new(*self)
+    }
+
+    fn n_het(&self) -> u32 {
+        self.het.count_ones()
+    }
+}
+
+/// Iterator over the haplotype pairs compatible with a pattern.
+struct PatternPairs {
+    pattern: Pattern,
+    /// Bits of `het` other than the pinned lowest bit.
+    rest: u32,
+    /// Current submask of `rest`; iteration runs the standard submask walk.
+    sub: u32,
+    done: bool,
+}
+
+impl PatternPairs {
+    fn new(pattern: Pattern) -> Self {
+        let rest = if pattern.het == 0 {
+            0
+        } else {
+            pattern.het & (pattern.het - 1) // clear lowest set bit
+        };
+        PatternPairs {
+            pattern,
+            rest,
+            sub: 0,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for PatternPairs {
+    /// `(hap_a, hap_b)` bitmasks, `a == b` only for fully homozygous patterns.
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let p = self.pattern;
+        if p.het == 0 {
+            self.done = true;
+            return Some((p.hom2 as usize, p.hom2 as usize));
+        }
+        let low = p.het & p.het.wrapping_neg(); // lowest set bit
+        let a = p.hom2 | low | self.sub;
+        let b = p.hom2 | (p.het & !(low | self.sub));
+        // Advance the submask enumeration over `rest`.
+        if self.sub == self.rest {
+            self.done = true;
+        } else {
+            self.sub = (self.sub.wrapping_sub(self.rest)) & self.rest;
+        }
+        Some((a as usize, b as usize))
+    }
+}
+
+/// EM estimator for multilocus haplotype frequencies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmEstimator {
+    /// Hyper-parameters.
+    pub config: EmConfig,
+}
+
+impl EmEstimator {
+    /// New estimator with explicit configuration.
+    pub fn new(config: EmConfig) -> Self {
+        EmEstimator { config }
+    }
+
+    /// Estimate haplotype frequencies for a sample of genotype vectors,
+    /// each of length `k` (one entry per selected SNP, ascending order).
+    ///
+    /// Individuals with any missing call among the `k` SNPs are dropped,
+    /// exactly as EH does.
+    pub fn estimate(&self, genotypes: &[Vec<Genotype>]) -> Result<HaplotypeDist, StatsError> {
+        self.estimate_iter(genotypes.iter().map(|v| v.as_slice()))
+    }
+
+    /// Iterator-based variant of [`EmEstimator::estimate`] to avoid forcing
+    /// callers into a particular container.
+    pub fn estimate_iter<'a, I>(&self, genotypes: I) -> Result<HaplotypeDist, StatsError>
+    where
+        I: IntoIterator<Item = &'a [Genotype]>,
+    {
+        let mut k: Option<usize> = None;
+        // BTreeMap, not HashMap: the E-step accumulates floating-point
+        // contributions in iteration order, and a hash map's per-instance
+        // random order would make repeated evaluations of the same
+        // haplotype differ in the last ulp — enough to derail the GA's
+        // otherwise deterministic trajectory.
+        let mut patterns: BTreeMap<Pattern, f64> = BTreeMap::new();
+        let mut n_used = 0usize;
+        // Single-SNP allele-2 counts for the equilibrium initialization.
+        let mut a2_counts: Vec<f64> = Vec::new();
+
+        for gs in genotypes {
+            match k {
+                None => {
+                    k = Some(gs.len());
+                    a2_counts = vec![0.0; gs.len()];
+                }
+                Some(k0) => {
+                    if gs.len() != k0 {
+                        return Err(StatsError::InvalidParameter(format!(
+                            "genotype vectors of mixed lengths: {} vs {k0}",
+                            gs.len()
+                        )));
+                    }
+                }
+            }
+            let Some(p) = Pattern::from_genotypes(gs) else {
+                continue;
+            };
+            n_used += 1;
+            *patterns.entry(p).or_insert(0.0) += 1.0;
+            for (i, g) in gs.iter().enumerate() {
+                a2_counts[i] += g.a2_count().unwrap_or(0) as f64;
+            }
+        }
+
+        let k = k.ok_or(StatsError::NoObservations { context: "EM input" })?;
+        if k == 0 {
+            return Err(StatsError::InvalidParameter(
+                "haplotype must contain at least one SNP".into(),
+            ));
+        }
+        if k > MAX_HAPLOTYPE_SNPS {
+            return Err(StatsError::HaplotypeTooLarge {
+                k,
+                max: MAX_HAPLOTYPE_SNPS,
+            });
+        }
+        if n_used == 0 {
+            return Err(StatsError::NoObservations {
+                context: "EM input (all individuals incomplete)",
+            });
+        }
+
+        let n_haps = 1usize << k;
+        // Linkage-equilibrium start: product of marginal allele frequencies,
+        // floored so no haplotype starts at exactly zero.
+        let q: Vec<f64> = a2_counts
+            .iter()
+            .map(|&c| (c / (2.0 * n_used as f64)).clamp(1e-6, 1.0 - 1e-6))
+            .collect();
+        let mut freqs: Vec<f64> = (0..n_haps)
+            .map(|h| {
+                (0..k)
+                    .map(|i| if h >> i & 1 == 1 { q[i] } else { 1.0 - q[i] })
+                    .product()
+            })
+            .collect();
+        normalize(&mut freqs);
+
+        let mut counts = vec![0.0f64; n_haps];
+        let mut log_likelihood = f64::NEG_INFINITY;
+        let mut iterations = 0usize;
+        for iter in 0..self.config.max_iter {
+            iterations = iter + 1;
+            counts.iter_mut().for_each(|c| *c = 0.0);
+            let mut ll = 0.0;
+            for (pat, &count) in &patterns {
+                // E-step for this pattern: weights over compatible pairs.
+                let mut total = 0.0;
+                for (a, b) in pat.pairs() {
+                    let w = if a == b {
+                        freqs[a] * freqs[b]
+                    } else {
+                        2.0 * freqs[a] * freqs[b]
+                    };
+                    total += w;
+                }
+                if total <= 0.0 {
+                    // All compatible pairs currently have zero probability;
+                    // spread uniformly to recover (defensive — the floored
+                    // initialization prevents this on the first pass).
+                    let n_pairs = (1usize << pat.n_het().saturating_sub(1)).max(1);
+                    let frac = count / n_pairs as f64;
+                    for (a, b) in pat.pairs() {
+                        counts[a] += frac;
+                        counts[b] += frac;
+                    }
+                    continue;
+                }
+                ll += count * total.ln();
+                for (a, b) in pat.pairs() {
+                    let w = if a == b {
+                        freqs[a] * freqs[b]
+                    } else {
+                        2.0 * freqs[a] * freqs[b]
+                    };
+                    let frac = count * w / total;
+                    counts[a] += frac;
+                    counts[b] += frac;
+                }
+            }
+            // M-step.
+            let scale = 1.0 / (2.0 * n_used as f64);
+            let mut max_delta = 0.0f64;
+            for (f, &c) in freqs.iter_mut().zip(counts.iter()) {
+                let new = c * scale;
+                max_delta = max_delta.max((new - *f).abs());
+                *f = new;
+            }
+            log_likelihood = ll;
+            if max_delta < self.config.tol {
+                break;
+            }
+        }
+        normalize(&mut freqs);
+        Ok(HaplotypeDist {
+            k,
+            freqs,
+            log_likelihood,
+            iterations,
+            n_individuals: n_used,
+        })
+    }
+}
+
+fn normalize(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        v.iter_mut().for_each(|x| *x /= s);
+    }
+}
+
+/// Likelihood-ratio test of allelic association between two groups
+/// (EH's H1 "with association" vs H0 "without"): fits each group and the
+/// pooled sample, then `Λ = 2 (LL_A + LL_B − LL_pooled)` with
+/// `2^k − 1` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmLrt {
+    /// The Λ statistic.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub df: f64,
+    /// Asymptotic p-value.
+    pub p_value: f64,
+    /// Group-A fit log-likelihood.
+    pub ll_a: f64,
+    /// Group-B fit log-likelihood.
+    pub ll_b: f64,
+    /// Pooled fit log-likelihood.
+    pub ll_pooled: f64,
+}
+
+/// Run the EM likelihood-ratio association test between two genotype samples.
+pub fn em_lrt(
+    estimator: &EmEstimator,
+    group_a: &[Vec<Genotype>],
+    group_b: &[Vec<Genotype>],
+) -> Result<EmLrt, StatsError> {
+    let fit_a = estimator.estimate(group_a)?;
+    let fit_b = estimator.estimate(group_b)?;
+    let pooled = estimator.estimate_iter(
+        group_a
+            .iter()
+            .chain(group_b.iter())
+            .map(|v| v.as_slice()),
+    )?;
+    let statistic = (2.0 * (fit_a.log_likelihood + fit_b.log_likelihood - pooled.log_likelihood))
+        .max(0.0);
+    let df = ((1usize << fit_a.k) - 1) as f64;
+    Ok(EmLrt {
+        statistic,
+        df,
+        p_value: crate::special::chi2_sf(statistic, df),
+        ll_a: fit_a.log_likelihood,
+        ll_b: fit_b.log_likelihood,
+        ll_pooled: pooled.log_likelihood,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_data::Genotype as G;
+
+    fn est() -> EmEstimator {
+        EmEstimator::default()
+    }
+
+    #[test]
+    fn pattern_pair_counts() {
+        // Fully homozygous: one pair.
+        let p = Pattern { hom2: 0b101, het: 0 };
+        assert_eq!(p.pairs().count(), 1);
+        // One het locus: one pair (phase irrelevant).
+        let p = Pattern { hom2: 0, het: 0b1 };
+        assert_eq!(p.pairs().count(), 1);
+        // h het loci: 2^(h-1) pairs.
+        for h in 1..6u32 {
+            let p = Pattern {
+                hom2: 0,
+                het: (1 << h) - 1,
+            };
+            assert_eq!(p.pairs().count(), 1 << (h - 1), "h = {h}");
+        }
+    }
+
+    #[test]
+    fn pattern_pairs_are_complementary() {
+        let p = Pattern {
+            hom2: 0b1000,
+            het: 0b0111,
+        };
+        for (a, b) in p.pairs() {
+            // Union of the two haplotypes restricted to het bits must be het.
+            assert_eq!((a ^ b) as u32, p.het);
+            // Both carry the hom2 bits.
+            assert_eq!(a as u32 & p.hom2, p.hom2);
+            assert_eq!(b as u32 & p.hom2, p.hom2);
+        }
+        // Pairs are distinct as unordered pairs.
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in p.pairs() {
+            let key = (a.min(b), a.max(b));
+            assert!(seen.insert(key));
+        }
+    }
+
+    #[test]
+    fn homozygous_sample_is_deterministic() {
+        // All individuals 2/2 at SNP0 and 1/1 at SNP1 -> haplotype 0b01 freq 1.
+        let gs = vec![vec![G::HomA2, G::HomA1]; 10];
+        let d = est().estimate(&gs).unwrap();
+        assert_eq!(d.k, 2);
+        assert!((d.freqs[0b01] - 1.0).abs() < 1e-9);
+        assert_eq!(d.n_individuals, 10);
+        let (mode, f) = d.mode();
+        assert_eq!(mode, 0b01);
+        assert!(f > 0.99);
+    }
+
+    #[test]
+    fn freqs_form_a_simplex() {
+        let gs = vec![
+            vec![G::Het, G::Het, G::HomA1],
+            vec![G::HomA2, G::Het, G::Het],
+            vec![G::Het, G::HomA1, G::HomA2],
+            vec![G::HomA1, G::HomA1, G::HomA1],
+        ];
+        let d = est().estimate(&gs).unwrap();
+        let sum: f64 = d.freqs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(d.freqs.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        assert_eq!(d.freqs.len(), 8);
+    }
+
+    #[test]
+    fn em_resolves_phase_from_homozygotes() {
+        // Two-SNP sample dominated by 11/11 and 22/22 homozygotes plus some
+        // double hets. The homozygote evidence makes coupling haplotypes
+        // (00 and 11) far more likely than repulsion (01 and 10).
+        let mut gs = vec![vec![G::HomA1, G::HomA1]; 20];
+        gs.extend(vec![vec![G::HomA2, G::HomA2]; 20]);
+        gs.extend(vec![vec![G::Het, G::Het]; 10]);
+        let d = est().estimate(&gs).unwrap();
+        let coupling = d.freqs[0b00] + d.freqs[0b11];
+        let repulsion = d.freqs[0b01] + d.freqs[0b10];
+        assert!(
+            coupling > 0.95 && repulsion < 0.05,
+            "coupling {coupling} repulsion {repulsion}"
+        );
+    }
+
+    #[test]
+    fn equilibrium_sample_stays_at_equilibrium() {
+        // Independent loci with p(A2) = 0.5 each: double-het individuals
+        // should split evenly; all four haplotypes ≈ 0.25.
+        let mut gs = Vec::new();
+        for a in [G::HomA1, G::Het, G::HomA2] {
+            for b in [G::HomA1, G::Het, G::HomA2] {
+                // Hardy-Weinberg multiplicities for p = 0.5: 1-2-1 pattern.
+                let wa = if a == G::Het { 2 } else { 1 };
+                let wb = if b == G::Het { 2 } else { 1 };
+                for _ in 0..(wa * wb) {
+                    gs.push(vec![a, b]);
+                }
+            }
+        }
+        let d = est().estimate(&gs).unwrap();
+        for h in 0..4 {
+            assert!((d.freqs[h] - 0.25).abs() < 1e-6, "h={h} f={}", d.freqs[h]);
+        }
+    }
+
+    #[test]
+    fn missing_individuals_are_dropped() {
+        let gs = vec![
+            vec![G::HomA2, G::HomA2],
+            vec![G::Missing, G::HomA1],
+            vec![G::HomA2, G::HomA2],
+        ];
+        let d = est().estimate(&gs).unwrap();
+        assert_eq!(d.n_individuals, 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        // Empty input.
+        assert!(matches!(
+            est().estimate(&[]),
+            Err(StatsError::NoObservations { .. })
+        ));
+        // All missing.
+        let gs = vec![vec![G::Missing]; 3];
+        assert!(matches!(
+            est().estimate(&gs),
+            Err(StatsError::NoObservations { .. })
+        ));
+        // Mixed lengths.
+        let gs = vec![vec![G::Het], vec![G::Het, G::Het]];
+        assert!(matches!(
+            est().estimate(&gs),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        // Zero-length haplotype.
+        let gs = vec![vec![]];
+        assert!(matches!(
+            est().estimate(&gs),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        // Too wide.
+        let gs = vec![vec![G::HomA1; MAX_HAPLOTYPE_SNPS + 1]];
+        assert!(matches!(
+            est().estimate(&gs),
+            Err(StatsError::HaplotypeTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn expected_counts_scale() {
+        let gs = vec![vec![G::HomA2]; 7];
+        let d = est().estimate(&gs).unwrap();
+        let c = d.expected_counts();
+        assert!((c[1] - 14.0).abs() < 1e-6);
+        assert!(c[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_likelihood_increases_along_em() {
+        // Run with a 1-iteration cap and a full run: full run LL >= capped.
+        let gs = vec![
+            vec![G::Het, G::Het],
+            vec![G::HomA1, G::HomA2],
+            vec![G::Het, G::HomA1],
+            vec![G::HomA2, G::Het],
+        ];
+        let short = EmEstimator::new(EmConfig {
+            max_iter: 1,
+            tol: 0.0,
+        })
+        .estimate(&gs)
+        .unwrap();
+        let long = est().estimate(&gs).unwrap();
+        assert!(long.log_likelihood >= short.log_likelihood - 1e-9);
+        assert!(long.iterations >= 1);
+    }
+
+    #[test]
+    fn repeated_estimates_are_bit_identical() {
+        // Regression: pattern accumulation order must be deterministic, or
+        // re-evaluating the same haplotype jitters in the last ulp and the
+        // (otherwise seeded) GA trajectory diverges between identical runs.
+        let gs = vec![
+            vec![G::Het, G::Het, G::HomA1],
+            vec![G::HomA2, G::Het, G::Het],
+            vec![G::Het, G::HomA1, G::HomA2],
+            vec![G::Het, G::Het, G::Het],
+            vec![G::HomA1, G::HomA2, G::Het],
+        ];
+        let a = est().estimate(&gs).unwrap();
+        let b = est().estimate(&gs).unwrap();
+        assert_eq!(a.freqs, b.freqs);
+        assert_eq!(a.log_likelihood.to_bits(), b.log_likelihood.to_bits());
+    }
+
+    #[test]
+    fn lrt_detects_group_difference() {
+        // Group A: all 22/22 homozygotes; group B: all 11/11.
+        let a = vec![vec![G::HomA2, G::HomA2]; 30];
+        let b = vec![vec![G::HomA1, G::HomA1]; 30];
+        let r = em_lrt(&est(), &a, &b).unwrap();
+        assert!(r.statistic > 20.0);
+        assert!(r.p_value < 1e-4);
+        assert_eq!(r.df, 3.0);
+    }
+
+    #[test]
+    fn lrt_null_on_identical_groups() {
+        let sample = vec![
+            vec![G::Het, G::HomA1],
+            vec![G::HomA2, G::Het],
+            vec![G::HomA1, G::HomA1],
+        ];
+        let r = em_lrt(&est(), &sample, &sample).unwrap();
+        assert!(r.statistic < 1e-6, "statistic = {}", r.statistic);
+        assert!(r.p_value > 0.999);
+    }
+}

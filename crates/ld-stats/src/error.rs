@@ -1,0 +1,64 @@
+//! Error type for statistical computations.
+
+use std::fmt;
+
+/// Errors from statistical estimation and testing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// No usable observations (e.g. every individual has a missing call).
+    NoObservations {
+        /// Where the data ran out.
+        context: &'static str,
+    },
+    /// A haplotype size outside the supported range was requested.
+    HaplotypeTooLarge {
+        /// Requested number of SNPs.
+        k: usize,
+        /// Maximum supported (bitmask width).
+        max: usize,
+    },
+    /// The EM iteration failed to make progress (should not happen with
+    /// valid inputs; kept as a defensive signal).
+    EmDiverged {
+        /// Iterations performed before the failure.
+        iterations: usize,
+    },
+    /// Contingency-table construction received inconsistent inputs.
+    BadTable(String),
+    /// An input parameter is outside its domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NoObservations { context } => {
+                write!(f, "no usable observations in {context}")
+            }
+            StatsError::HaplotypeTooLarge { k, max } => {
+                write!(f, "haplotype of {k} SNPs exceeds supported maximum of {max}")
+            }
+            StatsError::EmDiverged { iterations } => {
+                write!(f, "EM diverged after {iterations} iterations")
+            }
+            StatsError::BadTable(msg) => write!(f, "bad contingency table: {msg}"),
+            StatsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::HaplotypeTooLarge { k: 40, max: 24 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("24"));
+        let e = StatsError::NoObservations { context: "EM" };
+        assert!(e.to_string().contains("EM"));
+    }
+}

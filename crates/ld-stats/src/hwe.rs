@@ -1,0 +1,195 @@
+//! Hardy–Weinberg equilibrium testing — the standard marker-QC step of any
+//! association pipeline.
+//!
+//! Under random mating, genotype frequencies at a bi-allelic SNP follow
+//! `(p², 2pq, q²)`. Strong departure in the *control* group usually flags a
+//! genotyping artefact, and such SNPs are removed before analysis (a
+//! companion filter to the §2.3 constraints). The test is a one-degree-of-
+//! freedom χ² comparing observed genotype counts with their HWE
+//! expectation.
+
+use crate::chi2::Chi2Result;
+use crate::special::chi2_sf;
+use ld_data::{GenotypeMatrix, SnpId};
+
+/// Observed genotype counts at one SNP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenotypeCounts {
+    /// Homozygous wild type (`1/1`).
+    pub hom1: usize,
+    /// Heterozygous (`1/2`).
+    pub het: usize,
+    /// Homozygous mutant (`2/2`).
+    pub hom2: usize,
+}
+
+impl GenotypeCounts {
+    /// Count called genotypes of one SNP over a row subset.
+    pub fn from_matrix(m: &GenotypeMatrix, rows: &[usize], snp: SnpId) -> Self {
+        let mut c = GenotypeCounts {
+            hom1: 0,
+            het: 0,
+            hom2: 0,
+        };
+        for &r in rows {
+            match m.get(r, snp).a2_count() {
+                Some(0) => c.hom1 += 1,
+                Some(1) => c.het += 1,
+                Some(2) => c.hom2 += 1,
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Number of called individuals.
+    pub fn total(&self) -> usize {
+        self.hom1 + self.het + self.hom2
+    }
+
+    /// Mutant allele frequency.
+    pub fn a2_freq(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 0.0;
+        }
+        (self.het + 2 * self.hom2) as f64 / (2 * n) as f64
+    }
+}
+
+/// χ² test of Hardy–Weinberg equilibrium (1 degree of freedom).
+///
+/// Returns [`Chi2Result::NULL`] for degenerate inputs (no individuals or a
+/// monomorphic SNP, where HWE holds trivially).
+pub fn hwe_chi2(counts: GenotypeCounts) -> Chi2Result {
+    let n = counts.total() as f64;
+    if n == 0.0 {
+        return Chi2Result::NULL;
+    }
+    let q = counts.a2_freq();
+    let p = 1.0 - q;
+    if q <= 0.0 || q >= 1.0 {
+        return Chi2Result::NULL;
+    }
+    let expected = [n * p * p, 2.0 * n * p * q, n * q * q];
+    let observed = [counts.hom1 as f64, counts.het as f64, counts.hom2 as f64];
+    let stat: f64 = observed
+        .iter()
+        .zip(&expected)
+        .filter(|(_, &e)| e > 0.0)
+        .map(|(&o, &e)| (o - e) * (o - e) / e)
+        .sum();
+    Chi2Result {
+        statistic: stat,
+        df: 1.0,
+        p_value: chi2_sf(stat, 1.0),
+    }
+}
+
+/// HWE scan over every SNP of a matrix (restricted to `rows`, typically the
+/// control group). Returns one result per SNP.
+pub fn hwe_scan(m: &GenotypeMatrix, rows: &[usize]) -> Vec<Chi2Result> {
+    (0..m.n_snps())
+        .map(|snp| hwe_chi2(GenotypeCounts::from_matrix(m, rows, snp)))
+        .collect()
+}
+
+/// SNPs whose HWE p-value is below `alpha` — candidates for exclusion.
+pub fn hwe_violations(m: &GenotypeMatrix, rows: &[usize], alpha: f64) -> Vec<SnpId> {
+    hwe_scan(m, rows)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, r)| r.p_value < alpha)
+        .map(|(snp, _)| snp)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_data::Genotype as G;
+
+    #[test]
+    fn perfect_hwe_population_passes() {
+        // p = q = 0.5: expected 25/50/25 out of 100.
+        let c = GenotypeCounts {
+            hom1: 25,
+            het: 50,
+            hom2: 25,
+        };
+        let r = hwe_chi2(c);
+        assert!(r.statistic < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert!((c.a2_freq() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterozygote_deficit_is_flagged() {
+        // Same allele frequency, no heterozygotes at all (e.g. sample
+        // duplication artefact): gross HWE violation.
+        let c = GenotypeCounts {
+            hom1: 50,
+            het: 0,
+            hom2: 50,
+        };
+        let r = hwe_chi2(c);
+        assert!(r.statistic > 50.0);
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_cases_are_null() {
+        assert_eq!(
+            hwe_chi2(GenotypeCounts {
+                hom1: 0,
+                het: 0,
+                hom2: 0
+            }),
+            Chi2Result::NULL
+        );
+        // Monomorphic.
+        assert_eq!(
+            hwe_chi2(GenotypeCounts {
+                hom1: 40,
+                het: 0,
+                hom2: 0
+            }),
+            Chi2Result::NULL
+        );
+    }
+
+    #[test]
+    fn scan_and_violation_filter() {
+        // Column 0 in HWE (roughly), column 1 all-het (violation).
+        let mut rows_data = Vec::new();
+        for i in 0..40 {
+            let g0 = match i % 4 {
+                0 => G::HomA1,
+                1 | 2 => G::Het,
+                _ => G::HomA2,
+            };
+            rows_data.push(g0);
+            rows_data.push(G::Het);
+        }
+        let m = GenotypeMatrix::from_rows(40, 2, rows_data).unwrap();
+        let rows: Vec<usize> = (0..40).collect();
+        let scan = hwe_scan(&m, &rows);
+        assert_eq!(scan.len(), 2);
+        assert!(scan[0].p_value > 0.05, "balanced column flagged");
+        assert!(scan[1].p_value < 1e-6, "all-het column missed");
+        assert_eq!(hwe_violations(&m, &rows, 0.001), vec![1]);
+    }
+
+    #[test]
+    fn synthetic_population_is_mostly_in_hwe() {
+        // The generator mates two independent chromosomes per individual,
+        // so controls should largely satisfy HWE.
+        let d = ld_data::synthetic::lille_51(42);
+        let controls = d.rows_with_status(ld_data::Status::Unaffected);
+        let violations = hwe_violations(&d.genotypes, &controls, 0.001);
+        assert!(
+            violations.len() <= 3,
+            "too many HWE violations in controls: {violations:?}"
+        );
+    }
+}

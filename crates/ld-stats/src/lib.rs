@@ -1,0 +1,45 @@
+//! # ld-stats — the statistical evaluation substrate
+//!
+//! The paper evaluates a candidate haplotype with two external programs the
+//! biologists supplied: **EH-DIALL** (Terwilliger & Ott's EH, estimating
+//! multilocus haplotype frequencies from unphased genotypes by EM) and
+//! **CLUMP** (Sham & Curtis 1995, contingency-table association statistics
+//! with Monte-Carlo significance). Neither is redistributable, so this crate
+//! implements both from their published definitions:
+//!
+//! * [`special`] — log-gamma / regularized incomplete gamma, the numeric
+//!   bedrock for χ² survival functions;
+//! * [`table`] — r×c contingency tables (fractional counts allowed, since
+//!   EM produces expected counts);
+//! * [`chi2`] — Pearson's χ² with degenerate-margin handling;
+//! * [`em`] — the EH-DIALL replacement: phase expansion + EM, per-group
+//!   (H1) and pooled (H0) fits with log-likelihoods;
+//! * [`clump`] — CLUMP's T1–T4 statistics and Monte-Carlo p-values;
+//! * [`mc`] — fixed-margin contingency-table sampler;
+//! * [`fitness`] — the paper's Figure-3 pipeline glued together: select
+//!   SNPs → EH per group → concatenate → CLUMP; this is the GA's
+//!   objective function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assoc;
+pub mod chi2;
+pub mod clump;
+pub mod em;
+pub mod error;
+pub mod fitness;
+pub mod hwe;
+pub mod mc;
+pub mod power;
+pub mod special;
+pub mod table;
+
+pub use assoc::{fisher_exact_2x2, odds_ratio, risk_report, sidak_adjust, OddsRatio};
+pub use chi2::Chi2Result;
+pub use clump::{ClumpResult, ClumpStatistic};
+pub use em::{EmConfig, HaplotypeDist};
+pub use error::StatsError;
+pub use fitness::{EvalDetail, EvalPipeline, FitnessKind};
+pub use hwe::{hwe_chi2, hwe_scan};
+pub use table::ContingencyTable;

@@ -1,0 +1,177 @@
+//! Monte-Carlo simulation of contingency tables with fixed margins.
+//!
+//! CLUMP "assess[es] the significance of the departure of observed values in
+//! a contingency table from the expected values conditional on the marginal
+//! totals" (paper §2.4.2) by simulating random tables with the same margins.
+//! The exact conditional sampler used here is the permutation construction:
+//! expand the column margin into a multiset of column labels, shuffle it,
+//! and deal the first `R₀` labels to row 0, the next `R₁` to row 1, …
+//! Each shuffle yields a table drawn uniformly from the hypergeometric
+//! (fixed-margin) null.
+
+use crate::error::StatsError;
+use crate::table::ContingencyTable;
+use rand::prelude::*;
+
+/// Sample one table with the given integer margins.
+///
+/// `row_totals` and `col_totals` must have equal sums.
+pub fn sample_fixed_margins<R: Rng + ?Sized>(
+    row_totals: &[u64],
+    col_totals: &[u64],
+    rng: &mut R,
+) -> Result<ContingencyTable, StatsError> {
+    let n_row: u64 = row_totals.iter().sum();
+    let n_col: u64 = col_totals.iter().sum();
+    if n_row != n_col {
+        return Err(StatsError::BadTable(format!(
+            "margin sums differ: rows {n_row} vs cols {n_col}"
+        )));
+    }
+    let n_rows = row_totals.len();
+    let n_cols = col_totals.len();
+    if n_rows == 0 || n_cols == 0 {
+        return Err(StatsError::BadTable("empty margins".into()));
+    }
+    // Expand column labels, shuffle, deal to rows.
+    let mut labels: Vec<u32> = Vec::with_capacity(n_row as usize);
+    for (c, &t) in col_totals.iter().enumerate() {
+        labels.extend(std::iter::repeat_n(c as u32, t as usize));
+    }
+    labels.shuffle(rng);
+    let mut cells = vec![0.0f64; n_rows * n_cols];
+    let mut cursor = 0usize;
+    for (r, &t) in row_totals.iter().enumerate() {
+        for &c in &labels[cursor..cursor + t as usize] {
+            cells[r * n_cols + c as usize] += 1.0;
+        }
+        cursor += t as usize;
+    }
+    ContingencyTable::from_rows(n_rows, n_cols, cells)
+}
+
+/// Round a fractional table to integer counts cell-wise (used to feed EM
+/// expected counts into the integer Monte-Carlo machinery). Margins are
+/// recomputed from the rounded cells so they stay consistent.
+pub fn round_table(t: &ContingencyTable) -> ContingencyTable {
+    let cells: Vec<f64> = t.cells().iter().map(|&c| c.round()).collect();
+    ContingencyTable::from_rows(t.n_rows(), t.n_cols(), cells)
+        .expect("rounding preserves shape and non-negativity")
+}
+
+/// Monte-Carlo p-value of `statistic` on `observed` under the fixed-margin
+/// null: `(1 + #{simulated ≥ observed}) / (1 + n_sims)` (add-one estimator,
+/// guaranteeing a valid p-value in `(0, 1]`).
+pub fn mc_pvalue<R, F>(
+    observed: &ContingencyTable,
+    n_sims: usize,
+    rng: &mut R,
+    statistic: F,
+) -> Result<f64, StatsError>
+where
+    R: Rng + ?Sized,
+    F: Fn(&ContingencyTable) -> f64,
+{
+    if n_sims == 0 {
+        return Err(StatsError::InvalidParameter(
+            "mc_pvalue needs at least one simulation".into(),
+        ));
+    }
+    let rounded = round_table(observed);
+    let row_totals: Vec<u64> = rounded.row_totals().iter().map(|&x| x as u64).collect();
+    let col_totals: Vec<u64> = rounded.col_totals().iter().map(|&x| x as u64).collect();
+    let observed_stat = statistic(observed);
+    let mut exceed = 0usize;
+    for _ in 0..n_sims {
+        let sim = sample_fixed_margins(&row_totals, &col_totals, rng)?;
+        if statistic(&sim) >= observed_stat {
+            exceed += 1;
+        }
+    }
+    Ok((1 + exceed) as f64 / (1 + n_sims) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chi2::pearson_chi2;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn sampled_tables_have_requested_margins() {
+        let mut rng = rng();
+        let rows = [30u64, 20];
+        let cols = [10u64, 25, 15];
+        for _ in 0..50 {
+            let t = sample_fixed_margins(&rows, &cols, &mut rng).unwrap();
+            assert_eq!(t.row_totals(), vec![30.0, 20.0]);
+            assert_eq!(t.col_totals(), vec![10.0, 25.0, 15.0]);
+        }
+    }
+
+    #[test]
+    fn mismatched_margins_rejected() {
+        let mut rng = rng();
+        assert!(sample_fixed_margins(&[3], &[2], &mut rng).is_err());
+        assert!(sample_fixed_margins(&[], &[0], &mut rng).is_err());
+    }
+
+    #[test]
+    fn sampler_mean_matches_independence_expectation() {
+        // E[cell(0,0)] = R0*C0/N = 20*15/40 = 7.5.
+        let mut rng = rng();
+        let mut sum = 0.0;
+        let n = 2000;
+        for _ in 0..n {
+            let t = sample_fixed_margins(&[20, 20], &[15, 25], &mut rng).unwrap();
+            sum += t.get(0, 0);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 7.5).abs() < 0.15, "mean = {mean}");
+    }
+
+    #[test]
+    fn round_table_preserves_shape() {
+        let t = ContingencyTable::from_rows(2, 2, vec![1.4, 2.6, 3.5, 0.2]).unwrap();
+        let r = round_table(&t);
+        assert_eq!(r.cells(), &[1.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn mc_pvalue_small_for_strong_association() {
+        let t = ContingencyTable::from_rows(2, 2, vec![40.0, 5.0, 5.0, 40.0]).unwrap();
+        let p = mc_pvalue(&t, 500, &mut rng(), |t| pearson_chi2(t).statistic).unwrap();
+        assert!(p <= 1.0 / 500.0 + 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn mc_pvalue_large_under_null() {
+        let t = ContingencyTable::from_rows(2, 2, vec![20.0, 20.0, 20.0, 20.0]).unwrap();
+        let p = mc_pvalue(&t, 200, &mut rng(), |t| pearson_chi2(t).statistic).unwrap();
+        assert!(p > 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn mc_pvalue_agrees_with_asymptotic_moderate_case() {
+        // A moderately associated table: MC and χ² p-values should be in the
+        // same ballpark.
+        let t = ContingencyTable::from_rows(2, 2, vec![30.0, 20.0, 18.0, 32.0]).unwrap();
+        let asym = pearson_chi2(&t).p_value;
+        let p = mc_pvalue(&t, 4000, &mut rng(), |t| pearson_chi2(t).statistic).unwrap();
+        assert!(
+            (p - asym).abs() < 0.02,
+            "mc {p} vs asymptotic {asym}"
+        );
+    }
+
+    #[test]
+    fn zero_sims_is_an_error() {
+        let t = ContingencyTable::from_rows(2, 2, vec![1.0; 4]).unwrap();
+        assert!(mc_pvalue(&t, 0, &mut rng(), |_| 0.0).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! r×c contingency tables with fractional counts.
+//!
+//! CLUMP operates on a 2×m table of haplotype counts per status group. When
+//! counts come from EH-DIALL they are *expected* counts (2N·p̂) and thus
+//! fractional, so the cell type is `f64` throughout.
+
+use crate::error::StatsError;
+
+/// A dense r×c contingency table of non-negative counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    n_rows: usize,
+    n_cols: usize,
+    /// Row-major cells.
+    cells: Vec<f64>,
+}
+
+impl ContingencyTable {
+    /// Build from row-major cells.
+    pub fn from_rows(n_rows: usize, n_cols: usize, cells: Vec<f64>) -> Result<Self, StatsError> {
+        if cells.len() != n_rows * n_cols {
+            return Err(StatsError::BadTable(format!(
+                "expected {} cells, got {}",
+                n_rows * n_cols,
+                cells.len()
+            )));
+        }
+        if cells.iter().any(|&c| c < 0.0 || !c.is_finite()) {
+            return Err(StatsError::BadTable(
+                "cells must be finite and non-negative".into(),
+            ));
+        }
+        Ok(ContingencyTable {
+            n_rows,
+            n_cols,
+            cells,
+        })
+    }
+
+    /// A 2×m table from two count vectors (the CLUMP shape).
+    pub fn two_by_m(row_a: &[f64], row_b: &[f64]) -> Result<Self, StatsError> {
+        if row_a.len() != row_b.len() {
+            return Err(StatsError::BadTable(format!(
+                "row lengths differ: {} vs {}",
+                row_a.len(),
+                row_b.len()
+            )));
+        }
+        let mut cells = Vec::with_capacity(row_a.len() * 2);
+        cells.extend_from_slice(row_a);
+        cells.extend_from_slice(row_b);
+        Self::from_rows(2, row_a.len(), cells)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Cell value.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.n_rows && c < self.n_cols);
+        self.cells[r * self.n_cols + c]
+    }
+
+    /// Mutable cell access (used by the Monte-Carlo sampler).
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        debug_assert!(r < self.n_rows && c < self.n_cols);
+        &mut self.cells[r * self.n_cols + c]
+    }
+
+    /// Row sums.
+    pub fn row_totals(&self) -> Vec<f64> {
+        (0..self.n_rows)
+            .map(|r| (0..self.n_cols).map(|c| self.get(r, c)).sum())
+            .collect()
+    }
+
+    /// Column sums.
+    pub fn col_totals(&self) -> Vec<f64> {
+        (0..self.n_cols)
+            .map(|c| (0..self.n_rows).map(|r| self.get(r, c)).sum())
+            .collect()
+    }
+
+    /// Grand total.
+    pub fn total(&self) -> f64 {
+        self.cells.iter().sum()
+    }
+
+    /// Expected count of a cell under independence, given the observed
+    /// margins: `row_total · col_total / grand_total`.
+    pub fn expected(&self, r: usize, c: usize) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.row_totals()[r] * self.col_totals()[c] / total
+    }
+
+    /// Drop columns whose total is zero (they carry no information and
+    /// would inflate degrees of freedom). Returns the retained original
+    /// column indices alongside the reduced table.
+    pub fn drop_empty_cols(&self) -> (ContingencyTable, Vec<usize>) {
+        let col_totals = self.col_totals();
+        let keep: Vec<usize> = (0..self.n_cols)
+            .filter(|&c| col_totals[c] > 0.0)
+            .collect();
+        let mut cells = Vec::with_capacity(self.n_rows * keep.len());
+        for r in 0..self.n_rows {
+            for &c in &keep {
+                cells.push(self.get(r, c));
+            }
+        }
+        (
+            ContingencyTable {
+                n_rows: self.n_rows,
+                n_cols: keep.len(),
+                cells,
+            },
+            keep,
+        )
+    }
+
+    /// CLUMP T2 preprocessing: greedily merge the smallest-total columns
+    /// until every cell's *expected* count is at least `min_expected`
+    /// (or only two columns remain). Returns the collapsed table.
+    pub fn collapse_rare_cols(&self, min_expected: f64) -> ContingencyTable {
+        let (mut t, _) = self.drop_empty_cols();
+        loop {
+            if t.n_cols <= 2 {
+                return t;
+            }
+            let min_cell_expected = (0..t.n_rows)
+                .flat_map(|r| (0..t.n_cols).map(move |c| (r, c)))
+                .map(|(r, c)| t.expected(r, c))
+                .fold(f64::INFINITY, f64::min);
+            if min_cell_expected >= min_expected {
+                return t;
+            }
+            // Merge the two columns with the smallest totals.
+            let totals = t.col_totals();
+            let mut order: Vec<usize> = (0..t.n_cols).collect();
+            order.sort_by(|&a, &b| totals[a].total_cmp(&totals[b]));
+            let (c1, c2) = (order[0].min(order[1]), order[0].max(order[1]));
+            let mut cells = Vec::with_capacity(t.n_rows * (t.n_cols - 1));
+            for r in 0..t.n_rows {
+                for c in 0..t.n_cols {
+                    if c == c2 {
+                        continue;
+                    }
+                    let v = if c == c1 {
+                        t.get(r, c1) + t.get(r, c2)
+                    } else {
+                        t.get(r, c)
+                    };
+                    cells.push(v);
+                }
+            }
+            t = ContingencyTable {
+                n_rows: t.n_rows,
+                n_cols: t.n_cols - 1,
+                cells,
+            };
+        }
+    }
+
+    /// Extract the 2×2 table "column `c` vs all other columns" (requires a
+    /// two-row table) — the building block of CLUMP's T3.
+    pub fn col_vs_rest(&self, c: usize) -> Result<ContingencyTable, StatsError> {
+        if self.n_rows != 2 {
+            return Err(StatsError::BadTable(
+                "col_vs_rest requires a two-row table".into(),
+            ));
+        }
+        let row_totals = self.row_totals();
+        let cells = vec![
+            self.get(0, c),
+            row_totals[0] - self.get(0, c),
+            self.get(1, c),
+            row_totals[1] - self.get(1, c),
+        ];
+        Self::from_rows(2, 2, cells)
+    }
+
+    /// Extract the 2×2 table "columns in `cols` (pooled) vs the rest".
+    pub fn cols_vs_rest(&self, cols: &[usize]) -> Result<ContingencyTable, StatsError> {
+        if self.n_rows != 2 {
+            return Err(StatsError::BadTable(
+                "cols_vs_rest requires a two-row table".into(),
+            ));
+        }
+        let row_totals = self.row_totals();
+        let in0: f64 = cols.iter().map(|&c| self.get(0, c)).sum();
+        let in1: f64 = cols.iter().map(|&c| self.get(1, c)).sum();
+        Self::from_rows(
+            2,
+            2,
+            vec![in0, row_totals[0] - in0, in1, row_totals[1] - in1],
+        )
+    }
+
+    /// Row-major cells.
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> ContingencyTable {
+        ContingencyTable::from_rows(2, 3, vec![10.0, 20.0, 30.0, 15.0, 25.0, 5.0]).unwrap()
+    }
+
+    #[test]
+    fn margins_and_total() {
+        let t = t();
+        assert_eq!(t.row_totals(), vec![60.0, 45.0]);
+        assert_eq!(t.col_totals(), vec![25.0, 45.0, 35.0]);
+        assert_eq!(t.total(), 105.0);
+    }
+
+    #[test]
+    fn expected_under_independence() {
+        let t = t();
+        assert!((t.expected(0, 0) - 60.0 * 25.0 / 105.0).abs() < 1e-12);
+        // Expected margins match observed margins.
+        let exp_row0: f64 = (0..3).map(|c| t.expected(0, c)).sum();
+        assert!((exp_row0 - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(ContingencyTable::from_rows(2, 2, vec![1.0; 3]).is_err());
+        assert!(ContingencyTable::from_rows(1, 2, vec![1.0, -1.0]).is_err());
+        assert!(ContingencyTable::from_rows(1, 2, vec![1.0, f64::NAN]).is_err());
+        assert!(ContingencyTable::two_by_m(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn two_by_m_layout() {
+        let t = ContingencyTable::two_by_m(&[1.0, 2.0], &[3.0, 4.0]).unwrap();
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn drop_empty_cols_keeps_indices() {
+        let t = ContingencyTable::from_rows(2, 3, vec![1.0, 0.0, 2.0, 3.0, 0.0, 4.0]).unwrap();
+        let (r, keep) = t.drop_empty_cols();
+        assert_eq!(keep, vec![0, 2]);
+        assert_eq!(r.n_cols(), 2);
+        assert_eq!(r.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn collapse_merges_small_columns() {
+        // Column 2 is tiny: must merge until min expected >= 5.
+        let t = ContingencyTable::from_rows(2, 3, vec![20.0, 20.0, 1.0, 20.0, 20.0, 0.0]).unwrap();
+        let c = t.collapse_rare_cols(5.0);
+        assert!(c.n_cols() < 3);
+        assert!((c.total() - t.total()).abs() < 1e-12);
+        // Margins of rows preserved.
+        assert_eq!(c.row_totals(), t.row_totals());
+    }
+
+    #[test]
+    fn collapse_stops_at_two_columns() {
+        let t = ContingencyTable::from_rows(2, 3, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
+        let c = t.collapse_rare_cols(100.0);
+        assert_eq!(c.n_cols(), 2);
+    }
+
+    #[test]
+    fn collapse_noop_when_all_expected_large() {
+        let t = ContingencyTable::from_rows(2, 3, vec![50.0; 6]).unwrap();
+        let c = t.collapse_rare_cols(5.0);
+        assert_eq!(c.n_cols(), 3);
+    }
+
+    #[test]
+    fn col_vs_rest_margins() {
+        let t = t();
+        let s = t.col_vs_rest(1).unwrap();
+        assert_eq!(s.get(0, 0), 20.0);
+        assert_eq!(s.get(0, 1), 40.0);
+        assert_eq!(s.get(1, 0), 25.0);
+        assert_eq!(s.get(1, 1), 20.0);
+        assert_eq!(s.total(), t.total());
+    }
+
+    #[test]
+    fn cols_vs_rest_pools() {
+        let t = t();
+        let s = t.cols_vs_rest(&[0, 2]).unwrap();
+        assert_eq!(s.get(0, 0), 40.0);
+        assert_eq!(s.get(1, 0), 20.0);
+        assert_eq!(s.total(), t.total());
+    }
+
+    #[test]
+    fn col_vs_rest_requires_two_rows() {
+        let t = ContingencyTable::from_rows(3, 2, vec![1.0; 6]).unwrap();
+        assert!(t.col_vs_rest(0).is_err());
+        assert!(t.cols_vs_rest(&[0]).is_err());
+    }
+}

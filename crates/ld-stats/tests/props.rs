@@ -1,0 +1,96 @@
+//! Property-based tests for the statistical substrate.
+
+use ld_stats::chi2::pearson_chi2;
+use ld_stats::clump::ClumpStatistic;
+use ld_stats::special::{chi2_sf, gamma_p, gamma_q, ln_gamma};
+use ld_stats::ContingencyTable;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn gamma_p_q_sum_to_one(a in 0.05f64..50.0, x in 0.0f64..100.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-9, "a={a} x={x}: p={p} q={q}");
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x(a in 0.1f64..20.0, x in 0.0f64..50.0, dx in 0.01f64..5.0) {
+        prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_satisfies_recurrence(x in 0.1f64..50.0) {
+        // Γ(x+1) = x·Γ(x)  ⇒  lnΓ(x+1) = ln x + lnΓ(x).
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "x={x}");
+    }
+
+    #[test]
+    fn chi2_sf_is_valid_and_monotone(x in 0.0f64..200.0, df in 1.0f64..40.0) {
+        let p = chi2_sf(x, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(chi2_sf(x + 1.0, df) <= p + 1e-12);
+        // More df at the same x ⇒ larger tail.
+        prop_assert!(chi2_sf(x, df + 1.0) >= p - 1e-12);
+    }
+
+    #[test]
+    fn clump_statistics_ordering(cells in prop::collection::vec(0.5f64..80.0, 8)) {
+        let t = ContingencyTable::two_by_m(&cells[..4], &cells[4..]).unwrap();
+        let t1 = ClumpStatistic::T1.evaluate(&t).unwrap();
+        let t2 = ClumpStatistic::T2.evaluate(&t).unwrap();
+        let t3 = ClumpStatistic::T3.evaluate(&t).unwrap();
+        let t4 = ClumpStatistic::T4.evaluate(&t).unwrap();
+        for (name, v) in [("T1", t1), ("T2", t2), ("T3", t3), ("T4", t4)] {
+            prop_assert!(v.is_finite() && v >= 0.0, "{name} = {v}");
+        }
+        // T4 maximizes over a superset of T3's comparisons.
+        prop_assert!(t4 >= t3 - 1e-9, "t3={t3} t4={t4}");
+        // A single 2×2 pooling never beats the full-table statistic by
+        // more than the full χ² itself (sanity bound: both are ≤ N).
+        let n = t.total();
+        prop_assert!(t1 <= n + 1e-9 && t4 <= n + 1e-9);
+    }
+
+    #[test]
+    fn collapse_preserves_mass_and_validity(cells in prop::collection::vec(0.0f64..40.0, 12)) {
+        let t = ContingencyTable::two_by_m(&cells[..6], &cells[6..]).unwrap();
+        let c = t.collapse_rare_cols(5.0);
+        prop_assert!((c.total() - t.total()).abs() < 1e-9);
+        prop_assert!(c.n_cols() >= 1 && c.n_cols() <= 6);
+        // χ² still computable.
+        let r = pearson_chi2(&c);
+        prop_assert!(r.p_value.is_finite());
+    }
+
+    #[test]
+    fn pearson_chi2_invariant_under_row_swap(cells in prop::collection::vec(0.0f64..60.0, 6)) {
+        let t = ContingencyTable::two_by_m(&cells[..3], &cells[3..]).unwrap();
+        let swapped = ContingencyTable::two_by_m(&cells[3..], &cells[..3]).unwrap();
+        let a = pearson_chi2(&t);
+        let b = pearson_chi2(&swapped);
+        prop_assert!((a.statistic - b.statistic).abs() < 1e-9);
+        prop_assert_eq!(a.df, b.df);
+    }
+
+    #[test]
+    fn chi2_scale_invariance_of_pvalue_direction(
+        cells in prop::collection::vec(1.0f64..30.0, 4),
+        scale in 2.0f64..5.0,
+    ) {
+        // Scaling all counts up cannot decrease the statistic (same shape,
+        // more evidence).
+        let t = ContingencyTable::two_by_m(&cells[..2], &cells[2..]).unwrap();
+        let scaled_cells: Vec<f64> = cells.iter().map(|c| c * scale).collect();
+        let ts = ContingencyTable::two_by_m(&scaled_cells[..2], &scaled_cells[2..]).unwrap();
+        let a = pearson_chi2(&t).statistic;
+        let b = pearson_chi2(&ts).statistic;
+        prop_assert!(b >= a - 1e-9, "a={a} b={b}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Island-parallel search: run several GA instances concurrently over the
+//! shared objective and merge their per-size champions — the coarse-grained
+//! parallel axis complementing the paper's fine-grained master/slaves
+//! evaluation (§4.5), and a direct parallelization of its 10-run protocol.
+//!
+//! ```text
+//! cargo run --release --example islands [--islands 4]
+//! ```
+
+use haplo_ga::parallel::{run_islands, run_ring_migration, IslandConfig, RingConfig};
+use haplo_ga::prelude::*;
+
+fn main() {
+    let n_islands: usize = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--islands")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(4);
+
+    let data = haplo_ga::data::synthetic::lille_51(42);
+    let objective = StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1).unwrap();
+
+    let cfg = IslandConfig {
+        n_islands,
+        base_seed: 300,
+        ga: GaConfig {
+            stagnation_limit: 30, // shorter per-island runs; the merge
+            // recovers the quality a single long run would reach
+            ..GaConfig::default()
+        },
+    };
+
+    println!("running {n_islands} islands concurrently ...");
+    let t0 = std::time::Instant::now();
+    let result = run_islands(&objective, &cfg);
+    println!(
+        "done in {:.1?}: {} total evaluations across islands\n",
+        t0.elapsed(),
+        result.total_evaluations
+    );
+
+    println!(
+        "{:<6} {:<24} {:>12}   per-island fitness",
+        "size", "merged best", "fitness"
+    );
+    for k in 2..=6 {
+        let Some(best) = result.best_of_size(k) else {
+            continue;
+        };
+        let per_island: Vec<String> = result
+            .islands
+            .iter()
+            .map(|r| {
+                r.best_of_size(k)
+                    .map_or("-".into(), |h| format!("{:.1}", h.fitness()))
+            })
+            .collect();
+        println!(
+            "{:<6} {:<24} {:>12.3}   [{}]",
+            k,
+            format!("{:?}", best.snps()),
+            best.fitness(),
+            per_island.join(", ")
+        );
+    }
+    println!(
+        "\nthe merged champion per size dominates every island — island\n\
+         parallelism buys quality (or, equivalently, wall-time at equal\n\
+         quality) on top of the evaluation-level parallelism."
+    );
+
+    // ---- Ring migration: islands that talk to each other ----
+    println!("\nnow with ring migration (champions hop island → island every 10 generations):");
+    let ring = RingConfig {
+        n_islands,
+        base_seed: 300,
+        epoch_generations: 10,
+        max_rounds: 30,
+        ga: GaConfig {
+            stagnation_limit: 30,
+            ..GaConfig::default()
+        },
+    };
+    let t0 = std::time::Instant::now();
+    let result = run_ring_migration(&objective, &ring);
+    println!(
+        "done in {:.1?}: {} total evaluations\n",
+        t0.elapsed(),
+        result.total_evaluations
+    );
+    for k in 2..=6 {
+        if let Some(best) = result.best_of_size(k) {
+            println!("  size {k}: {best}");
+        }
+    }
+    println!(
+        "\nmigration propagates discoveries: a champion found on one island\n\
+         seeds its neighbours' subpopulations (and, through inter-population\n\
+         crossover, other sizes too)."
+    );
+}

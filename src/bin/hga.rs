@@ -1,0 +1,417 @@
+//! `hga` — the haplo-ga command line.
+//!
+//! ```text
+//! hga generate --snps 51 --seed 42 --out study/        # synthetic dataset + aux tables
+//! hga qc       --data study/genotypes.tsv              # allele freqs, HWE, LD summary
+//! hga run      --data study/genotypes.tsv --workers 4  # the adaptive GA
+//! hga enumerate --data study/genotypes.tsv --size 3    # exhaustive baseline
+//! hga eval     --data study/genotypes.tsv --snps 8,12,15 --mc 1000
+//! ```
+//!
+//! Every subcommand prints a short report to stdout; `--help` lists flags.
+
+use haplo_ga::data::io::{write_freq_tsv, write_ld_tsv};
+use haplo_ga::data::synthetic::{lille_51_config, PlantedSignal};
+use haplo_ga::data::{read_dataset_tsv, write_dataset_tsv, AlleleFreqTable, Dataset, LdTable};
+use haplo_ga::enumeration::exhaustive_top_k;
+use haplo_ga::net::{SlaveServer, TcpSlavePool};
+use haplo_ga::prelude::*;
+use haplo_ga::stats::hwe::hwe_violations;
+use haplo_ga::stats::ClumpStatistic;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Args {
+    values: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut values = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    values.push((name.to_string(), raw[i + 1].clone()));
+                    i += 2;
+                } else {
+                    flags.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { values, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> usize {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> u64 {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+fn load_dataset(args: &Args) -> Result<Dataset, String> {
+    let path = args
+        .get("data")
+        .ok_or("missing --data <genotypes.tsv>".to_string())?;
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_dataset_tsv(file, path).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn fitness_kind(args: &Args) -> FitnessKind {
+    match args.get("fitness").unwrap_or("t1") {
+        "t2" => FitnessKind::ClumpT2,
+        "t3" => FitnessKind::ClumpT3,
+        "t4" => FitnessKind::ClumpT4,
+        "lrt" => FitnessKind::EmLrt,
+        _ => FitnessKind::ClumpT1,
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let n_snps = args.usize_or("snps", 51);
+    let seed = args.u64_or("seed", 42);
+    let out = args.get("out").unwrap_or("study");
+    let mut cfg = lille_51_config();
+    cfg.n_snps = n_snps;
+    // Keep planted signals inside the panel.
+    cfg.signals.retain(|s: &PlantedSignal| {
+        s.snps.iter().all(|&snp| snp < n_snps)
+    });
+    if cfg.signals.is_empty() {
+        return Err(format!(
+            "panel of {n_snps} SNPs too small for the default planted signals (need >= 51)"
+        ));
+    }
+    let dataset = cfg.generate(seed).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(out).map_err(|e| format!("mkdir {out}: {e}"))?;
+    let dir = Path::new(out);
+    let write = |name: &str| -> Result<std::fs::File, String> {
+        std::fs::File::create(dir.join(name)).map_err(|e| format!("create {name}: {e}"))
+    };
+    write_dataset_tsv(&dataset, write("genotypes.tsv")?).map_err(|e| e.to_string())?;
+    write_freq_tsv(
+        &AlleleFreqTable::from_matrix(&dataset.genotypes),
+        write("frequencies.tsv")?,
+    )
+    .map_err(|e| e.to_string())?;
+    write_ld_tsv(&LdTable::from_matrix(&dataset.genotypes), write("ld.tsv")?)
+        .map_err(|e| e.to_string())?;
+    let (a, u, q) = dataset.group_sizes();
+    println!(
+        "wrote {out}/genotypes.tsv (+frequencies, +ld): {} SNPs, {} individuals ({a}A/{u}U/{q}?) seed {seed}",
+        dataset.n_snps(),
+        dataset.n_individuals()
+    );
+    println!(
+        "planted signals: {:?}",
+        cfg.signals.iter().map(|s| s.snps.clone()).collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+fn cmd_qc(args: &Args) -> Result<(), String> {
+    let d = load_dataset(args)?;
+    let (a, u, q) = d.group_sizes();
+    println!(
+        "{}: {} individuals ({a} affected / {u} unaffected / {q} unknown), {} SNPs",
+        d.label,
+        d.n_individuals(),
+        d.n_snps()
+    );
+    let freqs = AlleleFreqTable::from_matrix(&d.genotypes);
+    let low_maf: Vec<usize> = freqs
+        .iter()
+        .filter(|(_, f)| f.maf() < 0.05)
+        .map(|(s, _)| s)
+        .collect();
+    println!("SNPs with MAF < 0.05: {low_maf:?}");
+    let call: Vec<usize> = (0..d.n_snps())
+        .filter(|&s| d.genotypes.call_rate(s) < 0.95)
+        .collect();
+    println!("SNPs with call rate < 95%: {call:?}");
+    let controls = d.rows_with_status(Status::Unaffected);
+    let hwe = hwe_violations(&d.genotypes, &controls, 0.001);
+    println!("SNPs violating HWE in controls (p < 0.001): {hwe:?}");
+    let ld = LdTable::from_matrix(&d.genotypes);
+    let high: Vec<(usize, usize)> = ld
+        .iter()
+        .filter(|(_, _, l)| l.r2 > 0.8)
+        .map(|(i, j, _)| (i, j))
+        .collect();
+    println!("SNP pairs with r2 > 0.8 (near-duplicate tags): {high:?}");
+    Ok(())
+}
+
+/// Drive a (possibly resumed) run to termination, saving a checkpoint at
+/// the end when `--save-state` is given.
+fn drive<E: Evaluator>(
+    evaluator: &E,
+    args: &Args,
+    config: &GaConfig,
+    seed: u64,
+) -> Result<haplo_ga::ga::RunResult, String> {
+    use haplo_ga::ga::{Checkpoint, GaRun, StepOutcome};
+    let mut run = match args.get("resume") {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let cp: Checkpoint = serde_json::from_reader(std::io::BufReader::new(file))
+                .map_err(|e| format!("parse {path}: {e}"))?;
+            println!(
+                "resuming from {path}: generation {}, {} evaluations so far",
+                cp.generation, cp.total_evaluations
+            );
+            GaRun::restore(evaluator, cp, None)?
+        }
+        None => GaRun::new(evaluator, config.clone(), seed, None)?,
+    };
+    loop {
+        match run.step() {
+            StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+            _ => {}
+        }
+    }
+    if let Some(path) = args.get("save-state") {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        serde_json::to_writer(std::io::BufWriter::new(file), &run.checkpoint())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("checkpoint written to {path}");
+    }
+    Ok(run.finish())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let d = load_dataset(args)?;
+    let kind = fitness_kind(args);
+    let objective =
+        StatsEvaluator::from_dataset(&d, kind).map_err(|e| e.to_string())?;
+    let workers = args.usize_or("workers", 1);
+    let config = GaConfig {
+        population_size: args.usize_or("population", 150),
+        min_size: args.usize_or("min-size", 2),
+        max_size: args.usize_or("max-size", 6),
+        stagnation_limit: args.usize_or("stagnation", 100),
+        ..GaConfig::default()
+    };
+    let seed = args.u64_or("seed", 0);
+    println!(
+        "GA on {} ({:?} fitness), sizes {}..={}, population {}, {} worker(s), seed {seed}",
+        d.label, kind, config.min_size, config.max_size, config.population_size, workers
+    );
+    let t0 = std::time::Instant::now();
+    let result = if let Some(slaves) = args.get("slaves") {
+        // Distributed evaluation over TCP slave daemons (`hga slave`).
+        let addrs: Vec<String> = slaves.split(',').map(|s| s.trim().to_string()).collect();
+        let pool = TcpSlavePool::connect(&addrs).map_err(|e| e.to_string())?;
+        println!("connected to {} remote slave(s)", pool.alive());
+        drive(&pool, args, &config, seed)?
+    } else if workers > 1 {
+        let par = MasterSlaveEvaluator::new(objective, workers);
+        drive(&par, args, &config, seed)?
+    } else {
+        drive(&objective, args, &config, seed)?
+    };
+    println!(
+        "done in {:.1?}: {} generations, {} evaluations\n",
+        t0.elapsed(),
+        result.generations,
+        result.total_evaluations
+    );
+    // Optional per-generation trace for plotting.
+    if let Some(path) = args.get("trace") {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        haplo_ga::ga::telemetry::write_history_tsv(&result, file)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("history written to {path}");
+    }
+
+    // Champions with significance, search-adjusted for the number of
+    // candidates the GA actually evaluated (Šidák; conservative).
+    let pipeline = EvalPipeline::new(&d, kind).map_err(|e| e.to_string())?;
+    println!(
+        "{:<6} {:<26} {:>12} {:>14} {:>12} {:>12}",
+        "size", "best haplotype", "fitness", "evals-to-best", "p (nominal)", "p (search)"
+    );
+    for k in result.min_size..=result.min_size + result.best_per_size.len() - 1 {
+        if let Some(best) = result.best_of_size(k) {
+            let detail = pipeline
+                .evaluate_detailed(best.snps())
+                .map_err(|e| e.to_string())?;
+            let adjusted = haplo_ga::stats::assoc::sidak_adjust(
+                detail.chi2.p_value,
+                result.total_evaluations,
+            );
+            println!(
+                "{:<6} {:<26} {:>12.3} {:>14} {:>12.2e} {:>12.4}",
+                k,
+                format!("{:?}", best.snps()),
+                best.fitness(),
+                result.evals_to_best_of_size(k).unwrap_or(0),
+                detail.chi2.p_value,
+                adjusted,
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_enumerate(args: &Args) -> Result<(), String> {
+    let d = load_dataset(args)?;
+    let size = args.usize_or("size", 2);
+    let top = args.usize_or("top", 10);
+    let objective =
+        StatsEvaluator::from_dataset(&d, fitness_kind(args)).map_err(|e| e.to_string())?;
+    let space = haplo_ga::enumeration::count::choose_f64(d.n_snps() as u64, size as u64);
+    println!("exhaustive sweep of C({}, {size}) = {space:.3e} haplotypes ...", d.n_snps());
+    let t0 = std::time::Instant::now();
+    let result = exhaustive_top_k(&objective, size, top);
+    println!("done in {:.1?}; top {}:", t0.elapsed(), result.len());
+    for h in result.items() {
+        println!("  {:?} = {:.3}", h.snps, h.fitness);
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let d = load_dataset(args)?;
+    let snps: Vec<usize> = args
+        .get("snps")
+        .ok_or("missing --snps a,b,c".to_string())?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|e| format!("bad SNP id {s:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let pipeline = EvalPipeline::new(&d, fitness_kind(args)).map_err(|e| e.to_string())?;
+    let detail = pipeline
+        .evaluate_detailed(&snps)
+        .map_err(|e| e.to_string())?;
+    println!("haplotype {snps:?} on {}:", d.label);
+    println!("  fitness ({:?}) = {:.4}", pipeline.kind(), detail.fitness);
+    println!(
+        "  chi2 = {:.4} (df {}), asymptotic p = {:.3e}",
+        detail.chi2.statistic, detail.chi2.df, detail.chi2.p_value
+    );
+    let (mode_a, f_a) = detail.affected.mode();
+    let (mode_u, f_u) = detail.unaffected.mode();
+    println!(
+        "  modal haplotype affected: {mode_a:0width$b} ({f_a:.3}); unaffected: {mode_u:0width$b} ({f_u:.3})",
+        width = snps.len()
+    );
+    // Per-haplotype risk summary (odds ratios + Fisher exact p).
+    let risks = haplo_ga::stats::assoc::risk_report(&detail, 3.0).map_err(|e| e.to_string())?;
+    if !risks.is_empty() {
+        println!("  per-haplotype risk (count >= 3, sorted by odds ratio):");
+        for r in risks.iter().take(6) {
+            println!(
+                "    {}  aff {:>6.1} / una {:>6.1}  OR {:.2} [{:.2}, {:.2}]  Fisher p {:.4}",
+                r.label,
+                r.affected_count,
+                r.unaffected_count,
+                r.odds_ratio.or,
+                r.odds_ratio.ci_low,
+                r.odds_ratio.ci_high,
+                r.fisher_p
+            );
+        }
+    }
+    let n_sims = args.usize_or("mc", 0);
+    if n_sims > 0 {
+        let mut rng = ChaCha8Rng::seed_from_u64(args.u64_or("seed", 0));
+        let clump = pipeline
+            .clump_analysis(&snps, n_sims, &mut rng)
+            .map_err(|e| e.to_string())?;
+        println!("  CLUMP Monte-Carlo ({n_sims} sims):");
+        for stat in ClumpStatistic::ALL {
+            println!(
+                "    {stat:?} = {:.3}, MC p = {:.4}",
+                clump.statistic(stat),
+                clump.mc_p_value(stat).unwrap()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_slave(args: &Args) -> Result<(), String> {
+    let d = load_dataset(args)?;
+    let objective =
+        StatsEvaluator::from_dataset(&d, fitness_kind(args)).map_err(|e| e.to_string())?;
+    let bind = args.get("bind").unwrap_or("127.0.0.1:7171");
+    let server = SlaveServer::spawn(bind, objective).map_err(|e| e.to_string())?;
+    println!(
+        "slave serving {} ({} SNPs) on {} — ctrl-c to stop",
+        d.label,
+        d.n_snps(),
+        server.addr()
+    );
+    // Serve until killed; report throughput every 30 s.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(30));
+        println!("served {} evaluations", server.served());
+    }
+}
+
+const USAGE: &str = "usage: hga <command> [flags]
+
+commands:
+  generate   --snps N --seed S --out DIR        synthesize a study dataset
+  qc         --data FILE                        marker quality report
+  run        --data FILE [--workers N] [--slaves host:port,...]
+             [--max-size K] [--population P] [--stagnation G] [--seed S]
+             [--fitness t1|t2|t3|t4|lrt] [--trace history.tsv]
+             [--save-state cp.json] [--resume cp.json]
+  slave      --data FILE [--bind ADDR]          evaluation slave daemon
+  enumerate  --data FILE --size K [--top M]     exhaustive baseline
+  eval       --data FILE --snps a,b,c [--mc N]  score one haplotype
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&raw[1..]);
+    if args.has("help") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "qc" => cmd_qc(&args),
+        "run" => cmd_run(&args),
+        "slave" => cmd_slave(&args),
+        "enumerate" => cmd_enumerate(&args),
+        "eval" => cmd_eval(&args),
+        _ => {
+            eprint!("unknown command {command:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # haplo-ga — parallel adaptive GA for linkage disequilibrium in genomics
+//!
+//! Reproduction of Vermeulen-Jourdan, Dhaenens & Talbi, *"A Parallel
+//! Adaptive GA for Linkage Disequilibrium in Genomics"* (IPDPS 2004).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`data`] (`ld-data`) — genotype model, synthetic Lille-like datasets,
+//!   allele-frequency / LD tables, §2.3 feasibility constraints;
+//! * [`stats`] (`ld-stats`) — EH-DIALL EM estimator, CLUMP T1–T4,
+//!   Monte-Carlo significance, the Figure-3 evaluation pipeline;
+//! * [`ga`] (`ld-core`) — the dedicated adaptive multi-population GA;
+//! * [`parallel`] (`ld-parallel`) — master/slaves and rayon evaluators,
+//!   timing metrics, island runners (independent and ring-migration);
+//! * [`enumeration`] (`ld-enum`) — exhaustive sweeps, search-space counts,
+//!   landscape analysis;
+//! * [`net`] (`ld-net`) — distributed master/slaves over TCP, the modern
+//!   equivalent of the paper's C/PVM cluster substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use haplo_ga::prelude::*;
+//!
+//! // A synthetic stand-in for the paper's 51-SNP Lille dataset.
+//! let data = haplo_ga::data::synthetic::lille_51(42);
+//! // The paper's objective: EH-DIALL per group, then CLUMP T1.
+//! let objective = StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1).unwrap();
+//! // Parallel evaluation, master/slaves style (Figure 6).
+//! let evaluator = MasterSlaveEvaluator::new(objective, 4);
+//! // A small run of the adaptive multi-population GA (Figure 5).
+//! let config = GaConfig {
+//!     population_size: 60,
+//!     max_size: 4,
+//!     stagnation_limit: 10,
+//!     max_generations: 30,
+//!     ..GaConfig::default()
+//! };
+//! let result = GaEngine::new(&evaluator, config, 1).unwrap().run();
+//! let best = result.best_of_size(3).expect("a size-3 haplotype");
+//! assert!(best.fitness() > 0.0);
+//! ```
+
+pub use ld_core as ga;
+pub use ld_data as data;
+pub use ld_enum as enumeration;
+pub use ld_net as net;
+pub use ld_parallel as parallel;
+pub use ld_stats as stats;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use ld_core::{
+        CachingEvaluator, CountingEvaluator, Evaluator, GaConfig, GaEngine, Haplotype,
+        RunResult, Scheme, StatsEvaluator,
+    };
+    pub use ld_data::{Dataset, Genotype, SnpId, Status};
+    pub use ld_parallel::{MasterSlaveEvaluator, RayonEvaluator, TimingEvaluator};
+    pub use ld_stats::{EvalPipeline, FitnessKind};
+}

@@ -1,0 +1,159 @@
+//! Integration: the `hga` command-line binary, end to end through real
+//! process invocations (cargo builds the binary and exposes its path via
+//! `CARGO_BIN_EXE_hga`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hga() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hga"))
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hga-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp workdir");
+    dir
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = hga().output().expect("run hga");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = hga().arg("frobnicate").output().expect("run hga");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_qc_eval_enumerate_pipeline() {
+    let dir = workdir();
+    let out_dir = dir.join("study");
+
+    // generate
+    let out = hga()
+        .args(["generate", "--snps", "51", "--seed", "7", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let genotypes = out_dir.join("genotypes.tsv");
+    assert!(genotypes.exists());
+    assert!(out_dir.join("frequencies.tsv").exists());
+    assert!(out_dir.join("ld.tsv").exists());
+
+    // qc
+    let out = hga()
+        .arg("qc")
+        .arg("--data")
+        .arg(&genotypes)
+        .output()
+        .expect("run qc");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("176 individuals"), "qc output: {text}");
+    assert!(text.contains("HWE"));
+
+    // eval of the planted signal
+    let out = hga()
+        .arg("eval")
+        .arg("--data")
+        .arg(&genotypes)
+        .args(["--snps", "8,12,15"])
+        .output()
+        .expect("run eval");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fitness"), "eval output: {text}");
+    assert!(text.contains("odds ratio") || text.contains("OR"), "eval output: {text}");
+
+    // exhaustive size-2 enumeration (1275 haplotypes, fast)
+    let out = hga()
+        .arg("enumerate")
+        .arg("--data")
+        .arg(&genotypes)
+        .args(["--size", "2", "--top", "3"])
+        .output()
+        .expect("run enumerate");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("top 3"), "enumerate output: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_command_small_ga() {
+    let dir = workdir();
+    let out_dir = dir.join("study-run");
+    let out = hga()
+        .args(["generate", "--snps", "51", "--seed", "3", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+
+    let out = hga()
+        .arg("run")
+        .arg("--data")
+        .arg(out_dir.join("genotypes.tsv"))
+        .args([
+            "--max-size",
+            "3",
+            "--population",
+            "40",
+            "--stagnation",
+            "5",
+            "--seed",
+            "1",
+        ])
+        .output()
+        .expect("run GA");
+    assert!(
+        out.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("evals-to-best"), "run output: {text}");
+    assert!(text.contains("generations"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_data_flag_reports_error() {
+    let out = hga().args(["qc"]).output().expect("run qc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
+}
+
+#[test]
+fn eval_rejects_bad_snp_list() {
+    let dir = workdir();
+    let out_dir = dir.join("study-bad");
+    hga()
+        .args(["generate", "--snps", "51", "--seed", "1", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("generate");
+    let out = hga()
+        .arg("eval")
+        .arg("--data")
+        .arg(out_dir.join("genotypes.tsv"))
+        .args(["--snps", "8,banana"])
+        .output()
+        .expect("run eval");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad SNP id"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,86 @@
+//! Integration: the TCP (PVM-equivalent) evaluation substrate under the
+//! real objective, plus telemetry/diversity analysis of a live run.
+
+use haplo_ga::ga::diversity;
+use haplo_ga::ga::telemetry;
+use haplo_ga::ga::{GaRun, StepOutcome};
+use haplo_ga::net::LocalCluster;
+use haplo_ga::prelude::*;
+
+fn config() -> GaConfig {
+    GaConfig {
+        population_size: 50,
+        min_size: 2,
+        max_size: 3,
+        matings_per_generation: 8,
+        stagnation_limit: 10,
+        max_generations: 40,
+        ..GaConfig::default()
+    }
+}
+
+fn objective() -> StatsEvaluator {
+    let data = haplo_ga::data::synthetic::lille_51(42);
+    StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1).unwrap()
+}
+
+#[test]
+fn tcp_cluster_reproduces_the_in_process_trajectory() {
+    let reference = GaEngine::new(&objective(), config(), 3).unwrap().run();
+
+    let cluster = LocalCluster::spawn(3, objective).expect("loopback cluster");
+    let result = GaEngine::new(cluster.pool(), config(), 3).unwrap().run();
+
+    assert_eq!(result.total_evaluations, reference.total_evaluations);
+    assert_eq!(result.generations, reference.generations);
+    assert_eq!(
+        result.best_of_size(3).unwrap().snps(),
+        reference.best_of_size(3).unwrap().snps()
+    );
+    // Every evaluation went over the wire.
+    assert_eq!(cluster.total_served(), result.total_evaluations);
+    assert_eq!(cluster.pool().alive(), 3);
+    assert!(cluster.pool().dead_slaves().is_empty());
+}
+
+#[test]
+fn telemetry_describes_a_real_run() {
+    let eval = objective();
+    let result = GaEngine::new(&eval, config(), 9).unwrap().run();
+    let report = telemetry::analyze(&result);
+    // Every size improved at least once past initialization or holds its
+    // initial champion; curves end at the champions.
+    for curve in &report.convergence {
+        if let Some(best) = result.best_of_size(curve.size) {
+            if let Some(&(_, last)) = curve.points.last() {
+                assert!(last <= best.fitness() + 1e-12);
+            }
+        }
+    }
+    // Rates are proper distributions of the family budget.
+    let msum: f64 = report.mutation_rates.iter().map(|r| r.overall).sum();
+    assert!((msum - 0.9).abs() < 1e-9);
+    assert!(report.last_improvement <= result.generations);
+}
+
+#[test]
+fn diversity_decays_as_the_population_converges() {
+    let eval = objective();
+    let mut run = GaRun::new(&eval, config(), 4, None).unwrap();
+    let early = diversity::measure(run.population().get(3).unwrap());
+    loop {
+        match run.step() {
+            StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+            _ => {}
+        }
+    }
+    let late = diversity::measure(run.population().get(3).unwrap());
+    // A random initial population is near-maximally diverse; selection
+    // concentrates it.
+    assert!(early.mean_jaccard_distance > 0.5, "early {early:?}");
+    assert!(
+        late.mean_jaccard_distance < early.mean_jaccard_distance,
+        "late {late:?} vs early {early:?}"
+    );
+    assert!(late.snps_used <= early.snps_used);
+}

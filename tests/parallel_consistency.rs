@@ -1,0 +1,124 @@
+//! Integration: parallel evaluators are drop-in replacements.
+//!
+//! The paper's master/slaves layer must change wall-clock behaviour only —
+//! every evaluator (sequential, master/slaves, rayon, cached, timed) must
+//! produce the identical GA trajectory because the objective is pure and
+//! all randomness lives in the engine's seeded RNG.
+
+use haplo_ga::parallel::{run_islands, IslandConfig};
+use haplo_ga::prelude::*;
+
+fn config() -> GaConfig {
+    GaConfig {
+        population_size: 50,
+        min_size: 2,
+        max_size: 3,
+        matings_per_generation: 8,
+        stagnation_limit: 10,
+        max_generations: 40,
+        ..GaConfig::default()
+    }
+}
+
+fn objective() -> StatsEvaluator {
+    let data = haplo_ga::data::synthetic::lille_51(42);
+    StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1).unwrap()
+}
+
+fn fingerprint(r: &RunResult) -> (u64, usize, Vec<Vec<SnpId>>) {
+    (
+        r.total_evaluations,
+        r.generations,
+        (2..=3)
+            .filter_map(|k| r.best_of_size(k).map(|h| h.snps().to_vec()))
+            .collect(),
+    )
+}
+
+#[test]
+fn every_evaluator_yields_the_same_trajectory() {
+    let sequential = GaEngine::new(&objective(), config(), 77).unwrap().run();
+    let reference = fingerprint(&sequential);
+
+    let ms = MasterSlaveEvaluator::new(objective(), 3);
+    assert_eq!(
+        fingerprint(&GaEngine::new(&ms, config(), 77).unwrap().run()),
+        reference,
+        "master/slaves deviated"
+    );
+
+    let ry = RayonEvaluator::new(objective());
+    assert_eq!(
+        fingerprint(&GaEngine::new(&ry, config(), 77).unwrap().run()),
+        reference,
+        "rayon deviated"
+    );
+
+    let cached = CachingEvaluator::new(objective());
+    assert_eq!(
+        fingerprint(&GaEngine::new(&cached, config(), 77).unwrap().run()),
+        reference,
+        "cache deviated"
+    );
+
+    let timed = TimingEvaluator::new(objective());
+    assert_eq!(
+        fingerprint(&GaEngine::new(&timed, config(), 77).unwrap().run()),
+        reference,
+        "timing wrapper deviated"
+    );
+}
+
+#[test]
+fn stacked_wrappers_compose() {
+    // cache(count(master_slave(objective))) — the harness's real stack.
+    let stack = CachingEvaluator::new(CountingEvaluator::new(MasterSlaveEvaluator::new(
+        objective(),
+        2,
+    )));
+    let result = GaEngine::new(&stack, config(), 77).unwrap().run();
+    let sequential = GaEngine::new(&objective(), config(), 77).unwrap().run();
+    assert_eq!(fingerprint(&result), fingerprint(&sequential));
+    // The inner counter sees only cache misses — at most the engine's count.
+    assert!(stack.inner().count() <= result.total_evaluations);
+    assert!(stack.inner().count() > 0);
+}
+
+#[test]
+fn timing_wrapper_observes_figure4_shape_during_a_run() {
+    let timed = TimingEvaluator::new(objective());
+    let cfg = GaConfig {
+        max_size: 4,
+        ..config()
+    };
+    let _ = GaEngine::new(&timed, cfg, 5).unwrap().run();
+    let timings = timed.timings();
+    // Sizes 2..=4 were all evaluated.
+    let sizes: Vec<usize> = timings.iter().map(|t| t.size).collect();
+    assert!(sizes.contains(&2) && sizes.contains(&3) && sizes.contains(&4));
+    // Mean cost grows with size (Figure 4's shape), with slack for noise.
+    let mean = |k: usize| timed.mean_ns_for_size(k).unwrap();
+    assert!(
+        mean(4) > mean(2),
+        "size-4 evals should cost more than size-2: {} vs {}",
+        mean(4),
+        mean(2)
+    );
+}
+
+#[test]
+fn islands_dominate_their_members_on_the_real_objective() {
+    let obj = objective();
+    let cfg = IslandConfig {
+        n_islands: 3,
+        base_seed: 10,
+        ga: config(),
+    };
+    let merged = run_islands(&obj, &cfg);
+    for k in 2..=3 {
+        let champion = merged.best_of_size(k).unwrap().fitness();
+        for island in &merged.islands {
+            assert!(champion >= island.best_of_size(k).unwrap().fitness());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests over the core invariants, spanning all crates.
+
+use haplo_ga::data::{read_dataset_tsv, write_dataset_tsv, Dataset, Genotype, GenotypeMatrix};
+use haplo_ga::data::{PairwiseLd, SnpInfo, Status};
+use haplo_ga::enumeration::combinations::{rank, unrank};
+use haplo_ga::enumeration::count::choose_exact;
+use haplo_ga::ga::adaptive::AdaptiveRates;
+use haplo_ga::ga::ops::crossover::{inter_crossover, uniform_crossover};
+use haplo_ga::ga::ops::mutation::{apply_mutation, MutationKind};
+use haplo_ga::ga::rng::random_haplotype;
+use haplo_ga::ga::subpop::SubPopulation;
+use haplo_ga::prelude::*;
+use haplo_ga::stats::em::EmEstimator;
+use haplo_ga::stats::mc::sample_fixed_margins;
+use haplo_ga::stats::{chi2::pearson_chi2, ContingencyTable};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn genotype_strategy() -> impl Strategy<Value = Genotype> {
+    prop_oneof![
+        4 => Just(Genotype::HomA1),
+        4 => Just(Genotype::Het),
+        4 => Just(Genotype::HomA2),
+        1 => Just(Genotype::Missing),
+    ]
+}
+
+fn sample_strategy(k: usize) -> impl Strategy<Value = Vec<Vec<Genotype>>> {
+    prop::collection::vec(prop::collection::vec(genotype_strategy(), k), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn em_frequencies_form_a_simplex(gs in sample_strategy(3)) {
+        let est = EmEstimator::default();
+        match est.estimate(&gs) {
+            Ok(d) => {
+                let sum: f64 = d.freqs.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+                prop_assert!(d.freqs.iter().all(|&f| (-1e-12..=1.0 + 1e-12).contains(&f)));
+                prop_assert!(d.log_likelihood <= 1e-9, "LL must be <= 0");
+                prop_assert!(d.n_individuals <= gs.len());
+            }
+            // Only legitimate failure: every individual had a missing call.
+            Err(_) => {
+                prop_assert!(gs.iter().all(|g| g.contains(&Genotype::Missing)));
+            }
+        }
+    }
+
+    #[test]
+    fn em_is_invariant_under_individual_permutation(gs in sample_strategy(2)) {
+        let est = EmEstimator::default();
+        let mut reversed = gs.clone();
+        reversed.reverse();
+        match (est.estimate(&gs), est.estimate(&reversed)) {
+            (Ok(a), Ok(b)) => {
+                for (x, y) in a.freqs.iter().zip(&b.freqs) {
+                    prop_assert!((x - y).abs() < 1e-9);
+                }
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "one order failed, the other succeeded"),
+        }
+    }
+
+    #[test]
+    fn chi2_pvalue_is_a_probability(cells in prop::collection::vec(0.0f64..500.0, 6)) {
+        let t = ContingencyTable::from_rows(2, 3, cells).unwrap();
+        let r = pearson_chi2(&t);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!(r.statistic >= 0.0);
+        prop_assert!(r.df >= 0.0);
+    }
+
+    #[test]
+    fn mc_sampler_preserves_margins(
+        rows in prop::collection::vec(1u64..40, 2..4),
+        cols_split in 1u64..10,
+        seed in any::<u64>(),
+    ) {
+        // Build column totals that sum to the row total.
+        let total: u64 = rows.iter().sum();
+        let c0 = total.min(cols_split);
+        let cols = vec![c0, total - c0];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = sample_fixed_margins(&rows, &cols, &mut rng).unwrap();
+        let row_t: Vec<u64> = t.row_totals().iter().map(|&x| x as u64).collect();
+        let col_t: Vec<u64> = t.col_totals().iter().map(|&x| x as u64).collect();
+        prop_assert_eq!(row_t, rows);
+        prop_assert_eq!(col_t, cols);
+    }
+
+    #[test]
+    fn pairwise_ld_measures_are_bounded(
+        p11 in 0.0f64..1.0, p12 in 0.0f64..1.0, p21 in 0.0f64..1.0, p22 in 0.0f64..1.0
+    ) {
+        let ld = PairwiseLd::from_haplotype_freqs(p11, p12, p21, p22);
+        prop_assert!((-1.0..=1.0).contains(&ld.d_prime), "d' = {}", ld.d_prime);
+        prop_assert!((0.0..=1.0).contains(&ld.r2), "r2 = {}", ld.r2);
+        prop_assert!(ld.d.abs() <= 0.25 + 1e-12, "|D| <= 1/4");
+    }
+
+    #[test]
+    fn tsv_roundtrip_any_dataset(
+        n_ind in 1usize..12,
+        n_snp in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let data: Vec<Genotype> = (0..n_ind * n_snp)
+            .map(|_| Genotype::from_u8(rng.random_range(0..4)).unwrap())
+            .collect();
+        let statuses: Vec<Status> = (0..n_ind)
+            .map(|_| match rng.random_range(0..3) {
+                0 => Status::Affected,
+                1 => Status::Unaffected,
+                _ => Status::Unknown,
+            })
+            .collect();
+        let snps: Vec<SnpInfo> = (0..n_snp).map(|i| SnpInfo::synthetic(i, 1, i as f64)).collect();
+        let d = Dataset::new(
+            GenotypeMatrix::from_rows(n_ind, n_snp, data).unwrap(),
+            statuses,
+            snps,
+            "prop",
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_dataset_tsv(&d, &mut buf).unwrap();
+        let d2 = read_dataset_tsv(&buf[..], "prop").unwrap();
+        prop_assert_eq!(d.genotypes, d2.genotypes);
+        prop_assert_eq!(d.statuses, d2.statuses);
+    }
+
+    #[test]
+    fn rank_unrank_bijection(n in 1usize..16, k_raw in 0usize..6, r_raw in any::<u128>()) {
+        let k = k_raw.min(n);
+        let total = choose_exact(n as u64, k as u64).unwrap();
+        let r = r_raw % total.max(1);
+        let subset = unrank(r, n, k);
+        prop_assert_eq!(subset.len(), k);
+        prop_assert!(subset.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(subset.iter().all(|&s| s < n));
+        prop_assert_eq!(rank(&subset, n), r);
+    }
+
+    #[test]
+    fn subpop_invariants_under_arbitrary_inserts(
+        inserts in prop::collection::vec((prop::collection::vec(0usize..20, 3), 0.0f64..100.0), 0..60),
+        capacity in 1usize..10,
+    ) {
+        let mut sp = SubPopulation::new(3, capacity);
+        for (snps, fitness) in inserts {
+            let mut h = Haplotype::new(snps);
+            h.set_fitness(fitness);
+            let _ = sp.try_insert(h);
+        }
+        prop_assert!(sp.check_invariants().is_ok(), "{:?}", sp.check_invariants());
+        prop_assert!(sp.len() <= capacity);
+    }
+
+    #[test]
+    fn crossover_children_respect_encoding(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let p1 = random_haplotype(&mut rng, 30, 4);
+        let p2 = random_haplotype(&mut rng, 30, 4);
+        let (c1, c2) = uniform_crossover(&p1, &p2, 30, &mut rng);
+        for c in [&c1, &c2] {
+            prop_assert_eq!(c.size(), 4);
+            prop_assert!(c.snps().windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(c.snps().iter().all(|&s| s < 30));
+        }
+        let p3 = random_haplotype(&mut rng, 30, 6);
+        let (c3, c4) = inter_crossover(&p1, &p3, 30, &mut rng);
+        prop_assert_eq!(c3.size(), 4);
+        prop_assert_eq!(c4.size(), 6);
+    }
+
+    #[test]
+    fn mutations_respect_encoding_and_bounds(seed in any::<u64>(), kind_idx in 0usize..3) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let parent = random_haplotype(&mut rng, 25, 4);
+        let kind = MutationKind::from_index(kind_idx).unwrap();
+        for child in apply_mutation(kind, &parent, 25, 2, 6, 3, &mut rng) {
+            prop_assert!(child.snps().windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(child.snps().iter().all(|&s| s < 25));
+            let expected = match kind {
+                MutationKind::Snp => 4,
+                MutationKind::Reduction => 3,
+                MutationKind::Augmentation => 5,
+            };
+            prop_assert_eq!(child.size(), expected);
+        }
+    }
+
+    #[test]
+    fn adaptive_rates_always_sum_to_global_and_respect_floor(
+        progresses in prop::collection::vec((0usize..3, -1.0f64..1.0), 0..50),
+        generations in 1usize..5,
+    ) {
+        let mut a = AdaptiveRates::new(3, 0.9, 0.05, true);
+        for _ in 0..generations {
+            for &(op, p) in &progresses {
+                a.record(op, p);
+            }
+            a.end_generation();
+            let sum: f64 = a.rates().iter().sum();
+            prop_assert!((sum - 0.9).abs() < 1e-9, "sum = {sum}");
+            for &r in a.rates() {
+                prop_assert!(r >= 0.05 - 1e-9, "rate {r} below floor");
+            }
+        }
+    }
+}
