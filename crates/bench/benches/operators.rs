@@ -29,17 +29,7 @@ fn operators(c: &mut Criterion) {
         b.iter(|| inter_crossover(black_box(&p3), black_box(&p6a), 51, &mut rng))
     });
     c.bench_function("snp_mutation_4tries_k6", |b| {
-        b.iter(|| {
-            apply_mutation(
-                MutationKind::Snp,
-                black_box(&p6a),
-                51,
-                2,
-                6,
-                4,
-                &mut rng,
-            )
-        })
+        b.iter(|| apply_mutation(MutationKind::Snp, black_box(&p6a), 51, 2, 6, 4, &mut rng))
     });
     c.bench_function("augmentation_k3", |b| {
         b.iter(|| {

@@ -40,17 +40,13 @@ fn parallel_speedup(c: &mut Criterion) {
     });
     for workers in [1usize, 2, 4, 8] {
         let eval = MasterSlaveEvaluator::new(padded_objective(), workers);
-        group.bench_with_input(
-            BenchmarkId::new("slaves", workers),
-            &workers,
-            |b, _| {
-                b.iter(|| {
-                    let mut batch = proto.clone();
-                    eval.evaluate_batch(&mut batch);
-                    batch[0].fitness()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("slaves", workers), &workers, |b, _| {
+            b.iter(|| {
+                let mut batch = proto.clone();
+                eval.evaluate_batch(&mut batch);
+                batch[0].fitness()
+            })
+        });
     }
     group.finish();
 }

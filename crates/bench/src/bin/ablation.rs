@@ -75,11 +75,8 @@ fn main() {
         };
         let t0 = std::time::Instant::now();
         let summary = run_experiment(&eval, &cfg, n_runs, 0, None, |_| None);
-        let per_size_mean: Vec<String> = summary
-            .sizes
-            .iter()
-            .map(|s| fit(s.mean_fitness))
-            .collect();
+        let per_size_mean: Vec<String> =
+            summary.sizes.iter().map(|s| fit(s.mean_fitness)).collect();
         // Aggregate quality score: mean over sizes of the mean best fitness
         // (sizes are not comparable in absolute terms, but the *same* sizes
         // are compared across schemes).
@@ -100,20 +97,22 @@ fn main() {
         // best ("the evaluation is costly, so an interesting indicator is
         // the number of evaluations needed").
         let mut erow = vec![name.to_string()];
-        erow.extend(
-            summary
-                .sizes
-                .iter()
-                .map(|s| format!("{:.0}", s.mean_evals)),
-        );
+        erow.extend(summary.sizes.iter().map(|s| format!("{:.0}", s.mean_evals)));
         eval_rows.push(erow);
     }
     println!(
         "{}",
         markdown_table(
             &[
-                "scheme", "mean k=2", "mean k=3", "mean k=4", "mean k=5", "mean k=6",
-                "sum", "mean evals", "time"
+                "scheme",
+                "mean k=2",
+                "mean k=3",
+                "mean k=4",
+                "mean k=5",
+                "mean k=6",
+                "sum",
+                "mean evals",
+                "time"
             ],
             &rows
         )
@@ -121,10 +120,7 @@ fn main() {
     println!("\n## mean evaluations to reach each size's best\n");
     println!(
         "{}",
-        markdown_table(
-            &["scheme", "k=2", "k=3", "k=4", "k=5", "k=6"],
-            &eval_rows
-        )
+        markdown_table(&["scheme", "k=2", "k=3", "k=4", "k=5", "k=6"], &eval_rows)
     );
     println!(
         "\nexpected shape (paper): with the full stagnation budget every\n\

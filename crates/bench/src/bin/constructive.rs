@@ -25,7 +25,10 @@ fn main() {
     for k in 2..=exact_max_k {
         let top = exhaustive_top_k(&eval, k, 1);
         let best = top.best().expect("non-empty space").clone();
-        println!("exact optimum size {k}: {:?} = {:.3}", best.snps, best.fitness);
+        println!(
+            "exact optimum size {k}: {:?} = {:.3}",
+            best.snps, best.fitness
+        );
         exact.push(best);
     }
     println!();

@@ -26,16 +26,9 @@ fn main() {
         let outcome = run.step();
         if run.generation() % 25 == 0 || matches!(outcome, StepOutcome::StagnationLimitReached) {
             // Diversity of the largest subpopulation (the roomiest one).
-            let sub = run
-                .population()
-                .get(cfg.max_size)
-                .expect("managed size");
+            let sub = run.population().get(cfg.max_size).expect("managed size");
             let d = diversity::measure(sub);
-            diversity_samples.push((
-                run.generation(),
-                d.mean_jaccard_distance,
-                d.snp_entropy,
-            ));
+            diversity_samples.push((run.generation(), d.mean_jaccard_distance, d.snp_entropy));
         }
         match outcome {
             StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
@@ -64,7 +57,10 @@ fn main() {
         "{}",
         markdown_table(&["operator", "early", "late", "overall"], &rows)
     );
-    println!("dominant mutation operator: {}\n", report.dominant_mutation());
+    println!(
+        "dominant mutation operator: {}\n",
+        report.dominant_mutation()
+    );
 
     println!("## convergence (generation of each improvement, per size)\n");
     for curve in &report.convergence {
@@ -81,12 +77,18 @@ fn main() {
         println!("none (no stagnation window reached before termination)");
     } else {
         for e in &report.immigrant_episodes {
-            println!("generation {:>4}: {} individuals replaced", e.generation, e.replaced);
+            println!(
+                "generation {:>4}: {} individuals replaced",
+                e.generation, e.replaced
+            );
         }
         println!("total immigrants: {}", report.total_immigrants());
     }
 
-    println!("\n## diversity of the size-{} subpopulation over time\n", cfg.max_size);
+    println!(
+        "\n## diversity of the size-{} subpopulation over time\n",
+        cfg.max_size
+    );
     let mut rows = Vec::new();
     for (g, jaccard, entropy) in &diversity_samples {
         rows.push(vec![

@@ -12,8 +12,8 @@
 //! ```
 
 use bench::{arg_usize, dataset, markdown_table, objective};
-use ld_core::Evaluator;
 use ld_core::rng::random_haplotype;
+use ld_core::Evaluator;
 use ld_parallel::TimingEvaluator;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -40,10 +40,7 @@ fn main() {
             let h = random_haplotype(&mut rng, data.n_snps(), k);
             let _ = timed.evaluate_one(h.snps());
         }
-        let mean_ms = timed
-            .mean_ns_for_size(k)
-            .expect("samples were evaluated")
-            / 1e6;
+        let mean_ms = timed.mean_ns_for_size(k).expect("samples were evaluated") / 1e6;
         let growth = prev_ms.map_or("-".to_string(), |p| format!("x{:.2}", mean_ms / p));
         prev_ms = Some(mean_ms);
         rows.push(vec![

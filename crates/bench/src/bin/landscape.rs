@@ -33,7 +33,10 @@ fn main() {
             fit(s.max_fitness),
             fit(s.mean_fitness),
             fit(s.min_fitness),
-            format!("{:?}", s.top.first().map(|h| h.snps.clone()).unwrap_or_default()),
+            format!(
+                "{:?}",
+                s.top.first().map(|h| h.snps.clone()).unwrap_or_default()
+            ),
         ]);
     }
     println!(
@@ -54,7 +57,9 @@ fn main() {
         );
     }
 
-    println!("\n## Top-5 per size (paper: good large haplotypes need not extend good small ones)\n");
+    println!(
+        "\n## Top-5 per size (paper: good large haplotypes need not extend good small ones)\n"
+    );
     for s in &report.sizes {
         println!("size {}:", s.size);
         for h in s.top.iter().take(5) {

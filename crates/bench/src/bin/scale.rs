@@ -24,9 +24,12 @@ fn jaccard(a: &[usize], b: &[usize]) -> f64 {
 }
 
 fn study(name: &str, data: &Dataset, n_runs: usize, population: usize) {
-    println!("## {name} — {} SNPs, {} individuals, {n_runs} runs\n", data.n_snps(), data.n_individuals());
-    let eval = StatsEvaluator::from_dataset(data, FitnessKind::ClumpT1)
-        .expect("groups present");
+    println!(
+        "## {name} — {} SNPs, {} individuals, {n_runs} runs\n",
+        data.n_snps(),
+        data.n_individuals()
+    );
+    let eval = StatsEvaluator::from_dataset(data, FitnessKind::ClumpT1).expect("groups present");
     let cfg = GaConfig {
         population_size: population,
         ..GaConfig::default()
@@ -40,8 +43,7 @@ fn study(name: &str, data: &Dataset, n_runs: usize, population: usize) {
         })
         .collect();
     let elapsed = t0.elapsed();
-    let mean_evals =
-        runs.iter().map(|r| r.total_evaluations as f64).sum::<f64>() / n_runs as f64;
+    let mean_evals = runs.iter().map(|r| r.total_evaluations as f64).sum::<f64>() / n_runs as f64;
     println!(
         "({elapsed:.1?} total, mean {:.0} evaluations/run)\n",
         mean_evals

@@ -28,7 +28,9 @@ use std::time::{Duration, Instant};
 
 fn batch(n: usize, k: usize, n_snps: usize) -> Vec<Haplotype> {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    (0..n).map(|_| random_haplotype(&mut rng, n_snps, k)).collect()
+    (0..n)
+        .map(|_| random_haplotype(&mut rng, n_snps, k))
+        .collect()
 }
 
 fn time_batch<E: Evaluator>(eval: &E, proto: &[Haplotype]) -> Duration {
@@ -69,7 +71,10 @@ fn main() {
             format!("{:.2}", base.as_secs_f64() / t.as_secs_f64()),
         ]);
     }
-    println!("{}", markdown_table(&["configuration", "batch time", "speedup"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["configuration", "batch time", "speedup"], &rows)
+    );
 
     // ---- Latency-bound workload: remote-node emulation ----
     println!(
@@ -101,7 +106,10 @@ fn main() {
             format!("{:.2}", base.as_secs_f64() / t.as_secs_f64()),
         ]);
     }
-    println!("{}", markdown_table(&["configuration", "batch time", "speedup"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["configuration", "batch time", "speedup"], &rows)
+    );
     println!(
         "\nexpected shape: latency workload speedup ~ number of slaves (the\n\
          paper's regime); cpu workload speedup bounded by physical cores."

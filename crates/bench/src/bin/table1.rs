@@ -25,7 +25,10 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["haplotype size", "51 SNPs", "150 SNPs", "249 SNPs"], &rows)
+        markdown_table(
+            &["haplotype size", "51 SNPs", "150 SNPs", "249 SNPs"],
+            &rows
+        )
     );
     println!(
         "total space (sizes 2-6): 51 SNPs = {:.3e}, 150 SNPs = {:.3e}, 249 SNPs = {:.3e}",

@@ -41,9 +41,7 @@ fn main() {
     println!();
 
     let t0 = std::time::Instant::now();
-    let summary = run_experiment(&eval, &config, n_runs, 0, None, |k| {
-        exact.get(&k).copied()
-    });
+    let summary = run_experiment(&eval, &config, n_runs, 0, None, |k| exact.get(&k).copied());
     println!(
         "GA: {n_runs} runs in {:.1?}; mean generations {:.1}; mean total evals {:.0}\n",
         t0.elapsed(),

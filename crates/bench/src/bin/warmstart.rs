@@ -44,12 +44,7 @@ fn main() {
         frow.extend(summary.sizes.iter().map(|s| fit(s.mean_fitness)));
         fit_rows.push(frow);
         let mut erow = vec![init.label()];
-        erow.extend(
-            summary
-                .sizes
-                .iter()
-                .map(|s| format!("{:.0}", s.mean_evals)),
-        );
+        erow.extend(summary.sizes.iter().map(|s| format!("{:.0}", s.mean_evals)));
         eval_rows.push(erow);
     }
     println!("## mean best fitness per size\n");

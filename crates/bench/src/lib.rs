@@ -83,10 +83,7 @@ mod tests {
     fn markdown_table_shapes_up() {
         let t = markdown_table(
             &["a", "bbbb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

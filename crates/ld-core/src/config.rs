@@ -122,6 +122,12 @@ pub struct GaConfig {
     pub max_generations: usize,
     /// Mechanism toggles.
     pub scheme: Scheme,
+    /// Capacity of the scheduler's fitness cache, in SNP sets (0 disables
+    /// caching, the historical behaviour). Cache hits skip the evaluation
+    /// backend but still count toward `total_evaluations` — see
+    /// `DESIGN.md` §"Evaluation accounting".
+    #[serde(default)]
+    pub sched_cache: usize,
 }
 
 impl Default for GaConfig {
@@ -141,6 +147,7 @@ impl Default for GaConfig {
             ri_stagnation: 20,
             max_generations: 10_000,
             scheme: Scheme::FULL,
+            sched_cache: 0,
         }
     }
 }
@@ -220,12 +227,27 @@ mod tests {
     #[test]
     fn validation_catches_bad_ranges() {
         let bad = [
-            GaConfig { max_size: 60, ..GaConfig::default() },
-            GaConfig { min_size: 0, ..GaConfig::default() },
-            GaConfig { mutation_rate: 0.0, ..GaConfig::default() },
+            GaConfig {
+                max_size: 60,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                min_size: 0,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                mutation_rate: 0.0,
+                ..GaConfig::default()
+            },
             // 3 operators * 0.5 floor > 0.9 global rate.
-            GaConfig { delta: 0.5, ..GaConfig::default() },
-            GaConfig { matings_per_generation: 0, ..GaConfig::default() },
+            GaConfig {
+                delta: 0.5,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                matings_per_generation: 0,
+                ..GaConfig::default()
+            },
             GaConfig {
                 selection: SelectionStrategy::Tournament(0),
                 ..GaConfig::default()

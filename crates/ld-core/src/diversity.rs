@@ -95,7 +95,11 @@ pub fn measure(subpop: &SubPopulation) -> DiversityReport {
             pairs += 1;
         }
     }
-    let mean_jaccard_distance = if pairs > 0 { dist_sum / pairs as f64 } else { 0.0 };
+    let mean_jaccard_distance = if pairs > 0 {
+        dist_sum / pairs as f64
+    } else {
+        0.0
+    };
 
     let best = subpop.best().map_or(0.0, |h| h.fitness());
     let worst = subpop.worst().map_or(0.0, |h| h.fitness());

@@ -1,0 +1,274 @@
+//! Selection, crossover and mutation: phases A and B of a generation.
+
+use crate::evaluator::Evaluator;
+use crate::individual::Haplotype;
+use crate::ops::crossover::{inter_crossover, uniform_crossover, CrossoverKind};
+use crate::ops::mutation::{apply_mutation, MutationKind};
+use crate::population::NormalizerSnapshot;
+use rand::prelude::*;
+use std::ops::Range;
+
+use super::GaRun;
+
+/// One crossover application awaiting its progress measurement.
+pub(super) struct MatingRecord {
+    pub(super) kind: CrossoverKind,
+    /// Normalized fitness of the reference parent for each child (for
+    /// intra: the parents' mean, same for both children; for inter: each
+    /// child's same-size parent).
+    pub(super) parent_norms: (f64, f64),
+    /// Indices of the two children in the generation's child list.
+    pub(super) children: (usize, usize),
+    /// Sizes of the two children (normalization needs them).
+    pub(super) sizes: (usize, usize),
+}
+
+/// One mutation application awaiting candidate selection.
+pub(super) struct MutationRecord {
+    pub(super) kind: MutationKind,
+    /// Index of the mutated child.
+    pub(super) child: usize,
+    /// Candidate range in the generation's candidate list.
+    pub(super) candidates: Range<usize>,
+}
+
+pub(super) fn push_children(
+    children: &mut Vec<Haplotype>,
+    matings: &mut Vec<MatingRecord>,
+    kind: CrossoverKind,
+    parent_norms: (f64, f64),
+    c1: Haplotype,
+    c2: Haplotype,
+) {
+    let i1 = children.len();
+    let sizes = (c1.size(), c2.size());
+    children.push(c1);
+    children.push(c2);
+    matings.push(MatingRecord {
+        kind,
+        parent_norms,
+        children: (i1, i1 + 1),
+        sizes,
+    });
+}
+
+impl<E: Evaluator> GaRun<'_, E> {
+    /// Phase A: selection + crossover. Produces the generation's children
+    /// (evaluated as one scheduler batch) and feeds crossover progress
+    /// (§4.3.2) into the adaptive rates.
+    pub(super) fn crossover_phase(&mut self, norms: &NormalizerSnapshot) -> Vec<Haplotype> {
+        let n_snps = self.service.n_snps();
+        let n_sizes = self.cfg.max_size - self.cfg.min_size + 1;
+        let mut children: Vec<Haplotype> = Vec::new();
+        let mut matings: Vec<MatingRecord> = Vec::new();
+        for _ in 0..self.cfg.matings_per_generation {
+            if !self.crossover_rates.fires(&mut self.rng) {
+                // No crossover: a selected parent passes through (it may
+                // still be mutated in phase B). Fitness is preserved, so no
+                // re-evaluation is needed.
+                if let Some(parent) = self.select_any_parent() {
+                    children.push(parent);
+                }
+                continue;
+            }
+            let kind = if self.cfg.scheme.inter_crossover && n_sizes >= 2 {
+                match self.crossover_rates.select(&mut self.rng) {
+                    0 => CrossoverKind::Intra,
+                    _ => CrossoverKind::Inter,
+                }
+            } else {
+                CrossoverKind::Intra
+            };
+            match kind {
+                CrossoverKind::Intra => {
+                    let Some((p1, p2)) = self.select_intra_parents() else {
+                        continue;
+                    };
+                    let (c1, c2) = uniform_crossover(&p1, &p2, n_snps, &mut self.rng);
+                    let parent_mean = (norms.normalized(p1.size(), p1.fitness())
+                        + norms.normalized(p2.size(), p2.fitness()))
+                        / 2.0;
+                    push_children(
+                        &mut children,
+                        &mut matings,
+                        kind,
+                        (parent_mean, parent_mean),
+                        c1,
+                        c2,
+                    );
+                }
+                CrossoverKind::Inter => {
+                    let Some((p1, p2)) = self.select_inter_parents() else {
+                        continue;
+                    };
+                    let (c1, c2) = inter_crossover(&p1, &p2, n_snps, &mut self.rng);
+                    // §4.3.2: for inter-population crossover each child is
+                    // compared with its parent of the same size (c1 aligns
+                    // with p1, c2 with p2).
+                    let n1 = norms.normalized(p1.size(), p1.fitness());
+                    let n2 = norms.normalized(p2.size(), p2.fitness());
+                    push_children(&mut children, &mut matings, kind, (n1, n2), c1, c2);
+                }
+            }
+        }
+
+        // Evaluate the unevaluated children (one scheduler batch).
+        self.total_evals += self.service.submit(&mut children);
+
+        // Crossover progress (§4.3.2): average improvement of children over
+        // their reference parents.
+        for m in &matings {
+            let c1 = &children[m.children.0];
+            let c2 = &children[m.children.1];
+            let prog = ((norms.normalized(m.sizes.0, c1.fitness()) - m.parent_norms.0)
+                + (norms.normalized(m.sizes.1, c2.fitness()) - m.parent_norms.1))
+                / 2.0;
+            self.crossover_rates.record(m.kind.index(), prog);
+        }
+        children
+    }
+
+    /// Phase B: mutation. Mutates children in place, evaluating all
+    /// candidates as one scheduler batch and feeding mutation progress into
+    /// the adaptive rates.
+    pub(super) fn mutation_phase(
+        &mut self,
+        children: &mut [Haplotype],
+        norms: &NormalizerSnapshot,
+    ) {
+        let n_snps = self.service.n_snps();
+        let mut candidates: Vec<Haplotype> = Vec::new();
+        let mut mut_records: Vec<MutationRecord> = Vec::new();
+        for (i, child) in children.iter().enumerate() {
+            if !self.mutation_rates.fires(&mut self.rng) {
+                continue;
+            }
+            let kind = if self.cfg.scheme.size_mutations {
+                MutationKind::from_index(self.mutation_rates.select(&mut self.rng))
+                    .expect("3 mutation operators")
+            } else {
+                MutationKind::Snp
+            };
+            let tries = if kind == MutationKind::Snp {
+                self.cfg.snp_mutation_tries
+            } else {
+                1
+            };
+            let mut cands = apply_mutation(
+                kind,
+                child,
+                n_snps,
+                self.cfg.min_size,
+                self.cfg.max_size,
+                tries,
+                &mut self.rng,
+            );
+            self.service.retain_feasible(&mut cands);
+            if cands.is_empty() {
+                continue;
+            }
+            let start = candidates.len();
+            candidates.extend(cands);
+            mut_records.push(MutationRecord {
+                kind,
+                child: i,
+                candidates: start..candidates.len(),
+            });
+        }
+        self.total_evals += self.service.submit(&mut candidates);
+
+        // "Keep the best individual found by this mutation": the best
+        // candidate becomes the mutated child; progress is measured against
+        // the pre-mutation child on normalized fitness.
+        for rec in &mut_records {
+            let best = candidates[rec.candidates.clone()]
+                .iter()
+                .max_by(|a, b| a.fitness().total_cmp(&b.fitness()))
+                .expect("non-empty candidate range")
+                .clone();
+            let before = &children[rec.child];
+            let prog = norms.normalized(best.size(), best.fitness())
+                - norms.normalized(before.size(), before.fitness());
+            self.mutation_rates.record(rec.kind.index(), prog);
+            children[rec.child] = best;
+        }
+    }
+
+    /// Pick any parent, from a subpopulation chosen by membership weight.
+    pub(super) fn select_any_parent(&mut self) -> Option<Haplotype> {
+        let sizes: Vec<(usize, usize)> = self
+            .pop
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| (p.size_k(), p.len()))
+            .collect();
+        let total: usize = sizes.iter().map(|(_, l)| l).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut u = self.rng.random_range(0..total);
+        for (size, len) in sizes {
+            if u < len {
+                let idx = self.cfg.selection.select(&mut self.rng, len, None);
+                return Some(self.pop.get(size).expect("managed size").individuals()[idx].clone());
+            }
+            u -= len;
+        }
+        None
+    }
+
+    /// Two (preferably distinct) same-size parents.
+    pub(super) fn select_intra_parents(&mut self) -> Option<(Haplotype, Haplotype)> {
+        let sizes: Vec<(usize, usize)> = self
+            .pop
+            .iter()
+            .filter(|p| p.len() >= 2)
+            .map(|p| (p.size_k(), p.len()))
+            .collect();
+        let total: usize = sizes.iter().map(|(_, l)| l).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut u = self.rng.random_range(0..total);
+        for (size, len) in sizes {
+            if u < len {
+                let i1 = self.cfg.selection.select(&mut self.rng, len, None);
+                let i2 = self.cfg.selection.select(&mut self.rng, len, Some(i1));
+                let subpop = self.pop.get(size).expect("managed size");
+                return Some((
+                    subpop.individuals()[i1].clone(),
+                    subpop.individuals()[i2].clone(),
+                ));
+            }
+            u -= len;
+        }
+        None
+    }
+
+    /// Two parents from two different size subpopulations.
+    pub(super) fn select_inter_parents(&mut self) -> Option<(Haplotype, Haplotype)> {
+        let sizes: Vec<usize> = self
+            .pop
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| p.size_k())
+            .collect();
+        if sizes.len() < 2 {
+            return None;
+        }
+        let a = self.rng.random_range(0..sizes.len());
+        let mut b = self.rng.random_range(0..sizes.len() - 1);
+        if b >= a {
+            b += 1;
+        }
+        let (size_a, size_b) = (sizes[a], sizes[b]);
+        let n_a = self.pop.get(size_a).expect("managed").len();
+        let n_b = self.pop.get(size_b).expect("managed").len();
+        let i1 = self.cfg.selection.select(&mut self.rng, n_a, None);
+        let i2 = self.cfg.selection.select(&mut self.rng, n_b, None);
+        Some((
+            self.pop.get(size_a).expect("managed").individuals()[i1].clone(),
+            self.pop.get(size_b).expect("managed").individuals()[i2].clone(),
+        ))
+    }
+}

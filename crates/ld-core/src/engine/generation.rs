@@ -1,0 +1,89 @@
+//! The per-generation loop: one [`GaRun::step`] is one Figure-5 pass.
+
+use crate::evaluator::Evaluator;
+
+use super::{GaRun, GenerationStats, StepOutcome};
+
+impl<E: Evaluator> GaRun<'_, E> {
+    /// Execute one generation. See the module docs for the phase order.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.generation >= self.cfg.max_generations {
+            return StepOutcome::GenerationCapReached;
+        }
+        self.generation += 1;
+        let norms = self.pop.normalizer_snapshot();
+
+        // ------ Phase A: selection + crossover ------
+        let mut children = self.crossover_phase(&norms);
+
+        // ------ Phase B: mutation ------
+        self.mutation_phase(&mut children, &norms);
+
+        // ------ Replacement (§4.6) ------
+        for child in children {
+            self.pop.try_insert(child);
+        }
+
+        self.mutation_rates.end_generation();
+        self.crossover_rates.end_generation();
+
+        // ------ Improvement tracking ------
+        let improved = self.track_improvements();
+        if improved {
+            self.stagnation = 0;
+            self.ri_counter = 0;
+        } else {
+            self.stagnation += 1;
+            self.ri_counter += 1;
+        }
+
+        // ------ Random immigrants (§4.4) ------
+        let mut n_immigrants = 0usize;
+        if self.cfg.scheme.random_immigrants && self.ri_counter >= self.cfg.ri_stagnation {
+            n_immigrants = self.immigrant_phase();
+            self.ri_counter = 0;
+        }
+
+        self.history.push(GenerationStats {
+            generation: self.generation,
+            evaluations: self.total_evals,
+            best_per_size: self
+                .pop
+                .bests()
+                .into_iter()
+                .map(|b| b.map_or(f64::NAN, |h| h.fitness()))
+                .collect(),
+            mutation_rates: self.mutation_rates.rates().to_vec(),
+            crossover_rates: self.crossover_rates.rates().to_vec(),
+            immigrants: n_immigrants,
+            sched: self.service.take_window(),
+        });
+
+        if improved {
+            StepOutcome::Improved
+        } else if self.is_stagnated() {
+            StepOutcome::StagnationLimitReached
+        } else {
+            StepOutcome::Stagnating
+        }
+    }
+
+    /// Update the per-size champions from the live population; returns
+    /// whether any size improved.
+    pub(super) fn track_improvements(&mut self) -> bool {
+        let mut improved = false;
+        for (idx, best) in self.pop.bests().into_iter().enumerate() {
+            let Some(best) = best else { continue };
+            let record = &mut self.best_per_size[idx];
+            let is_better = record
+                .as_ref()
+                .is_none_or(|prev| best.fitness() > prev.fitness());
+            if is_better {
+                *record = Some(best.clone());
+                self.evals_to_best[idx] = self.total_evals;
+                improved = true;
+            }
+        }
+        improved
+    }
+}

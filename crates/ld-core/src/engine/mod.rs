@@ -1,0 +1,475 @@
+//! The GA engine: Figure 5's loop.
+//!
+//! ```text
+//! Initialization → // Evaluation
+//!   ┌─ Selection → Crossover (choice: intra / inter, adaptive)
+//!   │      → Mutation (choice: SNP / reduction / augmentation, adaptive)
+//!   │      → Replacement → Random-Immigrant test → Termination test ─┐
+//!   └──────────────────────────────────────────────────────────────◄─┘
+//! ```
+//!
+//! Each generation evaluates offspring in *batches* through the
+//! [`crate::sched::EvalService`] scheduler: one batch of crossover
+//! children, one batch of mutation candidates, and (when triggered) one
+//! batch of random immigrants. Those batch boundaries are the synchronous
+//! master/slave evaluation phases of the paper's Figure 6. The service
+//! coalesces intra-batch duplicates, optionally probes a bounded fitness
+//! cache ([`GaConfig::sched_cache`]), and dispatches residual work to its
+//! [`crate::sched::EvalBackend`] — plugging in `ld-parallel`'s or
+//! `ld-net`'s evaluator parallelizes the phases without touching the
+//! engine.
+//!
+//! The engine is split across submodules: this file owns the run state and
+//! public API, [`breeding`](self) the selection/crossover/mutation phases,
+//! `generation` the per-generation loop, and `replacement` insertion,
+//! immigrants and migrant injection.
+//!
+//! Two driving styles:
+//!
+//! * [`GaEngine::run`] — the paper's closed loop: generations until the
+//!   best has not evolved for `stagnation_limit` generations.
+//! * [`GaRun`] — a stepping handle: [`GaRun::step`] executes one
+//!   generation and [`GaRun::inject`] inserts externally produced
+//!   individuals (island-model migrants) mid-run; this is what
+//!   `ld-parallel`'s ring-migration islands build on.
+
+mod breeding;
+mod generation;
+mod replacement;
+#[cfg(test)]
+mod tests;
+
+use crate::adaptive::AdaptiveRates;
+use crate::config::GaConfig;
+use crate::evaluator::Evaluator;
+use crate::individual::Haplotype;
+use crate::population::MultiPopulation;
+use crate::rng::random_haplotype;
+use crate::sched::{EvalService, EvaluatorBackend, SchedStats};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+pub use crate::sched::FeasibilityFilter;
+
+/// Telemetry for one generation.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GenerationStats {
+    /// Generation number (1-based).
+    pub generation: usize,
+    /// Cumulative evaluations after this generation.
+    pub evaluations: u64,
+    /// Best fitness per size (ascending sizes; `NAN` for empty subpops).
+    pub best_per_size: Vec<f64>,
+    /// Mutation-operator rates after adaptation.
+    pub mutation_rates: Vec<f64>,
+    /// Crossover-operator rates after adaptation.
+    pub crossover_rates: Vec<f64>,
+    /// Immigrants introduced this generation.
+    pub immigrants: usize,
+    /// Batch-scheduler observability for this generation (batch sizes,
+    /// dedup, cache hits, dispatch latency). Defaults to zeros when
+    /// deserializing checkpoints written before this field existed.
+    #[serde(default)]
+    pub sched: SchedStats,
+}
+
+/// Result of one GA run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Smallest managed haplotype size.
+    pub min_size: usize,
+    /// Best individual found per size (ascending sizes).
+    pub best_per_size: Vec<Option<Haplotype>>,
+    /// Cumulative evaluation count at which each size's best was reached —
+    /// the paper's "# of Eval." metric.
+    pub evals_to_best: Vec<u64>,
+    /// Total evaluations performed.
+    pub total_evaluations: u64,
+    /// Generations executed.
+    pub generations: usize,
+    /// Per-generation telemetry.
+    pub history: Vec<GenerationStats>,
+    /// Seed the run used.
+    pub seed: u64,
+}
+
+impl RunResult {
+    /// Best individual of haplotype size `k`, if that size was managed and
+    /// populated.
+    pub fn best_of_size(&self, k: usize) -> Option<&Haplotype> {
+        k.checked_sub(self.min_size)
+            .and_then(|i| self.best_per_size.get(i))
+            .and_then(|o| o.as_ref())
+    }
+
+    /// Evaluations needed to reach the best of size `k`.
+    pub fn evals_to_best_of_size(&self, k: usize) -> Option<u64> {
+        k.checked_sub(self.min_size)
+            .and_then(|i| self.evals_to_best.get(i))
+            .copied()
+            .filter(|_| self.best_of_size(k).is_some())
+    }
+}
+
+/// What a [`GaRun::step`] call observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Some subpopulation's best improved this generation.
+    Improved,
+    /// No improvement, but the stagnation criterion is not yet met.
+    Stagnating,
+    /// The §4.6 termination criterion is met (best unchanged for
+    /// `stagnation_limit` generations). Stepping further is allowed —
+    /// injected migrants may revive the search.
+    StagnationLimitReached,
+    /// The hard generation cap was reached; further steps are no-ops.
+    GenerationCapReached,
+}
+
+/// A live, steppable GA run.
+///
+/// Construction initializes and evaluates the multi-population; each
+/// [`GaRun::step`] then executes one full Figure-5 generation. External
+/// individuals (e.g. migrants from another island) can be inserted at any
+/// point with [`GaRun::inject`].
+pub struct GaRun<'e, E: Evaluator> {
+    pub(crate) service: EvalService<EvaluatorBackend<'e, E>>,
+    pub(crate) cfg: GaConfig,
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) seed: u64,
+    pub(crate) pop: MultiPopulation,
+    pub(crate) total_evals: u64,
+    pub(crate) best_per_size: Vec<Option<Haplotype>>,
+    pub(crate) evals_to_best: Vec<u64>,
+    pub(crate) mutation_rates: AdaptiveRates,
+    pub(crate) crossover_rates: AdaptiveRates,
+    pub(crate) stagnation: usize,
+    pub(crate) ri_counter: usize,
+    pub(crate) history: Vec<GenerationStats>,
+    pub(crate) generation: usize,
+}
+
+/// Build the run's scheduler: sequential dispatch to the borrowed
+/// evaluator, the configured cache, and the caller's feasibility filter.
+fn build_service<'e, E: Evaluator>(
+    evaluator: &'e E,
+    cfg: &GaConfig,
+    feasibility: Option<FeasibilityFilter>,
+) -> EvalService<EvaluatorBackend<'e, E>> {
+    let mut service =
+        EvalService::new(EvaluatorBackend::new(evaluator)).with_feasibility(feasibility);
+    if cfg.sched_cache > 0 {
+        service = service.with_cache(cfg.sched_cache);
+    }
+    service
+}
+
+impl<'e, E: Evaluator> GaRun<'e, E> {
+    /// Initialize a run: validate the configuration, build the sized
+    /// subpopulations, fill them with random feasible individuals, and
+    /// evaluate the initial population (one scheduler batch per size).
+    pub fn new(
+        evaluator: &'e E,
+        config: GaConfig,
+        seed: u64,
+        feasibility: Option<FeasibilityFilter>,
+    ) -> Result<Self, String> {
+        config.validate(evaluator.n_snps())?;
+        let n_snps = evaluator.n_snps();
+        let n_sizes = config.max_size - config.min_size + 1;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pop = MultiPopulation::new(
+            n_snps,
+            config.min_size,
+            config.max_size,
+            config.population_size,
+        );
+        let mut service = build_service(evaluator, &config, feasibility);
+        let mut total_evals: u64 = 0;
+
+        // Warm start: rank SNPs by single-marker fitness once (costs
+        // n_snps evaluations) when the init strategy asks for it.
+        let (seed_pool, seeded_fraction) = match config.init {
+            crate::init::InitStrategy::Random => (Vec::new(), 0.0),
+            crate::init::InitStrategy::SingleMarkerSeeded {
+                seeded_fraction,
+                pool_size,
+            } => {
+                let (mut ranked, cost) = crate::init::rank_single_markers(evaluator);
+                total_evals += cost;
+                ranked.truncate(pool_size);
+                (ranked, seeded_fraction)
+            }
+        };
+        for size in config.min_size..=config.max_size {
+            let capacity = pop.get(size).expect("managed size").capacity();
+            let n_seeded = (capacity as f64 * seeded_fraction).round() as usize;
+            let mut initial: Vec<Haplotype> = Vec::with_capacity(capacity);
+            let mut attempts = 0usize;
+            while initial.len() < capacity && attempts < capacity * 100 {
+                attempts += 1;
+                let h = if initial.len() < n_seeded {
+                    crate::init::seeded_haplotype(&mut rng, &seed_pool, n_snps, size)
+                } else {
+                    random_haplotype(&mut rng, n_snps, size)
+                };
+                if service.is_feasible(h.snps()) && !initial.iter().any(|x| x.key() == h.key()) {
+                    initial.push(h);
+                }
+            }
+            total_evals += service.submit(&mut initial);
+            let subpop = pop.get_mut(size).expect("managed size");
+            for h in initial {
+                subpop.try_insert(h);
+            }
+        }
+        // Initialization batches belong to no generation; drop the window
+        // so the first history row covers only its own generation (the
+        // lifetime totals in `sched_stats()` still include them).
+        let _ = service.take_window();
+
+        let best_per_size: Vec<Option<Haplotype>> =
+            pop.bests().into_iter().map(|b| b.cloned()).collect();
+        let mutation_rates = AdaptiveRates::new(
+            3,
+            config.mutation_rate,
+            config.delta,
+            config.scheme.adaptive_mutation,
+        );
+        let crossover_rates = AdaptiveRates::new(
+            2,
+            config.crossover_rate,
+            config.delta,
+            config.scheme.adaptive_crossover,
+        );
+        Ok(GaRun {
+            service,
+            evals_to_best: vec![total_evals; n_sizes],
+            cfg: config,
+            rng,
+            seed,
+            pop,
+            total_evals,
+            best_per_size,
+            mutation_rates,
+            crossover_rates,
+            stagnation: 0,
+            ri_counter: 0,
+            history: Vec::new(),
+            generation: 0,
+        })
+    }
+
+    /// Rebuild a run from previously captured parts (checkpoint restore;
+    /// see [`crate::checkpoint`]). Crate-visible so the checkpoint module
+    /// owns the validation logic.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        evaluator: &'e E,
+        cfg: GaConfig,
+        rng: ChaCha8Rng,
+        seed: u64,
+        feasibility: Option<FeasibilityFilter>,
+        pop: MultiPopulation,
+        total_evals: u64,
+        best_per_size: Vec<Option<Haplotype>>,
+        evals_to_best: Vec<u64>,
+        mutation_rates: AdaptiveRates,
+        crossover_rates: AdaptiveRates,
+        stagnation: usize,
+        ri_counter: usize,
+        history: Vec<GenerationStats>,
+        generation: usize,
+    ) -> Self {
+        let service = build_service(evaluator, &cfg, feasibility);
+        GaRun {
+            service,
+            cfg,
+            rng,
+            seed,
+            pop,
+            total_evals,
+            best_per_size,
+            evals_to_best,
+            mutation_rates,
+            crossover_rates,
+            stagnation,
+            ri_counter,
+            history,
+            generation,
+        }
+    }
+
+    /// The live multi-population (read-only).
+    pub fn population(&self) -> &MultiPopulation {
+        &self.pop
+    }
+
+    /// The configuration driving this run.
+    pub fn cfg(&self) -> &GaConfig {
+        &self.cfg
+    }
+
+    /// The seed the run was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The live PRNG state (checkpointing).
+    pub fn rng_state(&self) -> &ChaCha8Rng {
+        &self.rng
+    }
+
+    /// Evaluations at which each size's best was reached.
+    pub fn evals_to_best(&self) -> &[u64] {
+        &self.evals_to_best
+    }
+
+    /// Generations since the last improvement, as seen by the
+    /// random-immigrant trigger.
+    pub fn ri_counter(&self) -> usize {
+        self.ri_counter
+    }
+
+    /// The mutation-rate controller (read-only).
+    pub fn mutation_rates(&self) -> &AdaptiveRates {
+        &self.mutation_rates
+    }
+
+    /// The crossover-rate controller (read-only).
+    pub fn crossover_rates(&self) -> &AdaptiveRates {
+        &self.crossover_rates
+    }
+
+    /// Per-generation telemetry so far.
+    pub fn history(&self) -> &[GenerationStats] {
+        &self.history
+    }
+
+    /// Generations executed so far.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// Total evaluations spent so far.
+    pub fn total_evaluations(&self) -> u64 {
+        self.total_evals
+    }
+
+    /// Lifetime scheduler counters (including initialization batches;
+    /// reset on checkpoint restore — observability, not run state).
+    pub fn sched_stats(&self) -> &SchedStats {
+        self.service.stats()
+    }
+
+    /// Consecutive generations without improvement.
+    pub fn stagnation(&self) -> usize {
+        self.stagnation
+    }
+
+    /// Whether the §4.6 stagnation criterion is currently met.
+    pub fn is_stagnated(&self) -> bool {
+        self.stagnation >= self.cfg.stagnation_limit
+    }
+
+    /// Best individual per size so far (clones).
+    pub fn champions(&self) -> Vec<Option<Haplotype>> {
+        self.best_per_size.clone()
+    }
+
+    /// Snapshot the run into a [`RunResult`].
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            min_size: self.cfg.min_size,
+            best_per_size: self.best_per_size.clone(),
+            evals_to_best: self.evals_to_best.clone(),
+            total_evaluations: self.total_evals,
+            generations: self.generation,
+            history: self.history.clone(),
+            seed: self.seed,
+        }
+    }
+
+    /// Finish the run, consuming the handle.
+    pub fn finish(self) -> RunResult {
+        RunResult {
+            min_size: self.cfg.min_size,
+            best_per_size: self.best_per_size,
+            evals_to_best: self.evals_to_best,
+            total_evaluations: self.total_evals,
+            generations: self.generation,
+            history: self.history,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The dedicated adaptive multi-population GA — the paper's closed loop.
+///
+/// ```
+/// use ld_core::{evaluator::FnEvaluator, GaConfig, GaEngine};
+///
+/// // A toy objective over 30 SNPs: bigger ids and bigger sets score higher.
+/// let objective = FnEvaluator::new(30, |snps: &[usize]| {
+///     snps.iter().map(|&s| s as f64).sum::<f64>() + 10.0 * snps.len() as f64
+/// });
+/// let config = GaConfig {
+///     population_size: 60,
+///     min_size: 2,
+///     max_size: 4,
+///     stagnation_limit: 25,
+///     ..GaConfig::default()
+/// };
+/// let result = GaEngine::new(&objective, config, 42).unwrap().run();
+/// // The engine finds the known optimum {28, 29} for size 2.
+/// assert_eq!(result.best_of_size(2).unwrap().snps(), &[28, 29]);
+/// ```
+pub struct GaEngine<'e, E: Evaluator> {
+    evaluator: &'e E,
+    config: GaConfig,
+    seed: u64,
+    feasibility: Option<FeasibilityFilter>,
+}
+
+impl<'e, E: Evaluator> GaEngine<'e, E> {
+    /// Build an engine; validates the configuration against the panel.
+    pub fn new(evaluator: &'e E, config: GaConfig, seed: u64) -> Result<Self, String> {
+        config.validate(evaluator.n_snps())?;
+        Ok(GaEngine {
+            evaluator,
+            config,
+            seed,
+            feasibility: None,
+        })
+    }
+
+    /// Restrict the search to haplotypes satisfying `filter` (§2.3
+    /// constraints). Infeasible candidates are discarded unevaluated.
+    pub fn with_feasibility(mut self, filter: FeasibilityFilter) -> Self {
+        self.feasibility = Some(filter);
+        self
+    }
+
+    /// Start a steppable run (island-model building block).
+    pub fn start(&self) -> Result<GaRun<'e, E>, String> {
+        GaRun::new(
+            self.evaluator,
+            self.config.clone(),
+            self.seed,
+            self.feasibility.clone(),
+        )
+    }
+
+    /// Execute the full run: generations until stagnation (§4.6) or the
+    /// hard cap.
+    pub fn run(&mut self) -> RunResult {
+        let mut run = self.start().expect("configuration validated in new()");
+        loop {
+            match run.step() {
+                StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+                StepOutcome::Improved | StepOutcome::Stagnating => {}
+            }
+        }
+        run.finish()
+    }
+}

@@ -1,0 +1,46 @@
+//! Replacement-adjacent flows: random immigrants (§4.4) and island-model
+//! migrant injection.
+
+use crate::evaluator::Evaluator;
+use crate::immigrants::replace_below_mean;
+use crate::individual::Haplotype;
+
+use super::GaRun;
+
+impl<E: Evaluator> GaRun<'_, E> {
+    /// Insert externally produced individuals (island migrants). They are
+    /// feasibility-filtered and evaluated (one scheduler batch) if needed,
+    /// then go through the normal §4.6 replacement rule. Improvements reset
+    /// the stagnation counters exactly like native offspring.
+    pub fn inject(&mut self, migrants: Vec<Haplotype>) {
+        let mut migrants = migrants;
+        self.service.retain_feasible(&mut migrants);
+        self.total_evals += self.service.submit(&mut migrants);
+        for h in migrants {
+            self.pop.try_insert(h);
+        }
+        if self.track_improvements() {
+            self.stagnation = 0;
+            self.ri_counter = 0;
+        }
+    }
+
+    /// Replace below-mean individuals with random immigrants in every
+    /// subpopulation (one scheduler batch); returns how many were
+    /// introduced.
+    pub(super) fn immigrant_phase(&mut self) -> usize {
+        let n_snps = self.service.n_snps();
+        let mut immigrants: Vec<Haplotype> = Vec::new();
+        for subpop in self.pop.iter_mut() {
+            let mut imms = replace_below_mean(subpop, n_snps, &mut self.rng);
+            self.service.retain_feasible(&mut imms);
+            immigrants.extend(imms);
+        }
+        let n_immigrants = immigrants.len();
+        self.total_evals += self.service.submit(&mut immigrants);
+        for h in immigrants {
+            self.pop.try_insert(h);
+        }
+        n_immigrants
+    }
+}

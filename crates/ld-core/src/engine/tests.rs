@@ -1,0 +1,439 @@
+use super::*;
+use crate::config::Scheme;
+use crate::evaluator::{CountingEvaluator, FnEvaluator};
+use ld_data::SnpId;
+use std::sync::Arc;
+
+/// Toy objective with a known optimum: fitness grows with SNP ids and
+/// size, so the best size-k haplotype is the top-k ids.
+fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+    FnEvaluator::new(30, |s: &[SnpId]| {
+        s.iter().map(|&x| x as f64).sum::<f64>() + 10.0 * s.len() as f64
+    })
+}
+
+fn small_config() -> GaConfig {
+    GaConfig {
+        population_size: 60,
+        min_size: 2,
+        max_size: 4,
+        matings_per_generation: 10,
+        stagnation_limit: 25,
+        ri_stagnation: 8,
+        max_generations: 400,
+        ..GaConfig::default()
+    }
+}
+
+#[test]
+fn run_finds_toy_optima() {
+    let eval = toy();
+    let mut engine = GaEngine::new(&eval, small_config(), 42).unwrap();
+    let result = engine.run();
+    // Optimum of size k is the k largest SNP ids {30-k .. 29}.
+    let best4 = result.best_of_size(4).expect("size-4 best");
+    assert_eq!(best4.snps(), &[26, 27, 28, 29], "found {best4}");
+    let best2 = result.best_of_size(2).expect("size-2 best");
+    assert_eq!(best2.snps(), &[28, 29], "found {best2}");
+    assert!(result.total_evaluations > 0);
+    assert!(result.generations >= 25);
+    assert_eq!(result.history.len(), result.generations);
+}
+
+#[test]
+fn runs_are_reproducible_by_seed() {
+    let eval = toy();
+    let r1 = GaEngine::new(&eval, small_config(), 7).unwrap().run();
+    let r2 = GaEngine::new(&eval, small_config(), 7).unwrap().run();
+    assert_eq!(r1.total_evaluations, r2.total_evaluations);
+    assert_eq!(r1.generations, r2.generations);
+    assert_eq!(
+        r1.best_of_size(3).unwrap().snps(),
+        r2.best_of_size(3).unwrap().snps()
+    );
+    let r3 = GaEngine::new(&eval, small_config(), 8).unwrap().run();
+    // Different seed: almost surely a different trajectory.
+    assert!(r1.total_evaluations != r3.total_evaluations || r1.generations != r3.generations);
+}
+
+#[test]
+fn eval_accounting_matches_counting_evaluator() {
+    let eval = CountingEvaluator::new(toy());
+    let result = GaEngine::new(&eval, small_config(), 3).unwrap().run();
+    assert_eq!(result.total_evaluations, eval.count());
+}
+
+#[test]
+fn evals_to_best_is_monotone_in_history() {
+    let eval = toy();
+    let result = GaEngine::new(&eval, small_config(), 5).unwrap().run();
+    for k in 2..=4 {
+        let e = result.evals_to_best_of_size(k).unwrap();
+        assert!(e <= result.total_evaluations);
+        assert!(e > 0);
+    }
+    // History evaluations are non-decreasing.
+    for w in result.history.windows(2) {
+        assert!(w[0].evaluations <= w[1].evaluations);
+    }
+}
+
+#[test]
+fn baseline_scheme_still_works() {
+    let eval = toy();
+    let cfg = GaConfig {
+        scheme: Scheme::BASELINE,
+        ..small_config()
+    };
+    let result = GaEngine::new(&eval, cfg, 11).unwrap().run();
+    // Even the stripped-down GA should find the small-size optimum.
+    let best2 = result.best_of_size(2).expect("size-2 best");
+    assert!(best2.fitness() >= 65.0, "found {best2}");
+    // No immigrants should ever be introduced.
+    assert!(result.history.iter().all(|g| g.immigrants == 0));
+}
+
+#[test]
+fn random_immigrants_fire_under_stagnation() {
+    // Flat objective: everything ties, so no improvement ever happens
+    // and the run must terminate by stagnation without immigrants
+    // (nothing is strictly below the mean).
+    let eval = FnEvaluator::new(20, |_: &[SnpId]| 1.0);
+    let cfg = GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 3,
+        matings_per_generation: 5,
+        stagnation_limit: 30,
+        ri_stagnation: 5,
+        max_generations: 100,
+        ..GaConfig::default()
+    };
+    let result = GaEngine::new(&eval, cfg.clone(), 9).unwrap().run();
+    assert_eq!(result.generations, 30);
+
+    // Now a graded objective (fitness = leading SNP id): once the best
+    // is found the run stagnates while fitness spread persists in each
+    // subpopulation, so the immigrant replacement has targets.
+    let eval = FnEvaluator::new(20, |s: &[SnpId]| s[0] as f64);
+    let result = GaEngine::new(&eval, cfg, 9).unwrap().run();
+    let total_immigrants: usize = result.history.iter().map(|g| g.immigrants).sum();
+    assert!(total_immigrants > 0, "random immigrants never fired");
+}
+
+#[test]
+fn feasibility_filter_is_respected() {
+    let eval = toy();
+    // Forbid SNP 29 anywhere.
+    let filter: FeasibilityFilter = Arc::new(|s: &[SnpId]| !s.contains(&29));
+    let result = GaEngine::new(&eval, small_config(), 13)
+        .unwrap()
+        .with_feasibility(filter)
+        .run();
+    for k in 2..=4 {
+        let best = result.best_of_size(k).unwrap();
+        assert!(!best.contains(29), "infeasible best {best}");
+    }
+    // The constrained optimum of size 2 is {27, 28}.
+    assert_eq!(result.best_of_size(2).unwrap().snps(), &[27, 28]);
+}
+
+#[test]
+fn engine_survives_pathological_objective() {
+    // Failure injection: the objective returns NaN or infinity for a
+    // slice of the space. The engine must neither panic nor stall, and
+    // NaN-scored individuals must never enter the population.
+    let eval = FnEvaluator::new(20, |s: &[SnpId]| match s[0] % 4 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => s.iter().sum::<usize>() as f64,
+    });
+    let cfg = GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 3,
+        matings_per_generation: 6,
+        stagnation_limit: 10,
+        max_generations: 50,
+        ..GaConfig::default()
+    };
+    let result = GaEngine::new(&eval, cfg, 23).unwrap().run();
+    assert!(result.generations > 0);
+    for k in 2..=3 {
+        if let Some(best) = result.best_of_size(k) {
+            assert!(!best.fitness().is_nan());
+        }
+    }
+}
+
+#[test]
+fn warm_start_initialization_works_and_costs_n_snps_extra() {
+    use crate::init::InitStrategy;
+    let eval = CountingEvaluator::new(toy());
+    let cfg = GaConfig {
+        init: InitStrategy::SingleMarkerSeeded {
+            seeded_fraction: 0.5,
+            pool_size: 10,
+        },
+        max_generations: 1,
+        ..small_config()
+    };
+    let result = GaEngine::new(&eval, cfg, 3).unwrap().run();
+    assert_eq!(result.total_evaluations, eval.count());
+    // With fitness increasing in SNP id, the seeded half comes from the
+    // top-10 ids {20..29}; the size-2 initial best must be near-optimal
+    // immediately (the seeded pool contains the optimum {28, 29}).
+    let best2 = result.best_of_size(2).unwrap();
+    assert!(best2.fitness() >= 72.0, "seeded init missed: {best2}");
+}
+
+#[test]
+fn alternative_selection_strategies_work_end_to_end() {
+    use crate::selection::SelectionStrategy;
+    let eval = toy();
+    for selection in [
+        SelectionStrategy::Tournament(4),
+        SelectionStrategy::RankRoulette,
+        SelectionStrategy::Uniform,
+    ] {
+        let cfg = GaConfig {
+            selection,
+            ..small_config()
+        };
+        let result = GaEngine::new(&eval, cfg, 19).unwrap().run();
+        let best2 = result.best_of_size(2).expect("size-2 best");
+        // Even the drift baseline should do reasonably on this easy
+        // landscape; pressured strategies should nail the optimum.
+        assert!(best2.fitness() >= 60.0, "{selection:?} found only {best2}");
+    }
+}
+
+#[test]
+fn invalid_config_is_rejected() {
+    let eval = toy();
+    let cfg = GaConfig {
+        max_size: 40, // > 30 SNPs
+        ..GaConfig::default()
+    };
+    assert!(GaEngine::new(&eval, cfg, 0).is_err());
+}
+
+#[test]
+fn adaptive_rates_appear_in_history() {
+    let eval = toy();
+    let result = GaEngine::new(&eval, small_config(), 21).unwrap().run();
+    let g = result.history.last().unwrap();
+    assert_eq!(g.mutation_rates.len(), 3);
+    assert_eq!(g.crossover_rates.len(), 2);
+    let msum: f64 = g.mutation_rates.iter().sum();
+    let csum: f64 = g.crossover_rates.iter().sum();
+    assert!((msum - 0.9).abs() < 1e-9);
+    assert!((csum - 0.8).abs() < 1e-9);
+}
+
+#[test]
+fn single_size_range_disables_inter_crossover() {
+    let eval = toy();
+    let cfg = GaConfig {
+        min_size: 3,
+        max_size: 3,
+        population_size: 30,
+        matings_per_generation: 5,
+        stagnation_limit: 15,
+        max_generations: 200,
+        ..GaConfig::default()
+    };
+    let result = GaEngine::new(&eval, cfg, 17).unwrap().run();
+    let best = result.best_of_size(3).expect("size-3 best");
+    assert_eq!(best.snps(), &[27, 28, 29]);
+    assert!(result.best_of_size(2).is_none());
+    assert!(result.best_of_size(4).is_none());
+}
+
+// ------ scheduler integration ------
+
+#[test]
+fn history_sched_windows_reconcile_with_totals() {
+    let eval = toy();
+    let engine = GaEngine::new(&eval, small_config(), 37).unwrap();
+    let mut run = engine.start().unwrap();
+    let init_evals = run.total_evaluations();
+    assert!(init_evals > 0);
+    loop {
+        match run.step() {
+            StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+            _ => {}
+        }
+    }
+    // Lifetime scheduler counters include the init batches.
+    let lifetime = run.sched_stats().clone();
+    assert!(lifetime.batches as usize > run.generation());
+    // Without a cache every scheduled evaluation reaches the backend.
+    assert_eq!(lifetime.scheduled(), lifetime.true_evals);
+    let result = run.finish();
+    // Per-generation windows: every step submits a crossover batch and a
+    // mutation batch, and their scheduled counts account for exactly the
+    // post-init evaluation growth.
+    let mut windows_scheduled = 0u64;
+    for g in &result.history {
+        assert!(
+            g.sched.batches >= 2,
+            "generation {} missing batches",
+            g.generation
+        );
+        assert_eq!(g.sched.scheduled(), g.sched.cache_hits + g.sched.true_evals);
+        windows_scheduled += g.sched.scheduled();
+    }
+    assert_eq!(windows_scheduled, result.total_evaluations - init_evals);
+}
+
+#[test]
+fn cached_run_matches_uncached_trajectory() {
+    // The scheduler cache changes who computes a fitness, never the GA's
+    // random trajectory or its evaluation accounting.
+    let eval = toy();
+    let uncached = GaEngine::new(&eval, small_config(), 51).unwrap().run();
+    let cfg = GaConfig {
+        sched_cache: 4096,
+        ..small_config()
+    };
+    let cached = GaEngine::new(&eval, cfg, 51).unwrap().run();
+    assert_eq!(cached.total_evaluations, uncached.total_evaluations);
+    assert_eq!(cached.generations, uncached.generations);
+    for k in 2..=4 {
+        assert_eq!(
+            cached.best_of_size(k).unwrap().snps(),
+            uncached.best_of_size(k).unwrap().snps()
+        );
+    }
+    // The cache actually absorbed backend traffic on this re-exploring
+    // landscape.
+    let hits: u64 = cached.history.iter().map(|g| g.sched.cache_hits).sum();
+    let true_evals: u64 = cached.history.iter().map(|g| g.sched.true_evals).sum();
+    assert!(hits > 0, "cache never hit");
+    assert!(hits + true_evals > 0);
+    let uncached_hits: u64 = uncached.history.iter().map(|g| g.sched.cache_hits).sum();
+    assert_eq!(uncached_hits, 0, "no cache configured, no hits");
+}
+
+// ------ stepping API ------
+
+#[test]
+fn stepping_matches_closed_loop() {
+    let eval = toy();
+    let closed = GaEngine::new(&eval, small_config(), 31).unwrap().run();
+    let engine = GaEngine::new(&eval, small_config(), 31).unwrap();
+    let mut run = engine.start().unwrap();
+    loop {
+        match run.step() {
+            StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+            _ => {}
+        }
+    }
+    let stepped = run.finish();
+    assert_eq!(closed.total_evaluations, stepped.total_evaluations);
+    assert_eq!(closed.generations, stepped.generations);
+    assert_eq!(
+        closed.best_of_size(4).unwrap().snps(),
+        stepped.best_of_size(4).unwrap().snps()
+    );
+}
+
+#[test]
+fn step_outcomes_and_accessors_are_coherent() {
+    let eval = toy();
+    let engine = GaEngine::new(&eval, small_config(), 4).unwrap();
+    let mut run = engine.start().unwrap();
+    assert_eq!(run.generation(), 0);
+    assert!(run.total_evaluations() > 0, "init population evaluated");
+    let outcome = run.step();
+    assert_eq!(run.generation(), 1);
+    assert!(matches!(
+        outcome,
+        StepOutcome::Improved | StepOutcome::Stagnating
+    ));
+    // result() snapshots without consuming.
+    let snap = run.result();
+    assert_eq!(snap.generations, 1);
+    let _ = run.step();
+    assert_eq!(run.result().generations, 2);
+    assert!(!run.population().is_empty());
+    assert_eq!(run.champions().len(), 3);
+}
+
+#[test]
+fn injection_revives_a_stagnated_run() {
+    // An objective the GA cannot climb alone: only one specific
+    // haplotype scores high, everything else is flat.
+    let eval = FnEvaluator::new(20, |s: &[SnpId]| if s == [5, 6] { 100.0 } else { 1.0 });
+    let cfg = GaConfig {
+        population_size: 24,
+        min_size: 2,
+        max_size: 2,
+        matings_per_generation: 4,
+        stagnation_limit: 5,
+        ri_stagnation: 3,
+        max_generations: 100,
+        scheme: Scheme::BASELINE,
+        ..GaConfig::default()
+    };
+    let engine = GaEngine::new(&eval, cfg, 2).unwrap();
+    let mut run = engine.start().unwrap();
+    // Step until stagnated (the needle is 1 of C(20,2)=190 subsets; the
+    // flat landscape gives no gradient).
+    while !run.is_stagnated() {
+        let _ = run.step();
+    }
+    let before = run.champions()[0].clone().unwrap().fitness();
+    // Inject the needle as a migrant.
+    run.inject(vec![Haplotype::new(vec![5, 6])]);
+    assert_eq!(
+        run.stagnation(),
+        0,
+        "injection improvement resets stagnation"
+    );
+    let after = run.champions()[0].clone().unwrap();
+    assert_eq!(after.snps(), &[5, 6]);
+    assert!(after.fitness() > before);
+}
+
+#[test]
+fn injection_respects_feasibility_and_dedup() {
+    let eval = toy();
+    let filter: FeasibilityFilter = Arc::new(|s: &[SnpId]| !s.contains(&29));
+    let engine = GaEngine::new(&eval, small_config(), 6)
+        .unwrap()
+        .with_feasibility(filter);
+    let mut run = engine.start().unwrap();
+    let evals_before = run.total_evaluations();
+    // Infeasible migrant: filtered before evaluation.
+    run.inject(vec![Haplotype::new(vec![28, 29])]);
+    assert_eq!(run.total_evaluations(), evals_before);
+    for sub in run.population().iter() {
+        assert!(sub.individuals().iter().all(|h| !h.contains(29)));
+    }
+    // Pre-evaluated migrant costs nothing either.
+    let mut h = Haplotype::new(vec![1, 2]);
+    h.set_fitness(33.0);
+    run.inject(vec![h]);
+    assert_eq!(run.total_evaluations(), evals_before);
+}
+
+#[test]
+fn generation_cap_makes_step_a_noop() {
+    let eval = toy();
+    let cfg = GaConfig {
+        max_generations: 3,
+        ..small_config()
+    };
+    let engine = GaEngine::new(&eval, cfg, 8).unwrap();
+    let mut run = engine.start().unwrap();
+    for _ in 0..3 {
+        let _ = run.step();
+    }
+    let evals = run.total_evaluations();
+    assert_eq!(run.step(), StepOutcome::GenerationCapReached);
+    assert_eq!(run.generation(), 3);
+    assert_eq!(run.total_evaluations(), evals);
+}

@@ -11,13 +11,14 @@
 //! * [`CountingEvaluator`] — atomically counts evaluations (the paper's
 //!   primary cost metric, Table 2's "# of Eval." columns);
 //! * [`CachingEvaluator`] — memoizes by SNP set, exploiting the GA's many
-//!   duplicate candidates; the cache is sharded to stay scalable under a
-//!   parallel evaluator.
+//!   duplicate candidates; the cache is sharded (one shard per hardware
+//!   thread) to stay scalable under a parallel evaluator, and can be
+//!   bounded with [`CachingEvaluator::with_capacity`].
 
 use crate::individual::Haplotype;
+use crate::sched::ShardedCache;
 use ld_data::SnpId;
 use ld_stats::{EvalPipeline, FitnessKind};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -129,50 +130,50 @@ impl<E: Evaluator> Evaluator for CountingEvaluator<E> {
     }
 }
 
-/// Number of shards in [`CachingEvaluator`]; a small power of two keeps
-/// lock contention negligible under a handful of evaluation workers.
-const CACHE_SHARDS: usize = 16;
-
 /// Memoizes fitness by SNP set.
 ///
 /// The GA frequently regenerates identical candidates (crossover of
 /// overlapping parents, repeated SNP-mutation neighbours); caching converts
-/// those into hash lookups. Note the eval *counter* wraps the cache or the
-/// inner evaluator depending on which cost you want to measure — the paper
-/// counts true evaluations, so the harness uses
-/// `CachingEvaluator<CountingEvaluator<StatsEvaluator>>`.
+/// those into hash lookups over a [`ShardedCache`] (one shard per hardware
+/// thread, optionally bounded). Batch evaluation also coalesces intra-batch
+/// duplicates, so a miss appearing twice in one batch costs a single inner
+/// evaluation. Note the eval *counter* wraps the cache or the inner
+/// evaluator depending on which cost you want to measure — the paper counts
+/// true evaluations, so the harness uses
+/// `CachingEvaluator<CountingEvaluator<StatsEvaluator>>` (see `DESIGN.md`
+/// §"Evaluation accounting").
 #[derive(Debug)]
 pub struct CachingEvaluator<E> {
     inner: E,
-    shards: Vec<RwLock<HashMap<Vec<SnpId>, f64>>>,
+    cache: ShardedCache,
 }
 
 impl<E: Evaluator> CachingEvaluator<E> {
-    /// Wrap `inner` with an empty cache.
+    /// Wrap `inner` with an empty unbounded cache.
     pub fn new(inner: E) -> Self {
         CachingEvaluator {
             inner,
-            shards: (0..CACHE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            cache: ShardedCache::unbounded(),
         }
     }
 
-    fn shard(&self, snps: &[SnpId]) -> &RwLock<HashMap<Vec<SnpId>, f64>> {
-        // Cheap FNV-style fold over the SNP ids.
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for &s in snps {
-            h = (h ^ s as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    /// Wrap `inner` with a cache bounded to roughly `capacity` SNP sets
+    /// (0 = unbounded). Eviction is O(1) amortized generational.
+    pub fn with_capacity(inner: E, capacity: usize) -> Self {
+        CachingEvaluator {
+            inner,
+            cache: ShardedCache::with_capacity(capacity),
         }
-        &self.shards[(h as usize) % CACHE_SHARDS]
     }
 
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.cache.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.cache.is_empty()
     }
 
     /// Access the wrapped evaluator.
@@ -187,38 +188,45 @@ impl<E: Evaluator> Evaluator for CachingEvaluator<E> {
     }
 
     fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
-        if let Some(&f) = self.shard(snps).read().get(snps) {
+        if let Some(f) = self.cache.probe(snps) {
             return f;
         }
         let f = self.inner.evaluate_one(snps);
-        self.shard(snps).write().insert(snps.to_vec(), f);
+        self.cache.insert(snps.to_vec(), f);
         f
     }
 
     fn evaluate_batch(&self, batch: &mut [Haplotype]) {
-        // Serve hits, then delegate the misses as one (possibly parallel)
-        // inner batch.
-        let mut miss_idx: Vec<usize> = Vec::new();
+        // Serve hits and coalesce duplicate misses, then delegate the
+        // unique misses as one (possibly parallel) inner batch.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut by_key: HashMap<Vec<SnpId>, usize> = HashMap::new();
         for (i, h) in batch.iter_mut().enumerate() {
-            if let Some(&f) = self.shard(h.snps()).read().get(h.snps()) {
+            if let Some(f) = self.cache.probe(h.snps()) {
                 h.set_fitness(f);
             } else {
-                miss_idx.push(i);
+                match by_key.get(h.snps()) {
+                    Some(&g) => groups[g].push(i),
+                    None => {
+                        by_key.insert(h.snps().to_vec(), groups.len());
+                        groups.push(vec![i]);
+                    }
+                }
             }
         }
-        if miss_idx.is_empty() {
+        if groups.is_empty() {
             return;
         }
-        let mut misses: Vec<Haplotype> = miss_idx
+        let mut misses: Vec<Haplotype> = groups
             .iter()
-            .map(|&i| Haplotype::from_sorted(batch[i].snps().to_vec()))
+            .map(|g| Haplotype::from_sorted(batch[g[0]].snps().to_vec()))
             .collect();
         self.inner.evaluate_batch(&mut misses);
-        for (&i, m) in miss_idx.iter().zip(misses) {
-            self.shard(m.snps())
-                .write()
-                .insert(m.snps().to_vec(), m.fitness());
-            batch[i].set_fitness(m.fitness());
+        for (g, m) in groups.iter().zip(misses) {
+            self.cache.insert(m.snps().to_vec(), m.fitness());
+            for &i in g {
+                batch[i].set_fitness(m.fitness());
+            }
         }
     }
 }
@@ -264,10 +272,7 @@ mod tests {
     #[test]
     fn default_batch_is_sequential_map() {
         let e = toy();
-        let mut batch = vec![
-            Haplotype::new(vec![1, 2]),
-            Haplotype::new(vec![10, 20]),
-        ];
+        let mut batch = vec![Haplotype::new(vec![1, 2]), Haplotype::new(vec![10, 20])];
         e.evaluate_batch(&mut batch);
         assert_eq!(batch[0].fitness(), 3.0);
         assert_eq!(batch[1].fitness(), 30.0);
@@ -301,22 +306,37 @@ mod tests {
         let e = CachingEvaluator::new(CountingEvaluator::new(toy()));
         let _ = e.evaluate_one(&[1, 2]);
         let mut batch = vec![
-            Haplotype::new(vec![1, 2]),  // hit
-            Haplotype::new(vec![4, 5]),  // miss
-            Haplotype::new(vec![4, 5]),  // duplicate miss in same batch:
-                                         // both go to the inner evaluator
+            Haplotype::new(vec![1, 2]), // hit
+            Haplotype::new(vec![4, 5]), // miss
+            Haplotype::new(vec![4, 5]), // duplicate miss in same batch:
+                                        // coalesced into one inner eval
         ];
         e.evaluate_batch(&mut batch);
         assert_eq!(batch[0].fitness(), 3.0);
         assert_eq!(batch[1].fitness(), 9.0);
         assert_eq!(batch[2].fitness(), 9.0);
-        // 1 initial + 2 misses (intra-batch duplicates are not coalesced).
-        assert_eq!(e.inner().count(), 3);
+        // 1 initial + 1 unique miss (intra-batch duplicates coalesce).
+        assert_eq!(e.inner().count(), 2);
         // Cache now holds both keys.
         assert_eq!(e.len(), 2);
         // Re-evaluating the whole batch is free.
         e.evaluate_batch(&mut batch);
-        assert_eq!(e.inner().count(), 3);
+        assert_eq!(e.inner().count(), 2);
+    }
+
+    #[test]
+    fn bounded_caching_evaluator_stays_bounded() {
+        let e = CachingEvaluator::with_capacity(CountingEvaluator::new(toy()), 32);
+        for i in 0..5000usize {
+            let _ = e.evaluate_one(&[i % 51, (i / 51) % 51 + 100]);
+        }
+        // Generational eviction keeps residency near capacity instead of
+        // growing with the number of distinct keys seen.
+        assert!(e.len() < 5000 / 2, "cache never evicted: {}", e.len());
+        // Recent keys are still served without recomputation.
+        let before = e.inner().count();
+        let _ = e.evaluate_one(&[4999 % 51, (4999 / 51) % 51 + 100]);
+        assert_eq!(e.inner().count(), before);
     }
 
     #[test]

@@ -134,8 +134,7 @@ where
             .sum::<f64>()
             / per_run.len() as f64;
         let min_evals = per_run.iter().map(|(_, e)| *e).min().unwrap_or(0);
-        let mean_evals =
-            per_run.iter().map(|(_, e)| *e as f64).sum::<f64>() / per_run.len() as f64;
+        let mean_evals = per_run.iter().map(|(_, e)| *e as f64).sum::<f64>() / per_run.len() as f64;
         sizes.push(SizeSummary {
             size: k,
             best,

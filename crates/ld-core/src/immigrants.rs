@@ -32,8 +32,8 @@ pub fn replace_below_mean<R: Rng + ?Sized>(
     while immigrants.len() < needed && attempts < needed * DRAW_ATTEMPTS {
         attempts += 1;
         let candidate = random_haplotype(rng, n_snps, subpop.size_k());
-        let duplicate = subpop.contains(&candidate)
-            || immigrants.iter().any(|h| h.key() == candidate.key());
+        let duplicate =
+            subpop.contains(&candidate) || immigrants.iter().any(|h| h.key() == candidate.key());
         if !duplicate {
             immigrants.push(candidate);
         }

@@ -21,6 +21,10 @@
 //! * **Evaluator abstraction** ([`evaluator`]) — the engine sees fitness
 //!   through a batch-evaluation trait, which is the seam where
 //!   `ld-parallel`'s master/slave evaluator (Figure 6) plugs in.
+//! * **Batch scheduler** ([`sched`]) — every evaluation batch flows through
+//!   one [`sched::EvalService`]: feasibility filter, intra-batch duplicate
+//!   coalescing, an optional bounded fitness cache, and timed dispatch to a
+//!   pluggable [`sched::EvalBackend`].
 //! * **Experiments** ([`experiment`]) — multi-run harness computing the
 //!   paper's Table-2 columns (best / mean fitness, deviation from the
 //!   reference optimum, min / mean evaluations to reach the best).
@@ -41,6 +45,7 @@ pub mod init;
 pub mod ops;
 pub mod population;
 pub mod rng;
+pub mod sched;
 pub mod selection;
 pub mod subpop;
 pub mod telemetry;
@@ -53,5 +58,8 @@ pub use experiment::{ExperimentSummary, SizeSummary};
 pub use individual::Haplotype;
 pub use init::InitStrategy;
 pub use population::MultiPopulation;
+pub use sched::{
+    EvalBackend, EvalService, EvaluatorBackend, FeasibilityFilter, SchedStats, ShardedCache,
+};
 pub use selection::SelectionStrategy;
 pub use subpop::SubPopulation;

@@ -195,10 +195,7 @@ mod tests {
                 mixed = true;
             }
             // No repair needed for disjoint parents.
-            assert!(c1
-                .snps()
-                .iter()
-                .all(|&s| p1.contains(s) || p2.contains(s)));
+            assert!(c1.snps().iter().all(|&s| p1.contains(s) || p2.contains(s)));
         }
         assert!(mixed, "crossover never mixed parent genes");
     }

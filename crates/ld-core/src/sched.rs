@@ -1,0 +1,680 @@
+//! Unified batch-evaluation scheduling.
+//!
+//! Every synchronous evaluation phase of the GA — the initial population,
+//! crossover children, mutation candidates, random immigrants, injected
+//! migrants — flows through one [`EvalService`]. The service owns the full
+//! batch lifecycle as composable stages:
+//!
+//! 1. **collect** — callers hand over one batch per phase; already-evaluated
+//!    individuals (clone pass-through parents, pre-scored migrants) are
+//!    skipped for free;
+//! 2. **feasibility** — the §2.3 constraint filter lives here; callers
+//!    invoke it at the point the GA semantics require (see
+//!    [`EvalService::retain_feasible`]);
+//! 3. **coalesce** — intra-batch duplicates of the same SNP set are folded
+//!    into a single job whose fitness is fanned back out;
+//! 4. **cache probe** — an optional bounded, sharded memo table serves
+//!    previously seen SNP sets without touching the backend;
+//! 5. **dispatch** — residual misses go to a pluggable [`EvalBackend`]
+//!    (sequential, thread pool, rayon, or a TCP slave pool), timed and
+//!    counted.
+//!
+//! Accounting semantics (see also `DESIGN.md` §"Evaluation accounting"):
+//! [`EvalService::submit`] returns the number of *scheduled* evaluations —
+//! unique unevaluated SNP sets after coalescing, **before** the cache probe.
+//! The engine sums these into `RunResult::total_evaluations`, so the metric
+//! is a pure function of the GA trajectory and is unaffected by cache
+//! warmth (which checkpoint/resume does not preserve). The number of
+//! evaluations that actually reached the backend is
+//! [`SchedStats::true_evals`]; with the cache disabled (the default) the two
+//! are equal.
+
+use crate::evaluator::Evaluator;
+use crate::individual::Haplotype;
+use ld_data::SnpId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Optional feasibility predicate applied to candidates before they are
+/// evaluated (the §2.3 LD / frequency constraints).
+pub type FeasibilityFilter = Arc<dyn Fn(&[SnpId]) -> bool + Send + Sync>;
+
+/// A batch-evaluation executor: the pluggable dispatch stage of
+/// [`EvalService`].
+///
+/// Implementors receive batches whose members are all unevaluated and all
+/// distinct (the service has already coalesced duplicates and served cache
+/// hits). `ld-core` provides the sequential [`EvaluatorBackend`] adapter;
+/// `ld-parallel` implements this trait for its thread-pool evaluators and
+/// `ld-net` for its TCP slave pool, so every parallel substrate shares one
+/// dispatch seam.
+pub trait EvalBackend: Send + Sync {
+    /// Width of the SNP panel (bounds haplotype contents).
+    fn n_snps(&self) -> usize;
+
+    /// Evaluate every individual in `batch` in place.
+    fn dispatch(&self, batch: &mut [Haplotype]);
+
+    /// Jobs currently queued inside the backend but not yet completed.
+    ///
+    /// Synchronous backends drain their queue before returning from
+    /// [`EvalBackend::dispatch`], so this is usually 0 between batches; it
+    /// is sampled by the service just before dispatch to expose residual
+    /// depth (e.g. a net master with retried jobs in flight).
+    fn queue_depth(&self) -> usize {
+        0
+    }
+
+    /// Short backend label for telemetry.
+    fn backend_name(&self) -> &'static str {
+        "backend"
+    }
+}
+
+/// Adapts any [`Evaluator`] into a sequential-dispatch [`EvalBackend`].
+///
+/// This is the default engine backend: it preserves the historical
+/// semantics where the engine talks to an `&E` and parallel evaluators
+/// override `Evaluator::evaluate_batch`.
+pub struct EvaluatorBackend<'e, E: Evaluator + ?Sized> {
+    inner: &'e E,
+}
+
+impl<'e, E: Evaluator + ?Sized> EvaluatorBackend<'e, E> {
+    /// Wrap a borrowed evaluator.
+    pub fn new(inner: &'e E) -> Self {
+        EvaluatorBackend { inner }
+    }
+
+    /// The wrapped evaluator.
+    pub fn evaluator(&self) -> &'e E {
+        self.inner
+    }
+}
+
+impl<E: Evaluator + ?Sized> EvalBackend for EvaluatorBackend<'_, E> {
+    fn n_snps(&self) -> usize {
+        self.inner.n_snps()
+    }
+
+    fn dispatch(&self, batch: &mut [Haplotype]) {
+        self.inner.evaluate_batch(batch);
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "evaluator"
+    }
+}
+
+/// Number of cache shards: one per available hardware thread (clamped to a
+/// sane range), so concurrent evaluation workers rarely contend on a lock.
+pub(crate) fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .next_power_of_two()
+        .clamp(1, 64)
+}
+
+/// One shard: two hash-map generations for O(1) amortized eviction.
+#[derive(Debug, Default)]
+struct Shard {
+    young: HashMap<Vec<SnpId>, f64>,
+    old: HashMap<Vec<SnpId>, f64>,
+}
+
+/// A bounded, sharded fitness memo table.
+///
+/// Keys are sorted SNP sets; shard choice is an FNV fold over the ids.
+/// Boundedness uses a two-generation scheme: inserts land in the *young*
+/// generation; when it fills its budget the *old* generation is dropped and
+/// young becomes old. Hits in the old generation are promoted. Eviction is
+/// therefore O(1) amortized with no per-entry bookkeeping, at the cost of a
+/// resident size that can transiently reach ~2× the configured capacity.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<RwLock<Shard>>,
+    /// Young-generation budget per shard; `usize::MAX` when unbounded.
+    per_shard: usize,
+    capacity: usize,
+}
+
+impl ShardedCache {
+    /// An unbounded cache (the historical [`crate::CachingEvaluator`]
+    /// behaviour).
+    pub fn unbounded() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// A cache holding roughly `capacity` SNP sets (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let n = default_shard_count();
+        ShardedCache {
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            per_shard: if capacity == 0 {
+                usize::MAX
+            } else {
+                capacity.div_ceil(n).max(1)
+            },
+            capacity,
+        }
+    }
+
+    /// The configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, snps: &[SnpId]) -> &RwLock<Shard> {
+        // Cheap FNV-style fold over the SNP ids.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &s in snps {
+            h = (h ^ s as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Look up a SNP set, promoting old-generation hits.
+    pub fn probe(&self, snps: &[SnpId]) -> Option<f64> {
+        let shard = self.shard(snps);
+        {
+            let s = shard.read();
+            if let Some(&f) = s.young.get(snps) {
+                return Some(f);
+            }
+            if !s.old.contains_key(snps) {
+                return None;
+            }
+        }
+        // Old-generation hit: promote under the write lock (re-check, the
+        // entry may have been evicted between the locks).
+        let mut s = shard.write();
+        let f = s.old.remove(snps)?;
+        Self::insert_into(&mut s, self.per_shard, snps.to_vec(), f);
+        Some(f)
+    }
+
+    /// Memoize a SNP set's fitness.
+    pub fn insert(&self, snps: Vec<SnpId>, fitness: f64) {
+        let mut s = self.shard(&snps).write();
+        Self::insert_into(&mut s, self.per_shard, snps, fitness);
+    }
+
+    fn insert_into(s: &mut Shard, per_shard: usize, snps: Vec<SnpId>, fitness: f64) {
+        if s.young.len() >= per_shard {
+            s.old = std::mem::take(&mut s.young);
+        }
+        s.old.remove(&snps);
+        s.young.insert(snps, fitness);
+    }
+
+    /// Entries currently resident (both generations).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.read();
+                s.young.len() + s.old.len()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.write();
+            s.young.clear();
+            s.old.clear();
+        }
+    }
+}
+
+/// Per-window scheduler observability counters.
+///
+/// The engine embeds one window per generation in
+/// [`crate::engine::GenerationStats`]; [`EvalService::stats`] accumulates
+/// the same counters over the service's lifetime.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SchedStats {
+    /// Batches submitted (one per evaluation phase).
+    pub batches: u64,
+    /// Unevaluated individuals received across those batches.
+    pub requested: u64,
+    /// Candidates dropped by the feasibility filter (before batching).
+    pub infeasible: u64,
+    /// Duplicate requests folded by intra-batch coalescing.
+    pub coalesced: u64,
+    /// Unique requests served from the cache.
+    pub cache_hits: u64,
+    /// Evaluations dispatched to the backend (the paper's true cost).
+    pub true_evals: u64,
+    /// Total wall-clock nanoseconds spent inside backend dispatch.
+    pub dispatch_ns: u64,
+    /// Peak jobs outstanding at a dispatch (batch size + residual backend
+    /// queue depth).
+    pub max_queue_depth: u64,
+}
+
+impl SchedStats {
+    /// Unique scheduled evaluations (post-coalesce, pre-cache) — the
+    /// engine's `total_evaluations` currency.
+    pub fn scheduled(&self) -> u64 {
+        self.requested - self.coalesced
+    }
+
+    /// Fraction of requests folded as intra-batch duplicates.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.requested == 0 {
+            0.0
+        } else {
+            self.coalesced as f64 / self.requested as f64
+        }
+    }
+
+    /// Fraction of scheduled evaluations served by the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let scheduled = self.scheduled();
+        if scheduled == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / scheduled as f64
+        }
+    }
+
+    /// Mean backend dispatch latency per batch, in milliseconds.
+    pub fn mean_dispatch_ms(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.dispatch_ns as f64 / 1e6 / self.batches as f64
+        }
+    }
+
+    /// Fold another window into this one.
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.batches += other.batches;
+        self.requested += other.requested;
+        self.infeasible += other.infeasible;
+        self.coalesced += other.coalesced;
+        self.cache_hits += other.cache_hits;
+        self.true_evals += other.true_evals;
+        self.dispatch_ns += other.dispatch_ns;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+    }
+}
+
+/// The unified batch-evaluation scheduler (see the module docs for the
+/// stage pipeline).
+pub struct EvalService<B: EvalBackend> {
+    backend: B,
+    cache: Option<ShardedCache>,
+    feasibility: Option<FeasibilityFilter>,
+    totals: SchedStats,
+    window: SchedStats,
+}
+
+impl<B: EvalBackend> EvalService<B> {
+    /// A service dispatching to `backend`, with no cache and no
+    /// feasibility filter.
+    pub fn new(backend: B) -> Self {
+        EvalService {
+            backend,
+            cache: None,
+            feasibility: None,
+            totals: SchedStats::default(),
+            window: SchedStats::default(),
+        }
+    }
+
+    /// Enable the bounded sharded cache (`capacity` SNP sets; 0 =
+    /// unbounded). Cache hits skip the backend but still count as
+    /// scheduled evaluations (see the module docs).
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(ShardedCache::with_capacity(capacity));
+        self
+    }
+
+    /// Install (or clear) the feasibility filter.
+    pub fn with_feasibility(mut self, filter: Option<FeasibilityFilter>) -> Self {
+        self.feasibility = filter;
+        self
+    }
+
+    /// The dispatch backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Panel width served by the backend.
+    pub fn n_snps(&self) -> usize {
+        self.backend.n_snps()
+    }
+
+    /// Whether a SNP set passes the feasibility filter (vacuously true
+    /// without one).
+    pub fn is_feasible(&self, snps: &[SnpId]) -> bool {
+        self.feasibility.as_ref().is_none_or(|f| f(snps))
+    }
+
+    /// Drop infeasible candidates from `batch` (counted in the stats).
+    pub fn retain_feasible(&mut self, batch: &mut Vec<Haplotype>) {
+        let Some(filter) = self.feasibility.as_ref() else {
+            return;
+        };
+        let before = batch.len();
+        batch.retain(|h| filter(h.snps()));
+        let dropped = (before - batch.len()) as u64;
+        self.window.infeasible += dropped;
+        self.totals.infeasible += dropped;
+    }
+
+    /// Run one batch through coalesce → cache → dispatch, writing fitness
+    /// in place. Already-evaluated members are left untouched. Returns the
+    /// number of *scheduled* evaluations (unique unevaluated SNP sets).
+    pub fn submit(&mut self, batch: &mut [Haplotype]) -> u64 {
+        let pending: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !h.is_evaluated())
+            .map(|(i, _)| i)
+            .collect();
+        self.window.batches += 1;
+        self.totals.batches += 1;
+        self.window.requested += pending.len() as u64;
+        self.totals.requested += pending.len() as u64;
+        if pending.is_empty() {
+            return 0;
+        }
+
+        // Coalesce: group duplicate SNP sets, preserving first-seen order.
+        let mut groups: Vec<(Vec<SnpId>, Vec<usize>)> = Vec::new();
+        let mut by_key: HashMap<Vec<SnpId>, usize> = HashMap::new();
+        for &i in &pending {
+            let key = batch[i].snps();
+            if let Some(&g) = by_key.get(key) {
+                groups[g].1.push(i);
+            } else {
+                by_key.insert(key.to_vec(), groups.len());
+                groups.push((key.to_vec(), vec![i]));
+            }
+        }
+        let scheduled = groups.len() as u64;
+        let coalesced = pending.len() as u64 - scheduled;
+
+        // Cache probe.
+        let mut cache_hits = 0u64;
+        let mut misses: Vec<usize> = Vec::with_capacity(groups.len());
+        for (g, (key, members)) in groups.iter().enumerate() {
+            match self.cache.as_ref().and_then(|c| c.probe(key)) {
+                Some(f) => {
+                    cache_hits += 1;
+                    for &i in members {
+                        batch[i].set_fitness(f);
+                    }
+                }
+                None => misses.push(g),
+            }
+        }
+
+        // Dispatch residual misses as one backend batch.
+        let mut true_evals = 0u64;
+        let mut dispatch_ns = 0u64;
+        let mut depth = 0u64;
+        if !misses.is_empty() {
+            let mut jobs: Vec<Haplotype> = misses
+                .iter()
+                .map(|&g| Haplotype::from_sorted(groups[g].0.clone()))
+                .collect();
+            depth = (jobs.len() + self.backend.queue_depth()) as u64;
+            let started = Instant::now();
+            self.backend.dispatch(&mut jobs);
+            dispatch_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            true_evals = jobs.len() as u64;
+            for (&g, job) in misses.iter().zip(&jobs) {
+                let f = job.fitness();
+                if let Some(cache) = &self.cache {
+                    cache.insert(groups[g].0.clone(), f);
+                }
+                for &i in &groups[g].1 {
+                    batch[i].set_fitness(f);
+                }
+            }
+        }
+
+        for s in [&mut self.window, &mut self.totals] {
+            s.coalesced += coalesced;
+            s.cache_hits += cache_hits;
+            s.true_evals += true_evals;
+            s.dispatch_ns += dispatch_ns;
+            s.max_queue_depth = s.max_queue_depth.max(depth);
+        }
+        scheduled
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &SchedStats {
+        &self.totals
+    }
+
+    /// Drain and return the counters accumulated since the last call (the
+    /// engine calls this once per generation).
+    pub fn take_window(&mut self) -> SchedStats {
+        std::mem::take(&mut self.window)
+    }
+
+    /// Entries resident in the cache (0 when caching is disabled).
+    pub fn cache_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, ShardedCache::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{CountingEvaluator, FnEvaluator};
+
+    fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+        FnEvaluator::new(30, |s: &[SnpId]| s.iter().sum::<usize>() as f64)
+    }
+
+    fn dup_batch(n: usize) -> Vec<Haplotype> {
+        (0..n).map(|_| Haplotype::new(vec![3, 7])).collect()
+    }
+
+    #[test]
+    fn duplicates_coalesce_to_one_true_evaluation() {
+        // The acceptance property: a batch of N duplicates of one SNP set
+        // performs exactly 1 true evaluation.
+        let counter = CountingEvaluator::new(toy());
+        let mut svc = EvalService::new(EvaluatorBackend::new(&counter));
+        let mut batch = dup_batch(8);
+        let scheduled = svc.submit(&mut batch);
+        assert_eq!(scheduled, 1);
+        assert_eq!(counter.count(), 1);
+        assert_eq!(svc.stats().requested, 8);
+        assert_eq!(svc.stats().coalesced, 7);
+        assert_eq!(svc.stats().true_evals, 1);
+        for h in &batch {
+            assert_eq!(h.fitness(), 10.0);
+        }
+    }
+
+    #[test]
+    fn evaluated_members_are_skipped() {
+        let counter = CountingEvaluator::new(toy());
+        let mut svc = EvalService::new(EvaluatorBackend::new(&counter));
+        let mut pre = Haplotype::new(vec![1, 2]);
+        pre.set_fitness(99.0);
+        let mut batch = vec![pre, Haplotype::new(vec![5, 6])];
+        assert_eq!(svc.submit(&mut batch), 1);
+        assert_eq!(batch[0].fitness(), 99.0, "pre-scored member untouched");
+        assert_eq!(batch[1].fitness(), 11.0);
+        assert_eq!(counter.count(), 1);
+    }
+
+    #[test]
+    fn cache_serves_repeat_batches_without_backend_traffic() {
+        let counter = CountingEvaluator::new(toy());
+        let mut svc = EvalService::new(EvaluatorBackend::new(&counter)).with_cache(1024);
+        let mut batch = dup_batch(4);
+        assert_eq!(svc.submit(&mut batch), 1);
+        assert_eq!(counter.count(), 1);
+        // A fresh batch with the same set: scheduled but served from cache.
+        let mut batch = dup_batch(4);
+        assert_eq!(
+            svc.submit(&mut batch),
+            1,
+            "cache hits still count as scheduled"
+        );
+        assert_eq!(counter.count(), 1, "backend untouched");
+        assert_eq!(svc.stats().cache_hits, 1);
+        assert_eq!(svc.stats().true_evals, 1);
+        assert_eq!(batch[0].fitness(), 10.0);
+    }
+
+    #[test]
+    fn feasibility_stage_drops_and_counts() {
+        let counter = CountingEvaluator::new(toy());
+        let filter: FeasibilityFilter = Arc::new(|s: &[SnpId]| !s.contains(&29));
+        let mut svc =
+            EvalService::new(EvaluatorBackend::new(&counter)).with_feasibility(Some(filter));
+        assert!(svc.is_feasible(&[1, 2]));
+        assert!(!svc.is_feasible(&[1, 29]));
+        let mut batch = vec![
+            Haplotype::new(vec![1, 2]),
+            Haplotype::new(vec![1, 29]),
+            Haplotype::new(vec![2, 29]),
+        ];
+        svc.retain_feasible(&mut batch);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(svc.stats().infeasible, 2);
+        svc.submit(&mut batch);
+        assert_eq!(counter.count(), 1);
+    }
+
+    #[test]
+    fn windows_drain_while_totals_accumulate() {
+        let counter = CountingEvaluator::new(toy());
+        let mut svc = EvalService::new(EvaluatorBackend::new(&counter));
+        svc.submit(&mut dup_batch(3));
+        let w = svc.take_window();
+        assert_eq!(w.requested, 3);
+        assert_eq!(w.true_evals, 1);
+        svc.submit(&mut vec![Haplotype::new(vec![4, 9])]);
+        let w = svc.take_window();
+        assert_eq!(w.requested, 1, "window drained between generations");
+        assert_eq!(svc.stats().requested, 4, "totals keep accumulating");
+        assert_eq!(svc.stats().batches, 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_cheaply() {
+        let cache = ShardedCache::with_capacity(64);
+        assert_eq!(cache.capacity(), 64);
+        for i in 0..10_000usize {
+            cache.insert(vec![i, i + 1], i as f64);
+        }
+        // Two generations per shard: resident size stays within ~2×
+        // capacity plus per-shard rounding, far below the insert count.
+        let cap = cache.capacity() + cache.shard_count();
+        assert!(
+            cache.len() <= 2 * cap,
+            "cache grew unbounded: {} entries",
+            cache.len()
+        );
+        // Recently inserted keys are still resident.
+        assert_eq!(cache.probe(&[9999, 10000]), Some(9999.0));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn unbounded_cache_keeps_everything() {
+        let cache = ShardedCache::unbounded();
+        for i in 0..1000usize {
+            cache.insert(vec![i], i as f64);
+        }
+        assert_eq!(cache.len(), 1000);
+        assert_eq!(cache.probe(&[0]), Some(0.0));
+    }
+
+    #[test]
+    fn old_generation_hits_are_promoted() {
+        // Force a tiny cache so one insert rotates the generations.
+        let cache = ShardedCache::with_capacity(1);
+        cache.insert(vec![1, 2], 3.0);
+        // Probing must still find the entry regardless of which
+        // generation it sits in, and must not duplicate it.
+        for _ in 0..3 {
+            assert_eq!(cache.probe(&[1, 2]), Some(3.0));
+        }
+        assert!(cache.len() >= 1);
+    }
+
+    #[test]
+    fn stats_ratios_are_well_defined() {
+        let s = SchedStats::default();
+        assert_eq!(s.dedup_ratio(), 0.0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.mean_dispatch_ms(), 0.0);
+        let s = SchedStats {
+            batches: 2,
+            requested: 10,
+            coalesced: 5,
+            cache_hits: 1,
+            true_evals: 4,
+            dispatch_ns: 4_000_000,
+            ..SchedStats::default()
+        };
+        assert_eq!(s.scheduled(), 5);
+        assert!((s.dedup_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.cache_hit_rate() - 0.2).abs() < 1e-12);
+        assert!((s.mean_dispatch_ms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_folds_counters() {
+        let mut a = SchedStats {
+            batches: 1,
+            requested: 3,
+            max_queue_depth: 2,
+            ..SchedStats::default()
+        };
+        let b = SchedStats {
+            batches: 2,
+            requested: 4,
+            true_evals: 4,
+            max_queue_depth: 7,
+            ..SchedStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.requested, 7);
+        assert_eq!(a.true_evals, 4);
+        assert_eq!(a.max_queue_depth, 7);
+    }
+
+    #[test]
+    fn backend_adapter_reports_panel_and_name() {
+        let inner = toy();
+        let backend = EvaluatorBackend::new(&inner);
+        assert_eq!(backend.n_snps(), 30);
+        assert_eq!(backend.backend_name(), "evaluator");
+        assert_eq!(backend.queue_depth(), 0);
+        let mut jobs = vec![Haplotype::new(vec![2, 3])];
+        backend.dispatch(&mut jobs);
+        assert_eq!(jobs[0].fitness(), 5.0);
+    }
+}

@@ -8,6 +8,7 @@
 use crate::engine::RunResult;
 use crate::ops::crossover::CrossoverKind;
 use crate::ops::mutation::MutationKind;
+use crate::sched::SchedStats;
 
 /// Convergence curve of one haplotype size: `(generation, best fitness)`
 /// sampled at every improvement.
@@ -41,6 +42,23 @@ pub struct ImmigrantEpisode {
     pub replaced: usize,
 }
 
+/// Batch-scheduler behaviour over a whole run (generation windows merged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedSummary {
+    /// Counters summed over every generation window.
+    pub totals: SchedStats,
+    /// Mean unevaluated individuals per submitted batch.
+    pub mean_batch_size: f64,
+    /// Fraction of requests folded as intra-batch duplicates.
+    pub dedup_ratio: f64,
+    /// Fraction of scheduled evaluations served by the fitness cache.
+    pub cache_hit_rate: f64,
+    /// Mean backend dispatch latency per batch, in milliseconds.
+    pub mean_dispatch_ms: f64,
+    /// Peak jobs outstanding at any dispatch.
+    pub max_queue_depth: u64,
+}
+
 /// Full telemetry report.
 #[derive(Debug, Clone)]
 pub struct TelemetryReport {
@@ -54,6 +72,8 @@ pub struct TelemetryReport {
     pub immigrant_episodes: Vec<ImmigrantEpisode>,
     /// Generation at which the last improvement (any size) happened.
     pub last_improvement: usize,
+    /// Scheduler behaviour (batch sizes, dedup, cache, dispatch latency).
+    pub sched: SchedSummary,
 }
 
 /// Analyse a run's history.
@@ -100,12 +120,30 @@ pub fn analyze(result: &RunResult) -> TelemetryReport {
         })
         .collect();
 
+    let mut totals = SchedStats::default();
+    for g in history {
+        totals.merge(&g.sched);
+    }
+    let sched = SchedSummary {
+        mean_batch_size: if totals.batches == 0 {
+            0.0
+        } else {
+            totals.requested as f64 / totals.batches as f64
+        },
+        dedup_ratio: totals.dedup_ratio(),
+        cache_hit_rate: totals.cache_hit_rate(),
+        mean_dispatch_ms: totals.mean_dispatch_ms(),
+        max_queue_depth: totals.max_queue_depth,
+        totals,
+    };
+
     TelemetryReport {
         convergence,
         mutation_rates,
         crossover_rates,
         immigrant_episodes,
         last_improvement,
+        sched,
     }
 }
 
@@ -147,16 +185,20 @@ where
 /// Write the per-generation history as TSV (one row per generation;
 /// per-size best columns, operator rates, immigrant counts) — ready for
 /// any plotting tool.
-pub fn write_history_tsv<W: std::io::Write>(
-    result: &RunResult,
-    mut w: W,
-) -> std::io::Result<()> {
+pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std::io::Result<()> {
     let n_sizes = result.best_per_size.len();
     write!(w, "generation\tevaluations")?;
     for i in 0..n_sizes {
         write!(w, "\tbest_k{}", result.min_size + i)?;
     }
-    write!(w, "\tmut_snp\tmut_reduction\tmut_augmentation\tcross_intra\tcross_inter\timmigrants")?;
+    write!(
+        w,
+        "\tmut_snp\tmut_reduction\tmut_augmentation\tcross_intra\tcross_inter\timmigrants"
+    )?;
+    write!(
+        w,
+        "\tsched_requested\tsched_coalesced\tsched_cache_hits\tsched_true_evals\tsched_dispatch_ms\tsched_queue_depth"
+    )?;
     writeln!(w)?;
     for g in &result.history {
         write!(w, "{}\t{}", g.generation, g.evaluations)?;
@@ -171,7 +213,17 @@ pub fn write_history_tsv<W: std::io::Write>(
         for r in g.mutation_rates.iter().chain(&g.crossover_rates) {
             write!(w, "\t{r:.6}")?;
         }
-        writeln!(w, "\t{}", g.immigrants)?;
+        write!(w, "\t{}", g.immigrants)?;
+        writeln!(
+            w,
+            "\t{}\t{}\t{}\t{}\t{:.3}\t{}",
+            g.sched.requested,
+            g.sched.coalesced,
+            g.sched.cache_hits,
+            g.sched.true_evals,
+            g.sched.dispatch_ns as f64 / 1e6,
+            g.sched.max_queue_depth,
+        )?;
     }
     Ok(())
 }
@@ -222,7 +274,11 @@ mod tests {
         let report = analyze(&result);
         assert_eq!(report.convergence.len(), 2);
         for curve in &report.convergence {
-            assert!(!curve.points.is_empty(), "size {} has no points", curve.size);
+            assert!(
+                !curve.points.is_empty(),
+                "size {} has no points",
+                curve.size
+            );
             for w in curve.points.windows(2) {
                 assert!(w[0].0 < w[1].0, "generations must increase");
                 assert!(w[0].1 < w[1].1, "best must strictly improve");
@@ -286,6 +342,26 @@ mod tests {
     }
 
     #[test]
+    fn sched_summary_reconciles_with_history() {
+        let result = run();
+        let report = analyze(&result);
+        let s = &report.sched;
+        // One crossover batch and one mutation batch per generation at
+        // minimum.
+        assert!(s.totals.batches as usize >= 2 * result.generations);
+        assert_eq!(
+            s.totals.scheduled(),
+            s.totals.cache_hits + s.totals.true_evals,
+            "every unique request is either a cache hit or a true eval"
+        );
+        // No cache configured: all scheduled work reached the backend.
+        assert_eq!(s.cache_hit_rate, 0.0);
+        assert!(s.mean_batch_size > 0.0);
+        assert!(s.max_queue_depth > 0);
+        assert!((0.0..=1.0).contains(&s.dedup_ratio));
+    }
+
+    #[test]
     fn empty_history_is_handled() {
         let result = RunResult {
             min_size: 2,
@@ -300,5 +376,7 @@ mod tests {
         assert!(report.convergence[0].points.is_empty());
         assert!(report.mutation_rates[0].overall.is_nan());
         assert_eq!(report.total_immigrants(), 0);
+        assert_eq!(report.sched.totals, crate::sched::SchedStats::default());
+        assert_eq!(report.sched.mean_batch_size, 0.0);
     }
 }

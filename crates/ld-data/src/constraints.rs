@@ -89,17 +89,14 @@ impl ConstraintReport {
 impl HaplotypeConstraints {
     /// Check a haplotype (ascending SNP list) against the frequency and LD
     /// tables; collects *all* violations rather than stopping at the first.
-    pub fn check(
-        &self,
-        snps: &[SnpId],
-        freqs: &AlleleFreqTable,
-        ld: &LdTable,
-    ) -> ConstraintReport {
+    pub fn check(&self, snps: &[SnpId], freqs: &AlleleFreqTable, ld: &LdTable) -> ConstraintReport {
         let mut report = ConstraintReport::default();
         for (i, &a) in snps.iter().enumerate() {
             let maf_a = freqs.maf(a);
             if maf_a < self.min_maf {
-                report.violations.push(Violation::MafTooLow { snp: a, maf: maf_a });
+                report
+                    .violations
+                    .push(Violation::MafTooLow { snp: a, maf: maf_a });
             }
             for &b in &snps[i + 1..] {
                 let r2 = ld.get(a, b).r2;
@@ -152,14 +149,30 @@ mod tests {
             8,
             3,
             vec![
-                G::HomA1, G::HomA1, G::HomA1, //
-                G::HomA1, G::HomA1, G::HomA1, //
-                G::Het, G::Het, G::HomA1, //
-                G::Het, G::Het, G::HomA1, //
-                G::HomA2, G::HomA2, G::HomA1, //
-                G::HomA2, G::HomA2, G::Het, //
-                G::Het, G::Het, G::HomA1, //
-                G::HomA1, G::HomA1, G::HomA1,
+                G::HomA1,
+                G::HomA1,
+                G::HomA1, //
+                G::HomA1,
+                G::HomA1,
+                G::HomA1, //
+                G::Het,
+                G::Het,
+                G::HomA1, //
+                G::Het,
+                G::Het,
+                G::HomA1, //
+                G::HomA2,
+                G::HomA2,
+                G::HomA1, //
+                G::HomA2,
+                G::HomA2,
+                G::Het, //
+                G::Het,
+                G::Het,
+                G::HomA1, //
+                G::HomA1,
+                G::HomA1,
+                G::HomA1,
             ],
         )
         .unwrap();
@@ -199,7 +212,10 @@ mod tests {
         };
         // SNP 2 MAF = 1/16 < 0.2.
         let report = c.check(&[2], &f, &ld);
-        assert!(matches!(report.violations[0], Violation::MafTooLow { snp: 2, .. }));
+        assert!(matches!(
+            report.violations[0],
+            Violation::MafTooLow { snp: 2, .. }
+        ));
     }
 
     #[test]

@@ -145,10 +145,14 @@ mod tests {
             4,
             2,
             vec![
-                G::HomA1, G::Het, //
-                G::Het, G::HomA2, //
-                G::HomA2, G::HomA1, //
-                G::Missing, G::Het,
+                G::HomA1,
+                G::Het, //
+                G::Het,
+                G::HomA2, //
+                G::HomA2,
+                G::HomA1, //
+                G::Missing,
+                G::Het,
             ],
         )
         .unwrap();

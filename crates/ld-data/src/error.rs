@@ -59,7 +59,10 @@ impl fmt::Display for DataError {
                 "dimension mismatch building {what}: expected {expected} elements, got {actual}"
             ),
             DataError::SnpOutOfBounds { snp, n_snps } => {
-                write!(f, "SNP index {snp} out of bounds (matrix has {n_snps} SNPs)")
+                write!(
+                    f,
+                    "SNP index {snp} out of bounds (matrix has {n_snps} SNPs)"
+                )
             }
             DataError::IndividualOutOfBounds {
                 individual,
@@ -72,7 +75,9 @@ impl fmt::Display for DataError {
                 write!(f, "invalid genotype code {code:?}")
             }
             DataError::InvalidStatusCode(code) => write!(f, "invalid status code {code:?}"),
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             DataError::Io(e) => write!(f, "io error: {e}"),
             DataError::Empty(what) => write!(f, "{what} must not be empty"),
             DataError::InvalidConfig(msg) => write!(f, "invalid synthetic config: {msg}"),
@@ -101,7 +106,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DataError::SnpOutOfBounds { snp: 60, n_snps: 51 };
+        let e = DataError::SnpOutOfBounds {
+            snp: 60,
+            n_snps: 51,
+        };
         assert!(e.to_string().contains("60"));
         assert!(e.to_string().contains("51"));
 

@@ -130,10 +130,18 @@ mod tests {
             4,
             3,
             vec![
-                G::HomA1, G::Het, G::Missing, //
-                G::HomA1, G::Het, G::HomA2, //
-                G::Het, G::HomA2, G::HomA2, //
-                G::HomA1, G::HomA2, G::Missing,
+                G::HomA1,
+                G::Het,
+                G::Missing, //
+                G::HomA1,
+                G::Het,
+                G::HomA2, //
+                G::Het,
+                G::HomA2,
+                G::HomA2, //
+                G::HomA1,
+                G::HomA2,
+                G::Missing,
             ],
         )
         .unwrap()

@@ -135,11 +135,7 @@ mod tests {
         assert!(before > 0);
         let (imputed, filled) = impute_mode(&d).unwrap();
         assert_eq!(filled, before);
-        assert!(imputed
-            .genotypes
-            .as_slice()
-            .iter()
-            .all(|g| g.is_called()));
+        assert!(imputed.genotypes.as_slice().iter().all(|g| g.is_called()));
         // Non-missing calls untouched.
         for i in 0..d.n_individuals() {
             for s in 0..d.n_snps() {
@@ -165,12 +161,8 @@ mod tests {
         use crate::genotype::Genotype as G;
         use crate::matrix::GenotypeMatrix;
         use crate::snp::SnpInfo;
-        let m = GenotypeMatrix::from_rows(
-            4,
-            1,
-            vec![G::HomA2, G::Missing, G::HomA1, G::Missing],
-        )
-        .unwrap();
+        let m = GenotypeMatrix::from_rows(4, 1, vec![G::HomA2, G::Missing, G::HomA1, G::Missing])
+            .unwrap();
         let d = Dataset::new(
             m,
             vec![

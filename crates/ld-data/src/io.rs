@@ -44,10 +44,7 @@ pub fn read_dataset_tsv<R: Read>(r: R, label: impl Into<String>) -> Result<Datas
     let reader = BufReader::new(r);
     let mut lines = reader.lines().enumerate();
 
-    let header = lines
-        .next()
-        .ok_or(DataError::Empty("TSV input"))?
-        .1?;
+    let header = lines.next().ok_or(DataError::Empty("TSV input"))?.1?;
     let cols: Vec<&str> = header.split('\t').collect();
     if cols.len() < 3 || cols[0] != "id" || cols[1] != "status" {
         return Err(DataError::Parse {
@@ -79,11 +76,7 @@ pub fn read_dataset_tsv<R: Read>(r: R, label: impl Into<String>) -> Result<Datas
         if fields.len() != n_snps + 2 {
             return Err(DataError::Parse {
                 line: line_no,
-                message: format!(
-                    "expected {} fields, got {}",
-                    n_snps + 2,
-                    fields.len()
-                ),
+                message: format!("expected {} fields, got {}", n_snps + 2, fields.len()),
             });
         }
         let status_field = fields[1];
@@ -96,7 +89,8 @@ pub fn read_dataset_tsv<R: Read>(r: R, label: impl Into<String>) -> Result<Datas
         statuses.push(status);
         for f in &fields[2..] {
             data.push(
-                Genotype::from_code(f).ok_or_else(|| DataError::InvalidGenotypeCode(f.to_string()))?,
+                Genotype::from_code(f)
+                    .ok_or_else(|| DataError::InvalidGenotypeCode(f.to_string()))?,
             );
         }
     }

@@ -241,12 +241,18 @@ mod tests {
             6,
             2,
             vec![
-                G::HomA1, G::HomA1, //
-                G::HomA1, G::HomA1, //
-                G::Het, G::Het, //
-                G::Het, G::Het, //
-                G::HomA2, G::HomA2, //
-                G::HomA2, G::HomA2,
+                G::HomA1,
+                G::HomA1, //
+                G::HomA1,
+                G::HomA1, //
+                G::Het,
+                G::Het, //
+                G::Het,
+                G::Het, //
+                G::HomA2,
+                G::HomA2, //
+                G::HomA2,
+                G::HomA2,
             ],
         )
         .unwrap();
@@ -262,10 +268,14 @@ mod tests {
             4,
             2,
             vec![
-                G::HomA1, G::HomA1, //
-                G::HomA1, G::HomA2, //
-                G::HomA2, G::HomA1, //
-                G::HomA2, G::HomA2,
+                G::HomA1,
+                G::HomA1, //
+                G::HomA1,
+                G::HomA2, //
+                G::HomA2,
+                G::HomA1, //
+                G::HomA2,
+                G::HomA2,
             ],
         )
         .unwrap();
@@ -280,9 +290,12 @@ mod tests {
             3,
             2,
             vec![
-                G::HomA1, G::Het, //
-                G::HomA1, G::HomA2, //
-                G::HomA1, G::Missing,
+                G::HomA1,
+                G::Het, //
+                G::HomA1,
+                G::HomA2, //
+                G::HomA1,
+                G::Missing,
             ],
         )
         .unwrap();
@@ -304,10 +317,18 @@ mod tests {
             4,
             3,
             vec![
-                G::HomA1, G::HomA1, G::Het, //
-                G::Het, G::Het, G::HomA2, //
-                G::HomA2, G::HomA2, G::HomA1, //
-                G::Het, G::HomA1, G::Het,
+                G::HomA1,
+                G::HomA1,
+                G::Het, //
+                G::Het,
+                G::Het,
+                G::HomA2, //
+                G::HomA2,
+                G::HomA2,
+                G::HomA1, //
+                G::Het,
+                G::HomA1,
+                G::Het,
             ],
         )
         .unwrap();

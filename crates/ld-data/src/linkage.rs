@@ -136,9 +136,7 @@ pub fn read_linkage_ped<R: Read>(r: R, label: impl Into<String>) -> Result<Datas
     let n_snps = n_snps.ok_or(DataError::Empty("LINKAGE pedigree input"))?;
     let n_individuals = statuses.len();
     let matrix = GenotypeMatrix::from_rows(n_individuals, n_snps, data)?;
-    let snps = (0..n_snps)
-        .map(|i| SnpInfo::synthetic(i, 1, 0.0))
-        .collect();
+    let snps = (0..n_snps).map(|i| SnpInfo::synthetic(i, 1, 0.0)).collect();
     Dataset::new(matrix, statuses, snps, label)
 }
 

@@ -171,9 +171,18 @@ mod tests {
             3,
             4,
             vec![
-                G::HomA1, G::Het, G::HomA2, G::Missing, //
-                G::Het, G::Het, G::HomA1, G::HomA1, //
-                G::HomA2, G::HomA1, G::Het, G::HomA2,
+                G::HomA1,
+                G::Het,
+                G::HomA2,
+                G::Missing, //
+                G::Het,
+                G::Het,
+                G::HomA1,
+                G::HomA1, //
+                G::HomA2,
+                G::HomA1,
+                G::Het,
+                G::HomA2,
             ],
         )
         .unwrap()

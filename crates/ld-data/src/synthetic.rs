@@ -256,8 +256,7 @@ impl SyntheticConfig {
         let base = self.baseline_prevalence;
         let mut logit = (base / (1.0 - base)).ln();
         for s in &self.signals {
-            let copies =
-                usize::from(s.carried_by(c1)) + usize::from(s.carried_by(c2));
+            let copies = usize::from(s.carried_by(c1)) + usize::from(s.carried_by(c2));
             logit += copies as f64 * s.odds.ln();
         }
         1.0 / (1.0 + (-logit).exp())
@@ -515,8 +514,7 @@ mod tests {
         let una = AlleleFreqTable::from_dataset(&d, Some(Status::Unaffected));
         // Averaged over the primary signal's SNPs, A2 must be materially
         // more frequent in cases.
-        let mean =
-            |t: &AlleleFreqTable| (t.get(8).a2 + t.get(12).a2 + t.get(15).a2) / 3.0;
+        let mean = |t: &AlleleFreqTable| (t.get(8).a2 + t.get(12).a2 + t.get(15).a2) / 3.0;
         assert!(
             mean(&aff) > mean(&una) + 0.05,
             "affected {:.3} vs unaffected {:.3}",

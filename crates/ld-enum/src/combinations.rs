@@ -59,8 +59,7 @@ pub fn rank(c: &[usize], n: usize) -> u128 {
     let mut prev = 0usize;
     for (i, &ci) in c.iter().enumerate() {
         for v in prev..ci {
-            r += choose_exact((n - v - 1) as u64, (k - i - 1) as u64)
-                .expect("rank fits u128");
+            r += choose_exact((n - v - 1) as u64, (k - i - 1) as u64).expect("rank fits u128");
         }
         prev = ci + 1;
     }
@@ -73,13 +72,15 @@ pub fn rank(c: &[usize], n: usize) -> u128 {
 /// Panics when `rank ≥ C(n, k)`.
 pub fn unrank(mut rank: u128, n: usize, k: usize) -> Vec<usize> {
     let total = choose_exact(n as u64, k as u64).expect("C(n,k) fits u128");
-    assert!(rank < total.max(1), "rank {rank} out of range (C = {total})");
+    assert!(
+        rank < total.max(1),
+        "rank {rank} out of range (C = {total})"
+    );
     let mut out = Vec::with_capacity(k);
     let mut v = 0usize;
     for i in 0..k {
         loop {
-            let with_v = choose_exact((n - v - 1) as u64, (k - i - 1) as u64)
-                .expect("fits u128");
+            let with_v = choose_exact((n - v - 1) as u64, (k - i - 1) as u64).expect("fits u128");
             if rank < with_v {
                 out.push(v);
                 v += 1;
@@ -102,11 +103,7 @@ pub struct Combinations {
 impl Combinations {
     /// All k-subsets of `0..n`, lexicographic.
     pub fn new(n: usize, k: usize) -> Self {
-        let state = if k <= n {
-            Some((0..k).collect())
-        } else {
-            None
-        };
+        let state = if k <= n { Some((0..k).collect()) } else { None };
         Combinations { n, state }
     }
 }

@@ -49,9 +49,7 @@ impl TopK {
         {
             return;
         }
-        let pos = self
-            .items
-            .partition_point(|x| x.fitness >= fitness);
+        let pos = self.items.partition_point(|x| x.fitness >= fitness);
         self.items.insert(
             pos,
             ScoredHaplotype {
@@ -117,7 +115,10 @@ pub fn exhaustive_top_k<E: Evaluator>(evaluator: &E, k: usize, top_k: usize) -> 
     // Chunks sized for good load balance without unranking overhead.
     let n_chunks = (rayon::current_num_threads() * 8).max(1) as u128;
     let chunk = total.div_ceil(n_chunks).max(1);
-    let starts: Vec<u128> = (0..n_chunks).map(|i| i * chunk).filter(|&s| s < total).collect();
+    let starts: Vec<u128> = (0..n_chunks)
+        .map(|i| i * chunk)
+        .filter(|&s| s < total)
+        .collect();
 
     starts
         .into_par_iter()

@@ -57,9 +57,7 @@ impl LandscapeReport {
 /// Whether `inner` (ascending) is a subset of `outer` (ascending).
 fn is_subset(inner: &[usize], outer: &[usize]) -> bool {
     let mut it = outer.iter();
-    inner
-        .iter()
-        .all(|x| it.by_ref().any(|y| y == x))
+    inner.iter().all(|x| it.by_ref().any(|y| y == x))
 }
 
 /// Exhaustively analyse sizes `min_k..=max_k`, keeping `top_m` haplotypes
@@ -125,7 +123,11 @@ fn sweep_size<E: Evaluator>(evaluator: &E, k: usize, top_m: usize) -> SizeLandsc
             size: k,
             top: top.items().to_vec(),
             max_fitness: max,
-            mean_fitness: if count > 0 { sum / count as f64 } else { f64::NAN },
+            mean_fitness: if count > 0 {
+                sum / count as f64
+            } else {
+                f64::NAN
+            },
             min_fitness: min,
             n_enumerated: count,
         }

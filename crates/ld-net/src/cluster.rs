@@ -31,8 +31,7 @@ impl LocalCluster {
         assert!(n_slaves > 0, "need at least one slave");
         let slaves: Vec<SlaveServer> = (0..n_slaves)
             .map(|_| {
-                SlaveServer::spawn("127.0.0.1:0", objective_factory())
-                    .expect("bind loopback slave")
+                SlaveServer::spawn("127.0.0.1:0", objective_factory()).expect("bind loopback slave")
             })
             .collect();
         let addrs: Vec<String> = slaves.iter().map(|s| s.addr().to_string()).collect();
@@ -91,9 +90,7 @@ mod tests {
     fn work_is_distributed_across_slaves() {
         use ld_core::Evaluator;
         let cluster = LocalCluster::spawn(3, toy).unwrap();
-        let mut batch: Vec<Haplotype> = (0..90)
-            .map(|i| Haplotype::new(vec![i % 30]))
-            .collect();
+        let mut batch: Vec<Haplotype> = (0..90).map(|i| Haplotype::new(vec![i % 30])).collect();
         cluster.pool().evaluate_batch(&mut batch);
         // On-demand farming: with 90 jobs, every slave should get some.
         let loads: Vec<u64> = cluster.slaves().iter().map(|s| s.served()).collect();
@@ -150,7 +147,9 @@ mod tests {
 
     #[test]
     fn connect_to_nothing_fails_cleanly() {
-        let Err(err) = TcpSlavePool::connect(&[]) else { panic!("expected error") };
+        let Err(err) = TcpSlavePool::connect(&[]) else {
+            panic!("expected error")
+        };
         assert!(matches!(err, PoolError::NoSlaves));
         let Err(err) = TcpSlavePool::connect(&["127.0.0.1:1".to_string()]) else {
             panic!("expected error")
@@ -160,12 +159,14 @@ mod tests {
 
     #[test]
     fn inconsistent_panels_rejected() {
-        let s1 = SlaveServer::spawn("127.0.0.1:0", FnEvaluator::new(10, |_: &[SnpId]| 0.0))
-            .unwrap();
-        let s2 = SlaveServer::spawn("127.0.0.1:0", FnEvaluator::new(20, |_: &[SnpId]| 0.0))
-            .unwrap();
+        let s1 =
+            SlaveServer::spawn("127.0.0.1:0", FnEvaluator::new(10, |_: &[SnpId]| 0.0)).unwrap();
+        let s2 =
+            SlaveServer::spawn("127.0.0.1:0", FnEvaluator::new(20, |_: &[SnpId]| 0.0)).unwrap();
         let addrs = vec![s1.addr().to_string(), s2.addr().to_string()];
-        let Err(err) = TcpSlavePool::connect(&addrs) else { panic!("expected error") };
+        let Err(err) = TcpSlavePool::connect(&addrs) else {
+            panic!("expected error")
+        };
         assert!(matches!(err, PoolError::InconsistentPanels { .. }));
     }
 }

@@ -1,7 +1,9 @@
 //! The master side: a pool of TCP slave connections behind the
-//! [`Evaluator`] trait.
+//! [`EvalBackend`] dispatch seam (and, for compatibility, the
+//! [`Evaluator`] trait).
 //!
-//! `evaluate_batch` is one synchronous evaluation phase (paper Figure 6):
+//! [`EvalBackend::dispatch`] is one synchronous evaluation phase (paper
+//! Figure 6):
 //! jobs go into a shared work stack; one master-side thread per live slave
 //! pulls jobs on demand (PVM-style task farming, so a slow node simply
 //! takes fewer jobs), sends the request, and waits for the response.
@@ -14,7 +16,7 @@
 
 use crate::protocol::{read_message, write_message, Message, ProtoError, PROTOCOL_VERSION};
 use crossbeam::channel::{unbounded, RecvTimeoutError};
-use ld_core::{Evaluator, Haplotype};
+use ld_core::{EvalBackend, Evaluator, Haplotype};
 use ld_data::SnpId;
 use parking_lot::Mutex;
 use std::io::BufWriter;
@@ -175,27 +177,20 @@ impl TcpSlavePool {
     }
 }
 
-impl Evaluator for TcpSlavePool {
+impl EvalBackend for TcpSlavePool {
     fn n_snps(&self) -> usize {
         self.n_snps
     }
 
-    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
-        for conn in &self.slaves {
-            if conn.dead.load(Ordering::Relaxed) {
-                continue;
-            }
-            match Self::request(conn, 0, snps) {
-                Ok(f) => return f,
-                Err(_) => {
-                    conn.dead.store(true, Ordering::Relaxed);
-                }
-            }
-        }
-        panic!("every evaluation slave has failed");
+    fn queue_depth(&self) -> usize {
+        0 // dispatch is synchronous; no jobs linger between batches
     }
 
-    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+    fn backend_name(&self) -> &'static str {
+        "tcp-slave-pool"
+    }
+
+    fn dispatch(&self, batch: &mut [Haplotype]) {
         if batch.is_empty() {
             return;
         }
@@ -284,6 +279,31 @@ impl Evaluator for TcpSlavePool {
             }
             done.store(true, Ordering::Relaxed);
         });
+    }
+}
+
+impl Evaluator for TcpSlavePool {
+    fn n_snps(&self) -> usize {
+        self.n_snps
+    }
+
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        for conn in &self.slaves {
+            if conn.dead.load(Ordering::Relaxed) {
+                continue;
+            }
+            match Self::request(conn, 0, snps) {
+                Ok(f) => return f,
+                Err(_) => {
+                    conn.dead.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        panic!("every evaluation slave has failed");
+    }
+
+    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+        self.dispatch(batch);
     }
 }
 

@@ -225,7 +225,10 @@ mod tests {
             id: 42,
             snps: vec![8, 12, 15],
         });
-        roundtrip(Message::EvalRequest { id: 0, snps: vec![] });
+        roundtrip(Message::EvalRequest {
+            id: 0,
+            snps: vec![],
+        });
         roundtrip(Message::EvalResponse {
             id: 42,
             fitness: 123.456,

@@ -62,7 +62,10 @@ pub fn run_islands<E: Evaluator>(evaluator: &E, cfg: &IslandConfig) -> IslandRes
                 let run = GaEngine::new(evaluator, ga, seed)
                     .expect("validated configuration")
                     .run();
-                results.lock().expect("no poisoned lock").push((island, run));
+                results
+                    .lock()
+                    .expect("no poisoned lock")
+                    .push((island, run));
             });
         }
     });
@@ -123,7 +126,10 @@ pub struct RingConfig {
 /// master/slaves evaluation, one level up.
 pub fn run_ring_migration<E: Evaluator>(evaluator: &E, cfg: &RingConfig) -> IslandResult {
     assert!(cfg.n_islands > 0, "need at least one island");
-    assert!(cfg.epoch_generations > 0, "epoch must be at least 1 generation");
+    assert!(
+        cfg.epoch_generations > 0,
+        "epoch must be at least 1 generation"
+    );
     cfg.ga
         .validate(evaluator.n_snps())
         .expect("island GA configuration must be valid");
@@ -132,13 +138,8 @@ pub fn run_ring_migration<E: Evaluator>(evaluator: &E, cfg: &RingConfig) -> Isla
     // seeding deterministic).
     let mut runs: Vec<GaRun<'_, E>> = (0..cfg.n_islands)
         .map(|i| {
-            GaRun::new(
-                evaluator,
-                cfg.ga.clone(),
-                cfg.base_seed + i as u64,
-                None,
-            )
-            .expect("validated configuration")
+            GaRun::new(evaluator, cfg.ga.clone(), cfg.base_seed + i as u64, None)
+                .expect("validated configuration")
         })
         .collect();
 
@@ -281,8 +282,7 @@ mod tests {
         // Merged >= each island.
         for island in &r.islands {
             assert!(
-                r.best_of_size(2).unwrap().fitness()
-                    >= island.best_of_size(2).unwrap().fitness()
+                r.best_of_size(2).unwrap().fitness() >= island.best_of_size(2).unwrap().fitness()
             );
         }
     }
@@ -305,13 +305,7 @@ mod tests {
         // independent islands, an island that misses the needle keeps its
         // flat champion; with ring migration every island ends up holding
         // the needle once any island finds it.
-        let eval = FnEvaluator::new(12, |s: &[SnpId]| {
-            if s == [3, 7] {
-                100.0
-            } else {
-                1.0
-            }
-        });
+        let eval = FnEvaluator::new(12, |s: &[SnpId]| if s == [3, 7] { 100.0 } else { 1.0 });
         let cfg = RingConfig {
             n_islands: 4,
             base_seed: 0,

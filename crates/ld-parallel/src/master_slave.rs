@@ -19,7 +19,7 @@
 //! and the master blocks until all `(index, fitness)` results are back.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use ld_core::{Evaluator, Haplotype};
+use ld_core::{EvalBackend, Evaluator, Haplotype};
 use ld_data::SnpId;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -100,19 +100,12 @@ impl<E: Evaluator + 'static> MasterSlaveEvaluator<E> {
     }
 }
 
-impl<E: Evaluator + 'static> Evaluator for MasterSlaveEvaluator<E> {
+impl<E: Evaluator + 'static> EvalBackend for MasterSlaveEvaluator<E> {
     fn n_snps(&self) -> usize {
         self.inner.n_snps()
     }
 
-    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
-        // A single evaluation gains nothing from the channel round-trip;
-        // the master computes it directly (the paper's master also handles
-        // the serial parts of the algorithm).
-        self.inner.evaluate_one(snps)
-    }
-
-    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+    fn dispatch(&self, batch: &mut [Haplotype]) {
         if batch.is_empty() {
             return;
         }
@@ -126,10 +119,34 @@ impl<E: Evaluator + 'static> Evaluator for MasterSlaveEvaluator<E> {
                 .expect("slave pool alive");
         }
         for _ in 0..batch.len() {
-            let JobResult { index, fitness } =
-                self.result_rx.recv().expect("slave pool alive");
+            let JobResult { index, fitness } = self.result_rx.recv().expect("slave pool alive");
             batch[index].set_fitness(fitness);
         }
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.job_tx.len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "master-slave"
+    }
+}
+
+impl<E: Evaluator + 'static> Evaluator for MasterSlaveEvaluator<E> {
+    fn n_snps(&self) -> usize {
+        self.inner.n_snps()
+    }
+
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        // A single evaluation gains nothing from the channel round-trip;
+        // the master computes it directly (the paper's master also handles
+        // the serial parts of the algorithm).
+        self.inner.evaluate_one(snps)
+    }
+
+    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+        self.dispatch(batch);
     }
 }
 
@@ -175,12 +192,8 @@ mod tests {
     #[test]
     fn results_land_on_correct_indices() {
         // A fitness that identifies the individual: its first SNP.
-        let par = MasterSlaveEvaluator::new(
-            FnEvaluator::new(100, |s: &[SnpId]| s[0] as f64),
-            3,
-        );
-        let mut batch: Vec<Haplotype> =
-            (0..50).map(|i| Haplotype::new(vec![i, i + 50])).collect();
+        let par = MasterSlaveEvaluator::new(FnEvaluator::new(100, |s: &[SnpId]| s[0] as f64), 3);
+        let mut batch: Vec<Haplotype> = (0..50).map(|i| Haplotype::new(vec![i, i + 50])).collect();
         par.evaluate_batch(&mut batch);
         for (i, h) in batch.iter().enumerate() {
             assert_eq!(h.fitness(), i as f64);
@@ -198,9 +211,7 @@ mod tests {
             1.0
         });
         let par = MasterSlaveEvaluator::new(eval, 4);
-        let mut batch: Vec<Haplotype> = (0..40)
-            .map(|i| Haplotype::new(vec![i % 10]))
-            .collect();
+        let mut batch: Vec<Haplotype> = (0..40).map(|i| Haplotype::new(vec![i % 10])).collect();
         let t0 = std::time::Instant::now();
         par.evaluate_batch(&mut batch);
         let elapsed = t0.elapsed();
@@ -228,6 +239,18 @@ mod tests {
         assert_eq!(par.inner().count(), 8);
         let _ = par.evaluate_one(&[3, 4]);
         assert_eq!(par.inner().count(), 9);
+    }
+
+    #[test]
+    fn backend_trait_exposes_queue_and_name() {
+        let par = MasterSlaveEvaluator::new(toy(), 2);
+        assert_eq!(EvalBackend::n_snps(&par), 51);
+        assert_eq!(par.backend_name(), "master-slave");
+        // Synchronous dispatch drains the queue before returning.
+        let mut batch = vec![Haplotype::new(vec![7, 8])];
+        par.dispatch(&mut batch);
+        assert_eq!(batch[0].fitness(), 15.0);
+        assert_eq!(par.queue_depth(), 0);
     }
 
     #[test]

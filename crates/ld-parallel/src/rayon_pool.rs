@@ -6,7 +6,7 @@
 //! builds a dedicated pool, which the speedup experiment uses to sweep
 //! worker counts without poisoning the global pool's sizing.
 
-use ld_core::{Evaluator, Haplotype};
+use ld_core::{EvalBackend, Evaluator, Haplotype};
 use ld_data::SnpId;
 use rayon::prelude::*;
 use rayon::ThreadPool;
@@ -54,6 +54,23 @@ impl<E: Evaluator> RayonEvaluator<E> {
     }
 }
 
+impl<E: Evaluator> EvalBackend for RayonEvaluator<E> {
+    fn n_snps(&self) -> usize {
+        self.inner.n_snps()
+    }
+
+    fn dispatch(&self, batch: &mut [Haplotype]) {
+        match &self.pool {
+            Some(pool) => pool.install(|| self.run_batch(batch)),
+            None => self.run_batch(batch),
+        }
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "rayon"
+    }
+}
+
 impl<E: Evaluator> Evaluator for RayonEvaluator<E> {
     fn n_snps(&self) -> usize {
         self.inner.n_snps()
@@ -64,10 +81,7 @@ impl<E: Evaluator> Evaluator for RayonEvaluator<E> {
     }
 
     fn evaluate_batch(&self, batch: &mut [Haplotype]) {
-        match &self.pool {
-            Some(pool) => pool.install(|| self.run_batch(batch)),
-            None => self.run_batch(batch),
-        }
+        self.dispatch(batch);
     }
 }
 
@@ -124,6 +138,17 @@ mod tests {
     fn empty_batch_is_noop() {
         let par = RayonEvaluator::new(toy());
         par.evaluate_batch(&mut []);
+    }
+
+    #[test]
+    fn backend_trait_dispatches() {
+        let par = RayonEvaluator::with_threads(toy(), 2);
+        assert_eq!(EvalBackend::n_snps(&par), 51);
+        assert_eq!(par.backend_name(), "rayon");
+        assert_eq!(par.queue_depth(), 0);
+        let mut b = batch(10);
+        par.dispatch(&mut b);
+        assert!(b.iter().all(|h| h.is_evaluated()));
     }
 
     #[test]

@@ -232,12 +232,8 @@ mod tests {
         use crate::table::ContingencyTable;
         let (a, b, c, d) = (60u64, 40, 45, 55);
         let fisher = fisher_exact_2x2(a, b, c, d);
-        let t = ContingencyTable::from_rows(
-            2,
-            2,
-            vec![a as f64, b as f64, c as f64, d as f64],
-        )
-        .unwrap();
+        let t = ContingencyTable::from_rows(2, 2, vec![a as f64, b as f64, c as f64, d as f64])
+            .unwrap();
         let chi = pearson_chi2(&t).p_value;
         assert!((fisher - chi).abs() < 0.02, "fisher {fisher} vs chi2 {chi}");
     }

@@ -167,9 +167,7 @@ pub fn clump<R: Rng + ?Sized>(
     let mc_p_values = if n_sims > 0 {
         let mut ps = [1.0f64; 4];
         for (i, stat) in ClumpStatistic::ALL.into_iter().enumerate() {
-            ps[i] = mc_pvalue(table, n_sims, rng, |t| {
-                stat.evaluate(t).unwrap_or(0.0)
-            })?;
+            ps[i] = mc_pvalue(table, n_sims, rng, |t| stat.evaluate(t).unwrap_or(0.0))?;
         }
         Some(ps)
     } else {

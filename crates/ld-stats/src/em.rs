@@ -239,7 +239,9 @@ impl EmEstimator {
             }
         }
 
-        let k = k.ok_or(StatsError::NoObservations { context: "EM input" })?;
+        let k = k.ok_or(StatsError::NoObservations {
+            context: "EM input",
+        })?;
         if k == 0 {
             return Err(StatsError::InvalidParameter(
                 "haplotype must contain at least one SNP".into(),
@@ -374,14 +376,10 @@ pub fn em_lrt(
 ) -> Result<EmLrt, StatsError> {
     let fit_a = estimator.estimate(group_a)?;
     let fit_b = estimator.estimate(group_b)?;
-    let pooled = estimator.estimate_iter(
-        group_a
-            .iter()
-            .chain(group_b.iter())
-            .map(|v| v.as_slice()),
-    )?;
-    let statistic = (2.0 * (fit_a.log_likelihood + fit_b.log_likelihood - pooled.log_likelihood))
-        .max(0.0);
+    let pooled =
+        estimator.estimate_iter(group_a.iter().chain(group_b.iter()).map(|v| v.as_slice()))?;
+    let statistic =
+        (2.0 * (fit_a.log_likelihood + fit_b.log_likelihood - pooled.log_likelihood)).max(0.0);
     let df = ((1usize << fit_a.k) - 1) as f64;
     Ok(EmLrt {
         statistic,
@@ -405,7 +403,10 @@ mod tests {
     #[test]
     fn pattern_pair_counts() {
         // Fully homozygous: one pair.
-        let p = Pattern { hom2: 0b101, het: 0 };
+        let p = Pattern {
+            hom2: 0b101,
+            het: 0,
+        };
         assert_eq!(p.pairs().count(), 1);
         // One het locus: one pair (phase irrelevant).
         let p = Pattern { hom2: 0, het: 0b1 };

@@ -36,7 +36,10 @@ impl fmt::Display for StatsError {
                 write!(f, "no usable observations in {context}")
             }
             StatsError::HaplotypeTooLarge { k, max } => {
-                write!(f, "haplotype of {k} SNPs exceeds supported maximum of {max}")
+                write!(
+                    f,
+                    "haplotype of {k} SNPs exceeds supported maximum of {max}"
+                )
             }
             StatsError::EmDiverged { iterations } => {
                 write!(f, "EM diverged after {iterations} iterations")

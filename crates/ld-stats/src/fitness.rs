@@ -146,12 +146,8 @@ impl EvalPipeline {
         let una_flat = gather_group(&self.unaffected, snps);
         let k = snps.len();
 
-        let affected = self
-            .estimator
-            .estimate_iter(aff_flat.chunks_exact(k))?;
-        let unaffected = self
-            .estimator
-            .estimate_iter(una_flat.chunks_exact(k))?;
+        let affected = self.estimator.estimate_iter(aff_flat.chunks_exact(k))?;
+        let unaffected = self.estimator.estimate_iter(una_flat.chunks_exact(k))?;
         let table =
             ContingencyTable::two_by_m(&affected.expected_counts(), &unaffected.expected_counts())?;
         let chi2 = pearson_chi2(&table);
@@ -161,10 +157,8 @@ impl EvalPipeline {
             FitnessKind::ClumpT3 => ClumpStatistic::T3.evaluate(&table)?,
             FitnessKind::ClumpT4 => ClumpStatistic::T4.evaluate(&table)?,
             FitnessKind::EmLrt => {
-                let a: Vec<Vec<Genotype>> =
-                    aff_flat.chunks_exact(k).map(|c| c.to_vec()).collect();
-                let b: Vec<Vec<Genotype>> =
-                    una_flat.chunks_exact(k).map(|c| c.to_vec()).collect();
+                let a: Vec<Vec<Genotype>> = aff_flat.chunks_exact(k).map(|c| c.to_vec()).collect();
+                let b: Vec<Vec<Genotype>> = una_flat.chunks_exact(k).map(|c| c.to_vec()).collect();
                 em_lrt(&self.estimator, &a, &b)?.statistic
             }
         };
@@ -252,7 +246,10 @@ mod tests {
             signal > noise,
             "signal {signal:.2} should beat noise {noise:.2}"
         );
-        assert!(signal > 10.0, "planted signal should be strong: {signal:.2}");
+        assert!(
+            signal > 10.0,
+            "planted signal should be strong: {signal:.2}"
+        );
     }
 
     #[test]

@@ -163,10 +163,7 @@ mod tests {
         let t = ContingencyTable::from_rows(2, 2, vec![30.0, 20.0, 18.0, 32.0]).unwrap();
         let asym = pearson_chi2(&t).p_value;
         let p = mc_pvalue(&t, 4000, &mut rng(), |t| pearson_chi2(t).statistic).unwrap();
-        assert!(
-            (p - asym).abs() < 0.02,
-            "mc {p} vs asymptotic {asym}"
-        );
+        assert!((p - asym).abs() < 0.02, "mc {p} vs asymptotic {asym}");
     }
 
     #[test]

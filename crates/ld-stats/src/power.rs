@@ -139,10 +139,7 @@ mod tests {
         let curve = power_curve(&cfg, 100).unwrap();
         // At odds 1 the "power" is the type-I error: near alpha, certainly
         // far below 0.5.
-        assert!(
-            curve[0].haplotype_power <= 0.3,
-            "null power {curve:?}"
-        );
+        assert!(curve[0].haplotype_power <= 0.3, "null power {curve:?}");
     }
 
     #[test]

@@ -112,9 +112,7 @@ impl ContingencyTable {
     /// column indices alongside the reduced table.
     pub fn drop_empty_cols(&self) -> (ContingencyTable, Vec<usize>) {
         let col_totals = self.col_totals();
-        let keep: Vec<usize> = (0..self.n_cols)
-            .filter(|&c| col_totals[c] > 0.0)
-            .collect();
+        let keep: Vec<usize> = (0..self.n_cols).filter(|&c| col_totals[c] > 0.0).collect();
         let mut cells = Vec::with_capacity(self.n_rows * keep.len());
         for r in 0..self.n_rows {
             for &c in &keep {

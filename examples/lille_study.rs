@@ -31,10 +31,16 @@ fn main() {
 
     let out = std::env::temp_dir().join("haplo-ga-lille");
     std::fs::create_dir_all(&out).expect("create output dir");
-    write_dataset_tsv(&data, std::fs::File::create(out.join("genotypes.tsv")).unwrap())
-        .expect("write genotypes");
-    write_freq_tsv(&freqs, std::fs::File::create(out.join("frequencies.tsv")).unwrap())
-        .expect("write frequencies");
+    write_dataset_tsv(
+        &data,
+        std::fs::File::create(out.join("genotypes.tsv")).unwrap(),
+    )
+    .expect("write genotypes");
+    write_freq_tsv(
+        &freqs,
+        std::fs::File::create(out.join("frequencies.tsv")).unwrap(),
+    )
+    .expect("write frequencies");
     write_ld_tsv(&ld, std::fs::File::create(out.join("ld.tsv")).unwrap()).expect("write LD");
     println!("input tables written to {}\n", out.display());
 
@@ -108,12 +114,14 @@ fn main() {
 
     // ---- 5. Which haplotype carries the risk? (odds ratios) ----
     if let Some(best) = result.best_of_size(3) {
-        println!("\nper-haplotype risk for the size-3 champion {:?}:", best.snps());
+        println!(
+            "\nper-haplotype risk for the size-3 champion {:?}:",
+            best.snps()
+        );
         let detail = pipeline
             .evaluate_detailed(best.snps())
             .expect("champion evaluates");
-        let risks =
-            haplo_ga::stats::assoc::risk_report(&detail, 3.0).expect("two-row table");
+        let risks = haplo_ga::stats::assoc::risk_report(&detail, 3.0).expect("two-row table");
         for r in risks.iter().take(5) {
             println!(
                 "  {}  affected {:>6.1} / unaffected {:>6.1}  OR {:.2} [{:.2}, {:.2}]  p {:.4}",

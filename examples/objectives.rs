@@ -38,11 +38,7 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(11);
 
     // Candidate panel: the planted signals plus random size-3 haplotypes.
-    let mut candidates: Vec<Vec<SnpId>> = vec![
-        vec![8, 12, 15],
-        vec![18, 26, 50],
-        vec![21, 32, 43],
-    ];
+    let mut candidates: Vec<Vec<SnpId>> = vec![vec![8, 12, 15], vec![18, 26, 50], vec![21, 32, 43]];
     for _ in 0..17 {
         candidates.push(random_haplotype(&mut rng, data.n_snps(), 3).snps().to_vec());
     }

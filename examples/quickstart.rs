@@ -43,7 +43,10 @@ fn main() {
         "\nfinished in {:.1?}: {} generations, {} evaluations\n",
         elapsed, result.generations, result.total_evaluations
     );
-    println!("{:<6} {:<22} {:>12} {:>14}", "size", "best haplotype", "fitness", "evals-to-best");
+    println!(
+        "{:<6} {:<22} {:>12} {:>14}",
+        "size", "best haplotype", "fitness", "evals-to-best"
+    );
     for k in 2..=6 {
         if let Some(best) = result.best_of_size(k) {
             println!(
@@ -55,5 +58,8 @@ fn main() {
             );
         }
     }
-    println!("\nevaluations actually computed: {}", evaluator.inner().count());
+    println!(
+        "\nevaluations actually computed: {}",
+        evaluator.inner().count()
+    );
 }

@@ -58,11 +58,15 @@ impl Args {
     }
 
     fn usize_or(&self, name: &str, default: usize) -> usize {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     fn u64_or(&self, name: &str, default: u64) -> u64 {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     fn has(&self, name: &str) -> bool {
@@ -95,9 +99,8 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let mut cfg = lille_51_config();
     cfg.n_snps = n_snps;
     // Keep planted signals inside the panel.
-    cfg.signals.retain(|s: &PlantedSignal| {
-        s.snps.iter().all(|&snp| snp < n_snps)
-    });
+    cfg.signals
+        .retain(|s: &PlantedSignal| s.snps.iter().all(|&snp| snp < n_snps));
     if cfg.signals.is_empty() {
         return Err(format!(
             "panel of {n_snps} SNPs too small for the default planted signals (need >= 51)"
@@ -125,7 +128,10 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     );
     println!(
         "planted signals: {:?}",
-        cfg.signals.iter().map(|s| s.snps.clone()).collect::<Vec<_>>()
+        cfg.signals
+            .iter()
+            .map(|s| s.snps.clone())
+            .collect::<Vec<_>>()
     );
     Ok(())
 }
@@ -203,8 +209,7 @@ fn drive<E: Evaluator>(
 fn cmd_run(args: &Args) -> Result<(), String> {
     let d = load_dataset(args)?;
     let kind = fitness_kind(args);
-    let objective =
-        StatsEvaluator::from_dataset(&d, kind).map_err(|e| e.to_string())?;
+    let objective = StatsEvaluator::from_dataset(&d, kind).map_err(|e| e.to_string())?;
     let workers = args.usize_or("workers", 1);
     let config = GaConfig {
         population_size: args.usize_or("population", 150),
@@ -257,10 +262,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             let detail = pipeline
                 .evaluate_detailed(best.snps())
                 .map_err(|e| e.to_string())?;
-            let adjusted = haplo_ga::stats::assoc::sidak_adjust(
-                detail.chi2.p_value,
-                result.total_evaluations,
-            );
+            let adjusted =
+                haplo_ga::stats::assoc::sidak_adjust(detail.chi2.p_value, result.total_evaluations);
             println!(
                 "{:<6} {:<26} {:>12.3} {:>14} {:>12.2e} {:>12.4}",
                 k,
@@ -282,7 +285,10 @@ fn cmd_enumerate(args: &Args) -> Result<(), String> {
     let objective =
         StatsEvaluator::from_dataset(&d, fitness_kind(args)).map_err(|e| e.to_string())?;
     let space = haplo_ga::enumeration::count::choose_f64(d.n_snps() as u64, size as u64);
-    println!("exhaustive sweep of C({}, {size}) = {space:.3e} haplotypes ...", d.n_snps());
+    println!(
+        "exhaustive sweep of C({}, {size}) = {space:.3e} haplotypes ...",
+        d.n_snps()
+    );
     let t0 = std::time::Instant::now();
     let result = exhaustive_top_k(&objective, size, top);
     println!("done in {:.1?}; top {}:", t0.elapsed(), result.len());
@@ -298,7 +304,11 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         .get("snps")
         .ok_or("missing --snps a,b,c".to_string())?
         .split(',')
-        .map(|s| s.trim().parse().map_err(|e| format!("bad SNP id {s:?}: {e}")))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|e| format!("bad SNP id {s:?}: {e}"))
+        })
         .collect::<Result<_, _>>()?;
     let pipeline = EvalPipeline::new(&d, fitness_kind(args)).map_err(|e| e.to_string())?;
     let detail = pipeline

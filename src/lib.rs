@@ -51,8 +51,8 @@ pub use ld_stats as stats;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use ld_core::{
-        CachingEvaluator, CountingEvaluator, Evaluator, GaConfig, GaEngine, Haplotype,
-        RunResult, Scheme, StatsEvaluator,
+        CachingEvaluator, CountingEvaluator, Evaluator, GaConfig, GaEngine, Haplotype, RunResult,
+        Scheme, StatsEvaluator,
     };
     pub use ld_data::{Dataset, Genotype, SnpId, Status};
     pub use ld_parallel::{MasterSlaveEvaluator, RayonEvaluator, TimingEvaluator};

@@ -74,7 +74,10 @@ fn generate_qc_eval_enumerate_pipeline() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("fitness"), "eval output: {text}");
-    assert!(text.contains("odds ratio") || text.contains("OR"), "eval output: {text}");
+    assert!(
+        text.contains("odds ratio") || text.contains("OR"),
+        "eval output: {text}"
+    );
 
     // exhaustive size-2 enumeration (1275 haplotypes, fast)
     let out = hga()

@@ -29,9 +29,7 @@ fn ga_matches_exhaustive_optimum_on_size_2() {
     let exact = exhaustive_top_k(&objective, 2, 1);
     let optimum = exact.best().expect("non-empty space");
 
-    let result = GaEngine::new(&objective, small_config(), 0)
-        .unwrap()
-        .run();
+    let result = GaEngine::new(&objective, small_config(), 0).unwrap().run();
     let ga_best = result.best_of_size(2).expect("size-2 champion");
     assert_eq!(
         ga_best.snps(),
@@ -74,9 +72,8 @@ fn ga_improves_monotonically_per_size() {
 fn cached_and_uncached_runs_agree() {
     let data = haplo_ga::data::synthetic::lille_51(42);
     let plain = StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1).unwrap();
-    let cached = CachingEvaluator::new(
-        StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1).unwrap(),
-    );
+    let cached =
+        CachingEvaluator::new(StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1).unwrap());
     let r1 = GaEngine::new(&plain, small_config(), 9).unwrap().run();
     let r2 = GaEngine::new(&cached, small_config(), 9).unwrap().run();
     // The evaluation function is pure, so the cache must not change the

@@ -70,6 +70,45 @@ fn every_evaluator_yields_the_same_trajectory() {
 }
 
 #[test]
+fn every_backend_performs_identical_true_evaluations() {
+    // The scheduler's accounting must agree across dispatch backends: the
+    // same seed yields the same champions AND the same number of true
+    // (backend-reaching) evaluations whether the batch is computed inline,
+    // on a thread pool, or by master/slaves workers.
+    let seq = CountingEvaluator::new(objective());
+    let r_seq = GaEngine::new(&seq, config(), 91).unwrap().run();
+    let seq_count = seq.count();
+
+    let ms = MasterSlaveEvaluator::new(CountingEvaluator::new(objective()), 3);
+    let r_ms = GaEngine::new(&ms, config(), 91).unwrap().run();
+    let ms_count = ms.inner().count();
+
+    let ry = RayonEvaluator::new(CountingEvaluator::new(objective()));
+    let r_ry = GaEngine::new(&ry, config(), 91).unwrap().run();
+    let ry_count = ry.inner().count();
+
+    assert_eq!(
+        fingerprint(&r_ms),
+        fingerprint(&r_seq),
+        "master/slaves deviated"
+    );
+    assert_eq!(fingerprint(&r_ry), fingerprint(&r_seq), "rayon deviated");
+    assert_eq!(
+        seq_count, ms_count,
+        "true-eval counts diverge (master/slaves)"
+    );
+    assert_eq!(seq_count, ry_count, "true-eval counts diverge (rayon)");
+    // With no scheduler cache, every scheduled evaluation reaches the
+    // backend, so the engine's metric equals the observed count.
+    assert_eq!(r_seq.total_evaluations, seq_count);
+    // Scheduler observability rides along in the history.
+    assert!(r_seq
+        .history
+        .iter()
+        .all(|g| g.sched.batches >= 2 && g.sched.cache_hits == 0));
+}
+
+#[test]
 fn stacked_wrappers_compose() {
     // cache(count(master_slave(objective))) — the harness's real stack.
     let stack = CachingEvaluator::new(CountingEvaluator::new(MasterSlaveEvaluator::new(

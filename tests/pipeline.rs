@@ -47,10 +47,16 @@ fn pipeline_scores_signal_above_random_triples() {
     let pipeline = EvalPipeline::new(&data, FitnessKind::ClumpT1).unwrap();
     let signal = pipeline.evaluate(&[8, 12, 15]).unwrap();
     // Median of a handful of arbitrary triples far from the signals.
-    let mut noise: Vec<f64> = [[0, 1, 2], [5, 30, 40], [10, 35, 46], [3, 23, 37], [6, 28, 41]]
-        .iter()
-        .map(|c| pipeline.evaluate(c).unwrap())
-        .collect();
+    let mut noise: Vec<f64> = [
+        [0, 1, 2],
+        [5, 30, 40],
+        [10, 35, 46],
+        [3, 23, 37],
+        [6, 28, 41],
+    ]
+    .iter()
+    .map(|c| pipeline.evaluate(c).unwrap())
+    .collect();
     noise.sort_by(f64::total_cmp);
     let median = noise[noise.len() / 2];
     // The planted signal must clearly exceed typical background triples.
@@ -115,7 +121,9 @@ fn clump_significance_flags_the_signal_not_the_noise() {
     let data = lille_51(42);
     let pipeline = EvalPipeline::new(&data, FitnessKind::ClumpT1).unwrap();
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
-    let sig = pipeline.clump_analysis(&[8, 12, 15], 400, &mut rng).unwrap();
+    let sig = pipeline
+        .clump_analysis(&[8, 12, 15], 400, &mut rng)
+        .unwrap();
     assert!(
         sig.mc_p_value(haplo_ga::stats::ClumpStatistic::T1).unwrap() < 0.05,
         "planted signal should be MC-significant"
