@@ -5,6 +5,7 @@ use crate::individual::Haplotype;
 use crate::ops::crossover::{inter_crossover, uniform_crossover, CrossoverKind};
 use crate::ops::mutation::{apply_mutation, MutationKind};
 use crate::population::NormalizerSnapshot;
+use crate::sched::EvalBackendError;
 use rand::prelude::*;
 use std::ops::Range;
 
@@ -56,7 +57,10 @@ impl<E: Evaluator> GaRun<'_, E> {
     /// Phase A: selection + crossover. Produces the generation's children
     /// (evaluated as one scheduler batch) and feeds crossover progress
     /// (§4.3.2) into the adaptive rates.
-    pub(super) fn crossover_phase(&mut self, norms: &NormalizerSnapshot) -> Vec<Haplotype> {
+    pub(super) fn crossover_phase(
+        &mut self,
+        norms: &NormalizerSnapshot,
+    ) -> Result<Vec<Haplotype>, EvalBackendError> {
         let n_snps = self.service.n_snps();
         let n_sizes = self.cfg.max_size - self.cfg.min_size + 1;
         let mut children: Vec<Haplotype> = Vec::new();
@@ -113,7 +117,7 @@ impl<E: Evaluator> GaRun<'_, E> {
         }
 
         // Evaluate the unevaluated children (one scheduler batch).
-        self.total_evals += self.service.submit(&mut children);
+        self.total_evals += self.service.submit(&mut children)?;
 
         // Crossover progress (§4.3.2): average improvement of children over
         // their reference parents.
@@ -125,7 +129,7 @@ impl<E: Evaluator> GaRun<'_, E> {
                 / 2.0;
             self.crossover_rates.record(m.kind.index(), prog);
         }
-        children
+        Ok(children)
     }
 
     /// Phase B: mutation. Mutates children in place, evaluating all
@@ -135,7 +139,7 @@ impl<E: Evaluator> GaRun<'_, E> {
         &mut self,
         children: &mut [Haplotype],
         norms: &NormalizerSnapshot,
-    ) {
+    ) -> Result<(), EvalBackendError> {
         let n_snps = self.service.n_snps();
         let mut candidates: Vec<Haplotype> = Vec::new();
         let mut mut_records: Vec<MutationRecord> = Vec::new();
@@ -175,7 +179,7 @@ impl<E: Evaluator> GaRun<'_, E> {
                 candidates: start..candidates.len(),
             });
         }
-        self.total_evals += self.service.submit(&mut candidates);
+        self.total_evals += self.service.submit(&mut candidates)?;
 
         // "Keep the best individual found by this mutation": the best
         // candidate becomes the mutated child; progress is measured against
@@ -192,6 +196,7 @@ impl<E: Evaluator> GaRun<'_, E> {
             self.mutation_rates.record(rec.kind.index(), prog);
             children[rec.child] = best;
         }
+        Ok(())
     }
 
     /// Pick any parent, from a subpopulation chosen by membership weight.

@@ -1,23 +1,37 @@
 //! The per-generation loop: one [`GaRun::step`] is one Figure-5 pass.
 
 use crate::evaluator::Evaluator;
+use crate::sched::EvalBackendError;
 
 use super::{GaRun, GenerationStats, StepOutcome};
 
 impl<E: Evaluator> GaRun<'_, E> {
     /// Execute one generation. See the module docs for the phase order.
+    ///
+    /// Panics if the evaluation layer fails unrecoverably; use
+    /// [`GaRun::try_step`] to handle [`EvalBackendError`] instead (e.g.
+    /// when driving a remote slave pool without a local fallback).
     pub fn step(&mut self) -> StepOutcome {
+        self.try_step().expect("evaluation backend failed")
+    }
+
+    /// Execute one generation, surfacing evaluation-layer failures as a
+    /// typed error instead of panicking. A failed generation leaves the
+    /// populations as they were before the failed batch (partial results
+    /// are discarded with the batch), so the run can be resumed against a
+    /// repaired backend or abandoned cleanly.
+    pub fn try_step(&mut self) -> Result<StepOutcome, EvalBackendError> {
         if self.generation >= self.cfg.max_generations {
-            return StepOutcome::GenerationCapReached;
+            return Ok(StepOutcome::GenerationCapReached);
         }
         self.generation += 1;
         let norms = self.pop.normalizer_snapshot();
 
         // ------ Phase A: selection + crossover ------
-        let mut children = self.crossover_phase(&norms);
+        let mut children = self.crossover_phase(&norms)?;
 
         // ------ Phase B: mutation ------
-        self.mutation_phase(&mut children, &norms);
+        self.mutation_phase(&mut children, &norms)?;
 
         // ------ Replacement (§4.6) ------
         for child in children {
@@ -40,7 +54,7 @@ impl<E: Evaluator> GaRun<'_, E> {
         // ------ Random immigrants (§4.4) ------
         let mut n_immigrants = 0usize;
         if self.cfg.scheme.random_immigrants && self.ri_counter >= self.cfg.ri_stagnation {
-            n_immigrants = self.immigrant_phase();
+            n_immigrants = self.immigrant_phase()?;
             self.ri_counter = 0;
         }
 
@@ -59,13 +73,13 @@ impl<E: Evaluator> GaRun<'_, E> {
             sched: self.service.take_window(),
         });
 
-        if improved {
+        Ok(if improved {
             StepOutcome::Improved
         } else if self.is_stagnated() {
             StepOutcome::StagnationLimitReached
         } else {
             StepOutcome::Stagnating
-        }
+        })
     }
 
     /// Update the per-size champions from the live population; returns

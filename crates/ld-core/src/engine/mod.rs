@@ -45,9 +45,10 @@ use crate::evaluator::Evaluator;
 use crate::individual::Haplotype;
 use crate::population::MultiPopulation;
 use crate::rng::random_haplotype;
-use crate::sched::{EvalService, EvaluatorBackend, SchedStats};
+use crate::sched::{EvalBackend, EvalBackendError, EvalService, EvaluatorBackend, SchedStats};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 pub use crate::sched::FeasibilityFilter;
 
@@ -150,14 +151,19 @@ pub struct GaRun<'e, E: Evaluator> {
 }
 
 /// Build the run's scheduler: sequential dispatch to the borrowed
-/// evaluator, the configured cache, and the caller's feasibility filter.
+/// evaluator, the configured cache, the caller's feasibility filter, and an
+/// optional fallback backend for when the primary evaluator fails.
 fn build_service<'e, E: Evaluator>(
     evaluator: &'e E,
     cfg: &GaConfig,
     feasibility: Option<FeasibilityFilter>,
+    fallback: Option<Arc<dyn EvalBackend>>,
 ) -> EvalService<EvaluatorBackend<'e, E>> {
     let mut service =
         EvalService::new(EvaluatorBackend::new(evaluator)).with_feasibility(feasibility);
+    if let Some(fb) = fallback {
+        service = service.with_fallback(fb);
+    }
     if cfg.sched_cache > 0 {
         service = service.with_cache(cfg.sched_cache);
     }
@@ -174,6 +180,19 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
         seed: u64,
         feasibility: Option<FeasibilityFilter>,
     ) -> Result<Self, String> {
+        Self::new_with_fallback(evaluator, config, seed, feasibility, None)
+    }
+
+    /// [`GaRun::new`] with an optional fallback backend that finishes
+    /// evaluation batches when the primary evaluator fails mid-run (see
+    /// [`EvalService::with_fallback`]).
+    pub fn new_with_fallback(
+        evaluator: &'e E,
+        config: GaConfig,
+        seed: u64,
+        feasibility: Option<FeasibilityFilter>,
+        fallback: Option<Arc<dyn EvalBackend>>,
+    ) -> Result<Self, String> {
         config.validate(evaluator.n_snps())?;
         let n_snps = evaluator.n_snps();
         let n_sizes = config.max_size - config.min_size + 1;
@@ -184,7 +203,7 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
             config.max_size,
             config.population_size,
         );
-        let mut service = build_service(evaluator, &config, feasibility);
+        let mut service = build_service(evaluator, &config, feasibility, fallback);
         let mut total_evals: u64 = 0;
 
         // Warm start: rank SNPs by single-marker fitness once (costs
@@ -217,7 +236,9 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
                     initial.push(h);
                 }
             }
-            total_evals += service.submit(&mut initial);
+            total_evals += service
+                .submit(&mut initial)
+                .map_err(|e| format!("initial evaluation failed: {e}"))?;
             let subpop = pop.get_mut(size).expect("managed size");
             for h in initial {
                 subpop.try_insert(h);
@@ -281,7 +302,7 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
         history: Vec<GenerationStats>,
         generation: usize,
     ) -> Self {
-        let service = build_service(evaluator, &cfg, feasibility);
+        let service = build_service(evaluator, &cfg, feasibility, None);
         GaRun {
             service,
             cfg,
@@ -429,6 +450,7 @@ pub struct GaEngine<'e, E: Evaluator> {
     config: GaConfig,
     seed: u64,
     feasibility: Option<FeasibilityFilter>,
+    fallback: Option<Arc<dyn EvalBackend>>,
 }
 
 impl<'e, E: Evaluator> GaEngine<'e, E> {
@@ -440,6 +462,7 @@ impl<'e, E: Evaluator> GaEngine<'e, E> {
             config,
             seed,
             feasibility: None,
+            fallback: None,
         })
     }
 
@@ -450,26 +473,48 @@ impl<'e, E: Evaluator> GaEngine<'e, E> {
         self
     }
 
+    /// Install a local fallback backend that finishes evaluation batches
+    /// when the primary evaluator fails (e.g. a rayon pool behind a TCP
+    /// slave pool). Without one, an unrecoverable evaluation failure
+    /// surfaces from [`GaEngine::try_run`] / [`GaRun::try_step`] as a typed
+    /// [`EvalBackendError`].
+    pub fn with_fallback_backend(mut self, fallback: Arc<dyn EvalBackend>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
     /// Start a steppable run (island-model building block).
     pub fn start(&self) -> Result<GaRun<'e, E>, String> {
-        GaRun::new(
+        GaRun::new_with_fallback(
             self.evaluator,
             self.config.clone(),
             self.seed,
             self.feasibility.clone(),
+            self.fallback.clone(),
         )
     }
 
     /// Execute the full run: generations until stagnation (§4.6) or the
     /// hard cap.
+    ///
+    /// Panics if the evaluation layer fails unrecoverably; use
+    /// [`GaEngine::try_run`] when driving fallible (remote) evaluators.
     pub fn run(&mut self) -> RunResult {
-        let mut run = self.start().expect("configuration validated in new()");
+        self.try_run().expect("evaluation backend failed")
+    }
+
+    /// [`GaEngine::run`], surfacing evaluation-layer failures as a typed
+    /// [`EvalBackendError`] instead of panicking. The configuration itself
+    /// was validated in [`GaEngine::new`], so the only runtime failures
+    /// left are evaluation-layer ones.
+    pub fn try_run(&mut self) -> Result<RunResult, EvalBackendError> {
+        let mut run = self.start().map_err(EvalBackendError::Backend)?;
         loop {
-            match run.step() {
+            match run.try_step()? {
                 StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
                 StepOutcome::Improved | StepOutcome::Stagnating => {}
             }
         }
-        run.finish()
+        Ok(run.finish())
     }
 }

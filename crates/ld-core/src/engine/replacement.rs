@@ -4,6 +4,7 @@
 use crate::evaluator::Evaluator;
 use crate::immigrants::replace_below_mean;
 use crate::individual::Haplotype;
+use crate::sched::EvalBackendError;
 
 use super::GaRun;
 
@@ -12,10 +13,21 @@ impl<E: Evaluator> GaRun<'_, E> {
     /// feasibility-filtered and evaluated (one scheduler batch) if needed,
     /// then go through the normal §4.6 replacement rule. Improvements reset
     /// the stagnation counters exactly like native offspring.
+    ///
+    /// Panics if the evaluation layer fails unrecoverably; see
+    /// [`GaRun::try_inject`].
     pub fn inject(&mut self, migrants: Vec<Haplotype>) {
+        self.try_inject(migrants)
+            .expect("evaluation backend failed")
+    }
+
+    /// Fallible [`GaRun::inject`]: surfaces evaluation-layer failures as a
+    /// typed error. On `Err` the migrants are dropped and the populations
+    /// are unchanged.
+    pub fn try_inject(&mut self, migrants: Vec<Haplotype>) -> Result<(), EvalBackendError> {
         let mut migrants = migrants;
         self.service.retain_feasible(&mut migrants);
-        self.total_evals += self.service.submit(&mut migrants);
+        self.total_evals += self.service.submit(&mut migrants)?;
         for h in migrants {
             self.pop.try_insert(h);
         }
@@ -23,12 +35,13 @@ impl<E: Evaluator> GaRun<'_, E> {
             self.stagnation = 0;
             self.ri_counter = 0;
         }
+        Ok(())
     }
 
     /// Replace below-mean individuals with random immigrants in every
     /// subpopulation (one scheduler batch); returns how many were
     /// introduced.
-    pub(super) fn immigrant_phase(&mut self) -> usize {
+    pub(super) fn immigrant_phase(&mut self) -> Result<usize, EvalBackendError> {
         let n_snps = self.service.n_snps();
         let mut immigrants: Vec<Haplotype> = Vec::new();
         for subpop in self.pop.iter_mut() {
@@ -37,10 +50,10 @@ impl<E: Evaluator> GaRun<'_, E> {
             immigrants.extend(imms);
         }
         let n_immigrants = immigrants.len();
-        self.total_evals += self.service.submit(&mut immigrants);
+        self.total_evals += self.service.submit(&mut immigrants)?;
         for h in immigrants {
             self.pop.try_insert(h);
         }
-        n_immigrants
+        Ok(n_immigrants)
     }
 }

@@ -16,7 +16,7 @@
 //!   bounded with [`CachingEvaluator::with_capacity`].
 
 use crate::individual::Haplotype;
-use crate::sched::ShardedCache;
+use crate::sched::{EvalBackendError, FaultEvents, ShardedCache};
 use ld_data::SnpId;
 use ld_stats::{EvalPipeline, FitnessKind};
 use std::collections::HashMap;
@@ -38,6 +38,25 @@ pub trait Evaluator: Send + Sync {
             let f = self.evaluate_one(h.snps());
             h.set_fitness(f);
         }
+    }
+
+    /// Fallible batch evaluation, for evaluators backed by infrastructure
+    /// that can fail (a TCP slave pool, a thread pool whose workers died).
+    ///
+    /// Local evaluators cannot fail, so the default simply delegates to
+    /// [`Evaluator::evaluate_batch`] and returns `Ok`. On `Err`, completed
+    /// jobs must be left evaluated and untouched jobs unevaluated (the
+    /// [`crate::EvalBackend`] residue contract).
+    fn try_evaluate_batch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
+        self.evaluate_batch(batch);
+        Ok(())
+    }
+
+    /// Drain fault-recovery events absorbed since the last call (see
+    /// [`crate::EvalBackend::take_fault_events`]). Local evaluators have
+    /// nothing to report.
+    fn take_fault_events(&self) -> FaultEvents {
+        FaultEvents::default()
     }
 }
 
@@ -127,6 +146,15 @@ impl<E: Evaluator> Evaluator for CountingEvaluator<E> {
     fn evaluate_batch(&self, batch: &mut [Haplotype]) {
         self.count.fetch_add(batch.len() as u64, Ordering::Relaxed);
         self.inner.evaluate_batch(batch);
+    }
+
+    fn try_evaluate_batch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
+        self.count.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.inner.try_evaluate_batch(batch)
+    }
+
+    fn take_fault_events(&self) -> FaultEvents {
+        self.inner.take_fault_events()
     }
 }
 
@@ -228,6 +256,10 @@ impl<E: Evaluator> Evaluator for CachingEvaluator<E> {
                 batch[i].set_fitness(m.fitness());
             }
         }
+    }
+
+    fn take_fault_events(&self) -> FaultEvents {
+        self.inner.take_fault_events()
     }
 }
 

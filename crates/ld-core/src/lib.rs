@@ -59,7 +59,8 @@ pub use individual::Haplotype;
 pub use init::InitStrategy;
 pub use population::MultiPopulation;
 pub use sched::{
-    EvalBackend, EvalService, EvaluatorBackend, FeasibilityFilter, SchedStats, ShardedCache,
+    EvalBackend, EvalBackendError, EvalService, EvaluatorBackend, FaultEvents, FeasibilityFilter,
+    SchedStats, ShardedCache,
 };
 pub use selection::SelectionStrategy;
 pub use subpop::SubPopulation;

@@ -28,6 +28,18 @@
 //! evaluations that actually reached the backend is
 //! [`SchedStats::true_evals`]; with the cache disabled (the default) the two
 //! are equal.
+//!
+//! **Failure model** (see `DESIGN.md` §"Failure model of the evaluation
+//! layer"): [`EvalBackend::dispatch`] is fallible. A distributed backend
+//! retries and requeues internally; only when it cannot make progress at
+//! all (every remote worker dead) does it return
+//! [`EvalBackendError::AllWorkersFailed`], leaving the jobs it did finish
+//! evaluated. The service then re-dispatches the residue to the configured
+//! [`EvalService::with_fallback`] backend (typically a local evaluator), or
+//! surfaces the typed error to the engine when no fallback exists. Fault
+//! events the backend recovered from (retries, retirements, rejoins,
+//! requeued jobs) are drained after every dispatch via
+//! [`EvalBackend::take_fault_events`] and folded into [`SchedStats`].
 
 use crate::evaluator::Evaluator;
 use crate::individual::Haplotype;
@@ -40,6 +52,74 @@ use std::time::Instant;
 /// Optional feasibility predicate applied to candidates before they are
 /// evaluated (the §2.3 LD / frequency constraints).
 pub type FeasibilityFilter = Arc<dyn Fn(&[SnpId]) -> bool + Send + Sync>;
+
+/// A batch dispatch failed in a way the backend could not recover from.
+///
+/// Distributed backends retry, reconnect and requeue internally; this error
+/// is the end of that ladder. Jobs the backend did finish before failing
+/// are left evaluated in the batch, so a caller (or the service's fallback
+/// stage) only has to re-dispatch the unevaluated residue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalBackendError {
+    /// Every remote worker has failed (and could not be rejoined), with
+    /// `outstanding` of `total` jobs still unevaluated.
+    AllWorkersFailed {
+        /// Jobs left unevaluated when the backend gave up.
+        outstanding: usize,
+        /// Jobs in the failed batch.
+        total: usize,
+    },
+    /// Any other unrecoverable backend failure.
+    Backend(String),
+}
+
+impl std::fmt::Display for EvalBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalBackendError::AllWorkersFailed { outstanding, total } => write!(
+                f,
+                "every evaluation worker failed with {outstanding} of {total} jobs outstanding"
+            ),
+            EvalBackendError::Backend(msg) => write!(f, "evaluation backend failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalBackendError {}
+
+/// Fault-recovery events a backend absorbed since the last drain.
+///
+/// Backends that retry/reconnect (e.g. a TCP slave pool) accumulate these
+/// internally; [`EvalService`] drains them after every dispatch and folds
+/// them into [`SchedStats`], from where they reach per-generation telemetry
+/// and the history TSV.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultEvents {
+    /// Requests re-sent after a per-request failure or deadline expiry.
+    pub retries: u64,
+    /// Workers given up on (retired) after exhausting their retries.
+    pub retirements: u64,
+    /// Previously retired workers that reconnected and took work again.
+    pub rejoins: u64,
+    /// Jobs pushed back onto the work queue after a worker failure
+    /// (requeued, never lost).
+    pub requeued: u64,
+}
+
+impl FaultEvents {
+    /// Whether any event was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultEvents::default()
+    }
+
+    /// Fold another drain into this one.
+    pub fn merge(&mut self, other: &FaultEvents) {
+        self.retries += other.retries;
+        self.retirements += other.retirements;
+        self.rejoins += other.rejoins;
+        self.requeued += other.requeued;
+    }
+}
 
 /// A batch-evaluation executor: the pluggable dispatch stage of
 /// [`EvalService`].
@@ -55,7 +135,19 @@ pub trait EvalBackend: Send + Sync {
     fn n_snps(&self) -> usize;
 
     /// Evaluate every individual in `batch` in place.
-    fn dispatch(&self, batch: &mut [Haplotype]);
+    ///
+    /// On failure the backend must leave completed jobs evaluated and
+    /// untouched jobs unevaluated, so the caller can re-dispatch the
+    /// residue elsewhere (see [`EvalBackendError`]).
+    fn dispatch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError>;
+
+    /// Drain the fault-recovery events absorbed since the last call.
+    ///
+    /// Local backends have nothing to report; distributed backends return
+    /// their retry/retire/rejoin/requeue counters here.
+    fn take_fault_events(&self) -> FaultEvents {
+        FaultEvents::default()
+    }
 
     /// Jobs currently queued inside the backend but not yet completed.
     ///
@@ -99,8 +191,12 @@ impl<E: Evaluator + ?Sized> EvalBackend for EvaluatorBackend<'_, E> {
         self.inner.n_snps()
     }
 
-    fn dispatch(&self, batch: &mut [Haplotype]) {
-        self.inner.evaluate_batch(batch);
+    fn dispatch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
+        self.inner.try_evaluate_batch(batch)
+    }
+
+    fn take_fault_events(&self) -> FaultEvents {
+        self.inner.take_fault_events()
     }
 
     fn backend_name(&self) -> &'static str {
@@ -265,6 +361,23 @@ pub struct SchedStats {
     /// Peak jobs outstanding at a dispatch (batch size + residual backend
     /// queue depth).
     pub max_queue_depth: u64,
+    /// Requests re-sent by the backend after per-request failures
+    /// (fault recovery; `serde(default)` keeps old checkpoints loadable).
+    #[serde(default)]
+    pub retries: u64,
+    /// Remote workers retired after exhausting their retries.
+    #[serde(default)]
+    pub retirements: u64,
+    /// Retired workers that reconnected and rejoined the pool.
+    #[serde(default)]
+    pub rejoins: u64,
+    /// Jobs requeued after a worker failure (never lost).
+    #[serde(default)]
+    pub requeued: u64,
+    /// Batches whose residue was completed by the fallback backend after
+    /// the primary backend failed.
+    #[serde(default)]
+    pub fallback_batches: u64,
 }
 
 impl SchedStats {
@@ -302,6 +415,12 @@ impl SchedStats {
         }
     }
 
+    /// Total fault-recovery events (retries, retirements, rejoins,
+    /// requeues, fallback activations) absorbed by the evaluation layer.
+    pub fn fault_events(&self) -> u64 {
+        self.retries + self.retirements + self.rejoins + self.requeued + self.fallback_batches
+    }
+
     /// Fold another window into this one.
     pub fn merge(&mut self, other: &SchedStats) {
         self.batches += other.batches;
@@ -312,6 +431,11 @@ impl SchedStats {
         self.true_evals += other.true_evals;
         self.dispatch_ns += other.dispatch_ns;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.retries += other.retries;
+        self.retirements += other.retirements;
+        self.rejoins += other.rejoins;
+        self.requeued += other.requeued;
+        self.fallback_batches += other.fallback_batches;
     }
 }
 
@@ -319,6 +443,7 @@ impl SchedStats {
 /// stage pipeline).
 pub struct EvalService<B: EvalBackend> {
     backend: B,
+    fallback: Option<Arc<dyn EvalBackend>>,
     cache: Option<ShardedCache>,
     feasibility: Option<FeasibilityFilter>,
     totals: SchedStats,
@@ -326,16 +451,25 @@ pub struct EvalService<B: EvalBackend> {
 }
 
 impl<B: EvalBackend> EvalService<B> {
-    /// A service dispatching to `backend`, with no cache and no
-    /// feasibility filter.
+    /// A service dispatching to `backend`, with no cache, no fallback and
+    /// no feasibility filter.
     pub fn new(backend: B) -> Self {
         EvalService {
             backend,
+            fallback: None,
             cache: None,
             feasibility: None,
             totals: SchedStats::default(),
             window: SchedStats::default(),
         }
+    }
+
+    /// Install a fallback backend used to finish a batch when the primary
+    /// backend fails (e.g. a local evaluator behind a TCP slave pool).
+    /// Activations are counted in [`SchedStats::fallback_batches`].
+    pub fn with_fallback(mut self, fallback: Arc<dyn EvalBackend>) -> Self {
+        self.fallback = Some(fallback);
+        self
     }
 
     /// Enable the bounded sharded cache (`capacity` SNP sets; 0 =
@@ -383,7 +517,13 @@ impl<B: EvalBackend> EvalService<B> {
     /// Run one batch through coalesce → cache → dispatch, writing fitness
     /// in place. Already-evaluated members are left untouched. Returns the
     /// number of *scheduled* evaluations (unique unevaluated SNP sets).
-    pub fn submit(&mut self, batch: &mut [Haplotype]) -> u64 {
+    ///
+    /// If the primary backend fails mid-batch, the unevaluated residue is
+    /// re-dispatched to the [`EvalService::with_fallback`] backend; only
+    /// when there is no fallback (or the fallback fails too) does the
+    /// error surface. Either way the counters for this batch — including
+    /// the fault events the backend absorbed — are recorded.
+    pub fn submit(&mut self, batch: &mut [Haplotype]) -> Result<u64, EvalBackendError> {
         let pending: Vec<usize> = batch
             .iter()
             .enumerate()
@@ -395,7 +535,7 @@ impl<B: EvalBackend> EvalService<B> {
         self.window.requested += pending.len() as u64;
         self.totals.requested += pending.len() as u64;
         if pending.is_empty() {
-            return 0;
+            return Ok(0);
         }
 
         // Coalesce: group duplicate SNP sets, preserving first-seen order.
@@ -428,10 +568,13 @@ impl<B: EvalBackend> EvalService<B> {
             }
         }
 
-        // Dispatch residual misses as one backend batch.
+        // Dispatch residual misses as one backend batch. On primary
+        // failure the fallback backend finishes the unevaluated residue.
         let mut true_evals = 0u64;
         let mut dispatch_ns = 0u64;
         let mut depth = 0u64;
+        let mut fallback_batches = 0u64;
+        let mut dispatch_err: Option<EvalBackendError> = None;
         if !misses.is_empty() {
             let mut jobs: Vec<Haplotype> = misses
                 .iter()
@@ -439,28 +582,68 @@ impl<B: EvalBackend> EvalService<B> {
                 .collect();
             depth = (jobs.len() + self.backend.queue_depth()) as u64;
             let started = Instant::now();
-            self.backend.dispatch(&mut jobs);
-            dispatch_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            true_evals = jobs.len() as u64;
-            for (&g, job) in misses.iter().zip(&jobs) {
-                let f = job.fitness();
-                if let Some(cache) = &self.cache {
-                    cache.insert(groups[g].0.clone(), f);
+            if let Err(primary_err) = self.backend.dispatch(&mut jobs) {
+                match &self.fallback {
+                    Some(fb) => {
+                        fallback_batches = 1;
+                        // The failed backend left finished jobs evaluated;
+                        // only the residue goes to the fallback.
+                        let residue: Vec<usize> = jobs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, h)| !h.is_evaluated())
+                            .map(|(i, _)| i)
+                            .collect();
+                        let mut residue_jobs: Vec<Haplotype> = residue
+                            .iter()
+                            .map(|&i| Haplotype::from_sorted(jobs[i].snps().to_vec()))
+                            .collect();
+                        match fb.dispatch(&mut residue_jobs) {
+                            Ok(()) => {
+                                for (&i, job) in residue.iter().zip(&residue_jobs) {
+                                    jobs[i].set_fitness(job.fitness());
+                                }
+                            }
+                            Err(fallback_err) => dispatch_err = Some(fallback_err),
+                        }
+                    }
+                    None => dispatch_err = Some(primary_err),
                 }
-                for &i in &groups[g].1 {
-                    batch[i].set_fitness(f);
+            }
+            dispatch_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            true_evals = jobs.iter().filter(|h| h.is_evaluated()).count() as u64;
+            if dispatch_err.is_none() {
+                for (&g, job) in misses.iter().zip(&jobs) {
+                    let f = job.fitness();
+                    if let Some(cache) = &self.cache {
+                        cache.insert(groups[g].0.clone(), f);
+                    }
+                    for &i in &groups[g].1 {
+                        batch[i].set_fitness(f);
+                    }
                 }
             }
         }
 
+        // Record this batch — fault events included — even on the error
+        // path, so a failed generation is still visible in telemetry.
+        let faults = self.backend.take_fault_events();
         for s in [&mut self.window, &mut self.totals] {
             s.coalesced += coalesced;
             s.cache_hits += cache_hits;
             s.true_evals += true_evals;
             s.dispatch_ns += dispatch_ns;
             s.max_queue_depth = s.max_queue_depth.max(depth);
+            s.retries += faults.retries;
+            s.retirements += faults.retirements;
+            s.rejoins += faults.rejoins;
+            s.requeued += faults.requeued;
+            s.fallback_batches += fallback_batches;
         }
-        scheduled
+        match dispatch_err {
+            Some(err) => Err(err),
+            None => Ok(scheduled),
+        }
     }
 
     /// Lifetime counters.
@@ -500,7 +683,7 @@ mod tests {
         let counter = CountingEvaluator::new(toy());
         let mut svc = EvalService::new(EvaluatorBackend::new(&counter));
         let mut batch = dup_batch(8);
-        let scheduled = svc.submit(&mut batch);
+        let scheduled = svc.submit(&mut batch).unwrap();
         assert_eq!(scheduled, 1);
         assert_eq!(counter.count(), 1);
         assert_eq!(svc.stats().requested, 8);
@@ -518,7 +701,7 @@ mod tests {
         let mut pre = Haplotype::new(vec![1, 2]);
         pre.set_fitness(99.0);
         let mut batch = vec![pre, Haplotype::new(vec![5, 6])];
-        assert_eq!(svc.submit(&mut batch), 1);
+        assert_eq!(svc.submit(&mut batch).unwrap(), 1);
         assert_eq!(batch[0].fitness(), 99.0, "pre-scored member untouched");
         assert_eq!(batch[1].fitness(), 11.0);
         assert_eq!(counter.count(), 1);
@@ -529,12 +712,12 @@ mod tests {
         let counter = CountingEvaluator::new(toy());
         let mut svc = EvalService::new(EvaluatorBackend::new(&counter)).with_cache(1024);
         let mut batch = dup_batch(4);
-        assert_eq!(svc.submit(&mut batch), 1);
+        assert_eq!(svc.submit(&mut batch).unwrap(), 1);
         assert_eq!(counter.count(), 1);
         // A fresh batch with the same set: scheduled but served from cache.
         let mut batch = dup_batch(4);
         assert_eq!(
-            svc.submit(&mut batch),
+            svc.submit(&mut batch).unwrap(),
             1,
             "cache hits still count as scheduled"
         );
@@ -560,7 +743,7 @@ mod tests {
         svc.retain_feasible(&mut batch);
         assert_eq!(batch.len(), 1);
         assert_eq!(svc.stats().infeasible, 2);
-        svc.submit(&mut batch);
+        svc.submit(&mut batch).unwrap();
         assert_eq!(counter.count(), 1);
     }
 
@@ -568,11 +751,11 @@ mod tests {
     fn windows_drain_while_totals_accumulate() {
         let counter = CountingEvaluator::new(toy());
         let mut svc = EvalService::new(EvaluatorBackend::new(&counter));
-        svc.submit(&mut dup_batch(3));
+        svc.submit(&mut dup_batch(3)).unwrap();
         let w = svc.take_window();
         assert_eq!(w.requested, 3);
         assert_eq!(w.true_evals, 1);
-        svc.submit(&mut vec![Haplotype::new(vec![4, 9])]);
+        svc.submit(&mut [Haplotype::new(vec![4, 9])]).unwrap();
         let w = svc.take_window();
         assert_eq!(w.requested, 1, "window drained between generations");
         assert_eq!(svc.stats().requested, 4, "totals keep accumulating");
@@ -620,7 +803,7 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(cache.probe(&[1, 2]), Some(3.0));
         }
-        assert!(cache.len() >= 1);
+        assert!(!cache.is_empty());
     }
 
     #[test]
@@ -674,7 +857,109 @@ mod tests {
         assert_eq!(backend.backend_name(), "evaluator");
         assert_eq!(backend.queue_depth(), 0);
         let mut jobs = vec![Haplotype::new(vec![2, 3])];
-        backend.dispatch(&mut jobs);
+        backend.dispatch(&mut jobs).unwrap();
         assert_eq!(jobs[0].fitness(), 5.0);
+    }
+
+    /// A backend that evaluates the first `complete_before_failing` jobs of
+    /// each batch and then fails, reporting synthetic fault events.
+    struct FlakyBackend {
+        complete_before_failing: usize,
+    }
+
+    impl EvalBackend for FlakyBackend {
+        fn n_snps(&self) -> usize {
+            30
+        }
+
+        fn dispatch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
+            for h in batch.iter_mut().take(self.complete_before_failing) {
+                let f = h.snps().iter().sum::<usize>() as f64;
+                h.set_fitness(f);
+            }
+            let outstanding = batch.len().saturating_sub(self.complete_before_failing);
+            Err(EvalBackendError::AllWorkersFailed {
+                outstanding,
+                total: batch.len(),
+            })
+        }
+
+        fn take_fault_events(&self) -> FaultEvents {
+            FaultEvents {
+                retries: 2,
+                retirements: 1,
+                rejoins: 0,
+                requeued: 3,
+            }
+        }
+
+        fn backend_name(&self) -> &'static str {
+            "flaky"
+        }
+    }
+
+    #[test]
+    fn backend_failure_without_fallback_surfaces_typed_error() {
+        let mut svc = EvalService::new(FlakyBackend {
+            complete_before_failing: 0,
+        });
+        let mut batch = vec![Haplotype::new(vec![1, 2]), Haplotype::new(vec![3, 4])];
+        let err = svc.submit(&mut batch).unwrap_err();
+        assert_eq!(
+            err,
+            EvalBackendError::AllWorkersFailed {
+                outstanding: 2,
+                total: 2
+            }
+        );
+        // The batch is recorded and the drained fault events land in stats.
+        assert_eq!(svc.stats().batches, 1);
+        assert_eq!(svc.stats().retries, 2);
+        assert_eq!(svc.stats().retirements, 1);
+        assert_eq!(svc.stats().requeued, 3);
+        assert_eq!(svc.stats().fallback_batches, 0);
+        assert!(svc.stats().fault_events() > 0);
+    }
+
+    #[test]
+    fn fallback_backend_finishes_the_residue() {
+        let inner = toy();
+        let fallback: Arc<dyn EvalBackend> = Arc::new(OwnedEvaluatorBackend(inner));
+        let mut svc = EvalService::new(FlakyBackend {
+            complete_before_failing: 1,
+        })
+        .with_fallback(fallback);
+        let mut batch = vec![
+            Haplotype::new(vec![1, 2]),
+            Haplotype::new(vec![3, 4]),
+            Haplotype::new(vec![5, 6]),
+        ];
+        let scheduled = svc.submit(&mut batch).unwrap();
+        assert_eq!(scheduled, 3);
+        // Jobs the primary finished keep its results; the residue comes
+        // from the fallback — either way every member ends up evaluated.
+        assert_eq!(batch[0].fitness(), 3.0);
+        assert_eq!(batch[1].fitness(), 7.0);
+        assert_eq!(batch[2].fitness(), 11.0);
+        assert_eq!(svc.stats().fallback_batches, 1);
+        assert_eq!(svc.stats().true_evals, 3);
+    }
+
+    /// Owned adapter so a fallback can hold its evaluator (the borrowed
+    /// [`EvaluatorBackend`] cannot live inside an `Arc<dyn _>` here).
+    struct OwnedEvaluatorBackend<E: Evaluator>(E);
+
+    impl<E: Evaluator> EvalBackend for OwnedEvaluatorBackend<E> {
+        fn n_snps(&self) -> usize {
+            self.0.n_snps()
+        }
+
+        fn dispatch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
+            self.0.try_evaluate_batch(batch)
+        }
+
+        fn backend_name(&self) -> &'static str {
+            "owned-evaluator"
+        }
     }
 }

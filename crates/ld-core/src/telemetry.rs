@@ -57,6 +57,10 @@ pub struct SchedSummary {
     pub mean_dispatch_ms: f64,
     /// Peak jobs outstanding at any dispatch.
     pub max_queue_depth: u64,
+    /// Total fault-recovery events (retries, retirements, rejoins,
+    /// requeues, fallback activations) absorbed by the evaluation layer;
+    /// 0 for a fault-free run. Per-kind counts are in `totals`.
+    pub fault_events: u64,
 }
 
 /// Full telemetry report.
@@ -134,6 +138,7 @@ pub fn analyze(result: &RunResult) -> TelemetryReport {
         cache_hit_rate: totals.cache_hit_rate(),
         mean_dispatch_ms: totals.mean_dispatch_ms(),
         max_queue_depth: totals.max_queue_depth,
+        fault_events: totals.fault_events(),
         totals,
     };
 
@@ -199,6 +204,10 @@ pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std
         w,
         "\tsched_requested\tsched_coalesced\tsched_cache_hits\tsched_true_evals\tsched_dispatch_ms\tsched_queue_depth"
     )?;
+    write!(
+        w,
+        "\tsched_retries\tsched_retired\tsched_rejoins\tsched_requeued\tsched_fallbacks"
+    )?;
     writeln!(w)?;
     for g in &result.history {
         write!(w, "{}\t{}", g.generation, g.evaluations)?;
@@ -214,7 +223,7 @@ pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std
             write!(w, "\t{r:.6}")?;
         }
         write!(w, "\t{}", g.immigrants)?;
-        writeln!(
+        write!(
             w,
             "\t{}\t{}\t{}\t{}\t{:.3}\t{}",
             g.sched.requested,
@@ -223,6 +232,15 @@ pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std
             g.sched.true_evals,
             g.sched.dispatch_ns as f64 / 1e6,
             g.sched.max_queue_depth,
+        )?;
+        writeln!(
+            w,
+            "\t{}\t{}\t{}\t{}\t{}",
+            g.sched.retries,
+            g.sched.retirements,
+            g.sched.rejoins,
+            g.sched.requeued,
+            g.sched.fallback_batches,
         )?;
     }
     Ok(())
@@ -359,6 +377,9 @@ mod tests {
         assert!(s.mean_batch_size > 0.0);
         assert!(s.max_queue_depth > 0);
         assert!((0.0..=1.0).contains(&s.dedup_ratio));
+        // A local in-process run absorbs no faults.
+        assert_eq!(s.fault_events, 0);
+        assert_eq!(s.totals.fallback_batches, 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! and a connected master pool — the single-machine stand-in for the
 //! paper's PVM node farm, used by tests, examples and the CLI.
 
-use crate::master::{PoolError, TcpSlavePool};
+use crate::master::{PoolConfig, PoolError, TcpSlavePool};
 use crate::slave::SlaveServer;
 use ld_core::Evaluator;
 
@@ -28,14 +28,63 @@ impl LocalCluster {
         E: Evaluator + 'static,
         F: Fn() -> E,
     {
+        Self::spawn_configured(n_slaves, objective_factory, PoolConfig::default())
+    }
+
+    /// [`LocalCluster::spawn`] with explicit master-side fault-tolerance
+    /// knobs (timeouts, retries, rejoin backoff).
+    ///
+    /// # Panics
+    /// Panics if `n_slaves` is zero.
+    pub fn spawn_configured<E, F>(
+        n_slaves: usize,
+        objective_factory: F,
+        cfg: PoolConfig,
+    ) -> Result<LocalCluster, PoolError>
+    where
+        E: Evaluator + 'static,
+        F: Fn() -> E,
+    {
         assert!(n_slaves > 0, "need at least one slave");
         let slaves: Vec<SlaveServer> = (0..n_slaves)
             .map(|_| {
                 SlaveServer::spawn("127.0.0.1:0", objective_factory()).expect("bind loopback slave")
             })
             .collect();
+        Self::connect_pool(slaves, cfg)
+    }
+
+    /// Spawn a cluster whose slaves follow scripted
+    /// [`crate::fault::FaultPlan`]s (one per slave). Test-only.
+    ///
+    /// # Panics
+    /// Panics if `plans.len() != n_slaves` or `n_slaves` is zero.
+    #[cfg(feature = "fault-inject")]
+    pub fn spawn_faulty<E, F>(
+        n_slaves: usize,
+        objective_factory: F,
+        plans: &[crate::fault::FaultPlan],
+        cfg: PoolConfig,
+    ) -> Result<LocalCluster, PoolError>
+    where
+        E: Evaluator + 'static,
+        F: Fn() -> E,
+    {
+        assert!(n_slaves > 0, "need at least one slave");
+        assert_eq!(plans.len(), n_slaves, "one fault plan per slave");
+        let slaves: Vec<SlaveServer> = plans
+            .iter()
+            .map(|plan| {
+                SlaveServer::spawn_with_faults("127.0.0.1:0", objective_factory(), plan.clone())
+                    .expect("bind loopback slave")
+            })
+            .collect();
+        Self::connect_pool(slaves, cfg)
+    }
+
+    fn connect_pool(slaves: Vec<SlaveServer>, cfg: PoolConfig) -> Result<LocalCluster, PoolError> {
         let addrs: Vec<String> = slaves.iter().map(|s| s.addr().to_string()).collect();
-        let pool = TcpSlavePool::connect(&addrs)?;
+        let pool = TcpSlavePool::connect_with(&addrs, cfg)?;
         Ok(LocalCluster { pool, slaves })
     }
 

@@ -1,0 +1,176 @@
+//! Deterministic, scriptable fault injection for the evaluation layer.
+//!
+//! Compiled only under the test-only `fault-inject` feature. A
+//! [`FaultPlan`] scripts how one slave misbehaves — drop the connection
+//! after N requests, kill the whole server after K evaluations, delay
+//! every response, refuse or corrupt the handshake — and
+//! [`crate::slave::SlaveServer::spawn_with_faults`] wires it into the
+//! serving loop. Plans are plain data: given the same plan, seed and
+//! cluster size, every run injects the identical fault sequence, which is
+//! what lets the recovery tests assert *bit-identical* GA results against
+//! a fault-free reference.
+
+use std::time::Duration;
+
+/// A scripted misbehavior for one slave server.
+///
+/// The default plan is inert (no faults). Knobs compose: a plan may both
+/// delay responses and later kill the server.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Close each master connection (without responding) once it has
+    /// served this many requests. The server keeps accepting, so the
+    /// master can reconnect — repeated drops look like a flapping node.
+    pub drop_connection_after: Option<u64>,
+    /// Stop the whole server (accept loop and all connections) once it
+    /// has served this many evaluations in total, dying mid-request
+    /// without a response.
+    pub kill_server_after: Option<u64>,
+    /// Sleep this long before every response — a slow (but correct) node.
+    pub response_delay: Option<Duration>,
+    /// Accept TCP connections but close them without ever greeting.
+    pub refuse_handshake: bool,
+    /// Greet with garbage bytes instead of a `Hello`.
+    pub corrupt_handshake: bool,
+}
+
+impl FaultPlan {
+    /// The inert plan: behave normally.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when no fault is scripted.
+    pub fn is_none(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Close each connection after `n` served requests.
+    pub fn drop_connection_after(mut self, n: u64) -> FaultPlan {
+        self.drop_connection_after = Some(n);
+        self
+    }
+
+    /// Kill the server after `n` total served evaluations.
+    pub fn kill_server_after(mut self, n: u64) -> FaultPlan {
+        self.kill_server_after = Some(n);
+        self
+    }
+
+    /// Delay every response by `d`.
+    pub fn response_delay(mut self, d: Duration) -> FaultPlan {
+        self.response_delay = Some(d);
+        self
+    }
+
+    /// Close connections before greeting.
+    pub fn refuse_handshake(mut self) -> FaultPlan {
+        self.refuse_handshake = true;
+        self
+    }
+
+    /// Greet with garbage instead of `Hello`.
+    pub fn corrupt_handshake(mut self) -> FaultPlan {
+        self.corrupt_handshake = true;
+        self
+    }
+
+    /// The CI fault matrix: build the per-slave plans for a named seeded
+    /// scenario, or `None` for an unknown name.
+    ///
+    /// Scenarios (victim/survivor slots and magnitudes derive from
+    /// `seed` via splitmix64, so the same seed always scripts the same
+    /// faults):
+    ///
+    /// * `kill-one` — one slave dies after a handful of evaluations.
+    /// * `kill-all-but-one` — every slave but one dies, staggered.
+    /// * `slow-slave` — one slave answers correctly but slowly.
+    /// * `flapping-reconnect` — one slave drops every connection after a
+    ///   few requests, forcing repeated retire/rejoin cycles.
+    pub fn matrix(name: &str, n_slaves: usize, seed: u64) -> Option<Vec<FaultPlan>> {
+        assert!(n_slaves > 0, "need at least one slave");
+        let mut state = seed;
+        let pick = (splitmix64(&mut state) as usize) % n_slaves;
+        let mut plans = vec![FaultPlan::none(); n_slaves];
+        match name {
+            "kill-one" => {
+                let after = 3 + splitmix64(&mut state) % 5;
+                plans[pick] = FaultPlan::none().kill_server_after(after);
+            }
+            "kill-all-but-one" => {
+                for (i, plan) in plans.iter_mut().enumerate() {
+                    if i != pick {
+                        let after = 2 + splitmix64(&mut state) % 4 + i as u64;
+                        *plan = FaultPlan::none().kill_server_after(after);
+                    }
+                }
+            }
+            "slow-slave" => {
+                let delay = Duration::from_millis(5 + splitmix64(&mut state) % 15);
+                plans[pick] = FaultPlan::none().response_delay(delay);
+            }
+            "flapping-reconnect" => {
+                let every = 2 + splitmix64(&mut state) % 3;
+                plans[pick] = FaultPlan::none().drop_connection_after(every);
+            }
+            _ => return None,
+        }
+        Some(plans)
+    }
+}
+
+/// splitmix64 — tiny seedable generator so plans need no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::none().kill_server_after(3).is_none());
+    }
+
+    #[test]
+    fn matrix_is_deterministic() {
+        for name in [
+            "kill-one",
+            "kill-all-but-one",
+            "slow-slave",
+            "flapping-reconnect",
+        ] {
+            let a = FaultPlan::matrix(name, 4, 7).unwrap();
+            let b = FaultPlan::matrix(name, 4, 7).unwrap();
+            assert_eq!(a, b, "{name} not deterministic");
+            assert_eq!(a.len(), 4);
+            assert!(a.iter().any(|p| !p.is_none()), "{name} scripted nothing");
+        }
+        assert!(FaultPlan::matrix("no-such-scenario", 4, 7).is_none());
+    }
+
+    #[test]
+    fn kill_all_but_one_leaves_one_survivor() {
+        for seed in 0..16 {
+            let plans = FaultPlan::matrix("kill-all-but-one", 3, seed).unwrap();
+            assert_eq!(plans.iter().filter(|p| p.is_none()).count(), 1);
+        }
+    }
+
+    #[test]
+    fn different_seeds_move_the_victim() {
+        let victims: std::collections::HashSet<usize> = (0..32)
+            .map(|seed| {
+                let plans = FaultPlan::matrix("kill-one", 4, seed).unwrap();
+                plans.iter().position(|p| !p.is_none()).unwrap()
+            })
+            .collect();
+        assert!(victims.len() > 1, "seed never moves the victim");
+    }
+}

@@ -20,18 +20,29 @@
 //!   and is retired — the batch completes as long as one slave survives.
 //! * [`cluster`] — helpers to spawn an in-process loopback "cluster" for
 //!   tests, examples and single-machine use.
+//! * `fault` *(feature `fault-inject`, test-only)* — deterministic
+//!   scripted fault injection: connection drops, slave kills, slow
+//!   responses, handshake sabotage. Powers the recovery test suite and
+//!   the CI fault matrix.
 //!
 //! The GA engine does not know any of this exists: the pool plugs into the
-//! same batched-evaluation seam as the in-process evaluators.
+//! same batched-evaluation seam as the in-process evaluators. When slaves
+//! fail, the pool retries, requeues and rejoins (see `DESIGN.md`,
+//! "Failure model of the evaluation layer"); only total slave loss
+//! surfaces, as a typed [`ld_core::EvalBackendError`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod master;
 pub mod protocol;
 pub mod slave;
 
 pub use cluster::LocalCluster;
-pub use master::TcpSlavePool;
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
+pub use master::{PoolConfig, PoolError, TcpSlavePool};
 pub use slave::SlaveServer;

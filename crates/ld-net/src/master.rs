@@ -3,33 +3,61 @@
 //! [`Evaluator`] trait).
 //!
 //! [`EvalBackend::dispatch`] is one synchronous evaluation phase (paper
-//! Figure 6):
-//! jobs go into a shared work stack; one master-side thread per live slave
-//! pulls jobs on demand (PVM-style task farming, so a slow node simply
-//! takes fewer jobs), sends the request, and waits for the response.
+//! Figure 6): jobs go into a shared work stack; one master-side thread per
+//! live slave pulls jobs on demand (PVM-style task farming, so a slow node
+//! simply takes fewer jobs), sends the request, and waits for the response
+//! under a per-request deadline ([`PoolConfig::request_timeout`]).
 //!
-//! **Fault tolerance:** if a slave connection fails mid-batch, its
-//! in-flight job is pushed back onto the stack, the slave is retired, and
-//! the remaining slaves finish the batch. Only when *every* slave has
-//! failed does the pool panic (the engine cannot make progress without
-//! fitness values).
+//! **Fault tolerance** (see `DESIGN.md` §"Failure model of the evaluation
+//! layer"): a failed or timed-out request is retried with exponential
+//! backoff over a fresh connection ([`PoolConfig::max_retries`]); a slave
+//! that keeps failing is *retired* and its in-flight job is requeued onto
+//! the work stack, so jobs are never lost. Retired slaves are probed again
+//! at the start of every dispatch (with capped exponential backoff) and
+//! *rejoin* the pool when they reconnect. Only when every slave is retired
+//! mid-batch does dispatch return a typed
+//! [`EvalBackendError::AllWorkersFailed`] — partial results are applied
+//! first, so a fallback backend only re-evaluates the residue. All
+//! recovery events are counted and drained through
+//! [`EvalBackend::take_fault_events`].
 
 use crate::protocol::{read_message, write_message, Message, ProtoError, PROTOCOL_VERSION};
-use crossbeam::channel::{unbounded, RecvTimeoutError};
-use ld_core::{EvalBackend, Evaluator, Haplotype};
+use ld_core::{EvalBackend, EvalBackendError, Evaluator, FaultEvents, Haplotype};
 use ld_data::SnpId;
-use parking_lot::Mutex;
 use std::io::BufWriter;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// One slave connection (stream halves behind a lock, since the pool is
-/// shared by reference).
-struct SlaveConn {
-    addr: String,
-    io: Mutex<ConnIo>,
-    dead: AtomicBool,
+/// Tunable fault-tolerance knobs of a [`TcpSlavePool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Per-request read deadline; a response not arriving in time counts
+    /// as a request failure (retried like a connection error).
+    pub request_timeout: Duration,
+    /// Re-attempts per request (each over a fresh connection) before the
+    /// slave is retired and the job requeued.
+    pub max_retries: u32,
+    /// Base sleep between request retries (multiplied by the attempt
+    /// number: linear backoff bounded by `max_retries`).
+    pub retry_backoff: Duration,
+    /// Sleep before the first rejoin probe of a retired slave.
+    pub rejoin_backoff: Duration,
+    /// Cap on the exponentially growing rejoin backoff.
+    pub max_rejoin_backoff: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            request_timeout: Duration::from_secs(10),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(25),
+            rejoin_backoff: Duration::from_millis(50),
+            max_rejoin_backoff: Duration::from_secs(2),
+        }
+    }
 }
 
 struct ConnIo {
@@ -37,10 +65,37 @@ struct ConnIo {
     writer: BufWriter<TcpStream>,
 }
 
-/// A pool of remote evaluation slaves implementing [`Evaluator`].
+/// Connection state of one slave: live (`io` present) or retired (`io`
+/// absent, with rejoin bookkeeping).
+struct Link {
+    io: Option<ConnIo>,
+    failed_rejoins: u32,
+    next_rejoin: Instant,
+}
+
+/// One slave slot. The lock serializes request/response traffic per slave
+/// (each dispatch runs at most one worker thread per slot).
+struct SlaveSlot {
+    addr: String,
+    link: Mutex<Link>,
+}
+
+#[derive(Default)]
+struct PoolFaults {
+    retries: AtomicU64,
+    retirements: AtomicU64,
+    rejoins: AtomicU64,
+    requeued: AtomicU64,
+}
+
+/// A pool of remote evaluation slaves implementing [`Evaluator`] and
+/// [`EvalBackend`].
 pub struct TcpSlavePool {
-    slaves: Vec<SlaveConn>,
+    slaves: Vec<SlaveSlot>,
     n_snps: usize,
+    cfg: PoolConfig,
+    next_id: AtomicU64,
+    faults: PoolFaults,
 }
 
 /// Pool construction errors.
@@ -77,20 +132,34 @@ impl std::fmt::Display for PoolError {
 impl std::error::Error for PoolError {}
 
 impl TcpSlavePool {
-    /// Connect to every address and perform the `Hello` handshake.
+    /// Connect to every address and perform the `Hello` handshake, with
+    /// the default [`PoolConfig`].
     pub fn connect(addrs: &[String]) -> Result<TcpSlavePool, PoolError> {
+        Self::connect_with(addrs, PoolConfig::default())
+    }
+
+    /// [`TcpSlavePool::connect`] with explicit fault-tolerance knobs.
+    pub fn connect_with(addrs: &[String], cfg: PoolConfig) -> Result<TcpSlavePool, PoolError> {
         if addrs.is_empty() {
             return Err(PoolError::NoSlaves);
         }
         let mut slaves = Vec::with_capacity(addrs.len());
         let mut widths = Vec::with_capacity(addrs.len());
         for addr in addrs {
-            let (conn, n_snps) = Self::connect_one(addr).map_err(|source| PoolError::Connect {
-                addr: addr.clone(),
-                source,
-            })?;
+            let (io, n_snps) =
+                Self::connect_io(addr, &cfg).map_err(|source| PoolError::Connect {
+                    addr: addr.clone(),
+                    source,
+                })?;
             widths.push(n_snps);
-            slaves.push(conn);
+            slaves.push(SlaveSlot {
+                addr: addr.clone(),
+                link: Mutex::new(Link {
+                    io: Some(io),
+                    failed_rejoins: 0,
+                    next_rejoin: Instant::now(),
+                }),
+            });
         }
         if widths.windows(2).any(|w| w[0] != w[1]) {
             return Err(PoolError::InconsistentPanels { widths });
@@ -98,12 +167,18 @@ impl TcpSlavePool {
         Ok(TcpSlavePool {
             n_snps: widths[0] as usize,
             slaves,
+            cfg,
+            next_id: AtomicU64::new(1),
+            faults: PoolFaults::default(),
         })
     }
 
-    fn connect_one(addr: &str) -> Result<(SlaveConn, u32), ProtoError> {
+    /// Open one connection and perform the `Hello` handshake (also applies
+    /// the per-request read deadline to the socket).
+    fn connect_io(addr: &str, cfg: &PoolConfig) -> Result<(ConnIo, u32), ProtoError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(cfg.request_timeout))?;
         let mut reader = stream.try_clone()?;
         let writer = BufWriter::new(stream);
         let n_snps = match read_message(&mut reader)? {
@@ -122,36 +197,72 @@ impl TcpSlavePool {
                 )))
             }
         };
-        Ok((
-            SlaveConn {
-                addr: addr.to_string(),
-                io: Mutex::new(ConnIo { reader, writer }),
-                dead: AtomicBool::new(false),
-            },
-            n_snps,
-        ))
+        Ok((ConnIo { reader, writer }, n_snps))
     }
 
-    /// Number of slaves still considered alive.
+    /// Number of slaves currently live (connected).
     pub fn alive(&self) -> usize {
         self.slaves
             .iter()
-            .filter(|s| !s.dead.load(Ordering::Relaxed))
+            .filter(|s| s.link.lock().unwrap().io.is_some())
             .count()
     }
 
-    /// Addresses of retired (failed) slaves.
+    /// Addresses of retired (disconnected) slaves.
     pub fn dead_slaves(&self) -> Vec<String> {
         self.slaves
             .iter()
-            .filter(|s| s.dead.load(Ordering::Relaxed))
+            .filter(|s| s.link.lock().unwrap().io.is_none())
             .map(|s| s.addr.clone())
             .collect()
     }
 
-    /// Send one request on one connection and wait for its response.
-    fn request(conn: &SlaveConn, id: u64, snps: &[SnpId]) -> Result<f64, ProtoError> {
-        let mut io = conn.io.lock();
+    /// The pool's fault-tolerance configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// Probe every retired slave whose backoff has elapsed; successful
+    /// reconnects rejoin the pool. Called at the start of every dispatch
+    /// and by [`TcpSlavePool::try_evaluate_one`].
+    fn try_rejoin_retired(&self) {
+        let now = Instant::now();
+        for slot in &self.slaves {
+            let mut link = slot.link.lock().unwrap();
+            if link.io.is_some() || now < link.next_rejoin {
+                continue;
+            }
+            match Self::connect_io(&slot.addr, &self.cfg) {
+                Ok((io, n_snps)) if n_snps as usize == self.n_snps => {
+                    link.io = Some(io);
+                    link.failed_rejoins = 0;
+                    self.faults.rejoins.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    link.failed_rejoins = link.failed_rejoins.saturating_add(1);
+                    let backoff = self
+                        .cfg
+                        .rejoin_backoff
+                        .saturating_mul(1u32 << link.failed_rejoins.min(16))
+                        .min(self.cfg.max_rejoin_backoff);
+                    link.next_rejoin = Instant::now() + backoff;
+                }
+            }
+        }
+    }
+
+    /// Retire a slave: sever its connection and schedule a rejoin probe.
+    fn retire(&self, slot: &SlaveSlot) {
+        let mut link = slot.link.lock().unwrap();
+        link.io = None;
+        link.failed_rejoins = 0;
+        link.next_rejoin = Instant::now() + self.cfg.rejoin_backoff;
+        self.faults.retirements.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Send one request on an open connection and wait for its response
+    /// (bounded by the socket's read deadline).
+    fn request_once(io: &mut ConnIo, id: u64, snps: &[SnpId]) -> Result<f64, ProtoError> {
         write_message(
             &mut io.writer,
             &Message::EvalRequest {
@@ -163,7 +274,7 @@ impl TcpSlavePool {
             match read_message(&mut io.reader)? {
                 Message::EvalResponse { id: rid, fitness } if rid == id => return Ok(fitness),
                 Message::EvalResponse { .. } => {
-                    // A stale response from a requeued job evaluated twice;
+                    // A stale response from an earlier, abandoned request;
                     // skip it and keep waiting for ours.
                     continue;
                 }
@@ -175,6 +286,77 @@ impl TcpSlavePool {
             }
         }
     }
+
+    /// Evaluate `snps` on `slot`, reconnecting and retrying (with linear
+    /// backoff) on failure. `None` means the slot must be retired.
+    fn request_with_retry(&self, slot: &SlaveSlot, snps: &[SnpId]) -> Option<f64> {
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                self.faults.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.cfg.retry_backoff.saturating_mul(attempt));
+            }
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let mut link = slot.link.lock().unwrap();
+            if link.io.is_none() {
+                match Self::connect_io(&slot.addr, &self.cfg) {
+                    Ok((io, n_snps)) if n_snps as usize == self.n_snps => link.io = Some(io),
+                    _ => continue,
+                }
+            }
+            let io = link.io.as_mut().expect("connection ensured above");
+            match Self::request_once(io, id, snps) {
+                Ok(f) => return Some(f),
+                Err(_) => {
+                    // A half-read stream cannot be reused: sever it so the
+                    // next attempt (or rejoin probe) starts clean.
+                    link.io = None;
+                }
+            }
+        }
+        None
+    }
+
+    /// Evaluate one haplotype, surfacing total slave loss as a typed error
+    /// instead of panicking.
+    pub fn try_evaluate_one(&self, snps: &[SnpId]) -> Result<f64, EvalBackendError> {
+        self.try_rejoin_retired();
+        for slot in &self.slaves {
+            if slot.link.lock().unwrap().io.is_none() {
+                continue;
+            }
+            match self.request_with_retry(slot, snps) {
+                Some(f) => return Ok(f),
+                None => self.retire(slot),
+            }
+        }
+        Err(EvalBackendError::AllWorkersFailed {
+            outstanding: 1,
+            total: 1,
+        })
+    }
+
+    /// Drain the pool's fault counters (shared by both trait impls).
+    fn drain_faults(&self) -> FaultEvents {
+        FaultEvents {
+            retries: self.faults.retries.swap(0, Ordering::Relaxed),
+            retirements: self.faults.retirements.swap(0, Ordering::Relaxed),
+            rejoins: self.faults.rejoins.swap(0, Ordering::Relaxed),
+            requeued: self.faults.requeued.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared state of one in-flight batch, guarded by a mutex + condvar
+/// (replacing the former sleep/`recv_timeout` polling loops): workers
+/// sleep on the condvar when the stack is empty, and are woken by a
+/// requeue or by batch completion.
+struct BatchState {
+    /// Jobs not yet claimed (requeued jobs land back here).
+    work: Vec<(usize, Vec<SnpId>)>,
+    /// Completed `(index, fitness)` pairs.
+    results: Vec<(usize, f64)>,
+    /// Jobs without a result yet (claimed or not).
+    outstanding: usize,
 }
 
 impl EvalBackend for TcpSlavePool {
@@ -190,95 +372,97 @@ impl EvalBackend for TcpSlavePool {
         "tcp-slave-pool"
     }
 
-    fn dispatch(&self, batch: &mut [Haplotype]) {
+    fn take_fault_events(&self) -> FaultEvents {
+        self.drain_faults()
+    }
+
+    fn dispatch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
         if batch.is_empty() {
-            return;
+            return Ok(());
         }
-        // Shared work stack: (index, snps). Requeued jobs land back here.
-        let work: Mutex<Vec<(usize, Vec<SnpId>)>> = Mutex::new(
-            batch
+        self.try_rejoin_retired();
+        let live: Vec<&SlaveSlot> = self
+            .slaves
+            .iter()
+            .filter(|s| s.link.lock().unwrap().io.is_some())
+            .collect();
+        let total = batch.len();
+        if live.is_empty() {
+            return Err(EvalBackendError::AllWorkersFailed {
+                outstanding: total,
+                total,
+            });
+        }
+
+        let monitor = Mutex::new(BatchState {
+            work: batch
                 .iter()
                 .enumerate()
                 .map(|(i, h)| (i, h.snps().to_vec()))
                 .collect(),
-        );
-        let (result_tx, result_rx) = unbounded::<(usize, f64)>();
-        let done = AtomicBool::new(false);
-        let alive_workers = AtomicUsize::new(0);
+            results: Vec::with_capacity(total),
+            outstanding: total,
+        });
+        let work_cv = Condvar::new();
 
         std::thread::scope(|scope| {
-            for conn in &self.slaves {
-                if conn.dead.load(Ordering::Relaxed) {
-                    continue;
-                }
-                alive_workers.fetch_add(1, Ordering::SeqCst);
-                let work = &work;
-                let result_tx = result_tx.clone();
-                let done = &done;
-                let alive_workers = &alive_workers;
-                scope.spawn(move || {
-                    let mut next_id: u64 = 1;
-                    loop {
-                        if done.load(Ordering::Relaxed) {
-                            break;
+            for slot in live {
+                let monitor = &monitor;
+                let work_cv = &work_cv;
+                scope.spawn(move || loop {
+                    // Claim a job, or sleep until one is requeued / the
+                    // batch completes.
+                    let (index, snps) = {
+                        let mut st = monitor.lock().unwrap();
+                        loop {
+                            if st.outstanding == 0 {
+                                return;
+                            }
+                            if let Some(job) = st.work.pop() {
+                                break job;
+                            }
+                            st = work_cv.wait(st).unwrap();
                         }
-                        let job = work.lock().pop();
-                        let Some((index, snps)) = job else {
-                            // Stack empty: the batch may still be finishing
-                            // on other slaves (and could requeue on their
-                            // failure), so poll briefly.
-                            std::thread::sleep(Duration::from_millis(1));
-                            continue;
-                        };
-                        match Self::request(conn, next_id, &snps) {
-                            Ok(fitness) => {
-                                next_id += 1;
-                                let _ = result_tx.send((index, fitness));
+                    };
+                    match self.request_with_retry(slot, &snps) {
+                        Some(fitness) => {
+                            let mut st = monitor.lock().unwrap();
+                            st.results.push((index, fitness));
+                            st.outstanding -= 1;
+                            if st.outstanding == 0 {
+                                work_cv.notify_all();
                             }
-                            Err(_) => {
-                                // Slave failed: requeue the job, retire.
-                                conn.dead.store(true, Ordering::Relaxed);
-                                work.lock().push((index, snps));
-                                break;
-                            }
+                        }
+                        None => {
+                            // Retries exhausted: requeue the job (never
+                            // lost), wake a peer to take it, retire the
+                            // slave, and exit this worker.
+                            self.retire(slot);
+                            self.faults.requeued.fetch_add(1, Ordering::Relaxed);
+                            let mut st = monitor.lock().unwrap();
+                            st.work.push((index, snps));
+                            work_cv.notify_all();
+                            return;
                         }
                     }
-                    alive_workers.fetch_sub(1, Ordering::SeqCst);
                 });
             }
-            drop(result_tx);
-
-            let mut received = 0usize;
-            while received < batch.len() {
-                match result_rx.recv_timeout(Duration::from_millis(100)) {
-                    Ok((index, fitness)) => {
-                        batch[index].set_fitness(fitness);
-                        received += 1;
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        if alive_workers.load(Ordering::SeqCst) == 0 {
-                            done.store(true, Ordering::Relaxed);
-                            panic!(
-                                "all evaluation slaves failed with {} of {} jobs outstanding",
-                                batch.len() - received,
-                                batch.len()
-                            );
-                        }
-                    }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        if received < batch.len() {
-                            done.store(true, Ordering::Relaxed);
-                            panic!(
-                                "all evaluation slaves failed with {} of {} jobs outstanding",
-                                batch.len() - received,
-                                batch.len()
-                            );
-                        }
-                    }
-                }
-            }
-            done.store(true, Ordering::Relaxed);
         });
+
+        let st = monitor.into_inner().unwrap();
+        for &(index, fitness) in &st.results {
+            batch[index].set_fitness(fitness);
+        }
+        if st.outstanding > 0 {
+            // Every worker retired mid-batch. Completed jobs keep their
+            // results (the EvalBackend residue contract), so a fallback
+            // backend only re-evaluates what is still unevaluated.
+            return Err(EvalBackendError::AllWorkersFailed {
+                outstanding: st.outstanding,
+                total,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -288,30 +472,31 @@ impl Evaluator for TcpSlavePool {
     }
 
     fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
-        for conn in &self.slaves {
-            if conn.dead.load(Ordering::Relaxed) {
-                continue;
-            }
-            match Self::request(conn, 0, snps) {
-                Ok(f) => return f,
-                Err(_) => {
-                    conn.dead.store(true, Ordering::Relaxed);
-                }
-            }
-        }
-        panic!("every evaluation slave has failed");
+        // Legacy infallible API; prefer `try_evaluate_one`.
+        self.try_evaluate_one(snps)
+            .expect("every evaluation slave failed and none could be rejoined")
     }
 
     fn evaluate_batch(&self, batch: &mut [Haplotype]) {
-        self.dispatch(batch);
+        // Legacy infallible API; prefer `try_evaluate_batch`.
+        self.dispatch(batch)
+            .expect("every evaluation slave failed and none could be rejoined")
+    }
+
+    fn try_evaluate_batch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
+        self.dispatch(batch)
+    }
+
+    fn take_fault_events(&self) -> FaultEvents {
+        self.drain_faults()
     }
 }
 
 impl Drop for TcpSlavePool {
     fn drop(&mut self) {
-        for conn in &self.slaves {
-            if !conn.dead.load(Ordering::Relaxed) {
-                let mut io = conn.io.lock();
+        for slot in &self.slaves {
+            let mut link = slot.link.lock().unwrap();
+            if let Some(io) = link.io.as_mut() {
                 let _ = write_message(&mut io.writer, &Message::Shutdown);
             }
         }
@@ -383,5 +568,13 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = PoolConfig::default();
+        assert!(cfg.request_timeout >= Duration::from_secs(1));
+        assert!(cfg.max_retries >= 1);
+        assert!(cfg.rejoin_backoff <= cfg.max_rejoin_backoff);
     }
 }

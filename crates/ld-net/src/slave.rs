@@ -13,6 +13,20 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// With `fault-inject`, every connection carries an optional scripted
+/// fault plan; without it, the handle is a zero-sized no-op.
+#[cfg(feature = "fault-inject")]
+type PlanHandle = Option<Arc<crate::fault::FaultPlan>>;
+#[cfg(not(feature = "fault-inject"))]
+type PlanHandle = ();
+
+#[cfg(feature = "fault-inject")]
+fn no_plan() -> PlanHandle {
+    None
+}
+#[cfg(not(feature = "fault-inject"))]
+fn no_plan() -> PlanHandle {}
+
 /// A running slave server.
 pub struct SlaveServer {
     addr: SocketAddr,
@@ -28,6 +42,32 @@ impl SlaveServer {
     /// Each accepted connection is served on its own thread; a connection
     /// ends on `Shutdown`, EOF, or a protocol error.
     pub fn spawn<E>(addr: &str, objective: E) -> std::io::Result<SlaveServer>
+    where
+        E: Evaluator + 'static,
+    {
+        Self::spawn_inner(addr, objective, no_plan())
+    }
+
+    /// [`SlaveServer::spawn`] with a scripted [`crate::fault::FaultPlan`]
+    /// applied to every connection. Test-only.
+    #[cfg(feature = "fault-inject")]
+    pub fn spawn_with_faults<E>(
+        addr: &str,
+        objective: E,
+        plan: crate::fault::FaultPlan,
+    ) -> std::io::Result<SlaveServer>
+    where
+        E: Evaluator + 'static,
+    {
+        let plan = if plan.is_none() {
+            None
+        } else {
+            Some(Arc::new(plan))
+        };
+        Self::spawn_inner(addr, objective, plan)
+    }
+
+    fn spawn_inner<E>(addr: &str, objective: E, plan: PlanHandle) -> std::io::Result<SlaveServer>
     where
         E: Evaluator + 'static,
     {
@@ -53,6 +93,8 @@ impl SlaveServer {
                                 .expect("connection back to blocking");
                             let objective = Arc::clone(&objective);
                             let served = Arc::clone(&accept_served);
+                            let conn_stop = Arc::clone(&accept_stop);
+                            let plan = plan.clone();
                             // Connection threads are detached: they exit on
                             // the master's Shutdown, EOF (master socket
                             // dropped), or a protocol error. Joining them
@@ -61,7 +103,13 @@ impl SlaveServer {
                             std::thread::Builder::new()
                                 .name("ld-slave-conn".into())
                                 .spawn(move || {
-                                    let _ = serve_connection(stream, &*objective, &served);
+                                    let _ = serve_connection(
+                                        stream,
+                                        &*objective,
+                                        &served,
+                                        &conn_stop,
+                                        &plan,
+                                    );
                                 })
                                 .expect("spawn connection thread");
                         }
@@ -90,8 +138,8 @@ impl SlaveServer {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Ask the server to stop accepting; existing connections finish their
-    /// current request and close on the next `Shutdown`/EOF.
+    /// Ask the server to stop accepting; existing connections finish at
+    /// most one in-flight request and close before serving another.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Relaxed);
     }
@@ -107,15 +155,31 @@ impl Drop for SlaveServer {
 }
 
 /// Serve one master connection: greet, then answer requests until
-/// `Shutdown` or EOF.
+/// `Shutdown`, EOF, or server stop — with scripted faults applied when
+/// the `fault-inject` feature is on.
 fn serve_connection<E: Evaluator>(
     stream: TcpStream,
     objective: &E,
     served: &AtomicU64,
+    stop: &AtomicBool,
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_variables))] plan: &PlanHandle,
 ) -> Result<(), ProtoError> {
     stream.set_nodelay(true)?;
     let mut reader = stream.try_clone()?;
     let mut writer = BufWriter::new(stream);
+    #[cfg(feature = "fault-inject")]
+    if let Some(plan) = plan {
+        if plan.refuse_handshake {
+            return Ok(()); // close without ever greeting
+        }
+        if plan.corrupt_handshake {
+            use std::io::Write as _;
+            // An absurd length prefix: the master must reject it as
+            // malformed rather than trying to allocate.
+            writer.get_mut().write_all(&[0xde, 0xad, 0xbe, 0xef])?;
+            return Ok(());
+        }
+    }
     write_message(
         &mut writer,
         &Message::Hello {
@@ -123,11 +187,41 @@ fn serve_connection<E: Evaluator>(
             n_snps: objective.n_snps() as u32,
         },
     )?;
+    #[cfg(feature = "fault-inject")]
+    let mut conn_served: u64 = 0;
     loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(()); // server stopped: close before the next request
+        }
         match read_message(&mut reader)? {
             Message::EvalRequest { id, snps } => {
+                #[cfg(feature = "fault-inject")]
+                if let Some(plan) = plan {
+                    if let Some(limit) = plan.drop_connection_after {
+                        if conn_served >= limit {
+                            return Ok(()); // scripted drop, no response
+                        }
+                    }
+                    if let Some(delay) = plan.response_delay {
+                        std::thread::sleep(delay);
+                    }
+                }
                 let fitness = objective.evaluate_one(&snps);
-                served.fetch_add(1, Ordering::Relaxed);
+                let _total_served = served.fetch_add(1, Ordering::Relaxed) + 1;
+                #[cfg(feature = "fault-inject")]
+                {
+                    conn_served += 1;
+                    if let Some(plan) = plan {
+                        if let Some(kill) = plan.kill_server_after {
+                            if _total_served >= kill {
+                                // Scripted death: take the whole server
+                                // down mid-request, response unsent.
+                                stop.store(true, Ordering::Relaxed);
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
                 write_message(&mut writer, &Message::EvalResponse { id, fitness })?;
             }
             Message::Shutdown => return Ok(()),

@@ -1,0 +1,292 @@
+//! Recovery tests for the distributed evaluation path, driven by scripted
+//! [`FaultPlan`]s (feature `fault-inject`).
+//!
+//! The load-bearing invariant: evaluation is pure and failed jobs are
+//! requeued, never lost — so a GA run on a faulty cluster must produce
+//! **bit-identical** best haplotypes to the fault-free reference, and
+//! total slave loss must surface as a typed error (or a local fallback),
+//! never a panic.
+#![cfg(feature = "fault-inject")]
+
+use ld_core::evaluator::FnEvaluator;
+use ld_core::{
+    EvalBackend, EvalBackendError, EvalService, Evaluator, EvaluatorBackend, FaultEvents, GaConfig,
+    GaEngine, Haplotype,
+};
+use ld_data::SnpId;
+use ld_net::{FaultPlan, LocalCluster, PoolConfig, PoolError};
+use ld_parallel::RayonEvaluator;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The shared objective: pure, so every evaluation path agrees exactly.
+fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+    FnEvaluator::new(30, |s: &[SnpId]| {
+        s.iter().map(|&x| x as f64).sum::<f64>() + 10.0 * s.len() as f64
+    })
+}
+
+fn expected(snps: &[SnpId]) -> f64 {
+    snps.iter().map(|&x| x as f64).sum::<f64>() + 10.0 * snps.len() as f64
+}
+
+/// Aggressive recovery knobs so tests converge in milliseconds.
+fn fast_cfg() -> PoolConfig {
+    PoolConfig {
+        request_timeout: Duration::from_secs(2),
+        max_retries: 1,
+        retry_backoff: Duration::from_millis(5),
+        rejoin_backoff: Duration::from_millis(10),
+        max_rejoin_backoff: Duration::from_millis(200),
+    }
+}
+
+fn ga_cfg() -> GaConfig {
+    GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 3,
+        matings_per_generation: 6,
+        stagnation_limit: 8,
+        max_generations: 30,
+        ..GaConfig::default()
+    }
+}
+
+fn batch(n: usize) -> Vec<Haplotype> {
+    (0..n)
+        .map(|i| Haplotype::new(vec![i % 30, (i * 7 + 1) % 30]))
+        .collect()
+}
+
+#[test]
+fn killed_slave_mid_run_yields_bit_identical_results() {
+    let cfg = ga_cfg();
+    let reference = GaEngine::new(&toy(), cfg.clone(), 5).unwrap().run();
+    for seed in [1u64, 9] {
+        let plans = FaultPlan::matrix("kill-one", 3, seed).unwrap();
+        let cluster = LocalCluster::spawn_faulty(3, toy, &plans, fast_cfg()).unwrap();
+        let result = GaEngine::new(cluster.pool(), cfg.clone(), 5).unwrap().run();
+        assert_eq!(
+            result.total_evaluations, reference.total_evaluations,
+            "seed {seed}"
+        );
+        assert_eq!(result.generations, reference.generations, "seed {seed}");
+        let (got, want) = (
+            result.best_of_size(3).unwrap(),
+            reference.best_of_size(3).unwrap(),
+        );
+        assert_eq!(got.snps(), want.snps(), "seed {seed}");
+        assert_eq!(got.fitness(), want.fitness(), "seed {seed}");
+        // The victim really died and could not rejoin.
+        assert_eq!(cluster.pool().alive(), 2, "seed {seed}");
+    }
+}
+
+#[test]
+fn dead_pool_dispatch_reports_outstanding_and_keeps_partial_results() {
+    let plans = vec![FaultPlan::none().kill_server_after(3)];
+    let cluster = LocalCluster::spawn_faulty(1, toy, &plans, fast_cfg()).unwrap();
+    let mut jobs = batch(10);
+    let err = cluster.pool().try_evaluate_batch(&mut jobs).unwrap_err();
+    let evaluated = jobs.iter().filter(|h| h.is_evaluated()).count();
+    match err {
+        EvalBackendError::AllWorkersFailed { outstanding, total } => {
+            assert_eq!(total, 10);
+            assert!(outstanding > 0);
+            // Residue contract: completed jobs keep their results.
+            assert_eq!(outstanding, 10 - evaluated);
+        }
+        other => panic!("expected AllWorkersFailed, got {other}"),
+    }
+    for h in jobs.iter().filter(|h| h.is_evaluated()) {
+        assert_eq!(h.fitness(), expected(h.snps()));
+    }
+    let events = Evaluator::take_fault_events(cluster.pool());
+    assert!(events.retirements >= 1, "{events:?}");
+    assert!(events.requeued >= 1, "{events:?}");
+    // A second dispatch on the all-dead pool fails fast, whole batch
+    // outstanding.
+    let mut jobs = batch(2);
+    assert_eq!(
+        cluster.pool().try_evaluate_batch(&mut jobs).unwrap_err(),
+        EvalBackendError::AllWorkersFailed {
+            outstanding: 2,
+            total: 2
+        }
+    );
+}
+
+#[test]
+fn total_slave_loss_without_fallback_is_a_typed_error() {
+    let plans = vec![
+        FaultPlan::none().kill_server_after(2),
+        FaultPlan::none().kill_server_after(2),
+    ];
+    let cluster = LocalCluster::spawn_faulty(2, toy, &plans, fast_cfg()).unwrap();
+    let err = GaEngine::new(cluster.pool(), ga_cfg(), 7)
+        .unwrap()
+        .try_run()
+        .unwrap_err();
+    // Both slaves die during the very first (initial-population) batch, so
+    // the loss may surface either as the backend error itself or wrapped
+    // in the start-up failure — but always typed, never a panic.
+    match err {
+        EvalBackendError::AllWorkersFailed { .. } => {}
+        EvalBackendError::Backend(msg) => {
+            assert!(msg.contains("evaluation failed"), "odd message: {msg}")
+        }
+    }
+}
+
+#[test]
+fn service_falls_back_to_local_evaluation_when_all_slaves_die() {
+    let plans = vec![
+        FaultPlan::none().kill_server_after(2),
+        FaultPlan::none().kill_server_after(2),
+    ];
+    let cluster = LocalCluster::spawn_faulty(2, toy, &plans, fast_cfg()).unwrap();
+    let fallback: Arc<dyn EvalBackend> = Arc::new(RayonEvaluator::new(toy()));
+    let pool = cluster.pool();
+    let mut svc = EvalService::new(EvaluatorBackend::new(pool)).with_fallback(fallback);
+    let mut jobs = batch(30);
+    svc.submit(&mut jobs).unwrap();
+    for h in &jobs {
+        assert!(h.is_evaluated());
+        assert_eq!(h.fitness(), expected(h.snps()));
+    }
+    let stats = svc.stats();
+    assert!(
+        stats.fallback_batches >= 1,
+        "fallback not recorded: {stats:?}"
+    );
+    assert!(stats.retirements >= 1, "retirement not recorded: {stats:?}");
+}
+
+#[test]
+fn engine_survives_total_slave_loss_via_fallback_backend() {
+    let cfg = ga_cfg();
+    let reference = GaEngine::new(&toy(), cfg.clone(), 7).unwrap().run();
+    let plans = vec![
+        FaultPlan::none().kill_server_after(5),
+        FaultPlan::none().kill_server_after(6),
+    ];
+    let cluster = LocalCluster::spawn_faulty(2, toy, &plans, fast_cfg()).unwrap();
+    let fallback: Arc<dyn EvalBackend> = Arc::new(RayonEvaluator::new(toy()));
+    let result = GaEngine::new(cluster.pool(), cfg, 7)
+        .unwrap()
+        .with_fallback_backend(fallback)
+        .try_run()
+        .expect("fallback must keep the run alive");
+    assert_eq!(result.total_evaluations, reference.total_evaluations);
+    assert_eq!(result.generations, reference.generations);
+    assert_eq!(
+        result.best_of_size(3).unwrap().snps(),
+        reference.best_of_size(3).unwrap().snps()
+    );
+    assert_eq!(cluster.pool().alive(), 0, "both slaves should be dead");
+}
+
+#[test]
+fn flapping_slave_retires_and_rejoins() {
+    let plans = vec![
+        FaultPlan::none().drop_connection_after(1),
+        FaultPlan::none(),
+    ];
+    let cfg = PoolConfig {
+        max_retries: 0, // every drop retires immediately → rejoin next batch
+        rejoin_backoff: Duration::from_millis(1),
+        ..fast_cfg()
+    };
+    let cluster = LocalCluster::spawn_faulty(2, toy, &plans, cfg).unwrap();
+    let mut total = FaultEvents::default();
+    for _round in 0..5 {
+        let mut jobs = batch(12);
+        cluster.pool().try_evaluate_batch(&mut jobs).unwrap();
+        for h in &jobs {
+            assert_eq!(h.fitness(), expected(h.snps()));
+        }
+        total.merge(&Evaluator::take_fault_events(cluster.pool()));
+        std::thread::sleep(Duration::from_millis(3)); // let rejoin backoff lapse
+    }
+    assert!(total.retirements >= 2, "{total:?}");
+    assert!(total.rejoins >= 1, "{total:?}");
+    assert!(total.requeued >= 2, "{total:?}");
+}
+
+#[test]
+fn slow_slave_is_not_retired() {
+    let plans = FaultPlan::matrix("slow-slave", 2, 3).unwrap();
+    let cluster = LocalCluster::spawn_faulty(2, toy, &plans, fast_cfg()).unwrap();
+    let mut jobs = batch(20);
+    cluster.pool().try_evaluate_batch(&mut jobs).unwrap();
+    for h in &jobs {
+        assert_eq!(h.fitness(), expected(h.snps()));
+    }
+    let events = Evaluator::take_fault_events(cluster.pool());
+    assert!(events.is_empty(), "slow ≠ faulty: {events:?}");
+    assert_eq!(cluster.pool().alive(), 2);
+}
+
+#[test]
+fn handshake_sabotage_is_rejected_at_connect() {
+    for plan in [
+        FaultPlan::none().refuse_handshake(),
+        FaultPlan::none().corrupt_handshake(),
+    ] {
+        let err = LocalCluster::spawn_faulty(1, toy, std::slice::from_ref(&plan), fast_cfg())
+            .err()
+            .unwrap_or_else(|| panic!("connected through sabotage: {plan:?}"));
+        assert!(matches!(err, PoolError::Connect { .. }), "{plan:?}");
+    }
+}
+
+/// The CI fault-matrix entry point: `LD_FAULT_PLAN` selects one scenario
+/// (locally, all four run). Every scenario must converge bit-identically
+/// to the fault-free reference.
+#[test]
+fn fault_matrix_scenarios_converge_bit_identically() {
+    let scenarios: Vec<String> = match std::env::var("LD_FAULT_PLAN") {
+        Ok(s) if !s.is_empty() => vec![s],
+        _ => [
+            "kill-one",
+            "kill-all-but-one",
+            "slow-slave",
+            "flapping-reconnect",
+        ]
+        .map(String::from)
+        .to_vec(),
+    };
+    let cfg = GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 3,
+        matings_per_generation: 4,
+        stagnation_limit: 6,
+        max_generations: 20,
+        ..GaConfig::default()
+    };
+    let reference = GaEngine::new(&toy(), cfg.clone(), 11).unwrap().run();
+    for name in &scenarios {
+        let plans =
+            FaultPlan::matrix(name, 3, 42).unwrap_or_else(|| panic!("unknown scenario {name:?}"));
+        let cluster = LocalCluster::spawn_faulty(3, toy, &plans, fast_cfg()).unwrap();
+        let fallback: Arc<dyn EvalBackend> = Arc::new(RayonEvaluator::new(toy()));
+        let result = GaEngine::new(cluster.pool(), cfg.clone(), 11)
+            .unwrap()
+            .with_fallback_backend(fallback)
+            .try_run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            result.total_evaluations, reference.total_evaluations,
+            "{name}: evaluation counts diverged"
+        );
+        assert_eq!(result.generations, reference.generations, "{name}");
+        let (got, want) = (
+            result.best_of_size(3).unwrap(),
+            reference.best_of_size(3).unwrap(),
+        );
+        assert_eq!(got.snps(), want.snps(), "{name}: best haplotype diverged");
+        assert_eq!(got.fitness(), want.fitness(), "{name}");
+    }
+}

@@ -19,7 +19,7 @@
 //! and the master blocks until all `(index, fitness)` results are back.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use ld_core::{EvalBackend, Evaluator, Haplotype};
+use ld_core::{EvalBackend, EvalBackendError, Evaluator, Haplotype};
 use ld_data::SnpId;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -105,23 +105,32 @@ impl<E: Evaluator + 'static> EvalBackend for MasterSlaveEvaluator<E> {
         self.inner.n_snps()
     }
 
-    fn dispatch(&self, batch: &mut [Haplotype]) {
+    fn dispatch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
         if batch.is_empty() {
-            return;
+            return Ok(());
         }
-        // Deal all jobs, then synchronously collect all results.
+        // Deal all jobs, then synchronously collect all results. The
+        // channels only close when every slave thread has died, so a send
+        // or recv failure means the whole pool is gone.
         for (index, h) in batch.iter().enumerate() {
             self.job_tx
                 .send(Job {
                     index,
                     snps: h.snps().to_vec(),
                 })
-                .expect("slave pool alive");
+                .map_err(|_| EvalBackendError::Backend("slave thread pool disconnected".into()))?;
         }
-        for _ in 0..batch.len() {
-            let JobResult { index, fitness } = self.result_rx.recv().expect("slave pool alive");
+        for done in 0..batch.len() {
+            let JobResult { index, fitness } =
+                self.result_rx
+                    .recv()
+                    .map_err(|_| EvalBackendError::AllWorkersFailed {
+                        outstanding: batch.len() - done,
+                        total: batch.len(),
+                    })?;
             batch[index].set_fitness(fitness);
         }
+        Ok(())
     }
 
     fn queue_depth(&self) -> usize {
@@ -146,7 +155,11 @@ impl<E: Evaluator + 'static> Evaluator for MasterSlaveEvaluator<E> {
     }
 
     fn evaluate_batch(&self, batch: &mut [Haplotype]) {
-        self.dispatch(batch);
+        self.dispatch(batch).expect("slave thread pool alive");
+    }
+
+    fn try_evaluate_batch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
+        self.dispatch(batch)
     }
 }
 
@@ -248,7 +261,7 @@ mod tests {
         assert_eq!(par.backend_name(), "master-slave");
         // Synchronous dispatch drains the queue before returning.
         let mut batch = vec![Haplotype::new(vec![7, 8])];
-        par.dispatch(&mut batch);
+        par.dispatch(&mut batch).unwrap();
         assert_eq!(batch[0].fitness(), 15.0);
         assert_eq!(par.queue_depth(), 0);
     }

@@ -6,7 +6,7 @@
 //! builds a dedicated pool, which the speedup experiment uses to sweep
 //! worker counts without poisoning the global pool's sizing.
 
-use ld_core::{EvalBackend, Evaluator, Haplotype};
+use ld_core::{EvalBackend, EvalBackendError, Evaluator, Haplotype};
 use ld_data::SnpId;
 use rayon::prelude::*;
 use rayon::ThreadPool;
@@ -59,11 +59,12 @@ impl<E: Evaluator> EvalBackend for RayonEvaluator<E> {
         self.inner.n_snps()
     }
 
-    fn dispatch(&self, batch: &mut [Haplotype]) {
+    fn dispatch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
         match &self.pool {
             Some(pool) => pool.install(|| self.run_batch(batch)),
             None => self.run_batch(batch),
         }
+        Ok(())
     }
 
     fn backend_name(&self) -> &'static str {
@@ -81,7 +82,7 @@ impl<E: Evaluator> Evaluator for RayonEvaluator<E> {
     }
 
     fn evaluate_batch(&self, batch: &mut [Haplotype]) {
-        self.dispatch(batch);
+        self.dispatch(batch).expect("rayon dispatch is infallible");
     }
 }
 
@@ -147,7 +148,7 @@ mod tests {
         assert_eq!(par.backend_name(), "rayon");
         assert_eq!(par.queue_depth(), 0);
         let mut b = batch(10);
-        par.dispatch(&mut b);
+        par.dispatch(&mut b).unwrap();
         assert!(b.iter().all(|h| h.is_evaluated()));
     }
 
