@@ -3,24 +3,41 @@
 //! the mechanisms the paper describes qualitatively, measured.
 //!
 //! ```text
-//! cargo run --release -p bench --bin dynamics [--seed 0]
+//! cargo run --release -p bench --bin dynamics [--seed 0] [--report out.json]
 //! ```
 
-use bench::{arg_usize, dataset, markdown_table, objective};
+use bench::{arg_str, arg_usize, dataset, markdown_table, objective, write_report};
 use ld_core::diversity;
 use ld_core::telemetry::analyze;
 use ld_core::{GaConfig, GaRun, StepOutcome};
+use ld_observe::{Observer, Registry, RingSink, RunReport};
+use std::sync::Arc;
 
 fn main() {
     let seed = arg_usize("seed", 0) as u64;
+    let report_path = arg_str("report");
     let data = dataset();
     let eval = objective(&data);
     let cfg = GaConfig::default();
 
     println!("# Run dynamics — 51 SNPs, full scheme, seed {seed}\n");
 
+    // With --report, observe the run so the report carries a live metrics
+    // snapshot next to the telemetry fold; without it, stay zero-cost.
+    let registry = Registry::new();
+    let observer = if report_path.is_some() {
+        Observer::new(
+            format!("dynamics-{seed}"),
+            Arc::new(RingSink::new(1 << 12)),
+            registry.clone(),
+        )
+    } else {
+        Observer::disabled()
+    };
+
     // Step the run manually so we can sample diversity along the way.
-    let mut run = GaRun::new(&eval, cfg.clone(), seed, None).expect("valid config");
+    let mut run =
+        GaRun::new_observed(&eval, cfg.clone(), seed, None, None, observer).expect("valid config");
     let mut diversity_samples: Vec<(usize, f64, f64)> = Vec::new();
     loop {
         let outcome = run.step();
@@ -106,4 +123,14 @@ fn main() {
          rates (it is the productive local search); diversity decays as the\n\
          population converges and jumps back after immigrant episodes."
     );
+
+    if let Some(path) = report_path {
+        let full = RunReport::new(&format!("dynamics-{seed}"))
+            .section("config", &cfg)
+            .section("seed", &seed)
+            .section("telemetry", &report)
+            .section("metrics", &registry.snapshot())
+            .section("diversity_gen_jaccard_entropy", &diversity_samples);
+        write_report(&full, &path);
+    }
 }

@@ -8,10 +8,10 @@
 //! test.
 //!
 //! ```text
-//! cargo run --release -p bench --bin figure4 [--samples 200] [--maxk 8]
+//! cargo run --release -p bench --bin figure4 [--samples 200] [--maxk 8] [--report out.json]
 //! ```
 
-use bench::{arg_usize, dataset, markdown_table, objective};
+use bench::{arg_str, arg_usize, dataset, markdown_table, objective, write_report};
 use ld_core::rng::random_haplotype;
 use ld_core::Evaluator;
 use ld_parallel::TimingEvaluator;
@@ -31,6 +31,7 @@ fn main() {
         samples
     );
     let mut rows = Vec::new();
+    let mut curve: Vec<(usize, usize, f64)> = Vec::new();
     let mut prev_ms: Option<f64> = None;
     for k in 2..=max_k {
         // Fewer samples at the expensive large sizes keeps the run short
@@ -43,6 +44,7 @@ fn main() {
         let mean_ms = timed.mean_ns_for_size(k).expect("samples were evaluated") / 1e6;
         let growth = prev_ms.map_or("-".to_string(), |p| format!("x{:.2}", mean_ms / p));
         prev_ms = Some(mean_ms);
+        curve.push((k, n, mean_ms));
         rows.push(vec![
             k.to_string(),
             n.to_string(),
@@ -59,4 +61,14 @@ fn main() {
          exponential; EM phase expansion is O(2^h) per individual and the\n\
          haplotype table is O(2^k))."
     );
+
+    if let Some(path) = arg_str("report") {
+        let registry = ld_observe::Registry::new();
+        timed.publish(&registry);
+        let report = ld_observe::RunReport::new("figure4")
+            .section("params", &[("samples", samples), ("maxk", max_k)])
+            .section("curve_size_samples_mean_ms", &curve)
+            .section("metrics", &registry.snapshot());
+        write_report(&report, &path);
+    }
 }

@@ -14,10 +14,10 @@
 //!   drains faster than the pad.
 //!
 //! ```text
-//! cargo run --release -p bench --bin speedup [--batch 64] [--padms 5]
+//! cargo run --release -p bench --bin speedup [--batch 64] [--padms 5] [--report out.json]
 //! ```
 
-use bench::{arg_usize, dataset, markdown_table, objective};
+use bench::{arg_str, arg_usize, dataset, markdown_table, objective, write_report};
 use ld_core::evaluator::FnEvaluator;
 use ld_core::rng::random_haplotype;
 use ld_core::{Evaluator, Haplotype, StatsEvaluator};
@@ -57,6 +57,8 @@ fn main() {
     let proto = batch(batch_size, 6, data.n_snps());
     let seq = objective(&data);
     let base = time_batch(&seq, &proto);
+    let mut cpu_curve: Vec<(String, f64, f64)> =
+        vec![("sequential".to_string(), base.as_secs_f64() * 1e3, 1.0)];
     let mut rows = vec![vec![
         "sequential".to_string(),
         format!("{base:.1?}"),
@@ -65,10 +67,12 @@ fn main() {
     for &w in &workers {
         let par = MasterSlaveEvaluator::new(objective(&data), w);
         let t = time_batch(&par, &proto);
+        let speedup = base.as_secs_f64() / t.as_secs_f64();
+        cpu_curve.push((format!("{w}"), t.as_secs_f64() * 1e3, speedup));
         rows.push(vec![
             format!("{w} slave(s)"),
             format!("{t:.1?}"),
-            format!("{:.2}", base.as_secs_f64() / t.as_secs_f64()),
+            format!("{speedup:.2}"),
         ]);
     }
     println!(
@@ -92,6 +96,8 @@ fn main() {
     };
     let proto = batch(batch_size, 4, data.n_snps());
     let base = time_batch(&make_padded(), &proto);
+    let mut latency_curve: Vec<(String, f64, f64)> =
+        vec![("sequential".to_string(), base.as_secs_f64() * 1e3, 1.0)];
     let mut rows = vec![vec![
         "sequential".to_string(),
         format!("{base:.1?}"),
@@ -100,10 +106,12 @@ fn main() {
     for &w in &workers {
         let par = MasterSlaveEvaluator::new(make_padded(), w);
         let t = time_batch(&par, &proto);
+        let speedup = base.as_secs_f64() / t.as_secs_f64();
+        latency_curve.push((format!("{w}"), t.as_secs_f64() * 1e3, speedup));
         rows.push(vec![
             format!("{w} slave(s)"),
             format!("{t:.1?}"),
-            format!("{:.2}", base.as_secs_f64() / t.as_secs_f64()),
+            format!("{speedup:.2}"),
         ]);
     }
     println!(
@@ -114,4 +122,12 @@ fn main() {
         "\nexpected shape: latency workload speedup ~ number of slaves (the\n\
          paper's regime); cpu workload speedup bounded by physical cores."
     );
+
+    if let Some(path) = arg_str("report") {
+        let report = ld_observe::RunReport::new("speedup")
+            .section("params", &[("batch", batch_size), ("padms", pad_ms)])
+            .section("cpu_workers_ms_speedup", &cpu_curve)
+            .section("latency_workers_ms_speedup", &latency_curve);
+        write_report(&report, &path);
+    }
 }

@@ -66,6 +66,23 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parse an optional `--name value` string argument.
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == format!("--{name}"))
+        .map(|w| w[1].clone())
+}
+
+/// Write `report` to `path` (the `--report` flag of every harness binary)
+/// and note it on stderr, so table output on stdout stays clean.
+pub fn write_report(report: &ld_observe::RunReport, path: &str) {
+    match report.write(path) {
+        Ok(()) => eprintln!("run report written to {path}"),
+        Err(e) => eprintln!("failed to write run report {path}: {e}"),
+    }
+}
+
 /// Format a fitness value the way the paper's tables do.
 pub fn fit(v: f64) -> String {
     if v.is_nan() {

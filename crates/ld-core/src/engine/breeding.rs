@@ -117,7 +117,7 @@ impl<E: Evaluator> GaRun<'_, E> {
         }
 
         // Evaluate the unevaluated children (one scheduler batch).
-        self.total_evals += self.service.submit(&mut children)?;
+        self.total_evals += self.service.submit_phase(&mut children, "crossover")?;
 
         // Crossover progress (§4.3.2): average improvement of children over
         // their reference parents.
@@ -179,7 +179,7 @@ impl<E: Evaluator> GaRun<'_, E> {
                 candidates: start..candidates.len(),
             });
         }
-        self.total_evals += self.service.submit(&mut candidates)?;
+        self.total_evals += self.service.submit_phase(&mut candidates, "mutation")?;
 
         // "Keep the best individual found by this mutation": the best
         // candidate becomes the mutated child; progress is measured against

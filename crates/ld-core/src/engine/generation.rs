@@ -2,6 +2,8 @@
 
 use crate::evaluator::Evaluator;
 use crate::sched::EvalBackendError;
+use ld_observe::Event;
+use std::time::Instant;
 
 use super::{GaRun, GenerationStats, StepOutcome};
 
@@ -25,6 +27,16 @@ impl<E: Evaluator> GaRun<'_, E> {
             return Ok(StepOutcome::GenerationCapReached);
         }
         self.generation += 1;
+        // Stamp the observation span before anything can dispatch, so every
+        // event below — including pool faults deep inside a batch — carries
+        // this generation number.
+        self.service
+            .observer()
+            .set_generation(self.generation as u64);
+        self.service
+            .observer()
+            .emit_with(|| Event::GenerationStarted);
+        let started = Instant::now();
         let norms = self.pop.normalizer_snapshot();
 
         // ------ Phase A: selection + crossover ------
@@ -40,6 +52,10 @@ impl<E: Evaluator> GaRun<'_, E> {
 
         self.mutation_rates.end_generation();
         self.crossover_rates.end_generation();
+        self.service.observer().emit_with(|| Event::RatesAdapted {
+            mutation: self.mutation_rates.rates().to_vec(),
+            crossover: self.crossover_rates.rates().to_vec(),
+        });
 
         // ------ Improvement tracking ------
         let improved = self.track_improvements();
@@ -56,21 +72,36 @@ impl<E: Evaluator> GaRun<'_, E> {
         if self.cfg.scheme.random_immigrants && self.ri_counter >= self.cfg.ri_stagnation {
             n_immigrants = self.immigrant_phase()?;
             self.ri_counter = 0;
+            self.service
+                .observer()
+                .emit_with(|| Event::ImmigrantEpisode {
+                    replaced: n_immigrants,
+                });
         }
 
+        let best_per_size: Vec<f64> = self
+            .pop
+            .bests()
+            .into_iter()
+            .map(|b| b.map_or(f64::NAN, |h| h.fitness()))
+            .collect();
+        let gen_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.service
+            .observer()
+            .emit_with(|| Event::GenerationFinished {
+                improved,
+                best_per_size: best_per_size.clone(),
+                wall_ms: gen_wall_ms,
+            });
         self.history.push(GenerationStats {
             generation: self.generation,
             evaluations: self.total_evals,
-            best_per_size: self
-                .pop
-                .bests()
-                .into_iter()
-                .map(|b| b.map_or(f64::NAN, |h| h.fitness()))
-                .collect(),
+            best_per_size,
             mutation_rates: self.mutation_rates.rates().to_vec(),
             crossover_rates: self.crossover_rates.rates().to_vec(),
             immigrants: n_immigrants,
             sched: self.service.take_window(),
+            gen_wall_ms,
         });
 
         Ok(if improved {

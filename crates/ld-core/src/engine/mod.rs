@@ -46,6 +46,7 @@ use crate::individual::Haplotype;
 use crate::population::MultiPopulation;
 use crate::rng::random_haplotype;
 use crate::sched::{EvalBackend, EvalBackendError, EvalService, EvaluatorBackend, SchedStats};
+use ld_observe::{Event, Observer};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -72,6 +73,12 @@ pub struct GenerationStats {
     /// deserializing checkpoints written before this field existed.
     #[serde(default)]
     pub sched: SchedStats,
+    /// Engine-side wall clock of the whole generation, milliseconds.
+    /// Unlike `sched.dispatch_ns` this includes selection, breeding and
+    /// replacement, so engine overhead is `gen_wall_ms − dispatch` time.
+    /// Defaults to zero when deserializing pre-existing checkpoints.
+    #[serde(default)]
+    pub gen_wall_ms: f64,
 }
 
 /// Result of one GA run.
@@ -193,6 +200,28 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
         feasibility: Option<FeasibilityFilter>,
         fallback: Option<Arc<dyn EvalBackend>>,
     ) -> Result<Self, String> {
+        Self::new_observed(
+            evaluator,
+            config,
+            seed,
+            feasibility,
+            fallback,
+            Observer::disabled(),
+        )
+    }
+
+    /// [`GaRun::new_with_fallback`] with an [`Observer`] attached from the
+    /// very first evaluation batch. The observer's span is maintained by
+    /// the run: generation stamped at the top of every step, batch ids by
+    /// the scheduler.
+    pub fn new_observed(
+        evaluator: &'e E,
+        config: GaConfig,
+        seed: u64,
+        feasibility: Option<FeasibilityFilter>,
+        fallback: Option<Arc<dyn EvalBackend>>,
+        observer: Observer,
+    ) -> Result<Self, String> {
         config.validate(evaluator.n_snps())?;
         let n_snps = evaluator.n_snps();
         let n_sizes = config.max_size - config.min_size + 1;
@@ -203,7 +232,12 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
             config.max_size,
             config.population_size,
         );
-        let mut service = build_service(evaluator, &config, feasibility, fallback);
+        let mut service =
+            build_service(evaluator, &config, feasibility, fallback).with_observer(observer);
+        service.observer().set_generation(0);
+        service
+            .observer()
+            .emit_with(|| Event::RunStarted { seed, n_snps });
         let mut total_evals: u64 = 0;
 
         // Warm start: rank SNPs by single-marker fitness once (costs
@@ -237,7 +271,7 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
                 }
             }
             total_evals += service
-                .submit(&mut initial)
+                .submit_phase(&mut initial, "init")
                 .map_err(|e| format!("initial evaluation failed: {e}"))?;
             let subpop = pop.get_mut(size).expect("managed size");
             for h in initial {
@@ -411,8 +445,20 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
         }
     }
 
+    /// The observer attached to this run (disabled unless one was passed
+    /// to [`GaRun::new_observed`]).
+    pub fn observer(&self) -> &Observer {
+        self.service.observer()
+    }
+
     /// Finish the run, consuming the handle.
     pub fn finish(self) -> RunResult {
+        let obs = self.service.observer();
+        obs.emit_with(|| Event::RunFinished {
+            generations: self.generation,
+            total_evaluations: self.total_evals,
+        });
+        obs.flush();
         RunResult {
             min_size: self.cfg.min_size,
             best_per_size: self.best_per_size,
@@ -451,6 +497,7 @@ pub struct GaEngine<'e, E: Evaluator> {
     seed: u64,
     feasibility: Option<FeasibilityFilter>,
     fallback: Option<Arc<dyn EvalBackend>>,
+    observer: Observer,
 }
 
 impl<'e, E: Evaluator> GaEngine<'e, E> {
@@ -463,7 +510,17 @@ impl<'e, E: Evaluator> GaEngine<'e, E> {
             seed,
             feasibility: None,
             fallback: None,
+            observer: Observer::disabled(),
         })
+    }
+
+    /// Attach a live observer: structured events (generation boundaries,
+    /// batch lifecycle, fault recovery) flow to its sink and scheduler
+    /// counters to its registry. The default is disabled, which costs
+    /// nothing on the evaluation hot path.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Restrict the search to haplotypes satisfying `filter` (§2.3
@@ -485,12 +542,13 @@ impl<'e, E: Evaluator> GaEngine<'e, E> {
 
     /// Start a steppable run (island-model building block).
     pub fn start(&self) -> Result<GaRun<'e, E>, String> {
-        GaRun::new_with_fallback(
+        GaRun::new_observed(
             self.evaluator,
             self.config.clone(),
             self.seed,
             self.feasibility.clone(),
             self.fallback.clone(),
+            self.observer.clone(),
         )
     }
 

@@ -27,7 +27,7 @@ impl<E: Evaluator> GaRun<'_, E> {
     pub fn try_inject(&mut self, migrants: Vec<Haplotype>) -> Result<(), EvalBackendError> {
         let mut migrants = migrants;
         self.service.retain_feasible(&mut migrants);
-        self.total_evals += self.service.submit(&mut migrants)?;
+        self.total_evals += self.service.submit_phase(&mut migrants, "inject")?;
         for h in migrants {
             self.pop.try_insert(h);
         }
@@ -50,7 +50,7 @@ impl<E: Evaluator> GaRun<'_, E> {
             immigrants.extend(imms);
         }
         let n_immigrants = immigrants.len();
-        self.total_evals += self.service.submit(&mut immigrants)?;
+        self.total_evals += self.service.submit_phase(&mut immigrants, "immigrants")?;
         for h in immigrants {
             self.pop.try_insert(h);
         }

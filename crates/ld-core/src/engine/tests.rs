@@ -437,3 +437,113 @@ fn generation_cap_makes_step_a_noop() {
     assert_eq!(run.generation(), 3);
     assert_eq!(run.total_evaluations(), evals);
 }
+
+#[test]
+fn observed_run_correlates_events_with_generations() {
+    use ld_observe::{Event, Observer, Registry, RingSink};
+
+    let eval = toy();
+    let cfg = GaConfig {
+        max_generations: 4,
+        ..small_config()
+    };
+    let ring = Arc::new(RingSink::new(10_000));
+    let registry = Registry::new();
+    let observer = Observer::new("test-run", ring.clone(), registry.clone());
+    let result = GaEngine::new(&eval, cfg, 11)
+        .unwrap()
+        .with_observer(observer)
+        .run();
+
+    let events = ring.take();
+    assert!(matches!(
+        events[0].event,
+        Event::RunStarted { seed: 11, .. }
+    ));
+    assert!(matches!(
+        events.last().unwrap().event,
+        Event::RunFinished { .. }
+    ));
+
+    // Init batches run before the first generation: generation 0.
+    let init_batches: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(&e.event, Event::BatchDispatched { phase, .. } if phase == "init"))
+        .collect();
+    assert_eq!(init_batches.len(), 3, "one init batch per managed size");
+    assert!(init_batches.iter().all(|e| e.generation == 0));
+
+    // Every generation emits its boundary events with its own number, and
+    // batch events in between carry that generation.
+    for g in 1..=result.generations as u64 {
+        let started = events
+            .iter()
+            .position(|e| matches!(e.event, Event::GenerationStarted) && e.generation == g)
+            .unwrap_or_else(|| panic!("no GenerationStarted for generation {g}"));
+        let finished = events
+            .iter()
+            .position(|e| matches!(e.event, Event::GenerationFinished { .. }) && e.generation == g)
+            .unwrap_or_else(|| panic!("no GenerationFinished for generation {g}"));
+        assert!(started < finished);
+        for e in &events[started..finished] {
+            assert_eq!(
+                e.generation,
+                g,
+                "event {:?} outside its generation",
+                e.event.kind()
+            );
+        }
+        // At least the crossover and mutation batches dispatched inside.
+        let phases: Vec<&str> = events[started..finished]
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::BatchDispatched { phase, .. } => Some(phase.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(phases.contains(&"crossover"), "generation {g}: {phases:?}");
+        assert!(phases.contains(&"mutation"));
+    }
+
+    // Batch ids are unique and monotone across the run.
+    let batch_ids: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::BatchDispatched { .. } => Some(e.batch_id),
+            _ => None,
+        })
+        .collect();
+    assert!(batch_ids.windows(2).all(|w| w[0] < w[1]), "{batch_ids:?}");
+    assert!(batch_ids[0] >= 1);
+
+    // The registry saw the same scheduler totals as the run (init included).
+    let requested = registry.counter("ld_sched_requested_total", "").get();
+    let history_requested: u64 = result.history.iter().map(|g| g.sched.requested).sum();
+    assert!(requested >= history_requested);
+    let snap = registry.snapshot();
+    assert!(snap
+        .families
+        .iter()
+        .any(|f| f.name == "ld_sched_dispatch_ms"));
+}
+
+#[test]
+fn observed_and_unobserved_runs_share_a_trajectory() {
+    use ld_observe::{Observer, Registry, RingSink};
+
+    // Observation must be pure readout: attaching an observer cannot
+    // perturb the GA trajectory.
+    let eval = toy();
+    let plain = GaEngine::new(&eval, small_config(), 13).unwrap().run();
+    let ring = Arc::new(RingSink::new(4096));
+    let observed = GaEngine::new(&eval, small_config(), 13)
+        .unwrap()
+        .with_observer(Observer::new("t", ring, Registry::new()))
+        .run();
+    assert_eq!(plain.total_evaluations, observed.total_evaluations);
+    assert_eq!(plain.generations, observed.generations);
+    assert_eq!(
+        plain.best_of_size(2).unwrap().snps(),
+        observed.best_of_size(2).unwrap().snps()
+    );
+}

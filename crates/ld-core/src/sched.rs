@@ -44,6 +44,7 @@
 use crate::evaluator::Evaluator;
 use crate::individual::Haplotype;
 use ld_data::SnpId;
+use ld_observe::{Counter, Event, Histogram, Observer, LATENCY_MS_BUCKETS};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -439,6 +440,50 @@ impl SchedStats {
     }
 }
 
+/// Pre-registered metric handles so the submit path never touches the
+/// registry lock (handles are plain `Arc`-backed atomics).
+struct SchedMetrics {
+    requested: Counter,
+    coalesced: Counter,
+    cache_hits: Counter,
+    true_evals: Counter,
+    fault_events: Counter,
+    dispatch_ms: Histogram,
+}
+
+impl SchedMetrics {
+    fn register(observer: &Observer) -> Option<Self> {
+        let reg = observer.registry()?;
+        Some(SchedMetrics {
+            requested: reg.counter(
+                "ld_sched_requested_total",
+                "Unevaluated individuals received by the scheduler.",
+            ),
+            coalesced: reg.counter(
+                "ld_sched_coalesced_total",
+                "Duplicate requests folded by intra-batch coalescing.",
+            ),
+            cache_hits: reg.counter(
+                "ld_sched_cache_hits_total",
+                "Unique requests served by the fitness cache.",
+            ),
+            true_evals: reg.counter(
+                "ld_sched_true_evals_total",
+                "Evaluations that actually reached a backend.",
+            ),
+            fault_events: reg.counter(
+                "ld_sched_fault_events_total",
+                "Fault-recovery events absorbed by the evaluation layer.",
+            ),
+            dispatch_ms: reg.histogram(
+                "ld_sched_dispatch_ms",
+                "Wall-clock time of one backend dispatch, milliseconds.",
+                LATENCY_MS_BUCKETS,
+            ),
+        })
+    }
+}
+
 /// The unified batch-evaluation scheduler (see the module docs for the
 /// stage pipeline).
 pub struct EvalService<B: EvalBackend> {
@@ -448,6 +493,8 @@ pub struct EvalService<B: EvalBackend> {
     feasibility: Option<FeasibilityFilter>,
     totals: SchedStats,
     window: SchedStats,
+    observer: Observer,
+    metrics: Option<SchedMetrics>,
 }
 
 impl<B: EvalBackend> EvalService<B> {
@@ -461,7 +508,29 @@ impl<B: EvalBackend> EvalService<B> {
             feasibility: None,
             totals: SchedStats::default(),
             window: SchedStats::default(),
+            observer: Observer::disabled(),
+            metrics: None,
         }
+    }
+
+    /// Attach an observer: batch lifecycle events go to its sink and the
+    /// scheduler counters to its registry. The default is the disabled
+    /// observer, whose cost on the submit path is a handful of `Option`
+    /// branches.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.set_observer(observer);
+        self
+    }
+
+    /// Attach an observer in place (see [`EvalService::with_observer`]).
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.metrics = SchedMetrics::register(&observer);
+        self.observer = observer;
+    }
+
+    /// The attached observer (disabled unless one was installed).
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Install a fallback backend used to finish a batch when the primary
@@ -524,6 +593,16 @@ impl<B: EvalBackend> EvalService<B> {
     /// error surface. Either way the counters for this batch — including
     /// the fault events the backend absorbed — are recorded.
     pub fn submit(&mut self, batch: &mut [Haplotype]) -> Result<u64, EvalBackendError> {
+        self.submit_phase(batch, "batch")
+    }
+
+    /// [`EvalService::submit`] with an explicit phase label (`"init"`,
+    /// `"crossover"`, ...) carried on the emitted batch events.
+    pub fn submit_phase(
+        &mut self,
+        batch: &mut [Haplotype],
+        phase: ld_observe::Phase,
+    ) -> Result<u64, EvalBackendError> {
         let pending: Vec<usize> = batch
             .iter()
             .enumerate()
@@ -568,6 +647,18 @@ impl<B: EvalBackend> EvalService<B> {
             }
         }
 
+        // Open the observation span for this batch before anything can
+        // reach the backend, so events raised inside dispatch (retries,
+        // retirements) inherit the batch id.
+        self.observer.begin_batch();
+        self.observer.emit_with(|| Event::BatchDispatched {
+            phase: phase.to_string(),
+            requested: pending.len() as u64,
+            coalesced,
+            cache_hits,
+            dispatched: misses.len() as u64,
+        });
+
         // Dispatch residual misses as one backend batch. On primary
         // failure the fallback backend finishes the unevaluated residue.
         let mut true_evals = 0u64;
@@ -586,6 +677,9 @@ impl<B: EvalBackend> EvalService<B> {
                 match &self.fallback {
                     Some(fb) => {
                         fallback_batches = 1;
+                        self.observer.emit_with(|| Event::FallbackActivated {
+                            residue: jobs.iter().filter(|h| !h.is_evaluated()).count() as u64,
+                        });
                         // The failed backend left finished jobs evaluated;
                         // only the residue goes to the fallback.
                         let residue: Vec<usize> = jobs
@@ -640,6 +734,29 @@ impl<B: EvalBackend> EvalService<B> {
             s.requeued += faults.requeued;
             s.fallback_batches += fallback_batches;
         }
+        if let Some(m) = &self.metrics {
+            m.requested.add(pending.len() as u64);
+            m.coalesced.add(coalesced);
+            m.cache_hits.add(cache_hits);
+            m.true_evals.add(true_evals);
+            m.fault_events.add(
+                faults.retries
+                    + faults.retirements
+                    + faults.rejoins
+                    + faults.requeued
+                    + fallback_batches,
+            );
+            if !misses.is_empty() {
+                m.dispatch_ms.observe(dispatch_ns as f64 / 1e6);
+            }
+        }
+        self.observer.emit_with(|| Event::BatchCompleted {
+            phase: phase.to_string(),
+            true_evals,
+            dispatch_ms: dispatch_ns as f64 / 1e6,
+            failed: dispatch_err.is_some(),
+        });
+        self.observer.end_batch();
         match dispatch_err {
             Some(err) => Err(err),
             None => Ok(scheduled),

@@ -12,7 +12,7 @@ use crate::sched::SchedStats;
 
 /// Convergence curve of one haplotype size: `(generation, best fitness)`
 /// sampled at every improvement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct ConvergenceCurve {
     /// Haplotype size.
     pub size: usize,
@@ -21,7 +21,7 @@ pub struct ConvergenceCurve {
 }
 
 /// Mean adaptive rate of each operator over a window of generations.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct RateSummary {
     /// Operator name.
     pub operator: &'static str,
@@ -34,7 +34,7 @@ pub struct RateSummary {
 }
 
 /// One random-immigrant episode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct ImmigrantEpisode {
     /// Generation the episode fired.
     pub generation: usize,
@@ -43,7 +43,7 @@ pub struct ImmigrantEpisode {
 }
 
 /// Batch-scheduler behaviour over a whole run (generation windows merged).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SchedSummary {
     /// Counters summed over every generation window.
     pub totals: SchedStats,
@@ -63,8 +63,9 @@ pub struct SchedSummary {
     pub fault_events: u64,
 }
 
-/// Full telemetry report.
-#[derive(Debug, Clone)]
+/// Full telemetry report. `Serialize` so it can become the `telemetry`
+/// section of an `ld-observe` run report.
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct TelemetryReport {
     /// Convergence curve per managed size (ascending).
     pub convergence: Vec<ConvergenceCurve>,
@@ -208,6 +209,7 @@ pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std
         w,
         "\tsched_retries\tsched_retired\tsched_rejoins\tsched_requeued\tsched_fallbacks"
     )?;
+    write!(w, "\tgen_wall_ms")?;
     writeln!(w)?;
     for g in &result.history {
         write!(w, "{}\t{}", g.generation, g.evaluations)?;
@@ -233,7 +235,7 @@ pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std
             g.sched.dispatch_ns as f64 / 1e6,
             g.sched.max_queue_depth,
         )?;
-        writeln!(
+        write!(
             w,
             "\t{}\t{}\t{}\t{}\t{}",
             g.sched.retries,
@@ -242,6 +244,7 @@ pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std
             g.sched.requeued,
             g.sched.fallback_batches,
         )?;
+        writeln!(w, "\t{:.3}", g.gen_wall_ms)?;
     }
     Ok(())
 }
@@ -352,10 +355,26 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), result.generations + 1);
         assert!(lines[0].starts_with("generation\tevaluations\tbest_k2"));
+        assert!(lines[0].ends_with("\tgen_wall_ms"));
         // Every data row has the full column count.
         let n_cols = lines[0].split('\t').count();
         for l in &lines[1..] {
             assert_eq!(l.split('\t').count(), n_cols, "row: {l}");
+        }
+    }
+
+    #[test]
+    fn generation_wall_clock_is_recorded() {
+        let result = run();
+        for g in &result.history {
+            assert!(
+                g.gen_wall_ms > 0.0,
+                "generation {} has no wall time",
+                g.generation
+            );
+            // The engine-side wall clock must cover at least the dispatch
+            // time the scheduler measured inside it.
+            assert!(g.gen_wall_ms >= g.sched.dispatch_ns as f64 / 1e6);
         }
     }
 

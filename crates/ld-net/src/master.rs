@@ -24,10 +24,11 @@
 use crate::protocol::{read_message, write_message, Message, ProtoError, PROTOCOL_VERSION};
 use ld_core::{EvalBackend, EvalBackendError, Evaluator, FaultEvents, Haplotype};
 use ld_data::SnpId;
+use ld_observe::{Counter, Event, Gauge, Histogram, Observer, SlaveHealth, LATENCY_MS_BUCKETS};
 use std::io::BufWriter;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Tunable fault-tolerance knobs of a [`TcpSlavePool`].
@@ -78,6 +79,53 @@ struct Link {
 struct SlaveSlot {
     addr: String,
     link: Mutex<Link>,
+    /// Requests served over the pool's lifetime (never reset).
+    served: AtomicU64,
+    /// Total round-trip time of served requests, in nanoseconds.
+    rtt_ns: AtomicU64,
+    /// Most recent request or reconnect failure, for the health table.
+    /// Lock order: `link` before `last_error` (never the reverse).
+    last_error: Mutex<Option<String>>,
+    /// Per-slave metric handles, registered when an observer attaches.
+    metrics: OnceLock<SlotMetrics>,
+}
+
+impl SlaveSlot {
+    fn new(addr: String, io: ConnIo) -> SlaveSlot {
+        SlaveSlot {
+            addr,
+            link: Mutex::new(Link {
+                io: Some(io),
+                failed_rejoins: 0,
+                next_rejoin: Instant::now(),
+            }),
+            served: AtomicU64::new(0),
+            rtt_ns: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+            metrics: OnceLock::new(),
+        }
+    }
+
+    fn note_error(&self, err: &ProtoError) {
+        *self.last_error.lock().unwrap() = Some(err.to_string());
+    }
+
+    /// Record one successfully served request and its round-trip time.
+    fn note_served(&self, rtt: Duration) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.rtt_ns
+            .fetch_add(rtt.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.served.inc();
+            m.rtt_ms.observe(rtt.as_secs_f64() * 1e3);
+        }
+    }
+}
+
+/// Registry handles for one slave (labelled by address).
+struct SlotMetrics {
+    served: Counter,
+    rtt_ms: Histogram,
 }
 
 #[derive(Default)]
@@ -96,6 +144,12 @@ pub struct TcpSlavePool {
     cfg: PoolConfig,
     next_id: AtomicU64,
     faults: PoolFaults,
+    /// Attached observability handle (disabled until [`set_observer`]).
+    ///
+    /// [`set_observer`]: TcpSlavePool::set_observer
+    observer: OnceLock<Observer>,
+    /// Gauge mirroring [`TcpSlavePool::alive`], updated on retire/rejoin.
+    active_gauge: OnceLock<Gauge>,
 }
 
 /// Pool construction errors.
@@ -152,14 +206,7 @@ impl TcpSlavePool {
                     source,
                 })?;
             widths.push(n_snps);
-            slaves.push(SlaveSlot {
-                addr: addr.clone(),
-                link: Mutex::new(Link {
-                    io: Some(io),
-                    failed_rejoins: 0,
-                    next_rejoin: Instant::now(),
-                }),
-            });
+            slaves.push(SlaveSlot::new(addr.clone(), io));
         }
         if widths.windows(2).any(|w| w[0] != w[1]) {
             return Err(PoolError::InconsistentPanels { widths });
@@ -170,6 +217,8 @@ impl TcpSlavePool {
             cfg,
             next_id: AtomicU64::new(1),
             faults: PoolFaults::default(),
+            observer: OnceLock::new(),
+            active_gauge: OnceLock::new(),
         })
     }
 
@@ -222,11 +271,86 @@ impl TcpSlavePool {
         &self.cfg
     }
 
+    /// Attach an [`Observer`]: pool transitions (retire, rejoin, retry,
+    /// requeue) are emitted as events — inheriting whatever
+    /// generation/batch span the engine and scheduler have stamped — and
+    /// per-slave request metrics are registered in the observer's
+    /// registry. The first call wins; later calls are ignored (the pool
+    /// is shared behind `&self` during dispatch).
+    pub fn set_observer(&self, observer: Observer) {
+        if self.observer.get().is_some() {
+            return;
+        }
+        if let Some(reg) = observer.registry() {
+            let active = reg.gauge("ld_net_pool_active_slaves", "Slaves currently connected");
+            active.set(self.alive() as f64);
+            let _ = self.active_gauge.set(active);
+            for slot in &self.slaves {
+                let labels = [("slave", slot.addr.as_str())];
+                let _ = slot.metrics.set(SlotMetrics {
+                    served: reg.counter_with(
+                        "ld_net_slave_served_total",
+                        "Requests served, per slave",
+                        &labels,
+                    ),
+                    rtt_ms: reg.histogram_with(
+                        "ld_net_slave_rtt_ms",
+                        "Request round-trip time per slave (ms)",
+                        LATENCY_MS_BUCKETS,
+                        &labels,
+                    ),
+                });
+            }
+        }
+        for slot in &self.slaves {
+            observer.emit_with(|| Event::SlaveJoined {
+                slave: slot.addr.clone(),
+            });
+        }
+        let _ = self.observer.set(observer);
+    }
+
+    /// The attached observer, or a disabled one.
+    fn obs(&self) -> Observer {
+        self.observer.get().cloned().unwrap_or_default()
+    }
+
+    fn update_active_gauge(&self) {
+        if let Some(g) = self.active_gauge.get() {
+            g.set(self.alive() as f64);
+        }
+    }
+
+    /// Per-slave health table: requests served, mean round-trip time,
+    /// retired flag, and the most recent error. Feeds the unified run
+    /// report; counters accumulate over the pool's lifetime.
+    pub fn health(&self) -> Vec<SlaveHealth> {
+        self.slaves
+            .iter()
+            .map(|s| {
+                let served = s.served.load(Ordering::Relaxed);
+                let rtt_ns = s.rtt_ns.load(Ordering::Relaxed);
+                SlaveHealth {
+                    addr: s.addr.clone(),
+                    served,
+                    mean_rtt_ms: if served == 0 {
+                        0.0
+                    } else {
+                        rtt_ns as f64 / served as f64 / 1e6
+                    },
+                    retired: s.link.lock().unwrap().io.is_none(),
+                    last_error: s.last_error.lock().unwrap().clone(),
+                }
+            })
+            .collect()
+    }
+
     /// Probe every retired slave whose backoff has elapsed; successful
     /// reconnects rejoin the pool. Called at the start of every dispatch
     /// and by [`TcpSlavePool::try_evaluate_one`].
     fn try_rejoin_retired(&self) {
         let now = Instant::now();
+        let mut rejoined: Vec<&str> = Vec::new();
         for slot in &self.slaves {
             let mut link = slot.link.lock().unwrap();
             if link.io.is_some() || now < link.next_rejoin {
@@ -237,6 +361,7 @@ impl TcpSlavePool {
                     link.io = Some(io);
                     link.failed_rejoins = 0;
                     self.faults.rejoins.fetch_add(1, Ordering::Relaxed);
+                    rejoined.push(&slot.addr);
                 }
                 _ => {
                     link.failed_rejoins = link.failed_rejoins.saturating_add(1);
@@ -249,15 +374,28 @@ impl TcpSlavePool {
                 }
             }
         }
+        if !rejoined.is_empty() {
+            let obs = self.obs();
+            for addr in rejoined {
+                obs.emit_with(|| Event::SlaveRejoined { slave: addr.into() });
+            }
+            self.update_active_gauge();
+        }
     }
 
     /// Retire a slave: sever its connection and schedule a rejoin probe.
     fn retire(&self, slot: &SlaveSlot) {
-        let mut link = slot.link.lock().unwrap();
-        link.io = None;
-        link.failed_rejoins = 0;
-        link.next_rejoin = Instant::now() + self.cfg.rejoin_backoff;
+        {
+            let mut link = slot.link.lock().unwrap();
+            link.io = None;
+            link.failed_rejoins = 0;
+            link.next_rejoin = Instant::now() + self.cfg.rejoin_backoff;
+        }
         self.faults.retirements.fetch_add(1, Ordering::Relaxed);
+        self.obs().emit_with(|| Event::SlaveRetired {
+            slave: slot.addr.clone(),
+        });
+        self.update_active_gauge();
     }
 
     /// Send one request on an open connection and wait for its response
@@ -293,6 +431,10 @@ impl TcpSlavePool {
         for attempt in 0..=self.cfg.max_retries {
             if attempt > 0 {
                 self.faults.retries.fetch_add(1, Ordering::Relaxed);
+                self.obs().emit_with(|| Event::RequestRetried {
+                    slave: slot.addr.clone(),
+                    attempt,
+                });
                 std::thread::sleep(self.cfg.retry_backoff.saturating_mul(attempt));
             }
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -300,16 +442,25 @@ impl TcpSlavePool {
             if link.io.is_none() {
                 match Self::connect_io(&slot.addr, &self.cfg) {
                     Ok((io, n_snps)) if n_snps as usize == self.n_snps => link.io = Some(io),
-                    _ => continue,
+                    Err(e) => {
+                        slot.note_error(&e);
+                        continue;
+                    }
+                    Ok(_) => continue, // panel width changed under us
                 }
             }
             let io = link.io.as_mut().expect("connection ensured above");
+            let started = Instant::now();
             match Self::request_once(io, id, snps) {
-                Ok(f) => return Some(f),
-                Err(_) => {
+                Ok(f) => {
+                    slot.note_served(started.elapsed());
+                    return Some(f);
+                }
+                Err(e) => {
                     // A half-read stream cannot be reused: sever it so the
                     // next attempt (or rejoin probe) starts clean.
                     link.io = None;
+                    slot.note_error(&e);
                 }
             }
         }
@@ -439,6 +590,9 @@ impl EvalBackend for TcpSlavePool {
                             // slave, and exit this worker.
                             self.retire(slot);
                             self.faults.requeued.fetch_add(1, Ordering::Relaxed);
+                            self.obs().emit_with(|| Event::JobRequeued {
+                                slave: slot.addr.clone(),
+                            });
                             let mut st = monitor.lock().unwrap();
                             st.work.push((index, snps));
                             work_cv.notify_all();

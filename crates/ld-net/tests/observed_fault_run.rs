@@ -1,0 +1,233 @@
+//! The observability acceptance test: a GA run on a faulty cluster with
+//! an attached [`Observer`] must produce a JSONL event stream whose
+//! fault events (slave retire/rejoin, request retries, job requeues,
+//! fallback activations) carry the generation and batch id of the engine
+//! step that caused them, and a unified JSON run report whose telemetry
+//! section reconciles exactly with the event stream.
+//!
+//! When `LD_OBSERVE_DIR` is set (the CI fault-matrix does so), the
+//! artifacts — events JSONL, history TSV, metrics snapshot, run report —
+//! are left there for upload instead of the scratch directory.
+#![cfg(feature = "fault-inject")]
+
+use ld_core::evaluator::FnEvaluator;
+use ld_core::{telemetry, EvalBackend, GaConfig, GaEngine};
+use ld_data::SnpId;
+use ld_net::{FaultPlan, LocalCluster, PoolConfig};
+use ld_observe::{
+    Envelope, Event, FanoutSink, JsonlSink, Observer, Registry, RingSink, RunReport, Sink,
+};
+use ld_parallel::RayonEvaluator;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
+    FnEvaluator::new(30, |s: &[SnpId]| {
+        s.iter().map(|&x| x as f64).sum::<f64>() + 10.0 * s.len() as f64
+    })
+}
+
+fn fast_cfg() -> PoolConfig {
+    PoolConfig {
+        request_timeout: Duration::from_secs(2),
+        max_retries: 1,
+        retry_backoff: Duration::from_millis(5),
+        rejoin_backoff: Duration::from_millis(10),
+        max_rejoin_backoff: Duration::from_millis(200),
+    }
+}
+
+fn ga_cfg() -> GaConfig {
+    GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 3,
+        matings_per_generation: 6,
+        stagnation_limit: 8,
+        max_generations: 25,
+        ..GaConfig::default()
+    }
+}
+
+/// Artifact directory: `LD_OBSERVE_DIR` in CI, a scratch dir otherwise.
+fn artifact_dir() -> PathBuf {
+    let dir = match std::env::var("LD_OBSERVE_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => std::env::temp_dir().join(format!("ld-observe-run-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).expect("artifact dir");
+    dir
+}
+
+#[test]
+fn fault_events_carry_engine_spans_and_reconcile_with_the_run_report() {
+    // The CI matrix pins one scenario; locally, flapping-reconnect is the
+    // richest (it retires AND rejoins slaves throughout the run).
+    let scenario =
+        std::env::var("LD_FAULT_PLAN").unwrap_or_else(|_| "flapping-reconnect".to_string());
+    let plans = FaultPlan::matrix(&scenario, 3, 42)
+        .unwrap_or_else(|| panic!("unknown scenario {scenario:?}"));
+    // For the flapping scenario, retire on the first failure (no retry
+    // absorption) so slaves demonstrably leave and rejoin mid-run.
+    let pool_cfg = if scenario == "flapping-reconnect" {
+        PoolConfig {
+            max_retries: 0,
+            rejoin_backoff: Duration::from_millis(1),
+            ..fast_cfg()
+        }
+    } else {
+        fast_cfg()
+    };
+    let cluster = LocalCluster::spawn_faulty(3, toy, &plans, pool_cfg).unwrap();
+
+    let dir = artifact_dir();
+    let events_path = dir.join(format!("events-{scenario}.jsonl"));
+    let ring = Arc::new(RingSink::new(1 << 16));
+    let jsonl = Arc::new(JsonlSink::create(&events_path).unwrap());
+    let sink = Arc::new(FanoutSink::new(vec![
+        ring.clone() as Arc<dyn Sink>,
+        jsonl.clone(),
+    ]));
+    let registry = Registry::new();
+    let run_id = format!("fault-{scenario}-42");
+    let observer = Observer::new(run_id.clone(), sink, registry.clone());
+
+    let pool = cluster.pool();
+    pool.set_observer(observer.clone());
+    let cfg = ga_cfg();
+    let fallback: Arc<dyn EvalBackend> = Arc::new(RayonEvaluator::new(toy()));
+    let result = GaEngine::new(pool, cfg.clone(), 11)
+        .unwrap()
+        .with_observer(observer.clone())
+        .with_fallback_backend(fallback)
+        .try_run()
+        .unwrap_or_else(|e| panic!("{scenario}: {e}"));
+    observer.flush();
+
+    // ---- The JSONL stream parses back, envelope for envelope. ----
+    let text = std::fs::read_to_string(&events_path).unwrap();
+    let events: Vec<Envelope> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("valid envelope JSON"))
+        .collect();
+    assert_eq!(events.len(), ring.len(), "file and ring sinks agree");
+    assert!(events.iter().all(|e| e.run_id == run_id));
+
+    // ---- Span correlation: every batch-scoped event maps back to the
+    // dispatch that caused it, and that dispatch to its engine step. ----
+    let mut batch_generation: HashMap<u64, u64> = HashMap::new();
+    for e in &events {
+        if let Event::BatchDispatched { .. } = e.event {
+            let prev = batch_generation.insert(e.batch_id, e.generation);
+            assert_eq!(prev, None, "batch id {} reused", e.batch_id);
+        }
+    }
+    let fault_events: Vec<&Envelope> = events.iter().filter(|e| e.event.is_fault_event()).collect();
+    for e in &fault_events {
+        assert!(
+            e.batch_id > 0,
+            "fault event outside any dispatch: {:?}",
+            e.event
+        );
+        assert_eq!(
+            batch_generation.get(&e.batch_id),
+            Some(&e.generation),
+            "fault event {:?} disagrees with its dispatch about the generation",
+            e.event
+        );
+    }
+    // Per-generation monotonicity: events between GenerationStarted(g)
+    // and GenerationFinished(g) all carry generation g.
+    let mut current = 0u64;
+    for e in &events {
+        match e.event {
+            Event::GenerationStarted => {
+                assert_eq!(e.generation, current + 1, "generations advance by one");
+                current = e.generation;
+            }
+            Event::RunStarted { .. } => assert_eq!(e.generation, 0),
+            _ => assert!(
+                e.generation == current || e.generation == 0,
+                "event {:?} stamped with a foreign generation {} (current {})",
+                e.event,
+                e.generation,
+                current
+            ),
+        }
+    }
+
+    // ---- Reconciliation: the telemetry fold over generation windows
+    // equals the fault events stamped with generation >= 1 (init-phase
+    // faults belong to no generation and are excluded from both). ----
+    let report = telemetry::analyze(&result);
+    let in_run_faults = fault_events.iter().filter(|e| e.generation >= 1).count() as u64;
+    assert_eq!(
+        report.sched.fault_events, in_run_faults,
+        "telemetry fault fold and event stream diverged"
+    );
+    if scenario == "flapping-reconnect" {
+        assert!(
+            fault_events
+                .iter()
+                .any(|e| matches!(e.event, Event::SlaveRetired { .. }) && e.generation >= 1),
+            "flapping run should retire slaves mid-run"
+        );
+        assert!(
+            fault_events
+                .iter()
+                .any(|e| matches!(e.event, Event::SlaveRejoined { .. })),
+            "flapping run should rejoin slaves"
+        );
+    }
+
+    // ---- Per-slave health table is consistent with the run. ----
+    let health = pool.health();
+    assert_eq!(health.len(), 3);
+    let served: u64 = health.iter().map(|h| h.served).sum();
+    assert!(served > 0, "someone must have served requests");
+    for h in &health {
+        assert!(h.mean_rtt_ms >= 0.0);
+        if h.served == 0 {
+            assert_eq!(h.mean_rtt_ms, 0.0);
+        }
+    }
+    // The registry mirrors the health table's served counts.
+    let snap = registry.snapshot();
+    let served_metric: u64 = snap
+        .families
+        .iter()
+        .filter(|f| f.name == "ld_net_slave_served_total")
+        .flat_map(|f| f.series.iter())
+        .map(|s| s.value as u64)
+        .sum();
+    assert_eq!(served_metric, served, "registry and health table agree");
+
+    // ---- The unified run report: one call, all sections. ----
+    let history_path = dir.join(format!("history-{scenario}.tsv"));
+    let mut tsv = Vec::new();
+    telemetry::write_history_tsv(&result, &mut tsv).unwrap();
+    std::fs::write(&history_path, &tsv).unwrap();
+    let metrics_path = dir.join(format!("metrics-{scenario}.prom"));
+    std::fs::write(&metrics_path, registry.prometheus()).unwrap();
+
+    let report_path = dir.join(format!("report-{scenario}.json"));
+    RunReport::new(&run_id)
+        .section("config", &cfg)
+        .section("seed", &11u64)
+        .section("telemetry", &report)
+        .section("metrics", &snap)
+        .section("slaves", &health)
+        .write(&report_path)
+        .unwrap();
+    let report_text = std::fs::read_to_string(&report_path).unwrap();
+    assert!(report_text.starts_with(&format!("{{\"run_id\":{run_id:?}")));
+    for key in ["environment", "config", "telemetry", "metrics", "slaves"] {
+        assert!(report_text.contains(&format!("{key:?}:")), "missing {key}");
+    }
+    assert!(
+        report_text.contains(&format!("\"fault_events\":{in_run_faults}")),
+        "report's telemetry section must carry the reconciled fault count"
+    );
+}

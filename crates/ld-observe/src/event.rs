@@ -1,0 +1,219 @@
+//! The structured event taxonomy of the observability plane.
+//!
+//! An [`Event`] is one discrete thing that happened somewhere in the
+//! stack — an engine generation boundary, a scheduler batch dispatch, a
+//! slave retirement inside the TCP pool. Events are wrapped in an
+//! [`Envelope`] carrying the correlation span (`run_id`, `generation`,
+//! `batch_id`) maintained by the [`crate::Observer`], so a network-layer
+//! event can be traced back to the exact engine step that caused it: the
+//! engine stamps the generation at the top of every step, the scheduler
+//! stamps the batch id before dispatch, and anything emitted while that
+//! dispatch is on the stack (retries, retirements, rejoins) inherits both.
+
+use serde::{Deserialize, Serialize};
+
+/// Evaluation phase a scheduler batch belongs to.
+///
+/// Free-form rather than an enum so layers above `ld-core` can introduce
+/// phases (island migration rounds, warm-start probes) without touching
+/// this crate; the engine uses `"init"`, `"crossover"`, `"mutation"`,
+/// `"immigrants"` and `"inject"`.
+pub type Phase = &'static str;
+
+/// One observable occurrence. See the module docs for span semantics.
+///
+/// Serialized externally tagged (`{"SlaveRetired":{"slave":".."}}`, unit
+/// variants as bare strings); [`Event::kind`] provides the stable
+/// snake_case label used by pretty printers and filters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A GA run started (emitted once, before the initial population).
+    RunStarted {
+        /// RNG seed of the run.
+        seed: u64,
+        /// SNP panel width.
+        n_snps: usize,
+    },
+    /// A GA run finished.
+    RunFinished {
+        /// Generations executed.
+        generations: usize,
+        /// Total scheduled evaluations.
+        total_evaluations: u64,
+    },
+    /// A generation began (the envelope's `generation` is already stamped
+    /// with the new number).
+    GenerationStarted,
+    /// A generation completed.
+    GenerationFinished {
+        /// Whether any subpopulation's best improved.
+        improved: bool,
+        /// Best fitness per managed size (`NaN` serialized as `null`).
+        best_per_size: Vec<f64>,
+        /// Engine-side wall clock of the whole generation, milliseconds.
+        wall_ms: f64,
+    },
+    /// Adaptive operator rates after this generation's reallocation.
+    RatesAdapted {
+        /// Mutation-operator rates (SNP, reduction, augmentation).
+        mutation: Vec<f64>,
+        /// Crossover-operator rates (intra, inter).
+        crossover: Vec<f64>,
+    },
+    /// A random-immigrant episode fired.
+    ImmigrantEpisode {
+        /// Individuals replaced across all subpopulations.
+        replaced: usize,
+    },
+    /// A batch was handed to the scheduler (post-coalesce, pre-cache).
+    BatchDispatched {
+        /// Evaluation phase the batch belongs to.
+        phase: String,
+        /// Unevaluated individuals received.
+        requested: u64,
+        /// Duplicates folded by intra-batch coalescing.
+        coalesced: u64,
+        /// Unique requests served by the fitness cache.
+        cache_hits: u64,
+        /// Jobs sent to the backend (cache misses).
+        dispatched: u64,
+    },
+    /// The scheduler finished a batch (backend + fallback included).
+    BatchCompleted {
+        /// Evaluation phase the batch belongs to.
+        phase: String,
+        /// Evaluations that actually ran on a backend.
+        true_evals: u64,
+        /// Wall-clock time inside backend dispatch, milliseconds.
+        dispatch_ms: f64,
+        /// Whether the batch failed even after any fallback.
+        failed: bool,
+    },
+    /// The primary backend failed and the fallback backend was invoked
+    /// for the unevaluated residue.
+    FallbackActivated {
+        /// Jobs re-dispatched to the fallback.
+        residue: u64,
+    },
+    /// A remote request was re-sent after a failure or deadline expiry.
+    RequestRetried {
+        /// Address of the slave being retried.
+        slave: String,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// A slave joined the pool at connect time.
+    SlaveJoined {
+        /// Slave address.
+        slave: String,
+    },
+    /// A slave exhausted its retries and was retired from the pool.
+    SlaveRetired {
+        /// Slave address.
+        slave: String,
+    },
+    /// A previously retired slave reconnected and rejoined the pool.
+    SlaveRejoined {
+        /// Slave address.
+        slave: String,
+    },
+    /// A job was pushed back onto the work queue after a slave failure.
+    JobRequeued {
+        /// Address of the slave that failed the job.
+        slave: String,
+    },
+    /// Anything a layer above wants to trace without a dedicated variant.
+    Custom {
+        /// Free-form event label.
+        label: String,
+        /// Free-form payload.
+        detail: String,
+    },
+}
+
+impl Event {
+    /// Whether this event is one of the evaluation-layer fault-recovery
+    /// kinds that the scheduler's `SchedStats` counters track (retry,
+    /// retirement, rejoin, requeue, fallback). Used to reconcile the
+    /// event stream against scheduler telemetry.
+    pub fn is_fault_event(&self) -> bool {
+        matches!(
+            self,
+            Event::RequestRetried { .. }
+                | Event::SlaveRetired { .. }
+                | Event::SlaveRejoined { .. }
+                | Event::JobRequeued { .. }
+                | Event::FallbackActivated { .. }
+        )
+    }
+
+    /// Short machine label of the variant (the serialized `kind` tag).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStarted { .. } => "run_started",
+            Event::RunFinished { .. } => "run_finished",
+            Event::GenerationStarted => "generation_started",
+            Event::GenerationFinished { .. } => "generation_finished",
+            Event::RatesAdapted { .. } => "rates_adapted",
+            Event::ImmigrantEpisode { .. } => "immigrant_episode",
+            Event::BatchDispatched { .. } => "batch_dispatched",
+            Event::BatchCompleted { .. } => "batch_completed",
+            Event::FallbackActivated { .. } => "fallback_activated",
+            Event::RequestRetried { .. } => "request_retried",
+            Event::SlaveJoined { .. } => "slave_joined",
+            Event::SlaveRetired { .. } => "slave_retired",
+            Event::SlaveRejoined { .. } => "slave_rejoined",
+            Event::JobRequeued { .. } => "job_requeued",
+            Event::Custom { .. } => "custom",
+        }
+    }
+}
+
+/// An [`Event`] plus the correlation span it occurred in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Milliseconds since the Unix epoch at emission.
+    pub ts_ms: u64,
+    /// Identifier of the run this event belongs to.
+    pub run_id: String,
+    /// Engine generation the event occurred in (0 = before the first
+    /// generation, e.g. initial-population evaluation).
+    pub generation: u64,
+    /// Scheduler batch on the stack when the event fired (0 = outside any
+    /// batch dispatch). Monotonically increasing across the run.
+    pub batch_id: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrips_with_span_fields() {
+        let env = Envelope {
+            ts_ms: 12,
+            run_id: "r1".into(),
+            generation: 3,
+            batch_id: 7,
+            event: Event::SlaveRetired {
+                slave: "10.0.0.1:7171".into(),
+            },
+        };
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(json.contains("\"SlaveRetired\""), "{json}");
+        assert!(json.contains("\"generation\":3"), "{json}");
+        assert!(json.contains("\"batch_id\":7"), "{json}");
+        let back: Envelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn fault_event_classification() {
+        assert!(Event::SlaveRetired { slave: "a".into() }.is_fault_event());
+        assert!(Event::FallbackActivated { residue: 3 }.is_fault_event());
+        assert!(!Event::GenerationStarted.is_fault_event());
+        assert_eq!(Event::GenerationStarted.kind(), "generation_started");
+    }
+}

@@ -1,0 +1,42 @@
+//! Live observability plane for the LD-GA stack.
+//!
+//! The paper's results are observability artifacts — convergence curves,
+//! operator-rate trajectories, per-size timings, speedup — but a
+//! production run also needs to be *watchable while in flight*: which
+//! slave retired, during which generation, while which batch was on the
+//! wire. This crate is the shared, dependency-free (within the
+//! workspace) plane the other layers report into:
+//!
+//! * [`Event`] / [`Envelope`] — the structured event taxonomy plus the
+//!   correlation span (`run_id`, `generation`, `batch_id`) linking a
+//!   network-layer event to the engine step that caused it.
+//! * [`Sink`] — pluggable event receivers: [`JsonlSink`] (one JSON
+//!   object per line), [`RingSink`] (bounded in-memory buffer for tests),
+//!   [`StderrSink`] (human-readable), [`FanoutSink`] (composite).
+//! * [`Registry`] — lock-light counters, gauges, and fixed-bucket
+//!   latency histograms with Prometheus text exposition
+//!   ([`Registry::prometheus`]) and a periodic [`FlushHandle`].
+//! * [`Observer`] — the handle threaded through `GaEngine`,
+//!   `EvalService`, and the TCP pool; no-op by default, zero cost when
+//!   disabled.
+//! * [`RunReport`] — one machine-readable JSON artifact per experiment:
+//!   config + seed + telemetry + metrics snapshot + per-slave health +
+//!   environment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod observer;
+pub mod report;
+pub mod sink;
+
+pub use event::{Envelope, Event, Phase};
+pub use metrics::{
+    BucketCount, Counter, FamilySnapshot, FlushHandle, Gauge, Histogram, MetricsSnapshot, Registry,
+    SeriesSnapshot, LATENCY_MS_BUCKETS,
+};
+pub use observer::Observer;
+pub use report::{Environment, RunReport, SlaveHealth};
+pub use sink::{FanoutSink, JsonlSink, RingSink, Sink, StderrSink};

@@ -1,0 +1,548 @@
+//! Lock-light metrics registry with Prometheus text exposition.
+//!
+//! Registration (naming a counter, gauge, or histogram series) takes a
+//! mutex, but it happens once per series; the returned handles are
+//! `Arc`-backed atomics, so the hot path — `Counter::inc`,
+//! `Histogram::observe` — never touches a lock. Snapshots walk the
+//! registry under the same mutex and read each atomic once, producing
+//! either a structured [`MetricsSnapshot`] (JSON-serializable, embedded
+//! in run reports) or Prometheus text exposition format via
+//! [`Registry::prometheus`].
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Default latency bucket bounds, in milliseconds: 0.25 ms .. ~8 s,
+/// doubling. Suitable for both local dispatch and TCP round trips.
+pub const LATENCY_MS_BUCKETS: &[f64] = &[
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+    8192.0,
+];
+
+/// Monotonically increasing counter. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous value (stored as `f64` bits). Cheap to clone.
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramCore {
+    /// Upper bounds of the finite buckets, strictly increasing. The
+    /// `+Inf` bucket is implicit (`count` minus the finite buckets).
+    bounds: Vec<f64>,
+    /// Non-cumulative per-bucket counts, one per bound plus one overflow.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket latency histogram. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let c = &self.core;
+        let idx = c
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(c.bounds.len());
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        // Lock-free f64 add: CAS on the bit pattern.
+        let mut cur = c.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match c
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Keyed by the rendered label set (`` or `slave="addr"`), which keeps
+    /// exposition output deterministic.
+    series: BTreeMap<String, Series>,
+}
+
+/// The registry. Cheap to clone; clones share state.
+#[derive(Clone, Default)]
+pub struct Registry {
+    families: Arc<Mutex<BTreeMap<String, Family>>>,
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    parts.sort();
+    parts.join(",")
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn series<F: FnOnce() -> Series>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: F,
+    ) -> Series {
+        let mut fams = self.families.lock().unwrap();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == kind,
+            "metric {name} registered as {} and re-requested as {}",
+            fam.kind.as_str(),
+            kind.as_str()
+        );
+        fam.series
+            .entry(render_labels(labels))
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Register (or look up) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or look up) a counter with labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, Kind::Counter, labels, || {
+            Series::Counter(Counter {
+                cell: Arc::new(AtomicU64::new(0)),
+            })
+        }) {
+            Series::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or look up) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or look up) a gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, Kind::Gauge, labels, || {
+            Series::Gauge(Gauge {
+                bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+            })
+        }) {
+            Series::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or look up) an unlabelled histogram with the given finite
+    /// bucket upper bounds (strictly increasing).
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Register (or look up) a histogram with labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.series(name, help, Kind::Histogram, labels, || {
+            Series::Histogram(Histogram {
+                core: Arc::new(HistogramCore {
+                    bounds: bounds.to_vec(),
+                    buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    sum_bits: AtomicU64::new(0f64.to_bits()),
+                    count: AtomicU64::new(0),
+                }),
+            })
+        }) {
+            Series::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Structured point-in-time snapshot of every registered series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let fams = self.families.lock().unwrap();
+        let families = fams
+            .iter()
+            .map(|(name, fam)| FamilySnapshot {
+                name: name.clone(),
+                help: fam.help.clone(),
+                kind: fam.kind.as_str().to_string(),
+                series: fam
+                    .series
+                    .iter()
+                    .map(|(labels, s)| match s {
+                        Series::Counter(c) => SeriesSnapshot {
+                            labels: labels.clone(),
+                            value: c.get() as f64,
+                            sum: 0.0,
+                            count: 0,
+                            buckets: Vec::new(),
+                        },
+                        Series::Gauge(g) => SeriesSnapshot {
+                            labels: labels.clone(),
+                            value: g.get(),
+                            sum: 0.0,
+                            count: 0,
+                            buckets: Vec::new(),
+                        },
+                        Series::Histogram(h) => {
+                            let mut cumulative = 0u64;
+                            let mut buckets = Vec::with_capacity(h.core.bounds.len() + 1);
+                            for (i, bound) in h.core.bounds.iter().enumerate() {
+                                cumulative += h.core.buckets[i].load(Ordering::Relaxed);
+                                buckets.push(BucketCount {
+                                    le: format!("{bound}"),
+                                    count: cumulative,
+                                });
+                            }
+                            buckets.push(BucketCount {
+                                le: "+Inf".to_string(),
+                                count: h.count(),
+                            });
+                            SeriesSnapshot {
+                                labels: labels.clone(),
+                                value: 0.0,
+                                sum: h.sum(),
+                                count: h.count(),
+                                buckets,
+                            }
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        MetricsSnapshot { families }
+    }
+
+    /// Render the current state in Prometheus text exposition format.
+    pub fn prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+
+    /// Spawn a thread that rewrites `path` with the Prometheus exposition
+    /// every `interval` until the returned handle is dropped or
+    /// [`FlushHandle::stop`] is called. A final flush happens on stop.
+    pub fn flush_every(&self, path: PathBuf, interval: Duration) -> FlushHandle {
+        let registry = self.clone();
+        let (tx, rx) = mpsc::channel::<()>();
+        let thread = std::thread::spawn(move || loop {
+            let stop = matches!(
+                rx.recv_timeout(interval),
+                Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected)
+            );
+            let _ = std::fs::File::create(&path)
+                .and_then(|mut f| f.write_all(registry.prometheus().as_bytes()));
+            if stop {
+                break;
+            }
+        });
+        FlushHandle {
+            stop_tx: Some(tx),
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Clone for Series {
+    fn clone(&self) -> Self {
+        match self {
+            Series::Counter(c) => Series::Counter(c.clone()),
+            Series::Gauge(g) => Series::Gauge(g.clone()),
+            Series::Histogram(h) => Series::Histogram(h.clone()),
+        }
+    }
+}
+
+/// Stops and joins the periodic flush thread on drop.
+pub struct FlushHandle {
+    stop_tx: Option<mpsc::Sender<()>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FlushHandle {
+    /// Stop the flusher after one final write, blocking until it exits.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(tx) = self.stop_tx.take() {
+            let _ = tx.send(());
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FlushHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Point-in-time copy of a [`Registry`], serializable into run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// One entry per metric family, sorted by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+/// Snapshot of one metric family (all series sharing a name).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilySnapshot {
+    /// Metric name, e.g. `ld_sched_cache_hits_total`.
+    pub name: String,
+    /// Help text (the `# HELP` line).
+    pub help: String,
+    /// `counter`, `gauge`, or `histogram`.
+    pub kind: String,
+    /// Series sorted by rendered label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Snapshot of one series within a family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    /// Rendered label set (`slave="10.0.0.1:7171"`), empty when unlabelled.
+    #[serde(default)]
+    pub labels: String,
+    /// Counter/gauge value (zero for histograms).
+    #[serde(default)]
+    pub value: f64,
+    /// Histogram observation sum.
+    #[serde(default)]
+    pub sum: f64,
+    /// Histogram observation count.
+    #[serde(default)]
+    pub count: u64,
+    /// Cumulative histogram buckets ending in `+Inf`.
+    #[serde(default)]
+    pub buckets: Vec<BucketCount>,
+}
+
+/// One cumulative histogram bucket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Upper bound rendered as in exposition output (`0.25`, `+Inf`).
+    pub le: String,
+    /// Observations with value ≤ `le`.
+    pub count: u64,
+}
+
+impl MetricsSnapshot {
+    /// Render this snapshot in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for fam in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", fam.name, fam.help));
+            out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind));
+            for s in &fam.series {
+                if fam.kind == "histogram" {
+                    for b in &s.buckets {
+                        let labels = if s.labels.is_empty() {
+                            format!("le=\"{}\"", b.le)
+                        } else {
+                            format!("{},le=\"{}\"", s.labels, b.le)
+                        };
+                        out.push_str(&format!("{}_bucket{{{}}} {}\n", fam.name, labels, b.count));
+                    }
+                    let braces = if s.labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{{{}}}", s.labels)
+                    };
+                    out.push_str(&format!("{}_sum{} {:?}\n", fam.name, braces, s.sum));
+                    out.push_str(&format!("{}_count{} {}\n", fam.name, braces, s.count));
+                } else {
+                    let braces = if s.labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{{{}}}", s.labels)
+                    };
+                    if fam.kind == "counter" {
+                        out.push_str(&format!("{}{} {}\n", fam.name, braces, s.value as u64));
+                    } else {
+                        out.push_str(&format!("{}{} {:?}\n", fam.name, braces, s.value));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basic() {
+        let reg = Registry::new();
+        let c = reg.counter("requests_total", "Requests.");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same underlying cell.
+        assert_eq!(reg.counter("requests_total", "Requests.").get(), 5);
+
+        let g = reg.gauge("depth", "Queue depth.");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ms", "Latency.", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 55.5).abs() < 1e-9);
+        let snap = reg.snapshot();
+        let s = &snap.families[0].series[0];
+        let counts: Vec<u64> = s.buckets.iter().map(|b| b.count).collect();
+        assert_eq!(counts, vec![1, 2, 3]);
+        assert_eq!(s.buckets.last().unwrap().le, "+Inf");
+    }
+
+    #[test]
+    fn labelled_series_are_distinct_and_sorted() {
+        let reg = Registry::new();
+        reg.counter_with("served", "Per slave.", &[("slave", "b")])
+            .inc();
+        reg.counter_with("served", "Per slave.", &[("slave", "a")])
+            .add(2);
+        let snap = reg.snapshot();
+        let labels: Vec<&str> = snap.families[0]
+            .series
+            .iter()
+            .map(|s| s.labels.as_str())
+            .collect();
+        assert_eq!(labels, vec!["slave=\"a\"", "slave=\"b\""]);
+        assert_eq!(snap.families[0].series[0].value, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("m", "x");
+        reg.gauge("m", "x");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = Registry::new();
+        reg.counter("a_total", "A.").inc();
+        reg.histogram("h_ms", "H.", &[1.0]).observe(0.5);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.families.len(), 2);
+        assert_eq!(back.to_prometheus(), snap.to_prometheus());
+    }
+}

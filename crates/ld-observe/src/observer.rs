@@ -1,0 +1,192 @@
+//! The [`Observer`]: the single handle the engine, scheduler, and
+//! network layers share.
+//!
+//! An observer is either *disabled* — the default, a `None` inside — or
+//! *enabled*, holding a [`Sink`], a [`Registry`], and the correlation
+//! span (`run_id`, current `generation`, current `batch_id`). Disabled
+//! observers make every call a branch on an `Option`: no locks, no
+//! allocations, no atomics. Call sites that would need to build an
+//! [`Event`] (which may allocate strings) use [`Observer::emit_with`] so
+//! construction is skipped entirely when disabled.
+//!
+//! Span maintenance is by convention, enforced at the three choke points
+//! of the stack: the engine calls [`Observer::set_generation`] at the top
+//! of every step, the scheduler calls [`Observer::begin_batch`] before
+//! each dispatch, and everything emitted below (pool retries, slave
+//! retirements) inherits whatever span is current — which is exactly the
+//! engine step that caused it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::event::{Envelope, Event};
+use crate::metrics::Registry;
+use crate::sink::Sink;
+
+struct ObserverInner {
+    sink: Arc<dyn Sink>,
+    registry: Registry,
+    run_id: String,
+    generation: AtomicU64,
+    batch_seq: AtomicU64,
+    current_batch: AtomicU64,
+}
+
+/// Cheap-to-clone observability handle; see the module docs.
+#[derive(Clone, Default)]
+pub struct Observer {
+    inner: Option<Arc<ObserverInner>>,
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl Observer {
+    /// The no-op observer. All emission and span calls are branches on a
+    /// `None`; nothing is allocated or locked.
+    pub fn disabled() -> Self {
+        Observer { inner: None }
+    }
+
+    /// An enabled observer writing events to `sink` and metrics to
+    /// `registry`, stamping every envelope with `run_id`.
+    pub fn new(run_id: impl Into<String>, sink: Arc<dyn Sink>, registry: Registry) -> Self {
+        Observer {
+            inner: Some(Arc::new(ObserverInner {
+                sink,
+                registry,
+                run_id: run_id.into(),
+                generation: AtomicU64::new(0),
+                batch_seq: AtomicU64::new(0),
+                current_batch: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether events are being collected. Use to guard event
+    /// construction that allocates.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit one event under the current span.
+    pub fn emit(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            let env = Envelope {
+                ts_ms: now_ms(),
+                run_id: inner.run_id.clone(),
+                generation: inner.generation.load(Ordering::Relaxed),
+                batch_id: inner.current_batch.load(Ordering::Relaxed),
+                event,
+            };
+            inner.sink.accept(&env);
+        }
+    }
+
+    /// Emit the event produced by `make`, building it only when enabled.
+    pub fn emit_with<F: FnOnce() -> Event>(&self, make: F) {
+        if self.enabled() {
+            self.emit(make());
+        }
+    }
+
+    /// Stamp the current engine generation (the engine calls this at the
+    /// top of every step; 0 means "before the first generation").
+    pub fn set_generation(&self, generation: u64) {
+        if let Some(inner) = &self.inner {
+            inner.generation.store(generation, Ordering::Relaxed);
+        }
+    }
+
+    /// Current engine generation in the span.
+    pub fn generation(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.generation.load(Ordering::Relaxed))
+    }
+
+    /// Allocate the next batch id (monotonic from 1) and make it the
+    /// current span batch. The scheduler calls this immediately before a
+    /// dispatch so pool events raised inside inherit it.
+    pub fn begin_batch(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => {
+                let id = inner.batch_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                inner.current_batch.store(id, Ordering::Relaxed);
+                id
+            }
+            None => 0,
+        }
+    }
+
+    /// Clear the span's batch (back to 0 = "outside any dispatch").
+    pub fn end_batch(&self) {
+        if let Some(inner) = &self.inner {
+            inner.current_batch.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// The metrics registry, when enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_ref().map(|i| &i.registry)
+    }
+
+    /// The run id, when enabled.
+    pub fn run_id(&self) -> Option<&str> {
+        self.inner.as_ref().map(|i| i.run_id.as_str())
+    }
+
+    /// Flush the sink (file sinks push buffered lines to disk).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let obs = Observer::disabled();
+        assert!(!obs.enabled());
+        obs.emit(Event::GenerationStarted);
+        obs.set_generation(5);
+        assert_eq!(obs.begin_batch(), 0);
+        assert_eq!(obs.generation(), 0);
+        assert!(obs.registry().is_none());
+        let mut built = false;
+        obs.emit_with(|| {
+            built = true;
+            Event::GenerationStarted
+        });
+        assert!(!built, "emit_with must not build events when disabled");
+    }
+
+    #[test]
+    fn span_is_stamped_onto_envelopes() {
+        let ring = Arc::new(RingSink::new(16));
+        let obs = Observer::new("run-1", ring.clone(), Registry::new());
+        obs.set_generation(2);
+        let b1 = obs.begin_batch();
+        obs.emit(Event::SlaveRetired { slave: "s".into() });
+        obs.end_batch();
+        obs.emit(Event::GenerationStarted);
+
+        let events = ring.take();
+        assert_eq!(b1, 1);
+        assert_eq!(events[0].run_id, "run-1");
+        assert_eq!(events[0].generation, 2);
+        assert_eq!(events[0].batch_id, 1);
+        assert_eq!(events[1].batch_id, 0, "span cleared after end_batch");
+        assert_eq!(obs.begin_batch(), 2, "batch ids are monotonic");
+    }
+}

@@ -1,0 +1,214 @@
+//! Pluggable event sinks.
+//!
+//! A [`Sink`] receives every [`Envelope`] the [`crate::Observer`] emits.
+//! Sinks must be cheap and non-blocking in spirit: the observer calls
+//! them synchronously on whatever thread produced the event (engine loop,
+//! scheduler, pool worker), so anything slow should buffer internally.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Envelope;
+
+/// Receiver of the structured event stream.
+pub trait Sink: Send + Sync {
+    /// Accept one event. Called synchronously from the emitting thread.
+    fn accept(&self, envelope: &Envelope);
+
+    /// Flush any buffered output (file sinks override this; the default
+    /// is a no-op).
+    fn flush(&self) {}
+}
+
+/// Appends one JSON object per line to a file (JSONL / ndjson).
+///
+/// Lines are buffered through a [`BufWriter`]; call [`Sink::flush`] (the
+/// observer does so on run finish) or drop the sink to ensure everything
+/// reaches disk.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the JSONL file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn accept(&self, envelope: &Envelope) {
+        if let Ok(line) = serde_json::to_string(envelope) {
+            let mut w = self.writer.lock().unwrap();
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.write_all(b"\n");
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+/// Bounded in-memory ring buffer, for tests and post-mortem capture.
+///
+/// Keeps the most recent `capacity` envelopes; older ones are dropped.
+pub struct RingSink {
+    buf: Mutex<VecDeque<Envelope>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (`capacity` ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Envelope> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Drain and return the retained events, oldest first.
+    pub fn take(&self) -> Vec<Envelope> {
+        self.buf.lock().unwrap().drain(..).collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingSink {
+    fn accept(&self, envelope: &Envelope) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(envelope.clone());
+    }
+}
+
+/// Human-oriented single-line printer to stderr.
+///
+/// Format: `[<run_id> g<generation> b<batch_id>] <kind> <payload json>`.
+#[derive(Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn accept(&self, envelope: &Envelope) {
+        let payload = serde_json::to_string(&envelope.event).unwrap_or_default();
+        eprintln!(
+            "[{} g{} b{}] {} {}",
+            envelope.run_id,
+            envelope.generation,
+            envelope.batch_id,
+            envelope.event.kind(),
+            payload,
+        );
+    }
+}
+
+/// Forwards every event to each wrapped sink, in order.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl FanoutSink {
+    /// Compose `sinks` into one.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl Sink for FanoutSink {
+    fn accept(&self, envelope: &Envelope) {
+        for sink in &self.sinks {
+            sink.accept(envelope);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn env(n: u64) -> Envelope {
+        Envelope {
+            ts_ms: n,
+            run_id: "t".into(),
+            generation: 0,
+            batch_id: n,
+            event: Event::GenerationStarted,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let ring = RingSink::new(3);
+        for n in 0..5 {
+            ring.accept(&env(n));
+        }
+        let kept: Vec<u64> = ring.events().iter().map(|e| e.batch_id).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(ring.take().len(), 3);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("ld-observe-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("events-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.accept(&env(1));
+            sink.accept(&env(2));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back: Envelope = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(back.ts_ms, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fanout_forwards_to_all() {
+        let a = Arc::new(RingSink::new(8));
+        let b = Arc::new(RingSink::new(8));
+        let fan = FanoutSink::new(vec![a.clone() as Arc<dyn Sink>, b.clone()]);
+        fan.accept(&env(9));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Exposition-format contract tests: a golden file pinning the exact
+//! Prometheus text output, structural checks (HELP/TYPE lines, bucket
+//! monotonicity), and a concurrency smoke test on the registry.
+
+use std::sync::Arc;
+
+use ld_observe::{Registry, LATENCY_MS_BUCKETS};
+
+const GOLDEN: &str = include_str!("golden/snapshot.prom");
+
+/// Build a registry with one of everything, with deterministic values.
+fn golden_registry() -> Registry {
+    let reg = Registry::new();
+    reg.counter(
+        "ld_sched_cache_hits_total",
+        "Unique requests served by the fitness cache.",
+    )
+    .add(17);
+    reg.counter_with(
+        "ld_net_slave_served_total",
+        "Requests served per slave.",
+        &[("slave", "127.0.0.1:7001")],
+    )
+    .add(5);
+    reg.counter_with(
+        "ld_net_slave_served_total",
+        "Requests served per slave.",
+        &[("slave", "127.0.0.1:7002")],
+    )
+    .add(3);
+    reg.gauge("ld_net_pool_active_slaves", "Slaves currently in the pool.")
+        .set(2.0);
+    let h = reg.histogram(
+        "ld_sched_dispatch_ms",
+        "Wall-clock time of one backend dispatch.",
+        &[1.0, 10.0, 100.0],
+    );
+    h.observe(0.5);
+    h.observe(0.7);
+    h.observe(42.0);
+    h.observe(5000.0);
+    reg
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let got = golden_registry().prometheus();
+    assert_eq!(
+        got.trim(),
+        GOLDEN.trim(),
+        "Prometheus exposition drifted from tests/golden/snapshot.prom;\n\
+         if the change is intentional, update the golden file.\n--- got ---\n{got}"
+    );
+}
+
+#[test]
+fn every_family_has_help_and_type_before_samples() {
+    let text = golden_registry().prometheus();
+    let mut current_family: Option<String> = None;
+    let mut saw_type = false;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            current_family = rest.split_whitespace().next().map(str::to_string);
+            saw_type = false;
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().unwrap();
+            assert_eq!(Some(name.to_string()), current_family, "TYPE without HELP");
+            let kind = rest.split_whitespace().nth(1).unwrap();
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad kind {kind}"
+            );
+            saw_type = true;
+        } else if !line.is_empty() {
+            let fam = current_family.as_deref().expect("sample before any family");
+            assert!(saw_type, "sample before TYPE line: {line}");
+            let metric = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                metric == fam
+                    || metric == format!("{fam}_bucket")
+                    || metric == format!("{fam}_sum")
+                    || metric == format!("{fam}_count"),
+                "sample {metric} under family {fam}"
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_end_at_inf() {
+    let snap = golden_registry().snapshot();
+    let hist = snap
+        .families
+        .iter()
+        .find(|f| f.kind == "histogram")
+        .expect("histogram family");
+    for series in &hist.series {
+        let counts: Vec<u64> = series.buckets.iter().map(|b| b.count).collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "buckets not monotone: {counts:?}"
+        );
+        let last = series.buckets.last().unwrap();
+        assert_eq!(last.le, "+Inf");
+        assert_eq!(last.count, series.count, "+Inf bucket must equal _count");
+    }
+}
+
+#[test]
+fn registry_survives_concurrent_mutation() {
+    let reg = Registry::new();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 2_000;
+    let reg = Arc::new(reg);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                // Every thread registers the same families (exercising the
+                // registration lock) and hammers the shared atomics.
+                let c = reg.counter("smoke_total", "Concurrency smoke counter.");
+                let h = reg.histogram(
+                    "smoke_ms",
+                    "Concurrency smoke histogram.",
+                    LATENCY_MS_BUCKETS,
+                );
+                let g =
+                    reg.gauge_with("smoke_depth", "Per-thread gauge.", &[("t", &t.to_string())]);
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.observe((i % 100) as f64);
+                    g.set(i as f64);
+                    if i % 500 == 0 {
+                        // Snapshots interleaved with writes must not deadlock
+                        // or tear.
+                        let _ = reg.snapshot();
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(reg.counter("smoke_total", "").get(), total);
+    let h = reg.histogram("smoke_ms", "", LATENCY_MS_BUCKETS);
+    assert_eq!(h.count(), total);
+    // Sum of (i % 100) over 0..2000 per thread: 20 full cycles of 0..100.
+    let per_thread_sum: f64 = 20.0 * (99.0 * 100.0 / 2.0);
+    assert!((h.sum() - per_thread_sum * THREADS as f64).abs() < 1e-6);
+    let snap = reg.snapshot();
+    let gauges = snap
+        .families
+        .iter()
+        .find(|f| f.name == "smoke_depth")
+        .unwrap();
+    assert_eq!(gauges.series.len(), THREADS);
+}

@@ -10,19 +10,26 @@ use ld_data::SnpId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Widest haplotype size tracked individually; larger sizes pool into the
-/// last bucket.
+/// Widest haplotype size tracked individually; larger sizes pool into a
+/// dedicated overflow bucket (surfaced with [`SizeTiming::pooled`]).
 const MAX_TRACKED_SIZE: usize = 32;
+
+/// Index of the overflow bucket in the internal arrays.
+const POOLED: usize = MAX_TRACKED_SIZE + 1;
 
 /// Per-size timing statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizeTiming {
-    /// Haplotype size.
+    /// Haplotype size. For the pooled bucket this is `MAX_TRACKED_SIZE`
+    /// (the bucket's lower bound), with [`SizeTiming::pooled`] set.
     pub size: usize,
     /// Evaluations performed at this size.
     pub count: u64,
     /// Mean evaluation time in nanoseconds.
     pub mean_ns: f64,
+    /// Whether this entry aggregates every size above `MAX_TRACKED_SIZE`
+    /// rather than one exact size.
+    pub pooled: bool,
 }
 
 /// Evaluator wrapper recording per-size evaluation timings.
@@ -38,8 +45,8 @@ impl<E: Evaluator> TimingEvaluator<E> {
     pub fn new(inner: E) -> Self {
         TimingEvaluator {
             inner,
-            counts: (0..=MAX_TRACKED_SIZE).map(|_| AtomicU64::new(0)).collect(),
-            total_ns: (0..=MAX_TRACKED_SIZE).map(|_| AtomicU64::new(0)).collect(),
+            counts: (0..=POOLED).map(|_| AtomicU64::new(0)).collect(),
+            total_ns: (0..=POOLED).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -49,31 +56,71 @@ impl<E: Evaluator> TimingEvaluator<E> {
     }
 
     /// Timing summary for every size that was evaluated at least once.
+    /// The overflow bucket (sizes above `MAX_TRACKED_SIZE`), if hit, is
+    /// the final entry with [`SizeTiming::pooled`] set — kept distinct so
+    /// it cannot be mistaken for exact size-`MAX_TRACKED_SIZE` samples.
     pub fn timings(&self) -> Vec<SizeTiming> {
-        (0..=MAX_TRACKED_SIZE)
-            .filter_map(|size| {
-                let count = self.counts[size].load(Ordering::Relaxed);
+        (0..=POOLED)
+            .filter_map(|bucket| {
+                let count = self.counts[bucket].load(Ordering::Relaxed);
                 if count == 0 {
                     return None;
                 }
-                let total = self.total_ns[size].load(Ordering::Relaxed);
+                let total = self.total_ns[bucket].load(Ordering::Relaxed);
                 Some(SizeTiming {
-                    size,
+                    size: bucket.min(MAX_TRACKED_SIZE),
                     count,
                     mean_ns: total as f64 / count as f64,
+                    pooled: bucket == POOLED,
                 })
             })
             .collect()
     }
 
-    /// Mean evaluation time for one size, if measured.
+    /// Mean evaluation time for one size, if measured. Sizes above
+    /// `MAX_TRACKED_SIZE` read the pooled bucket.
     pub fn mean_ns_for_size(&self, size: usize) -> Option<f64> {
-        let bucket = size.min(MAX_TRACKED_SIZE);
+        let bucket = if size <= MAX_TRACKED_SIZE {
+            size
+        } else {
+            POOLED
+        };
         let count = self.counts[bucket].load(Ordering::Relaxed);
         if count == 0 {
             return None;
         }
         Some(self.total_ns[bucket].load(Ordering::Relaxed) as f64 / count as f64)
+    }
+
+    /// Publish the current timings into an `ld-observe` [`Registry`]:
+    /// one labelled counter of evaluations and one gauge of the mean per
+    /// size (`size="33+"` for the pooled bucket). Safe to call repeatedly
+    /// (e.g. from a periodic flusher); series are registered idempotently
+    /// and gauges/counters are overwritten with the current fold.
+    pub fn publish(&self, registry: &ld_observe::Registry) {
+        for t in self.timings() {
+            let label = if t.pooled {
+                format!("{}+", MAX_TRACKED_SIZE + 1)
+            } else {
+                t.size.to_string()
+            };
+            let labels = [("size", label.as_str())];
+            let counter = registry.counter_with(
+                "ld_parallel_evals_total",
+                "Evaluations timed, per haplotype size",
+                &labels,
+            );
+            // Counters are monotonic: add only the delta since the last
+            // publish (the registry handle remembers the running value).
+            counter.add(t.count.saturating_sub(counter.get()));
+            registry
+                .gauge_with(
+                    "ld_parallel_eval_mean_ns",
+                    "Mean evaluation wall time per haplotype size (ns)",
+                    &labels,
+                )
+                .set(t.mean_ns);
+        }
     }
 
     /// Reset all timers.
@@ -96,7 +143,11 @@ impl<E: Evaluator> Evaluator for TimingEvaluator<E> {
         let start = Instant::now();
         let f = self.inner.evaluate_one(snps);
         let ns = start.elapsed().as_nanos() as u64;
-        let bucket = snps.len().min(MAX_TRACKED_SIZE);
+        let bucket = if snps.len() <= MAX_TRACKED_SIZE {
+            snps.len()
+        } else {
+            POOLED
+        };
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
         self.total_ns[bucket].fetch_add(ns, Ordering::Relaxed);
         f
@@ -173,6 +224,64 @@ mod tests {
         let t = TimingEvaluator::new(FnEvaluator::new(100, |_: &[SnpId]| 0.0));
         let wide: Vec<usize> = (0..40).collect();
         let _ = t.evaluate_one(&wide);
-        assert_eq!(t.timings()[0].size, MAX_TRACKED_SIZE);
+        let entry = t.timings()[0];
+        assert_eq!(entry.size, MAX_TRACKED_SIZE);
+        assert!(entry.pooled, "oversize samples must be marked pooled");
+    }
+
+    /// Regression: the pooled bucket must stay distinct from exact
+    /// size-`MAX_TRACKED_SIZE` samples — they report separately in
+    /// `timings()`, and oversize lookups read the pooled bucket without
+    /// contaminating the exact one.
+    #[test]
+    fn pooled_bucket_is_distinct_from_exact_max_size() {
+        let t = TimingEvaluator::new(FnEvaluator::new(100, |_: &[SnpId]| 0.0));
+        let exact: Vec<usize> = (0..MAX_TRACKED_SIZE).collect();
+        let over_a: Vec<usize> = (0..MAX_TRACKED_SIZE + 1).collect();
+        let over_b: Vec<usize> = (0..MAX_TRACKED_SIZE + 20).collect();
+        let _ = t.evaluate_one(&exact);
+        let _ = t.evaluate_one(&over_a);
+        let _ = t.evaluate_one(&over_b);
+
+        let timings = t.timings();
+        assert_eq!(timings.len(), 2, "{timings:?}");
+        let (exact_entry, pooled_entry) = (timings[0], timings[1]);
+        assert_eq!(exact_entry.size, MAX_TRACKED_SIZE);
+        assert!(!exact_entry.pooled);
+        assert_eq!(exact_entry.count, 1, "exact bucket untouched by overflow");
+        assert_eq!(pooled_entry.size, MAX_TRACKED_SIZE);
+        assert!(pooled_entry.pooled);
+        assert_eq!(pooled_entry.count, 2, "all oversize samples pool together");
+        // Oversize lookups resolve to the pooled bucket, whatever the size.
+        assert_eq!(
+            t.mean_ns_for_size(MAX_TRACKED_SIZE + 1),
+            t.mean_ns_for_size(MAX_TRACKED_SIZE + 500),
+        );
+    }
+
+    #[test]
+    fn publish_feeds_the_registry_with_per_size_series() {
+        let t = TimingEvaluator::new(FnEvaluator::new(100, |_: &[SnpId]| 0.0));
+        let _ = t.evaluate_one(&[1, 2]);
+        let _ = t.evaluate_one(&[1, 2]);
+        let wide: Vec<usize> = (0..40).collect();
+        let _ = t.evaluate_one(&wide);
+
+        let registry = ld_observe::Registry::new();
+        t.publish(&registry);
+        t.publish(&registry); // idempotent: counters must not double
+        let text = registry.prometheus();
+        assert!(
+            text.contains("ld_parallel_evals_total{size=\"2\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ld_parallel_evals_total{size=\"33+\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ld_parallel_eval_mean_ns{size=\"2\"}"),
+            "{text}"
+        );
     }
 }
