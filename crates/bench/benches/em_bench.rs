@@ -5,29 +5,30 @@
 //! `cargo bench -p bench --bench em_bench`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ld_data::{Genotype, Status};
+use ld_data::{ColumnMatrix, Status};
 use ld_stats::em::EmEstimator;
+use ld_stats::{EmScratch, HaplotypeDist};
 use std::hint::black_box;
-
-/// Gather the affected group's genotype vectors at the first `k` SNPs.
-fn group_genotypes(k: usize, rows: &[usize], data: &ld_data::Dataset) -> Vec<Vec<Genotype>> {
-    let snps: Vec<usize> = (0..k).collect();
-    rows.iter()
-        .map(|&r| data.genotypes.gather(r, &snps))
-        .collect()
-}
 
 fn em_bench(c: &mut Criterion) {
     let data = bench::dataset();
     let affected = data.rows_with_status(Status::Affected);
     let estimator = EmEstimator::default();
+    let mut scratch = EmScratch::new();
+    let mut fit = HaplotypeDist::empty();
 
     let mut group = c.benchmark_group("em_fit_by_width");
     group.sample_size(20);
     for k in [2usize, 3, 4, 5, 6, 7, 8] {
-        let gs = group_genotypes(k, &affected, &data);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &gs, |b, gs| {
-            b.iter(|| estimator.estimate(black_box(gs)).unwrap().log_likelihood)
+        let cols = ColumnMatrix::from_matrix_rows(&data.genotypes, &affected).unwrap();
+        let snps: Vec<usize> = (0..k).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &snps, |b, snps| {
+            b.iter(|| {
+                estimator
+                    .estimate_into(&[&cols], black_box(snps), &mut scratch, &mut fit)
+                    .unwrap();
+                fit.log_likelihood
+            })
         });
     }
     group.finish();
@@ -35,9 +36,15 @@ fn em_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("em_fit_by_sample_size");
     group.sample_size(20);
     for n in [13usize, 26, 53] {
-        let gs = group_genotypes(5, &affected[..n], &data);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &gs, |b, gs| {
-            b.iter(|| estimator.estimate(black_box(gs)).unwrap().log_likelihood)
+        let cols = ColumnMatrix::from_matrix_rows(&data.genotypes, &affected[..n]).unwrap();
+        let snps: Vec<usize> = (0..5).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &snps, |b, snps| {
+            b.iter(|| {
+                estimator
+                    .estimate_into(&[&cols], black_box(snps), &mut scratch, &mut fit)
+                    .unwrap();
+                fit.log_likelihood
+            })
         });
     }
     group.finish();

@@ -1,0 +1,91 @@
+//! Kernel throughput: legacy allocating evaluation path vs the
+//! scratch-workspace path, for haplotype widths k = 2..=8.
+//!
+//! Uses a hand-rolled timing loop instead of the criterion harness so the
+//! bench can accept the repo's standard `--report <path>` flag (criterion
+//! rejects unknown CLI arguments) and emit `BENCH_eval_kernel.json`
+//! through the same `RunReport` machinery as the `src/bin/` harnesses.
+//!
+//! `cargo bench -p bench --bench eval_kernel -- --quick --report BENCH_eval_kernel.json`
+
+use ld_stats::{EvalPipeline, EvalScratch, FitnessKind};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best (minimum) mean nanoseconds per call across `rounds` timed chunks
+/// of `iters` calls each, after a warm-up chunk. The caller interleaves
+/// the two measured paths round-by-round so frequency scaling or noisy
+/// neighbours hit both paths alike; the minimum then discards the noise.
+fn time_round(iters: usize, f: &mut impl FnMut() -> f64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn interleaved_min_ns(
+    rounds: usize,
+    iters: usize,
+    mut a: impl FnMut() -> f64,
+    mut b: impl FnMut() -> f64,
+) -> (f64, f64) {
+    time_round(iters, &mut a);
+    time_round(iters, &mut b);
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        best_a = best_a.min(time_round(iters, &mut a));
+        best_b = best_b.min(time_round(iters, &mut b));
+    }
+    (best_a, best_b)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Wider haplotypes cost exponentially more EM work; scale iteration
+    // counts down with k so total wall-clock stays bounded.
+    let base = if quick { 60 } else { 400 };
+    let rounds = if quick { 3 } else { 7 };
+
+    let data = bench::dataset();
+    let pipeline = EvalPipeline::new(&data, FitnessKind::ClumpT1).expect("dataset has both groups");
+    let mut scratch = EvalScratch::new();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut report_rows: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for k in 2usize..=8 {
+        // Fixed, evenly spread SNP set so both paths see identical work.
+        let snps: Vec<usize> = (0..k).map(|i| i * data.n_snps() / k).collect();
+        let iters = (base / (1 << (k.saturating_sub(2)))).max(3);
+
+        #[allow(deprecated)] // the legacy path is the comparison baseline
+        let (legacy_ns, scratch_ns) = interleaved_min_ns(
+            rounds,
+            iters,
+            || pipeline.evaluate_legacy(&snps).unwrap(),
+            || pipeline.evaluate_with(&mut scratch, &snps).unwrap(),
+        );
+        let speedup = legacy_ns / scratch_ns;
+
+        rows.push(vec![
+            k.to_string(),
+            iters.to_string(),
+            format!("{legacy_ns:.0}"),
+            format!("{scratch_ns:.0}"),
+            format!("{speedup:.2}"),
+        ]);
+        report_rows.push((k, legacy_ns, scratch_ns, speedup));
+    }
+
+    println!(
+        "{}",
+        bench::markdown_table(&["k", "iters", "legacy_ns", "scratch_ns", "speedup"], &rows)
+    );
+
+    if let Some(path) = bench::arg_str("report") {
+        let report = ld_observe::RunReport::new("eval_kernel")
+            .section("params", &[("quick", quick as usize), ("base_iters", base)])
+            .section("rows_k_legacy_ns_scratch_ns_speedup", &report_rows);
+        bench::write_report(&report, &path);
+    }
+}

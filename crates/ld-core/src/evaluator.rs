@@ -18,7 +18,8 @@
 use crate::individual::Haplotype;
 use crate::sched::{EvalBackendError, FaultEvents, ShardedCache};
 use ld_data::SnpId;
-use ld_stats::{EvalPipeline, FitnessKind};
+use ld_stats::{EvalPipeline, EvalScratch, FitnessKind};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -30,12 +31,27 @@ pub trait Evaluator: Send + Sync {
     /// Evaluate one haplotype.
     fn evaluate_one(&self, snps: &[SnpId]) -> f64;
 
+    /// Evaluate one haplotype using a caller-owned scratch workspace.
+    ///
+    /// This is the hot-loop entry point: workers that evaluate many
+    /// haplotypes in sequence hold one [`EvalScratch`] for their lifetime
+    /// and pass it here, so the statistics kernel reuses its buffers
+    /// instead of allocating per call. Evaluators whose kernel doesn't use
+    /// scratch (closures, remote proxies) fall back to
+    /// [`Evaluator::evaluate_one`].
+    fn evaluate_one_with(&self, scratch: &mut EvalScratch, snps: &[SnpId]) -> f64 {
+        let _ = scratch;
+        self.evaluate_one(snps)
+    }
+
     /// Evaluate a batch in place (sets each individual's fitness).
     ///
-    /// The default runs sequentially; parallel evaluators override this.
+    /// The default runs sequentially over one scratch workspace; parallel
+    /// evaluators override this.
     fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+        let mut scratch = EvalScratch::new();
         for h in batch.iter_mut() {
-            let f = self.evaluate_one(h.snps());
+            let f = self.evaluate_one_with(&mut scratch, h.snps());
             h.set_fitness(f);
         }
     }
@@ -62,15 +78,34 @@ pub trait Evaluator: Send + Sync {
 
 /// The paper's objective function: EH-DIALL per status group, then a CLUMP
 /// statistic on the concatenated table (see `ld-stats::fitness`).
-#[derive(Debug, Clone)]
+///
+/// Holds a per-instance [`EvalScratch`] behind a mutex so that even the
+/// scratch-less [`Evaluator::evaluate_one`] entry point reuses buffers;
+/// concurrent callers should prefer [`Evaluator::evaluate_one_with`] with
+/// their own worker-local scratch, which bypasses the lock entirely.
+#[derive(Debug)]
 pub struct StatsEvaluator {
     pipeline: EvalPipeline,
+    scratch: Mutex<EvalScratch>,
+}
+
+impl Clone for StatsEvaluator {
+    fn clone(&self) -> Self {
+        // Scratch is transient working state: the clone warms its own.
+        StatsEvaluator {
+            pipeline: self.pipeline.clone(),
+            scratch: Mutex::new(EvalScratch::new()),
+        }
+    }
 }
 
 impl StatsEvaluator {
     /// Wrap an evaluation pipeline.
     pub fn new(pipeline: EvalPipeline) -> Self {
-        StatsEvaluator { pipeline }
+        StatsEvaluator {
+            pipeline,
+            scratch: Mutex::new(EvalScratch::new()),
+        }
     }
 
     /// Build directly from a dataset.
@@ -78,9 +113,7 @@ impl StatsEvaluator {
         dataset: &ld_data::Dataset,
         kind: FitnessKind,
     ) -> Result<Self, ld_stats::StatsError> {
-        Ok(StatsEvaluator {
-            pipeline: EvalPipeline::new(dataset, kind)?,
-        })
+        Ok(StatsEvaluator::new(EvalPipeline::new(dataset, kind)?))
     }
 
     /// The wrapped pipeline.
@@ -95,9 +128,22 @@ impl Evaluator for StatsEvaluator {
     }
 
     fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        self.evaluate_one_with(&mut self.scratch.lock(), snps)
+    }
+
+    fn evaluate_one_with(&self, scratch: &mut EvalScratch, snps: &[SnpId]) -> f64 {
         // Evaluation errors (degenerate EM input, e.g. every individual
         // missing at these SNPs) mean "no evidence of association": score 0.
-        self.pipeline.evaluate(snps).unwrap_or(0.0)
+        self.pipeline.evaluate_with(scratch, snps).unwrap_or(0.0)
+    }
+
+    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+        // Lock the instance scratch once for the whole batch.
+        let mut scratch = self.scratch.lock();
+        for h in batch.iter_mut() {
+            let f = self.evaluate_one_with(&mut scratch, h.snps());
+            h.set_fitness(f);
+        }
     }
 }
 
@@ -141,6 +187,11 @@ impl<E: Evaluator> Evaluator for CountingEvaluator<E> {
     fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.evaluate_one(snps)
+    }
+
+    fn evaluate_one_with(&self, scratch: &mut EvalScratch, snps: &[SnpId]) -> f64 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.evaluate_one_with(scratch, snps)
     }
 
     fn evaluate_batch(&self, batch: &mut [Haplotype]) {
@@ -220,6 +271,15 @@ impl<E: Evaluator> Evaluator for CachingEvaluator<E> {
             return f;
         }
         let f = self.inner.evaluate_one(snps);
+        self.cache.insert(snps.to_vec(), f);
+        f
+    }
+
+    fn evaluate_one_with(&self, scratch: &mut EvalScratch, snps: &[SnpId]) -> f64 {
+        if let Some(f) = self.cache.probe(snps) {
+            return f;
+        }
+        let f = self.inner.evaluate_one_with(scratch, snps);
         self.cache.insert(snps.to_vec(), f);
         f
     }

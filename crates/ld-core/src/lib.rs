@@ -54,9 +54,12 @@ pub use checkpoint::Checkpoint;
 pub use config::{GaConfig, Scheme};
 pub use engine::{GaEngine, GaRun, RunResult, StepOutcome};
 pub use evaluator::{CachingEvaluator, CountingEvaluator, Evaluator, StatsEvaluator};
+// Re-exported so scratch-aware backends (ld-parallel workers, ld-net slave
+// loops) can hold per-worker workspaces without depending on ld-stats.
 pub use experiment::{ExperimentSummary, SizeSummary};
 pub use individual::Haplotype;
 pub use init::InitStrategy;
+pub use ld_stats::{EvalScratch, ScratchPool};
 pub use population::MultiPopulation;
 pub use sched::{
     EvalBackend, EvalBackendError, EvalService, EvaluatorBackend, FaultEvents, FeasibilityFilter,

@@ -1,0 +1,174 @@
+//! Column-major genotype store: contiguous per-SNP columns.
+//!
+//! [`crate::matrix::GenotypeMatrix`] is row-major because data *loading*
+//! and per-individual views want cache-friendly rows. The evaluation
+//! kernel wants the opposite: EM pattern pooling scans one SNP across all
+//! individuals, so a haplotype evaluation over `k` SNPs touches `k`
+//! contiguous columns instead of `n_individuals` strided row gathers.
+//! [`ColumnMatrix`] is that transposed view, built once per status group
+//! at pipeline construction and borrowed (never re-gathered, never
+//! allocated) on every evaluation thereafter.
+
+use crate::error::DataError;
+use crate::genotype::Genotype;
+use crate::matrix::GenotypeMatrix;
+use crate::snp::SnpId;
+
+/// Dense SNPs × individuals genotype matrix (column-major relative to the
+/// individuals × SNPs convention of [`GenotypeMatrix`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMatrix {
+    n_individuals: usize,
+    n_snps: usize,
+    /// Column-major: `data[s * n_individuals + i]`.
+    data: Vec<Genotype>,
+}
+
+impl ColumnMatrix {
+    /// Transpose a row-major matrix into contiguous columns.
+    pub fn from_matrix(m: &GenotypeMatrix) -> Self {
+        let (n_individuals, n_snps) = (m.n_individuals(), m.n_snps());
+        let mut data = Vec::with_capacity(n_individuals * n_snps);
+        for s in 0..n_snps {
+            data.extend(m.column(s));
+        }
+        ColumnMatrix {
+            n_individuals,
+            n_snps,
+            data,
+        }
+    }
+
+    /// Transpose a row subset of a row-major matrix, preserving row order
+    /// (the column-store analogue of [`GenotypeMatrix::select_rows`]).
+    pub fn from_matrix_rows(m: &GenotypeMatrix, rows: &[usize]) -> Result<Self, DataError> {
+        for &r in rows {
+            if r >= m.n_individuals() {
+                return Err(DataError::IndividualOutOfBounds {
+                    individual: r,
+                    n_individuals: m.n_individuals(),
+                });
+            }
+        }
+        let n_snps = m.n_snps();
+        let mut data = Vec::with_capacity(rows.len() * n_snps);
+        for s in 0..n_snps {
+            data.extend(rows.iter().map(|&r| m.get(r, s)));
+        }
+        Ok(ColumnMatrix {
+            n_individuals: rows.len(),
+            n_snps,
+            data,
+        })
+    }
+
+    /// Number of individuals (entries per column).
+    #[inline]
+    pub fn n_individuals(&self) -> usize {
+        self.n_individuals
+    }
+
+    /// Number of SNP markers (columns).
+    #[inline]
+    pub fn n_snps(&self) -> usize {
+        self.n_snps
+    }
+
+    /// The contiguous column of one SNP: all individuals in row order.
+    ///
+    /// # Panics
+    /// Panics if `snp` is out of bounds (hot path, mirrors
+    /// [`GenotypeMatrix::get`]).
+    #[inline]
+    pub fn column(&self, snp: SnpId) -> &[Genotype] {
+        debug_assert!(snp < self.n_snps);
+        &self.data[snp * self.n_individuals..(snp + 1) * self.n_individuals]
+    }
+
+    /// Genotype of `individual` at `snp`.
+    #[inline]
+    pub fn get(&self, individual: usize, snp: SnpId) -> Genotype {
+        debug_assert!(individual < self.n_individuals && snp < self.n_snps);
+        self.data[snp * self.n_individuals + individual]
+    }
+
+    /// Raw column-major data.
+    pub fn as_slice(&self) -> &[Genotype] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genotype::Genotype as G;
+
+    fn small() -> GenotypeMatrix {
+        // 3 individuals × 4 SNPs (same fixture as matrix.rs).
+        GenotypeMatrix::from_rows(
+            3,
+            4,
+            vec![
+                G::HomA1,
+                G::Het,
+                G::HomA2,
+                G::Missing, //
+                G::Het,
+                G::Het,
+                G::HomA1,
+                G::HomA1, //
+                G::HomA2,
+                G::HomA1,
+                G::Het,
+                G::HomA2,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transpose_matches_row_matrix() {
+        let m = small();
+        let c = ColumnMatrix::from_matrix(&m);
+        assert_eq!(c.n_individuals(), 3);
+        assert_eq!(c.n_snps(), 4);
+        for i in 0..3 {
+            for s in 0..4 {
+                assert_eq!(c.get(i, s), m.get(i, s), "({i},{s})");
+            }
+        }
+    }
+
+    #[test]
+    fn columns_are_contiguous_slices() {
+        let m = small();
+        let c = ColumnMatrix::from_matrix(&m);
+        assert_eq!(c.column(0), &[G::HomA1, G::Het, G::HomA2]);
+        assert_eq!(c.column(3), &[G::Missing, G::HomA1, G::HomA2]);
+        // Slice identity against the strided row-major column view.
+        for s in 0..4 {
+            let strided: Vec<G> = m.column(s).collect();
+            assert_eq!(c.column(s), strided.as_slice());
+        }
+    }
+
+    #[test]
+    fn row_subset_preserves_order() {
+        let m = small();
+        let c = ColumnMatrix::from_matrix_rows(&m, &[2, 0]).unwrap();
+        assert_eq!(c.n_individuals(), 2);
+        assert_eq!(c.column(0), &[G::HomA2, G::HomA1]);
+        // Matches the row-major subset route.
+        let sub = m.select_rows(&[2, 0]).unwrap();
+        assert_eq!(c, ColumnMatrix::from_matrix(&sub));
+        assert!(ColumnMatrix::from_matrix_rows(&m, &[5]).is_err());
+    }
+
+    #[test]
+    fn empty_subset_is_valid() {
+        let m = small();
+        let c = ColumnMatrix::from_matrix_rows(&m, &[]).unwrap();
+        assert_eq!(c.n_individuals(), 0);
+        assert_eq!(c.column(2), &[] as &[G]);
+    }
+}

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod constraints;
 pub mod dataset;
 pub mod error;
@@ -36,6 +37,7 @@ pub mod snp;
 pub mod status;
 pub mod synthetic;
 
+pub use column::ColumnMatrix;
 pub use constraints::{ConstraintReport, HaplotypeConstraints};
 pub use dataset::Dataset;
 pub use error::DataError;

@@ -189,6 +189,9 @@ fn serve_connection<E: Evaluator>(
     )?;
     #[cfg(feature = "fault-inject")]
     let mut conn_served: u64 = 0;
+    // One warmed evaluation workspace per connection, reused across every
+    // request this master sends.
+    let mut scratch = ld_core::EvalScratch::new();
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(()); // server stopped: close before the next request
@@ -206,7 +209,7 @@ fn serve_connection<E: Evaluator>(
                         std::thread::sleep(delay);
                     }
                 }
-                let fitness = objective.evaluate_one(&snps);
+                let fitness = objective.evaluate_one_with(&mut scratch, &snps);
                 let _total_served = served.fetch_add(1, Ordering::Relaxed) + 1;
                 #[cfg(feature = "fault-inject")]
                 {

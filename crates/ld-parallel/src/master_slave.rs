@@ -63,9 +63,12 @@ impl<E: Evaluator + 'static> MasterSlaveEvaluator<E> {
                 std::thread::Builder::new()
                     .name(format!("ga-slave-{i}"))
                     .spawn(move || {
+                        // One warmed evaluation workspace per slave, alive
+                        // for the thread's lifetime.
+                        let mut scratch = ld_core::EvalScratch::new();
                         // The slave loop: pull work until the master hangs up.
                         while let Ok(job) = rx.recv() {
-                            let fitness = objective.evaluate_one(&job.snps);
+                            let fitness = objective.evaluate_one_with(&mut scratch, &job.snps);
                             if tx
                                 .send(JobResult {
                                     index: job.index,

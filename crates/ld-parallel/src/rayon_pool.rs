@@ -6,21 +6,31 @@
 //! builds a dedicated pool, which the speedup experiment uses to sweep
 //! worker counts without poisoning the global pool's sizing.
 
-use ld_core::{EvalBackend, EvalBackendError, Evaluator, Haplotype};
+use ld_core::{EvalBackend, EvalBackendError, Evaluator, Haplotype, ScratchPool};
 use ld_data::SnpId;
 use rayon::prelude::*;
 use rayon::ThreadPool;
 
 /// Evaluator that fans a batch out over a rayon thread pool.
+///
+/// Each work item borrows an evaluation workspace from a shared
+/// [`ScratchPool`]: the pool converges to one warmed scratch per physical
+/// worker and then the hot loop stops allocating (rayon's work stealing
+/// makes worker identity dynamic, so a pool beats thread-locals here).
 pub struct RayonEvaluator<E> {
     inner: E,
     pool: Option<ThreadPool>,
+    scratch: ScratchPool,
 }
 
 impl<E: Evaluator> RayonEvaluator<E> {
     /// Use rayon's global thread pool.
     pub fn new(inner: E) -> Self {
-        RayonEvaluator { inner, pool: None }
+        RayonEvaluator {
+            inner,
+            pool: None,
+            scratch: ScratchPool::new(),
+        }
     }
 
     /// Use a dedicated pool with exactly `n_threads` workers.
@@ -37,6 +47,7 @@ impl<E: Evaluator> RayonEvaluator<E> {
         RayonEvaluator {
             inner,
             pool: Some(pool),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -47,8 +58,10 @@ impl<E: Evaluator> RayonEvaluator<E> {
 
     fn run_batch(&self, batch: &mut [Haplotype]) {
         let inner = &self.inner;
+        let scratch = &self.scratch;
         batch.par_iter_mut().for_each(|h| {
-            let f = inner.evaluate_one(h.snps());
+            let mut guard = scratch.get();
+            let f = inner.evaluate_one_with(&mut guard, h.snps());
             h.set_fitness(f);
         });
     }

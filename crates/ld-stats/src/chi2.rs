@@ -59,9 +59,75 @@ pub fn pearson_chi2(t: &ContingencyTable) -> Chi2Result {
     }
 }
 
+/// Margin and live-index buffers for the allocation-free χ² path.
+#[derive(Debug, Default)]
+pub(crate) struct Chi2Scratch {
+    row_totals: Vec<f64>,
+    col_totals: Vec<f64>,
+    live_rows: Vec<usize>,
+    live_cols: Vec<usize>,
+}
+
+/// [`pearson_chi2`] with caller-owned buffers: identical arithmetic in
+/// identical order (margins, grand total, live-margin filtering, statistic
+/// accumulation), so results are bit-for-bit equal to the allocating path.
+pub(crate) fn pearson_chi2_with(t: &ContingencyTable, s: &mut Chi2Scratch) -> Chi2Result {
+    s.row_totals.clear();
+    s.row_totals
+        .extend((0..t.n_rows()).map(|r| (0..t.n_cols()).map(|c| t.get(r, c)).sum::<f64>()));
+    s.col_totals.clear();
+    s.col_totals
+        .extend((0..t.n_cols()).map(|c| (0..t.n_rows()).map(|r| t.get(r, c)).sum::<f64>()));
+    let total = t.total();
+    if total <= 0.0 {
+        return Chi2Result::NULL;
+    }
+    s.live_rows.clear();
+    s.live_rows
+        .extend((0..t.n_rows()).filter(|&r| s.row_totals[r] > 0.0));
+    s.live_cols.clear();
+    s.live_cols
+        .extend((0..t.n_cols()).filter(|&c| s.col_totals[c] > 0.0));
+    if s.live_rows.len() < 2 || s.live_cols.len() < 2 {
+        return Chi2Result::NULL;
+    }
+    let mut stat = 0.0;
+    for &r in &s.live_rows {
+        for &c in &s.live_cols {
+            let e = s.row_totals[r] * s.col_totals[c] / total;
+            let o = t.get(r, c);
+            stat += (o - e) * (o - e) / e;
+        }
+    }
+    let df = ((s.live_rows.len() - 1) * (s.live_cols.len() - 1)) as f64;
+    Chi2Result {
+        statistic: stat,
+        df,
+        p_value: chi2_sf(stat, df),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scratch_path_matches_allocating_path() {
+        let tables = [
+            ContingencyTable::from_rows(2, 2, vec![10.0, 20.0, 15.0, 15.0]).unwrap(),
+            ContingencyTable::from_rows(2, 3, vec![10.0, 0.0, 20.0, 20.0, 0.0, 10.0]).unwrap(),
+            ContingencyTable::from_rows(2, 2, vec![0.0; 4]).unwrap(),
+            ContingencyTable::from_rows(2, 2, vec![10.5, 19.5, 14.25, 15.75]).unwrap(),
+        ];
+        let mut s = Chi2Scratch::default();
+        for t in &tables {
+            let legacy = pearson_chi2(t);
+            let fast = pearson_chi2_with(t, &mut s);
+            assert_eq!(legacy.statistic.to_bits(), fast.statistic.to_bits());
+            assert_eq!(legacy.df.to_bits(), fast.df.to_bits());
+            assert_eq!(legacy.p_value.to_bits(), fast.p_value.to_bits());
+        }
+    }
 
     #[test]
     fn two_by_two_hand_computed() {

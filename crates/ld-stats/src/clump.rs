@@ -19,10 +19,10 @@
 //! distribution is unknown; CLUMP assesses significance by Monte-Carlo
 //! simulation of tables with the same margins ([`crate::mc`]).
 
-use crate::chi2::pearson_chi2;
+use crate::chi2::{pearson_chi2, pearson_chi2_with, Chi2Scratch};
 use crate::error::StatsError;
 use crate::mc::mc_pvalue;
-use crate::table::ContingencyTable;
+use crate::table::{CollapseScratch, ContingencyTable};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +63,154 @@ impl ClumpStatistic {
             ClumpStatistic::T4 => t4(table)?,
         })
     }
+
+    /// [`ClumpStatistic::evaluate`] with caller-owned buffers: the T2
+    /// collapse and every T3/T4 column-vs-rest 2×2 sub-table are built in
+    /// `scratch` instead of freshly allocated. Arithmetic order matches
+    /// the allocating path exactly, so results are bit-for-bit identical.
+    pub(crate) fn evaluate_with(
+        self,
+        table: &ContingencyTable,
+        scratch: &mut ClumpScratch,
+        chi2: &mut Chi2Scratch,
+    ) -> Result<f64, StatsError> {
+        if table.n_rows() != 2 {
+            return Err(StatsError::BadTable(format!(
+                "CLUMP requires a two-row table, got {} rows",
+                table.n_rows()
+            )));
+        }
+        Ok(match self {
+            ClumpStatistic::T1 => pearson_chi2_with(table, chi2).statistic,
+            ClumpStatistic::T2 => {
+                pearson_chi2_with(
+                    table.collapse_rare_cols_with(5.0, &mut scratch.collapse),
+                    chi2,
+                )
+                .statistic
+            }
+            ClumpStatistic::T3 => t3_with(table, scratch, chi2)?,
+            ClumpStatistic::T4 => t4_with(table, scratch, chi2)?,
+        })
+    }
+}
+
+/// Reusable sub-table and clump-search buffers for
+/// [`ClumpStatistic::evaluate_with`].
+#[derive(Debug)]
+pub(crate) struct ClumpScratch {
+    collapse: CollapseScratch,
+    /// 2×2 working table for T3/T4 column-vs-rest comparisons.
+    sub: ContingencyTable,
+    in_clump: Vec<bool>,
+    clump: Vec<usize>,
+}
+
+impl Default for ClumpScratch {
+    fn default() -> Self {
+        ClumpScratch {
+            collapse: CollapseScratch::default(),
+            sub: ContingencyTable::empty(),
+            in_clump: Vec::new(),
+            clump: Vec::new(),
+        }
+    }
+}
+
+/// In-place [`ContingencyTable::col_vs_rest`]: same margin sums, same cell
+/// order, same validation.
+fn refill_col_vs_rest(
+    table: &ContingencyTable,
+    c: usize,
+    sub: &mut ContingencyTable,
+) -> Result<(), StatsError> {
+    let r0: f64 = (0..table.n_cols()).map(|cc| table.get(0, cc)).sum();
+    let r1: f64 = (0..table.n_cols()).map(|cc| table.get(1, cc)).sum();
+    sub.refill_2x2([
+        table.get(0, c),
+        r0 - table.get(0, c),
+        table.get(1, c),
+        r1 - table.get(1, c),
+    ])
+}
+
+/// In-place [`ContingencyTable::cols_vs_rest`].
+fn refill_cols_vs_rest(
+    table: &ContingencyTable,
+    cols: &[usize],
+    sub: &mut ContingencyTable,
+) -> Result<(), StatsError> {
+    let r0: f64 = (0..table.n_cols()).map(|cc| table.get(0, cc)).sum();
+    let r1: f64 = (0..table.n_cols()).map(|cc| table.get(1, cc)).sum();
+    let in0: f64 = cols.iter().map(|&c| table.get(0, c)).sum();
+    let in1: f64 = cols.iter().map(|&c| table.get(1, c)).sum();
+    sub.refill_2x2([in0, r0 - in0, in1, r1 - in1])
+}
+
+/// Scratch-path [`t3`].
+fn t3_with(
+    table: &ContingencyTable,
+    s: &mut ClumpScratch,
+    chi2: &mut Chi2Scratch,
+) -> Result<f64, StatsError> {
+    let mut best = 0.0f64;
+    for c in 0..table.n_cols() {
+        refill_col_vs_rest(table, c, &mut s.sub)?;
+        best = best.max(pearson_chi2_with(&s.sub, chi2).statistic);
+    }
+    Ok(best)
+}
+
+/// Scratch-path [`t4`]: identical greedy search (same seed choice, same
+/// strict-improvement tie-breaking) over reused buffers.
+fn t4_with(
+    table: &ContingencyTable,
+    s: &mut ClumpScratch,
+    chi2: &mut Chi2Scratch,
+) -> Result<f64, StatsError> {
+    let m = table.n_cols();
+    if m == 0 {
+        return Ok(0.0);
+    }
+    s.in_clump.clear();
+    s.in_clump.resize(m, false);
+    s.clump.clear();
+    let mut best = 0.0f64;
+    let mut seed = 0usize;
+    for c in 0..m {
+        refill_col_vs_rest(table, c, &mut s.sub)?;
+        let stat = pearson_chi2_with(&s.sub, chi2).statistic;
+        if stat > best {
+            best = stat;
+            seed = c;
+        }
+    }
+    s.clump.push(seed);
+    s.in_clump[seed] = true;
+    loop {
+        let mut best_add: Option<(usize, f64)> = None;
+        for c in 0..m {
+            if s.in_clump[c] {
+                continue;
+            }
+            s.clump.push(c);
+            refill_cols_vs_rest(table, &s.clump, &mut s.sub)?;
+            let stat = pearson_chi2_with(&s.sub, chi2).statistic;
+            s.clump.pop();
+            if stat > best && best_add.is_none_or(|(_, sb)| stat > sb) {
+                best_add = Some((c, stat));
+            }
+        }
+        match best_add {
+            Some((c, stat)) => {
+                s.clump.push(c);
+                s.in_clump[c] = true;
+                best = stat;
+            }
+            None => break,
+        }
+    }
+    Ok(best)
 }
 
 /// Max over columns of the 2×2 (column vs rest) χ².
@@ -281,6 +429,33 @@ mod tests {
         let r = clump(&associated(), 0, &mut rng()).unwrap();
         assert!(r.mc_p_values.is_none());
         assert!(r.mc_p_value(ClumpStatistic::T1).is_none());
+    }
+
+    #[test]
+    fn scratch_evaluate_matches_legacy_bitwise() {
+        let tables = [
+            associated(),
+            null_table(),
+            // Rare column forces a T2 collapse.
+            ContingencyTable::two_by_m(&[30.0, 30.0, 1.0], &[30.0, 30.0, 0.0]).unwrap(),
+            // Composite clump beats any single column (exercises T4 growth).
+            ContingencyTable::two_by_m(&[18.0, 18.0, 14.0, 14.0], &[10.0, 10.0, 22.0, 22.0])
+                .unwrap(),
+        ];
+        let mut scratch = ClumpScratch::default();
+        let mut chi2 = Chi2Scratch::default();
+        for t in &tables {
+            for s in ClumpStatistic::ALL {
+                let legacy = s.evaluate(t).unwrap();
+                let fast = s.evaluate_with(t, &mut scratch, &mut chi2).unwrap();
+                assert_eq!(legacy.to_bits(), fast.to_bits(), "{s:?}");
+            }
+        }
+        // Same scratch on a non-two-row table errors like the legacy path.
+        let bad = ContingencyTable::from_rows(3, 2, vec![1.0; 6]).unwrap();
+        assert!(ClumpStatistic::T1
+            .evaluate_with(&bad, &mut scratch, &mut chi2)
+            .is_err());
     }
 
     #[test]

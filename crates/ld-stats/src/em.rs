@@ -25,7 +25,7 @@
 //! SNP of the (ascending) selection.
 
 use crate::error::StatsError;
-use ld_data::Genotype;
+use ld_data::{ColumnMatrix, Genotype, SnpId};
 use std::collections::BTreeMap;
 
 /// Widest supported haplotype (bitmask width and 2^k table size guard).
@@ -63,14 +63,52 @@ pub struct HaplotypeDist {
     pub iterations: usize,
     /// Individuals actually used (complete genotypes only).
     pub n_individuals: usize,
+    /// Expected haplotype counts `2N · p̂`, stored at estimation time so
+    /// the contingency-table build borrows instead of allocating.
+    expected: Vec<f64>,
+}
+
+impl Default for HaplotypeDist {
+    fn default() -> Self {
+        HaplotypeDist::empty()
+    }
 }
 
 impl HaplotypeDist {
-    /// Expected haplotype counts `2N · p̂` — the entries CLUMP's contingency
-    /// table is built from.
-    pub fn expected_counts(&self) -> Vec<f64> {
+    /// An empty placeholder, grown in place by the estimators — the out
+    /// buffer for [`EmEstimator::estimate_into`].
+    pub fn empty() -> Self {
+        HaplotypeDist {
+            k: 0,
+            freqs: Vec::new(),
+            log_likelihood: f64::NEG_INFINITY,
+            iterations: 0,
+            n_individuals: 0,
+            expected: Vec::new(),
+        }
+    }
+
+    /// Recompute the stored expected counts from `freqs`/`n_individuals`
+    /// (call after mutating either; the estimators do this themselves).
+    pub(crate) fn refresh_expected(&mut self) {
         let scale = 2.0 * self.n_individuals as f64;
-        self.freqs.iter().map(|&p| p * scale).collect()
+        self.expected.clear();
+        self.expected.extend(self.freqs.iter().map(|&p| p * scale));
+    }
+
+    /// Expected haplotype counts `2N · p̂` — the entries CLUMP's contingency
+    /// table is built from. Borrows the stored vector; no allocation.
+    pub fn expected_counts_slice(&self) -> &[f64] {
+        &self.expected
+    }
+
+    /// Expected haplotype counts `2N · p̂`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use `expected_counts_slice`"
+    )]
+    pub fn expected_counts(&self) -> Vec<f64> {
+        self.expected.clone()
     }
 
     /// The most frequent haplotype `(bitmask, frequency)`.
@@ -193,6 +231,12 @@ impl EmEstimator {
     ///
     /// Individuals with any missing call among the `k` SNPs are dropped,
     /// exactly as EH does.
+    #[deprecated(
+        since = "0.1.0",
+        note = "forces callers to build per-individual Vecs; use \
+                `estimate_iter` (borrowed slices) or `estimate_into` \
+                (column store, allocation-free)"
+    )]
     pub fn estimate(&self, genotypes: &[Vec<Genotype>]) -> Result<HaplotypeDist, StatsError> {
         self.estimate_iter(genotypes.iter().map(|v| v.as_slice()))
     }
@@ -331,13 +375,318 @@ impl EmEstimator {
             }
         }
         normalize(&mut freqs);
-        Ok(HaplotypeDist {
+        let mut dist = HaplotypeDist {
             k,
             freqs,
             log_likelihood,
             iterations,
             n_individuals: n_used,
-        })
+            expected: Vec::new(),
+        };
+        dist.refresh_expected();
+        Ok(dist)
+    }
+
+    /// Scratch-workspace estimation over pre-transposed genotype columns.
+    ///
+    /// `parts` are one or more [`ColumnMatrix`] groups processed in order
+    /// (one for a per-group fit, two for the pooled fit of
+    /// [`em_lrt`]); `snps` selects the haplotype's columns. All working
+    /// memory comes from `scratch` and the result is written into `out`,
+    /// so a warmed-up call performs no heap allocation.
+    ///
+    /// The estimate is bit-identical to [`EmEstimator::estimate_iter`] on
+    /// the equivalent row-major input: pattern pooling runs in the same
+    /// sorted order (a sorted key vector replaces the `BTreeMap`), the
+    /// E-step visits haplotype pairs in the same sequence, and every
+    /// floating-point expression is evaluated in the same order. The only
+    /// differences are mechanical: pair lists are enumerated once per
+    /// estimate instead of re-walked every iteration, and each pair weight
+    /// is computed once per iteration instead of twice.
+    pub fn estimate_into(
+        &self,
+        parts: &[&ColumnMatrix],
+        snps: &[SnpId],
+        scratch: &mut EmScratch,
+        out: &mut HaplotypeDist,
+    ) -> Result<(), StatsError> {
+        let k = snps.len();
+        let n_total: usize = parts.iter().map(|p| p.n_individuals()).sum();
+        if n_total == 0 {
+            return Err(StatsError::NoObservations {
+                context: "EM input",
+            });
+        }
+        if k == 0 {
+            return Err(StatsError::InvalidParameter(
+                "haplotype must contain at least one SNP".into(),
+            ));
+        }
+        if k > MAX_HAPLOTYPE_SNPS {
+            return Err(StatsError::HaplotypeTooLarge {
+                k,
+                max: MAX_HAPLOTYPE_SNPS,
+            });
+        }
+        for part in parts {
+            if let Some(&s) = snps.iter().find(|&&s| s >= part.n_snps()) {
+                return Err(StatsError::InvalidParameter(format!(
+                    "SNP {s} out of range (column store has {})",
+                    part.n_snps()
+                )));
+            }
+        }
+
+        let EmScratch {
+            masks,
+            keys,
+            patterns,
+            pair_offsets,
+            pairs,
+            weights,
+            a2_counts,
+            q,
+            counts,
+            prev_freqs,
+        } = scratch;
+
+        // Pass 1 (column-major): per-individual (hom2, het) bit patterns.
+        // A missing call poisons the individual with a sentinel the later
+        // OR-writes cannot clear (k ≤ 20 < 32, so u32::MAX is never a
+        // legitimate mask).
+        const MISSING: (u32, u32) = (u32::MAX, u32::MAX);
+        masks.clear();
+        masks.resize(n_total, (0u32, 0u32));
+        let mut offset = 0usize;
+        for part in parts {
+            let n = part.n_individuals();
+            for (j, &s) in snps.iter().enumerate() {
+                let bit = 1u32 << j;
+                for (m, &g) in masks[offset..offset + n].iter_mut().zip(part.column(s)) {
+                    match g {
+                        Genotype::HomA1 => {}
+                        Genotype::HomA2 => m.0 |= bit,
+                        Genotype::Het => m.1 |= bit,
+                        Genotype::Missing => *m = MISSING,
+                    }
+                }
+            }
+            offset += n;
+        }
+
+        // Pass 2: single-SNP allele-2 counts over complete individuals
+        // only (exact small-integer sums, so accumulation order is free).
+        a2_counts.clear();
+        a2_counts.resize(k, 0.0);
+        let mut offset = 0usize;
+        for part in parts {
+            let n = part.n_individuals();
+            for (j, &s) in snps.iter().enumerate() {
+                let mut acc = 0.0f64;
+                for (m, &g) in masks[offset..offset + n].iter().zip(part.column(s)) {
+                    if m.0 != u32::MAX {
+                        acc += g.a2_count().unwrap_or(0) as f64;
+                    }
+                }
+                a2_counts[j] += acc;
+            }
+            offset += n;
+        }
+
+        // Pool identical patterns via a sorted key vector. The packed key
+        // `(hom2 << 32) | het` sorts exactly like `Pattern`'s derived
+        // `Ord` on `(hom2, het)`, so the E-step below walks patterns in
+        // the same order as the legacy `BTreeMap` — the property that
+        // keeps repeated evaluations bit-identical.
+        keys.clear();
+        keys.extend(
+            masks
+                .iter()
+                .filter(|m| m.0 != u32::MAX)
+                .map(|m| ((m.0 as u64) << 32) | m.1 as u64),
+        );
+        let n_used = keys.len();
+        if n_used == 0 {
+            return Err(StatsError::NoObservations {
+                context: "EM input (all individuals incomplete)",
+            });
+        }
+        keys.sort_unstable();
+        patterns.clear();
+        for &key in keys.iter() {
+            let pat = Pattern {
+                hom2: (key >> 32) as u32,
+                het: key as u32,
+            };
+            match patterns.last_mut() {
+                Some((last, count)) if *last == pat => *count += 1.0,
+                _ => patterns.push((pat, 1.0)),
+            }
+        }
+
+        // Enumerate each pattern's compatible haplotype pairs once, in
+        // `PatternPairs` order (the legacy loop re-walks the submask
+        // enumeration every iteration).
+        pair_offsets.clear();
+        pair_offsets.push(0);
+        pairs.clear();
+        for &(pat, _) in patterns.iter() {
+            for (a, b) in pat.pairs() {
+                pairs.push((a as u32, b as u32));
+            }
+            pair_offsets.push(pairs.len());
+        }
+        weights.clear();
+        weights.resize(pairs.len(), 0.0);
+
+        let n_haps = 1usize << k;
+        // Linkage-equilibrium start: product of marginal allele
+        // frequencies, floored so no haplotype starts at exactly zero.
+        q.clear();
+        q.extend(
+            a2_counts
+                .iter()
+                .map(|&c| (c / (2.0 * n_used as f64)).clamp(1e-6, 1.0 - 1e-6)),
+        );
+        let freqs = &mut out.freqs;
+        freqs.clear();
+        freqs.extend((0..n_haps).map(|h| {
+            (0..k)
+                .map(|i| if h >> i & 1 == 1 { q[i] } else { 1.0 - q[i] })
+                .product::<f64>()
+        }));
+        normalize(freqs);
+
+        counts.clear();
+        counts.resize(n_haps, 0.0);
+        let mut log_likelihood = f64::NEG_INFINITY;
+        let mut iterations = 0usize;
+        for iter in 0..self.config.max_iter {
+            iterations = iter + 1;
+            // Snapshot the frequencies entering this iteration: if it turns
+            // out to be the last, the deferred log-likelihood pass below
+            // replays the E-step totals from exactly these values.
+            prev_freqs.clear();
+            prev_freqs.extend_from_slice(freqs);
+            counts.iter_mut().for_each(|c| *c = 0.0);
+            for (p, &(pat, count)) in patterns.iter().enumerate() {
+                let span = pair_offsets[p]..pair_offsets[p + 1];
+                // E-step for this pattern: weights over compatible pairs,
+                // computed once and reused by the distribution pass.
+                let mut total = 0.0;
+                for (w, &(a, b)) in weights[span.clone()].iter_mut().zip(&pairs[span.clone()]) {
+                    let (a, b) = (a as usize, b as usize);
+                    *w = if a == b {
+                        freqs[a] * freqs[b]
+                    } else {
+                        2.0 * freqs[a] * freqs[b]
+                    };
+                    total += *w;
+                }
+                if total <= 0.0 {
+                    // All compatible pairs currently have zero probability;
+                    // spread uniformly to recover (defensive — the floored
+                    // initialization prevents this on the first pass).
+                    let n_pairs = (1usize << pat.n_het().saturating_sub(1)).max(1);
+                    let frac = count / n_pairs as f64;
+                    for &(a, b) in &pairs[span] {
+                        counts[a as usize] += frac;
+                        counts[b as usize] += frac;
+                    }
+                    continue;
+                }
+                for (&w, &(a, b)) in weights[span.clone()].iter().zip(&pairs[span]) {
+                    let frac = count * w / total;
+                    counts[a as usize] += frac;
+                    counts[b as usize] += frac;
+                }
+            }
+            // M-step.
+            let scale = 1.0 / (2.0 * n_used as f64);
+            let mut max_delta = 0.0f64;
+            for (f, &c) in freqs.iter_mut().zip(counts.iter()) {
+                let new = c * scale;
+                max_delta = max_delta.max((new - *f).abs());
+                *f = new;
+            }
+            if max_delta < self.config.tol {
+                break;
+            }
+        }
+        // Deferred log-likelihood: the reference path accumulates
+        // `Σ count · ln(total)` on every iteration but only the final
+        // iteration's value is ever observed. Recompute that one value from
+        // the snapshot of the frequencies that *entered* the final
+        // iteration — the identical expressions in the identical order, so
+        // the result is bit-for-bit the same while the hot loop above pays
+        // no `ln` at all.
+        if iterations > 0 {
+            let mut ll = 0.0;
+            for (p, &(_, count)) in patterns.iter().enumerate() {
+                let span = pair_offsets[p]..pair_offsets[p + 1];
+                let mut total = 0.0;
+                for &(a, b) in &pairs[span] {
+                    let (a, b) = (a as usize, b as usize);
+                    total += if a == b {
+                        prev_freqs[a] * prev_freqs[b]
+                    } else {
+                        2.0 * prev_freqs[a] * prev_freqs[b]
+                    };
+                }
+                if total > 0.0 {
+                    ll += count * total.ln();
+                }
+            }
+            log_likelihood = ll;
+        }
+        normalize(freqs);
+        out.k = k;
+        out.log_likelihood = log_likelihood;
+        out.iterations = iterations;
+        out.n_individuals = n_used;
+        out.refresh_expected();
+        Ok(())
+    }
+}
+
+/// Reusable working memory for [`EmEstimator::estimate_into`]: per-call
+/// buffers that clear-and-reuse instead of reallocating. One `EmScratch`
+/// serves any haplotype size; buffers grow to the high-water mark and
+/// stay there.
+#[derive(Debug, Default)]
+pub struct EmScratch {
+    /// Per-individual `(hom2, het)` masks; `(u32::MAX, u32::MAX)` marks an
+    /// incomplete individual.
+    masks: Vec<(u32, u32)>,
+    /// Packed `(hom2 << 32) | het` keys of complete individuals, sorted to
+    /// pool identical patterns deterministically.
+    keys: Vec<u64>,
+    /// Pooled patterns with their multiplicities.
+    patterns: Vec<(Pattern, f64)>,
+    /// `pairs[pair_offsets[p]..pair_offsets[p + 1]]` are pattern `p`'s
+    /// compatible haplotype pairs.
+    pair_offsets: Vec<usize>,
+    /// Flattened compatible-pair list across all patterns.
+    pairs: Vec<(u32, u32)>,
+    /// Per-pair E-step weights, recomputed each iteration but shared
+    /// between the normalization and distribution passes.
+    weights: Vec<f64>,
+    /// Single-SNP allele-2 counts (equilibrium initialization).
+    a2_counts: Vec<f64>,
+    /// Clamped marginal allele-2 frequencies.
+    q: Vec<f64>,
+    /// Expected haplotype counts accumulated by the E-step.
+    counts: Vec<f64>,
+    /// Frequencies entering the current iteration, kept so the final
+    /// log-likelihood can be recomputed once after convergence instead of
+    /// paying a `ln` per pattern on every iteration.
+    prev_freqs: Vec<f64>,
+}
+
+impl EmScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -374,8 +723,8 @@ pub fn em_lrt(
     group_a: &[Vec<Genotype>],
     group_b: &[Vec<Genotype>],
 ) -> Result<EmLrt, StatsError> {
-    let fit_a = estimator.estimate(group_a)?;
-    let fit_b = estimator.estimate(group_b)?;
+    let fit_a = estimator.estimate_iter(group_a.iter().map(|v| v.as_slice()))?;
+    let fit_b = estimator.estimate_iter(group_b.iter().map(|v| v.as_slice()))?;
     let pooled =
         estimator.estimate_iter(group_a.iter().chain(group_b.iter()).map(|v| v.as_slice()))?;
     let statistic =
@@ -398,6 +747,29 @@ mod tests {
 
     fn est() -> EmEstimator {
         EmEstimator::default()
+    }
+
+    /// Slice-based fit (the non-deprecated replacement for `estimate`).
+    fn fit(e: &EmEstimator, gs: &[Vec<G>]) -> Result<HaplotypeDist, StatsError> {
+        e.estimate_iter(gs.iter().map(|v| v.as_slice()))
+    }
+
+    /// Build the column store of a row-per-individual genotype sample.
+    fn columns(gs: &[Vec<G>]) -> ColumnMatrix {
+        let k = gs.first().map_or(0, |g| g.len());
+        let flat: Vec<G> = gs.iter().flatten().copied().collect();
+        let m = ld_data::GenotypeMatrix::from_rows(gs.len(), k, flat).unwrap();
+        ColumnMatrix::from_matrix(&m)
+    }
+
+    /// Scratch-path fit over the same sample.
+    fn fit_into(e: &EmEstimator, gs: &[Vec<G>]) -> Result<HaplotypeDist, StatsError> {
+        let cols = columns(gs);
+        let snps: Vec<usize> = (0..cols.n_snps()).collect();
+        let mut scratch = EmScratch::new();
+        let mut out = HaplotypeDist::empty();
+        e.estimate_into(&[&cols], &snps, &mut scratch, &mut out)?;
+        Ok(out)
     }
 
     #[test]
@@ -446,7 +818,7 @@ mod tests {
     fn homozygous_sample_is_deterministic() {
         // All individuals 2/2 at SNP0 and 1/1 at SNP1 -> haplotype 0b01 freq 1.
         let gs = vec![vec![G::HomA2, G::HomA1]; 10];
-        let d = est().estimate(&gs).unwrap();
+        let d = fit(&est(), &gs).unwrap();
         assert_eq!(d.k, 2);
         assert!((d.freqs[0b01] - 1.0).abs() < 1e-9);
         assert_eq!(d.n_individuals, 10);
@@ -463,7 +835,7 @@ mod tests {
             vec![G::Het, G::HomA1, G::HomA2],
             vec![G::HomA1, G::HomA1, G::HomA1],
         ];
-        let d = est().estimate(&gs).unwrap();
+        let d = fit(&est(), &gs).unwrap();
         let sum: f64 = d.freqs.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
         assert!(d.freqs.iter().all(|&f| (0.0..=1.0).contains(&f)));
@@ -478,7 +850,7 @@ mod tests {
         let mut gs = vec![vec![G::HomA1, G::HomA1]; 20];
         gs.extend(vec![vec![G::HomA2, G::HomA2]; 20]);
         gs.extend(vec![vec![G::Het, G::Het]; 10]);
-        let d = est().estimate(&gs).unwrap();
+        let d = fit(&est(), &gs).unwrap();
         let coupling = d.freqs[0b00] + d.freqs[0b11];
         let repulsion = d.freqs[0b01] + d.freqs[0b10];
         assert!(
@@ -502,7 +874,7 @@ mod tests {
                 }
             }
         }
-        let d = est().estimate(&gs).unwrap();
+        let d = fit(&est(), &gs).unwrap();
         for h in 0..4 {
             assert!((d.freqs[h] - 0.25).abs() < 1e-6, "h={h} f={}", d.freqs[h]);
         }
@@ -515,7 +887,7 @@ mod tests {
             vec![G::Missing, G::HomA1],
             vec![G::HomA2, G::HomA2],
         ];
-        let d = est().estimate(&gs).unwrap();
+        let d = fit(&est(), &gs).unwrap();
         assert_eq!(d.n_individuals, 2);
     }
 
@@ -523,31 +895,31 @@ mod tests {
     fn error_cases() {
         // Empty input.
         assert!(matches!(
-            est().estimate(&[]),
+            fit(&est(), &[]),
             Err(StatsError::NoObservations { .. })
         ));
         // All missing.
         let gs = vec![vec![G::Missing]; 3];
         assert!(matches!(
-            est().estimate(&gs),
+            fit(&est(), &gs),
             Err(StatsError::NoObservations { .. })
         ));
         // Mixed lengths.
         let gs = vec![vec![G::Het], vec![G::Het, G::Het]];
         assert!(matches!(
-            est().estimate(&gs),
+            fit(&est(), &gs),
             Err(StatsError::InvalidParameter(_))
         ));
         // Zero-length haplotype.
         let gs = vec![vec![]];
         assert!(matches!(
-            est().estimate(&gs),
+            fit(&est(), &gs),
             Err(StatsError::InvalidParameter(_))
         ));
         // Too wide.
         let gs = vec![vec![G::HomA1; MAX_HAPLOTYPE_SNPS + 1]];
         assert!(matches!(
-            est().estimate(&gs),
+            fit(&est(), &gs),
             Err(StatsError::HaplotypeTooLarge { .. })
         ));
     }
@@ -555,10 +927,150 @@ mod tests {
     #[test]
     fn expected_counts_scale() {
         let gs = vec![vec![G::HomA2]; 7];
-        let d = est().estimate(&gs).unwrap();
-        let c = d.expected_counts();
+        let d = fit(&est(), &gs).unwrap();
+        let c = d.expected_counts_slice();
         assert!((c[1] - 14.0).abs() < 1e-6);
         assert!(c[0].abs() < 1e-6);
+        // The deprecated allocating wrapper returns the same counts.
+        #[allow(deprecated)]
+        let owned = d.expected_counts();
+        assert_eq!(owned.as_slice(), c);
+    }
+
+    #[test]
+    fn scratch_fit_is_bit_identical_to_iter_fit() {
+        // The column/scratch path must reproduce the legacy estimate to
+        // the last ulp — sorted-vec pooling matches BTreeMap order, and
+        // the cached-weight E-step evaluates the same expressions.
+        let samples: Vec<Vec<Vec<G>>> = vec![
+            vec![vec![G::HomA2, G::HomA1]; 10],
+            vec![
+                vec![G::Het, G::Het, G::HomA1],
+                vec![G::HomA2, G::Het, G::Het],
+                vec![G::Het, G::HomA1, G::HomA2],
+                vec![G::Het, G::Het, G::Het],
+                vec![G::HomA1, G::HomA2, G::Het],
+            ],
+            vec![
+                vec![G::HomA2, G::HomA2, G::Het, G::Het],
+                vec![G::Missing, G::HomA1, G::Het, G::HomA2],
+                vec![G::Het, G::Het, G::Het, G::Het],
+                vec![G::HomA1, G::HomA1, G::HomA2, G::Het],
+                vec![G::HomA2, G::Het, G::HomA1, G::HomA1],
+                vec![G::Het, G::HomA2, G::Het, G::HomA1],
+            ],
+        ];
+        for gs in &samples {
+            let a = fit(&est(), gs).unwrap();
+            let b = fit_into(&est(), gs).unwrap();
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.n_individuals, b.n_individuals);
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(
+                a.log_likelihood.to_bits(),
+                b.log_likelihood.to_bits(),
+                "log-likelihood diverged"
+            );
+            for (x, y) in a.freqs.iter().zip(&b.freqs) {
+                assert_eq!(x.to_bits(), y.to_bits(), "freqs diverged");
+            }
+            for (x, y) in a
+                .expected_counts_slice()
+                .iter()
+                .zip(b.expected_counts_slice())
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "expected counts diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_fit_reuses_buffers_across_sizes() {
+        // One scratch serves interleaved haplotype widths without stale
+        // state: each call must equal a fresh-scratch call bit-for-bit.
+        let cols = columns(&[
+            vec![G::Het, G::HomA2, G::Het, G::HomA1, G::Het],
+            vec![G::HomA1, G::Het, G::HomA2, G::Het, G::HomA2],
+            vec![G::HomA2, G::Het, G::Het, G::Het, G::HomA1],
+            vec![G::Het, G::HomA1, G::HomA1, G::HomA2, G::Het],
+        ]);
+        let e = est();
+        let mut shared = EmScratch::new();
+        let mut out = HaplotypeDist::empty();
+        for snps in [
+            vec![0usize, 1, 2, 3, 4],
+            vec![1, 3],
+            vec![0, 2, 4],
+            vec![2],
+            vec![0, 1, 2, 3],
+        ] {
+            e.estimate_into(&[&cols], &snps, &mut shared, &mut out)
+                .unwrap();
+            let mut fresh_scratch = EmScratch::new();
+            let mut fresh = HaplotypeDist::empty();
+            e.estimate_into(&[&cols], &snps, &mut fresh_scratch, &mut fresh)
+                .unwrap();
+            assert_eq!(out, fresh, "scratch reuse leaked state for {snps:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_pooled_fit_matches_chained_iter_fit() {
+        // Two parts concatenate exactly like the legacy chained iterator
+        // (the em_lrt pooled-fit shape).
+        let a = vec![
+            vec![G::HomA2, G::Het],
+            vec![G::Het, G::Het],
+            vec![G::HomA1, G::HomA2],
+        ];
+        let b = vec![vec![G::Het, G::HomA1], vec![G::HomA2, G::HomA2]];
+        let legacy = est()
+            .estimate_iter(a.iter().chain(b.iter()).map(|v| v.as_slice()))
+            .unwrap();
+        let (ca, cb) = (columns(&a), columns(&b));
+        let mut scratch = EmScratch::new();
+        let mut out = HaplotypeDist::empty();
+        est()
+            .estimate_into(&[&ca, &cb], &[0, 1], &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(legacy, out);
+    }
+
+    #[test]
+    fn scratch_fit_error_cases() {
+        let e = est();
+        let mut scratch = EmScratch::new();
+        let mut out = HaplotypeDist::empty();
+        // No individuals at all.
+        let empty = columns(&[]);
+        assert!(matches!(
+            e.estimate_into(&[&empty], &[0], &mut scratch, &mut out),
+            Err(StatsError::NoObservations { .. })
+        ));
+        // All individuals incomplete.
+        let missing = columns(&[vec![G::Missing], vec![G::Missing]]);
+        assert!(matches!(
+            e.estimate_into(&[&missing], &[0], &mut scratch, &mut out),
+            Err(StatsError::NoObservations { .. })
+        ));
+        // Zero-width haplotype.
+        let cols = columns(&[vec![G::Het]]);
+        assert!(matches!(
+            e.estimate_into(&[&cols], &[], &mut scratch, &mut out),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        // Out-of-range SNP.
+        assert!(matches!(
+            e.estimate_into(&[&cols], &[3], &mut scratch, &mut out),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        // Too wide.
+        let wide = columns(&[vec![G::HomA1; MAX_HAPLOTYPE_SNPS + 1]]);
+        let snps: Vec<usize> = (0..MAX_HAPLOTYPE_SNPS + 1).collect();
+        assert!(matches!(
+            e.estimate_into(&[&wide], &snps, &mut scratch, &mut out),
+            Err(StatsError::HaplotypeTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -570,13 +1082,15 @@ mod tests {
             vec![G::Het, G::HomA1],
             vec![G::HomA2, G::Het],
         ];
-        let short = EmEstimator::new(EmConfig {
-            max_iter: 1,
-            tol: 0.0,
-        })
-        .estimate(&gs)
+        let short = fit(
+            &EmEstimator::new(EmConfig {
+                max_iter: 1,
+                tol: 0.0,
+            }),
+            &gs,
+        )
         .unwrap();
-        let long = est().estimate(&gs).unwrap();
+        let long = fit(&est(), &gs).unwrap();
         assert!(long.log_likelihood >= short.log_likelihood - 1e-9);
         assert!(long.iterations >= 1);
     }
@@ -593,8 +1107,8 @@ mod tests {
             vec![G::Het, G::Het, G::Het],
             vec![G::HomA1, G::HomA2, G::Het],
         ];
-        let a = est().estimate(&gs).unwrap();
-        let b = est().estimate(&gs).unwrap();
+        let a = fit(&est(), &gs).unwrap();
+        let b = fit(&est(), &gs).unwrap();
         assert_eq!(a.freqs, b.freqs);
         assert_eq!(a.log_likelihood.to_bits(), b.log_likelihood.to_bits());
     }

@@ -20,12 +20,13 @@
 //! expansion in EM is `O(2^h)` per individual) — this is the paper's
 //! Figure 4, and the reason evaluation is parallelized in `ld-parallel`.
 
-use crate::chi2::{pearson_chi2, Chi2Result};
+use crate::chi2::{pearson_chi2, pearson_chi2_with, Chi2Result};
 use crate::clump::{clump, ClumpResult, ClumpStatistic};
 use crate::em::{em_lrt, EmEstimator, HaplotypeDist};
 use crate::error::StatsError;
+use crate::scratch::EvalScratch;
 use crate::table::ContingencyTable;
-use ld_data::{Dataset, Genotype, GenotypeMatrix, SnpId, Status};
+use ld_data::{ColumnMatrix, Dataset, Genotype, GenotypeMatrix, SnpId, Status};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -84,6 +85,10 @@ pub struct EvalDetail {
 pub struct EvalPipeline {
     affected: GenotypeMatrix,
     unaffected: GenotypeMatrix,
+    /// Column-major copies, built once: the evaluation kernel borrows
+    /// contiguous per-SNP columns instead of gathering rows per call.
+    affected_cols: ColumnMatrix,
+    unaffected_cols: ColumnMatrix,
     kind: FitnessKind,
     estimator: EmEstimator,
 }
@@ -108,9 +113,13 @@ impl EvalPipeline {
             .genotypes
             .select_rows(&una_rows)
             .map_err(|e| StatsError::InvalidParameter(e.to_string()))?;
+        let affected_cols = ColumnMatrix::from_matrix(&affected);
+        let unaffected_cols = ColumnMatrix::from_matrix(&unaffected);
         Ok(EvalPipeline {
             affected,
             unaffected,
+            affected_cols,
+            unaffected_cols,
             kind,
             estimator: EmEstimator::default(),
         })
@@ -135,12 +144,116 @@ impl EvalPipeline {
     }
 
     /// Evaluate a haplotype: the fitness value only.
+    ///
+    /// Convenience wrapper over [`EvalPipeline::evaluate_with`] that
+    /// creates a throwaway [`EvalScratch`]; hot loops should hold a
+    /// per-worker scratch and call `evaluate_with` directly.
     pub fn evaluate(&self, snps: &[SnpId]) -> Result<f64, StatsError> {
-        Ok(self.evaluate_detailed(snps)?.fitness)
+        let mut scratch = EvalScratch::new();
+        self.evaluate_with(&mut scratch, snps)
     }
 
     /// Evaluate a haplotype with full intermediate results.
     pub fn evaluate_detailed(&self, snps: &[SnpId]) -> Result<EvalDetail, StatsError> {
+        let mut scratch = EvalScratch::new();
+        self.evaluate_detailed_with(&mut scratch, snps)
+    }
+
+    /// The evaluation primitive: EH-DIALL → concatenation → CLUMP with
+    /// every intermediate buffer borrowed from `scratch`.
+    ///
+    /// Zero heap allocations in steady state (buffers grow to the
+    /// high-water mark of the largest haplotype, then are reused), and
+    /// bit-identical results to the legacy allocating path
+    /// ([`EvalPipeline::evaluate_legacy`]) — the EM, table, χ², and CLUMP
+    /// arithmetic runs in exactly the same order over the same values.
+    pub fn evaluate_with(
+        &self,
+        scratch: &mut EvalScratch,
+        snps: &[SnpId],
+    ) -> Result<f64, StatsError> {
+        validate_snps(snps, self.n_snps())?;
+        let EvalScratch {
+            em,
+            dist_a,
+            dist_b,
+            pooled,
+            table,
+            chi2,
+            clump,
+        } = scratch;
+        self.estimator
+            .estimate_into(&[&self.affected_cols], snps, em, dist_a)?;
+        self.estimator
+            .estimate_into(&[&self.unaffected_cols], snps, em, dist_b)?;
+        table.refill_two_by_m(
+            dist_a.expected_counts_slice(),
+            dist_b.expected_counts_slice(),
+        )?;
+        match self.kind {
+            FitnessKind::ClumpT1 => ClumpStatistic::T1.evaluate_with(table, clump, chi2),
+            FitnessKind::ClumpT2 => ClumpStatistic::T2.evaluate_with(table, clump, chi2),
+            FitnessKind::ClumpT3 => ClumpStatistic::T3.evaluate_with(table, clump, chi2),
+            FitnessKind::ClumpT4 => ClumpStatistic::T4.evaluate_with(table, clump, chi2),
+            FitnessKind::EmLrt => {
+                // Pooled (H0) fit over affected-then-unaffected, the same
+                // individual order as the legacy chained iterator.
+                self.estimator.estimate_into(
+                    &[&self.affected_cols, &self.unaffected_cols],
+                    snps,
+                    em,
+                    pooled,
+                )?;
+                Ok(
+                    (2.0 * (dist_a.log_likelihood + dist_b.log_likelihood - pooled.log_likelihood))
+                        .max(0.0),
+                )
+            }
+        }
+    }
+
+    /// [`EvalPipeline::evaluate_with`] plus the full intermediate results.
+    ///
+    /// The returned [`EvalDetail`] owns clones of the scratch state (it
+    /// outlives the workspace), so this entry point allocates for its
+    /// *output* — the evaluation itself still runs on scratch buffers.
+    pub fn evaluate_detailed_with(
+        &self,
+        scratch: &mut EvalScratch,
+        snps: &[SnpId],
+    ) -> Result<EvalDetail, StatsError> {
+        let fitness = self.evaluate_with(scratch, snps)?;
+        let chi2 = pearson_chi2_with(&scratch.table, &mut scratch.chi2);
+        Ok(EvalDetail {
+            fitness,
+            chi2,
+            affected: scratch.dist_a.clone(),
+            unaffected: scratch.dist_b.clone(),
+            table: scratch.table.clone(),
+        })
+    }
+
+    /// Reference implementation of the pre-scratch evaluation path.
+    ///
+    /// Kept verbatim (gathered rows, per-call `Vec`s, allocating EM) as
+    /// the oracle for the golden equivalence tests and the baseline side
+    /// of the `eval_kernel` benchmark. Not for production use.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocating reference path; use `evaluate` or `evaluate_with`"
+    )]
+    pub fn evaluate_legacy(&self, snps: &[SnpId]) -> Result<f64, StatsError> {
+        #[allow(deprecated)]
+        Ok(self.evaluate_detailed_legacy(snps)?.fitness)
+    }
+
+    /// Reference implementation of the pre-scratch detailed evaluation.
+    /// See [`EvalPipeline::evaluate_legacy`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocating reference path; use `evaluate_detailed` or `evaluate_detailed_with`"
+    )]
+    pub fn evaluate_detailed_legacy(&self, snps: &[SnpId]) -> Result<EvalDetail, StatsError> {
         validate_snps(snps, self.n_snps())?;
         let aff_flat = gather_group(&self.affected, snps);
         let una_flat = gather_group(&self.unaffected, snps);
@@ -148,6 +261,7 @@ impl EvalPipeline {
 
         let affected = self.estimator.estimate_iter(aff_flat.chunks_exact(k))?;
         let unaffected = self.estimator.estimate_iter(una_flat.chunks_exact(k))?;
+        #[allow(deprecated)]
         let table =
             ContingencyTable::two_by_m(&affected.expected_counts(), &unaffected.expected_counts())?;
         let chi2 = pearson_chi2(&table);

@@ -18,7 +18,10 @@
 //! * [`mc`] — fixed-margin contingency-table sampler;
 //! * [`fitness`] — the paper's Figure-3 pipeline glued together: select
 //!   SNPs → EH per group → concatenate → CLUMP; this is the GA's
-//!   objective function.
+//!   objective function;
+//! * [`scratch`] — the reusable per-worker evaluation workspace
+//!   ([`EvalScratch`]) behind the allocation-free
+//!   [`EvalPipeline::evaluate_with`] kernel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,14 +35,16 @@ pub mod fitness;
 pub mod hwe;
 pub mod mc;
 pub mod power;
+pub mod scratch;
 pub mod special;
 pub mod table;
 
 pub use assoc::{fisher_exact_2x2, odds_ratio, risk_report, sidak_adjust, OddsRatio};
 pub use chi2::Chi2Result;
 pub use clump::{ClumpResult, ClumpStatistic};
-pub use em::{EmConfig, HaplotypeDist};
+pub use em::{EmConfig, EmScratch, HaplotypeDist};
 pub use error::StatsError;
 pub use fitness::{EvalDetail, EvalPipeline, FitnessKind};
 pub use hwe::{hwe_chi2, hwe_scan};
+pub use scratch::{EvalScratch, ScratchGuard, ScratchPool};
 pub use table::ContingencyTable;

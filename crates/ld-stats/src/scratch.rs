@@ -1,0 +1,163 @@
+//! Reusable evaluation workspace.
+//!
+//! A single EH-DIALL → CLUMP evaluation needs a dozen intermediate
+//! buffers: EM pattern pools and posterior weights, two fitted haplotype
+//! distributions (plus a pooled one for the LRT), a 2×m contingency
+//! table, χ² margins, and CLUMP collapse/sub-table workspaces.
+//! [`EvalScratch`] owns all of them so the kernel
+//! ([`crate::fitness::EvalPipeline::evaluate_with`]) performs zero heap
+//! allocations in steady state — buffers are `clear()`ed and refilled,
+//! growing only until they reach the high-water mark of the largest
+//! haplotype evaluated.
+//!
+//! Ownership convention across the stack (see DESIGN.md §3e): one scratch
+//! per *worker*, never per batch — a rayon worker, a master/slave thread,
+//! and a network slave connection each own one for their lifetime, because
+//! scratch reuse across consecutive evaluations is where the allocation
+//! savings come from. [`ScratchPool`] serves backends whose worker
+//! provenance is dynamic (work-stealing rayon loops): `get()` hands out a
+//! warmed workspace and returns it to the pool on drop.
+
+use crate::chi2::Chi2Scratch;
+use crate::clump::ClumpScratch;
+use crate::em::{EmScratch, HaplotypeDist};
+use crate::table::ContingencyTable;
+use std::sync::Mutex;
+
+/// All intermediate buffers for one haplotype evaluation, reused across
+/// calls. Create once per worker with [`EvalScratch::new`] and thread
+/// through `evaluate_with`.
+#[derive(Debug)]
+pub struct EvalScratch {
+    /// EM pattern pooling, pair expansion, and posterior-weight buffers.
+    pub(crate) em: EmScratch,
+    /// Fitted distribution for the affected group.
+    pub(crate) dist_a: HaplotypeDist,
+    /// Fitted distribution for the unaffected group.
+    pub(crate) dist_b: HaplotypeDist,
+    /// Pooled-group distribution (EM-LRT null model).
+    pub(crate) pooled: HaplotypeDist,
+    /// The 2×m expected-count contingency table.
+    pub(crate) table: ContingencyTable,
+    /// χ² margin and live-index buffers.
+    pub(crate) chi2: Chi2Scratch,
+    /// CLUMP collapse and column-vs-rest sub-table buffers.
+    pub(crate) clump: ClumpScratch,
+}
+
+impl EvalScratch {
+    /// A fresh, empty workspace. Buffers grow on first use and are reused
+    /// thereafter.
+    pub fn new() -> Self {
+        EvalScratch {
+            em: EmScratch::new(),
+            dist_a: HaplotypeDist::empty(),
+            dist_b: HaplotypeDist::empty(),
+            pooled: HaplotypeDist::empty(),
+            table: ContingencyTable::empty(),
+            chi2: Chi2Scratch::default(),
+            clump: ClumpScratch::default(),
+        }
+    }
+}
+
+impl Default for EvalScratch {
+    fn default() -> Self {
+        EvalScratch::new()
+    }
+}
+
+/// A shared pool of [`EvalScratch`] workspaces for backends whose worker
+/// identity is dynamic (e.g. work-stealing thread pools).
+///
+/// `get()` pops a warmed workspace (or creates one when the pool is dry —
+/// at most once per concurrent worker); the guard returns it on drop, so
+/// the pool converges to one workspace per concurrent worker and then
+/// stops allocating.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<EvalScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Borrow a workspace; it returns to the pool when the guard drops.
+    pub fn get(&self) -> ScratchGuard<'_> {
+        let scratch = self
+            .free
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        ScratchGuard {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+}
+
+/// RAII guard from [`ScratchPool::get`]; derefs to [`EvalScratch`].
+#[derive(Debug)]
+pub struct ScratchGuard<'a> {
+    pool: &'a ScratchPool,
+    scratch: Option<EvalScratch>,
+}
+
+impl std::ops::Deref for ScratchGuard<'_> {
+    type Target = EvalScratch;
+
+    fn deref(&self) -> &EvalScratch {
+        self.scratch.as_ref().expect("scratch taken")
+    }
+}
+
+impl std::ops::DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut EvalScratch {
+        self.scratch.as_mut().expect("scratch taken")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            if let Ok(mut free) = self.pool.free.lock() {
+                free.push(scratch);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_workspaces() {
+        let pool = ScratchPool::new();
+        {
+            let _a = pool.get();
+            let _b = pool.get();
+        }
+        // Both returned; two more borrows drain the pool without growth.
+        assert_eq!(pool.free.lock().unwrap().len(), 2);
+        {
+            let _a = pool.get();
+            let _b = pool.get();
+            assert_eq!(pool.free.lock().unwrap().len(), 0);
+        }
+        assert_eq!(pool.free.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn guard_derefs_to_scratch() {
+        let pool = ScratchPool::new();
+        let mut g = pool.get();
+        // Touch a field through DerefMut to prove the workspace is usable.
+        let s: &mut EvalScratch = &mut g;
+        s.table = ContingencyTable::empty();
+    }
+}

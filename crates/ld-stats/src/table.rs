@@ -211,6 +211,184 @@ impl ContingencyTable {
     pub fn cells(&self) -> &[f64] {
         &self.cells
     }
+
+    /// An empty 0×0 placeholder for scratch workspaces.
+    pub(crate) fn empty() -> Self {
+        ContingencyTable {
+            n_rows: 0,
+            n_cols: 0,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Rebuild `self` in place as a 2×m table — the scratch-path analogue
+    /// of [`ContingencyTable::two_by_m`], with identical validation.
+    pub(crate) fn refill_two_by_m(
+        &mut self,
+        row_a: &[f64],
+        row_b: &[f64],
+    ) -> Result<(), StatsError> {
+        if row_a.len() != row_b.len() {
+            return Err(StatsError::BadTable(format!(
+                "row lengths differ: {} vs {}",
+                row_a.len(),
+                row_b.len()
+            )));
+        }
+        if row_a
+            .iter()
+            .chain(row_b.iter())
+            .any(|&c| c < 0.0 || !c.is_finite())
+        {
+            return Err(StatsError::BadTable(
+                "cells must be finite and non-negative".into(),
+            ));
+        }
+        self.n_rows = 2;
+        self.n_cols = row_a.len();
+        self.cells.clear();
+        self.cells.extend_from_slice(row_a);
+        self.cells.extend_from_slice(row_b);
+        Ok(())
+    }
+
+    /// Rebuild `self` in place as a 2×2 table — the scratch-path analogue
+    /// of `from_rows(2, 2, ...)`, with identical validation.
+    pub(crate) fn refill_2x2(&mut self, cells: [f64; 4]) -> Result<(), StatsError> {
+        if cells.iter().any(|&c| c < 0.0 || !c.is_finite()) {
+            return Err(StatsError::BadTable(
+                "cells must be finite and non-negative".into(),
+            ));
+        }
+        self.n_rows = 2;
+        self.n_cols = 2;
+        self.cells.clear();
+        self.cells.extend_from_slice(&cells);
+        Ok(())
+    }
+
+    /// CLUMP T2 preprocessing without allocation: the same greedy collapse
+    /// as [`ContingencyTable::collapse_rare_cols`], but every intermediate
+    /// table lives in `work`. Returns the collapsed working table.
+    ///
+    /// Bit-identity with the legacy method is preserved by replicating its
+    /// exact evaluation order: margins are summed in the same direction,
+    /// the minimum expected count folds cells in the same `(r, c)` order
+    /// with `f64::min`, and the two merge columns are chosen with the
+    /// stable-sort tie-breaking of the original (earliest index wins among
+    /// equal totals — see [`smallest_two`]).
+    pub(crate) fn collapse_rare_cols_with<'a>(
+        &self,
+        min_expected: f64,
+        work: &'a mut CollapseScratch,
+    ) -> &'a ContingencyTable {
+        // drop_empty_cols, into the working table.
+        work.col_totals.clear();
+        work.col_totals.extend(
+            (0..self.n_cols).map(|c| (0..self.n_rows).map(|r| self.get(r, c)).sum::<f64>()),
+        );
+        let t = &mut work.table;
+        t.n_rows = self.n_rows;
+        t.n_cols = work.col_totals.iter().filter(|&&x| x > 0.0).count();
+        t.cells.clear();
+        for r in 0..self.n_rows {
+            for c in 0..self.n_cols {
+                if work.col_totals[c] > 0.0 {
+                    t.cells.push(self.get(r, c));
+                }
+            }
+        }
+        loop {
+            if t.n_cols <= 2 {
+                return t;
+            }
+            work.row_totals.clear();
+            work.row_totals
+                .extend((0..t.n_rows).map(|r| (0..t.n_cols).map(|c| t.get(r, c)).sum::<f64>()));
+            work.col_totals.clear();
+            work.col_totals
+                .extend((0..t.n_cols).map(|c| (0..t.n_rows).map(|r| t.get(r, c)).sum::<f64>()));
+            let total: f64 = t.cells.iter().sum();
+            let mut min_cell_expected = f64::INFINITY;
+            for r in 0..t.n_rows {
+                for c in 0..t.n_cols {
+                    let e = if total <= 0.0 {
+                        0.0
+                    } else {
+                        work.row_totals[r] * work.col_totals[c] / total
+                    };
+                    min_cell_expected = f64::min(min_cell_expected, e);
+                }
+            }
+            if min_cell_expected >= min_expected {
+                return t;
+            }
+            // Merge the two columns with the smallest totals.
+            let (o0, o1) = smallest_two(&work.col_totals);
+            let (c1, c2) = (o0.min(o1), o0.max(o1));
+            work.alt.clear();
+            for r in 0..t.n_rows {
+                for c in 0..t.n_cols {
+                    if c == c2 {
+                        continue;
+                    }
+                    let v = if c == c1 {
+                        t.get(r, c1) + t.get(r, c2)
+                    } else {
+                        t.get(r, c)
+                    };
+                    work.alt.push(v);
+                }
+            }
+            std::mem::swap(&mut t.cells, &mut work.alt);
+            t.n_cols -= 1;
+        }
+    }
+}
+
+/// Indices of the two smallest values in stable-sort order: the result
+/// equals `(order[0], order[1])` after a *stable* ascending `total_cmp`
+/// sort of the indices, without sorting (std's stable sort allocates).
+/// Ties resolve to the earlier index, exactly like the stable sort.
+fn smallest_two(totals: &[f64]) -> (usize, usize) {
+    use std::cmp::Ordering;
+    debug_assert!(totals.len() >= 2);
+    let (mut i0, mut i1) = (0usize, 1usize);
+    if totals[1].total_cmp(&totals[0]) == Ordering::Less {
+        (i0, i1) = (1, 0);
+    }
+    for c in 2..totals.len() {
+        if totals[c].total_cmp(&totals[i0]) == Ordering::Less {
+            i1 = i0;
+            i0 = c;
+        } else if totals[c].total_cmp(&totals[i1]) == Ordering::Less {
+            i1 = c;
+        }
+    }
+    (i0, i1)
+}
+
+/// Working buffers for the in-place T2 collapse
+/// ([`ContingencyTable::collapse_rare_cols_with`]).
+#[derive(Debug)]
+pub(crate) struct CollapseScratch {
+    /// The working copy being collapsed (and the result).
+    table: ContingencyTable,
+    /// Ping-pong cell buffer for column merges.
+    alt: Vec<f64>,
+    row_totals: Vec<f64>,
+    col_totals: Vec<f64>,
+}
+
+impl Default for CollapseScratch {
+    fn default() -> Self {
+        CollapseScratch {
+            table: ContingencyTable::empty(),
+            alt: Vec::new(),
+            row_totals: Vec::new(),
+            col_totals: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

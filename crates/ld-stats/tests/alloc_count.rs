@@ -1,0 +1,116 @@
+//! Allocation-regression guard for the evaluation kernel.
+//!
+//! Installs a counting `#[global_allocator]` and asserts that a warmed-up
+//! `EvalPipeline::evaluate_with` performs **zero** heap allocations — the
+//! property the whole scratch-workspace refactor exists to provide. Any
+//! future change that sneaks a per-call `Vec`, `format!`, or collect into
+//! the hot path fails this test with the exact allocation delta.
+//!
+//! Gated behind the `alloc-count` feature because a global allocator is
+//! process-wide state that other test binaries should not inherit:
+//!
+//! `cargo test -p ld-stats --features alloc-count --test alloc_count`
+
+#![cfg(feature = "alloc-count")]
+
+use ld_data::synthetic::lille_51;
+use ld_stats::{EvalPipeline, EvalScratch, FitnessKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator with a global allocation counter (frees not counted:
+/// the guard is about acquiring memory in the hot path).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow is an acquisition too — scratch buffers must be at their
+        // high-water mark after warm-up.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warmed_evaluate_with_performs_zero_allocations() {
+    let data = lille_51(42);
+    // The exact SNP sets measured below — warm-up must cover them so every
+    // scratch buffer reaches its high-water mark first.
+    let snp_sets: Vec<Vec<usize>> = vec![
+        vec![8, 12],
+        vec![8, 12, 15],
+        vec![0, 24, 38],
+        vec![8, 12, 15, 21],
+        vec![8, 12, 15, 21, 32],
+        vec![8, 12, 15, 21, 32, 40],
+    ];
+    for kind in [
+        FitnessKind::ClumpT1,
+        FitnessKind::ClumpT2,
+        FitnessKind::ClumpT3,
+        FitnessKind::ClumpT4,
+        FitnessKind::EmLrt,
+    ] {
+        let p = EvalPipeline::new(&data, kind).unwrap();
+        let mut scratch = EvalScratch::new();
+        // Warm-up: two passes (the second proves buffers already fit).
+        for _ in 0..2 {
+            for snps in &snp_sets {
+                p.evaluate_with(&mut scratch, snps).unwrap();
+            }
+        }
+        // Steady state: count allocations across a full measured pass.
+        let before = allocs();
+        let mut acc = 0.0;
+        for snps in &snp_sets {
+            acc += p.evaluate_with(&mut scratch, snps).unwrap();
+        }
+        let delta = allocs() - before;
+        assert!(acc.is_finite());
+        assert_eq!(
+            delta, 0,
+            "{kind:?}: {delta} heap allocations in steady-state evaluate_with"
+        );
+    }
+}
+
+#[test]
+fn legacy_path_allocates_as_a_sanity_check() {
+    // Prove the counter actually observes this thread's allocations: the
+    // deprecated path must show a non-zero delta where the scratch path
+    // shows none.
+    #![allow(deprecated)]
+    let data = lille_51(42);
+    let p = EvalPipeline::new(&data, FitnessKind::ClumpT1).unwrap();
+    let snps = [8usize, 12, 15];
+    let _ = p.evaluate_legacy(&snps).unwrap(); // touch lazy init anywhere
+    let before = allocs();
+    let _ = p.evaluate_legacy(&snps).unwrap();
+    assert!(
+        allocs() > before,
+        "counting allocator saw no allocations on the allocating path"
+    );
+}

@@ -1,0 +1,124 @@
+//! Golden equivalence: the scratch-workspace evaluation kernel must be
+//! *numerically invisible* — bit-for-bit identical to the legacy
+//! allocating path for every `FitnessKind`, every haplotype width the GA
+//! explores, and under arbitrary scratch reuse patterns.
+//!
+//! Legacy results come from `evaluate_legacy` / `evaluate_detailed_legacy`,
+//! which preserve the pre-refactor code path verbatim (row gathers,
+//! per-call `Vec`s, BTreeMap pattern pooling).
+
+#![allow(deprecated)] // the whole point of this suite is to call the legacy path
+
+use ld_data::synthetic::lille_51;
+use ld_stats::{EvalPipeline, EvalScratch, FitnessKind};
+
+const ALL_KINDS: [FitnessKind; 5] = [
+    FitnessKind::ClumpT1,
+    FitnessKind::ClumpT2,
+    FitnessKind::ClumpT3,
+    FitnessKind::ClumpT4,
+    FitnessKind::EmLrt,
+];
+
+/// Haplotypes of width 2..=6: the planted-signal chain plus background
+/// sets (including SNPs with missing genotypes in the synthetic data).
+fn snp_sets() -> Vec<Vec<usize>> {
+    vec![
+        vec![8, 12],
+        vec![0, 24],
+        vec![8, 12, 15],
+        vec![0, 24, 38],
+        vec![8, 12, 15, 21],
+        vec![3, 17, 29, 44],
+        vec![8, 12, 15, 21, 32],
+        vec![1, 9, 22, 35, 50],
+        vec![8, 12, 15, 21, 32, 40],
+        vec![2, 11, 19, 27, 36, 47],
+    ]
+}
+
+#[test]
+fn fitness_is_bit_identical_for_all_kinds_and_sizes() {
+    for seed in [42u64, 7] {
+        let data = lille_51(seed);
+        for kind in ALL_KINDS {
+            let p = EvalPipeline::new(&data, kind).unwrap();
+            let mut scratch = EvalScratch::new();
+            for snps in snp_sets() {
+                let legacy = p.evaluate_legacy(&snps).unwrap();
+                let fast = p.evaluate_with(&mut scratch, &snps).unwrap();
+                assert_eq!(
+                    legacy.to_bits(),
+                    fast.to_bits(),
+                    "{kind:?} seed {seed} snps {snps:?}: legacy {legacy} vs scratch {fast}"
+                );
+                // The convenience wrapper (fresh scratch per call) too.
+                let wrapped = p.evaluate(&snps).unwrap();
+                assert_eq!(legacy.to_bits(), wrapped.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn detailed_output_is_bit_identical() {
+    let data = lille_51(42);
+    for kind in ALL_KINDS {
+        let p = EvalPipeline::new(&data, kind).unwrap();
+        let mut scratch = EvalScratch::new();
+        for snps in snp_sets() {
+            let legacy = p.evaluate_detailed_legacy(&snps).unwrap();
+            let fast = p.evaluate_detailed_with(&mut scratch, &snps).unwrap();
+            assert_eq!(legacy.fitness.to_bits(), fast.fitness.to_bits());
+            assert_eq!(
+                legacy.chi2.statistic.to_bits(),
+                fast.chi2.statistic.to_bits()
+            );
+            assert_eq!(legacy.chi2.df.to_bits(), fast.chi2.df.to_bits());
+            assert_eq!(legacy.chi2.p_value.to_bits(), fast.chi2.p_value.to_bits());
+            // HaplotypeDist and ContingencyTable are PartialEq over exact
+            // f64 contents: structural equality means bit equality here.
+            assert_eq!(legacy.affected, fast.affected, "{kind:?} {snps:?}");
+            assert_eq!(legacy.unaffected, fast.unaffected, "{kind:?} {snps:?}");
+            assert_eq!(legacy.table, fast.table, "{kind:?} {snps:?}");
+        }
+    }
+}
+
+#[test]
+fn one_scratch_reused_across_kinds_and_sizes_stays_identical() {
+    // Interleave widths and objectives through a single workspace so every
+    // buffer shrinks and regrows: stale state from any previous call must
+    // never leak into the next result.
+    let data = lille_51(42);
+    let pipelines: Vec<EvalPipeline> = ALL_KINDS
+        .iter()
+        .map(|&k| EvalPipeline::new(&data, k).unwrap())
+        .collect();
+    let mut scratch = EvalScratch::new();
+    for round in 0..3 {
+        for (i, snps) in snp_sets().iter().enumerate() {
+            let p = &pipelines[(i + round) % pipelines.len()];
+            let legacy = p.evaluate_legacy(snps).unwrap();
+            let fast = p.evaluate_with(&mut scratch, snps).unwrap();
+            assert_eq!(legacy.to_bits(), fast.to_bits(), "{:?} {snps:?}", p.kind());
+        }
+    }
+}
+
+#[test]
+fn error_cases_agree_with_legacy() {
+    let data = lille_51(42);
+    let p = EvalPipeline::new(&data, FitnessKind::ClumpT1).unwrap();
+    let mut scratch = EvalScratch::new();
+    for bad in [&[][..], &[3, 2][..], &[3, 3][..], &[51][..]] {
+        assert!(p.evaluate_legacy(bad).is_err());
+        assert!(p.evaluate_with(&mut scratch, bad).is_err());
+    }
+    // A failed evaluation must not poison the workspace.
+    let snps = [8, 12, 15];
+    assert_eq!(
+        p.evaluate_legacy(&snps).unwrap().to_bits(),
+        p.evaluate_with(&mut scratch, &snps).unwrap().to_bits()
+    );
+}

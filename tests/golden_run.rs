@@ -1,0 +1,100 @@
+//! Whole-run golden equivalence: swapping the legacy allocating evaluation
+//! kernel for the scratch-workspace kernel must leave the GA's trajectory
+//! untouched — same RNG draws, same best haplotypes, same history TSV.
+
+#![allow(deprecated)] // drives the legacy kernel as the golden reference
+
+use haplo_ga::ga::evaluator::FnEvaluator;
+use haplo_ga::ga::telemetry::write_history_tsv;
+use haplo_ga::prelude::*;
+use haplo_ga::stats::EvalPipeline;
+
+fn config() -> GaConfig {
+    GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 4,
+        matings_per_generation: 8,
+        stagnation_limit: 10,
+        ri_stagnation: 5,
+        max_generations: 30,
+        ..GaConfig::default()
+    }
+}
+
+#[test]
+fn scratch_kernel_reproduces_legacy_run_exactly() {
+    let data = haplo_ga::data::synthetic::lille_51(42);
+
+    // Reference: the pre-refactor evaluation path, verbatim.
+    let legacy_pipeline = EvalPipeline::new(&data, FitnessKind::ClumpT1).unwrap();
+    let n_snps = legacy_pipeline.n_snps();
+    let legacy_objective = FnEvaluator::new(n_snps, move |snps: &[usize]| {
+        legacy_pipeline.evaluate_legacy(snps).unwrap_or(0.0)
+    });
+
+    // Under test: the production evaluator on the scratch path.
+    let scratch_objective = StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1).unwrap();
+
+    for seed in [0u64, 7] {
+        let legacy = GaEngine::new(&legacy_objective, config(), seed)
+            .unwrap()
+            .run();
+        let fast = GaEngine::new(&scratch_objective, config(), seed)
+            .unwrap()
+            .run();
+
+        // Identical fitness values ⇒ identical selection decisions ⇒ the
+        // RNG trajectory never diverges.
+        assert_eq!(legacy.generations, fast.generations, "seed {seed}");
+        assert_eq!(
+            legacy.total_evaluations, fast.total_evaluations,
+            "seed {seed}"
+        );
+        for k in 2..=4 {
+            let (a, b) = (legacy.best_of_size(k), fast.best_of_size(k));
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.snps(), b.snps(), "seed {seed} size {k}");
+                    assert_eq!(
+                        a.fitness().to_bits(),
+                        b.fitness().to_bits(),
+                        "seed {seed} size {k}"
+                    );
+                }
+                (None, None) => {}
+                _ => panic!("seed {seed} size {k}: champion present on one path only"),
+            }
+        }
+
+        // The full per-generation history serializes identically.
+        let mut legacy_tsv = Vec::new();
+        write_history_tsv(&legacy, &mut legacy_tsv).unwrap();
+        let mut fast_tsv = Vec::new();
+        write_history_tsv(&fast, &mut fast_tsv).unwrap();
+        let legacy_tsv = String::from_utf8(legacy_tsv).unwrap();
+        let fast_tsv = String::from_utf8(fast_tsv).unwrap();
+        // Wall-clock columns legitimately differ between runs; compare
+        // every other column.
+        let strip = |tsv: &str| -> Vec<Vec<String>> {
+            let mut rows: Vec<Vec<String>> = tsv
+                .lines()
+                .map(|l| l.split('\t').map(str::to_owned).collect())
+                .collect();
+            let header: &Vec<String> = &rows[0];
+            let drop_cols: Vec<usize> = header
+                .iter()
+                .enumerate()
+                .filter(|(_, name)| name.contains("ms"))
+                .map(|(i, _)| i)
+                .collect();
+            for row in &mut rows {
+                for &i in drop_cols.iter().rev() {
+                    row.remove(i);
+                }
+            }
+            rows
+        };
+        assert_eq!(strip(&legacy_tsv), strip(&fast_tsv), "seed {seed}");
+    }
+}

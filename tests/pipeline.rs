@@ -4,20 +4,25 @@
 //! dataset and checks that the statistics see the planted biology.
 
 use haplo_ga::data::synthetic::{lille_51, lille_51_config};
-use haplo_ga::data::{AlleleFreqTable, LdTable, Status};
-use haplo_ga::stats::em::EmEstimator;
-use haplo_ga::stats::{EvalPipeline, FitnessKind};
+use haplo_ga::data::{AlleleFreqTable, ColumnMatrix, LdTable, Status};
+use haplo_ga::stats::em::{EmEstimator, EmScratch};
+use haplo_ga::stats::{EvalPipeline, FitnessKind, HaplotypeDist};
 
 #[test]
 fn em_recovers_planted_risk_haplotype_in_affected_group() {
     let data = lille_51(42);
     let snps = [8usize, 12, 15];
-    let affected_rows = data.rows_with_status(Status::Affected);
-    let gs: Vec<Vec<_>> = affected_rows
-        .iter()
-        .map(|&r| data.genotypes.gather(r, &snps))
-        .collect();
-    let fit = EmEstimator::default().estimate(&gs).unwrap();
+    // The column-store EM path: select the status group once, then fit
+    // in-place (no per-individual genotype Vecs).
+    let estimator = EmEstimator::default();
+    let mut scratch = EmScratch::new();
+    let mut fit = HaplotypeDist::empty();
+    let affected =
+        ColumnMatrix::from_matrix_rows(&data.genotypes, &data.rows_with_status(Status::Affected))
+            .unwrap();
+    estimator
+        .estimate_into(&[&affected], &snps, &mut scratch, &mut fit)
+        .unwrap();
     // The planted risk pattern is all-A2 = bitmask 0b111; it must be much
     // more frequent among affected than its population carrier frequency
     // would suggest under no ascertainment... at minimum, clearly present.
@@ -27,13 +32,14 @@ fn em_recovers_planted_risk_haplotype_in_affected_group() {
         "risk haplotype frequency among affected = {risk_freq:.3}"
     );
 
-    // And rarer among unaffected.
-    let unaffected_rows = data.rows_with_status(Status::Unaffected);
-    let gs: Vec<Vec<_>> = unaffected_rows
-        .iter()
-        .map(|&r| data.genotypes.gather(r, &snps))
-        .collect();
-    let fit_u = EmEstimator::default().estimate(&gs).unwrap();
+    // And rarer among unaffected — same scratch, reused.
+    let mut fit_u = HaplotypeDist::empty();
+    let unaffected =
+        ColumnMatrix::from_matrix_rows(&data.genotypes, &data.rows_with_status(Status::Unaffected))
+            .unwrap();
+    estimator
+        .estimate_into(&[&unaffected], &snps, &mut scratch, &mut fit_u)
+        .unwrap();
     assert!(
         risk_freq > fit_u.freqs[0b111] + 0.05,
         "affected {risk_freq:.3} vs unaffected {:.3}",

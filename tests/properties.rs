@@ -40,7 +40,7 @@ proptest! {
     #[test]
     fn em_frequencies_form_a_simplex(gs in sample_strategy(3)) {
         let est = EmEstimator::default();
-        match est.estimate(&gs) {
+        match est.estimate_iter(gs.iter().map(|v| v.as_slice())) {
             Ok(d) => {
                 let sum: f64 = d.freqs.iter().sum();
                 prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
@@ -60,7 +60,10 @@ proptest! {
         let est = EmEstimator::default();
         let mut reversed = gs.clone();
         reversed.reverse();
-        match (est.estimate(&gs), est.estimate(&reversed)) {
+        match (
+            est.estimate_iter(gs.iter().map(|v| v.as_slice())),
+            est.estimate_iter(reversed.iter().map(|v| v.as_slice())),
+        ) {
             (Ok(a), Ok(b)) => {
                 for (x, y) in a.freqs.iter().zip(&b.freqs) {
                     prop_assert!((x - y).abs() < 1e-9);
