@@ -6,6 +6,7 @@ use crate::ops::crossover::{inter_crossover, uniform_crossover, CrossoverKind};
 use crate::ops::mutation::{apply_mutation, MutationKind};
 use crate::population::NormalizerSnapshot;
 use crate::sched::EvalBackendError;
+use ld_observe::span::names as span_names;
 use rand::prelude::*;
 use std::ops::Range;
 
@@ -65,6 +66,9 @@ impl<E: Evaluator> GaRun<'_, E> {
         let n_sizes = self.cfg.max_size - self.cfg.min_size + 1;
         let mut children: Vec<Haplotype> = Vec::new();
         let mut matings: Vec<MatingRecord> = Vec::new();
+        // Master-side selection + operator work, distinct from the
+        // evaluation batch that follows inside the same crossover phase.
+        let selection_span = self.service.observer().span(span_names::SELECTION);
         for _ in 0..self.cfg.matings_per_generation {
             if !self.crossover_rates.fires(&mut self.rng) {
                 // No crossover: a selected parent passes through (it may
@@ -115,6 +119,7 @@ impl<E: Evaluator> GaRun<'_, E> {
                 }
             }
         }
+        drop(selection_span);
 
         // Evaluate the unevaluated children (one scheduler batch).
         self.total_evals += self.service.submit_phase(&mut children, "crossover")?;
@@ -143,6 +148,9 @@ impl<E: Evaluator> GaRun<'_, E> {
         let n_snps = self.service.n_snps();
         let mut candidates: Vec<Haplotype> = Vec::new();
         let mut mut_records: Vec<MutationRecord> = Vec::new();
+        // Master-side operator application, distinct from the candidate
+        // evaluation batch below.
+        let ops_span = self.service.observer().span(span_names::MUTATION_OPS);
         for (i, child) in children.iter().enumerate() {
             if !self.mutation_rates.fires(&mut self.rng) {
                 continue;
@@ -179,6 +187,7 @@ impl<E: Evaluator> GaRun<'_, E> {
                 candidates: start..candidates.len(),
             });
         }
+        drop(ops_span);
         self.total_evals += self.service.submit_phase(&mut candidates, "mutation")?;
 
         // "Keep the best individual found by this mutation": the best

@@ -2,6 +2,7 @@
 
 use crate::evaluator::Evaluator;
 use crate::sched::EvalBackendError;
+use ld_observe::span::names as span_names;
 use ld_observe::Event;
 use std::time::Instant;
 
@@ -36,20 +37,31 @@ impl<E: Evaluator> GaRun<'_, E> {
         self.service
             .observer()
             .emit_with(|| Event::GenerationStarted);
+        // Root of this generation's span tree; phase spans below nest
+        // under it via the thread-local stack. Guards are inert when the
+        // observer is disabled.
+        let gen_span = self.service.observer().span(span_names::GENERATION);
         let started = Instant::now();
         let norms = self.pop.normalizer_snapshot();
 
         // ------ Phase A: selection + crossover ------
+        let crossover_span = self.service.observer().span(span_names::CROSSOVER);
         let mut children = self.crossover_phase(&norms)?;
+        drop(crossover_span);
 
         // ------ Phase B: mutation ------
+        let mutation_span = self.service.observer().span(span_names::MUTATION);
         self.mutation_phase(&mut children, &norms)?;
+        drop(mutation_span);
 
         // ------ Replacement (§4.6) ------
+        let replacement_span = self.service.observer().span(span_names::REPLACEMENT);
         for child in children {
             self.pop.try_insert(child);
         }
+        drop(replacement_span);
 
+        let adaptation_span = self.service.observer().span(span_names::ADAPTATION);
         self.mutation_rates.end_generation();
         self.crossover_rates.end_generation();
         self.service.observer().emit_with(|| Event::RatesAdapted {
@@ -66,10 +78,12 @@ impl<E: Evaluator> GaRun<'_, E> {
             self.stagnation += 1;
             self.ri_counter += 1;
         }
+        drop(adaptation_span);
 
         // ------ Random immigrants (§4.4) ------
         let mut n_immigrants = 0usize;
         if self.cfg.scheme.random_immigrants && self.ri_counter >= self.cfg.ri_stagnation {
+            let immigrants_span = self.service.observer().span(span_names::IMMIGRANTS);
             n_immigrants = self.immigrant_phase()?;
             self.ri_counter = 0;
             self.service
@@ -77,6 +91,7 @@ impl<E: Evaluator> GaRun<'_, E> {
                 .emit_with(|| Event::ImmigrantEpisode {
                     replaced: n_immigrants,
                 });
+            drop(immigrants_span);
         }
 
         let best_per_size: Vec<f64> = self
@@ -93,6 +108,7 @@ impl<E: Evaluator> GaRun<'_, E> {
                 best_per_size: best_per_size.clone(),
                 wall_ms: gen_wall_ms,
             });
+        drop(gen_span);
         self.history.push(GenerationStats {
             generation: self.generation,
             evaluations: self.total_evals,

@@ -44,6 +44,7 @@
 use crate::evaluator::Evaluator;
 use crate::individual::Haplotype;
 use ld_data::SnpId;
+use ld_observe::span::names as span_names;
 use ld_observe::{Counter, Event, Histogram, Observer, LATENCY_MS_BUCKETS};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -617,7 +618,14 @@ impl<B: EvalBackend> EvalService<B> {
             return Ok(0);
         }
 
+        // Open the observation span for this batch before any stage runs,
+        // so events raised inside dispatch (retries, retirements) inherit
+        // the batch id and the timed `batch` span covers coalesce → apply.
+        self.observer.begin_batch();
+        let batch_span = self.observer.span(span_names::BATCH);
+
         // Coalesce: group duplicate SNP sets, preserving first-seen order.
+        let coalesce_span = self.observer.span(span_names::COALESCE);
         let mut groups: Vec<(Vec<SnpId>, Vec<usize>)> = Vec::new();
         let mut by_key: HashMap<Vec<SnpId>, usize> = HashMap::new();
         for &i in &pending {
@@ -631,8 +639,10 @@ impl<B: EvalBackend> EvalService<B> {
         }
         let scheduled = groups.len() as u64;
         let coalesced = pending.len() as u64 - scheduled;
+        drop(coalesce_span);
 
         // Cache probe.
+        let cache_span = self.observer.span(span_names::CACHE);
         let mut cache_hits = 0u64;
         let mut misses: Vec<usize> = Vec::with_capacity(groups.len());
         for (g, (key, members)) in groups.iter().enumerate() {
@@ -646,11 +656,8 @@ impl<B: EvalBackend> EvalService<B> {
                 None => misses.push(g),
             }
         }
+        drop(cache_span);
 
-        // Open the observation span for this batch before anything can
-        // reach the backend, so events raised inside dispatch (retries,
-        // retirements) inherit the batch id.
-        self.observer.begin_batch();
         self.observer.emit_with(|| Event::BatchDispatched {
             phase: phase.to_string(),
             requested: pending.len() as u64,
@@ -672,6 +679,11 @@ impl<B: EvalBackend> EvalService<B> {
                 .map(|&g| Haplotype::from_sorted(groups[g].0.clone()))
                 .collect();
             depth = (jobs.len() + self.backend.queue_depth()) as u64;
+            // Publish the dispatch span so backend worker threads (whose
+            // thread-local span stacks are empty) can parent their
+            // per-request spans under it.
+            let dispatch_span = self.observer.span(span_names::DISPATCH);
+            self.observer.begin_dispatch_span(dispatch_span.id());
             let started = Instant::now();
             if let Err(primary_err) = self.backend.dispatch(&mut jobs) {
                 match &self.fallback {
@@ -705,8 +717,11 @@ impl<B: EvalBackend> EvalService<B> {
                 }
             }
             dispatch_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.observer.end_dispatch_span();
+            drop(dispatch_span);
             true_evals = jobs.iter().filter(|h| h.is_evaluated()).count() as u64;
             if dispatch_err.is_none() {
+                let apply_span = self.observer.span(span_names::APPLY);
                 for (&g, job) in misses.iter().zip(&jobs) {
                     let f = job.fitness();
                     if let Some(cache) = &self.cache {
@@ -716,6 +731,7 @@ impl<B: EvalBackend> EvalService<B> {
                         batch[i].set_fitness(f);
                     }
                 }
+                drop(apply_span);
             }
         }
 
@@ -756,6 +772,9 @@ impl<B: EvalBackend> EvalService<B> {
             dispatch_ms: dispatch_ns as f64 / 1e6,
             failed: dispatch_err.is_some(),
         });
+        // Close the batch span while its batch id is still current, so
+        // the SpanClosed event carries the id it describes.
+        drop(batch_span);
         self.observer.end_batch();
         match dispatch_err {
             Some(err) => Err(err),

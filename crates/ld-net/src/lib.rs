@@ -9,7 +9,10 @@
 //!
 //! * [`protocol`] — a small length-prefixed binary wire format
 //!   (`bytes`-based): `Hello` handshake, `EvalRequest { id, snps }`,
-//!   `EvalResponse { id, fitness }`, `Shutdown`.
+//!   `EvalResponse { id, fitness }`, `Shutdown`; protocol v2 adds
+//!   `EvalResult` — a reply carrying the slave's own compute time —
+//!   negotiated through the existing `Hello` exchange so v1 peers keep
+//!   working in both directions (see the [`protocol`] docs).
 //! * [`slave`] — the slave daemon: owns the objective (= "accesses the
 //!   data once"), accepts master connections, and answers evaluation
 //!   requests; one thread per connection.

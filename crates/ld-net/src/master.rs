@@ -21,9 +21,12 @@
 //! recovery events are counted and drained through
 //! [`EvalBackend::take_fault_events`].
 
-use crate::protocol::{read_message, write_message, Message, ProtoError, PROTOCOL_VERSION};
+use crate::protocol::{
+    read_message, write_message, Message, ProtoError, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
 use ld_core::{EvalBackend, EvalBackendError, Evaluator, FaultEvents, Haplotype};
 use ld_data::SnpId;
+use ld_observe::span::names as span_names;
 use ld_observe::{Counter, Event, Gauge, Histogram, Observer, SlaveHealth, LATENCY_MS_BUCKETS};
 use std::io::BufWriter;
 use std::net::TcpStream;
@@ -64,6 +67,17 @@ impl Default for PoolConfig {
 struct ConnIo {
     reader: TcpStream,
     writer: BufWriter<TcpStream>,
+    /// Protocol version the slave greeted with; v≥2 peers answer with
+    /// `EvalResult` (timing attached) instead of `EvalResponse`.
+    peer_version: u32,
+}
+
+/// Timing a v2 slave attached to its reply; `None` for v1 peers (the
+/// field is *absent*, never zero-as-data).
+#[derive(Debug, Clone, Copy)]
+struct SlaveCompute {
+    compute_us: u32,
+    scratch_warm: bool,
 }
 
 /// Connection state of one slave: live (`io` present) or retired (`io`
@@ -83,6 +97,10 @@ struct SlaveSlot {
     served: AtomicU64,
     /// Total round-trip time of served requests, in nanoseconds.
     rtt_ns: AtomicU64,
+    /// Total slave-reported compute time (v2 peers only), microseconds.
+    compute_us: AtomicU64,
+    /// Requests that carried a compute-time report (v2 peers only).
+    compute_samples: AtomicU64,
     /// Most recent request or reconnect failure, for the health table.
     /// Lock order: `link` before `last_error` (never the reverse).
     last_error: Mutex<Option<String>>,
@@ -101,6 +119,8 @@ impl SlaveSlot {
             }),
             served: AtomicU64::new(0),
             rtt_ns: AtomicU64::new(0),
+            compute_us: AtomicU64::new(0),
+            compute_samples: AtomicU64::new(0),
             last_error: Mutex::new(None),
             metrics: OnceLock::new(),
         }
@@ -110,14 +130,28 @@ impl SlaveSlot {
         *self.last_error.lock().unwrap() = Some(err.to_string());
     }
 
-    /// Record one successfully served request and its round-trip time.
-    fn note_served(&self, rtt: Duration) {
+    /// Record one successfully served request: its round-trip time and,
+    /// for v2 slaves, the slave's own compute time.
+    fn note_served(&self, rtt: Duration, compute: Option<SlaveCompute>) {
         self.served.fetch_add(1, Ordering::Relaxed);
         self.rtt_ns
             .fetch_add(rtt.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(c) = compute {
+            self.compute_us
+                .fetch_add(u64::from(c.compute_us), Ordering::Relaxed);
+            self.compute_samples.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(m) = self.metrics.get() {
             m.served.inc();
             m.rtt_ms.observe(rtt.as_secs_f64() * 1e3);
+            if let Some(c) = compute {
+                m.compute_ms.observe(f64::from(c.compute_us) / 1e3);
+                if !c.scratch_warm {
+                    // First evaluation on a fresh connection: scratch
+                    // allocation is on this request's critical path.
+                    m.cold_evals.inc();
+                }
+            }
         }
     }
 }
@@ -126,6 +160,8 @@ impl SlaveSlot {
 struct SlotMetrics {
     served: Counter,
     rtt_ms: Histogram,
+    compute_ms: Histogram,
+    cold_evals: Counter,
 }
 
 #[derive(Default)]
@@ -223,22 +259,26 @@ impl TcpSlavePool {
     }
 
     /// Open one connection and perform the `Hello` handshake (also applies
-    /// the per-request read deadline to the socket).
+    /// the per-request read deadline to the socket). Peers announcing any
+    /// version in `MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION` are accepted;
+    /// a v≥2 slave additionally receives our own `Hello` so it upgrades
+    /// to timed `EvalResult` replies (a v1 slave is never sent a frame it
+    /// wouldn't understand).
     fn connect_io(addr: &str, cfg: &PoolConfig) -> Result<(ConnIo, u32), ProtoError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(cfg.request_timeout))?;
         let mut reader = stream.try_clone()?;
-        let writer = BufWriter::new(stream);
-        let n_snps = match read_message(&mut reader)? {
+        let mut writer = BufWriter::new(stream);
+        let (peer_version, n_snps) = match read_message(&mut reader)? {
             Message::Hello { version, n_snps } => {
-                if version != PROTOCOL_VERSION {
+                if !(MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&version) {
                     return Err(ProtoError::VersionMismatch {
                         ours: PROTOCOL_VERSION,
                         theirs: version,
                     });
                 }
-                n_snps
+                (version, n_snps)
             }
             other => {
                 return Err(ProtoError::Malformed(format!(
@@ -246,7 +286,23 @@ impl TcpSlavePool {
                 )))
             }
         };
-        Ok((ConnIo { reader, writer }, n_snps))
+        if peer_version >= 2 {
+            write_message(
+                &mut writer,
+                &Message::Hello {
+                    version: PROTOCOL_VERSION,
+                    n_snps: 0, // the master serves no panel; width is the slave's to announce
+                },
+            )?;
+        }
+        Ok((
+            ConnIo {
+                reader,
+                writer,
+                peer_version,
+            },
+            n_snps,
+        ))
     }
 
     /// Number of slaves currently live (connected).
@@ -299,6 +355,17 @@ impl TcpSlavePool {
                         LATENCY_MS_BUCKETS,
                         &labels,
                     ),
+                    compute_ms: reg.histogram_with(
+                        "ld_net_slave_compute_ms",
+                        "Slave-reported compute time per request (ms, v2 slaves only)",
+                        LATENCY_MS_BUCKETS,
+                        &labels,
+                    ),
+                    cold_evals: reg.counter_with(
+                        "ld_net_slave_cold_evals_total",
+                        "Requests served on a cold (first-use) scratch workspace",
+                        &labels,
+                    ),
                 });
             }
         }
@@ -330,6 +397,7 @@ impl TcpSlavePool {
             .map(|s| {
                 let served = s.served.load(Ordering::Relaxed);
                 let rtt_ns = s.rtt_ns.load(Ordering::Relaxed);
+                let compute_samples = s.compute_samples.load(Ordering::Relaxed);
                 SlaveHealth {
                     addr: s.addr.clone(),
                     served,
@@ -337,6 +405,17 @@ impl TcpSlavePool {
                         0.0
                     } else {
                         rtt_ns as f64 / served as f64 / 1e6
+                    },
+                    // Absent (not zero) when the slave never reported
+                    // compute time — i.e. it speaks protocol v1.
+                    mean_compute_ms: if compute_samples == 0 {
+                        None
+                    } else {
+                        Some(
+                            s.compute_us.load(Ordering::Relaxed) as f64
+                                / compute_samples as f64
+                                / 1e3,
+                        )
                     },
                     retired: s.link.lock().unwrap().io.is_none(),
                     last_error: s.last_error.lock().unwrap().clone(),
@@ -399,8 +478,17 @@ impl TcpSlavePool {
     }
 
     /// Send one request on an open connection and wait for its response
-    /// (bounded by the socket's read deadline).
-    fn request_once(io: &mut ConnIo, id: u64, snps: &[SnpId]) -> Result<f64, ProtoError> {
+    /// (bounded by the socket's read deadline). The send and the
+    /// response wait are timed as `net.send` / `net.roundtrip` spans
+    /// (nested under the caller's `request` span via the thread-local
+    /// stack; inert when the observer is disabled).
+    fn request_once(
+        io: &mut ConnIo,
+        id: u64,
+        snps: &[SnpId],
+        obs: &Observer,
+    ) -> Result<(f64, Option<SlaveCompute>), ProtoError> {
+        let send_span = obs.span(span_names::NET_SEND);
         write_message(
             &mut io.writer,
             &Message::EvalRequest {
@@ -408,10 +496,33 @@ impl TcpSlavePool {
                 snps: snps.to_vec(),
             },
         )?;
+        drop(send_span);
+        let _roundtrip_span = obs.span(span_names::NET_ROUNDTRIP);
         loop {
             match read_message(&mut io.reader)? {
-                Message::EvalResponse { id: rid, fitness } if rid == id => return Ok(fitness),
-                Message::EvalResponse { .. } => {
+                Message::EvalResponse { id: rid, fitness } if rid == id => {
+                    return Ok((fitness, None))
+                }
+                Message::EvalResult {
+                    id: rid,
+                    fitness,
+                    compute_us,
+                    scratch_warm,
+                } if rid == id => {
+                    if io.peer_version < 2 {
+                        return Err(ProtoError::Malformed(
+                            "EvalResult from a v1 slave".to_string(),
+                        ));
+                    }
+                    return Ok((
+                        fitness,
+                        Some(SlaveCompute {
+                            compute_us,
+                            scratch_warm,
+                        }),
+                    ));
+                }
+                Message::EvalResponse { .. } | Message::EvalResult { .. } => {
                     // A stale response from an earlier, abandoned request;
                     // skip it and keep waiting for ours.
                     continue;
@@ -428,16 +539,25 @@ impl TcpSlavePool {
     /// Evaluate `snps` on `slot`, reconnecting and retrying (with linear
     /// backoff) on failure. `None` means the slot must be retired.
     fn request_with_retry(&self, slot: &SlaveSlot, snps: &[SnpId]) -> Option<f64> {
+        let obs = self.obs();
         for attempt in 0..=self.cfg.max_retries {
             if attempt > 0 {
                 self.faults.retries.fetch_add(1, Ordering::Relaxed);
-                self.obs().emit_with(|| Event::RequestRetried {
+                obs.emit_with(|| Event::RequestRetried {
                     slave: slot.addr.clone(),
                     attempt,
                 });
+                // Backoff is pure overhead; attribute it separately from
+                // the request itself.
+                let retry_span = obs.span_under(span_names::NET_RETRY, obs.dispatch_span());
                 std::thread::sleep(self.cfg.retry_backoff.saturating_mul(attempt));
+                drop(retry_span);
             }
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            // One attempt = connect (if severed) + send + wait. Parented
+            // under the scheduler's published dispatch span because pool
+            // workers run on their own threads.
+            let request_span = obs.span_under(span_names::REQUEST, obs.dispatch_span());
             let mut link = slot.link.lock().unwrap();
             if link.io.is_none() {
                 match Self::connect_io(&slot.addr, &self.cfg) {
@@ -451,10 +571,20 @@ impl TcpSlavePool {
             }
             let io = link.io.as_mut().expect("connection ensured above");
             let started = Instant::now();
-            match Self::request_once(io, id, snps) {
-                Ok(f) => {
-                    slot.note_served(started.elapsed());
-                    return Some(f);
+            match Self::request_once(io, id, snps, &obs) {
+                Ok((fitness, compute)) => {
+                    slot.note_served(started.elapsed(), compute);
+                    if let Some(c) = compute {
+                        // The slave's own clock: a synthetic span nested
+                        // under this request, so attribution can carve
+                        // compute out of the round-trip.
+                        obs.record_span(
+                            span_names::COMPUTE,
+                            request_span.id(),
+                            Duration::from_micros(u64::from(c.compute_us)),
+                        );
+                    }
+                    return Some(fitness);
                 }
                 Err(e) => {
                     // A half-read stream cannot be reused: sever it so the
@@ -563,6 +693,7 @@ impl EvalBackend for TcpSlavePool {
                 scope.spawn(move || loop {
                     // Claim a job, or sleep until one is requeued / the
                     // batch completes.
+                    let claim_started = Instant::now();
                     let (index, snps) = {
                         let mut st = monitor.lock().unwrap();
                         loop {
@@ -575,6 +706,15 @@ impl EvalBackend for TcpSlavePool {
                             st = work_cv.wait(st).unwrap();
                         }
                     };
+                    // Time this worker spent waiting for work (lock +
+                    // condvar); recorded only for a claimed job, so the
+                    // final batch-done wakeup never counts.
+                    let obs = self.obs();
+                    obs.record_span(
+                        span_names::QUEUE,
+                        obs.dispatch_span(),
+                        claim_started.elapsed(),
+                    );
                     match self.request_with_retry(slot, &snps) {
                         Some(fitness) => {
                             let mut st = monitor.lock().unwrap();

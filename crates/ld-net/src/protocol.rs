@@ -12,17 +12,39 @@
 //! | 1 | `EvalRequest` | u64 id, u32 k, k × u32 snp ids |
 //! | 2 | `EvalResponse` | u64 id, f64 fitness (bits) |
 //! | 3 | `Shutdown` | — |
+//! | 4 | `EvalResult` | u64 id, f64 fitness (bits), u32 compute µs, u8 scratch warm (v2) |
 //!
 //! The `Hello` is sent by the slave on accept; the master checks the
 //! version and panel width before dealing work. Payloads are bounded
 //! ([`MAX_PAYLOAD`]) so a corrupt peer cannot trigger huge allocations.
+//!
+//! # Version negotiation
+//!
+//! Version 2 adds the `EvalResult` reply frame, which carries the
+//! slave's own compute time so the master can attribute latency to
+//! network vs. compute. Negotiation stays compatible with v1 peers in
+//! both directions:
+//!
+//! * the slave still greets first with `Hello { version, .. }`;
+//! * a v2 **master** answers a v≥2 slave with its own `Hello` (a v1
+//!   slave never sees an unexpected frame);
+//! * a v2 **slave** keeps answering with plain `EvalResponse` until it
+//!   has seen a master `Hello` announcing version ≥ 2, after which it
+//!   switches to `EvalResult`.
+//!
+//! So timing fields exist exactly when both ends are v2, and are
+//! *absent* (not zero) otherwise.
 
 use bytes::{Buf, BufMut, BytesMut};
 use ld_data::SnpId;
 use std::io::{self, Read, Write};
 
 /// Protocol version; bumped on any frame-format change.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest peer version the master still accepts (v1 slaves reply with
+/// `EvalResponse` and simply never report compute time).
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// Upper bound on a frame payload (a request for a 10k-SNP haplotype is
 /// far beyond anything real; reject earlier).
@@ -54,6 +76,20 @@ pub enum Message {
     },
     /// Either side: orderly termination.
     Shutdown,
+    /// Slave → master (v2): the fitness of request `id` plus the
+    /// slave's own timing. Only sent once the slave has seen a master
+    /// `Hello` with version ≥ 2.
+    EvalResult {
+        /// Correlation id echoed back.
+        id: u64,
+        /// Fitness value.
+        fitness: f64,
+        /// Wall-clock microseconds the slave spent evaluating.
+        compute_us: u32,
+        /// Whether the connection's scratch workspace was already warm
+        /// (this was not the connection's first evaluation).
+        scratch_warm: bool,
+    },
 }
 
 /// Protocol-level errors.
@@ -99,6 +135,7 @@ impl Message {
             Message::EvalRequest { .. } => 1,
             Message::EvalResponse { .. } => 2,
             Message::Shutdown => 3,
+            Message::EvalResult { .. } => 4,
         }
     }
 
@@ -122,6 +159,17 @@ impl Message {
                 payload.put_u64_le(fitness.to_bits());
             }
             Message::Shutdown => {}
+            Message::EvalResult {
+                id,
+                fitness,
+                compute_us,
+                scratch_warm,
+            } => {
+                payload.put_u64_le(*id);
+                payload.put_u64_le(fitness.to_bits());
+                payload.put_u32_le(*compute_us);
+                payload.put_u8(u8::from(*scratch_warm));
+            }
         }
         let mut frame = BytesMut::with_capacity(5 + payload.len());
         frame.put_u32_le(payload.len() as u32 + 1);
@@ -166,6 +214,15 @@ impl Message {
                 }
             }
             3 => Message::Shutdown,
+            4 => {
+                need(&payload, 21, "EvalResult")?;
+                Message::EvalResult {
+                    id: payload.get_u64_le(),
+                    fitness: f64::from_bits(payload.get_u64_le()),
+                    compute_us: payload.get_u32_le(),
+                    scratch_warm: payload.get_u8() != 0,
+                }
+            }
             other => return Err(ProtoError::Malformed(format!("unknown tag {other}"))),
         };
         if payload.has_remaining() {
@@ -236,6 +293,42 @@ mod tests {
         // (NaN fitness is covered by `nan_fitness_survives_bit_encoding`;
         // it cannot go through `assert_eq!` since NaN != NaN.)
         roundtrip(Message::Shutdown);
+        roundtrip(Message::EvalResult {
+            id: 42,
+            fitness: 123.456,
+            compute_us: 1_500,
+            scratch_warm: true,
+        });
+        roundtrip(Message::EvalResult {
+            id: 0,
+            fitness: 0.0,
+            compute_us: 0,
+            scratch_warm: false,
+        });
+    }
+
+    #[test]
+    fn eval_result_payload_is_21_bytes() {
+        let frame = Message::EvalResult {
+            id: 1,
+            fitness: 1.0,
+            compute_us: 1,
+            scratch_warm: true,
+        }
+        .encode();
+        // 4-byte length prefix + 1-byte tag + 21-byte payload.
+        assert_eq!(frame.len(), 4 + 1 + 21);
+
+        // A truncated EvalResult is rejected.
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(1 + 20);
+        bad.put_u8(4);
+        bad.extend_from_slice(&frame[5..25]);
+        let mut cursor = std::io::Cursor::new(bad.to_vec());
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -187,8 +187,10 @@ fn serve_connection<E: Evaluator>(
             n_snps: objective.n_snps() as u32,
         },
     )?;
-    #[cfg(feature = "fault-inject")]
     let mut conn_served: u64 = 0;
+    // Until the master announces v2 with its own Hello, answer with the
+    // v1 `EvalResponse` frame — a v1 master never learns about timing.
+    let mut peer_v2 = false;
     // One warmed evaluation workspace per connection, reused across every
     // request this master sends.
     let mut scratch = ld_core::EvalScratch::new();
@@ -197,6 +199,12 @@ fn serve_connection<E: Evaluator>(
             return Ok(()); // server stopped: close before the next request
         }
         match read_message(&mut reader)? {
+            Message::Hello { version, .. } => {
+                // v2 masters identify themselves after reading our
+                // greeting; switch reply format for the rest of the
+                // connection.
+                peer_v2 = version >= 2;
+            }
             Message::EvalRequest { id, snps } => {
                 #[cfg(feature = "fault-inject")]
                 if let Some(plan) = plan {
@@ -209,23 +217,37 @@ fn serve_connection<E: Evaluator>(
                         std::thread::sleep(delay);
                     }
                 }
+                // The scratch is warm iff this connection already served
+                // at least one evaluation.
+                let scratch_warm = conn_served > 0;
+                let compute_start = std::time::Instant::now();
                 let fitness = objective.evaluate_one_with(&mut scratch, &snps);
+                let compute_us =
+                    u32::try_from(compute_start.elapsed().as_micros()).unwrap_or(u32::MAX);
                 let _total_served = served.fetch_add(1, Ordering::Relaxed) + 1;
+                conn_served += 1;
                 #[cfg(feature = "fault-inject")]
-                {
-                    conn_served += 1;
-                    if let Some(plan) = plan {
-                        if let Some(kill) = plan.kill_server_after {
-                            if _total_served >= kill {
-                                // Scripted death: take the whole server
-                                // down mid-request, response unsent.
-                                stop.store(true, Ordering::Relaxed);
-                                return Ok(());
-                            }
+                if let Some(plan) = plan {
+                    if let Some(kill) = plan.kill_server_after {
+                        if _total_served >= kill {
+                            // Scripted death: take the whole server
+                            // down mid-request, response unsent.
+                            stop.store(true, Ordering::Relaxed);
+                            return Ok(());
                         }
                     }
                 }
-                write_message(&mut writer, &Message::EvalResponse { id, fitness })?;
+                let reply = if peer_v2 {
+                    Message::EvalResult {
+                        id,
+                        fitness,
+                        compute_us,
+                        scratch_warm,
+                    }
+                } else {
+                    Message::EvalResponse { id, fitness }
+                };
+                write_message(&mut writer, &reply)?;
             }
             Message::Shutdown => return Ok(()),
             other => {
@@ -275,6 +297,47 @@ mod tests {
             }
         }
         assert_eq!(server.served(), 2);
+        write_message(&mut writer, &Message::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn slave_upgrades_to_eval_result_after_master_hello() {
+        let server = SlaveServer::spawn("127.0.0.1:0", toy()).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = stream.try_clone().unwrap();
+        let mut writer = stream;
+        let _ = read_message(&mut reader).unwrap(); // slave Hello
+        write_message(
+            &mut writer,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+                n_snps: 0,
+            },
+        )
+        .unwrap();
+        for (i, expect_warm) in [(0u64, false), (1, true)] {
+            write_message(
+                &mut writer,
+                &Message::EvalRequest {
+                    id: i,
+                    snps: vec![1, 2],
+                },
+            )
+            .unwrap();
+            match read_message(&mut reader).unwrap() {
+                Message::EvalResult {
+                    id,
+                    fitness,
+                    scratch_warm,
+                    ..
+                } => {
+                    assert_eq!(id, i);
+                    assert_eq!(fitness, 3.0);
+                    assert_eq!(scratch_warm, expect_warm, "request {i}");
+                }
+                other => panic!("expected EvalResult, got {other:?}"),
+            }
+        }
         write_message(&mut writer, &Message::Shutdown).unwrap();
     }
 

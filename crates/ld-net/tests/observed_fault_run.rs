@@ -15,7 +15,8 @@ use ld_core::{telemetry, EvalBackend, GaConfig, GaEngine};
 use ld_data::SnpId;
 use ld_net::{FaultPlan, LocalCluster, PoolConfig};
 use ld_observe::{
-    Envelope, Event, FanoutSink, JsonlSink, Observer, Registry, RingSink, RunReport, Sink,
+    Envelope, Event, ExposeServer, FanoutSink, JsonlSink, Observer, Registry, RingSink, RunReport,
+    Sink, TraceSummary,
 };
 use ld_parallel::RayonEvaluator;
 use std::collections::HashMap;
@@ -229,5 +230,235 @@ fn fault_events_carry_engine_spans_and_reconcile_with_the_run_report() {
     assert!(
         report_text.contains(&format!("\"fault_events\":{in_run_faults}")),
         "report's telemetry section must carry the reconciled fault count"
+    );
+}
+
+/// Minimal HTTP GET against the exposition endpoint (no client dep).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect scrape endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// The latency-attribution acceptance test: a faulted, fully observed run
+/// must yield a span stream whose per-generation attributed hop times
+/// (queue + network + compute + retry + master) sum to within 10% of the
+/// generation's evaluation share — and the live scrape endpoint must
+/// serve `/metrics`, `/health`, and `/spans` while that run is in flight.
+#[test]
+fn latency_attribution_sums_to_the_eval_share_under_faults() {
+    let scenario = std::env::var("LD_FAULT_PLAN").unwrap_or_else(|_| "kill-one".to_string());
+    let plans = FaultPlan::matrix(&scenario, 3, 42)
+        .unwrap_or_else(|| panic!("unknown scenario {scenario:?}"));
+    let cluster = LocalCluster::spawn_faulty(3, toy, &plans, fast_cfg()).unwrap();
+
+    let dir = artifact_dir();
+    let events_path = dir.join(format!("events-latency-{scenario}.jsonl"));
+    let sink = Arc::new(JsonlSink::create(&events_path).unwrap());
+    let observer = Observer::new(format!("latency-{scenario}-42"), sink, Registry::new());
+
+    // Live endpoint for the whole run: `LD_OBSERVE_HTTP` (CI) pins the
+    // address so an external curl loop can scrape; otherwise ephemeral.
+    let bind_addr = std::env::var("LD_OBSERVE_HTTP").unwrap_or_else(|_| "127.0.0.1:0".to_string());
+    let server = ExposeServer::bind(&bind_addr, observer.clone()).expect("bind scrape endpoint");
+
+    let pool = cluster.pool();
+    pool.set_observer(observer.clone());
+    let fallback: Arc<dyn EvalBackend> = Arc::new(RayonEvaluator::new(toy()));
+    let result = GaEngine::new(pool, ga_cfg(), 11)
+        .unwrap()
+        .with_observer(observer.clone())
+        .with_fallback_backend(fallback)
+        .try_run()
+        .unwrap_or_else(|e| panic!("{scenario}: {e}"));
+    observer.flush();
+    assert!(result.generations > 0);
+
+    // ---- The endpoint serves all three views of the run just traced. ----
+    let health = http_get(server.addr(), "/health");
+    assert!(
+        health.contains("200 OK") && health.contains("\"status\":\"ok\""),
+        "{health}"
+    );
+    let metrics = http_get(server.addr(), "/metrics");
+    assert!(metrics.contains("ld_net_slave_served_total"), "{metrics}");
+    let spans = http_get(server.addr(), "/spans");
+    assert!(spans.contains("\"spans\":["), "{spans}");
+    // CI sets LD_OBSERVE_HTTP and curls from outside: linger briefly so
+    // the scrape window outlives the (fast) GA run.
+    if std::env::var("LD_OBSERVE_HTTP").is_ok() {
+        std::thread::sleep(Duration::from_millis(1500));
+    }
+    drop(server);
+
+    // ---- Attribution: parse the stream back, check the invariant. ----
+    let text = std::fs::read_to_string(&events_path).unwrap();
+    let summary = TraceSummary::from_jsonl(&text);
+    assert!(
+        !summary.generations.is_empty(),
+        "an observed run must record spans"
+    );
+    // Sub-50µs generations are clock-resolution noise; everything real
+    // must satisfy the 10% attribution bound.
+    let mut checked = 0;
+    for g in &summary.generations {
+        assert!(
+            g.eval_ms <= g.wall_ms + 1e-6,
+            "gen {}: eval share {} exceeds generation wall {}",
+            g.generation,
+            g.eval_ms,
+            g.wall_ms
+        );
+        if g.eval_ms < 0.05 {
+            continue;
+        }
+        let rel = (g.hop_sum_ms() - g.eval_ms).abs() / g.eval_ms;
+        assert!(
+            rel <= 0.10,
+            "gen {}: attributed hops {:.3} ms vs eval share {:.3} ms ({:.1}% off)",
+            g.generation,
+            g.hop_sum_ms(),
+            g.eval_ms,
+            100.0 * rel
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no generation above the noise floor");
+    // v2 slaves self-report compute, so the run-wide compute share is
+    // real measured time, not a residual.
+    let totals = summary.totals();
+    assert!(totals.batches > 0);
+    assert!(
+        totals.compute_ms > 0.0,
+        "v2 slaves must contribute compute time to the attribution"
+    );
+
+    // ---- Artifacts for the CI fault matrix (and humans). ----
+    std::fs::write(
+        dir.join(format!("trace-summary-{scenario}.txt")),
+        summary.render(),
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join(format!("trace-summary-{scenario}.json")),
+        summary.to_json(),
+    )
+    .unwrap();
+}
+
+/// Columns of the history TSV that measure wall time or fault-recovery
+/// timing — real nondeterminism that exists with or without an observer.
+/// Everything else (fitness trajectories, operator rates, batch/cache
+/// accounting) must be byte-identical between observed and unobserved
+/// runs.
+const TIMING_COLUMNS: &[&str] = &[
+    "sched_dispatch_ms",
+    "sched_queue_depth",
+    "sched_retries",
+    "sched_retired",
+    "sched_rejoins",
+    "sched_requeued",
+    "sched_fallbacks",
+    "gen_wall_ms",
+];
+
+/// Blank out the timing columns of a history TSV, keeping everything else.
+fn mask_timing_columns(tsv: &str) -> String {
+    let mut lines = tsv.lines();
+    let header = lines.next().expect("TSV header");
+    let masked: Vec<usize> = header
+        .split('\t')
+        .enumerate()
+        .filter(|(_, name)| TIMING_COLUMNS.contains(name))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        masked.len(),
+        TIMING_COLUMNS.len(),
+        "history TSV header no longer carries all timing columns"
+    );
+    let mut out = String::from(header);
+    out.push('\n');
+    for line in lines {
+        let cells: Vec<&str> = line.split('\t').collect();
+        let row: Vec<&str> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| if masked.contains(&i) { "*" } else { *c })
+            .collect();
+        out.push_str(&row.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Observation must be a pure read: the same seeded run on the same fault
+/// plan takes the identical GA trajectory whether or not an observer (and
+/// its span instrumentation) is attached.
+#[test]
+fn ga_trajectory_is_bit_identical_with_observer_on_and_off() {
+    let scenario = std::env::var("LD_FAULT_PLAN").unwrap_or_else(|_| "kill-one".to_string());
+    let run_once = |observed: bool| {
+        let plans = FaultPlan::matrix(&scenario, 3, 42)
+            .unwrap_or_else(|| panic!("unknown scenario {scenario:?}"));
+        let cluster = LocalCluster::spawn_faulty(3, toy, &plans, fast_cfg()).unwrap();
+        let observer = if observed {
+            Observer::new(
+                "bit-identity",
+                Arc::new(RingSink::new(1 << 14)),
+                Registry::new(),
+            )
+        } else {
+            Observer::disabled()
+        };
+        let pool = cluster.pool();
+        pool.set_observer(observer.clone());
+        let fallback: Arc<dyn EvalBackend> = Arc::new(RayonEvaluator::new(toy()));
+        let result = GaEngine::new(pool, ga_cfg(), 11)
+            .unwrap()
+            .with_observer(observer)
+            .with_fallback_backend(fallback)
+            .try_run()
+            .unwrap_or_else(|e| panic!("{scenario}: {e}"));
+        let mut tsv = Vec::new();
+        telemetry::write_history_tsv(&result, &mut tsv).unwrap();
+        let champions: Vec<Option<(Vec<SnpId>, u64)>> = (2..=3)
+            .map(|k| {
+                result
+                    .best_of_size(k)
+                    .map(|h| (h.snps().to_vec(), h.fitness().to_bits()))
+            })
+            .collect();
+        (
+            result.generations,
+            result.total_evaluations,
+            champions,
+            String::from_utf8(tsv).unwrap(),
+        )
+    };
+
+    let (gens_on, evals_on, champs_on, tsv_on) = run_once(true);
+    let (gens_off, evals_off, champs_off, tsv_off) = run_once(false);
+
+    assert_eq!(gens_on, gens_off, "generation count diverged");
+    assert_eq!(evals_on, evals_off, "evaluation count diverged");
+    assert_eq!(
+        champs_on, champs_off,
+        "best haplotypes diverged between observed and unobserved runs"
+    );
+    assert_eq!(
+        mask_timing_columns(&tsv_on),
+        mask_timing_columns(&tsv_off),
+        "history TSV diverged outside the timing columns"
     );
 }

@@ -1,0 +1,151 @@
+//! Protocol v1 ↔ v2 interoperability.
+//!
+//! The v2 negotiation (see `protocol.rs`) must keep both mixed pairings
+//! working: a v2 master driving a v1 slave, and a v1 master driving a v2
+//! slave. In both mixed cases the batch completes over plain v1
+//! `EvalResponse` frames and the compute-time fields stay *absent* — not
+//! zero-as-data — on the master's health table.
+
+use ld_core::{EvalBackend, Haplotype};
+use ld_data::SnpId;
+use ld_net::protocol::{read_message, write_message, Message, PROTOCOL_VERSION};
+use ld_net::{SlaveServer, TcpSlavePool};
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn toy_fitness(snps: &[SnpId]) -> f64 {
+    snps.iter().map(|&s| s as f64).sum::<f64>() + 1.0
+}
+
+/// A hand-rolled protocol-v1 slave: greets `Hello { version: 1 }`,
+/// answers every `EvalRequest` with a plain `EvalResponse`, and treats
+/// any other inbound frame — in particular a master `Hello`, which a
+/// real v1 slave would reject as unexpected — as a protocol violation.
+fn spawn_v1_slave(n_snps: u32) -> (SocketAddr, Arc<AtomicBool>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let violated = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&violated);
+    std::thread::spawn(move || {
+        while let Ok((stream, _)) = listener.accept() {
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                let mut reader = stream.try_clone().unwrap();
+                let mut writer = BufWriter::new(stream);
+                write_message(&mut writer, &Message::Hello { version: 1, n_snps }).unwrap();
+                loop {
+                    match read_message(&mut reader) {
+                        Ok(Message::EvalRequest { id, snps }) => {
+                            let fitness = toy_fitness(&snps);
+                            write_message(&mut writer, &Message::EvalResponse { id, fitness })
+                                .unwrap();
+                        }
+                        Ok(Message::Shutdown) | Err(_) => return,
+                        Ok(_) => {
+                            // A v1 slave knows no other master frame.
+                            flag.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (addr, violated)
+}
+
+fn batch(n: usize) -> Vec<Haplotype> {
+    (0..n).map(|i| Haplotype::new(vec![i, i + 1])).collect()
+}
+
+#[test]
+fn v2_master_completes_a_batch_against_a_v1_slave() {
+    let (addr, violated) = spawn_v1_slave(30);
+    let pool = TcpSlavePool::connect(&[addr.to_string()]).unwrap();
+    let mut jobs = batch(8);
+    pool.dispatch(&mut jobs).unwrap();
+    for h in &jobs {
+        assert_eq!(h.fitness(), toy_fitness(h.snps()));
+    }
+    // The master must never have sent its Hello to the v1 peer.
+    assert!(
+        !violated.load(Ordering::Relaxed),
+        "master sent a v2-only frame to a v1 slave"
+    );
+    // Compute time is absent for a v1 peer, never zero-as-data.
+    let health = pool.health();
+    assert_eq!(health.len(), 1);
+    assert_eq!(health[0].served, 8);
+    assert_eq!(health[0].mean_compute_ms, None);
+}
+
+#[test]
+fn v1_master_completes_a_batch_against_a_v2_slave() {
+    let server = SlaveServer::spawn(
+        "127.0.0.1:0",
+        ld_core::evaluator::FnEvaluator::new(30, |s: &[SnpId]| toy_fitness(s)),
+    )
+    .unwrap();
+    // Hand-rolled v1 master: reads the greeting, never sends a Hello of
+    // its own, and expects plain EvalResponse frames back.
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = stream.try_clone().unwrap();
+    let mut writer = stream;
+    match read_message(&mut reader).unwrap() {
+        Message::Hello { version, n_snps } => {
+            assert_eq!(version, PROTOCOL_VERSION);
+            assert_eq!(n_snps, 30);
+        }
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    for id in 0..5u64 {
+        let snps = vec![id as SnpId, id as SnpId + 2];
+        write_message(
+            &mut writer,
+            &Message::EvalRequest {
+                id,
+                snps: snps.clone(),
+            },
+        )
+        .unwrap();
+        match read_message(&mut reader).unwrap() {
+            Message::EvalResponse { id: rid, fitness } => {
+                assert_eq!(rid, id);
+                assert_eq!(fitness, toy_fitness(&snps));
+            }
+            // In particular NOT an EvalResult: without a master Hello the
+            // slave must stay in v1 reply mode.
+            other => panic!("expected v1 EvalResponse, got {other:?}"),
+        }
+    }
+    write_message(&mut writer, &Message::Shutdown).unwrap();
+    assert_eq!(server.served(), 5);
+}
+
+#[test]
+fn v2_pairing_reports_compute_time_in_health() {
+    let server = SlaveServer::spawn(
+        "127.0.0.1:0",
+        ld_core::evaluator::FnEvaluator::new(30, |s: &[SnpId]| toy_fitness(s)),
+    )
+    .unwrap();
+    let pool = TcpSlavePool::connect(&[server.addr().to_string()]).unwrap();
+    let mut jobs = batch(6);
+    pool.dispatch(&mut jobs).unwrap();
+    for h in &jobs {
+        assert_eq!(h.fitness(), toy_fitness(h.snps()));
+    }
+    let health = pool.health();
+    assert_eq!(health[0].served, 6);
+    let mean = health[0]
+        .mean_compute_ms
+        .expect("v2 pairing must report compute time");
+    assert!(mean >= 0.0);
+    assert!(
+        mean <= health[0].mean_rtt_ms,
+        "slave compute ({mean} ms) cannot exceed the round-trip ({} ms)",
+        health[0].mean_rtt_ms
+    );
+}

@@ -122,6 +122,22 @@ pub enum Event {
         /// Address of the slave that failed the job.
         slave: String,
     },
+    /// A timed span closed (see `crate::span` for the taxonomy). The
+    /// envelope's `generation`/`batch_id` are the span's correlation ids;
+    /// `start_ns` offsets are relative to the observer's creation, so
+    /// spans from one run order and nest against each other.
+    SpanClosed {
+        /// Span taxonomy name (e.g. `"dispatch"`, `"net.roundtrip"`).
+        name: String,
+        /// Unique span id (monotonic per observer).
+        id: u64,
+        /// Parent span id; 0 for roots.
+        parent: u64,
+        /// Start offset from the observer's epoch, nanoseconds.
+        start_ns: u64,
+        /// Duration, nanoseconds.
+        duration_ns: u64,
+    },
     /// Anything a layer above wants to trace without a dedicated variant.
     Custom {
         /// Free-form event label.
@@ -164,6 +180,7 @@ impl Event {
             Event::SlaveRetired { .. } => "slave_retired",
             Event::SlaveRejoined { .. } => "slave_rejoined",
             Event::JobRequeued { .. } => "job_requeued",
+            Event::SpanClosed { .. } => "span_closed",
             Event::Custom { .. } => "custom",
         }
     }

@@ -1,0 +1,224 @@
+//! Live scrape endpoint: a minimal std-`TcpListener` HTTP/1.1 server.
+//!
+//! [`ExposeServer`] serves three read-only routes off an [`Observer`]:
+//!
+//! * `/metrics` — Prometheus text exposition of the registry;
+//! * `/health`  — a small JSON liveness document (run id, generation,
+//!   span count);
+//! * `/spans`   — the recent span forest as nested JSON (the in-memory
+//!   [`crate::span::SpanTree`] ring).
+//!
+//! Deliberately tiny: one accept thread, one connection at a time,
+//! `Connection: close` on every response — enough for `curl` and a
+//! Prometheus scraper, with no dependencies beyond std. Binding port 0
+//! picks an ephemeral port (see [`ExposeServer::addr`]).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::observer::Observer;
+
+/// A running exposition server; stops (and joins) on drop.
+pub struct ExposeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ExposeServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral) and
+    /// serve the observer's metrics, health, and spans until
+    /// [`ExposeServer::stop`] or drop. A disabled observer still serves
+    /// `/health` (and empty `/metrics` + `/spans`), so the endpoint's
+    /// presence never depends on tracing being on.
+    pub fn bind(addr: &str, observer: Observer) -> std::io::Result<ExposeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("ld-observe-http-{local}"))
+            .spawn(move || {
+                // Polling accept loop so `stop` is honored promptly.
+                listener
+                    .set_nonblocking(true)
+                    .expect("set nonblocking listener");
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            // Serve inline: responses are small and
+                            // generated in-memory, so one connection at a
+                            // time keeps the server trivial.
+                            let _ = serve_one(stream, &observer);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(ExposeServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to stop accepting. Idempotent.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for ExposeServer {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Read one request, route it, write one response, close.
+fn serve_one(mut stream: TcpStream, observer: &Observer) -> std::io::Result<()> {
+    // A stuck client must not wedge the accept loop.
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head (we ignore bodies).
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                observer
+                    .registry()
+                    .map(|r| r.prometheus())
+                    .unwrap_or_default(),
+            ),
+            "/health" => ("200 OK", "application/json", health_json(observer)),
+            "/spans" => ("200 OK", "application/json", observer.spans_json()),
+            _ => (
+                "404 Not Found",
+                "text/plain",
+                "routes: /metrics /health /spans\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[derive(serde::Serialize)]
+struct Health {
+    status: &'static str,
+    enabled: bool,
+    run_id: String,
+    generation: u64,
+    spans: usize,
+}
+
+fn health_json(observer: &Observer) -> String {
+    serde_json::to_string(&Health {
+        status: "ok",
+        enabled: observer.enabled(),
+        run_id: observer.run_id().unwrap_or("").to_string(),
+        generation: observer.generation(),
+        spans: observer.spans().map_or(0, |t| t.len()),
+    })
+    .unwrap_or_else(|_| "{\"status\":\"ok\"}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::sink::RingSink;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_and_spans() {
+        let registry = Registry::new();
+        registry.counter("up_total", "help").add(3);
+        let obs = Observer::new("run-http", Arc::new(RingSink::new(64)), registry);
+        {
+            let _g = obs.span("generation");
+        }
+        let server = ExposeServer::bind("127.0.0.1:0", obs).unwrap();
+
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("up_total 3"), "{body}");
+
+        let (head, body) = get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"run_id\":\"run-http\""), "{body}");
+        assert!(body.contains("\"spans\":1"), "{body}");
+
+        let (head, body) = get(server.addr(), "/spans");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.starts_with("{\"count\":1"), "{body}");
+        assert!(body.contains("\"name\":\"generation\""), "{body}");
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_disabled_observer_serves() {
+        let server = ExposeServer::bind("127.0.0.1:0", Observer::disabled()).unwrap();
+        let (head, _) = get(server.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let (head, body) = get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"enabled\":false"), "{body}");
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.is_empty(), "{body}");
+        server.stop();
+    }
+}

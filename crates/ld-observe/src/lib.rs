@@ -22,17 +22,32 @@
 //! * [`RunReport`] — one machine-readable JSON artifact per experiment:
 //!   config + seed + telemetry + metrics snapshot + per-slave health +
 //!   environment.
+//! * [`SpanGuard`] / [`SpanTree`] — hierarchical timed spans attributing
+//!   wall time across the evaluation path (engine phase → scheduler
+//!   stage → network hop → slave compute), no-ops when disabled.
+//! * [`ExposeServer`] — a std-only HTTP endpoint serving `/metrics`
+//!   (Prometheus text), `/health`, and `/spans` (recent span forest)
+//!   live during a run.
+//! * [`TraceSummary`] — per-generation critical-path attribution from a
+//!   run's JSONL span stream (the `trace-summary` bin's engine).
+//! * [`SizeTimingBank`] — the shared per-size evaluation timing fold
+//!   behind `ld-parallel`'s `TimingEvaluator`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod http;
 pub mod metrics;
 pub mod observer;
 pub mod report;
 pub mod sink;
+pub mod span;
+pub mod timing;
+pub mod trace;
 
 pub use event::{Envelope, Event, Phase};
+pub use http::ExposeServer;
 pub use metrics::{
     BucketCount, Counter, FamilySnapshot, FlushHandle, Gauge, Histogram, MetricsSnapshot, Registry,
     SeriesSnapshot, LATENCY_MS_BUCKETS,
@@ -40,3 +55,6 @@ pub use metrics::{
 pub use observer::Observer;
 pub use report::{Environment, RunReport, SlaveHealth};
 pub use sink::{FanoutSink, JsonlSink, RingSink, Sink, StderrSink};
+pub use span::{ClosedSpan, SpanGuard, SpanId, SpanTree};
+pub use timing::{SizeTiming, SizeTimingBank, MAX_TRACKED_SIZE};
+pub use trace::{GenerationBreakdown, TraceSummary};

@@ -18,11 +18,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::event::{Envelope, Event};
 use crate::metrics::Registry;
 use crate::sink::Sink;
+use crate::span::{self, ClosedSpan, SpanGuard, SpanId, SpanTree};
+
+/// Closed spans retained in memory for the `/spans` endpoint; older
+/// spans survive only in the JSONL event stream.
+const SPAN_RING_CAPACITY: usize = 8192;
 
 struct ObserverInner {
     sink: Arc<dyn Sink>,
@@ -31,6 +36,15 @@ struct ObserverInner {
     generation: AtomicU64,
     batch_seq: AtomicU64,
     current_batch: AtomicU64,
+    /// Zero point for span timestamps (`start_ns` offsets).
+    epoch: Instant,
+    span_seq: AtomicU64,
+    spans: SpanTree,
+    /// Span id of the backend dispatch currently on the scheduler's
+    /// stack (0 = none): pool worker threads parent their per-request
+    /// spans under it, since the thread-local stack doesn't cross
+    /// threads.
+    dispatch_span: AtomicU64,
 }
 
 /// Cheap-to-clone observability handle; see the module docs.
@@ -64,6 +78,10 @@ impl Observer {
                 generation: AtomicU64::new(0),
                 batch_seq: AtomicU64::new(0),
                 current_batch: AtomicU64::new(0),
+                epoch: Instant::now(),
+                span_seq: AtomicU64::new(0),
+                spans: SpanTree::new(SPAN_RING_CAPACITY),
+                dispatch_span: AtomicU64::new(0),
             })),
         }
     }
@@ -128,6 +146,137 @@ impl Observer {
     pub fn end_batch(&self) {
         if let Some(inner) = &self.inner {
             inner.current_batch.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Open a timed span named `name`, nested under the innermost span
+    /// open on *this thread* (or a root if none). Returns an inert guard
+    /// when disabled — no clock read, no thread-local touch.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard::noop(),
+            Some(inner) => {
+                let id = inner.span_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                SpanGuard::begin(self.clone(), name, id, span::current_parent())
+            }
+        }
+    }
+
+    /// Open a timed span under an explicit `parent` id — for work that
+    /// crosses threads, where the implicit thread-local nesting of
+    /// [`Observer::span`] can't see the caller's span. `parent` 0 makes
+    /// a root.
+    pub fn span_under(&self, name: &'static str, parent: SpanId) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard::noop(),
+            Some(inner) => {
+                let id = inner.span_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                SpanGuard::begin(self.clone(), name, id, parent)
+            }
+        }
+    }
+
+    /// Record an already-measured interval as a closed span ending now
+    /// (start = now − `duration`), under an explicit `parent`. This is
+    /// how externally timed work enters the tree: a v2 slave's
+    /// self-reported compute microseconds, a local backend's summed
+    /// per-job wall time, a worker's queue wait.
+    pub fn record_span(&self, name: &'static str, parent: SpanId, duration: Duration) {
+        if let Some(inner) = &self.inner {
+            let id = inner.span_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let end_ns = inner.epoch.elapsed().as_nanos() as u64;
+            let duration_ns = duration.as_nanos() as u64;
+            self.push_closed(
+                name,
+                id,
+                parent,
+                end_ns.saturating_sub(duration_ns),
+                duration_ns,
+            );
+        }
+    }
+
+    /// Close a guard-held span (called from [`SpanGuard::drop`]).
+    pub(crate) fn finish_span(
+        &self,
+        name: &'static str,
+        id: SpanId,
+        parent: SpanId,
+        started: Instant,
+        duration: Duration,
+    ) {
+        if let Some(inner) = &self.inner {
+            // Saturating: `started` is never before the observer's epoch.
+            let start_ns = started.duration_since(inner.epoch).as_nanos() as u64;
+            self.push_closed(name, id, parent, start_ns, duration.as_nanos() as u64);
+        }
+    }
+
+    fn push_closed(
+        &self,
+        name: &'static str,
+        id: SpanId,
+        parent: SpanId,
+        start_ns: u64,
+        duration_ns: u64,
+    ) {
+        let inner = self
+            .inner
+            .as_ref()
+            .expect("push_closed on disabled observer");
+        inner.spans.push(ClosedSpan {
+            id,
+            parent,
+            name,
+            generation: inner.generation.load(Ordering::Relaxed),
+            batch_id: inner.current_batch.load(Ordering::Relaxed),
+            start_ns,
+            duration_ns,
+        });
+        self.emit(Event::SpanClosed {
+            name: name.to_string(),
+            id,
+            parent,
+            start_ns,
+            duration_ns,
+        });
+    }
+
+    /// Publish the dispatch span pool workers should parent their
+    /// per-request spans under; the scheduler calls this around every
+    /// backend dispatch. Pass the guard's [`SpanGuard::id`].
+    pub fn begin_dispatch_span(&self, id: SpanId) {
+        if let Some(inner) = &self.inner {
+            inner.dispatch_span.store(id, Ordering::Relaxed);
+        }
+    }
+
+    /// Clear the published dispatch span (back to 0 = none).
+    pub fn end_dispatch_span(&self) {
+        if let Some(inner) = &self.inner {
+            inner.dispatch_span.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// The dispatch span currently published by the scheduler (0 when
+    /// none, or when disabled).
+    pub fn dispatch_span(&self) -> SpanId {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.dispatch_span.load(Ordering::Relaxed))
+    }
+
+    /// The in-memory ring of recently closed spans, when enabled.
+    pub fn spans(&self) -> Option<&SpanTree> {
+        self.inner.as_ref().map(|i| &i.spans)
+    }
+
+    /// The recent span forest as JSON (what `/spans` serves); an empty
+    /// forest when disabled.
+    pub fn spans_json(&self) -> String {
+        match self.spans() {
+            Some(tree) => tree.to_json(),
+            None => "{\"count\":0,\"spans\":[]}".to_string(),
         }
     }
 

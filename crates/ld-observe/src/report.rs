@@ -23,6 +23,11 @@ pub struct SlaveHealth {
     pub served: u64,
     /// Mean round-trip time over served requests, milliseconds.
     pub mean_rtt_ms: f64,
+    /// Mean slave-reported compute time, milliseconds. `None` when the
+    /// slave never reported timing (a protocol-v1 peer) — absent, not
+    /// zero-as-data.
+    #[serde(default)]
+    pub mean_compute_ms: Option<f64>,
     /// Whether the slave is currently retired from the pool.
     pub retired: bool,
     /// Most recent transport/protocol error observed, if any.
@@ -173,10 +178,18 @@ mod tests {
             addr: "127.0.0.1:7000".into(),
             served: 12,
             mean_rtt_ms: 1.5,
+            mean_compute_ms: Some(0.9),
             retired: false,
             last_error: Some("deadline".into()),
         };
         let back: SlaveHealth = serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
         assert_eq!(back, h);
+
+        // A v1-era report (no compute field) still parses: absent, not zero.
+        let legacy: SlaveHealth = serde_json::from_str(
+            "{\"addr\":\"s\",\"served\":1,\"mean_rtt_ms\":2.0,\"retired\":false}",
+        )
+        .unwrap();
+        assert_eq!(legacy.mean_compute_ms, None);
     }
 }

@@ -1,0 +1,367 @@
+//! Hierarchical timed spans: where each millisecond of a generation goes.
+//!
+//! A *span* is a named, timed interval with a parent link — together they
+//! form a tree per generation: `generation` → phase spans (`crossover`,
+//! `mutation`, …) → scheduler stages (`batch` → `coalesce`/`cache`/
+//! `dispatch`/`apply`) → per-request network hops (`request` →
+//! `net.send`/`net.roundtrip`, plus the synthetic `compute` span a v2
+//! slave reports about itself). Spans are recorded only at *close* time
+//! (an open span costs one `Instant::now()`), land in two places:
+//!
+//! * the event stream, as [`crate::Event::SpanClosed`] — durable JSONL
+//!   for post-hoc analysis ([`crate::trace`] / the `trace-summary` bin);
+//! * the in-memory [`SpanTree`] ring — recent history for the live
+//!   `/spans` endpoint ([`crate::http::ExposeServer`]).
+//!
+//! The RAII [`SpanGuard`] is a no-op when the observer is disabled: no
+//! allocation, no thread-local touch, no clock read. Same-thread nesting
+//! is implicit (a thread-local stack of open span ids); crossing threads
+//! — a dispatch on the engine thread fanning out to pool workers — is
+//! explicit via [`crate::Observer::span_under`] and the current-dispatch
+//! id published by the scheduler ([`crate::Observer::dispatch_span`]).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crate::observer::Observer;
+
+/// Unique id of a span within one observer (monotonic from 1; 0 means
+/// "no span" and is the parent of root spans).
+pub type SpanId = u64;
+
+/// Span names used by the instrumented stack. Free-form `&'static str`
+/// like [`crate::Phase`], but every in-repo call site goes through these
+/// constants so `trace-summary` and the tests agree on the taxonomy.
+pub mod names {
+    /// One whole engine generation (root of the per-generation tree).
+    pub const GENERATION: &str = "generation";
+    /// Crossover phase: parent selection + crossover operators + the
+    /// children evaluation batch.
+    pub const CROSSOVER: &str = "crossover";
+    /// Mutation phase: operator application + the candidate batch.
+    pub const MUTATION: &str = "mutation";
+    /// Parent selection and crossover operator application (the
+    /// master-side breeding loop, excluding evaluation).
+    pub const SELECTION: &str = "selection";
+    /// Mutation operator application (master-side, excluding evaluation).
+    pub const MUTATION_OPS: &str = "mutation_ops";
+    /// Replacement: inserting evaluated children into subpopulations.
+    pub const REPLACEMENT: &str = "replacement";
+    /// Adaptive-rate reallocation + improvement tracking.
+    pub const ADAPTATION: &str = "adaptation";
+    /// Random-immigrant episode (generation + evaluation batch).
+    pub const IMMIGRANTS: &str = "immigrants";
+    /// One `EvalService` batch, coalesce through apply.
+    pub const BATCH: &str = "batch";
+    /// Intra-batch duplicate coalescing.
+    pub const COALESCE: &str = "coalesce";
+    /// Fitness-cache probe (including cache-hit fan-out).
+    pub const CACHE: &str = "cache";
+    /// Backend dispatch (network or local pool; includes fallback).
+    pub const DISPATCH: &str = "dispatch";
+    /// Writing backend results back onto the batch (+ cache insert).
+    pub const APPLY: &str = "apply";
+    /// One remote evaluation attempt on a pool worker thread.
+    pub const REQUEST: &str = "request";
+    /// Worker wait for the next job (lock + condvar).
+    pub const QUEUE: &str = "queue";
+    /// Serializing + writing one request to the socket.
+    pub const NET_SEND: &str = "net.send";
+    /// Waiting for and reading the slave's response.
+    pub const NET_ROUNDTRIP: &str = "net.roundtrip";
+    /// Retry backoff sleep after a failed attempt.
+    pub const NET_RETRY: &str = "net.retry";
+    /// Evaluation compute proper, as measured by the worker itself (a v2
+    /// slave's self-reported microseconds, or a local backend's summed
+    /// per-job wall time). Synthetic: recorded via
+    /// [`crate::Observer::record_span`], nested under the request or
+    /// dispatch span.
+    pub const COMPUTE: &str = "compute";
+}
+
+/// A finished span: the only representation that exists — open spans are
+/// just a guard holding an `Instant`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ClosedSpan {
+    /// Unique span id (monotonic per observer).
+    pub id: SpanId,
+    /// Parent span id; 0 for roots.
+    pub parent: SpanId,
+    /// Taxonomy name (see [`names`]).
+    pub name: &'static str,
+    /// Engine generation current when the span closed.
+    pub generation: u64,
+    /// Scheduler batch current when the span closed (0 = outside).
+    pub batch_id: u64,
+    /// Start offset from the observer's epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub duration_ns: u64,
+}
+
+impl ClosedSpan {
+    /// End offset from the observer's epoch, nanoseconds.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.duration_ns
+    }
+}
+
+/// Bounded ring of recently closed spans, oldest evicted first —
+/// the in-memory twin of the JSONL `SpanClosed` stream, served live by
+/// the `/spans` endpoint.
+pub struct SpanTree {
+    buf: Mutex<VecDeque<ClosedSpan>>,
+    capacity: usize,
+}
+
+impl SpanTree {
+    /// A ring keeping the most recent `capacity` closed spans.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> SpanTree {
+        assert!(capacity > 0, "span ring capacity must be positive");
+        SpanTree {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+        }
+    }
+
+    pub(crate) fn push(&self, span: ClosedSpan) {
+        let mut buf = self.buf.lock().expect("span ring poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(span);
+    }
+
+    /// Snapshot of retained spans, in close order (oldest first).
+    pub fn recent(&self) -> Vec<ClosedSpan> {
+        self.buf
+            .lock()
+            .expect("span ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained span count.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("span ring poisoned").len()
+    }
+
+    /// Whether no span has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum spans retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained spans as a nested JSON forest:
+    /// `{"count":N,"spans":[{..span fields.., "children":[...]}, ...]}`.
+    ///
+    /// Children close before their parents, so a single pass groups each
+    /// finished subtree under its parent the moment the parent closes;
+    /// spans whose parent is still open (or evicted) surface as roots.
+    pub fn to_json(&self) -> String {
+        let spans = self.recent();
+        // parent id -> finished child nodes, in close order.
+        let mut pending: HashMap<SpanId, Vec<SpanNode>> = HashMap::new();
+        for s in &spans {
+            let children = pending.remove(&s.id).unwrap_or_default();
+            pending.entry(s.parent).or_default().push(SpanNode {
+                id: s.id,
+                parent: s.parent,
+                name: s.name,
+                generation: s.generation,
+                batch_id: s.batch_id,
+                start_ns: s.start_ns,
+                duration_ns: s.duration_ns,
+                children,
+            });
+        }
+        // Whatever never found a closed parent is a root (parent == 0) or
+        // an orphan (parent evicted / still open). Sort for stable output.
+        let mut leftovers: Vec<(SpanId, Vec<SpanNode>)> = pending.into_iter().collect();
+        leftovers.sort_by_key(|(parent, _)| *parent);
+        let forest = SpanForest {
+            count: spans.len(),
+            spans: leftovers.into_iter().flat_map(|(_, v)| v).collect(),
+        };
+        serde_json::to_string(&forest).unwrap_or_else(|_| "{\"count\":0,\"spans\":[]}".into())
+    }
+}
+
+/// One node of the `/spans` forest (a [`ClosedSpan`] plus its finished
+/// children).
+#[derive(Serialize)]
+struct SpanNode {
+    id: SpanId,
+    parent: SpanId,
+    name: &'static str,
+    generation: u64,
+    batch_id: u64,
+    start_ns: u64,
+    duration_ns: u64,
+    children: Vec<SpanNode>,
+}
+
+#[derive(Serialize)]
+struct SpanForest {
+    count: usize,
+    spans: Vec<SpanNode>,
+}
+
+thread_local! {
+    /// Open span ids on this thread, innermost last. Only touched by
+    /// enabled observers — the disabled fast path never reaches it.
+    static SPAN_STACK: RefCell<Vec<SpanId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Innermost open span on this thread (0 if none) — the implicit parent
+/// for [`crate::Observer::span`].
+pub(crate) fn current_parent() -> SpanId {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// RAII guard for an open span: created by [`crate::Observer::span`] /
+/// [`crate::Observer::span_under`], records the span on drop. For a
+/// disabled observer the guard is inert (`id() == 0`, drop does nothing).
+#[must_use = "a span measures the scope it is held for; dropping it immediately records ~0ns"]
+pub struct SpanGuard {
+    inner: Option<GuardInner>,
+}
+
+struct GuardInner {
+    observer: Observer,
+    name: &'static str,
+    id: SpanId,
+    parent: SpanId,
+    started: Instant,
+}
+
+impl SpanGuard {
+    pub(crate) fn noop() -> SpanGuard {
+        SpanGuard { inner: None }
+    }
+
+    pub(crate) fn begin(
+        observer: Observer,
+        name: &'static str,
+        id: SpanId,
+        parent: SpanId,
+    ) -> SpanGuard {
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        SpanGuard {
+            inner: Some(GuardInner {
+                observer,
+                name,
+                id,
+                parent,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// This span's id (0 when the observer is disabled) — pass to
+    /// [`crate::Observer::span_under`] / [`crate::Observer::record_span`]
+    /// to parent work on other threads under it.
+    pub fn id(&self) -> SpanId {
+        self.inner.as_ref().map_or(0, |g| g.id)
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn active(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            let duration = g.started.elapsed();
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                // Innermost-first search: guards drop in reverse creation
+                // order, so this is almost always the last element.
+                if let Some(pos) = stack.iter().rposition(|&id| id == g.id) {
+                    stack.remove(pos);
+                }
+            });
+            g.observer
+                .finish_span(g.name, g.id, g.parent, g.started, duration);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: SpanId, parent: SpanId, start_ns: u64, duration_ns: u64) -> ClosedSpan {
+        ClosedSpan {
+            id,
+            parent,
+            name: "t",
+            generation: 0,
+            batch_id: 0,
+            start_ns,
+            duration_ns,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_fifo() {
+        let tree = SpanTree::new(3);
+        for i in 1..=5 {
+            tree.push(span(i, 0, i * 10, 1));
+        }
+        let recent = tree.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(
+            recent.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "oldest spans evicted first"
+        );
+        assert_eq!(tree.capacity(), 3);
+    }
+
+    #[test]
+    fn to_json_nests_children_under_parents() {
+        let tree = SpanTree::new(16);
+        // Close order: child (2) before parent (1); sibling root (3) last.
+        tree.push(span(2, 1, 5, 10));
+        tree.push(span(1, 0, 0, 100));
+        tree.push(span(3, 0, 120, 10));
+        let json = tree.to_json();
+        assert!(json.starts_with("{\"count\":3"), "{json}");
+        // Span 2 appears nested inside span 1's children array...
+        assert!(
+            json.contains("\"children\":[{\"id\":2,\"parent\":1"),
+            "{json}"
+        );
+        // ...and the sibling root 3 has no children.
+        assert!(
+            json.contains("\"id\":3,\"parent\":0") && json.ends_with("\"children\":[]}]}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn orphans_surface_as_roots() {
+        let tree = SpanTree::new(16);
+        tree.push(span(7, 99, 0, 1)); // parent 99 never closes
+        let json = tree.to_json();
+        assert!(
+            json.contains("\"spans\":[{\"id\":7,\"parent\":99"),
+            "{json}"
+        );
+    }
+}

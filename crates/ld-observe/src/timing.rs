@@ -1,0 +1,198 @@
+//! Shared per-size evaluation timing bank.
+//!
+//! The paper's Figure 4 plots mean evaluation time against haplotype
+//! size. [`SizeTimingBank`] is the single mechanism behind that: a
+//! lock-free array of per-size counters + cumulative nanoseconds that
+//! any layer (the `ld-parallel` `TimingEvaluator` wrapper, a backend, a
+//! test harness) records into, and that publishes into the same
+//! [`Registry`] the rest of the observability plane uses. Sizes above
+//! [`MAX_TRACKED_SIZE`] pool into one overflow bucket, surfaced
+//! distinctly (`pooled` flag, `"33+"` label) so it can never be
+//! mistaken for exact size-32 samples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::metrics::Registry;
+
+/// Widest haplotype size tracked individually; larger sizes pool into a
+/// dedicated overflow bucket (surfaced with [`SizeTiming::pooled`]).
+pub const MAX_TRACKED_SIZE: usize = 32;
+
+/// Index of the overflow bucket in the internal arrays.
+const POOLED: usize = MAX_TRACKED_SIZE + 1;
+
+/// Per-size timing statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeTiming {
+    /// Haplotype size. For the pooled bucket this is `MAX_TRACKED_SIZE`
+    /// (the bucket's lower bound), with [`SizeTiming::pooled`] set.
+    pub size: usize,
+    /// Evaluations performed at this size.
+    pub count: u64,
+    /// Mean evaluation time in nanoseconds.
+    pub mean_ns: f64,
+    /// Whether this entry aggregates every size above `MAX_TRACKED_SIZE`
+    /// rather than one exact size.
+    pub pooled: bool,
+}
+
+/// Lock-free per-size timing accumulator (two relaxed atomic adds per
+/// recorded evaluation).
+#[derive(Debug)]
+pub struct SizeTimingBank {
+    counts: Vec<AtomicU64>,
+    total_ns: Vec<AtomicU64>,
+}
+
+impl Default for SizeTimingBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SizeTimingBank {
+    /// A zeroed bank.
+    pub fn new() -> SizeTimingBank {
+        SizeTimingBank {
+            counts: (0..=POOLED).map(|_| AtomicU64::new(0)).collect(),
+            total_ns: (0..=POOLED).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn bucket(size: usize) -> usize {
+        if size <= MAX_TRACKED_SIZE {
+            size
+        } else {
+            POOLED
+        }
+    }
+
+    /// Record one evaluation of a `size`-SNP haplotype taking `ns`
+    /// nanoseconds.
+    pub fn record(&self, size: usize, ns: u64) {
+        let bucket = Self::bucket(size);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_ns[bucket].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Timing summary for every size that was recorded at least once.
+    /// The overflow bucket (sizes above `MAX_TRACKED_SIZE`), if hit, is
+    /// the final entry with [`SizeTiming::pooled`] set.
+    pub fn timings(&self) -> Vec<SizeTiming> {
+        (0..=POOLED)
+            .filter_map(|bucket| {
+                let count = self.counts[bucket].load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                let total = self.total_ns[bucket].load(Ordering::Relaxed);
+                Some(SizeTiming {
+                    size: bucket.min(MAX_TRACKED_SIZE),
+                    count,
+                    mean_ns: total as f64 / count as f64,
+                    pooled: bucket == POOLED,
+                })
+            })
+            .collect()
+    }
+
+    /// Mean evaluation time for one size, if measured. Sizes above
+    /// `MAX_TRACKED_SIZE` read the pooled bucket.
+    pub fn mean_ns_for_size(&self, size: usize) -> Option<f64> {
+        let bucket = Self::bucket(size);
+        let count = self.counts[bucket].load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        Some(self.total_ns[bucket].load(Ordering::Relaxed) as f64 / count as f64)
+    }
+
+    /// Publish the current timings into `registry` as one labelled
+    /// counter of evaluations (`counter_name`) and one gauge of the mean
+    /// (`gauge_name`) per size, with `size="33+"` for the pooled bucket.
+    /// Safe to call repeatedly (e.g. from a periodic flusher): series
+    /// register idempotently, counters add only the delta since the last
+    /// publish, gauges overwrite.
+    pub fn publish_into(
+        &self,
+        registry: &Registry,
+        counter_name: &'static str,
+        counter_help: &'static str,
+        gauge_name: &'static str,
+        gauge_help: &'static str,
+    ) {
+        for t in self.timings() {
+            let label = if t.pooled {
+                format!("{}+", MAX_TRACKED_SIZE + 1)
+            } else {
+                t.size.to_string()
+            };
+            let labels = [("size", label.as_str())];
+            let counter = registry.counter_with(counter_name, counter_help, &labels);
+            // Counters are monotonic: add only the delta since the last
+            // publish (the registry handle remembers the running value).
+            counter.add(t.count.saturating_sub(counter.get()));
+            registry
+                .gauge_with(gauge_name, gauge_help, &labels)
+                .set(t.mean_ns);
+        }
+    }
+
+    /// Reset all timers.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        for t in &self.total_ns {
+            t.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooled_bucket_stays_distinct() {
+        let bank = SizeTimingBank::new();
+        bank.record(MAX_TRACKED_SIZE, 10);
+        bank.record(MAX_TRACKED_SIZE + 1, 30);
+        bank.record(MAX_TRACKED_SIZE + 500, 50);
+        let timings = bank.timings();
+        assert_eq!(timings.len(), 2, "{timings:?}");
+        assert!(!timings[0].pooled);
+        assert_eq!(timings[0].count, 1);
+        assert!(timings[1].pooled);
+        assert_eq!(timings[1].count, 2);
+        assert_eq!(timings[1].mean_ns, 40.0);
+        assert_eq!(
+            bank.mean_ns_for_size(MAX_TRACKED_SIZE + 1),
+            bank.mean_ns_for_size(MAX_TRACKED_SIZE + 500)
+        );
+    }
+
+    #[test]
+    fn publish_is_idempotent() {
+        let bank = SizeTimingBank::new();
+        bank.record(3, 100);
+        bank.record(3, 200);
+        let registry = Registry::new();
+        for _ in 0..2 {
+            bank.publish_into(&registry, "evals_total", "h", "eval_mean_ns", "h");
+        }
+        let text = registry.prometheus();
+        assert!(text.contains("evals_total{size=\"3\"} 2"), "{text}");
+        assert!(text.contains("eval_mean_ns{size=\"3\"} 150"), "{text}");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let bank = SizeTimingBank::new();
+        bank.record(1, 5);
+        assert!(!bank.timings().is_empty());
+        bank.reset();
+        assert!(bank.timings().is_empty());
+        assert!(bank.mean_ns_for_size(1).is_none());
+    }
+}

@@ -1,0 +1,418 @@
+//! Post-hoc latency attribution: turn a run's `SpanClosed` stream into
+//! a per-generation critical path.
+//!
+//! The span tree records overlapping intervals (N pool workers × M
+//! requests inside one dispatch), so raw hop sums exceed wall time on
+//! any parallel run. [`TraceSummary`] therefore attributes
+//! *proportionally*: for each batch, the per-request hop sums (queue
+//! wait, send, round-trip, retry backoff) are scaled by
+//! `dispatch_wall / (queue + send + roundtrip + retry)` so the
+//! attributed hops sum exactly to the measured dispatch wall — each hop
+//! gets the share of real time it was responsible for. Slave compute is
+//! carved out of the round-trip (a v2 slave reports its own
+//! microseconds; what remains is network + serialization); the
+//! scheduler's own share (`coalesce`/`cache`/`apply`/bookkeeping) is
+//! the batch wall minus dispatch. By construction
+//! `queue + network + compute + retry + master == eval share`, which is
+//! what the acceptance check in `ld-net/tests/observed_fault_run.rs`
+//! verifies end-to-end.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::event::{Envelope, Event};
+use crate::span::names;
+
+/// Where one generation's evaluation time went, attributed (see module
+/// docs); all values in milliseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct GenerationBreakdown {
+    /// Engine generation (0 = initial-population evaluation).
+    pub generation: u64,
+    /// Wall time of the whole generation (the `generation` span; for
+    /// generation 0 there is none and this equals `eval_ms`).
+    pub wall_ms: f64,
+    /// `wall_ms` as the engine itself recorded it in
+    /// `GenerationFinished` (0 when absent) — a cross-check, not an
+    /// input.
+    pub reported_wall_ms: f64,
+    /// Time inside `EvalService` batches (the evaluation share of the
+    /// generation).
+    pub eval_ms: f64,
+    /// Attributed worker wait for jobs (lock + condvar).
+    pub queue_ms: f64,
+    /// Attributed network + serialization (send + round-trip minus the
+    /// slave's own compute).
+    pub network_ms: f64,
+    /// Attributed evaluation compute (slave-reported for v2 remotes,
+    /// worker-measured for local backends, whole-dispatch for
+    /// uninstrumented backends).
+    pub compute_ms: f64,
+    /// Attributed retry backoff overhead.
+    pub retry_ms: f64,
+    /// Master-side share of the eval path: coalesce + cache probe +
+    /// apply + scheduler bookkeeping (batch wall minus dispatch wall).
+    pub master_ms: f64,
+    /// Engine work outside the eval path (selection, breeding operators,
+    /// replacement, adaptation): `wall_ms - eval_ms`.
+    pub engine_ms: f64,
+    /// Scheduler batches in this generation.
+    pub batches: u64,
+}
+
+impl GenerationBreakdown {
+    /// Sum of attributed hop times — equals `eval_ms` by construction
+    /// (up to float rounding); the acceptance criterion checks it stays
+    /// within 10%.
+    pub fn hop_sum_ms(&self) -> f64 {
+        self.queue_ms + self.network_ms + self.compute_ms + self.retry_ms + self.master_ms
+    }
+
+    /// One human line, e.g.
+    /// `gen 42: eval 11.1 ms — 78% compute, 9% network, 6% queue, 0% retry, 7% master`.
+    pub fn critical_path_line(&self) -> String {
+        if self.eval_ms <= 0.0 {
+            return format!("gen {}: no evaluation time recorded", self.generation);
+        }
+        let pct = |v: f64| (100.0 * v / self.eval_ms).round();
+        format!(
+            "gen {}: wall {:.2} ms, eval {:.2} ms — {:.0}% compute, {:.0}% network, \
+             {:.0}% queue, {:.0}% retry, {:.0}% master",
+            self.generation,
+            self.wall_ms,
+            self.eval_ms,
+            pct(self.compute_ms),
+            pct(self.network_ms),
+            pct(self.queue_ms),
+            pct(self.retry_ms),
+            pct(self.master_ms),
+        )
+    }
+}
+
+/// Per-batch raw hop sums, accumulated from `SpanClosed` events.
+#[derive(Default, Clone, Copy)]
+struct BatchHops {
+    dispatch_ns: f64,
+    queue_ns: f64,
+    send_ns: f64,
+    roundtrip_ns: f64,
+    retry_ns: f64,
+    compute_ns: f64,
+}
+
+/// Per-generation accumulator.
+#[derive(Default)]
+struct GenAcc {
+    wall_ns: f64,
+    reported_wall_ms: f64,
+    eval_ns: f64,
+    batches: BTreeMap<u64, BatchHops>,
+}
+
+/// A whole run's latency attribution, one row per generation.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceSummary {
+    /// Run id from the first envelope (empty for an empty stream).
+    pub run_id: String,
+    /// Per-generation breakdowns, ascending.
+    pub generations: Vec<GenerationBreakdown>,
+}
+
+impl TraceSummary {
+    /// Build the attribution from a run's envelopes (order-insensitive;
+    /// only `SpanClosed` and `GenerationFinished` events are read).
+    pub fn from_envelopes(envelopes: &[Envelope]) -> TraceSummary {
+        let mut gens: BTreeMap<u64, GenAcc> = BTreeMap::new();
+        let mut run_id = String::new();
+        for env in envelopes {
+            if run_id.is_empty() {
+                run_id = env.run_id.clone();
+            }
+            match &env.event {
+                Event::SpanClosed {
+                    name, duration_ns, ..
+                } => {
+                    let acc = gens.entry(env.generation).or_default();
+                    let d = *duration_ns as f64;
+                    match name.as_str() {
+                        names::GENERATION => acc.wall_ns += d,
+                        names::BATCH => acc.eval_ns += d,
+                        names::DISPATCH => acc.hops(env.batch_id).dispatch_ns += d,
+                        names::QUEUE => acc.hops(env.batch_id).queue_ns += d,
+                        names::NET_SEND => acc.hops(env.batch_id).send_ns += d,
+                        names::NET_ROUNDTRIP => acc.hops(env.batch_id).roundtrip_ns += d,
+                        names::NET_RETRY => acc.hops(env.batch_id).retry_ns += d,
+                        names::COMPUTE => acc.hops(env.batch_id).compute_ns += d,
+                        _ => {}
+                    }
+                }
+                Event::GenerationFinished { wall_ms, .. } => {
+                    gens.entry(env.generation).or_default().reported_wall_ms = *wall_ms;
+                }
+                _ => {}
+            }
+        }
+
+        let generations = gens
+            .into_iter()
+            .filter(|(_, acc)| acc.eval_ns > 0.0 || acc.wall_ns > 0.0)
+            .map(|(generation, acc)| {
+                let ms = 1.0 / 1e6;
+                let mut queue = 0.0;
+                let mut network = 0.0;
+                let mut compute = 0.0;
+                let mut retry = 0.0;
+                let mut dispatch_total = 0.0;
+                for hops in acc.batches.values() {
+                    dispatch_total += hops.dispatch_ns;
+                    let denom = hops.queue_ns + hops.send_ns + hops.roundtrip_ns + hops.retry_ns;
+                    if denom > 0.0 {
+                        // Proportional attribution: scale raw (overlapping)
+                        // hop sums so they cover exactly the dispatch wall.
+                        let scale = hops.dispatch_ns / denom;
+                        // Slave compute lives inside the round-trip.
+                        let c = hops.compute_ns.min(hops.roundtrip_ns);
+                        queue += scale * hops.queue_ns;
+                        network += scale * (hops.send_ns + hops.roundtrip_ns - c);
+                        compute += scale * c;
+                        retry += scale * hops.retry_ns;
+                    } else {
+                        // No per-request hops: a local (or uninstrumented)
+                        // backend — the whole dispatch is compute.
+                        compute += hops.dispatch_ns;
+                    }
+                }
+                let eval_ns = if acc.eval_ns > 0.0 {
+                    acc.eval_ns
+                } else {
+                    dispatch_total
+                };
+                let wall_ns = if acc.wall_ns > 0.0 {
+                    acc.wall_ns
+                } else {
+                    eval_ns
+                };
+                GenerationBreakdown {
+                    generation,
+                    wall_ms: wall_ns * ms,
+                    reported_wall_ms: acc.reported_wall_ms,
+                    eval_ms: eval_ns * ms,
+                    queue_ms: queue * ms,
+                    network_ms: network * ms,
+                    compute_ms: compute * ms,
+                    retry_ms: retry * ms,
+                    master_ms: (eval_ns - dispatch_total).max(0.0) * ms,
+                    engine_ms: (wall_ns - eval_ns).max(0.0) * ms,
+                    batches: acc.batches.len() as u64,
+                }
+            })
+            .collect();
+        TraceSummary {
+            run_id,
+            generations,
+        }
+    }
+
+    /// Parse a JSONL event stream (one [`Envelope`] per line; lines that
+    /// fail to parse are skipped) and build the attribution.
+    pub fn from_jsonl(text: &str) -> TraceSummary {
+        let envelopes: Vec<Envelope> = text
+            .lines()
+            .filter_map(|l| serde_json::from_str(l).ok())
+            .collect();
+        Self::from_envelopes(&envelopes)
+    }
+
+    /// Aggregate over all generations (weights by time, not by
+    /// generation count).
+    pub fn totals(&self) -> GenerationBreakdown {
+        let mut t = GenerationBreakdown {
+            generation: 0,
+            wall_ms: 0.0,
+            reported_wall_ms: 0.0,
+            eval_ms: 0.0,
+            queue_ms: 0.0,
+            network_ms: 0.0,
+            compute_ms: 0.0,
+            retry_ms: 0.0,
+            master_ms: 0.0,
+            engine_ms: 0.0,
+            batches: 0,
+        };
+        for g in &self.generations {
+            t.wall_ms += g.wall_ms;
+            t.reported_wall_ms += g.reported_wall_ms;
+            t.eval_ms += g.eval_ms;
+            t.queue_ms += g.queue_ms;
+            t.network_ms += g.network_ms;
+            t.compute_ms += g.compute_ms;
+            t.retry_ms += g.retry_ms;
+            t.master_ms += g.master_ms;
+            t.engine_ms += g.engine_ms;
+            t.batches += g.batches;
+        }
+        t
+    }
+
+    /// Human-readable report: one critical-path line per generation plus
+    /// a totals footer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run {}: {} generation(s) with recorded spans\n",
+            if self.run_id.is_empty() {
+                "?"
+            } else {
+                &self.run_id
+            },
+            self.generations.len()
+        ));
+        for g in &self.generations {
+            out.push_str(&g.critical_path_line());
+            out.push('\n');
+        }
+        if !self.generations.is_empty() {
+            let t = self.totals();
+            out.push_str("--\n");
+            out.push_str(&format!(
+                "total: wall {:.2} ms, eval {:.2} ms ({} batches) — \
+                 compute {:.2} ms, network {:.2} ms, queue {:.2} ms, retry {:.2} ms, \
+                 master {:.2} ms, engine {:.2} ms\n",
+                t.wall_ms,
+                t.eval_ms,
+                t.batches,
+                t.compute_ms,
+                t.network_ms,
+                t.queue_ms,
+                t.retry_ms,
+                t.master_ms,
+                t.engine_ms,
+            ));
+        }
+        out
+    }
+
+    /// Pretty-printed JSON export.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+impl GenAcc {
+    fn hops(&mut self, batch_id: u64) -> &mut BatchHops {
+        self.batches.entry(batch_id).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(generation: u64, batch_id: u64, event: Event) -> Envelope {
+        Envelope {
+            ts_ms: 0,
+            run_id: "r".into(),
+            generation,
+            batch_id,
+            event,
+        }
+    }
+
+    fn span(name: &str, duration_ns: u64) -> Event {
+        Event::SpanClosed {
+            name: name.into(),
+            id: 0,
+            parent: 0,
+            start_ns: 0,
+            duration_ns,
+        }
+    }
+
+    #[test]
+    fn attributed_hops_sum_to_the_eval_share() {
+        // One generation, one batch: 10 ms batch, 8 ms dispatch; raw hop
+        // sums are 2x the dispatch (two overlapping workers).
+        let events = vec![
+            env(1, 0, span(names::GENERATION, 12_000_000)),
+            env(1, 1, span(names::BATCH, 10_000_000)),
+            env(1, 1, span(names::DISPATCH, 8_000_000)),
+            env(1, 1, span(names::QUEUE, 2_000_000)),
+            env(1, 1, span(names::NET_SEND, 1_000_000)),
+            env(1, 1, span(names::NET_ROUNDTRIP, 12_000_000)),
+            env(1, 1, span(names::NET_RETRY, 1_000_000)),
+            env(1, 1, span(names::COMPUTE, 9_000_000)),
+        ];
+        let summary = TraceSummary::from_envelopes(&events);
+        assert_eq!(summary.generations.len(), 1);
+        let g = &summary.generations[0];
+        assert_eq!(g.batches, 1);
+        assert!((g.eval_ms - 10.0).abs() < 1e-9);
+        assert!((g.master_ms - 2.0).abs() < 1e-9, "batch - dispatch");
+        assert!((g.engine_ms - 2.0).abs() < 1e-9, "wall - eval");
+        // The invariant the acceptance test leans on:
+        assert!(
+            (g.hop_sum_ms() - g.eval_ms).abs() / g.eval_ms < 1e-9,
+            "hops {} != eval {}",
+            g.hop_sum_ms(),
+            g.eval_ms
+        );
+        // Compute is clamped into the round-trip and dominates it.
+        assert!(g.compute_ms > g.network_ms);
+        assert!(g.queue_ms > 0.0 && g.retry_ms > 0.0);
+    }
+
+    #[test]
+    fn local_backend_dispatch_counts_as_compute() {
+        let events = vec![
+            env(1, 1, span(names::BATCH, 5_000_000)),
+            env(1, 1, span(names::DISPATCH, 4_000_000)),
+            env(1, 1, span(names::COMPUTE, 16_000_000)), // 4 threads
+        ];
+        let g = &TraceSummary::from_envelopes(&events).generations[0];
+        assert!((g.compute_ms - 4.0).abs() < 1e-9);
+        assert_eq!(g.network_ms, 0.0);
+        assert!((g.hop_sum_ms() - g.eval_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_render() {
+        let events = [
+            env(0, 1, span(names::BATCH, 2_000_000)),
+            env(0, 1, span(names::DISPATCH, 2_000_000)),
+            env(
+                1,
+                0,
+                Event::GenerationFinished {
+                    improved: true,
+                    best_per_size: vec![1.0],
+                    wall_ms: 3.5,
+                },
+            ),
+            env(1, 0, span(names::GENERATION, 3_000_000)),
+            env(1, 2, span(names::BATCH, 1_000_000)),
+        ];
+        let jsonl: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let summary = TraceSummary::from_jsonl(&jsonl);
+        assert_eq!(summary.run_id, "r");
+        assert_eq!(summary.generations.len(), 2);
+        assert_eq!(summary.generations[0].generation, 0);
+        assert!((summary.generations[1].reported_wall_ms - 3.5).abs() < 1e-9);
+        let text = summary.render();
+        assert!(text.contains("gen 0"), "{text}");
+        assert!(text.contains("total:"), "{text}");
+        let json = summary.to_json();
+        assert!(json.contains("\"generations\""), "{json}");
+    }
+
+    #[test]
+    fn empty_stream_is_empty_summary() {
+        let summary = TraceSummary::from_jsonl("not json\n");
+        assert!(summary.generations.is_empty());
+        assert!(summary.render().contains("0 generation(s)"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Allocation-regression guard for the disabled observer fast path.
+//!
+//! The whole design bet of `ld-observe` is that instrumentation left in
+//! production code costs nothing when no observer is attached: every
+//! `span()` / `emit_with()` / `record_span()` on a disabled observer is a
+//! branch on a `None` — no clock read, no thread-local touch, and (what
+//! this test pins) **zero heap allocations**. Any change that makes the
+//! inert guard allocate — a boxed callback, an eager event build, a
+//! `format!` — fails here with the exact allocation delta.
+//!
+//! Gated behind the `alloc-count` feature because a global allocator is
+//! process-wide state other test binaries should not inherit:
+//!
+//! `cargo test -p ld-observe --features alloc-count --test alloc_guard`
+
+#![cfg(feature = "alloc-count")]
+
+use ld_observe::span::names;
+use ld_observe::{Event, Observer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// System allocator with a global allocation counter (frees not counted:
+/// the guard is about acquiring memory in the hot path).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_observer_fast_path_performs_zero_allocations() {
+    let obs = Observer::disabled();
+    // One untimed pass first, in case anything lazy-initializes.
+    let _warm = obs.span(names::GENERATION);
+    drop(_warm);
+
+    let before = allocs();
+    for _ in 0..1_000 {
+        let gen = obs.span(names::GENERATION);
+        let dispatch = obs.span_under(names::DISPATCH, gen.id());
+        obs.begin_dispatch_span(dispatch.id());
+        obs.record_span(
+            names::COMPUTE,
+            obs.dispatch_span(),
+            Duration::from_micros(10),
+        );
+        obs.end_dispatch_span();
+        obs.emit_with(|| Event::SlaveRetired {
+            slave: "never-built".to_string(),
+        });
+        obs.set_generation(1);
+        let _ = obs.begin_batch();
+        obs.end_batch();
+        drop(dispatch);
+        drop(gen);
+    }
+    let delta = allocs() - before;
+    assert_eq!(
+        delta, 0,
+        "{delta} heap allocations on the disabled observer fast path"
+    );
+}
+
+#[test]
+fn enabled_observer_allocates_as_a_sanity_check() {
+    // Prove the counter observes this thread: an enabled observer builds
+    // envelopes and pushes ring entries, which must allocate.
+    use ld_observe::{Registry, RingSink};
+    use std::sync::Arc;
+    let ring = Arc::new(RingSink::new(64));
+    let obs = Observer::new("alloc-check", ring, Registry::new());
+    let before = allocs();
+    let _span = obs.span(names::GENERATION);
+    drop(_span);
+    assert!(
+        allocs() > before,
+        "counting allocator saw no allocations on the allocating path"
+    );
+}

@@ -1,0 +1,248 @@
+//! Structural invariants of the timed span tree.
+//!
+//! The latency attribution in `trace-summary` is only as trustworthy as
+//! the span stream it reads, so these tests pin the contract: guards nest
+//! (a child's interval lies within its parent's), ids are unique, the
+//! JSONL `SpanClosed` events and the in-memory ring describe the same
+//! spans, and a disabled observer emits nothing at all.
+
+use ld_observe::span::names;
+use ld_observe::{Event, Observer, Registry, RingSink};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn observed() -> (Observer, Arc<RingSink>) {
+    let ring = Arc::new(RingSink::new(1 << 12));
+    let obs = Observer::new("span-test", ring.clone(), Registry::new());
+    (obs, ring)
+}
+
+/// The `SpanClosed` events captured by the ring, as
+/// `(name, id, parent, start_ns, duration_ns)`.
+fn closed_events(ring: &RingSink) -> Vec<(String, u64, u64, u64, u64)> {
+    ring.take()
+        .into_iter()
+        .filter_map(|env| match env.event {
+            Event::SpanClosed {
+                name,
+                id,
+                parent,
+                start_ns,
+                duration_ns,
+            } => Some((name, id, parent, start_ns, duration_ns)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn children_nest_within_their_parent_interval() {
+    let (obs, _ring) = observed();
+    {
+        let gen = obs.span(names::GENERATION);
+        std::thread::sleep(Duration::from_millis(2));
+        {
+            let _phase = obs.span(names::CROSSOVER);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        drop(gen);
+    }
+    let spans = obs.spans().expect("enabled").recent();
+    assert_eq!(spans.len(), 2);
+    // Children close before parents, so the child is first.
+    let child = &spans[0];
+    let parent = &spans[1];
+    assert_eq!(child.name, names::CROSSOVER);
+    assert_eq!(parent.name, names::GENERATION);
+    assert_eq!(child.parent, parent.id, "implicit thread-local nesting");
+    assert_eq!(parent.parent, 0, "outermost span is a root");
+    assert!(
+        child.start_ns >= parent.start_ns && child.end_ns() <= parent.end_ns(),
+        "child [{}, {}] must lie within parent [{}, {}]",
+        child.start_ns,
+        child.end_ns(),
+        parent.start_ns,
+        parent.end_ns()
+    );
+    assert!(child.duration_ns > 0, "slept spans have positive duration");
+}
+
+#[test]
+fn sibling_spans_do_not_inherit_each_other() {
+    let (obs, _ring) = observed();
+    {
+        let _gen = obs.span(names::GENERATION);
+        let a = obs.span(names::CROSSOVER);
+        drop(a);
+        let b = obs.span(names::MUTATION);
+        drop(b);
+    }
+    let spans = obs.spans().expect("enabled").recent();
+    let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+    let gen = by_name(names::GENERATION);
+    assert_eq!(by_name(names::CROSSOVER).parent, gen.id);
+    assert_eq!(
+        by_name(names::MUTATION).parent,
+        gen.id,
+        "a closed sibling must not become the next span's parent"
+    );
+}
+
+#[test]
+fn span_ids_are_unique_and_starts_monotonic_per_thread() {
+    let (obs, _ring) = observed();
+    for _ in 0..50 {
+        let _s = obs.span(names::BATCH);
+    }
+    let spans = obs.spans().expect("enabled").recent();
+    assert_eq!(spans.len(), 50);
+    let mut ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 50, "span ids must be unique");
+    for w in spans.windows(2) {
+        assert!(
+            w[1].start_ns >= w[0].start_ns,
+            "same-thread spans opened in order must not start out of order"
+        );
+    }
+}
+
+#[test]
+fn cross_thread_spans_parent_under_the_published_dispatch() {
+    let (obs, _ring) = observed();
+    let dispatch = obs.span(names::DISPATCH);
+    obs.begin_dispatch_span(dispatch.id());
+    let worker_obs = obs.clone();
+    let worker = std::thread::spawn(move || {
+        let req = worker_obs.span_under(names::REQUEST, worker_obs.dispatch_span());
+        let req_id = req.id();
+        worker_obs.record_span(names::COMPUTE, req_id, Duration::from_micros(150));
+        drop(req);
+        req_id
+    });
+    let req_id = worker.join().unwrap();
+    obs.end_dispatch_span();
+    drop(dispatch);
+
+    let spans = obs.spans().expect("enabled").recent();
+    let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+    assert_eq!(
+        by_name(names::REQUEST).parent,
+        by_name(names::DISPATCH).id,
+        "explicit span_under must cross threads"
+    );
+    let compute = by_name(names::COMPUTE);
+    assert_eq!(
+        compute.parent, req_id,
+        "synthetic compute hangs off its request"
+    );
+    assert_eq!(
+        compute.duration_ns, 150_000,
+        "record_span keeps the given duration"
+    );
+}
+
+#[test]
+fn jsonl_events_and_ring_describe_the_same_spans() {
+    let (obs, ring) = observed();
+    {
+        let _gen = obs.span(names::GENERATION);
+        let _batch = obs.span(names::BATCH);
+    }
+    obs.record_span(names::COMPUTE, 0, Duration::from_millis(1));
+
+    let tree: Vec<_> = obs.spans().expect("enabled").recent();
+    let events = closed_events(&ring);
+    assert_eq!(
+        tree.len(),
+        events.len(),
+        "one SpanClosed event per ring entry"
+    );
+    for (span, (name, id, parent, start_ns, duration_ns)) in tree.iter().zip(&events) {
+        assert_eq!(span.name, name, "same close order in both views");
+        assert_eq!(span.id, *id);
+        assert_eq!(span.parent, *parent);
+        assert_eq!(span.start_ns, *start_ns);
+        assert_eq!(span.duration_ns, *duration_ns);
+    }
+}
+
+#[test]
+fn record_span_backdates_start_by_its_duration() {
+    let (obs, _ring) = observed();
+    // Age the observer past the duration so the backdated start does not
+    // saturate at the epoch.
+    std::thread::sleep(Duration::from_millis(6));
+    obs.record_span(names::COMPUTE, 0, Duration::from_millis(5));
+    let spans = obs.spans().expect("enabled").recent();
+    assert_eq!(spans.len(), 1);
+    let s = &spans[0];
+    assert_eq!(s.duration_ns, 5_000_000);
+    // end = start + duration lands "now": a span recorded immediately
+    // after must not end before it.
+    obs.record_span(names::COMPUTE, 0, Duration::ZERO);
+    let later = obs.spans().expect("enabled").recent()[1].clone();
+    assert!(later.end_ns() >= s.end_ns());
+}
+
+#[test]
+fn disabled_observer_emits_no_spans_and_inert_guards() {
+    let obs = Observer::disabled();
+    let guard = obs.span(names::GENERATION);
+    assert!(!guard.active());
+    assert_eq!(guard.id(), 0);
+    let under = obs.span_under(names::REQUEST, 7);
+    assert!(!under.active());
+    obs.record_span(names::COMPUTE, 0, Duration::from_secs(1));
+    obs.begin_dispatch_span(9);
+    assert_eq!(
+        obs.dispatch_span(),
+        0,
+        "disabled observer publishes nothing"
+    );
+    drop(guard);
+    drop(under);
+    assert!(obs.spans().is_none());
+    assert_eq!(obs.spans_json(), "{\"count\":0,\"spans\":[]}");
+}
+
+#[test]
+fn disabled_guard_does_not_pollute_an_enabled_observers_nesting() {
+    // A disabled guard must not leave anything on the thread-local stack
+    // that a later enabled observer would mistake for a parent.
+    {
+        let off = Observer::disabled();
+        let _g = off.span(names::GENERATION);
+        // still open while the enabled span below starts
+        let (obs, _ring) = observed();
+        let s = obs.span(names::BATCH);
+        let id = s.id();
+        drop(s);
+        let spans = obs.spans().expect("enabled").recent();
+        assert_eq!(spans[0].id, id);
+        assert_eq!(spans[0].parent, 0, "no phantom parent from the inert guard");
+    }
+}
+
+#[test]
+fn spans_carry_the_current_generation_and_batch() {
+    let (obs, _ring) = observed();
+    obs.set_generation(3);
+    let batch = obs.begin_batch();
+    {
+        let _d = obs.span(names::DISPATCH);
+    }
+    obs.end_batch();
+    {
+        let _g = obs.span(names::GENERATION);
+    }
+    let spans = obs.spans().expect("enabled").recent();
+    assert_eq!(spans[0].generation, 3);
+    assert_eq!(spans[0].batch_id, batch);
+    assert_eq!(
+        spans[1].batch_id, 0,
+        "closing after end_batch stamps batch 0"
+    );
+}

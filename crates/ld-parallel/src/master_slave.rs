@@ -21,8 +21,12 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ld_core::{EvalBackend, EvalBackendError, Evaluator, Haplotype};
 use ld_data::SnpId;
+use ld_observe::span::names as span_names;
+use ld_observe::Observer;
 use std::sync::Arc;
+use std::sync::OnceLock;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// One unit of work for a slave.
 struct Job {
@@ -34,6 +38,9 @@ struct Job {
 struct JobResult {
     index: usize,
     fitness: f64,
+    /// Wall nanoseconds the slave spent in the objective (the in-process
+    /// analogue of protocol v2's slave-reported compute time).
+    compute_ns: u64,
 }
 
 /// Master/slaves evaluator wrapping an inner objective.
@@ -43,6 +50,9 @@ pub struct MasterSlaveEvaluator<E: Evaluator + 'static> {
     result_rx: Receiver<JobResult>,
     workers: Vec<JoinHandle<()>>,
     n_workers: usize,
+    /// Attached observability handle; when set, every dispatch records a
+    /// summed `compute` span under the scheduler's dispatch span.
+    observer: OnceLock<Observer>,
 }
 
 impl<E: Evaluator + 'static> MasterSlaveEvaluator<E> {
@@ -68,11 +78,13 @@ impl<E: Evaluator + 'static> MasterSlaveEvaluator<E> {
                         let mut scratch = ld_core::EvalScratch::new();
                         // The slave loop: pull work until the master hangs up.
                         while let Ok(job) = rx.recv() {
+                            let started = Instant::now();
                             let fitness = objective.evaluate_one_with(&mut scratch, &job.snps);
                             if tx
                                 .send(JobResult {
                                     index: job.index,
                                     fitness,
+                                    compute_ns: started.elapsed().as_nanos() as u64,
                                 })
                                 .is_err()
                             {
@@ -89,7 +101,15 @@ impl<E: Evaluator + 'static> MasterSlaveEvaluator<E> {
             result_rx,
             workers,
             n_workers,
+            observer: OnceLock::new(),
         }
+    }
+
+    /// Attach an [`Observer`]: each dispatch then records the summed
+    /// per-job compute wall time as a `compute` span, so latency
+    /// attribution sees this backend too. First call wins.
+    pub fn set_observer(&self, observer: Observer) {
+        let _ = self.observer.set(observer);
     }
 
     /// Number of slave threads.
@@ -123,15 +143,30 @@ impl<E: Evaluator + 'static> EvalBackend for MasterSlaveEvaluator<E> {
                 })
                 .map_err(|_| EvalBackendError::Backend("slave thread pool disconnected".into()))?;
         }
+        let mut compute_ns: u64 = 0;
         for done in 0..batch.len() {
-            let JobResult { index, fitness } =
-                self.result_rx
-                    .recv()
-                    .map_err(|_| EvalBackendError::AllWorkersFailed {
-                        outstanding: batch.len() - done,
-                        total: batch.len(),
-                    })?;
+            let JobResult {
+                index,
+                fitness,
+                compute_ns: job_ns,
+            } = self
+                .result_rx
+                .recv()
+                .map_err(|_| EvalBackendError::AllWorkersFailed {
+                    outstanding: batch.len() - done,
+                    total: batch.len(),
+                })?;
+            compute_ns += job_ns;
             batch[index].set_fitness(fitness);
+        }
+        if let Some(obs) = self.observer.get().filter(|o| o.enabled()) {
+            // Summed worker wall time (may exceed the dispatch wall on
+            // multi-core runs; attribution normalizes).
+            obs.record_span(
+                span_names::COMPUTE,
+                obs.dispatch_span(),
+                Duration::from_nanos(compute_ns),
+            );
         }
         Ok(())
     }

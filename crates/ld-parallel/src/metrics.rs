@@ -3,41 +3,25 @@
 //! The paper's Figure 4 plots the average evaluation time against haplotype
 //! size; [`TimingEvaluator`] collects exactly that: per-size evaluation
 //! counts and cumulative wall time, with negligible overhead (two relaxed
-//! atomic adds per call).
+//! atomic adds per call). The accumulator itself is the shared
+//! [`ld_observe::SizeTimingBank`] — the same per-size fold the rest of the
+//! observability plane uses — so there is exactly one timing mechanism;
+//! this wrapper only owns the clock and the bucket-by-haplotype-size
+//! policy, and keeps the `ld_parallel_*` metric names stable.
 
 use ld_core::Evaluator;
 use ld_data::SnpId;
-use std::sync::atomic::{AtomicU64, Ordering};
+use ld_observe::SizeTimingBank;
 use std::time::Instant;
 
-/// Widest haplotype size tracked individually; larger sizes pool into a
-/// dedicated overflow bucket (surfaced with [`SizeTiming::pooled`]).
-const MAX_TRACKED_SIZE: usize = 32;
-
-/// Index of the overflow bucket in the internal arrays.
-const POOLED: usize = MAX_TRACKED_SIZE + 1;
-
-/// Per-size timing statistics.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SizeTiming {
-    /// Haplotype size. For the pooled bucket this is `MAX_TRACKED_SIZE`
-    /// (the bucket's lower bound), with [`SizeTiming::pooled`] set.
-    pub size: usize,
-    /// Evaluations performed at this size.
-    pub count: u64,
-    /// Mean evaluation time in nanoseconds.
-    pub mean_ns: f64,
-    /// Whether this entry aggregates every size above `MAX_TRACKED_SIZE`
-    /// rather than one exact size.
-    pub pooled: bool,
-}
+// Path compatibility: these lived here before moving to `ld-observe`.
+pub use ld_observe::{SizeTiming, MAX_TRACKED_SIZE};
 
 /// Evaluator wrapper recording per-size evaluation timings.
 #[derive(Debug)]
 pub struct TimingEvaluator<E> {
     inner: E,
-    counts: Vec<AtomicU64>,
-    total_ns: Vec<AtomicU64>,
+    bank: SizeTimingBank,
 }
 
 impl<E: Evaluator> TimingEvaluator<E> {
@@ -45,8 +29,7 @@ impl<E: Evaluator> TimingEvaluator<E> {
     pub fn new(inner: E) -> Self {
         TimingEvaluator {
             inner,
-            counts: (0..=POOLED).map(|_| AtomicU64::new(0)).collect(),
-            total_ns: (0..=POOLED).map(|_| AtomicU64::new(0)).collect(),
+            bank: SizeTimingBank::new(),
         }
     }
 
@@ -55,82 +38,46 @@ impl<E: Evaluator> TimingEvaluator<E> {
         &self.inner
     }
 
+    /// The shared timing bank behind this wrapper (e.g. to hand the same
+    /// fold to another recording layer).
+    pub fn bank(&self) -> &SizeTimingBank {
+        &self.bank
+    }
+
     /// Timing summary for every size that was evaluated at least once.
-    /// The overflow bucket (sizes above `MAX_TRACKED_SIZE`), if hit, is
+    /// The overflow bucket (sizes above [`MAX_TRACKED_SIZE`]), if hit, is
     /// the final entry with [`SizeTiming::pooled`] set — kept distinct so
     /// it cannot be mistaken for exact size-`MAX_TRACKED_SIZE` samples.
     pub fn timings(&self) -> Vec<SizeTiming> {
-        (0..=POOLED)
-            .filter_map(|bucket| {
-                let count = self.counts[bucket].load(Ordering::Relaxed);
-                if count == 0 {
-                    return None;
-                }
-                let total = self.total_ns[bucket].load(Ordering::Relaxed);
-                Some(SizeTiming {
-                    size: bucket.min(MAX_TRACKED_SIZE),
-                    count,
-                    mean_ns: total as f64 / count as f64,
-                    pooled: bucket == POOLED,
-                })
-            })
-            .collect()
+        self.bank.timings()
     }
 
     /// Mean evaluation time for one size, if measured. Sizes above
-    /// `MAX_TRACKED_SIZE` read the pooled bucket.
+    /// [`MAX_TRACKED_SIZE`] read the pooled bucket.
     pub fn mean_ns_for_size(&self, size: usize) -> Option<f64> {
-        let bucket = if size <= MAX_TRACKED_SIZE {
-            size
-        } else {
-            POOLED
-        };
-        let count = self.counts[bucket].load(Ordering::Relaxed);
-        if count == 0 {
-            return None;
-        }
-        Some(self.total_ns[bucket].load(Ordering::Relaxed) as f64 / count as f64)
+        self.bank.mean_ns_for_size(size)
     }
 
     /// Publish the current timings into an `ld-observe` [`Registry`]:
     /// one labelled counter of evaluations and one gauge of the mean per
     /// size (`size="33+"` for the pooled bucket). Safe to call repeatedly
     /// (e.g. from a periodic flusher); series are registered idempotently
-    /// and gauges/counters are overwritten with the current fold.
+    /// and counters add only the delta since the last publish.
+    ///
+    /// [`Registry`]: ld_observe::Registry
     pub fn publish(&self, registry: &ld_observe::Registry) {
-        for t in self.timings() {
-            let label = if t.pooled {
-                format!("{}+", MAX_TRACKED_SIZE + 1)
-            } else {
-                t.size.to_string()
-            };
-            let labels = [("size", label.as_str())];
-            let counter = registry.counter_with(
-                "ld_parallel_evals_total",
-                "Evaluations timed, per haplotype size",
-                &labels,
-            );
-            // Counters are monotonic: add only the delta since the last
-            // publish (the registry handle remembers the running value).
-            counter.add(t.count.saturating_sub(counter.get()));
-            registry
-                .gauge_with(
-                    "ld_parallel_eval_mean_ns",
-                    "Mean evaluation wall time per haplotype size (ns)",
-                    &labels,
-                )
-                .set(t.mean_ns);
-        }
+        self.bank.publish_into(
+            registry,
+            "ld_parallel_evals_total",
+            "Evaluations timed, per haplotype size",
+            "ld_parallel_eval_mean_ns",
+            "Mean evaluation wall time per haplotype size (ns)",
+        );
     }
 
     /// Reset all timers.
     pub fn reset(&self) {
-        for c in &self.counts {
-            c.store(0, Ordering::Relaxed);
-        }
-        for t in &self.total_ns {
-            t.store(0, Ordering::Relaxed);
-        }
+        self.bank.reset();
     }
 }
 
@@ -142,14 +89,8 @@ impl<E: Evaluator> Evaluator for TimingEvaluator<E> {
     fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
         let start = Instant::now();
         let f = self.inner.evaluate_one(snps);
-        let ns = start.elapsed().as_nanos() as u64;
-        let bucket = if snps.len() <= MAX_TRACKED_SIZE {
-            snps.len()
-        } else {
-            POOLED
-        };
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
-        self.total_ns[bucket].fetch_add(ns, Ordering::Relaxed);
+        self.bank
+            .record(snps.len(), start.elapsed().as_nanos() as u64);
         f
     }
     // evaluate_batch intentionally inherits the default sequential loop so

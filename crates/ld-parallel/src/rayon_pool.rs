@@ -8,8 +8,13 @@
 
 use ld_core::{EvalBackend, EvalBackendError, Evaluator, Haplotype, ScratchPool};
 use ld_data::SnpId;
+use ld_observe::span::names as span_names;
+use ld_observe::Observer;
 use rayon::prelude::*;
 use rayon::ThreadPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// Evaluator that fans a batch out over a rayon thread pool.
 ///
@@ -21,6 +26,9 @@ pub struct RayonEvaluator<E> {
     inner: E,
     pool: Option<ThreadPool>,
     scratch: ScratchPool,
+    /// Attached observability handle; when set, every dispatch records a
+    /// summed `compute` span under the scheduler's dispatch span.
+    observer: OnceLock<Observer>,
 }
 
 impl<E: Evaluator> RayonEvaluator<E> {
@@ -30,6 +38,7 @@ impl<E: Evaluator> RayonEvaluator<E> {
             inner,
             pool: None,
             scratch: ScratchPool::new(),
+            observer: OnceLock::new(),
         }
     }
 
@@ -48,7 +57,16 @@ impl<E: Evaluator> RayonEvaluator<E> {
             inner,
             pool: Some(pool),
             scratch: ScratchPool::new(),
+            observer: OnceLock::new(),
         }
+    }
+
+    /// Attach an [`Observer`]: each dispatch then records the summed
+    /// per-job compute wall time as a `compute` span, so latency
+    /// attribution sees local backends too. First call wins; without an
+    /// observer the hot loop reads no clocks.
+    pub fn set_observer(&self, observer: Observer) {
+        let _ = self.observer.set(observer);
     }
 
     /// The wrapped objective.
@@ -56,12 +74,16 @@ impl<E: Evaluator> RayonEvaluator<E> {
         &self.inner
     }
 
-    fn run_batch(&self, batch: &mut [Haplotype]) {
+    fn run_batch(&self, batch: &mut [Haplotype], compute_ns: Option<&AtomicU64>) {
         let inner = &self.inner;
         let scratch = &self.scratch;
         batch.par_iter_mut().for_each(|h| {
             let mut guard = scratch.get();
+            let started = compute_ns.map(|_| Instant::now());
             let f = inner.evaluate_one_with(&mut guard, h.snps());
+            if let (Some(acc), Some(started)) = (compute_ns, started) {
+                acc.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
             h.set_fitness(f);
         });
     }
@@ -73,9 +95,21 @@ impl<E: Evaluator> EvalBackend for RayonEvaluator<E> {
     }
 
     fn dispatch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
+        let obs = self.observer.get().filter(|o| o.enabled());
+        let compute_ns = AtomicU64::new(0);
+        let acc = obs.map(|_| &compute_ns);
         match &self.pool {
-            Some(pool) => pool.install(|| self.run_batch(batch)),
-            None => self.run_batch(batch),
+            Some(pool) => pool.install(|| self.run_batch(batch, acc)),
+            None => self.run_batch(batch, acc),
+        }
+        if let Some(obs) = obs {
+            // Summed worker wall time (may exceed the dispatch wall on
+            // multi-core runs; attribution normalizes).
+            obs.record_span(
+                span_names::COMPUTE,
+                obs.dispatch_span(),
+                Duration::from_nanos(compute_ns.load(Ordering::Relaxed)),
+            );
         }
         Ok(())
     }

@@ -12,19 +12,33 @@
 //! with `hga run --data genotypes.tsv --slaves host1:7171,host2:7171`.
 //!
 //! ```text
-//! cargo run --release --example distributed [--slaves 4]
+//! cargo run --release --example distributed [--slaves 4] [--observe-addr 127.0.0.1:9464]
 //! ```
+//!
+//! With `--observe-addr`, the run is traced: events + timed spans go to
+//! `distributed-events.jsonl`, a live scrape endpoint serves
+//! `/metrics`, `/health` and `/spans` on the given address while the GA
+//! runs, and a per-generation latency attribution is printed at the end
+//! (also available post-hoc via `trace-summary distributed-events.jsonl`).
 
 use haplo_ga::net::LocalCluster;
+use haplo_ga::observe::{
+    ExposeServer, FanoutSink, JsonlSink, Observer, Registry, RingSink, Sink, TraceSummary,
+};
 use haplo_ga::prelude::*;
+use std::sync::Arc;
 
 fn main() {
-    let n_slaves: usize = std::env::args()
-        .collect::<Vec<_>>()
+    let args: Vec<String> = std::env::args().collect();
+    let n_slaves: usize = args
         .windows(2)
         .find(|w| w[0] == "--slaves")
         .and_then(|w| w[1].parse().ok())
         .unwrap_or(4);
+    let observe_addr: Option<String> = args
+        .windows(2)
+        .find(|w| w[0] == "--observe-addr")
+        .map(|w| w[1].clone());
 
     let data = haplo_ga::data::synthetic::lille_51(42);
     println!(
@@ -42,6 +56,25 @@ fn main() {
         println!("  slave at {}", s.addr());
     }
 
+    // With --observe-addr: trace the run and serve live metrics.
+    let (observer, ring, server) = match &observe_addr {
+        Some(addr) => {
+            let ring = Arc::new(RingSink::new(1 << 16));
+            let jsonl =
+                Arc::new(JsonlSink::create("distributed-events.jsonl").expect("events file"));
+            let sink = Arc::new(FanoutSink::new(vec![ring.clone() as Arc<dyn Sink>, jsonl]));
+            let observer = Observer::new("distributed-example", sink, Registry::new());
+            let server = ExposeServer::bind(addr, observer.clone()).expect("bind scrape endpoint");
+            println!("\nscrape endpoint live at http://{}/", server.addr());
+            println!("  curl http://{}/metrics", server.addr());
+            println!("  curl http://{}/health", server.addr());
+            println!("  curl http://{}/spans", server.addr());
+            cluster.pool().set_observer(observer.clone());
+            (observer, Some(ring), Some(server))
+        }
+        None => (Observer::disabled(), None, None),
+    };
+
     let config = GaConfig {
         population_size: 100,
         max_size: 5,
@@ -52,6 +85,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let result = GaEngine::new(cluster.pool(), config, 7)
         .expect("valid config")
+        .with_observer(observer.clone())
         .run();
     println!(
         "done in {:.1?}: {} generations, {} evaluations\n",
@@ -72,4 +106,13 @@ fn main() {
             println!("  size {k}: {best}");
         }
     }
+
+    // Latency attribution: where did the evaluation time actually go?
+    if let Some(ring) = ring {
+        observer.flush();
+        let summary = TraceSummary::from_envelopes(&ring.take());
+        println!("\nlatency attribution (also in distributed-events.jsonl):");
+        print!("{}", summary.render());
+    }
+    drop(server); // keep the endpoint alive for the whole run
 }

@@ -1,0 +1,69 @@
+//! `trace-summary` — per-generation latency attribution from a run's
+//! JSONL event stream.
+//!
+//! Reads the `SpanClosed` events an observed run wrote (see
+//! `ld-observe`'s `JsonlSink`) and prints where each generation's
+//! evaluation time went: queue wait, network, slave compute, retry
+//! backoff, and the master-side share — the critical path of the
+//! distributed evaluation phase.
+//!
+//! ```text
+//! trace-summary <events.jsonl> [--json <out.json>]
+//! ```
+//!
+//! With `--json`, the full per-generation breakdown is also exported as
+//! pretty-printed JSON (what the CI fault matrix uploads as artifact).
+
+use ld_observe::TraceSummary;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace-summary <events.jsonl> [--json <out.json>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut events_path: Option<&str> = None;
+    let mut json_out: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                json_out = Some(path);
+                i += 2;
+            }
+            "-h" | "--help" => return usage(),
+            path if events_path.is_none() => {
+                events_path = Some(path);
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(events_path) = events_path else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(events_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-summary: reading {events_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = TraceSummary::from_jsonl(&text);
+    print!("{}", summary.render());
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(path, summary.to_json()) {
+            eprintln!("trace-summary: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -15,7 +15,9 @@
 //! * [`enumeration`] (`ld-enum`) — exhaustive sweeps, search-space counts,
 //!   landscape analysis;
 //! * [`net`] (`ld-net`) — distributed master/slaves over TCP, the modern
-//!   equivalent of the paper's C/PVM cluster substrate.
+//!   equivalent of the paper's C/PVM cluster substrate;
+//! * [`observe`] (`ld-observe`) — events, metrics, timed span trees,
+//!   latency attribution, and the live `/metrics` scrape endpoint.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use ld_core as ga;
 pub use ld_data as data;
 pub use ld_enum as enumeration;
 pub use ld_net as net;
+pub use ld_observe as observe;
 pub use ld_parallel as parallel;
 pub use ld_stats as stats;
 
