@@ -63,7 +63,7 @@ pub use ld_stats::{EvalScratch, ScratchPool};
 pub use population::MultiPopulation;
 pub use sched::{
     EvalBackend, EvalBackendError, EvalService, EvaluatorBackend, FaultEvents, FeasibilityFilter,
-    SchedStats, ShardedCache,
+    SchedStats, ShardedCache, WeightedFairQueue,
 };
 pub use selection::SelectionStrategy;
 pub use subpop::SubPopulation;

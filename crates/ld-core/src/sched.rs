@@ -73,6 +73,15 @@ pub enum EvalBackendError {
     },
     /// Any other unrecoverable backend failure.
     Backend(String),
+    /// The backend refused the batch up front because the tenant already
+    /// has its maximum number of batches in flight (backpressure). No job
+    /// in the batch was touched; retry after in-flight batches drain.
+    Saturated {
+        /// Batches the tenant already has in flight.
+        outstanding: usize,
+        /// The per-tenant in-flight limit that was hit.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for EvalBackendError {
@@ -83,6 +92,10 @@ impl std::fmt::Display for EvalBackendError {
                 "every evaluation worker failed with {outstanding} of {total} jobs outstanding"
             ),
             EvalBackendError::Backend(msg) => write!(f, "evaluation backend failed: {msg}"),
+            EvalBackendError::Saturated { outstanding, limit } => write!(
+                f,
+                "tenant saturated: {outstanding} batches in flight (limit {limit})"
+            ),
         }
     }
 }
@@ -120,6 +133,187 @@ impl FaultEvents {
         self.retirements += other.retirements;
         self.rejoins += other.rejoins;
         self.requeued += other.requeued;
+    }
+}
+
+/// A multi-tenant work queue with priority-weighted deficit round-robin
+/// claim order.
+///
+/// Each registered run owns a FIFO of pending items and a `weight` (its
+/// priority). [`WeightedFairQueue::claim`] visits runs in a fixed ring
+/// order; a run with items gets a *deficit* of `weight` claims before the
+/// cursor moves on, so over any window in which all runs stay backlogged,
+/// run `r` receives `weight_r / Σ weights` of the claims. Two properties
+/// make it safe to share one slave fleet between tenants:
+///
+/// * **starvation bound** — a backlogged run is never skipped for more
+///   than `Σ other weights` consecutive claims, regardless of how large
+///   or hot the other tenants are;
+/// * **per-run FIFO** — items of one run are always claimed in push
+///   order (requeues use [`WeightedFairQueue::push_front`] to keep a
+///   failed job at the head of its run's line).
+///
+/// The queue is not internally synchronized; callers wrap it in their own
+/// mutex (a dispatch loop typically pairs it with a condvar).
+#[derive(Debug)]
+pub struct WeightedFairQueue<T> {
+    runs: Vec<FairRun<T>>,
+    cursor: usize,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct FairRun<T> {
+    id: u64,
+    weight: u32,
+    deficit: u32,
+    items: std::collections::VecDeque<T>,
+}
+
+impl<T> Default for WeightedFairQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WeightedFairQueue<T> {
+    /// An empty queue with no registered runs.
+    pub fn new() -> Self {
+        WeightedFairQueue {
+            runs: Vec::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Register run `id` with the given priority `weight` (clamped to
+    /// ≥ 1). Re-registering an existing run only updates its weight.
+    pub fn register(&mut self, id: u64, weight: u32) {
+        let weight = weight.max(1);
+        if let Some(r) = self.runs.iter_mut().find(|r| r.id == id) {
+            r.weight = weight;
+            r.deficit = r.deficit.min(weight);
+        } else {
+            self.runs.push(FairRun {
+                id,
+                weight,
+                deficit: 0,
+                items: std::collections::VecDeque::new(),
+            });
+        }
+    }
+
+    /// Remove run `id`, dropping its pending items; returns how many
+    /// were dropped.
+    pub fn unregister(&mut self, id: u64) -> usize {
+        match self.runs.iter().position(|r| r.id == id) {
+            None => 0,
+            Some(idx) => {
+                let dropped = self.runs.remove(idx).items.len();
+                self.len -= dropped;
+                if idx < self.cursor {
+                    self.cursor -= 1;
+                }
+                if !self.runs.is_empty() {
+                    self.cursor %= self.runs.len();
+                } else {
+                    self.cursor = 0;
+                }
+                dropped
+            }
+        }
+    }
+
+    /// Append an item to run `id`'s FIFO. Returns `false` (dropping the
+    /// item) if the run is not registered.
+    pub fn push(&mut self, id: u64, item: T) -> bool {
+        match self.runs.iter_mut().find(|r| r.id == id) {
+            Some(r) => {
+                r.items.push_back(item);
+                self.len += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Put an item back at the *head* of run `id`'s FIFO (requeue after
+    /// a worker failure). Returns `false` if the run is not registered.
+    pub fn push_front(&mut self, id: u64, item: T) -> bool {
+        match self.runs.iter_mut().find(|r| r.id == id) {
+            Some(r) => {
+                r.items.push_front(item);
+                self.len += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Claim the next item under deficit round-robin, returning the
+    /// owning run's id alongside it; `None` when every run is idle.
+    pub fn claim(&mut self) -> Option<(u64, T)> {
+        if self.len == 0 || self.runs.is_empty() {
+            return None;
+        }
+        // At most one full lap: `len > 0` guarantees a non-empty run.
+        for _ in 0..self.runs.len() {
+            let n = self.runs.len();
+            let r = &mut self.runs[self.cursor];
+            if r.items.is_empty() {
+                // An idle run forfeits its remaining deficit — otherwise
+                // it could burst ahead of schedule once work arrives.
+                r.deficit = 0;
+                self.cursor = (self.cursor + 1) % n;
+                continue;
+            }
+            if r.deficit == 0 {
+                r.deficit = r.weight;
+            }
+            r.deficit -= 1;
+            let item = r.items.pop_front().expect("non-empty run FIFO");
+            self.len -= 1;
+            let id = r.id;
+            if r.deficit == 0 {
+                self.cursor = (self.cursor + 1) % n;
+            }
+            return Some((id, item));
+        }
+        unreachable!("len > 0 but no run had items");
+    }
+
+    /// Total pending items across all runs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pending items for one run (`None` if it is not registered).
+    pub fn run_len(&self, id: u64) -> Option<usize> {
+        self.runs.iter().find(|r| r.id == id).map(|r| r.items.len())
+    }
+
+    /// Number of registered runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Drop every pending item for which `predicate` returns `true`
+    /// (e.g. jobs of a batch that already failed); returns how many
+    /// were removed. Relative order of survivors is preserved.
+    pub fn purge(&mut self, mut predicate: impl FnMut(u64, &T) -> bool) -> usize {
+        let mut removed = 0;
+        for r in &mut self.runs {
+            let before = r.items.len();
+            r.items.retain(|item| !predicate(r.id, item));
+            removed += before - r.items.len();
+        }
+        self.len -= removed;
+        removed
     }
 }
 
@@ -1097,5 +1291,168 @@ mod tests {
         fn backend_name(&self) -> &'static str {
             "owned-evaluator"
         }
+    }
+
+    // --- WeightedFairQueue ---------------------------------------------
+
+    /// Deterministic splitmix64 for property-style weight sampling.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn fair_queue_service_is_weight_proportional_under_backlog() {
+        let mut q = WeightedFairQueue::new();
+        q.register(1, 1);
+        q.register(2, 8);
+        for i in 0..200u32 {
+            q.push(1, i);
+            q.push(2, i);
+        }
+        // Over any whole number of laps, claims split exactly 1:8.
+        let mut counts = [0usize; 2];
+        for _ in 0..9 * 20 {
+            let (run, _) = q.claim().expect("backlogged");
+            counts[run as usize - 1] += 1;
+        }
+        assert_eq!(counts, [20, 160]);
+    }
+
+    #[test]
+    fn fair_queue_starvation_bound_holds_for_random_weights() {
+        // Property: however the weights are drawn, a backlogged run is
+        // never skipped for more than Σ(other weights) consecutive claims.
+        let mut rng = 0x5EED_u64;
+        for trial in 0..50 {
+            let n_runs = 2 + splitmix64(&mut rng) % 4; // 2..=5
+            let mut q = WeightedFairQueue::new();
+            let mut weights = HashMap::new();
+            for id in 0..n_runs {
+                let w = 1 + (splitmix64(&mut rng) % 8) as u32; // 1..=8
+                q.register(id, w);
+                weights.insert(id, w);
+                for i in 0..500u32 {
+                    q.push(id, i);
+                }
+            }
+            let total_weight: u32 = weights.values().sum();
+            let mut last_seen: HashMap<u64, usize> = HashMap::new();
+            for step in 0..(total_weight as usize * 10) {
+                let (run, _) = q.claim().expect("backlogged");
+                if let Some(prev) = last_seen.insert(run, step) {
+                    let bound = (total_weight - weights[&run]) as usize;
+                    assert!(
+                        step - prev - 1 <= bound,
+                        "trial {trial}: run {run} (weight {}) starved for {} claims, \
+                         bound is {bound}",
+                        weights[&run],
+                        step - prev - 1,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fair_queue_claims_stay_fifo_within_each_run() {
+        let mut rng = 0xFEED_u64;
+        let mut q = WeightedFairQueue::new();
+        for id in 0..3u64 {
+            q.register(id, 1 + (splitmix64(&mut rng) % 5) as u32);
+            for seq in 0..100u32 {
+                q.push(id, seq);
+            }
+        }
+        let mut next_expected = [0u32; 3];
+        while let Some((run, seq)) = q.claim() {
+            assert_eq!(
+                seq, next_expected[run as usize],
+                "run {run} claimed out of push order"
+            );
+            next_expected[run as usize] += 1;
+        }
+        assert_eq!(next_expected, [100, 100, 100]);
+    }
+
+    #[test]
+    fn fair_queue_push_front_requeues_at_the_head() {
+        let mut q = WeightedFairQueue::new();
+        q.register(1, 2);
+        q.push(1, "a");
+        q.push(1, "b");
+        let (_, first) = q.claim().unwrap();
+        assert_eq!(first, "a");
+        // Worker failed: the job goes back to the head of its run's line.
+        q.push_front(1, "a");
+        assert_eq!(q.claim().unwrap().1, "a");
+        assert_eq!(q.claim().unwrap().1, "b");
+        assert!(q.claim().is_none());
+    }
+
+    #[test]
+    fn fair_queue_idle_run_forfeits_deficit_and_unknown_run_is_rejected() {
+        let mut q = WeightedFairQueue::new();
+        q.register(1, 8);
+        q.register(2, 1);
+        // Run 1 is idle: it must not bank its weight-8 deficit while run 2
+        // drains, then burst when work arrives.
+        for i in 0..4u32 {
+            q.push(2, i);
+        }
+        assert_eq!(q.claim().unwrap().0, 2);
+        q.push(1, 99);
+        // One claim for run 1 (its turn in the ring), then back to fair
+        // alternation — not 8 consecutive run-1 claims.
+        let order: Vec<u64> = std::iter::from_fn(|| q.claim().map(|(r, _)| r)).collect();
+        assert_eq!(order.iter().filter(|&&r| r == 1).count(), 1);
+        // Items for unregistered runs are refused, not silently enqueued.
+        assert!(!q.push(7, 0));
+        assert!(!q.push_front(7, 0));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn fair_queue_unregister_drops_items_and_keeps_ring_consistent() {
+        let mut q = WeightedFairQueue::new();
+        for id in 0..3u64 {
+            q.register(id, 1);
+            q.push(id, id);
+        }
+        // Advance the cursor past run 0, then remove an earlier run.
+        let _ = q.claim();
+        assert_eq!(q.unregister(0), 0); // already drained
+        assert_eq!(q.run_count(), 2);
+        assert_eq!(q.unregister(2), 1); // drops its one pending item
+        assert_eq!(q.run_len(1), Some(1));
+        assert_eq!(q.claim().unwrap().0, 1);
+        assert!(q.claim().is_none());
+        assert_eq!(q.unregister(99), 0);
+    }
+
+    #[test]
+    fn fair_queue_purge_removes_matching_jobs_only() {
+        let mut q = WeightedFairQueue::new();
+        q.register(1, 1);
+        q.register(2, 1);
+        for i in 0..4u32 {
+            q.push(1, i);
+            q.push(2, i);
+        }
+        // Drop run 1's even jobs (e.g. members of a failed batch).
+        let removed = q.purge(|run, item| run == 1 && item % 2 == 0);
+        assert_eq!(removed, 2);
+        assert_eq!(q.run_len(1), Some(2));
+        assert_eq!(q.run_len(2), Some(4));
+        let mut run1_order = Vec::new();
+        while let Some((run, item)) = q.claim() {
+            if run == 1 {
+                run1_order.push(item);
+            }
+        }
+        assert_eq!(run1_order, vec![1, 3]);
     }
 }

@@ -1,0 +1,421 @@
+//! The eval server's JSON control surface: submit / status / result.
+//!
+//! [`MultiRunApi`] implements `ld-observe`'s
+//! [`ApiHandler`](ld_observe::ApiHandler) extension seam, so mounting it
+//! on an [`ld_observe::ExposeServer`] turns the metrics endpoint into a
+//! small multi-tenant control plane:
+//!
+//! | route | method | meaning |
+//! |---|---|---|
+//! | `/runs` | POST | submit a run (`{"run_id", "workload", "seed", "weight"}`) |
+//! | `/runs` | GET | list runs with state and queue depth |
+//! | `/runs/<id>` | GET | one run's status |
+//! | `/runs/<id>/result` | GET | final result (202 while still running) |
+//!
+//! `/health` additionally grows a per-run section (via
+//! [`ApiHandler::health_runs`](ld_observe::ApiHandler::health_runs)).
+//!
+//! What a "workload" *is* stays the embedder's business: the API calls a
+//! [`RunLauncher`] to actually start the GA (typically: build a dataset,
+//! [`crate::EvalServer::submit_run`], spawn an engine thread on the
+//! returned handle) and the launcher reports completion back through the
+//! shared [`RunBoard`]. This keeps `ld-net` free of engine-configuration
+//! concerns while examples and tests wire real runs.
+
+use crate::server::SubmitError;
+use crate::EvalServer;
+use ld_observe::{ApiHandler, ApiResponse};
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A parsed run submission.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Tenant run id (unique among active runs).
+    pub run_id: String,
+    /// Free-form workload selector interpreted by the launcher
+    /// (e.g. a dataset name).
+    pub workload: String,
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// Fair-share weight (≥ 1).
+    pub weight: u32,
+}
+
+/// Starts a submitted run. Returning `Err` maps the typed
+/// [`SubmitError`] onto an HTTP status; on `Ok` the run is marked
+/// running until the launcher calls [`RunBoard::finish`] or
+/// [`RunBoard::fail`].
+pub type RunLauncher = Arc<dyn Fn(&RunRequest) -> Result<(), SubmitError> + Send + Sync>;
+
+#[derive(Debug, Clone)]
+enum RunState {
+    Running,
+    /// Final result, as a JSON value produced by the launcher.
+    Finished(String),
+    Failed(String),
+}
+
+/// Shared run-lifecycle board: the launcher holds a clone and reports
+/// terminal states; the API reads it for status/result routes.
+#[derive(Clone, Default)]
+pub struct RunBoard {
+    states: Arc<Mutex<HashMap<String, RunState>>>,
+}
+
+impl RunBoard {
+    /// A fresh, empty board.
+    pub fn new() -> RunBoard {
+        RunBoard::default()
+    }
+
+    /// Record a run's final result (any JSON value, e.g. the best
+    /// haplotypes and fitness).
+    pub fn finish(&self, run_id: &str, result_json: String) {
+        self.states
+            .lock()
+            .insert(run_id.to_string(), RunState::Finished(result_json));
+    }
+
+    /// Record a run's terminal failure.
+    pub fn fail(&self, run_id: &str, error: impl Into<String>) {
+        self.states
+            .lock()
+            .insert(run_id.to_string(), RunState::Failed(error.into()));
+    }
+
+    fn start(&self, run_id: &str) {
+        self.states
+            .lock()
+            .insert(run_id.to_string(), RunState::Running);
+    }
+
+    fn get(&self, run_id: &str) -> Option<RunState> {
+        self.states.lock().get(run_id).cloned()
+    }
+
+    fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.states.lock().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+}
+
+/// The submit/status/result API over one [`EvalServer`].
+pub struct MultiRunApi {
+    server: Arc<EvalServer>,
+    launcher: RunLauncher,
+    board: RunBoard,
+}
+
+impl MultiRunApi {
+    /// Wrap `server`, starting submitted runs through `launcher`, which
+    /// reports terminal states on `board` (keep a clone of the board
+    /// inside the launcher).
+    pub fn new(server: Arc<EvalServer>, launcher: RunLauncher, board: RunBoard) -> MultiRunApi {
+        MultiRunApi {
+            server,
+            launcher,
+            board,
+        }
+    }
+
+    /// The board the launcher reports completion through.
+    pub fn board(&self) -> RunBoard {
+        self.board.clone()
+    }
+
+    fn submit(&self, body: &[u8]) -> ApiResponse {
+        let text = String::from_utf8_lossy(body);
+        let value: Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                return ApiResponse::json_status(
+                    400,
+                    format!(
+                        "{{\"error\":\"bad json: {}\"}}",
+                        json_escape(&e.to_string())
+                    ),
+                )
+            }
+        };
+        let Some(run_id) = value.get("run_id").and_then(|v| v.as_str()) else {
+            return ApiResponse::json_status(
+                400,
+                "{\"error\":\"missing required field: run_id\"}".to_string(),
+            );
+        };
+        if run_id.is_empty() {
+            return ApiResponse::json_status(
+                400,
+                "{\"error\":\"run_id must be non-empty\"}".to_string(),
+            );
+        }
+        if matches!(self.board.get(run_id), Some(RunState::Running)) {
+            return ApiResponse::json_status(
+                409,
+                format!("{{\"error\":\"run {} is active\"}}", json_quote(run_id)),
+            );
+        }
+        let request = RunRequest {
+            run_id: run_id.to_string(),
+            workload: value
+                .get("workload")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string(),
+            seed: value.get("seed").and_then(|v| v.as_u64()).unwrap_or(0),
+            weight: value
+                .get("weight")
+                .and_then(|v| v.as_u64())
+                .map_or(1, |w| w.max(1).min(u64::from(u32::MAX)) as u32),
+        };
+        // Mark running *before* launching: a synchronous launcher may
+        // finish (or fail) the run before it returns, and that terminal
+        // state must not be clobbered.
+        self.board.start(run_id);
+        match (self.launcher)(&request) {
+            Ok(()) => {
+                ApiResponse::json_status(202, format!("{{\"accepted\":{}}}", json_quote(run_id)))
+            }
+            Err(e) => {
+                self.board.states.lock().remove(run_id);
+                let status = match &e {
+                    SubmitError::DuplicateRun(_) => 409,
+                    SubmitError::DatasetRejected { .. } => 400,
+                    SubmitError::Saturated { .. }
+                    | SubmitError::NoSlaves
+                    | SubmitError::ServerStopped => 503,
+                };
+                ApiResponse::json_status(
+                    status,
+                    format!("{{\"error\":{}}}", json_quote(&e.to_string())),
+                )
+            }
+        }
+    }
+
+    /// One run's status fragment (a JSON object, without the id).
+    fn status_fragment(&self, run_id: &str) -> Option<String> {
+        let state = self.board.get(run_id)?;
+        let (label, extra) = match &state {
+            RunState::Running => ("running", String::new()),
+            RunState::Finished(_) => ("finished", String::new()),
+            RunState::Failed(e) => ("failed", format!(",\"error\":{}", json_quote(e))),
+        };
+        let queued = self
+            .server
+            .run_queue_depth(run_id)
+            .map_or(String::new(), |q| format!(",\"queued\":{q}"));
+        Some(format!("{{\"state\":\"{label}\"{queued}{extra}}}"))
+    }
+
+    fn list(&self) -> ApiResponse {
+        let entries: Vec<String> = self
+            .board
+            .ids()
+            .iter()
+            .filter_map(|id| {
+                let frag = self.status_fragment(id)?;
+                Some(format!("{}:{}", json_quote(id), frag))
+            })
+            .collect();
+        ApiResponse::json(format!(
+            "{{\"runs\":{{{}}},\"alive_slaves\":{},\"queue_depth\":{}}}",
+            entries.join(","),
+            self.server.alive(),
+            self.server.queue_depth(),
+        ))
+    }
+
+    fn status(&self, run_id: &str) -> ApiResponse {
+        match self.status_fragment(run_id) {
+            Some(frag) => ApiResponse::json(format!(
+                "{{\"run_id\":{},\"status\":{frag}}}",
+                json_quote(run_id)
+            )),
+            None => not_found(run_id),
+        }
+    }
+
+    fn result(&self, run_id: &str) -> ApiResponse {
+        match self.board.get(run_id) {
+            Some(RunState::Finished(result)) => ApiResponse::json(result),
+            Some(RunState::Running) => ApiResponse::json_status(
+                202,
+                format!(
+                    "{{\"run_id\":{},\"state\":\"running\"}}",
+                    json_quote(run_id)
+                ),
+            ),
+            Some(RunState::Failed(e)) => ApiResponse::json_status(
+                503,
+                format!(
+                    "{{\"run_id\":{},\"state\":\"failed\",\"error\":{}}}",
+                    json_quote(run_id),
+                    json_quote(&e)
+                ),
+            ),
+            None => not_found(run_id),
+        }
+    }
+}
+
+fn not_found(run_id: &str) -> ApiResponse {
+    ApiResponse::json_status(
+        404,
+        format!("{{\"error\":\"no such run: {}\"}}", json_escape(run_id)),
+    )
+}
+
+impl ApiHandler for MultiRunApi {
+    fn handle(&self, method: &str, path: &str, body: &[u8]) -> Option<ApiResponse> {
+        match (method, path) {
+            ("POST", "/runs") => Some(self.submit(body)),
+            ("GET", "/runs") => Some(self.list()),
+            ("GET", p) => {
+                let rest = p.strip_prefix("/runs/")?;
+                if let Some(id) = rest.strip_suffix("/result") {
+                    Some(self.result(id))
+                } else if rest.contains('/') {
+                    None
+                } else {
+                    Some(self.status(rest))
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn health_runs(&self) -> Vec<(String, String)> {
+        self.board
+            .ids()
+            .iter()
+            .filter_map(|id| Some((id.clone(), self.status_fragment(id)?)))
+            .collect()
+    }
+}
+
+/// Escape a string's content for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A complete JSON string literal (quotes included).
+fn json_quote(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{RunSpec, ServerConfig};
+    use crate::slave::{DatasetLoader, ObjectiveStore, SlaveServer};
+    use ld_core::Evaluator;
+    use ld_data::SnpId;
+    use ld_observe::Observer;
+
+    fn sum_loader() -> DatasetLoader {
+        Arc::new(|_fp, n_snps, _payload: &[u8]| {
+            Ok(Arc::new(ld_core::evaluator::FnEvaluator::new(
+                n_snps as usize,
+                |s: &[SnpId]| s.iter().sum::<usize>() as f64,
+            )) as Arc<dyn Evaluator>)
+        })
+    }
+
+    /// An API whose launcher submits to a real (loopback) eval server,
+    /// evaluates one haplotype, and finishes immediately.
+    fn api_fixture(max_runs: usize) -> (SlaveServer, Arc<EvalServer>, Arc<MultiRunApi>) {
+        let store = Arc::new(ObjectiveStore::new(8).with_loader(sum_loader()));
+        let slave = SlaveServer::spawn_shared("127.0.0.1:0", store, Observer::disabled()).unwrap();
+        let server = Arc::new(
+            EvalServer::connect(
+                &[slave.addr().to_string()],
+                ServerConfig {
+                    max_runs,
+                    ..ServerConfig::default()
+                },
+                Observer::disabled(),
+            )
+            .unwrap(),
+        );
+        let board = RunBoard::new();
+        let launch_server = Arc::clone(&server);
+        let launch_board = board.clone();
+        let launcher: RunLauncher = Arc::new(move |req: &RunRequest| {
+            let handle = launch_server
+                .submit_run(RunSpec::new(&req.run_id, 0xF00D, 51).with_payload(vec![1]))?;
+            let fitness = handle
+                .try_evaluate_one(&[1, 2, (req.seed % 10) as usize + 3])
+                .map_err(|e| SubmitError::DatasetRejected {
+                    slave: "fleet".into(),
+                    reason: e.to_string(),
+                })?;
+            launch_board.finish(&req.run_id, format!("{{\"best_fitness\":{fitness}}}"));
+            Ok(())
+        });
+        let api = MultiRunApi::new(Arc::clone(&server), launcher, board);
+        (slave, server, Arc::new(api))
+    }
+
+    #[test]
+    fn submit_status_result_roundtrip() {
+        let (_slave, _server, api) = api_fixture(8);
+        let resp = api
+            .handle("POST", "/runs", br#"{"run_id":"r1","seed":4,"weight":2}"#)
+            .unwrap();
+        assert_eq!(resp.status, 202, "{}", resp.body);
+        // The fixture launcher is synchronous, so the result is final by
+        // the time the submit response is in hand.
+        let resp = api.handle("GET", "/runs/r1/result", b"").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("best_fitness"), "{}", resp.body);
+        let listing = api.handle("GET", "/runs", b"").unwrap();
+        assert_eq!(listing.status, 200);
+        assert!(listing.body.contains("\"r1\""), "{}", listing.body);
+        let status = api.handle("GET", "/runs/r1", b"").unwrap();
+        assert_eq!(status.status, 200);
+        assert!(!api.health_runs().is_empty());
+    }
+
+    #[test]
+    fn errors_are_mapped_to_http_statuses() {
+        let (_slave, server, api) = api_fixture(1);
+        assert_eq!(api.handle("POST", "/runs", b"{").unwrap().status, 400);
+        assert_eq!(
+            api.handle("POST", "/runs", b"{\"seed\":1}").unwrap().status,
+            400,
+            "missing run_id"
+        );
+        assert_eq!(api.handle("GET", "/runs/ghost", b"").unwrap().status, 404);
+        assert_eq!(
+            api.handle("GET", "/runs/ghost/result", b"").unwrap().status,
+            404
+        );
+        // Fill the server's only run slot out-of-band, then submit: the
+        // launcher's typed Saturated becomes a 503.
+        let _held = server
+            .submit_run(RunSpec::new("holder", 0xF00D, 51).with_payload(vec![1]))
+            .unwrap();
+        let resp = api.handle("POST", "/runs", br#"{"run_id":"r2"}"#).unwrap();
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        // Unknown routes fall through to the built-ins.
+        assert!(api.handle("GET", "/metrics", b"").is_none());
+        assert!(api.handle("DELETE", "/runs", b"").is_none());
+    }
+}

@@ -3,8 +3,11 @@
 //! paper's PVM node farm, used by tests, examples and the CLI.
 
 use crate::master::{PoolConfig, PoolError, TcpSlavePool};
-use crate::slave::SlaveServer;
+use crate::server::{EvalServer, ServerConfig};
+use crate::slave::{DatasetLoader, ObjectiveStore, SlaveServer};
 use ld_core::Evaluator;
+use ld_observe::Observer;
+use std::sync::Arc;
 
 /// N loopback slave servers plus a connected master pool.
 ///
@@ -104,6 +107,115 @@ impl LocalCluster {
     }
 }
 
+/// N loopback *multi-tenant* slave servers plus a connected
+/// [`EvalServer`]: the single-machine stand-in for a long-lived shared
+/// evaluation fleet serving many GA runs at once.
+///
+/// Field order matters, as in [`LocalCluster`]: the server must drop
+/// first so its workers disconnect before the slave servers are joined.
+pub struct SharedCluster {
+    server: Arc<EvalServer>,
+    slaves: Vec<SlaveServer>,
+}
+
+impl SharedCluster {
+    /// Spawn `n_slaves` store-backed slaves, each building tenant
+    /// objectives on demand through `loader`, and connect an eval server
+    /// to all of them.
+    ///
+    /// # Panics
+    /// Panics if `n_slaves` is zero.
+    pub fn spawn_shared(
+        n_slaves: usize,
+        loader: DatasetLoader,
+    ) -> Result<SharedCluster, PoolError> {
+        Self::spawn_shared_configured(
+            n_slaves,
+            loader,
+            ServerConfig::default(),
+            Observer::disabled(),
+        )
+    }
+
+    /// [`SharedCluster::spawn_shared`] with explicit server knobs and a
+    /// fleet-level observer (forwarded to the slaves too).
+    ///
+    /// # Panics
+    /// Panics if `n_slaves` is zero.
+    pub fn spawn_shared_configured(
+        n_slaves: usize,
+        loader: DatasetLoader,
+        cfg: ServerConfig,
+        observer: Observer,
+    ) -> Result<SharedCluster, PoolError> {
+        assert!(n_slaves > 0, "need at least one slave");
+        let slaves: Vec<SlaveServer> = (0..n_slaves)
+            .map(|_| {
+                let store = Arc::new(ObjectiveStore::new(0).with_loader(Arc::clone(&loader)));
+                SlaveServer::spawn_shared("127.0.0.1:0", store, observer.clone())
+                    .expect("bind loopback slave")
+            })
+            .collect();
+        Self::connect_server(slaves, cfg, observer)
+    }
+
+    /// Spawn a shared cluster whose slaves follow scripted
+    /// [`crate::fault::FaultPlan`]s (one per slave). Test-only.
+    ///
+    /// # Panics
+    /// Panics if `plans.len() != n_slaves` or `n_slaves` is zero.
+    #[cfg(feature = "fault-inject")]
+    pub fn spawn_shared_faulty(
+        n_slaves: usize,
+        loader: DatasetLoader,
+        plans: &[crate::fault::FaultPlan],
+        cfg: ServerConfig,
+        observer: Observer,
+    ) -> Result<SharedCluster, PoolError> {
+        assert!(n_slaves > 0, "need at least one slave");
+        assert_eq!(plans.len(), n_slaves, "one fault plan per slave");
+        let slaves: Vec<SlaveServer> = plans
+            .iter()
+            .map(|plan| {
+                let store = Arc::new(ObjectiveStore::new(0).with_loader(Arc::clone(&loader)));
+                SlaveServer::spawn_shared_with_faults(
+                    "127.0.0.1:0",
+                    store,
+                    observer.clone(),
+                    plan.clone(),
+                )
+                .expect("bind loopback slave")
+            })
+            .collect();
+        Self::connect_server(slaves, cfg, observer)
+    }
+
+    fn connect_server(
+        slaves: Vec<SlaveServer>,
+        cfg: ServerConfig,
+        observer: Observer,
+    ) -> Result<SharedCluster, PoolError> {
+        let addrs: Vec<String> = slaves.iter().map(|s| s.addr().to_string()).collect();
+        let server = Arc::new(EvalServer::connect(&addrs, cfg, observer)?);
+        Ok(SharedCluster { server, slaves })
+    }
+
+    /// The multi-run eval server (submit tenants through it).
+    pub fn server(&self) -> &Arc<EvalServer> {
+        &self.server
+    }
+
+    /// The slave servers (for inspection or fault injection in tests).
+    pub fn slaves(&self) -> &[SlaveServer] {
+        &self.slaves
+    }
+
+    /// Total evaluations served across all slaves, all tenants.
+    pub fn total_served(&self) -> u64 {
+        self.slaves.iter().map(|s| s.served()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +304,41 @@ mod tests {
         for h in &batch {
             assert!(h.is_evaluated());
         }
+    }
+
+    #[test]
+    fn shared_cluster_serves_two_tenants() {
+        use crate::server::RunSpec;
+        use ld_core::EvalBackend;
+
+        let loader: DatasetLoader = Arc::new(|fp, n_snps, _payload: &[u8]| {
+            let scale = (fp % 7 + 1) as f64;
+            Ok(
+                Arc::new(FnEvaluator::new(n_snps as usize, move |s: &[SnpId]| {
+                    scale * s.iter().map(|&x| x as f64).sum::<f64>()
+                })) as Arc<dyn Evaluator>,
+            )
+        });
+        let cluster = SharedCluster::spawn_shared(2, loader).unwrap();
+        let a = cluster
+            .server()
+            .submit_run(RunSpec::new("a", 1, 30).with_payload(vec![1]))
+            .unwrap();
+        let b = cluster
+            .server()
+            .submit_run(RunSpec::new("b", 2, 30).with_payload(vec![1]))
+            .unwrap();
+        let mut batch_a: Vec<Haplotype> = (0..12).map(|i| Haplotype::new(vec![i, i + 1])).collect();
+        let mut batch_b = batch_a.clone();
+        a.dispatch(&mut batch_a).unwrap();
+        b.dispatch(&mut batch_b).unwrap();
+        for (x, y) in batch_a.iter().zip(&batch_b) {
+            // fp 1 scales by 2, fp 2 scales by 3: distinct tenants,
+            // distinct objectives, same fleet.
+            assert_eq!(x.fitness() * 3.0, y.fitness() * 2.0);
+        }
+        assert_eq!(cluster.total_served(), 24);
+        assert_eq!(cluster.server().active_runs(), vec!["a", "b"]);
     }
 
     #[test]

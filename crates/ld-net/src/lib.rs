@@ -15,12 +15,24 @@
 //!   working in both directions (see the [`protocol`] docs).
 //! * [`slave`] — the slave daemon: owns the objective (= "accesses the
 //!   data once"), accepts master connections, and answers evaluation
-//!   requests; one thread per connection.
+//!   requests; one thread per connection. Protocol v3 turns it
+//!   multi-tenant: an [`slave::ObjectiveStore`] holds many datasets at
+//!   once, registered by content fingerprint with the columns shipped at
+//!   most once per slave process.
 //! * [`master`] — [`master::TcpSlavePool`], an [`ld_core::Evaluator`]
 //!   whose `evaluate_batch` deals jobs to the connected slaves through a
 //!   shared work queue (on-demand load balancing, like PVM's task
 //!   farming). A slave that dies mid-batch has its in-flight job requeued
 //!   and is retired — the batch completes as long as one slave survives.
+//! * [`server`] — [`server::EvalServer`], the multi-run generalization:
+//!   one long-lived server multiplexing N concurrent GA runs (distinct
+//!   run ids, datasets, priorities) over one shared slave fleet, with
+//!   weighted-fair scheduling, per-run backpressure, typed admission
+//!   control, and the same retry/retire/rejoin fault ladder per tenant.
+//! * [`wire`] — the versioned dataset columns codec (+ content
+//!   fingerprint) carried inside v3 `RegisterDataset` frames.
+//! * [`api`] — [`api::MultiRunApi`], a JSON submit/status/result surface
+//!   for the eval server, mounted on `ld-observe`'s `ExposeServer`.
 //! * [`cluster`] — helpers to spawn an in-process loopback "cluster" for
 //!   tests, examples and single-machine use.
 //! * `fault` *(feature `fault-inject`, test-only)* — deterministic
@@ -28,8 +40,9 @@
 //!   responses, handshake sabotage. Powers the recovery test suite and
 //!   the CI fault matrix.
 //!
-//! The GA engine does not know any of this exists: the pool plugs into the
-//! same batched-evaluation seam as the in-process evaluators. When slaves
+//! The GA engine does not know any of this exists: the pool (single run)
+//! and the [`server::RunHandle`] (shared fleet) plug into the same
+//! batched-evaluation seam as the in-process evaluators. When slaves
 //! fail, the pool retries, requeues and rejoins (see `DESIGN.md`,
 //! "Failure model of the evaluation layer"); only total slave loss
 //! surfaces, as a typed [`ld_core::EvalBackendError`].
@@ -37,15 +50,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cluster;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod master;
 pub mod protocol;
+pub mod server;
 pub mod slave;
+pub mod wire;
 
-pub use cluster::LocalCluster;
+pub use api::{MultiRunApi, RunBoard, RunLauncher, RunRequest};
+pub use cluster::{LocalCluster, SharedCluster};
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;
 pub use master::{PoolConfig, PoolError, TcpSlavePool};
-pub use slave::SlaveServer;
+pub use server::{EvalServer, RunHandle, RunSpec, ServerConfig, SubmitError};
+pub use slave::{DatasetLoader, ObjectiveStore, SlaveServer};

@@ -13,6 +13,10 @@
 //! | 2 | `EvalResponse` | u64 id, f64 fitness (bits) |
 //! | 3 | `Shutdown` | — |
 //! | 4 | `EvalResult` | u64 id, f64 fitness (bits), u32 compute µs, u8 scratch warm (v2) |
+//! | 5 | `RegisterDataset` | u64 handle, u64 fingerprint, u32 n_snps, u32 len, len × u8 columns (v3) |
+//! | 6 | `DatasetAck` | u64 handle, u8 accepted, u32 len, len × u8 utf-8 reason (v3) |
+//! | 7 | `EvalRequestV3` | u64 id, u64 run_id, u64 handle, u32 k, k × u32 snp ids (v3) |
+//! | 8 | `EvalError` | u64 id, u32 len, len × u8 utf-8 reason (v3) |
 //!
 //! The `Hello` is sent by the slave on accept; the master checks the
 //! version and panel width before dealing work. Payloads are bounded
@@ -26,21 +30,44 @@
 //! both directions:
 //!
 //! * the slave still greets first with `Hello { version, .. }`;
-//! * a v2 **master** answers a v≥2 slave with its own `Hello` (a v1
+//! * a v≥2 **master** answers a v≥2 slave with its own `Hello` (a v1
 //!   slave never sees an unexpected frame);
-//! * a v2 **slave** keeps answering with plain `EvalResponse` until it
+//! * a v≥2 **slave** keeps answering with plain `EvalResponse` until it
 //!   has seen a master `Hello` announcing version ≥ 2, after which it
 //!   switches to `EvalResult`.
 //!
-//! So timing fields exist exactly when both ends are v2, and are
+//! So timing fields exist exactly when both ends are v≥2, and are
 //! *absent* (not zero) otherwise.
+//!
+//! Version 3 adds multi-dataset, multi-run service: a master registers a
+//! dataset under a content fingerprint once per slave *process* with
+//! `RegisterDataset` and then addresses it by handle in `EvalRequestV3`,
+//! which also carries the tenant's `run_id`. The rules:
+//!
+//! * v3 frames (tags 5–8) are only ever sent after both ends have
+//!   announced version ≥ 3 in their `Hello`s — a v1/v2 peer never sees
+//!   one, and the single-run [`crate::TcpSlavePool`] master keeps
+//!   speaking plain `EvalRequest` regardless of the slave's version;
+//! * the columns blob in `RegisterDataset` is shipped **once per slave**:
+//!   re-registrations of a resident fingerprint (e.g. after a reconnect)
+//!   carry an empty blob, and the slave acks from residency;
+//! * the slave answers every `RegisterDataset` with a `DatasetAck`; a
+//!   rejection (`accepted = 0`) names the reason — capacity exhausted,
+//!   unknown fingerprint with no columns attached, or panel-width
+//!   mismatch — and the master surfaces it as a typed admission error;
+//! * an `EvalRequestV3` naming an unknown handle is answered with
+//!   `EvalError`, never with a made-up fitness; the master re-registers
+//!   and retries.
+//!
+//! Replies to `EvalRequestV3` reuse the v2 `EvalResult` frame; requests
+//! correlate by `id`, so the response format is version-orthogonal.
 
 use bytes::{Buf, BufMut, BytesMut};
 use ld_data::SnpId;
 use std::io::{self, Read, Write};
 
 /// Protocol version; bumped on any frame-format change.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Oldest peer version the master still accepts (v1 slaves reply with
 /// `EvalResponse` and simply never report compute time).
@@ -90,6 +117,49 @@ pub enum Message {
         /// (this was not the connection's first evaluation).
         scratch_warm: bool,
     },
+    /// Master → slave (v3): bind `handle` to the dataset identified by
+    /// `fingerprint`, shipping the columns blob if the slave has not
+    /// seen this fingerprint before (re-registrations send it empty).
+    RegisterDataset {
+        /// Handle the master will use in subsequent `EvalRequestV3`s.
+        handle: u64,
+        /// Content fingerprint of the dataset (stable across masters).
+        fingerprint: u64,
+        /// Panel width the master expects this dataset to serve.
+        n_snps: u32,
+        /// Opaque dataset columns; empty when the master believes the
+        /// fingerprint is already resident on the slave.
+        payload: Vec<u8>,
+    },
+    /// Slave → master (v3): outcome of a `RegisterDataset`.
+    DatasetAck {
+        /// Handle echoed back.
+        handle: u64,
+        /// Whether the handle is now bound and ready to serve.
+        accepted: bool,
+        /// Human-readable rejection reason (empty on accept).
+        reason: String,
+    },
+    /// Master → slave (v3): evaluate one haplotype of run `run_id`
+    /// against the dataset bound to `handle`.
+    EvalRequestV3 {
+        /// Correlation id chosen by the master.
+        id: u64,
+        /// Tenant run id (observability only; routing is by `handle`).
+        run_id: u64,
+        /// Dataset handle from a prior `RegisterDataset`.
+        handle: u64,
+        /// Ascending SNP ids.
+        snps: Vec<SnpId>,
+    },
+    /// Slave → master (v3): request `id` could not be evaluated (e.g.
+    /// unknown dataset handle). Never carries a made-up fitness.
+    EvalError {
+        /// Correlation id echoed back.
+        id: u64,
+        /// Human-readable failure reason.
+        reason: String,
+    },
 }
 
 /// Protocol-level errors.
@@ -136,6 +206,10 @@ impl Message {
             Message::EvalResponse { .. } => 2,
             Message::Shutdown => 3,
             Message::EvalResult { .. } => 4,
+            Message::RegisterDataset { .. } => 5,
+            Message::DatasetAck { .. } => 6,
+            Message::EvalRequestV3 { .. } => 7,
+            Message::EvalError { .. } => 8,
         }
     }
 
@@ -170,6 +244,47 @@ impl Message {
                 payload.put_u32_le(*compute_us);
                 payload.put_u8(u8::from(*scratch_warm));
             }
+            Message::RegisterDataset {
+                handle,
+                fingerprint,
+                n_snps,
+                payload: blob,
+            } => {
+                payload.put_u64_le(*handle);
+                payload.put_u64_le(*fingerprint);
+                payload.put_u32_le(*n_snps);
+                payload.put_u32_le(blob.len() as u32);
+                payload.extend_from_slice(blob);
+            }
+            Message::DatasetAck {
+                handle,
+                accepted,
+                reason,
+            } => {
+                payload.put_u64_le(*handle);
+                payload.put_u8(u8::from(*accepted));
+                payload.put_u32_le(reason.len() as u32);
+                payload.extend_from_slice(reason.as_bytes());
+            }
+            Message::EvalRequestV3 {
+                id,
+                run_id,
+                handle,
+                snps,
+            } => {
+                payload.put_u64_le(*id);
+                payload.put_u64_le(*run_id);
+                payload.put_u64_le(*handle);
+                payload.put_u32_le(snps.len() as u32);
+                for &s in snps {
+                    payload.put_u32_le(s as u32);
+                }
+            }
+            Message::EvalError { id, reason } => {
+                payload.put_u64_le(*id);
+                payload.put_u32_le(reason.len() as u32);
+                payload.extend_from_slice(reason.as_bytes());
+            }
         }
         let mut frame = BytesMut::with_capacity(5 + payload.len());
         frame.put_u32_le(payload.len() as u32 + 1);
@@ -189,6 +304,22 @@ impl Message {
             } else {
                 Ok(())
             }
+        };
+        let get_string = |p: &mut BytesMut, what: &str| -> Result<String, ProtoError> {
+            if p.remaining() < 4 {
+                return Err(ProtoError::Malformed(format!("truncated {what} length")));
+            }
+            let len = p.get_u32_le() as usize;
+            if p.remaining() < len {
+                return Err(ProtoError::Malformed(format!(
+                    "truncated {what}: need {len} bytes, have {}",
+                    p.remaining()
+                )));
+            }
+            let mut bytes = vec![0u8; len];
+            p.copy_to_slice(&mut bytes);
+            String::from_utf8(bytes)
+                .map_err(|_| ProtoError::Malformed(format!("{what} is not utf-8")))
         };
         let msg = match tag {
             0 => {
@@ -222,6 +353,54 @@ impl Message {
                     compute_us: payload.get_u32_le(),
                     scratch_warm: payload.get_u8() != 0,
                 }
+            }
+            5 => {
+                need(&payload, 24, "RegisterDataset header")?;
+                let handle = payload.get_u64_le();
+                let fingerprint = payload.get_u64_le();
+                let n_snps = payload.get_u32_le();
+                let len = payload.get_u32_le() as usize;
+                need(&payload, len, "RegisterDataset columns")?;
+                let mut blob = vec![0u8; len];
+                payload.copy_to_slice(&mut blob);
+                Message::RegisterDataset {
+                    handle,
+                    fingerprint,
+                    n_snps,
+                    payload: blob,
+                }
+            }
+            6 => {
+                need(&payload, 13, "DatasetAck header")?;
+                let handle = payload.get_u64_le();
+                let accepted = payload.get_u8() != 0;
+                let reason = get_string(&mut payload, "DatasetAck reason")?;
+                Message::DatasetAck {
+                    handle,
+                    accepted,
+                    reason,
+                }
+            }
+            7 => {
+                need(&payload, 28, "EvalRequestV3 header")?;
+                let id = payload.get_u64_le();
+                let run_id = payload.get_u64_le();
+                let handle = payload.get_u64_le();
+                let k = payload.get_u32_le() as usize;
+                need(&payload, k * 4, "EvalRequestV3 snps")?;
+                let snps = (0..k).map(|_| payload.get_u32_le() as SnpId).collect();
+                Message::EvalRequestV3 {
+                    id,
+                    run_id,
+                    handle,
+                    snps,
+                }
+            }
+            8 => {
+                need(&payload, 12, "EvalError header")?;
+                let id = payload.get_u64_le();
+                let reason = get_string(&mut payload, "EvalError reason")?;
+                Message::EvalError { id, reason }
             }
             other => return Err(ProtoError::Malformed(format!("unknown tag {other}"))),
         };
@@ -305,6 +484,95 @@ mod tests {
             compute_us: 0,
             scratch_warm: false,
         });
+    }
+
+    #[test]
+    fn v3_messages_roundtrip() {
+        roundtrip(Message::RegisterDataset {
+            handle: 7,
+            fingerprint: 0xDEAD_BEEF_CAFE,
+            n_snps: 51,
+            payload: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(Message::RegisterDataset {
+            handle: 8,
+            fingerprint: 0xDEAD_BEEF_CAFE,
+            n_snps: 51,
+            payload: vec![], // re-registration of a resident fingerprint
+        });
+        roundtrip(Message::DatasetAck {
+            handle: 7,
+            accepted: true,
+            reason: String::new(),
+        });
+        roundtrip(Message::DatasetAck {
+            handle: 7,
+            accepted: false,
+            reason: "dataset capacity exhausted".into(),
+        });
+        roundtrip(Message::EvalRequestV3 {
+            id: 42,
+            run_id: 3,
+            handle: 7,
+            snps: vec![8, 12, 15],
+        });
+        roundtrip(Message::EvalRequestV3 {
+            id: 0,
+            run_id: 0,
+            handle: 0,
+            snps: vec![],
+        });
+        roundtrip(Message::EvalError {
+            id: 42,
+            reason: "unknown dataset handle 7".into(),
+        });
+    }
+
+    #[test]
+    fn malformed_v3_frames_rejected() {
+        // RegisterDataset whose blob length claims more than is carried.
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(1 + 24 + 2);
+        bad.put_u8(5);
+        bad.put_u64_le(1); // handle
+        bad.put_u64_le(2); // fingerprint
+        bad.put_u32_le(51); // n_snps
+        bad.put_u32_le(100); // claims 100 bytes of columns...
+        bad.put_u16_le(0); // ...carries 2
+        let mut cursor = std::io::Cursor::new(bad.to_vec());
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ProtoError::Malformed(_))
+        ));
+
+        // DatasetAck with a non-utf8 reason.
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(1 + 13 + 2);
+        bad.put_u8(6);
+        bad.put_u64_le(1);
+        bad.put_u8(0);
+        bad.put_u32_le(2);
+        bad.put_u8(0xff);
+        bad.put_u8(0xfe);
+        let mut cursor = std::io::Cursor::new(bad.to_vec());
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ProtoError::Malformed(_))
+        ));
+
+        // Truncated EvalRequestV3 (claims 3 snps, carries none).
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(1 + 28);
+        bad.put_u8(7);
+        bad.put_u64_le(1);
+        bad.put_u64_le(2);
+        bad.put_u64_le(3);
+        bad.put_u32_le(3);
+        let mut cursor = std::io::Cursor::new(bad.to_vec());
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,1401 @@
+//! The multi-run eval server: many concurrent GA runs multiplexed over
+//! one shared slave fleet.
+//!
+//! [`crate::TcpSlavePool`] owns a fleet for exactly one run. This module
+//! generalizes it into a long-lived [`EvalServer`] that admits N tenants
+//! (distinct `run_id`s, datasets, priorities) and schedules all of their
+//! evaluation batches over the same slaves:
+//!
+//! * **Admission** — [`EvalServer::submit_run`] fingerprints the tenant's
+//!   dataset, registers it on the fleet (columns cross the wire once per
+//!   slave process; re-submission of a resident dataset ships nothing),
+//!   and returns a [`RunHandle`]. Refusals are typed
+//!   ([`SubmitError::Saturated`], [`SubmitError::DatasetRejected`], ...)
+//!   so a tenant that does not fit degrades alone.
+//! * **Fair scheduling** — queued jobs are claimed through a
+//!   priority-weighted deficit-round-robin queue
+//!   ([`ld_core::WeightedFairQueue`]): over any backlogged window a run
+//!   receives `weight / Σ weights` of the fleet, and no run waits more
+//!   than `Σ other weights` claims for its next slot.
+//! * **Backpressure** — each run may have at most
+//!   [`ServerConfig::max_outstanding_batches`] batches in flight;
+//!   dispatch beyond that fails fast with
+//!   [`ld_core::EvalBackendError::Saturated`] instead of queuing without
+//!   bound.
+//! * **Fault tolerance** — the retry / retire / rejoin ladder of the
+//!   single-run pool, applied per worker: a failed request is retried
+//!   over a fresh connection, a dead slave's job is requeued at the
+//!   *head* of its run's line (per-run FIFO preserved), retired slaves
+//!   are probed back in, and only total fleet loss fails dispatches —
+//!   with `AllWorkersFailed` so each tenant's fallback takes over.
+//!   Retries/requeues are accounted to the tenant that owned the job;
+//!   retirements/rejoins are fleet-level and reported to every tenant's
+//!   [`ld_core::FaultEvents`] drain as deltas.
+//!
+//! A [`RunHandle`] implements both [`EvalBackend`] and [`Evaluator`], so
+//! a tenant plugs it into `GaEngine`/`EvalService` exactly like a private
+//! pool — spans (`queue`, `request`, `net.roundtrip`, `compute`) land on
+//! the *tenant's* observer, parented under its scheduler's dispatch span,
+//! which keeps per-run trace attribution working on a shared fleet.
+
+use crate::master::PoolConfig;
+use crate::protocol::{read_message, write_message, Message, ProtoError, PROTOCOL_VERSION};
+use ld_core::{
+    EvalBackend, EvalBackendError, Evaluator, FaultEvents, Haplotype, WeightedFairQueue,
+};
+use ld_data::SnpId;
+use ld_observe::span::names as span_names;
+use ld_observe::{Event, Observer};
+use std::collections::{HashMap, HashSet};
+use std::io::BufWriter;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of an [`EvalServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-request fault-tolerance ladder (timeouts, retries, rejoin
+    /// backoff), shared with the single-run pool.
+    pub pool: PoolConfig,
+    /// Concurrent runs admitted before [`SubmitError::Saturated`]
+    /// (0 = unbounded).
+    pub max_runs: usize,
+    /// Batches one run may have in flight before its dispatches fail
+    /// fast with [`EvalBackendError::Saturated`] (0 = unbounded).
+    pub max_outstanding_batches: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            pool: PoolConfig::default(),
+            max_runs: 8,
+            max_outstanding_batches: 4,
+        }
+    }
+}
+
+/// Everything the server needs to admit one tenant run.
+#[derive(Clone)]
+pub struct RunSpec {
+    run_id: String,
+    fingerprint: u64,
+    n_snps: usize,
+    payload: Vec<u8>,
+    weight: u32,
+    observer: Observer,
+}
+
+impl RunSpec {
+    /// A run evaluating against the dataset with content `fingerprint`
+    /// and `n_snps` markers. Weight defaults to 1, the observer to
+    /// disabled, and the columns payload to empty (valid when the fleet
+    /// already holds the fingerprint — e.g. preloaded stores).
+    pub fn new(run_id: impl Into<String>, fingerprint: u64, n_snps: usize) -> RunSpec {
+        RunSpec {
+            run_id: run_id.into(),
+            fingerprint,
+            n_snps,
+            payload: Vec::new(),
+            weight: 1,
+            observer: Observer::disabled(),
+        }
+    }
+
+    /// Attach the encoded dataset columns (see [`crate::wire`]) shipped
+    /// to slaves that do not hold the fingerprint yet.
+    pub fn with_payload(mut self, payload: Vec<u8>) -> RunSpec {
+        self.payload = payload;
+        self
+    }
+
+    /// Fair-share weight (priority): a weight-3 run gets 3× the claims of
+    /// a weight-1 run while both are backlogged. Clamped to ≥ 1.
+    pub fn with_weight(mut self, weight: u32) -> RunSpec {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Per-tenant observer: this run's spans, fault events, and lifecycle
+    /// events are emitted here (the fleet-level observer passed to
+    /// [`EvalServer::connect`] sees fleet-wide facts only).
+    pub fn with_observer(mut self, observer: Observer) -> RunSpec {
+        self.observer = observer;
+        self
+    }
+}
+
+/// Why [`EvalServer::submit_run`] refused a run.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The server already hosts its maximum number of runs.
+    Saturated {
+        /// Runs currently active.
+        active: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
+    /// A slave refused the dataset registration (capacity, width
+    /// mismatch, missing columns, loader failure).
+    DatasetRejected {
+        /// The refusing slave.
+        slave: String,
+        /// Its stated reason.
+        reason: String,
+    },
+    /// No slave in the fleet was reachable to register the dataset.
+    NoSlaves,
+    /// A run with this id is already active.
+    DuplicateRun(String),
+    /// The server has been stopped.
+    ServerStopped,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated { active, limit } => {
+                write!(f, "server saturated: {active} active runs (limit {limit})")
+            }
+            SubmitError::DatasetRejected { slave, reason } => {
+                write!(f, "dataset rejected by {slave}: {reason}")
+            }
+            SubmitError::NoSlaves => write!(f, "no slave reachable to register the dataset"),
+            SubmitError::DuplicateRun(id) => write!(f, "run id {id:?} is already active"),
+            SubmitError::ServerStopped => write!(f, "eval server is stopped"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Per-run fault accounting. Retries and requeues are charged to the run
+/// whose job was affected; retirements and rejoins are facts about the
+/// shared fleet, surfaced to every run as deltas of the global counters
+/// since that run's last drain.
+struct RunFaults {
+    retries: AtomicU64,
+    requeued: AtomicU64,
+    seen_retirements: AtomicU64,
+    seen_rejoins: AtomicU64,
+}
+
+struct RunShared {
+    /// Queue key, assigned at admission (stable for the run's lifetime).
+    key: u64,
+    run_id: String,
+    fingerprint: u64,
+    n_snps: usize,
+    /// Encoded columns, kept for lazy registration on slaves that join
+    /// (or rejoin after a restart) mid-run.
+    payload: Vec<u8>,
+    weight: u32,
+    observer: Observer,
+    outstanding_batches: AtomicUsize,
+    faults: RunFaults,
+}
+
+/// Completion cell of one in-flight batch.
+struct BatchCell {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    /// `Some(fitness)` per completed job, in submission order.
+    results: Vec<Option<f64>>,
+    /// Jobs without an outcome yet (in queue or on a slave).
+    pending: usize,
+    /// Whether any job was abandoned (fleet loss, run closed, stop).
+    failed: bool,
+}
+
+impl BatchCell {
+    fn new(total: usize) -> Arc<BatchCell> {
+        Arc::new(BatchCell {
+            state: Mutex::new(BatchState {
+                results: vec![None; total],
+                pending: total,
+                failed: false,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, index: usize, fitness: f64) {
+        let mut st = self.state.lock().unwrap();
+        st.results[index] = Some(fitness);
+        st.pending -= 1;
+        if st.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Abandon one job: the batch completes as failed (its evaluated
+    /// residue intact, per the [`EvalBackend`] contract).
+    fn fail(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.pending -= 1;
+        st.failed = true;
+        if st.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// One queued evaluation job. Carries its run so a worker can bind the
+/// dataset, account faults, and time spans against the right tenant.
+struct Job {
+    run: Arc<RunShared>,
+    batch: Arc<BatchCell>,
+    index: usize,
+    snps: Vec<SnpId>,
+}
+
+struct QueueState {
+    queue: WeightedFairQueue<Job>,
+    /// Active runs by public id.
+    runs: HashMap<String, Arc<RunShared>>,
+    /// Workers currently retired (their slave unreachable).
+    retired: usize,
+}
+
+struct ServerShared {
+    state: Mutex<QueueState>,
+    work_cv: Condvar,
+    cfg: ServerConfig,
+    /// Fleet-level observer (retire/rejoin/admission events).
+    observer: Observer,
+    n_workers: usize,
+    stopped: AtomicBool,
+    next_key: AtomicU64,
+    next_req: AtomicU64,
+    /// Lifetime fleet counters backing every run's retire/rejoin deltas.
+    retirements: AtomicU64,
+    rejoins: AtomicU64,
+}
+
+impl ServerShared {
+    /// Fail every queued job (fleet loss or shutdown) under the state
+    /// lock. Lock order is always queue-state before batch-state.
+    fn purge_all(st: &mut QueueState) -> usize {
+        st.queue.purge(|_, job| {
+            job.batch.fail();
+            true
+        })
+    }
+}
+
+/// A long-lived evaluation server multiplexing tenant runs over one
+/// shared slave fleet. See the module docs for the architecture.
+pub struct EvalServer {
+    shared: Arc<ServerShared>,
+    addrs: Vec<String>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EvalServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalServer")
+            .field("slaves", &self.addrs)
+            .field("alive", &self.alive())
+            .field("active_runs", &self.active_runs())
+            .finish()
+    }
+}
+
+impl EvalServer {
+    /// Connect to every slave address (each must speak protocol v3 — a
+    /// shared fleet cannot be served by v1/v2 slaves, which lack dataset
+    /// handles) and start one dispatch worker per slave.
+    pub fn connect(
+        addrs: &[String],
+        cfg: ServerConfig,
+        observer: Observer,
+    ) -> Result<EvalServer, crate::PoolError> {
+        if addrs.is_empty() {
+            return Err(crate::PoolError::NoSlaves);
+        }
+        // Fail fast on an unreachable or downlevel fleet: probe each
+        // slave once with a throwaway connection.
+        for addr in addrs {
+            let mut probe =
+                WorkerConn::open(addr, &cfg.pool).map_err(|source| crate::PoolError::Connect {
+                    addr: addr.clone(),
+                    source,
+                })?;
+            let _ = write_message(&mut probe.writer, &Message::Shutdown);
+            observer.emit_with(|| Event::SlaveJoined {
+                slave: addr.clone(),
+            });
+        }
+        let shared = Arc::new(ServerShared {
+            state: Mutex::new(QueueState {
+                queue: WeightedFairQueue::new(),
+                runs: HashMap::new(),
+                retired: 0,
+            }),
+            work_cv: Condvar::new(),
+            cfg,
+            observer,
+            n_workers: addrs.len(),
+            stopped: AtomicBool::new(false),
+            next_key: AtomicU64::new(1),
+            next_req: AtomicU64::new(1),
+            retirements: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+        });
+        let workers = addrs
+            .iter()
+            .map(|addr| {
+                let shared = Arc::clone(&shared);
+                let addr = addr.clone();
+                std::thread::Builder::new()
+                    .name(format!("ld-eval-worker-{addr}"))
+                    .spawn(move || worker_loop(&shared, &addr))
+                    .expect("spawn eval worker thread")
+            })
+            .collect();
+        Ok(EvalServer {
+            shared,
+            addrs: addrs.to_vec(),
+            workers,
+        })
+    }
+
+    /// Admit a tenant run: reserve a slot (admission control), register
+    /// its dataset across the fleet (columns shipped only where the
+    /// fingerprint is not already resident), and hand back the tenant's
+    /// [`RunHandle`]. Every refusal is typed and affects this run only.
+    pub fn submit_run(&self, spec: RunSpec) -> Result<RunHandle, SubmitError> {
+        let shared = &self.shared;
+        let reject = |reason: &str| {
+            let e = Event::RunRejected {
+                run_id: spec.run_id.clone(),
+                reason: reason.to_string(),
+            };
+            shared.observer.emit(e.clone());
+            spec.observer.emit(e);
+        };
+        if shared.stopped.load(Ordering::Relaxed) {
+            reject("server stopped");
+            return Err(SubmitError::ServerStopped);
+        }
+        let run = Arc::new(RunShared {
+            key: shared.next_key.fetch_add(1, Ordering::Relaxed),
+            run_id: spec.run_id.clone(),
+            fingerprint: spec.fingerprint,
+            n_snps: spec.n_snps,
+            payload: spec.payload.clone(),
+            weight: spec.weight,
+            observer: spec.observer.clone(),
+            outstanding_batches: AtomicUsize::new(0),
+            faults: RunFaults {
+                retries: AtomicU64::new(0),
+                requeued: AtomicU64::new(0),
+                seen_retirements: AtomicU64::new(shared.retirements.load(Ordering::Relaxed)),
+                seen_rejoins: AtomicU64::new(shared.rejoins.load(Ordering::Relaxed)),
+            },
+        });
+        // Phase 1: reserve the slot under the lock (admission control).
+        {
+            let mut st = shared.state.lock().unwrap();
+            if st.runs.contains_key(&spec.run_id) {
+                reject("duplicate run id");
+                return Err(SubmitError::DuplicateRun(spec.run_id.clone()));
+            }
+            let limit = shared.cfg.max_runs;
+            if limit > 0 && st.runs.len() >= limit {
+                reject("server saturated");
+                return Err(SubmitError::Saturated {
+                    active: st.runs.len(),
+                    limit,
+                });
+            }
+            st.queue.register(run.key, run.weight);
+            st.runs.insert(spec.run_id.clone(), Arc::clone(&run));
+        }
+        // Phase 2: register the dataset fleet-wide, without holding the
+        // lock (this does network I/O). An unreachable slave is skipped —
+        // its worker binds lazily from the run's payload on rejoin — but
+        // an explicit refusal is authoritative and rolls the run back.
+        let mut reachable = 0usize;
+        for addr in &self.addrs {
+            match probe_register(addr, &shared.cfg.pool, &run) {
+                Ok(resident) => {
+                    reachable += 1;
+                    let e = Event::DatasetRegistered {
+                        slave: addr.clone(),
+                        fingerprint: run.fingerprint,
+                        resident,
+                    };
+                    shared.observer.emit(e.clone());
+                    run.observer.emit(e);
+                }
+                Err(RegisterError::Unreachable(e)) => {
+                    shared.observer.emit(Event::Custom {
+                        label: "dataset_register_skipped".to_string(),
+                        detail: format!("{addr}: {e}"),
+                    });
+                }
+                Err(RegisterError::Refused(reason)) => {
+                    self.rollback(&run);
+                    reject(&format!("dataset rejected by {addr}: {reason}"));
+                    return Err(SubmitError::DatasetRejected {
+                        slave: addr.clone(),
+                        reason,
+                    });
+                }
+            }
+        }
+        if reachable == 0 {
+            self.rollback(&run);
+            reject("no slave reachable");
+            return Err(SubmitError::NoSlaves);
+        }
+        let admitted = Event::RunAdmitted {
+            run_id: run.run_id.clone(),
+            weight: run.weight,
+        };
+        shared.observer.emit(admitted.clone());
+        run.observer.emit(admitted);
+        Ok(RunHandle {
+            inner: Arc::new(RunHandleInner {
+                run,
+                shared: Arc::clone(shared),
+            }),
+        })
+    }
+
+    /// Close a run by id: unregister it and drop its queued work (each
+    /// abandoned job fails its batch, so no dispatcher hangs). Returns
+    /// `false` when no such run is active. Dropping the last clone of a
+    /// run's [`RunHandle`] closes it implicitly.
+    pub fn close_run(&self, run_id: &str) -> bool {
+        let run = {
+            let st = self.shared.state.lock().unwrap();
+            match st.runs.get(run_id) {
+                Some(r) => Arc::clone(r),
+                None => return false,
+            }
+        };
+        close_run_inner(&self.shared, &run);
+        true
+    }
+
+    /// Ids of the currently active runs, in admission (key) order.
+    pub fn active_runs(&self) -> Vec<String> {
+        let st = self.shared.state.lock().unwrap();
+        let mut runs: Vec<_> = st.runs.values().collect();
+        runs.sort_by_key(|r| r.key);
+        runs.iter().map(|r| r.run_id.clone()).collect()
+    }
+
+    /// Slaves currently serving (total minus retired).
+    pub fn alive(&self) -> usize {
+        let st = self.shared.state.lock().unwrap();
+        self.shared.n_workers - st.retired
+    }
+
+    /// Jobs queued across all runs (not counting in-flight requests).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Jobs queued for one run, or `None` if the run is not active.
+    pub fn run_queue_depth(&self, run_id: &str) -> Option<usize> {
+        let st = self.shared.state.lock().unwrap();
+        let run = st.runs.get(run_id)?;
+        st.queue.run_len(run.key)
+    }
+
+    /// The slave addresses the server dispatches to.
+    pub fn slave_addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.cfg
+    }
+
+    /// Stop the server: fail all queued work, wake every worker and
+    /// waiting dispatcher. Idempotent; also run on drop.
+    pub fn stop(&self) {
+        self.shared.stopped.store(true, Ordering::Relaxed);
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            ServerShared::purge_all(&mut st);
+        }
+        self.shared.work_cv.notify_all();
+    }
+
+    fn rollback(&self, run: &Arc<RunShared>) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.runs.remove(&run.run_id);
+        st.queue.unregister(run.key);
+    }
+}
+
+impl Drop for EvalServer {
+    fn drop(&mut self) {
+        self.stop();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn close_run_inner(shared: &ServerShared, run: &Arc<RunShared>) {
+    let dropped = {
+        let mut st = shared.state.lock().unwrap();
+        if st.runs.remove(&run.run_id).is_none() {
+            return; // already closed
+        }
+        // Fail this run's queued jobs *before* unregistering, so their
+        // batches complete (as failed) rather than hang.
+        let dropped = st.queue.purge(|key, job| {
+            if key == run.key {
+                job.batch.fail();
+                true
+            } else {
+                false
+            }
+        });
+        st.queue.unregister(run.key);
+        dropped as u64
+    };
+    let closed = Event::RunClosed {
+        run_id: run.run_id.clone(),
+        dropped,
+    };
+    shared.observer.emit(closed.clone());
+    run.observer.emit(closed);
+}
+
+/// A tenant's handle to the shared fleet, plugging into `GaEngine` /
+/// `EvalService` as either an [`EvalBackend`] or an [`Evaluator`].
+/// Cloneable; the run closes when the last clone drops.
+#[derive(Clone)]
+pub struct RunHandle {
+    inner: Arc<RunHandleInner>,
+}
+
+struct RunHandleInner {
+    run: Arc<RunShared>,
+    shared: Arc<ServerShared>,
+}
+
+impl Drop for RunHandleInner {
+    fn drop(&mut self) {
+        close_run_inner(&self.shared, &self.run);
+    }
+}
+
+impl RunHandle {
+    /// The tenant's run id.
+    pub fn run_id(&self) -> &str {
+        &self.inner.run.run_id
+    }
+
+    /// The dataset fingerprint this run evaluates against.
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.run.fingerprint
+    }
+
+    /// Whether this run is still admitted on the server.
+    pub fn is_active(&self) -> bool {
+        let st = self.inner.shared.state.lock().unwrap();
+        st.runs.contains_key(&self.inner.run.run_id)
+    }
+
+    /// Enqueue one batch of SNP subsets and wait for all of them to
+    /// resolve. `Ok((results, failed))` carries a fitness per *completed*
+    /// job even when `failed` is set (the abandoned ones are `None`), so
+    /// callers can honor the residue contract; `Err` means the batch was
+    /// refused up front and nothing was touched.
+    fn dispatch_snps(
+        &self,
+        jobs: Vec<Vec<SnpId>>,
+    ) -> Result<(Vec<Option<f64>>, bool), EvalBackendError> {
+        let inner = &self.inner;
+        let run = &inner.run;
+        let shared = &inner.shared;
+        let total = jobs.len();
+        if total == 0 {
+            return Ok((Vec::new(), false));
+        }
+        // Backpressure: bound this tenant's batches in flight. No job is
+        // touched on refusal, so the caller can simply retry later.
+        let limit = shared.cfg.max_outstanding_batches;
+        let prev = run.outstanding_batches.fetch_add(1, Ordering::SeqCst);
+        if limit > 0 && prev >= limit {
+            run.outstanding_batches.fetch_sub(1, Ordering::SeqCst);
+            return Err(EvalBackendError::Saturated {
+                outstanding: prev,
+                limit,
+            });
+        }
+        let cell = BatchCell::new(total);
+        let enqueue = (|| {
+            let mut st = shared.state.lock().unwrap();
+            if shared.stopped.load(Ordering::Relaxed) {
+                return Err(EvalBackendError::Backend("eval server stopped".into()));
+            }
+            if !st.runs.contains_key(&run.run_id) {
+                return Err(EvalBackendError::Backend(format!(
+                    "run {:?} is closed",
+                    run.run_id
+                )));
+            }
+            if st.retired == shared.n_workers {
+                // Whole fleet down: fail fast so the tenant's fallback
+                // backend takes the batch (workers keep probing and will
+                // serve again after a rejoin).
+                return Err(EvalBackendError::AllWorkersFailed {
+                    outstanding: total,
+                    total,
+                });
+            }
+            for (index, snps) in jobs.into_iter().enumerate() {
+                st.queue.push(
+                    run.key,
+                    Job {
+                        run: Arc::clone(run),
+                        batch: Arc::clone(&cell),
+                        index,
+                        snps,
+                    },
+                );
+            }
+            Ok(())
+        })();
+        if let Err(e) = enqueue {
+            run.outstanding_batches.fetch_sub(1, Ordering::SeqCst);
+            return Err(e);
+        }
+        shared.work_cv.notify_all();
+        let (results, failed) = {
+            let mut st = cell.state.lock().unwrap();
+            while st.pending > 0 {
+                st = cell.done.wait(st).unwrap();
+            }
+            (std::mem::take(&mut st.results), st.failed)
+        };
+        run.outstanding_batches.fetch_sub(1, Ordering::SeqCst);
+        Ok((results, failed))
+    }
+}
+
+impl EvalBackend for RunHandle {
+    fn n_snps(&self) -> usize {
+        self.inner.run.n_snps
+    }
+
+    fn queue_depth(&self) -> usize {
+        let st = self.inner.shared.state.lock().unwrap();
+        st.queue.run_len(self.inner.run.key).unwrap_or(0)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "eval-server"
+    }
+
+    fn take_fault_events(&self) -> FaultEvents {
+        let run = &self.inner.run;
+        let shared = &self.inner.shared;
+        // Fleet-level retire/rejoin counters, reported as the delta since
+        // this run's previous drain.
+        let global_ret = shared.retirements.load(Ordering::Relaxed);
+        let global_rej = shared.rejoins.load(Ordering::Relaxed);
+        FaultEvents {
+            retries: run.faults.retries.swap(0, Ordering::Relaxed),
+            requeued: run.faults.requeued.swap(0, Ordering::Relaxed),
+            retirements: global_ret
+                - run
+                    .faults
+                    .seen_retirements
+                    .swap(global_ret, Ordering::Relaxed),
+            rejoins: global_rej - run.faults.seen_rejoins.swap(global_rej, Ordering::Relaxed),
+        }
+    }
+
+    fn dispatch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
+        let jobs: Vec<Vec<SnpId>> = batch.iter().map(|h| h.snps().to_vec()).collect();
+        let total = batch.len();
+        let (results, failed) = self.dispatch_snps(jobs)?;
+        // Residue contract: apply every completed fitness even when the
+        // batch failed, so a fallback only re-evaluates what is missing.
+        let mut outstanding = 0usize;
+        for (h, fitness) in batch.iter_mut().zip(results) {
+            match fitness {
+                Some(f) => h.set_fitness(f),
+                None => outstanding += 1,
+            }
+        }
+        if failed {
+            return Err(EvalBackendError::AllWorkersFailed { outstanding, total });
+        }
+        Ok(())
+    }
+}
+
+impl Evaluator for RunHandle {
+    fn n_snps(&self) -> usize {
+        self.inner.run.n_snps
+    }
+
+    fn evaluate_one(&self, snps: &[SnpId]) -> f64 {
+        self.try_evaluate_one(snps)
+            .expect("shared evaluation fleet failed")
+    }
+
+    fn evaluate_batch(&self, batch: &mut [Haplotype]) {
+        self.dispatch(batch)
+            .expect("shared evaluation fleet failed")
+    }
+
+    fn try_evaluate_batch(&self, batch: &mut [Haplotype]) -> Result<(), EvalBackendError> {
+        self.dispatch(batch)
+    }
+
+    fn take_fault_events(&self) -> FaultEvents {
+        EvalBackend::take_fault_events(self)
+    }
+}
+
+impl std::fmt::Debug for RunHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHandle")
+            .field("run_id", &self.inner.run.run_id)
+            .field("fingerprint", &self.inner.run.fingerprint)
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+impl RunHandle {
+    /// Fallible single evaluation (the [`Evaluator::evaluate_one`] path
+    /// without the panic).
+    pub fn try_evaluate_one(&self, snps: &[SnpId]) -> Result<f64, EvalBackendError> {
+        let (results, _failed) = self.dispatch_snps(vec![snps.to_vec()])?;
+        results[0].ok_or(EvalBackendError::AllWorkersFailed {
+            outstanding: 1,
+            total: 1,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side: one thread per slave, owning its persistent connection.
+// ---------------------------------------------------------------------
+
+/// A worker's live connection to its slave, plus the set of dataset
+/// fingerprints already bound (registered) on this connection.
+struct WorkerConn {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    bound: HashSet<u64>,
+}
+
+impl WorkerConn {
+    /// Connect and handshake, requiring a protocol-v3 peer.
+    fn open(addr: &str, cfg: &PoolConfig) -> Result<WorkerConn, ProtoError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(cfg.request_timeout))?;
+        let mut reader = stream.try_clone()?;
+        let mut writer = BufWriter::new(stream);
+        match read_message(&mut reader)? {
+            Message::Hello { version, .. } if version >= 3 => {}
+            Message::Hello { version, .. } => {
+                return Err(ProtoError::VersionMismatch {
+                    ours: PROTOCOL_VERSION,
+                    theirs: version,
+                })
+            }
+            other => {
+                return Err(ProtoError::Malformed(format!(
+                    "expected Hello, got {other:?}"
+                )))
+            }
+        }
+        write_message(
+            &mut writer,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+                n_snps: 0,
+            },
+        )?;
+        Ok(WorkerConn {
+            reader,
+            writer,
+            bound: HashSet::new(),
+        })
+    }
+
+    /// Bind `run`'s dataset on this connection: resident-first (empty
+    /// payload), then once more with the columns attached if the slave
+    /// does not hold the fingerprint (e.g. it restarted). Returns whether
+    /// the dataset was already resident; `Refused` is authoritative.
+    fn bind(&mut self, run: &RunShared) -> Result<bool, RegisterError> {
+        if self.bound.contains(&run.fingerprint) {
+            return Ok(true);
+        }
+        let mut payloads: Vec<&[u8]> = vec![&[]];
+        if !run.payload.is_empty() {
+            payloads.push(&run.payload);
+        }
+        let attempts = payloads.len();
+        for (i, payload) in payloads.into_iter().enumerate() {
+            write_message(
+                &mut self.writer,
+                &Message::RegisterDataset {
+                    handle: run.fingerprint,
+                    fingerprint: run.fingerprint,
+                    n_snps: run.n_snps as u32,
+                    payload: payload.to_vec(),
+                },
+            )
+            .map_err(RegisterError::Unreachable)?;
+            match read_message(&mut self.reader).map_err(RegisterError::Unreachable)? {
+                Message::DatasetAck { accepted: true, .. } => {
+                    self.bound.insert(run.fingerprint);
+                    // Accepted on the empty-payload attempt means the
+                    // fingerprint was already resident: no columns moved.
+                    return Ok(i == 0);
+                }
+                Message::DatasetAck {
+                    accepted: false,
+                    reason,
+                    ..
+                } => {
+                    if i + 1 == attempts {
+                        return Err(RegisterError::Refused(reason));
+                    }
+                    // Not resident: fall through and ship the columns.
+                }
+                other => {
+                    return Err(RegisterError::Unreachable(ProtoError::Malformed(format!(
+                        "expected DatasetAck, got {other:?}"
+                    ))))
+                }
+            }
+        }
+        unreachable!("register loop always returns")
+    }
+}
+
+enum RegisterError {
+    /// Connection-level failure: retry later / other slave.
+    Unreachable(ProtoError),
+    /// The slave answered and said no: authoritative for this dataset.
+    Refused(String),
+}
+
+/// Register `run`'s dataset on one slave over a throwaway connection
+/// (the admission-time fleet sweep). Returns whether it was resident.
+fn probe_register(addr: &str, cfg: &PoolConfig, run: &RunShared) -> Result<bool, RegisterError> {
+    let mut conn = WorkerConn::open(addr, cfg).map_err(RegisterError::Unreachable)?;
+    let resident = conn.bind(run)?;
+    let _ = write_message(&mut conn.writer, &Message::Shutdown);
+    Ok(resident)
+}
+
+/// Outcome of one job attempt ladder.
+enum JobOutcome {
+    Done,
+    /// Retries exhausted: the caller must requeue the job and retire.
+    Exhausted(Job),
+}
+
+fn worker_loop(shared: &Arc<ServerShared>, addr: &str) {
+    let mut conn: Option<WorkerConn> = None;
+    loop {
+        // Claim the next job under the weighted-fair discipline (or stop).
+        let claim_started = Instant::now();
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if shared.stopped.load(Ordering::Relaxed) {
+                    drop(st);
+                    shutdown_conn(conn);
+                    return;
+                }
+                if let Some((_key, job)) = st.queue.claim() {
+                    break job;
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        // Time this worker spent waiting for a claim, attributed to the
+        // claimed job's tenant (parented under its dispatch span).
+        let obs = job.run.observer.clone();
+        obs.record_span(
+            span_names::QUEUE,
+            obs.dispatch_span(),
+            claim_started.elapsed(),
+        );
+        match attempt_job(shared, addr, &mut conn, job) {
+            JobOutcome::Done => {}
+            JobOutcome::Exhausted(job) => {
+                retire_and_requeue(shared, addr, job);
+                conn = None;
+                // Retired: probe the slave back with capped exponential
+                // backoff, staying responsive to stop().
+                let mut failed_probes: u32 = 0;
+                loop {
+                    let backoff = shared
+                        .cfg
+                        .pool
+                        .rejoin_backoff
+                        .saturating_mul(1u32 << failed_probes.min(16))
+                        .min(shared.cfg.pool.max_rejoin_backoff);
+                    if sleep_unless_stopped(shared, backoff) {
+                        shutdown_conn(conn);
+                        return;
+                    }
+                    match WorkerConn::open(addr, &shared.cfg.pool) {
+                        Ok(c) => {
+                            conn = Some(c);
+                            let mut st = shared.state.lock().unwrap();
+                            st.retired -= 1;
+                            drop(st);
+                            shared.rejoins.fetch_add(1, Ordering::Relaxed);
+                            shared.observer.emit_with(|| Event::SlaveRejoined {
+                                slave: addr.to_string(),
+                            });
+                            break;
+                        }
+                        Err(_) => failed_probes = failed_probes.saturating_add(1),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sleep for `dur` in short slices; returns `true` if the server stopped.
+fn sleep_unless_stopped(shared: &ServerShared, dur: Duration) -> bool {
+    let deadline = Instant::now() + dur;
+    loop {
+        if shared.stopped.load(Ordering::Relaxed) {
+            return true;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return false;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(25)));
+    }
+}
+
+fn shutdown_conn(conn: Option<WorkerConn>) {
+    if let Some(mut c) = conn {
+        let _ = write_message(&mut c.writer, &Message::Shutdown);
+    }
+}
+
+/// Run the retry ladder for one job on this worker's slave. On success
+/// the batch cell is completed in place.
+fn attempt_job(
+    shared: &ServerShared,
+    addr: &str,
+    conn: &mut Option<WorkerConn>,
+    job: Job,
+) -> JobOutcome {
+    let run = Arc::clone(&job.run);
+    let obs = run.observer.clone();
+    let cfg = &shared.cfg.pool;
+    for attempt in 0..=cfg.max_retries {
+        if attempt > 0 {
+            run.faults.retries.fetch_add(1, Ordering::Relaxed);
+            obs.emit_with(|| Event::RequestRetried {
+                slave: addr.to_string(),
+                attempt,
+            });
+            // Backoff is pure overhead: attributed to the tenant, apart
+            // from the request itself.
+            let retry_span = obs.span_under(span_names::NET_RETRY, obs.dispatch_span());
+            std::thread::sleep(cfg.retry_backoff.saturating_mul(attempt));
+            drop(retry_span);
+        }
+        let request_span = obs.span_under(span_names::REQUEST, obs.dispatch_span());
+        // Ensure a live connection.
+        if conn.is_none() {
+            match WorkerConn::open(addr, cfg) {
+                Ok(c) => *conn = Some(c),
+                Err(_) => continue,
+            }
+        }
+        let io = conn.as_mut().expect("connection ensured above");
+        // Ensure the tenant's dataset is bound on this connection.
+        match io.bind(&run) {
+            Ok(_) => {}
+            Err(RegisterError::Refused(reason)) => {
+                // The slave is healthy but will not take this dataset
+                // (capacity, width). Hopeless to retry here; treat like a
+                // slave failure for this tenant's job so the ladder (and
+                // eventually the requeue) moves it elsewhere.
+                obs.emit_with(|| Event::Custom {
+                    label: "dataset_bind_refused".to_string(),
+                    detail: format!("{addr}: {reason}"),
+                });
+                *conn = None;
+                continue;
+            }
+            Err(RegisterError::Unreachable(_)) => {
+                *conn = None;
+                continue;
+            }
+        }
+        let id = shared.next_req.fetch_add(1, Ordering::Relaxed);
+        match request_once(io, id, &run, &job.snps, &obs) {
+            Ok(RequestReply::Fitness(fitness, compute)) => {
+                if let Some(compute_us) = compute {
+                    // The slave's own clock, carved out of the round-trip
+                    // for per-tenant attribution.
+                    obs.record_span(
+                        span_names::COMPUTE,
+                        request_span.id(),
+                        Duration::from_micros(u64::from(compute_us)),
+                    );
+                }
+                job.batch.complete(job.index, fitness);
+                return JobOutcome::Done;
+            }
+            Ok(RequestReply::Error(reason)) => {
+                // Typed per-request refusal (e.g. handle lost to a slave
+                // restart): rebind on the next attempt.
+                io.bound.remove(&run.fingerprint);
+                obs.emit_with(|| Event::Custom {
+                    label: "eval_error".to_string(),
+                    detail: format!("{addr}: {reason}"),
+                });
+            }
+            Err(_) => {
+                // A half-read stream cannot be reused.
+                *conn = None;
+            }
+        }
+    }
+    JobOutcome::Exhausted(job)
+}
+
+enum RequestReply {
+    Fitness(f64, Option<u32>),
+    Error(String),
+}
+
+/// One send + wait on an open connection, timed as `net.send` /
+/// `net.roundtrip` spans on the tenant's observer.
+fn request_once(
+    io: &mut WorkerConn,
+    id: u64,
+    run: &RunShared,
+    snps: &[SnpId],
+    obs: &Observer,
+) -> Result<RequestReply, ProtoError> {
+    let send_span = obs.span(span_names::NET_SEND);
+    write_message(
+        &mut io.writer,
+        &Message::EvalRequestV3 {
+            id,
+            run_id: run.key,
+            handle: run.fingerprint,
+            snps: snps.to_vec(),
+        },
+    )?;
+    drop(send_span);
+    let _roundtrip = obs.span(span_names::NET_ROUNDTRIP);
+    loop {
+        match read_message(&mut io.reader)? {
+            Message::EvalResult {
+                id: rid,
+                fitness,
+                compute_us,
+                ..
+            } if rid == id => return Ok(RequestReply::Fitness(fitness, Some(compute_us))),
+            Message::EvalResponse { id: rid, fitness } if rid == id => {
+                return Ok(RequestReply::Fitness(fitness, None))
+            }
+            Message::EvalError { id: rid, reason } if rid == id => {
+                return Ok(RequestReply::Error(reason))
+            }
+            // Stale replies to an abandoned request: skip.
+            Message::EvalResult { .. }
+            | Message::EvalResponse { .. }
+            | Message::EvalError { .. } => continue,
+            other => {
+                return Err(ProtoError::Malformed(format!(
+                    "unexpected message from slave: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Requeue the failed job at the head of its run's line and retire this
+/// worker. If this was the last live worker, fail everything queued so no
+/// dispatcher waits on a dead fleet.
+fn retire_and_requeue(shared: &ServerShared, addr: &str, job: Job) {
+    let run = Arc::clone(&job.run);
+    run.faults.requeued.fetch_add(1, Ordering::Relaxed);
+    run.observer.emit_with(|| Event::JobRequeued {
+        slave: addr.to_string(),
+    });
+    {
+        let mut st = shared.state.lock().unwrap();
+        let key = job.run.key;
+        let batch = Arc::clone(&job.batch);
+        if !st.queue.push_front(key, job) {
+            // The run closed while this job was in flight: the queue no
+            // longer knows it. Fail the job so its batch completes.
+            batch.fail();
+        }
+        st.retired += 1;
+        // Inside the lock so a dispatcher that fails fast on
+        // `retired == n_workers` already sees this retirement accounted.
+        shared.retirements.fetch_add(1, Ordering::Relaxed);
+        if st.retired == shared.n_workers {
+            // Total fleet loss: every incomplete job is in the queue
+            // (workers requeue before retiring), so this purge reaches
+            // them all, and each waiting dispatch returns
+            // `AllWorkersFailed` with its own residue.
+            ServerShared::purge_all(&mut st);
+        }
+    }
+    shared.observer.emit_with(|| Event::SlaveRetired {
+        slave: addr.to_string(),
+    });
+    // Wake a peer to take the requeued job.
+    shared.work_cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slave::{DatasetLoader, ObjectiveStore, SlaveServer};
+    use ld_core::evaluator::FnEvaluator;
+
+    /// Loader: payload byte 0 scales the SNP-id sum.
+    fn scaling_loader() -> DatasetLoader {
+        Arc::new(|_fp, n_snps, payload: &[u8]| {
+            let scale = f64::from(payload.first().copied().unwrap_or(1));
+            Ok(
+                Arc::new(FnEvaluator::new(n_snps as usize, move |s: &[SnpId]| {
+                    scale * s.iter().sum::<usize>() as f64
+                })) as Arc<dyn Evaluator>,
+            )
+        })
+    }
+
+    fn fleet(n: usize, capacity: usize) -> (Vec<SlaveServer>, Vec<String>) {
+        let slaves: Vec<SlaveServer> = (0..n)
+            .map(|_| {
+                let store = Arc::new(ObjectiveStore::new(capacity).with_loader(scaling_loader()));
+                SlaveServer::spawn_shared("127.0.0.1:0", store, Observer::disabled()).unwrap()
+            })
+            .collect();
+        let addrs = slaves.iter().map(|s| s.addr().to_string()).collect();
+        (slaves, addrs)
+    }
+
+    fn fast_cfg() -> ServerConfig {
+        ServerConfig {
+            pool: PoolConfig {
+                request_timeout: Duration::from_secs(2),
+                max_retries: 1,
+                retry_backoff: Duration::from_millis(5),
+                rejoin_backoff: Duration::from_millis(10),
+                max_rejoin_backoff: Duration::from_millis(200),
+            },
+            max_runs: 8,
+            max_outstanding_batches: 4,
+        }
+    }
+
+    fn spec(id: &str, fp: u64, scale: u8) -> RunSpec {
+        RunSpec::new(id, fp, 51).with_payload(vec![scale])
+    }
+
+    #[test]
+    fn two_tenants_share_one_fleet_with_distinct_datasets() {
+        let (_slaves, addrs) = fleet(2, 4);
+        let server = EvalServer::connect(&addrs, fast_cfg(), Observer::disabled()).unwrap();
+        let a = server.submit_run(spec("run-a", 0xA, 1)).unwrap();
+        let b = server
+            .submit_run(spec("run-b", 0xB, 3).with_weight(2))
+            .unwrap();
+        assert_eq!(server.active_runs(), vec!["run-a", "run-b"]);
+        // Same haplotypes, different datasets, interleaved batches.
+        let mut batch_a: Vec<Haplotype> =
+            (1..=6).map(|i| Haplotype::new(vec![i, i + 10])).collect();
+        let mut batch_b = batch_a.clone();
+        a.dispatch(&mut batch_a).unwrap();
+        b.dispatch(&mut batch_b).unwrap();
+        for (ha, hb) in batch_a.iter().zip(&batch_b) {
+            let sum: usize = ha.snps().iter().sum();
+            assert_eq!(ha.fitness(), sum as f64);
+            assert_eq!(hb.fitness(), 3.0 * sum as f64);
+        }
+        assert_eq!(a.try_evaluate_one(&[2, 3]).unwrap(), 5.0);
+        assert_eq!(b.try_evaluate_one(&[2, 3]).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn admission_control_is_typed_and_isolated() {
+        let (_slaves, addrs) = fleet(1, 1);
+        let mut cfg = fast_cfg();
+        cfg.max_runs = 2;
+        let server = EvalServer::connect(&addrs, cfg, Observer::disabled()).unwrap();
+        let _a = server.submit_run(spec("run-a", 0xA, 1)).unwrap();
+        // Duplicate id.
+        match server.submit_run(spec("run-a", 0xA, 1)) {
+            Err(SubmitError::DuplicateRun(id)) => assert_eq!(id, "run-a"),
+            other => panic!("expected DuplicateRun, got {other:?}", other = other.err()),
+        }
+        // Slave store is full (capacity 1): a second dataset is refused,
+        // and the first tenant keeps working.
+        match server.submit_run(spec("run-b", 0xB, 1)) {
+            Err(SubmitError::DatasetRejected { reason, .. }) => {
+                assert!(reason.contains("capacity exhausted"), "{reason}")
+            }
+            other => panic!(
+                "expected DatasetRejected, got {other:?}",
+                other = other.err()
+            ),
+        }
+        assert_eq!(_a.try_evaluate_one(&[1, 2]).unwrap(), 3.0);
+        // Same dataset as run-a though: fits (resident), but now the
+        // server itself is at max_runs.
+        let _b = server.submit_run(spec("run-c", 0xA, 1)).unwrap();
+        match server.submit_run(spec("run-d", 0xA, 1)) {
+            Err(SubmitError::Saturated { active, limit }) => {
+                assert_eq!((active, limit), (2, 2))
+            }
+            other => panic!("expected Saturated, got {other:?}", other = other.err()),
+        }
+        assert_eq!(server.active_runs().len(), 2);
+    }
+
+    #[test]
+    fn backpressure_bounds_batches_in_flight() {
+        // A deliberately slow dataset so the first batch stays in flight.
+        let slow_loader: DatasetLoader = Arc::new(|_fp, n_snps, _payload: &[u8]| {
+            Ok(Arc::new(FnEvaluator::new(n_snps as usize, |s: &[SnpId]| {
+                std::thread::sleep(Duration::from_millis(150));
+                s.len() as f64
+            })) as Arc<dyn Evaluator>)
+        });
+        let store = Arc::new(ObjectiveStore::new(4).with_loader(slow_loader));
+        let slave = SlaveServer::spawn_shared("127.0.0.1:0", store, Observer::disabled()).unwrap();
+        let mut cfg = fast_cfg();
+        cfg.max_outstanding_batches = 1;
+        let server =
+            EvalServer::connect(&[slave.addr().to_string()], cfg, Observer::disabled()).unwrap();
+        let handle = server
+            .submit_run(RunSpec::new("slow", 0x5, 51).with_payload(vec![1]))
+            .unwrap();
+        let h2 = handle.clone();
+        let t = std::thread::spawn(move || {
+            let mut batch = vec![Haplotype::new(vec![1]), Haplotype::new(vec![2])];
+            h2.dispatch(&mut batch).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let mut batch = vec![Haplotype::new(vec![3])];
+        match handle.dispatch(&mut batch) {
+            Err(EvalBackendError::Saturated { outstanding, limit }) => {
+                assert_eq!((outstanding, limit), (1, 1));
+            }
+            other => panic!("expected Saturated, got {other:?}"),
+        }
+        assert!(!batch[0].is_evaluated(), "refused batch must be untouched");
+        t.join().unwrap();
+        // In-flight batch drained: the same dispatch now succeeds.
+        handle.dispatch(&mut batch).unwrap();
+        assert_eq!(batch[0].fitness(), 1.0);
+    }
+
+    #[test]
+    fn closing_a_run_fails_only_its_own_work() {
+        let (_slaves, addrs) = fleet(2, 4);
+        let server = EvalServer::connect(&addrs, fast_cfg(), Observer::disabled()).unwrap();
+        let a = server.submit_run(spec("run-a", 0xA, 1)).unwrap();
+        assert!(server.close_run("run-a"));
+        assert!(!server.close_run("run-a"), "second close is a no-op");
+        assert!(!a.is_active());
+        match a.try_evaluate_one(&[1, 2]) {
+            Err(EvalBackendError::Backend(msg)) => assert!(msg.contains("closed"), "{msg}"),
+            other => panic!("expected Backend(closed), got {other:?}"),
+        }
+        // An unrelated tenant is unaffected.
+        let b = server.submit_run(spec("run-b", 0xB, 2)).unwrap();
+        assert_eq!(b.try_evaluate_one(&[1, 2]).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn dropping_the_last_handle_closes_the_run() {
+        let (_slaves, addrs) = fleet(1, 4);
+        let server = EvalServer::connect(&addrs, fast_cfg(), Observer::disabled()).unwrap();
+        let a = server.submit_run(spec("run-a", 0xA, 1)).unwrap();
+        let a2 = a.clone();
+        drop(a);
+        assert!(a2.is_active(), "a clone still holds the run open");
+        drop(a2);
+        assert_eq!(server.active_runs().len(), 0);
+    }
+
+    #[test]
+    fn total_fleet_loss_is_a_typed_error_and_recovers_on_rejoin() {
+        let (slaves, addrs) = fleet(1, 4);
+        let server = EvalServer::connect(&addrs, fast_cfg(), Observer::disabled()).unwrap();
+        let handle = server.submit_run(spec("run-a", 0xA, 1)).unwrap();
+        assert_eq!(handle.try_evaluate_one(&[1]).unwrap(), 1.0);
+        // Kill the only slave.
+        let addr = slaves[0].addr().to_string();
+        drop(slaves);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let err = loop {
+            match handle.try_evaluate_one(&[1, 2]) {
+                Err(e) => break e,
+                Ok(_) => {
+                    assert!(Instant::now() < deadline, "fleet never noticed the loss");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        assert!(
+            matches!(err, EvalBackendError::AllWorkersFailed { .. }),
+            "unexpected error: {err}"
+        );
+        let faults = EvalBackend::take_fault_events(&handle);
+        assert!(
+            faults.retirements >= 1,
+            "retirement not accounted: {faults:?}"
+        );
+        // Resurrect the slave at the same address: the worker rejoins and
+        // the tenant is served again, with columns re-shipped from the
+        // run's payload (the store restarted empty).
+        let store = Arc::new(ObjectiveStore::new(4).with_loader(scaling_loader()));
+        let _revived = SlaveServer::spawn_shared(&addr, store, Observer::disabled()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match handle.try_evaluate_one(&[1, 2]) {
+                Ok(f) => {
+                    assert_eq!(f, 3.0);
+                    break;
+                }
+                Err(_) => {
+                    assert!(Instant::now() < deadline, "worker never rejoined");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        let faults = EvalBackend::take_fault_events(&handle);
+        assert!(faults.rejoins >= 1, "rejoin not accounted: {faults:?}");
+    }
+}

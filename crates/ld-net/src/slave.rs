@@ -1,12 +1,21 @@
-//! The slave daemon: owns the objective, answers evaluation requests.
+//! The slave daemon: owns the objective(s), answers evaluation requests.
 //!
 //! Mirrors the paper's PVM slaves: "the slaves are initiated at the
 //! beginning and access only once to the data" — the dataset/objective is
 //! loaded at construction; each master connection then only carries
 //! `(solution → fitness)` traffic.
+//!
+//! Since protocol v3 a slave can serve **many datasets at once** through
+//! an [`ObjectiveStore`]: masters register a dataset under a content
+//! fingerprint (shipping its columns exactly once per slave process) and
+//! then address it by handle, so one shared slave fleet can evaluate for
+//! several concurrent GA runs (see [`crate::server::EvalServer`]).
 
 use crate::protocol::{read_message, write_message, Message, ProtoError, PROTOCOL_VERSION};
 use ld_core::Evaluator;
+use ld_observe::{Event, Observer};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -27,6 +36,144 @@ fn no_plan() -> PlanHandle {
 #[cfg(not(feature = "fault-inject"))]
 fn no_plan() -> PlanHandle {}
 
+/// Builds an [`Evaluator`] from a registered dataset's columns blob:
+/// `(fingerprint, n_snps, payload) -> evaluator`.
+pub type DatasetLoader =
+    Arc<dyn Fn(u64, u32, &[u8]) -> Result<Arc<dyn Evaluator>, String> + Send + Sync>;
+
+/// Process-level registry of datasets a slave can evaluate against.
+///
+/// Keys are content fingerprints, negotiated through the v3
+/// `RegisterDataset`/`DatasetAck` exchange; residency is shared across
+/// every connection of the slave process, so a dataset's columns travel
+/// the wire **once** no matter how many masters (or reconnects) follow.
+/// Capacity is bounded ([`ObjectiveStore::with_capacity`]): registration
+/// of one dataset too many is refused with a typed reason, which the
+/// master surfaces as an admission error — a tenant whose panel does not
+/// fit degrades alone, without evicting resident tenants.
+pub struct ObjectiveStore {
+    /// Objective served to v1/v2 masters (plain `EvalRequest`), if any.
+    default: Option<Arc<dyn Evaluator>>,
+    datasets: Mutex<HashMap<u64, Arc<dyn Evaluator>>>,
+    loader: Option<DatasetLoader>,
+    max_datasets: usize,
+}
+
+impl ObjectiveStore {
+    /// An empty store holding at most `max_datasets` registered datasets
+    /// (0 = unbounded). Without a [`DatasetLoader`] it only accepts
+    /// fingerprints preloaded via [`ObjectiveStore::preload`].
+    pub fn new(max_datasets: usize) -> ObjectiveStore {
+        ObjectiveStore {
+            default: None,
+            datasets: Mutex::new(HashMap::new()),
+            loader: None,
+            max_datasets,
+        }
+    }
+
+    /// Attach the loader that materializes evaluators from registered
+    /// columns blobs.
+    pub fn with_loader(mut self, loader: DatasetLoader) -> ObjectiveStore {
+        self.loader = Some(loader);
+        self
+    }
+
+    /// Set the objective answering un-handled (v1/v2) `EvalRequest`s.
+    pub fn with_default(mut self, objective: Arc<dyn Evaluator>) -> ObjectiveStore {
+        self.default = Some(objective);
+        self
+    }
+
+    /// Wrap a single objective, as [`SlaveServer::spawn`] does: it serves
+    /// plain requests *and* is pre-registered under `fingerprint` for v3
+    /// masters.
+    pub fn single(fingerprint: u64, objective: Arc<dyn Evaluator>) -> ObjectiveStore {
+        let store = ObjectiveStore::new(0).with_default(Arc::clone(&objective));
+        store.datasets.lock().insert(fingerprint, objective);
+        store
+    }
+
+    /// Insert a dataset without going through the wire (tests, or slaves
+    /// that load their panels at start like the paper's). Returns `false`
+    /// when capacity is exhausted.
+    pub fn preload(&self, fingerprint: u64, objective: Arc<dyn Evaluator>) -> bool {
+        let mut map = self.datasets.lock();
+        if self.is_full(&map) && !map.contains_key(&fingerprint) {
+            return false;
+        }
+        map.insert(fingerprint, objective);
+        true
+    }
+
+    /// Registered datasets currently resident.
+    pub fn len(&self) -> usize {
+        self.datasets.lock().len()
+    }
+
+    /// Whether no dataset is resident.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.lock().is_empty()
+    }
+
+    /// Panel width announced in the slave's `Hello` (the default
+    /// objective's, or 0 for a store-only multi-tenant slave).
+    fn hello_n_snps(&self) -> u32 {
+        self.default.as_ref().map_or(0, |d| d.n_snps() as u32)
+    }
+
+    fn is_full(&self, map: &HashMap<u64, Arc<dyn Evaluator>>) -> bool {
+        self.max_datasets > 0 && map.len() >= self.max_datasets
+    }
+
+    /// Resolve a `RegisterDataset`: residency check, then (for a fresh
+    /// fingerprint with columns attached) capacity check and load.
+    /// `Ok(resident)` means the dataset is bound; the flag says whether it
+    /// was already there. `Err(reason)` becomes the NACK reason.
+    fn register(
+        &self,
+        fingerprint: u64,
+        n_snps: u32,
+        payload: &[u8],
+    ) -> Result<(Arc<dyn Evaluator>, bool), String> {
+        let mut map = self.datasets.lock();
+        if let Some(existing) = map.get(&fingerprint) {
+            let have = existing.n_snps() as u32;
+            if have != n_snps {
+                return Err(format!(
+                    "panel width mismatch: resident dataset has {have} SNPs, master expects {n_snps}"
+                ));
+            }
+            return Ok((Arc::clone(existing), true));
+        }
+        if payload.is_empty() {
+            return Err(format!(
+                "unknown fingerprint {fingerprint:#x} (no columns attached)"
+            ));
+        }
+        if self.is_full(&map) {
+            return Err(format!(
+                "dataset capacity exhausted ({} resident, max {})",
+                map.len(),
+                self.max_datasets
+            ));
+        }
+        let loader = self
+            .loader
+            .as_ref()
+            .ok_or_else(|| "slave has no dataset loader".to_string())?;
+        let evaluator = loader(fingerprint, n_snps, payload)?;
+        let have = evaluator.n_snps() as u32;
+        if have != n_snps {
+            return Err(format!(
+                "panel width mismatch: loaded dataset has {have} SNPs, master expects {n_snps}"
+            ));
+        }
+        map.insert(fingerprint, Arc::clone(&evaluator));
+        Ok((evaluator, false))
+    }
+}
+
 /// A running slave server.
 pub struct SlaveServer {
     addr: SocketAddr,
@@ -40,12 +187,27 @@ impl SlaveServer {
     /// evaluations of `objective` until [`SlaveServer::stop`] or drop.
     ///
     /// Each accepted connection is served on its own thread; a connection
-    /// ends on `Shutdown`, EOF, or a protocol error.
+    /// ends on `Shutdown`, EOF, or a protocol error. The objective is
+    /// also pre-registered for v3 masters under fingerprint 0.
     pub fn spawn<E>(addr: &str, objective: E) -> std::io::Result<SlaveServer>
     where
         E: Evaluator + 'static,
     {
-        Self::spawn_inner(addr, objective, no_plan())
+        let store = Arc::new(ObjectiveStore::single(0, Arc::new(objective)));
+        Self::spawn_inner(addr, store, no_plan(), Observer::disabled())
+    }
+
+    /// Bind a multi-tenant slave serving every dataset in (or loadable
+    /// into) `store`. Socket-level failures in the accept loop are
+    /// absorbed and logged through `observer` as
+    /// [`Event::SlaveIoError`]s — the daemon never panics on a bad
+    /// connection.
+    pub fn spawn_shared(
+        addr: &str,
+        store: Arc<ObjectiveStore>,
+        observer: Observer,
+    ) -> std::io::Result<SlaveServer> {
+        Self::spawn_inner(addr, store, no_plan(), observer)
     }
 
     /// [`SlaveServer::spawn`] with a scripted [`crate::fault::FaultPlan`]
@@ -59,64 +221,91 @@ impl SlaveServer {
     where
         E: Evaluator + 'static,
     {
-        let plan = if plan.is_none() {
-            None
-        } else {
-            Some(Arc::new(plan))
-        };
-        Self::spawn_inner(addr, objective, plan)
+        let store = Arc::new(ObjectiveStore::single(0, Arc::new(objective)));
+        Self::spawn_inner(addr, store, wrap_plan(plan), Observer::disabled())
     }
 
-    fn spawn_inner<E>(addr: &str, objective: E, plan: PlanHandle) -> std::io::Result<SlaveServer>
-    where
-        E: Evaluator + 'static,
-    {
+    /// [`SlaveServer::spawn_shared`] with a scripted fault plan. Test-only.
+    #[cfg(feature = "fault-inject")]
+    pub fn spawn_shared_with_faults(
+        addr: &str,
+        store: Arc<ObjectiveStore>,
+        observer: Observer,
+        plan: crate::fault::FaultPlan,
+    ) -> std::io::Result<SlaveServer> {
+        Self::spawn_inner(addr, store, wrap_plan(plan), observer)
+    }
+
+    fn spawn_inner(
+        addr: &str,
+        store: Arc<ObjectiveStore>,
+        plan: PlanHandle,
+        observer: Observer,
+    ) -> std::io::Result<SlaveServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // Typed error to the caller (the daemon cannot poll without it),
+        // not a panic inside the accept thread.
+        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
-        let objective = Arc::new(objective);
         let accept_stop = Arc::clone(&stop);
         let accept_served = Arc::clone(&served);
         let accept_thread = std::thread::Builder::new()
             .name(format!("ld-slave-accept-{local}"))
             .spawn(move || {
                 // Polling accept loop so `stop` is honored promptly.
-                listener
-                    .set_nonblocking(true)
-                    .expect("set nonblocking listener");
+                let log_io = |context: &str, detail: String| {
+                    observer.emit(Event::SlaveIoError {
+                        context: context.to_string(),
+                        detail,
+                    });
+                };
                 while !accept_stop.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            stream
-                                .set_nonblocking(false)
-                                .expect("connection back to blocking");
-                            let objective = Arc::clone(&objective);
+                        Ok((stream, peer)) => {
+                            // A connection that cannot be switched back to
+                            // blocking mode is dropped, not served half-set-up
+                            // — and the daemon lives on.
+                            if let Err(e) = stream.set_nonblocking(false) {
+                                log_io("accept", format!("set_nonblocking({peer}): {e}"));
+                                continue;
+                            }
+                            let store = Arc::clone(&store);
                             let served = Arc::clone(&accept_served);
                             let conn_stop = Arc::clone(&accept_stop);
                             let plan = plan.clone();
+                            let conn_observer = observer.clone();
                             // Connection threads are detached: they exit on
                             // the master's Shutdown, EOF (master socket
                             // dropped), or a protocol error. Joining them
                             // here would deadlock a server dropped while a
                             // quiet master connection is still open.
-                            std::thread::Builder::new()
+                            let spawned = std::thread::Builder::new()
                                 .name("ld-slave-conn".into())
                                 .spawn(move || {
-                                    let _ = serve_connection(
-                                        stream,
-                                        &*objective,
-                                        &served,
-                                        &conn_stop,
-                                        &plan,
-                                    );
-                                })
-                                .expect("spawn connection thread");
+                                    if let Err(e) =
+                                        serve_connection(stream, &store, &served, &conn_stop, &plan)
+                                    {
+                                        // EOF when the master drops its socket is
+                                        // routine; anything else is worth a trace.
+                                        conn_observer.emit(Event::SlaveIoError {
+                                            context: "connection".to_string(),
+                                            detail: format!("{peer}: {e}"),
+                                        });
+                                    }
+                                });
+                            if let Err(e) = spawned {
+                                log_io("accept", format!("spawn connection thread: {e}"));
+                            }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(std::time::Duration::from_millis(5));
                         }
-                        Err(_) => break,
+                        Err(e) => {
+                            log_io("accept", e.to_string());
+                            break;
+                        }
                     }
                 }
             })?;
@@ -145,6 +334,15 @@ impl SlaveServer {
     }
 }
 
+#[cfg(feature = "fault-inject")]
+fn wrap_plan(plan: crate::fault::FaultPlan) -> PlanHandle {
+    if plan.is_none() {
+        None
+    } else {
+        Some(Arc::new(plan))
+    }
+}
+
 impl Drop for SlaveServer {
     fn drop(&mut self) {
         self.stop();
@@ -157,9 +355,9 @@ impl Drop for SlaveServer {
 /// Serve one master connection: greet, then answer requests until
 /// `Shutdown`, EOF, or server stop — with scripted faults applied when
 /// the `fault-inject` feature is on.
-fn serve_connection<E: Evaluator>(
+fn serve_connection(
     stream: TcpStream,
-    objective: &E,
+    store: &ObjectiveStore,
     served: &AtomicU64,
     stop: &AtomicBool,
     #[cfg_attr(not(feature = "fault-inject"), allow(unused_variables))] plan: &PlanHandle,
@@ -184,13 +382,16 @@ fn serve_connection<E: Evaluator>(
         &mut writer,
         &Message::Hello {
             version: PROTOCOL_VERSION,
-            n_snps: objective.n_snps() as u32,
+            n_snps: store.hello_n_snps(),
         },
     )?;
     let mut conn_served: u64 = 0;
-    // Until the master announces v2 with its own Hello, answer with the
-    // v1 `EvalResponse` frame — a v1 master never learns about timing.
-    let mut peer_v2 = false;
+    // Until the master announces a version with its own Hello, assume the
+    // oldest (v1): plain `EvalResponse` replies, no v3 frames.
+    let mut peer_version: u32 = 1;
+    // Connection-local handle table: masters bind handles with
+    // `RegisterDataset`; residency itself is process-level in the store.
+    let mut bound: HashMap<u64, Arc<dyn Evaluator>> = HashMap::new();
     // One warmed evaluation workspace per connection, reused across every
     // request this master sends.
     let mut scratch = ld_core::EvalScratch::new();
@@ -198,56 +399,56 @@ fn serve_connection<E: Evaluator>(
         if stop.load(Ordering::Relaxed) {
             return Ok(()); // server stopped: close before the next request
         }
-        match read_message(&mut reader)? {
+        let message = read_message(&mut reader)?;
+        // Split requests from control traffic so both request forms share
+        // one evaluation path (fault hooks, scratch, timing, reply).
+        let (id, snps, via_handle) = match message {
             Message::Hello { version, .. } => {
-                // v2 masters identify themselves after reading our
-                // greeting; switch reply format for the rest of the
-                // connection.
-                peer_v2 = version >= 2;
+                // Masters identify themselves after reading our greeting;
+                // the announced version gates reply format (v2) and the
+                // multi-dataset frames (v3) for the rest of the connection.
+                peer_version = version;
+                continue;
             }
-            Message::EvalRequest { id, snps } => {
-                #[cfg(feature = "fault-inject")]
-                if let Some(plan) = plan {
-                    if let Some(limit) = plan.drop_connection_after {
-                        if conn_served >= limit {
-                            return Ok(()); // scripted drop, no response
+            Message::RegisterDataset {
+                handle,
+                fingerprint,
+                n_snps,
+                payload,
+            } => {
+                if peer_version < 3 {
+                    return Err(ProtoError::Malformed(format!(
+                        "RegisterDataset from a v{peer_version} master"
+                    )));
+                }
+                let ack = match store.register(fingerprint, n_snps, &payload) {
+                    Ok((evaluator, _resident)) => {
+                        bound.insert(handle, evaluator);
+                        Message::DatasetAck {
+                            handle,
+                            accepted: true,
+                            reason: String::new(),
                         }
                     }
-                    if let Some(delay) = plan.response_delay {
-                        std::thread::sleep(delay);
-                    }
-                }
-                // The scratch is warm iff this connection already served
-                // at least one evaluation.
-                let scratch_warm = conn_served > 0;
-                let compute_start = std::time::Instant::now();
-                let fitness = objective.evaluate_one_with(&mut scratch, &snps);
-                let compute_us =
-                    u32::try_from(compute_start.elapsed().as_micros()).unwrap_or(u32::MAX);
-                let _total_served = served.fetch_add(1, Ordering::Relaxed) + 1;
-                conn_served += 1;
-                #[cfg(feature = "fault-inject")]
-                if let Some(plan) = plan {
-                    if let Some(kill) = plan.kill_server_after {
-                        if _total_served >= kill {
-                            // Scripted death: take the whole server
-                            // down mid-request, response unsent.
-                            stop.store(true, Ordering::Relaxed);
-                            return Ok(());
-                        }
-                    }
-                }
-                let reply = if peer_v2 {
-                    Message::EvalResult {
-                        id,
-                        fitness,
-                        compute_us,
-                        scratch_warm,
-                    }
-                } else {
-                    Message::EvalResponse { id, fitness }
+                    Err(reason) => Message::DatasetAck {
+                        handle,
+                        accepted: false,
+                        reason,
+                    },
                 };
-                write_message(&mut writer, &reply)?;
+                write_message(&mut writer, &ack)?;
+                continue;
+            }
+            Message::EvalRequest { id, snps } => (id, snps, None),
+            Message::EvalRequestV3 {
+                id, handle, snps, ..
+            } => {
+                if peer_version < 3 {
+                    return Err(ProtoError::Malformed(format!(
+                        "EvalRequestV3 from a v{peer_version} master"
+                    )));
+                }
+                (id, snps, Some(handle))
             }
             Message::Shutdown => return Ok(()),
             other => {
@@ -255,7 +456,80 @@ fn serve_connection<E: Evaluator>(
                     "unexpected message from master: {other:?}"
                 )))
             }
+        };
+        // Resolve the objective before any fault gate or accounting: an
+        // unknown handle is the *master's* bookkeeping error and gets a
+        // typed reply, never a made-up fitness.
+        let objective: Arc<dyn Evaluator> = match via_handle {
+            None => match &store.default {
+                Some(d) => Arc::clone(d),
+                None => {
+                    write_message(
+                        &mut writer,
+                        &Message::EvalError {
+                            id,
+                            reason: "slave serves registered datasets only (no default objective)"
+                                .to_string(),
+                        },
+                    )?;
+                    continue;
+                }
+            },
+            Some(handle) => match bound.get(&handle) {
+                Some(e) => Arc::clone(e),
+                None => {
+                    write_message(
+                        &mut writer,
+                        &Message::EvalError {
+                            id,
+                            reason: format!("unknown dataset handle {handle}"),
+                        },
+                    )?;
+                    continue;
+                }
+            },
+        };
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = plan {
+            if let Some(limit) = plan.drop_connection_after {
+                if conn_served >= limit {
+                    return Ok(()); // scripted drop, no response
+                }
+            }
+            if let Some(delay) = plan.response_delay {
+                std::thread::sleep(delay);
+            }
         }
+        // The scratch is warm iff this connection already served at
+        // least one evaluation.
+        let scratch_warm = conn_served > 0;
+        let compute_start = std::time::Instant::now();
+        let fitness = objective.evaluate_one_with(&mut scratch, &snps);
+        let compute_us = u32::try_from(compute_start.elapsed().as_micros()).unwrap_or(u32::MAX);
+        let _total_served = served.fetch_add(1, Ordering::Relaxed) + 1;
+        conn_served += 1;
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = plan {
+            if let Some(kill) = plan.kill_server_after {
+                if _total_served >= kill {
+                    // Scripted death: take the whole server down
+                    // mid-request, response unsent.
+                    stop.store(true, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+        }
+        let reply = if peer_version >= 2 {
+            Message::EvalResult {
+                id,
+                fitness,
+                compute_us,
+                scratch_warm,
+            }
+        } else {
+            Message::EvalResponse { id, fitness }
+        };
+        write_message(&mut writer, &reply)?;
     }
 }
 
@@ -269,6 +543,18 @@ mod tests {
 
     fn toy() -> FnEvaluator<impl Fn(&[SnpId]) -> f64 + Send + Sync> {
         FnEvaluator::new(51, |s: &[SnpId]| s.iter().sum::<usize>() as f64)
+    }
+
+    /// Loader used by store tests: payload byte 0 scales the sum.
+    fn scaling_loader() -> DatasetLoader {
+        Arc::new(|_fp, n_snps, payload: &[u8]| {
+            let scale = f64::from(payload.first().copied().unwrap_or(1));
+            Ok(
+                Arc::new(FnEvaluator::new(n_snps as usize, move |s: &[SnpId]| {
+                    scale * s.iter().sum::<usize>() as f64
+                })) as Arc<dyn Evaluator>,
+            )
+        })
     }
 
     #[test]
@@ -379,5 +665,230 @@ mod tests {
         server.stop();
         server.stop();
         drop(server); // must not hang or panic
+    }
+
+    /// v3 handshake helper: connect, read the slave Hello, announce v3.
+    fn connect_v3(addr: SocketAddr) -> (TcpStream, TcpStream) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader = stream.try_clone().unwrap();
+        let mut r = reader.try_clone().unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let _ = read_message(&mut r).unwrap(); // slave Hello
+        write_message(
+            &mut w,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+                n_snps: 0,
+            },
+        )
+        .unwrap();
+        (reader, stream)
+    }
+
+    #[test]
+    fn store_slave_registers_and_serves_two_datasets() {
+        let store = Arc::new(ObjectiveStore::new(4).with_loader(scaling_loader()));
+        let server = SlaveServer::spawn_shared("127.0.0.1:0", store, Observer::disabled()).unwrap();
+        let (mut reader, mut writer) = connect_v3(server.addr());
+        // Register two datasets under different fingerprints.
+        for (handle, fp, scale) in [(1u64, 0xAAu64, 1u8), (2, 0xBB, 3)] {
+            write_message(
+                &mut writer,
+                &Message::RegisterDataset {
+                    handle,
+                    fingerprint: fp,
+                    n_snps: 51,
+                    payload: vec![scale],
+                },
+            )
+            .unwrap();
+            match read_message(&mut reader).unwrap() {
+                Message::DatasetAck {
+                    handle: h,
+                    accepted,
+                    reason,
+                } => {
+                    assert_eq!(h, handle);
+                    assert!(accepted, "{reason}");
+                }
+                other => panic!("expected DatasetAck, got {other:?}"),
+            }
+        }
+        // Evaluate the same haplotype against both: scales differ.
+        for (handle, expect) in [(1u64, 3.0), (2, 9.0)] {
+            write_message(
+                &mut writer,
+                &Message::EvalRequestV3 {
+                    id: 7,
+                    run_id: handle,
+                    handle,
+                    snps: vec![1, 2],
+                },
+            )
+            .unwrap();
+            match read_message(&mut reader).unwrap() {
+                Message::EvalResult { id, fitness, .. } => {
+                    assert_eq!(id, 7);
+                    assert_eq!(fitness, expect);
+                }
+                other => panic!("expected EvalResult, got {other:?}"),
+            }
+        }
+        assert_eq!(server.served(), 2);
+        write_message(&mut writer, &Message::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn re_registration_acks_from_residency_without_columns() {
+        let store = Arc::new(ObjectiveStore::new(4).with_loader(scaling_loader()));
+        let server =
+            SlaveServer::spawn_shared("127.0.0.1:0", Arc::clone(&store), Observer::disabled())
+                .unwrap();
+        // First connection ships the columns.
+        let (mut r1, mut w1) = connect_v3(server.addr());
+        write_message(
+            &mut w1,
+            &Message::RegisterDataset {
+                handle: 1,
+                fingerprint: 0xCC,
+                n_snps: 51,
+                payload: vec![2],
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_message(&mut r1).unwrap(),
+            Message::DatasetAck { accepted: true, .. }
+        ));
+        // Second connection (a reconnect) re-registers with an empty blob.
+        let (mut r2, mut w2) = connect_v3(server.addr());
+        write_message(
+            &mut w2,
+            &Message::RegisterDataset {
+                handle: 9,
+                fingerprint: 0xCC,
+                n_snps: 51,
+                payload: vec![],
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_message(&mut r2).unwrap(),
+            Message::DatasetAck { accepted: true, .. }
+        ));
+        write_message(
+            &mut w2,
+            &Message::EvalRequestV3 {
+                id: 1,
+                run_id: 1,
+                handle: 9,
+                snps: vec![5],
+            },
+        )
+        .unwrap();
+        match read_message(&mut r2).unwrap() {
+            Message::EvalResult { fitness, .. } => assert_eq!(fitness, 10.0),
+            other => panic!("expected EvalResult, got {other:?}"),
+        }
+        assert_eq!(store.len(), 1, "columns resident once, process-level");
+    }
+
+    #[test]
+    fn registration_rejections_are_typed() {
+        let store = Arc::new(ObjectiveStore::new(1).with_loader(scaling_loader()));
+        let server = SlaveServer::spawn_shared("127.0.0.1:0", store, Observer::disabled()).unwrap();
+        let (mut reader, mut writer) = connect_v3(server.addr());
+        let register = |w: &mut TcpStream, handle, fp, n_snps, payload: Vec<u8>| {
+            write_message(
+                w,
+                &Message::RegisterDataset {
+                    handle,
+                    fingerprint: fp,
+                    n_snps,
+                    payload,
+                },
+            )
+            .unwrap();
+        };
+        // Unknown fingerprint with no columns → rejected.
+        register(&mut writer, 1, 0x01, 51, vec![]);
+        match read_message(&mut reader).unwrap() {
+            Message::DatasetAck {
+                accepted, reason, ..
+            } => {
+                assert!(!accepted);
+                assert!(reason.contains("unknown fingerprint"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // First real registration fills the capacity-1 store.
+        register(&mut writer, 1, 0x01, 51, vec![1]);
+        assert!(matches!(
+            read_message(&mut reader).unwrap(),
+            Message::DatasetAck { accepted: true, .. }
+        ));
+        // Second dataset → capacity exhausted.
+        register(&mut writer, 2, 0x02, 51, vec![1]);
+        match read_message(&mut reader).unwrap() {
+            Message::DatasetAck {
+                accepted, reason, ..
+            } => {
+                assert!(!accepted);
+                assert!(reason.contains("capacity exhausted"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Width mismatch against the resident dataset.
+        register(&mut writer, 3, 0x01, 99, vec![]);
+        match read_message(&mut reader).unwrap() {
+            Message::DatasetAck {
+                accepted, reason, ..
+            } => {
+                assert!(!accepted);
+                assert!(reason.contains("width mismatch"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown handle in a request → EvalError, not a fitness.
+        write_message(
+            &mut writer,
+            &Message::EvalRequestV3 {
+                id: 42,
+                run_id: 1,
+                handle: 77,
+                snps: vec![1],
+            },
+        )
+        .unwrap();
+        match read_message(&mut reader).unwrap() {
+            Message::EvalError { id, reason } => {
+                assert_eq!(id, 42);
+                assert!(reason.contains("unknown dataset handle"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(server.served(), 0, "no request was ever evaluated");
+    }
+
+    #[test]
+    fn v3_frames_from_a_non_v3_master_close_the_connection() {
+        let server = SlaveServer::spawn("127.0.0.1:0", toy()).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = stream.try_clone().unwrap();
+        let mut writer = stream;
+        let _ = read_message(&mut reader).unwrap(); // slave Hello
+                                                    // No master Hello: the slave must treat us as v1 and refuse v3
+                                                    // frames (connection closes; the read then fails).
+        write_message(
+            &mut writer,
+            &Message::EvalRequestV3 {
+                id: 1,
+                run_id: 1,
+                handle: 0,
+                snps: vec![1],
+            },
+        )
+        .unwrap();
+        assert!(read_message(&mut reader).is_err());
     }
 }

@@ -1,0 +1,206 @@
+//! Dataset wire codec: the columns blob shipped inside protocol v3
+//! `RegisterDataset` frames.
+//!
+//! The paper's slaves "access only once to the data"; in the multi-run
+//! eval server the same economy holds per *dataset*: a tenant's columns
+//! cross the wire to each slave exactly once, identified ever after by a
+//! content fingerprint ([`fingerprint`], FNV-1a over the encoded bytes).
+//! The codec is deliberately boring — versioned magic, little-endian
+//! fixed-width fields, length-prefixed strings — so a frame written by
+//! any build decodes in any other.
+
+use ld_data::{Dataset, Genotype, GenotypeMatrix, SnpInfo, Status};
+
+/// Leading magic of an encoded dataset (`"LDDS"` + format version).
+const MAGIC: &[u8; 4] = b"LDDS";
+const FORMAT_VERSION: u8 = 1;
+
+/// Encode a dataset into the self-describing columns blob registered on
+/// slaves. Inverse of [`decode_dataset`].
+pub fn encode_dataset(d: &Dataset) -> Vec<u8> {
+    let n_ind = d.n_individuals();
+    let n_snps = d.n_snps();
+    let mut out = Vec::with_capacity(16 + n_ind * (1 + n_snps) + n_snps * 16);
+    out.extend_from_slice(MAGIC);
+    out.push(FORMAT_VERSION);
+    out.extend_from_slice(&(n_ind as u32).to_le_bytes());
+    out.extend_from_slice(&(n_snps as u32).to_le_bytes());
+    for s in &d.statuses {
+        out.push(match s {
+            Status::Affected => 0,
+            Status::Unaffected => 1,
+            Status::Unknown => 2,
+        });
+    }
+    for i in 0..n_ind {
+        for s in 0..n_snps {
+            out.push(match d.genotypes.get(i, s) {
+                Genotype::HomA1 => 0,
+                Genotype::Het => 1,
+                Genotype::HomA2 => 2,
+                Genotype::Missing => 3,
+            });
+        }
+    }
+    for info in &d.snps {
+        out.push(info.chromosome);
+        out.extend_from_slice(&info.position_kb.to_le_bytes());
+        push_str(&mut out, &info.name);
+    }
+    push_str(&mut out, &d.label);
+    out
+}
+
+/// Decode a blob produced by [`encode_dataset`].
+pub fn decode_dataset(bytes: &[u8]) -> Result<Dataset, String> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err("not a dataset blob (bad magic)".to_string());
+    }
+    let version = r.u8()?;
+    if version != FORMAT_VERSION {
+        return Err(format!("unsupported dataset format version {version}"));
+    }
+    let n_ind = r.u32()? as usize;
+    let n_snps = r.u32()? as usize;
+    // Cheap sanity bound before allocating: the genotype block alone must
+    // fit in what's left of the blob.
+    if n_ind
+        .checked_mul(n_snps)
+        .is_none_or(|cells| cells > r.bytes.len())
+    {
+        return Err(format!(
+            "dataset dimensions {n_ind}x{n_snps} exceed the blob"
+        ));
+    }
+    let mut statuses = Vec::with_capacity(n_ind);
+    for _ in 0..n_ind {
+        statuses.push(match r.u8()? {
+            0 => Status::Affected,
+            1 => Status::Unaffected,
+            2 => Status::Unknown,
+            other => return Err(format!("bad status byte {other}")),
+        });
+    }
+    let mut genotypes = Vec::with_capacity(n_ind * n_snps);
+    for _ in 0..n_ind * n_snps {
+        genotypes.push(match r.u8()? {
+            0 => Genotype::HomA1,
+            1 => Genotype::Het,
+            2 => Genotype::HomA2,
+            3 => Genotype::Missing,
+            other => return Err(format!("bad genotype byte {other}")),
+        });
+    }
+    let mut snps = Vec::with_capacity(n_snps);
+    for id in 0..n_snps {
+        let chromosome = r.u8()?;
+        let position_kb =
+            f64::from_le_bytes(r.take(8)?.try_into().expect("take(8) returned 8 bytes"));
+        let name = r.string()?;
+        snps.push(SnpInfo {
+            id,
+            name,
+            chromosome,
+            position_kb,
+        });
+    }
+    let label = r.string()?;
+    let matrix = GenotypeMatrix::from_rows(n_ind, n_snps, genotypes).map_err(|e| e.to_string())?;
+    Dataset::new(matrix, statuses, snps, label).map_err(|e| e.to_string())
+}
+
+/// Content fingerprint of a columns blob (64-bit FNV-1a). Two tenants
+/// registering byte-identical datasets share one resident copy per slave.
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = u16::try_from(bytes.len()).unwrap_or(u16::MAX) as usize;
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| "truncated dataset blob".to_string())?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("take(4) returned 4 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("take(2) returned 2 bytes"))
+            as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_data::synthetic::lille_51;
+
+    #[test]
+    fn dataset_roundtrips_through_the_codec() {
+        let d = lille_51(42);
+        let bytes = encode_dataset(&d);
+        let back = decode_dataset(&bytes).unwrap();
+        assert_eq!(back.n_individuals(), d.n_individuals());
+        assert_eq!(back.n_snps(), d.n_snps());
+        assert_eq!(back.statuses, d.statuses);
+        assert_eq!(back.genotypes, d.genotypes);
+        assert_eq!(back.label, d.label);
+        assert_eq!(back.snps.len(), d.snps.len());
+        assert_eq!(back.snps[7].name, d.snps[7].name);
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let a = encode_dataset(&lille_51(42));
+        let b = encode_dataset(&lille_51(42));
+        let c = encode_dataset(&lille_51(43));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        assert!(decode_dataset(b"nope").is_err());
+        assert!(decode_dataset(&[]).is_err());
+        // Valid magic, absurd dimensions.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(b"LDDS");
+        evil.push(1);
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_dataset(&evil).is_err());
+    }
+}

@@ -136,6 +136,7 @@ fn total_slave_loss_without_fallback_is_a_typed_error() {
         EvalBackendError::Backend(msg) => {
             assert!(msg.contains("evaluation failed"), "odd message: {msg}")
         }
+        other => panic!("expected a worker-loss error, got {other}"),
     }
 }
 

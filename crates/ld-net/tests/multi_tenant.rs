@@ -1,0 +1,270 @@
+//! The multi-tenancy acceptance test: N concurrent GA runs — distinct
+//! datasets, seeds and priorities — multiplexed over ONE shared, faulted
+//! slave fleet must each produce exactly the trajectory they would have
+//! produced on a dedicated evaluator: same generations, same evaluation
+//! counts, best haplotypes bit-identical. Faults (scripted via
+//! `LD_FAULT_PLAN`, as in the CI fault matrix) and the other tenants'
+//! load must be invisible to every run's GA arithmetic.
+//!
+//! Each tenant is observed under its own `run_id` into one shared event
+//! stream; per-run latency attributions (`TraceSummary::for_run`) are
+//! written to `LD_OBSERVE_DIR` when set, for upload as CI artifacts.
+#![cfg(feature = "fault-inject")]
+
+use ld_core::{EvalBackendError, GaConfig, GaEngine, StatsEvaluator};
+use ld_data::SnpId;
+use ld_net::wire;
+use ld_net::{
+    DatasetLoader, EvalServer, FaultPlan, PoolConfig, RunSpec, ServerConfig, SharedCluster,
+    SubmitError,
+};
+use ld_observe::{
+    Envelope, Event, FanoutSink, JsonlSink, Observer, Registry, RingSink, Sink, TraceSummary,
+};
+use ld_stats::FitnessKind;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fast_cfg() -> ServerConfig {
+    ServerConfig {
+        pool: PoolConfig {
+            request_timeout: Duration::from_secs(2),
+            max_retries: 1,
+            retry_backoff: Duration::from_millis(5),
+            rejoin_backoff: Duration::from_millis(10),
+            max_rejoin_backoff: Duration::from_millis(200),
+        },
+        ..ServerConfig::default()
+    }
+}
+
+fn ga_cfg() -> GaConfig {
+    GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 3,
+        matings_per_generation: 6,
+        stagnation_limit: 8,
+        max_generations: 25,
+        ..GaConfig::default()
+    }
+}
+
+/// Loader installed on every slave: rebuild the tenant's objective from
+/// the columns blob its eval server registered.
+fn stats_loader() -> DatasetLoader {
+    Arc::new(|_fp, _n_snps, payload: &[u8]| {
+        let data = wire::decode_dataset(payload)?;
+        StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1)
+            .map(|e| Arc::new(e) as Arc<dyn ld_core::Evaluator>)
+            .map_err(|e| e.to_string())
+    })
+}
+
+/// Artifact directory: `LD_OBSERVE_DIR` in CI, a scratch dir otherwise.
+fn artifact_dir() -> PathBuf {
+    let dir = match std::env::var("LD_OBSERVE_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => std::env::temp_dir().join(format!("ld-multi-tenant-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).expect("artifact dir");
+    dir
+}
+
+/// One tenant's trajectory fingerprint: everything the GA's arithmetic
+/// determines (no wall-clock, no fault counters).
+#[derive(Debug, PartialEq)]
+struct Trajectory {
+    generations: usize,
+    evaluations: u64,
+    champions: Vec<Option<(Vec<SnpId>, u64)>>,
+}
+
+fn trajectory(result: &ld_core::RunResult) -> Trajectory {
+    Trajectory {
+        generations: result.generations,
+        evaluations: result.total_evaluations,
+        champions: (2..=3)
+            .map(|k| {
+                result
+                    .best_of_size(k)
+                    .map(|h| (h.snps().to_vec(), h.fitness().to_bits()))
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn three_tenants_on_a_faulted_shared_fleet_match_their_solo_references() {
+    let scenario = std::env::var("LD_FAULT_PLAN").unwrap_or_else(|_| "kill-one".to_string());
+    let plans = FaultPlan::matrix(&scenario, 4, 42)
+        .unwrap_or_else(|| panic!("unknown scenario {scenario:?}"));
+
+    // One shared event stream for the whole fleet; each tenant is stamped
+    // with its own run_id so the attributions can be pulled apart again.
+    let dir = artifact_dir();
+    let events_path = dir.join(format!("multi-tenant-events-{scenario}.jsonl"));
+    let ring = Arc::new(RingSink::new(1 << 16));
+    let jsonl = Arc::new(JsonlSink::create(&events_path).unwrap());
+    let sink = Arc::new(FanoutSink::new(vec![ring.clone() as Arc<dyn Sink>, jsonl]));
+    let registry = Registry::new();
+    let fleet_observer = Observer::new("fleet", sink.clone(), registry.clone());
+
+    let cluster =
+        SharedCluster::spawn_shared_faulty(4, stats_loader(), &plans, fast_cfg(), fleet_observer)
+            .unwrap();
+
+    // Three tenants: distinct datasets (different synthesis seeds),
+    // distinct GA seeds, distinct priorities — all concurrent.
+    let tenants: Vec<(String, u64, u64, u32)> = (0..3)
+        .map(|i| {
+            (
+                format!("run-{i}"),
+                100 + i as u64,
+                7 + i as u64,
+                1 + i as u32,
+            )
+        })
+        .collect();
+
+    let shared: Vec<Trajectory> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|(run_id, data_seed, ga_seed, weight)| {
+                let server = Arc::clone(cluster.server());
+                let sink = Arc::clone(&sink);
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    let data = ld_data::synthetic::lille_51(*data_seed);
+                    let payload = wire::encode_dataset(&data);
+                    let fingerprint = wire::fingerprint(&payload);
+                    let observer = Observer::new(run_id.clone(), sink, registry);
+                    let handle = server
+                        .submit_run(
+                            RunSpec::new(run_id.clone(), fingerprint, data.n_snps())
+                                .with_payload(payload)
+                                .with_weight(*weight)
+                                .with_observer(observer.clone()),
+                        )
+                        .unwrap_or_else(|e| panic!("{run_id} not admitted: {e}"));
+                    let result = GaEngine::new(&handle, ga_cfg(), *ga_seed)
+                        .unwrap()
+                        .with_observer(observer)
+                        .try_run()
+                        .unwrap_or_else(|e| panic!("{run_id} failed on the shared fleet: {e}"));
+                    trajectory(&result)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Solo references: the same dataset + seed on a dedicated in-process
+    // evaluator. The shared fleet's multiplexing, weighting and faults
+    // must all be invisible to the GA's arithmetic.
+    for ((run_id, data_seed, ga_seed, _), shared_traj) in tenants.iter().zip(&shared) {
+        let data = ld_data::synthetic::lille_51(*data_seed);
+        let solo = StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1).unwrap();
+        let reference = GaEngine::new(&solo, ga_cfg(), *ga_seed).unwrap().run();
+        assert_eq!(
+            shared_traj,
+            &trajectory(&reference),
+            "{run_id}: shared-fleet trajectory diverged from its solo reference"
+        );
+    }
+
+    // Per-tenant isolation holds in the event stream too: each tenant's
+    // spans reconstruct a standalone attribution, and tenants never leak
+    // into each other's run_id.
+    let envelopes = ring.take();
+    for (run_id, _, _, _) in &tenants {
+        let summary = TraceSummary::for_run(&envelopes, run_id);
+        assert!(
+            !summary.generations.is_empty(),
+            "{run_id}: no per-run spans in the shared stream"
+        );
+        assert_eq!(summary.run_id, *run_id);
+        std::fs::write(
+            dir.join(format!("trace-summary-{run_id}-{scenario}.json")),
+            summary.to_json(),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(format!("trace-summary-{run_id}-{scenario}.txt")),
+            summary.render(),
+        )
+        .unwrap();
+    }
+    // Admissions were observed per tenant and fleet-wide.
+    let admitted = envelopes
+        .iter()
+        .filter(|e| matches!(e.event, Event::RunAdmitted { .. }))
+        .count();
+    assert!(
+        admitted >= 3,
+        "expected every tenant's admission on the stream"
+    );
+    if scenario == "kill-one" {
+        assert!(
+            envelopes
+                .iter()
+                .any(|e| matches!(e.event, Event::SlaveRetired { .. })),
+            "kill-one must retire a slave"
+        );
+    }
+}
+
+/// Admission control isolates misbehaving or excess tenants: a saturated
+/// server refuses the (N+1)th run with a typed error, and the refusal is
+/// observable, while admitted tenants keep evaluating undisturbed.
+#[test]
+fn saturation_and_rejection_degrade_only_the_refused_tenant() {
+    let plans = vec![FaultPlan::default(); 2];
+    let ring = Arc::new(RingSink::new(1 << 12));
+    let observer = Observer::new("fleet", ring.clone() as Arc<dyn Sink>, Registry::new());
+    let cfg = ServerConfig {
+        max_runs: 2,
+        ..fast_cfg()
+    };
+    let cluster =
+        SharedCluster::spawn_shared_faulty(2, stats_loader(), &plans, cfg, observer).unwrap();
+    let server: &Arc<EvalServer> = cluster.server();
+
+    let submit = |id: &str, seed: u64| {
+        let data = ld_data::synthetic::lille_51(seed);
+        let payload = wire::encode_dataset(&data);
+        let fp = wire::fingerprint(&payload);
+        server.submit_run(RunSpec::new(id, fp, data.n_snps()).with_payload(payload))
+    };
+    let a = submit("run-a", 100).unwrap();
+    let _b = submit("run-b", 101).unwrap();
+    match submit("run-c", 102) {
+        Err(SubmitError::Saturated { active, limit }) => {
+            assert_eq!((active, limit), (2, 2));
+        }
+        other => panic!("expected Saturated, got {other:?}"),
+    }
+    // The refusal was emitted for the operator to see...
+    let envelopes: Vec<Envelope> = ring.take();
+    assert!(
+        envelopes.iter().any(|e| matches!(
+            &e.event,
+            Event::RunRejected { run_id, .. } if run_id == "run-c"
+        )),
+        "saturation refusal must be observable"
+    );
+    // ...and the admitted tenants are untouched by it.
+    assert!(a.try_evaluate_one(&[1, 5, 9]).is_ok());
+
+    // A closed tenant fails alone, with a typed error, while the fleet
+    // keeps serving everyone else.
+    assert!(server.close_run("run-b"));
+    let c = submit("run-c", 102).expect("slot freed by the close");
+    assert!(matches!(
+        _b.try_evaluate_one(&[1, 2]),
+        Err(EvalBackendError::Backend(_))
+    ));
+    assert!(c.try_evaluate_one(&[1, 2]).is_ok());
+    assert!(a.try_evaluate_one(&[2, 3]).is_ok());
+}

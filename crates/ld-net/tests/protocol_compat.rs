@@ -1,15 +1,19 @@
-//! Protocol v1 ↔ v2 interoperability.
+//! Protocol v1 ↔ v2 ↔ v3 interoperability.
 //!
-//! The v2 negotiation (see `protocol.rs`) must keep both mixed pairings
-//! working: a v2 master driving a v1 slave, and a v1 master driving a v2
-//! slave. In both mixed cases the batch completes over plain v1
+//! The negotiation (see `protocol.rs`) must keep every mixed pairing
+//! working: a newer master driving a v1 slave, and a v1 master driving a
+//! newer slave. In the mixed cases the batch completes over plain v1
 //! `EvalResponse` frames and the compute-time fields stay *absent* — not
-//! zero-as-data — on the master's health table.
+//! zero-as-data — on the master's health table. The v3 layer (dataset
+//! registration + tenant-tagged requests) only ever activates when both
+//! Hellos announce ≥ 3, and a v3-only master refuses older fleets with a
+//! typed error instead of sending frames they cannot parse.
 
 use ld_core::{EvalBackend, Haplotype};
 use ld_data::SnpId;
 use ld_net::protocol::{read_message, write_message, Message, PROTOCOL_VERSION};
-use ld_net::{SlaveServer, TcpSlavePool};
+use ld_net::{EvalServer, ObjectiveStore, ServerConfig, SlaveServer, TcpSlavePool};
+use ld_observe::Observer;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -147,5 +151,161 @@ fn v2_pairing_reports_compute_time_in_health() {
         mean <= health[0].mean_rtt_ms,
         "slave compute ({mean} ms) cannot exceed the round-trip ({} ms)",
         health[0].mean_rtt_ms
+    );
+}
+
+/// A store slave whose loader scales the SNP-id sum by payload byte 0.
+fn spawn_store_slave() -> SlaveServer {
+    let store = Arc::new(ObjectiveStore::new(4).with_loader(Arc::new(
+        |_fp, n_snps, payload: &[u8]| {
+            let scale = f64::from(payload.first().copied().unwrap_or(1));
+            Ok(Arc::new(ld_core::evaluator::FnEvaluator::new(
+                n_snps as usize,
+                move |s: &[SnpId]| scale * s.iter().map(|&x| x as f64).sum::<f64>(),
+            )) as Arc<dyn ld_core::Evaluator>)
+        },
+    )));
+    SlaveServer::spawn_shared("127.0.0.1:0", store, Observer::disabled()).unwrap()
+}
+
+#[test]
+fn v3_master_registers_and_evaluates_against_a_store_slave() {
+    let server = spawn_store_slave();
+    // Hand-rolled v3 master: full Hello exchange, then the registration
+    // and tenant-tagged request flow.
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = stream.try_clone().unwrap();
+    let mut writer = BufWriter::new(stream);
+    match read_message(&mut reader).unwrap() {
+        Message::Hello { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    write_message(
+        &mut writer,
+        &Message::Hello {
+            version: PROTOCOL_VERSION,
+            n_snps: 30,
+        },
+    )
+    .unwrap();
+    // Register a dataset under fingerprint 0xBEEF (columns: scale 2).
+    write_message(
+        &mut writer,
+        &Message::RegisterDataset {
+            handle: 0xBEEF,
+            fingerprint: 0xBEEF,
+            n_snps: 30,
+            payload: vec![2],
+        },
+    )
+    .unwrap();
+    match read_message(&mut reader).unwrap() {
+        Message::DatasetAck {
+            handle,
+            accepted,
+            reason,
+        } => {
+            assert_eq!(handle, 0xBEEF);
+            assert!(accepted, "{reason}");
+        }
+        other => panic!("expected DatasetAck, got {other:?}"),
+    }
+    // A tenant-tagged request against the bound handle evaluates...
+    write_message(
+        &mut writer,
+        &Message::EvalRequestV3 {
+            id: 1,
+            run_id: 7,
+            handle: 0xBEEF,
+            snps: vec![3, 4],
+        },
+    )
+    .unwrap();
+    match read_message(&mut reader).unwrap() {
+        Message::EvalResult { id, fitness, .. } => {
+            assert_eq!(id, 1);
+            assert_eq!(fitness, 14.0);
+        }
+        other => panic!("expected EvalResult, got {other:?}"),
+    }
+    // ...an unknown handle is a per-request typed error, not a hangup.
+    write_message(
+        &mut writer,
+        &Message::EvalRequestV3 {
+            id: 2,
+            run_id: 7,
+            handle: 0xDEAD,
+            snps: vec![3, 4],
+        },
+    )
+    .unwrap();
+    match read_message(&mut reader).unwrap() {
+        Message::EvalError { id, reason } => {
+            assert_eq!(id, 2);
+            assert!(reason.contains("handle"), "{reason}");
+        }
+        other => panic!("expected EvalError, got {other:?}"),
+    }
+    // The connection survived the error and still serves.
+    write_message(
+        &mut writer,
+        &Message::EvalRequestV3 {
+            id: 3,
+            run_id: 7,
+            handle: 0xBEEF,
+            snps: vec![1],
+        },
+    )
+    .unwrap();
+    match read_message(&mut reader).unwrap() {
+        Message::EvalResult { id, fitness, .. } => {
+            assert_eq!(id, 3);
+            assert_eq!(fitness, 2.0);
+        }
+        other => panic!("expected EvalResult, got {other:?}"),
+    }
+    write_message(&mut writer, &Message::Shutdown).unwrap();
+    assert_eq!(server.served(), 2);
+}
+
+#[test]
+fn v2_style_master_still_drives_a_store_slave_with_a_default_objective() {
+    // A store slave that also carries a resident default objective keeps
+    // serving plain (v1/v2) masters that know nothing about datasets.
+    let store = ObjectiveStore::single(
+        0xF00D,
+        Arc::new(ld_core::evaluator::FnEvaluator::new(30, |s: &[SnpId]| {
+            toy_fitness(s)
+        })),
+    );
+    let server =
+        SlaveServer::spawn_shared("127.0.0.1:0", Arc::new(store), Observer::disabled()).unwrap();
+    let pool = TcpSlavePool::connect(&[server.addr().to_string()]).unwrap();
+    let mut jobs = batch(6);
+    pool.dispatch(&mut jobs).unwrap();
+    for h in &jobs {
+        assert_eq!(h.fitness(), toy_fitness(h.snps()));
+    }
+    assert_eq!(server.served(), 6);
+}
+
+#[test]
+fn v3_only_master_refuses_an_older_fleet_with_a_typed_error() {
+    // The eval server needs RegisterDataset; against a v1 greeting it
+    // must fail the connect with a typed error, not talk past the peer.
+    let (addr, violated) = spawn_v1_slave(30);
+    let err = EvalServer::connect(
+        &[addr.to_string()],
+        ServerConfig::default(),
+        Observer::disabled(),
+    )
+    .expect_err("a v1 fleet cannot host multi-tenant runs");
+    assert!(
+        err.to_string().contains("version"),
+        "error should name the version mismatch: {err}"
+    );
+    assert!(
+        !violated.load(Ordering::Relaxed),
+        "the v3 master sent the v1 slave a frame it cannot parse"
     );
 }

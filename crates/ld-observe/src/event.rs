@@ -122,6 +122,46 @@ pub enum Event {
         /// Address of the slave that failed the job.
         slave: String,
     },
+    /// A tenant run was admitted to a shared eval server.
+    RunAdmitted {
+        /// Tenant run id.
+        run_id: String,
+        /// Fair-share weight the run was admitted with.
+        weight: u32,
+    },
+    /// A tenant run submission was refused by admission control.
+    RunRejected {
+        /// Tenant run id.
+        run_id: String,
+        /// Why admission refused it (saturated, dataset rejected, ...).
+        reason: String,
+    },
+    /// A tenant run was closed and its pending work discarded.
+    RunClosed {
+        /// Tenant run id.
+        run_id: String,
+        /// Queued jobs dropped at close.
+        dropped: u64,
+    },
+    /// A dataset fingerprint was registered on (or confirmed resident at)
+    /// a slave.
+    DatasetRegistered {
+        /// Slave address.
+        slave: String,
+        /// Content fingerprint of the dataset.
+        fingerprint: u64,
+        /// Whether the slave already held the dataset (no columns were
+        /// shipped).
+        resident: bool,
+    },
+    /// A socket-level failure in a server accept/connection loop that was
+    /// absorbed (logged and survived) rather than crashing the daemon.
+    SlaveIoError {
+        /// Where the failure happened (`"accept"`, `"connection"`, ...).
+        context: String,
+        /// The underlying error, stringified.
+        detail: String,
+    },
     /// A timed span closed (see `crate::span` for the taxonomy). The
     /// envelope's `generation`/`batch_id` are the span's correlation ids;
     /// `start_ns` offsets are relative to the observer's creation, so
@@ -180,6 +220,11 @@ impl Event {
             Event::SlaveRetired { .. } => "slave_retired",
             Event::SlaveRejoined { .. } => "slave_rejoined",
             Event::JobRequeued { .. } => "job_requeued",
+            Event::RunAdmitted { .. } => "run_admitted",
+            Event::RunRejected { .. } => "run_rejected",
+            Event::RunClosed { .. } => "run_closed",
+            Event::DatasetRegistered { .. } => "dataset_registered",
+            Event::SlaveIoError { .. } => "slave_io_error",
             Event::SpanClosed { .. } => "span_closed",
             Event::Custom { .. } => "custom",
         }
@@ -232,5 +277,39 @@ mod tests {
         assert!(Event::FallbackActivated { residue: 3 }.is_fault_event());
         assert!(!Event::GenerationStarted.is_fault_event());
         assert_eq!(Event::GenerationStarted.kind(), "generation_started");
+    }
+
+    #[test]
+    fn tenancy_events_are_not_fault_events() {
+        // The SchedStats reconciliation counts only the recovery ladder;
+        // multi-tenant lifecycle and absorbed io errors stay outside it.
+        let events = [
+            Event::RunAdmitted {
+                run_id: "r".into(),
+                weight: 4,
+            },
+            Event::RunRejected {
+                run_id: "r".into(),
+                reason: "saturated".into(),
+            },
+            Event::RunClosed {
+                run_id: "r".into(),
+                dropped: 2,
+            },
+            Event::DatasetRegistered {
+                slave: "a".into(),
+                fingerprint: 9,
+                resident: true,
+            },
+            Event::SlaveIoError {
+                context: "accept".into(),
+                detail: "broken pipe".into(),
+            },
+        ];
+        for e in &events {
+            assert!(!e.is_fault_event(), "{:?}", e.kind());
+        }
+        assert_eq!(events[0].kind(), "run_admitted");
+        assert_eq!(events[4].kind(), "slave_io_error");
     }
 }

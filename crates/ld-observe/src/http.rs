@@ -4,14 +4,23 @@
 //!
 //! * `/metrics` — Prometheus text exposition of the registry;
 //! * `/health`  — a small JSON liveness document (run id, generation,
-//!   span count);
+//!   span count, and — when an [`ApiHandler`] is attached — a per-run
+//!   status section);
 //! * `/spans`   — the recent span forest as nested JSON (the in-memory
 //!   [`crate::span::SpanTree`] ring).
 //!
-//! Deliberately tiny: one accept thread, one connection at a time,
-//! `Connection: close` on every response — enough for `curl` and a
-//! Prometheus scraper, with no dependencies beyond std. Binding port 0
-//! picks an ephemeral port (see [`ExposeServer::addr`]).
+//! An optional [`ApiHandler`] extends the route table without coupling
+//! this crate to the layers above it: `ld-net`'s multi-run eval server
+//! mounts its submit/status/result JSON API here (`POST /runs`,
+//! `GET /runs/...`). Handler routes are consulted first; anything they
+//! decline falls through to the built-in routes, then to a 404 with a
+//! body. Non-GET methods on built-in routes get a 405; every response
+//! carries `Content-Length` and `Connection: close`.
+//!
+//! Deliberately tiny: one accept thread, one connection at a time —
+//! enough for `curl` and a Prometheus scraper, with no dependencies
+//! beyond std. Binding port 0 picks an ephemeral port (see
+//! [`ExposeServer::addr`]).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -21,6 +30,52 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::observer::Observer;
+
+/// A response produced by an [`ApiHandler`] route.
+#[derive(Debug, Clone)]
+pub struct ApiResponse {
+    /// HTTP status code (200, 202, 404, 409, 503, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl ApiResponse {
+    /// A 200 response with a JSON body.
+    pub fn json(body: String) -> ApiResponse {
+        ApiResponse {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// An arbitrary-status response with a JSON body.
+    pub fn json_status(status: u16, body: String) -> ApiResponse {
+        ApiResponse {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+}
+
+/// Extension seam for layers above the observer: extra HTTP routes plus
+/// per-run health sections, mounted via [`ExposeServer::bind_with_api`].
+pub trait ApiHandler: Send + Sync {
+    /// Handle `method path` with `body` (empty for GETs). Return `None`
+    /// to decline the route (it then falls through to the built-ins).
+    fn handle(&self, method: &str, path: &str, body: &[u8]) -> Option<ApiResponse>;
+
+    /// Per-run status sections merged into `/health` as
+    /// `"runs": { "<run_id>": <fragment>, ... }`. Each fragment must be a
+    /// valid JSON value (the handler is trusted on this).
+    fn health_runs(&self) -> Vec<(String, String)> {
+        Vec::new()
+    }
+}
 
 /// A running exposition server; stops (and joins) on drop.
 pub struct ExposeServer {
@@ -36,24 +91,41 @@ impl ExposeServer {
     /// `/health` (and empty `/metrics` + `/spans`), so the endpoint's
     /// presence never depends on tracing being on.
     pub fn bind(addr: &str, observer: Observer) -> std::io::Result<ExposeServer> {
+        Self::bind_inner(addr, observer, None)
+    }
+
+    /// [`ExposeServer::bind`] with an [`ApiHandler`] mounted in front of
+    /// the built-in routes (and feeding `/health`'s per-run sections).
+    pub fn bind_with_api(
+        addr: &str,
+        observer: Observer,
+        api: Arc<dyn ApiHandler>,
+    ) -> std::io::Result<ExposeServer> {
+        Self::bind_inner(addr, observer, Some(api))
+    }
+
+    fn bind_inner(
+        addr: &str,
+        observer: Observer,
+        api: Option<Arc<dyn ApiHandler>>,
+    ) -> std::io::Result<ExposeServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // Typed error to the caller, not a panic in the accept thread.
+        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
             .name(format!("ld-observe-http-{local}"))
             .spawn(move || {
                 // Polling accept loop so `stop` is honored promptly.
-                listener
-                    .set_nonblocking(true)
-                    .expect("set nonblocking listener");
                 while !accept_stop.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
                             // Serve inline: responses are small and
                             // generated in-memory, so one connection at a
                             // time keeps the server trivial.
-                            let _ = serve_one(stream, &observer);
+                            let _ = serve_one(stream, &observer, api.as_deref());
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
@@ -89,39 +161,66 @@ impl Drop for ExposeServer {
     }
 }
 
-/// Read one request, route it, write one response, close.
-fn serve_one(mut stream: TcpStream, observer: &Observer) -> std::io::Result<()> {
+/// Read one request (head + body), route it, write one response, close.
+fn serve_one(
+    mut stream: TcpStream,
+    observer: &Observer,
+    api: Option<&dyn ApiHandler>,
+) -> std::io::Result<()> {
     // A stuck client must not wedge the accept loop.
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
 
-    // Read until the end of the request head (we ignore bodies).
-    let mut head = Vec::with_capacity(512);
+    // Read until the end of the request head.
+    let mut raw = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
-    loop {
+    let head_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if raw.len() > 8192 {
+            break raw.len();
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break raw.len();
+        }
+        raw.extend_from_slice(&buf[..n]);
+    };
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path).to_string();
+
+    // Read the body when the client declared one (POST submissions).
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = raw[head_end..].to_vec();
+    while body.len() < content_length.min(1 << 20) {
         let n = stream.read(&mut buf)?;
         if n == 0 {
             break;
         }
-        head.extend_from_slice(&buf[..n]);
-        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
-            break;
-        }
+        body.extend_from_slice(&buf[..n]);
     }
-    let head = String::from_utf8_lossy(&head);
-    let mut parts = head.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
 
-    let (status, content_type, body) = if method != "GET" {
-        (
+    // API routes first (they may accept POST); built-ins after.
+    let api_response = api.and_then(|a| a.handle(&method, &path, &body));
+    let (status, content_type, body) = match api_response {
+        Some(r) => (status_line(r.status), r.content_type, r.body),
+        None if method != "GET" => (
             "405 Method Not Allowed",
             "text/plain",
-            "GET only\n".to_string(),
-        )
-    } else {
-        match path {
+            "method not allowed: built-in routes are GET only\n".to_string(),
+        ),
+        None => match path.as_str() {
             "/metrics" => (
                 "200 OK",
                 "text/plain; version=0.0.4",
@@ -130,14 +229,18 @@ fn serve_one(mut stream: TcpStream, observer: &Observer) -> std::io::Result<()> 
                     .map(|r| r.prometheus())
                     .unwrap_or_default(),
             ),
-            "/health" => ("200 OK", "application/json", health_json(observer)),
+            "/health" => (
+                "200 OK",
+                "application/json",
+                health_json(observer, api.map(|a| a.health_runs()).unwrap_or_default()),
+            ),
             "/spans" => ("200 OK", "application/json", observer.spans_json()),
             _ => (
                 "404 Not Found",
                 "text/plain",
-                "routes: /metrics /health /spans\n".to_string(),
+                "no such route; built-ins: /metrics /health /spans\n".to_string(),
             ),
-        }
+        },
     };
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -145,6 +248,20 @@ fn serve_one(mut stream: TcpStream, observer: &Observer) -> std::io::Result<()> 
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+fn status_line(code: u16) -> &'static str {
+    match code {
+        200 => "200 OK",
+        201 => "201 Created",
+        202 => "202 Accepted",
+        400 => "400 Bad Request",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        409 => "409 Conflict",
+        503 => "503 Service Unavailable",
+        _ => "500 Internal Server Error",
+    }
 }
 
 #[derive(serde::Serialize)]
@@ -156,15 +273,30 @@ struct Health {
     spans: usize,
 }
 
-fn health_json(observer: &Observer) -> String {
-    serde_json::to_string(&Health {
+fn health_json(observer: &Observer, runs: Vec<(String, String)>) -> String {
+    let base = serde_json::to_string(&Health {
         status: "ok",
         enabled: observer.enabled(),
         run_id: observer.run_id().unwrap_or("").to_string(),
         generation: observer.generation(),
         spans: observer.spans().map_or(0, |t| t.len()),
     })
-    .unwrap_or_else(|_| "{\"status\":\"ok\"}".to_string())
+    .unwrap_or_else(|_| "{\"status\":\"ok\"}".to_string());
+    if runs.is_empty() {
+        return base;
+    }
+    // Splice a "runs" object into the health document. Run ids are
+    // escaped; fragments are handler-provided JSON values.
+    let sections: Vec<String> = runs
+        .iter()
+        .map(|(id, fragment)| format!("{:?}:{fragment}", id))
+        .collect();
+    let mut out = base;
+    out.truncate(out.len() - 1); // drop the closing brace
+    out.push_str(",\"runs\":{");
+    out.push_str(&sections.join(","));
+    out.push_str("}}");
+    out
 }
 
 #[cfg(test)]
@@ -173,13 +305,27 @@ mod tests {
     use crate::metrics::Registry;
     use crate::sink::RingSink;
 
-    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    fn request(addr: SocketAddr, raw: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         let (head, body) = response.split_once("\r\n\r\n").unwrap();
         (head.to_string(), body.to_string())
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+        request(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
     }
 
     #[test]
@@ -211,14 +357,88 @@ mod tests {
     #[test]
     fn unknown_route_is_404_and_disabled_observer_serves() {
         let server = ExposeServer::bind("127.0.0.1:0", Observer::disabled()).unwrap();
-        let (head, _) = get(server.addr(), "/nope");
+        let (head, body) = get(server.addr(), "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert!(!body.is_empty(), "404 must carry a body");
+        assert!(
+            head.contains(&format!("Content-Length: {}", body.len())),
+            "{head}"
+        );
         let (head, body) = get(server.addr(), "/health");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         assert!(body.contains("\"enabled\":false"), "{body}");
         let (head, body) = get(server.addr(), "/metrics");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         assert!(body.is_empty(), "{body}");
+        assert!(head.contains("Content-Length: 0"), "{head}");
         server.stop();
+    }
+
+    #[test]
+    fn non_get_without_api_route_is_405_with_content_length() {
+        let server = ExposeServer::bind("127.0.0.1:0", Observer::disabled()).unwrap();
+        for raw in [
+            "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n".to_string(),
+            "DELETE /health HTTP/1.1\r\nHost: x\r\n\r\n".to_string(),
+            "PUT /spans HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}".to_string(),
+        ] {
+            let (head, body) = request(server.addr(), &raw);
+            assert!(head.starts_with("HTTP/1.1 405"), "{raw}: {head}");
+            assert!(!body.is_empty());
+            assert!(
+                head.contains(&format!("Content-Length: {}", body.len())),
+                "{head}"
+            );
+        }
+    }
+
+    /// Echo handler: accepts POST /echo, reports one fake run section.
+    struct EchoApi;
+    impl ApiHandler for EchoApi {
+        fn handle(&self, method: &str, path: &str, body: &[u8]) -> Option<ApiResponse> {
+            match (method, path) {
+                ("POST", "/echo") => Some(ApiResponse::json_status(
+                    201,
+                    format!(
+                        "{{\"echo\":{:?}}}",
+                        String::from_utf8_lossy(body).into_owned()
+                    ),
+                )),
+                ("GET", "/echo") => Some(ApiResponse::json("{\"echo\":null}".into())),
+                _ => None,
+            }
+        }
+
+        fn health_runs(&self) -> Vec<(String, String)> {
+            vec![("tenant-1".into(), "{\"state\":\"running\"}".into())]
+        }
+    }
+
+    #[test]
+    fn api_handler_routes_and_health_sections() {
+        let server =
+            ExposeServer::bind_with_api("127.0.0.1:0", Observer::disabled(), Arc::new(EchoApi))
+                .unwrap();
+        // POST body reaches the handler (Content-Length framing).
+        let (head, body) = post(server.addr(), "/echo", "{\"k\":1}");
+        assert!(head.starts_with("HTTP/1.1 201"), "{head}");
+        assert!(body.contains("{\\\"k\\\":1}"), "{body}");
+        // GET on an api route works too.
+        let (head, _) = get(server.addr(), "/echo");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        // Non-GET on a route the handler declines is still a 405.
+        let (head, _) = post(server.addr(), "/metrics", "");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        // Built-ins still serve, and /health gains the per-run section.
+        let (head, body) = get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(
+            body.contains("\"runs\":{\"tenant-1\":{\"state\":\"running\"}}"),
+            "{body}"
+        );
+        // Unknown routes keep 404-with-body semantics.
+        let (head, body) = get(server.addr(), "/definitely-not");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert!(!body.is_empty());
     }
 }

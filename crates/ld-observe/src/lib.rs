@@ -47,7 +47,7 @@ pub mod timing;
 pub mod trace;
 
 pub use event::{Envelope, Event, Phase};
-pub use http::ExposeServer;
+pub use http::{ApiHandler, ApiResponse, ExposeServer};
 pub use metrics::{
     BucketCount, Counter, FamilySnapshot, FlushHandle, Gauge, Histogram, MetricsSnapshot, Registry,
     SeriesSnapshot, LATENCY_MS_BUCKETS,

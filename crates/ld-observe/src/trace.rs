@@ -215,6 +215,29 @@ impl TraceSummary {
         }
     }
 
+    /// Attribution restricted to one tenant's envelopes. A shared eval
+    /// server interleaves many runs in one sink; each run's spans carry
+    /// its own `run_id`, so filtering first recovers the same breakdown
+    /// that run would have produced on a dedicated fleet.
+    pub fn for_run(envelopes: &[Envelope], run_id: &str) -> TraceSummary {
+        let filtered: Vec<Envelope> = envelopes
+            .iter()
+            .filter(|e| e.run_id == run_id)
+            .cloned()
+            .collect();
+        Self::from_envelopes(&filtered)
+    }
+
+    /// [`TraceSummary::for_run`] over a JSONL stream.
+    pub fn for_run_jsonl(text: &str, run_id: &str) -> TraceSummary {
+        let envelopes: Vec<Envelope> = text
+            .lines()
+            .filter_map(|l| serde_json::from_str::<Envelope>(l).ok())
+            .filter(|e| e.run_id == run_id)
+            .collect();
+        Self::from_envelopes(&envelopes)
+    }
+
     /// Parse a JSONL event stream (one [`Envelope`] per line; lines that
     /// fail to parse are skipped) and build the attribution.
     pub fn from_jsonl(text: &str) -> TraceSummary {
@@ -414,5 +437,51 @@ mod tests {
         let summary = TraceSummary::from_jsonl("not json\n");
         assert!(summary.generations.is_empty());
         assert!(summary.render().contains("0 generation(s)"));
+    }
+
+    #[test]
+    fn for_run_separates_interleaved_tenants() {
+        // Two tenants share a fleet: their spans interleave in one sink
+        // but carry distinct run ids.
+        let tenant = |run_id: &str, dispatch_ns: u64| {
+            [
+                Envelope {
+                    ts_ms: 0,
+                    run_id: run_id.into(),
+                    generation: 1,
+                    batch_id: 1,
+                    event: span(names::BATCH, dispatch_ns + 1_000_000),
+                },
+                Envelope {
+                    ts_ms: 0,
+                    run_id: run_id.into(),
+                    generation: 1,
+                    batch_id: 1,
+                    event: span(names::DISPATCH, dispatch_ns),
+                },
+            ]
+        };
+        let mut stream = Vec::new();
+        for (a, b) in tenant("run-a", 4_000_000)
+            .into_iter()
+            .zip(tenant("run-b", 9_000_000))
+        {
+            stream.push(a);
+            stream.push(b);
+        }
+        let a = TraceSummary::for_run(&stream, "run-a");
+        let b = TraceSummary::for_run(&stream, "run-b");
+        assert_eq!(a.run_id, "run-a");
+        assert_eq!(b.run_id, "run-b");
+        assert!((a.generations[0].eval_ms - 5.0).abs() < 1e-9);
+        assert!((b.generations[0].eval_ms - 10.0).abs() < 1e-9);
+        // Neither tenant sees the other's batches.
+        assert_eq!(a.generations[0].batches, 1);
+        let jsonl: String = stream
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let a2 = TraceSummary::for_run_jsonl(&jsonl, "run-a");
+        assert!((a2.generations[0].eval_ms - a.generations[0].eval_ms).abs() < 1e-9);
     }
 }

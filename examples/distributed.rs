@@ -12,7 +12,7 @@
 //! with `hga run --data genotypes.tsv --slaves host1:7171,host2:7171`.
 //!
 //! ```text
-//! cargo run --release --example distributed [--slaves 4] [--observe-addr 127.0.0.1:9464]
+//! cargo run --release --example distributed [--slaves 4] [--runs N] [--observe-addr 127.0.0.1:9464]
 //! ```
 //!
 //! With `--observe-addr`, the run is traced: events + timed spans go to
@@ -20,6 +20,13 @@
 //! `/metrics`, `/health` and `/spans` on the given address while the GA
 //! runs, and a per-generation latency attribution is printed at the end
 //! (also available post-hoc via `trace-summary distributed-events.jsonl`).
+//!
+//! With `--runs N` (N > 1), the example switches to the *multi-tenant*
+//! topology: one shared slave fleet, one [`haplo_ga::net::EvalServer`],
+//! and N concurrent GA runs with distinct datasets and priorities
+//! multiplexed over it. Runs are submitted through the same JSON API
+//! (`POST /runs`, `GET /runs/<id>/result`) that `--observe-addr` mounts
+//! on the scrape endpoint.
 
 use haplo_ga::net::LocalCluster;
 use haplo_ga::observe::{
@@ -35,10 +42,19 @@ fn main() {
         .find(|w| w[0] == "--slaves")
         .and_then(|w| w[1].parse().ok())
         .unwrap_or(4);
+    let runs: usize = args
+        .windows(2)
+        .find(|w| w[0] == "--runs")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(1);
     let observe_addr: Option<String> = args
         .windows(2)
         .find(|w| w[0] == "--observe-addr")
         .map(|w| w[1].clone());
+    if runs > 1 {
+        run_multi_tenant(runs, n_slaves, observe_addr);
+        return;
+    }
 
     let data = haplo_ga::data::synthetic::lille_51(42);
     println!(
@@ -115,4 +131,124 @@ fn main() {
         print!("{}", summary.render());
     }
     drop(server); // keep the endpoint alive for the whole run
+}
+
+/// `--runs N`: N concurrent GA tenants over one shared slave fleet,
+/// driven through the eval server's JSON submit/status/result API.
+fn run_multi_tenant(runs: usize, n_slaves: usize, observe_addr: Option<String>) {
+    use haplo_ga::net::{
+        wire, DatasetLoader, MultiRunApi, RunBoard, RunLauncher, RunSpec, SharedCluster,
+    };
+    use haplo_ga::observe::ApiHandler;
+
+    println!("spawning {n_slaves} shared evaluation slaves for {runs} tenants ...");
+    // Each slave builds a tenant's objective on demand from the columns
+    // blob the eval server registers (shipped at most once per slave).
+    let loader: DatasetLoader = Arc::new(|_fp, _n_snps, payload: &[u8]| {
+        let data = wire::decode_dataset(payload)?;
+        StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1)
+            .map(|e| Arc::new(e) as Arc<dyn Evaluator>)
+            .map_err(|e| e.to_string())
+    });
+    let cluster = SharedCluster::spawn_shared(n_slaves, loader).expect("shared loopback fleet");
+    for s in cluster.slaves() {
+        println!("  slave at {}", s.addr());
+    }
+
+    // The launcher: what `POST /runs` actually starts. Admission errors
+    // (saturated fleet, rejected dataset) surface as typed HTTP statuses.
+    let board = RunBoard::new();
+    let eval_server = Arc::clone(cluster.server());
+    let launch_board = board.clone();
+    let launcher: RunLauncher = Arc::new(move |req| {
+        let data = haplo_ga::data::synthetic::lille_51(req.seed);
+        let payload = wire::encode_dataset(&data);
+        let fingerprint = wire::fingerprint(&payload);
+        let handle = eval_server.submit_run(
+            RunSpec::new(&req.run_id, fingerprint, data.n_snps())
+                .with_payload(payload)
+                .with_weight(req.weight),
+        )?;
+        let board = launch_board.clone();
+        let run_id = req.run_id.clone();
+        let seed = req.seed;
+        std::thread::spawn(move || {
+            let config = GaConfig {
+                population_size: 60,
+                max_size: 5,
+                stagnation_limit: 20,
+                ..GaConfig::default()
+            };
+            let result = GaEngine::new(&handle, config, seed)
+                .expect("valid config")
+                .run();
+            let best = (2..=5)
+                .filter_map(|k| result.best_of_size(k))
+                .max_by(|a, b| a.fitness().total_cmp(&b.fitness()));
+            board.finish(
+                &run_id,
+                format!(
+                    "{{\"run_id\":\"{run_id}\",\"generations\":{},\"evaluations\":{},\"best\":\"{}\"}}",
+                    result.generations,
+                    result.total_evaluations,
+                    best.map(|b| b.to_string()).unwrap_or_default(),
+                ),
+            );
+        });
+        Ok(())
+    });
+    let api = Arc::new(MultiRunApi::new(
+        Arc::clone(cluster.server()),
+        launcher,
+        board,
+    ));
+
+    // With --observe-addr the same API is reachable over HTTP while the
+    // tenants run: curl -d '{"run_id":"r9","seed":9}' http://.../runs
+    let _endpoint = observe_addr.as_ref().map(|addr| {
+        let observer = Observer::new(
+            "distributed-multi",
+            Arc::new(RingSink::new(1 << 14)),
+            Registry::new(),
+        );
+        let server = ExposeServer::bind_with_api(addr, observer, Arc::clone(&api) as _)
+            .expect("bind scrape endpoint");
+        println!("\nsubmit/status API live at http://{}/runs", server.addr());
+        server
+    });
+
+    println!("\nsubmitting {runs} runs through the JSON API ...");
+    let t0 = std::time::Instant::now();
+    for r in 0..runs {
+        // Distinct datasets (different seeds) and priorities per tenant.
+        let body = format!(
+            "{{\"run_id\":\"run-{r}\",\"seed\":{},\"weight\":{}}}",
+            42 + r as u64,
+            1 + r % 3
+        );
+        let resp = api
+            .handle("POST", "/runs", body.as_bytes())
+            .expect("route exists");
+        println!("  POST /runs {body} -> {} {}", resp.status, resp.body);
+        assert_eq!(resp.status, 202, "admission failed: {}", resp.body);
+    }
+
+    // Poll each tenant's result through the same surface.
+    for r in 0..runs {
+        let path = format!("/runs/run-{r}/result");
+        loop {
+            let resp = api.handle("GET", &path, b"").expect("route exists");
+            if resp.status == 200 {
+                println!("  GET {path} -> {}", resp.body);
+                break;
+            }
+            assert_eq!(resp.status, 202, "tenant failed: {}", resp.body);
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+    println!("\nall {runs} tenants done in {:.1?}", t0.elapsed());
+    println!("per-slave load across all tenants (shared fleet farming):");
+    for (i, s) in cluster.slaves().iter().enumerate() {
+        println!("  slave {i}: {} evaluations", s.served());
+    }
 }
