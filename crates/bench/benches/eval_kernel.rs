@@ -1,22 +1,24 @@
 //! Kernel throughput: legacy allocating evaluation path vs the
-//! scratch-workspace path, for haplotype widths k = 2..=8.
+//! scratch-workspace path vs the bit-packed word-wide path, for haplotype
+//! widths k = 2..=8.
 //!
 //! Uses a hand-rolled timing loop instead of the criterion harness so the
 //! bench can accept the repo's standard `--report <path>` flag (criterion
 //! rejects unknown CLI arguments) and emit `BENCH_eval_kernel.json`
 //! through the same `RunReport` machinery as the `src/bin/` harnesses.
+//! That JSON is also the committed baseline of the CI bench-regression
+//! gate (`bench_gate`), which compares the packed-vs-scratch speedup per
+//! k — a ratio of two same-process measurements, so it transfers across
+//! hosts far better than raw nanoseconds.
 //!
 //! `cargo bench -p bench --bench eval_kernel -- --quick --report BENCH_eval_kernel.json`
 
-use ld_stats::{EvalPipeline, EvalScratch, FitnessKind};
+use ld_stats::{EvalPipeline, EvalScratch, FitnessKind, KernelPath};
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Best (minimum) mean nanoseconds per call across `rounds` timed chunks
-/// of `iters` calls each, after a warm-up chunk. The caller interleaves
-/// the two measured paths round-by-round so frequency scaling or noisy
-/// neighbours hit both paths alike; the minimum then discards the noise.
-fn time_round(iters: usize, f: &mut impl FnMut() -> f64) -> f64 {
+/// Mean nanoseconds per call over one timed chunk of `iters` calls.
+fn time_round(iters: usize, f: &mut dyn FnMut() -> f64) -> f64 {
     let start = Instant::now();
     for _ in 0..iters {
         black_box(f());
@@ -24,20 +26,25 @@ fn time_round(iters: usize, f: &mut impl FnMut() -> f64) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
-fn interleaved_min_ns(
+/// Best (minimum) per-call time for each path across `rounds` timed chunks
+/// after a warm-up chunk. Paths are interleaved round-by-round so frequency
+/// scaling or noisy neighbours hit all of them alike; the minimum then
+/// discards the noise.
+fn interleaved_mins(
     rounds: usize,
     iters: usize,
-    mut a: impl FnMut() -> f64,
-    mut b: impl FnMut() -> f64,
-) -> (f64, f64) {
-    time_round(iters, &mut a);
-    time_round(iters, &mut b);
-    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..rounds {
-        best_a = best_a.min(time_round(iters, &mut a));
-        best_b = best_b.min(time_round(iters, &mut b));
+    paths: &mut [&mut dyn FnMut() -> f64],
+) -> Vec<f64> {
+    for f in paths.iter_mut() {
+        time_round(iters, *f);
     }
-    (best_a, best_b)
+    let mut best = vec![f64::INFINITY; paths.len()];
+    for _ in 0..rounds {
+        for (b, f) in best.iter_mut().zip(paths.iter_mut()) {
+            *b = b.min(time_round(iters, *f));
+        }
+    }
+    best
 }
 
 fn main() {
@@ -48,44 +55,68 @@ fn main() {
     let rounds = if quick { 3 } else { 7 };
 
     let data = bench::dataset();
-    let pipeline = EvalPipeline::new(&data, FitnessKind::ClumpT1).expect("dataset has both groups");
-    let mut scratch = EvalScratch::new();
+    let packed_pipe =
+        EvalPipeline::new(&data, FitnessKind::ClumpT1).expect("dataset has both groups");
+    assert_eq!(packed_pipe.kernel_path(), KernelPath::Packed);
+    let scratch_pipe = packed_pipe.clone().with_kernel_path(KernelPath::Scratch);
+    let mut scratch_ws = EvalScratch::new();
+    let mut packed_ws = EvalScratch::new();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut report_rows: Vec<(usize, f64, f64, f64)> = Vec::new();
+    let mut report_rows: Vec<(usize, f64, f64, f64, f64, f64)> = Vec::new();
     for k in 2usize..=8 {
-        // Fixed, evenly spread SNP set so both paths see identical work.
+        // Fixed, evenly spread SNP set so all paths see identical work.
         let snps: Vec<usize> = (0..k).map(|i| i * data.n_snps() / k).collect();
         let iters = (base / (1 << (k.saturating_sub(2)))).max(3);
 
         #[allow(deprecated)] // the legacy path is the comparison baseline
-        let (legacy_ns, scratch_ns) = interleaved_min_ns(
-            rounds,
-            iters,
-            || pipeline.evaluate_legacy(&snps).unwrap(),
-            || pipeline.evaluate_with(&mut scratch, &snps).unwrap(),
-        );
-        let speedup = legacy_ns / scratch_ns;
+        let mut legacy = || packed_pipe.evaluate_legacy(&snps).unwrap();
+        let mut scratch = || scratch_pipe.evaluate_with(&mut scratch_ws, &snps).unwrap();
+        let mut packed = || packed_pipe.evaluate_with(&mut packed_ws, &snps).unwrap();
+        let best = interleaved_mins(rounds, iters, &mut [&mut legacy, &mut scratch, &mut packed]);
+        let (legacy_ns, scratch_ns, packed_ns) = (best[0], best[1], best[2]);
+        let speedup_scratch = legacy_ns / scratch_ns;
+        let speedup_packed = scratch_ns / packed_ns;
 
         rows.push(vec![
             k.to_string(),
             iters.to_string(),
             format!("{legacy_ns:.0}"),
             format!("{scratch_ns:.0}"),
-            format!("{speedup:.2}"),
+            format!("{packed_ns:.0}"),
+            format!("{speedup_scratch:.2}"),
+            format!("{speedup_packed:.2}"),
         ]);
-        report_rows.push((k, legacy_ns, scratch_ns, speedup));
+        report_rows.push((
+            k,
+            legacy_ns,
+            scratch_ns,
+            packed_ns,
+            speedup_scratch,
+            speedup_packed,
+        ));
     }
 
     println!(
         "{}",
-        bench::markdown_table(&["k", "iters", "legacy_ns", "scratch_ns", "speedup"], &rows)
+        bench::markdown_table(
+            &[
+                "k",
+                "iters",
+                "legacy_ns",
+                "scratch_ns",
+                "packed_ns",
+                "scratch_speedup",
+                "packed_speedup",
+            ],
+            &rows
+        )
     );
 
     if let Some(path) = bench::arg_str("report") {
         let report = ld_observe::RunReport::new("eval_kernel")
             .section("params", &[("quick", quick as usize), ("base_iters", base)])
-            .section("rows_k_legacy_ns_scratch_ns_speedup", &report_rows);
+            .section(bench::gate::SECTION, &report_rows);
         bench::write_report(&report, &path);
     }
 }

@@ -1,0 +1,56 @@
+//! CI bench-regression gate: compare a fresh `eval_kernel` run report
+//! against the committed baseline and fail on packed-kernel regressions.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_eval_kernel.json --fresh fresh.json \
+//!            [--min-k 5] [--tolerance-pct 10]
+//! ```
+//!
+//! The gated quantity is the packed-vs-scratch speedup per haplotype
+//! width (see `bench::gate`): raw nanoseconds differ wildly across hosts,
+//! but both sides of that ratio come from the same process on the same
+//! box, so a drop beyond the tolerance at any `k ≥ min_k` means the
+//! packed kernel itself regressed. Exit code 1 on failure.
+
+use serde_json::Value;
+
+fn load(path: &str) -> Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read report {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse report {path}: {e}"))
+}
+
+fn main() {
+    let baseline_path =
+        bench::arg_str("baseline").unwrap_or_else(|| "BENCH_eval_kernel.json".to_string());
+    let fresh_path = bench::arg_str("fresh").expect("--fresh <report.json> is required");
+    let min_k = bench::arg_usize("min-k", 5);
+    let tolerance = bench::arg_usize("tolerance-pct", 10) as f64 / 100.0;
+
+    let baseline_report = load(&baseline_path);
+    let fresh_report = load(&fresh_path);
+    let baseline = bench::gate::parse_rows(&baseline_report)
+        .unwrap_or_else(|e| panic!("baseline {baseline_path}: {e}"));
+    let fresh = bench::gate::parse_rows(&fresh_report)
+        .unwrap_or_else(|e| panic!("fresh {fresh_path}: {e}"));
+
+    if let Some(note) = bench::gate::environment_note(&baseline_report, &fresh_report) {
+        println!("note: {note}");
+    }
+    let outcome = bench::gate::check(&baseline, &fresh, min_k, tolerance);
+    for line in &outcome.lines {
+        println!("{line}");
+    }
+    if outcome.passed() {
+        println!(
+            "bench gate PASSED (min_k {min_k}, tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    } else {
+        eprintln!("bench gate FAILED:");
+        for f in &outcome.failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

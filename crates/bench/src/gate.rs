@@ -1,0 +1,282 @@
+//! Bench-regression gate over `eval_kernel` run reports.
+//!
+//! CI runs the `eval_kernel` bench fresh, then compares it against the
+//! committed `BENCH_eval_kernel.json` baseline with `bench_gate`. Raw
+//! nanoseconds don't transfer between hosts (the committed baseline may
+//! come from a much slower or faster machine), so the gated quantity is
+//! the **packed-vs-scratch speedup per k** — both sides of that ratio are
+//! measured in the same process seconds apart, which cancels the host out.
+//! A fresh speedup more than `tolerance` below the baseline's at any
+//! `k ≥ min_k` fails the gate: the packed kernel got slower *relative to
+//! the scratch kernel on the same box*, which is a code regression, not
+//! hardware noise.
+
+use serde_json::Value;
+
+/// Section name of the per-k timing rows inside the run report, shared by
+/// the bench writer (`benches/eval_kernel.rs`) and this parser.
+pub const SECTION: &str = "rows_k_legacy_ns_scratch_ns_packed_ns_speedups";
+
+/// One measured haplotype width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelRow {
+    /// Haplotype width.
+    pub k: usize,
+    /// Best per-call time of the legacy allocating path, nanoseconds.
+    pub legacy_ns: f64,
+    /// Best per-call time of the scratch-workspace path, nanoseconds.
+    pub scratch_ns: f64,
+    /// Best per-call time of the packed word-wide path, nanoseconds.
+    pub packed_ns: f64,
+}
+
+impl KernelRow {
+    /// Packed speedup over the scratch path — the gated ratio.
+    pub fn packed_speedup(&self) -> f64 {
+        self.scratch_ns / self.packed_ns
+    }
+}
+
+/// Extract the per-k rows from a parsed `eval_kernel` run report.
+///
+/// Accepts rows with at least four leading numeric columns
+/// `[k, legacy_ns, scratch_ns, packed_ns, ...]`; trailing speedup columns
+/// are recomputed rather than trusted.
+pub fn parse_rows(report: &Value) -> Result<Vec<KernelRow>, String> {
+    let rows = report
+        .get(SECTION)
+        .ok_or_else(|| {
+            format!(
+                "report has no `{SECTION}` section — re-record the baseline \
+                 with the current eval_kernel bench"
+            )
+        })?
+        .as_array()
+        .ok_or_else(|| format!("`{SECTION}` is not an array"))?;
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let cols = row
+            .as_array()
+            .ok_or_else(|| format!("row {i} of `{SECTION}` is not an array"))?;
+        if cols.len() < 4 {
+            return Err(format!(
+                "row {i} of `{SECTION}` has {} columns, need ≥ 4",
+                cols.len()
+            ));
+        }
+        let num = |j: usize| -> Result<f64, String> {
+            cols[j]
+                .as_f64()
+                .ok_or_else(|| format!("row {i} col {j} of `{SECTION}` is not a number"))
+        };
+        let parsed = KernelRow {
+            k: num(0)? as usize,
+            legacy_ns: num(1)?,
+            scratch_ns: num(2)?,
+            packed_ns: num(3)?,
+        };
+        if parsed.scratch_ns <= 0.0 || parsed.packed_ns <= 0.0 {
+            return Err(format!("row {i} of `{SECTION}` has non-positive timings"));
+        }
+        out.push(parsed);
+    }
+    if out.is_empty() {
+        return Err(format!("`{SECTION}` is empty"));
+    }
+    Ok(out)
+}
+
+/// Human-readable note when baseline and fresh reports come from visibly
+/// different environments — regressions in *raw* nanoseconds are expected
+/// then, which is exactly why the gate compares speedup ratios instead.
+pub fn environment_note(baseline: &Value, fresh: &Value) -> Option<String> {
+    let probe = |r: &Value, key: &str| r.get("environment")?.get(key).cloned();
+    let mut diffs = Vec::new();
+    for key in ["hostname", "cpus", "arch", "os"] {
+        let (b, f) = (probe(baseline, key), probe(fresh, key));
+        if b != f {
+            let show = |v: Option<Value>| v.map_or("?".to_string(), |v| format!("{v:?}"));
+            diffs.push(format!("{key} {} → {}", show(b), show(f)));
+        }
+    }
+    if diffs.is_empty() {
+        None
+    } else {
+        Some(format!(
+            "baseline recorded on different environment ({}); raw ns are not \
+             comparable, gating on packed-vs-scratch speedup ratios only",
+            diffs.join(", ")
+        ))
+    }
+}
+
+/// Outcome of one gate evaluation.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// One human-readable line per compared width.
+    pub lines: Vec<String>,
+    /// Failure descriptions; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Did the gate pass?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compare fresh measurements against the committed baseline.
+///
+/// For every baseline width `k ≥ min_k` the fresh packed-vs-scratch
+/// speedup must reach `baseline_speedup · (1 − tolerance)`; a missing
+/// fresh row is a failure too (silent coverage loss). Widths below
+/// `min_k` are reported but never gated: their per-call cost is dominated
+/// by fixed setup, so their ratios are noise.
+pub fn check(
+    baseline: &[KernelRow],
+    fresh: &[KernelRow],
+    min_k: usize,
+    tolerance: f64,
+) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for b in baseline {
+        let gated = b.k >= min_k;
+        let Some(f) = fresh.iter().find(|f| f.k == b.k) else {
+            if gated {
+                out.failures
+                    .push(format!("k={}: no fresh measurement", b.k));
+            }
+            out.lines
+                .push(format!("k={}: missing from fresh report", b.k));
+            continue;
+        };
+        let (bs, fs) = (b.packed_speedup(), f.packed_speedup());
+        let floor = bs * (1.0 - tolerance);
+        let status = if !gated {
+            "info (below min_k)"
+        } else if fs >= floor {
+            "ok"
+        } else {
+            "REGRESSION"
+        };
+        out.lines.push(format!(
+            "k={}: packed speedup {:.3} vs baseline {:.3} (floor {:.3}) — {}",
+            b.k, fs, bs, floor, status
+        ));
+        if gated && fs < floor {
+            out.failures.push(format!(
+                "k={}: packed-vs-scratch speedup regressed {:.1}% ({:.3} < {:.3}, \
+                 baseline {:.3})",
+                b.k,
+                (1.0 - fs / bs) * 100.0,
+                fs,
+                floor,
+                bs
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(k: usize, scratch_ns: f64, packed_ns: f64) -> KernelRow {
+        KernelRow {
+            k,
+            legacy_ns: scratch_ns * 1.4,
+            scratch_ns,
+            packed_ns,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let rows: Vec<KernelRow> = (2..=8).map(|k| row(k, 1000.0 * k as f64, 600.0)).collect();
+        let out = check(&rows, &rows, 5, 0.10);
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.lines.len(), 7);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails_only_at_gated_widths() {
+        let baseline: Vec<KernelRow> = (2..=8).map(|k| row(k, 2000.0, 1000.0)).collect();
+        // Packed became 25% slower everywhere: speedup 2.0 → 1.6.
+        let fresh: Vec<KernelRow> = (2..=8).map(|k| row(k, 2000.0, 1250.0)).collect();
+        let out = check(&baseline, &fresh, 5, 0.10);
+        assert!(!out.passed());
+        // Only k = 5..=8 gate; k = 2..=4 are informational.
+        assert_eq!(out.failures.len(), 4);
+        assert!(out
+            .failures
+            .iter()
+            .all(|f| { (5..=8).any(|k| f.starts_with(&format!("k={k}:"))) }));
+    }
+
+    #[test]
+    fn regression_within_tolerance_passes() {
+        let baseline = vec![row(5, 2000.0, 1000.0)]; // speedup 2.0
+        let fresh = vec![row(5, 2000.0, 1080.0)]; // speedup ~1.85, −7.4%
+        assert!(check(&baseline, &fresh, 5, 0.10).passed());
+    }
+
+    #[test]
+    fn raw_slowdown_with_preserved_ratio_passes() {
+        // A 10× slower host: both kernels slow down together, the ratio
+        // holds, the gate must not fire.
+        let baseline = vec![row(6, 2000.0, 900.0)];
+        let fresh = vec![row(6, 20000.0, 9000.0)];
+        assert!(check(&baseline, &fresh, 5, 0.10).passed());
+    }
+
+    #[test]
+    fn missing_fresh_width_fails() {
+        let baseline = vec![row(5, 2000.0, 1000.0), row(6, 2000.0, 1000.0)];
+        let fresh = vec![row(5, 2000.0, 1000.0)];
+        let out = check(&baseline, &fresh, 5, 0.10);
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].contains("k=6"));
+    }
+
+    #[test]
+    fn parse_roundtrips_bench_report_shape() {
+        let json: Value = serde_json::from_str(&format!(
+            "{{\"run_id\":\"eval_kernel\",\"environment\":{{\"cpus\":1}},\
+              \"{SECTION}\":[[2,4000.0,3000.0,1500.0,1.33,2.0],\
+                             [5,9000.0,6000.0,2000.0,1.5,3.0]]}}"
+        ))
+        .unwrap();
+        let rows = parse_rows(&json).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].k, 5);
+        assert!((rows[1].packed_speedup() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rejects_missing_or_malformed_sections() {
+        let missing: Value = serde_json::from_str("{\"run_id\":\"x\"}").unwrap();
+        assert!(parse_rows(&missing).unwrap_err().contains(SECTION));
+        let short: Value = serde_json::from_str(&format!("{{\"{SECTION}\":[[2,1.0]]}}")).unwrap();
+        assert!(parse_rows(&short).is_err());
+        let zero: Value =
+            serde_json::from_str(&format!("{{\"{SECTION}\":[[2,1.0,0.0,1.0]]}}")).unwrap();
+        assert!(parse_rows(&zero).is_err());
+        let empty: Value = serde_json::from_str(&format!("{{\"{SECTION}\":[]}}")).unwrap();
+        assert!(parse_rows(&empty).is_err());
+    }
+
+    #[test]
+    fn environment_diff_is_annotated() {
+        let a: Value =
+            serde_json::from_str("{\"environment\":{\"cpus\":1,\"hostname\":\"slowbox\"}}")
+                .unwrap();
+        let b: Value =
+            serde_json::from_str("{\"environment\":{\"cpus\":8,\"hostname\":\"ci\"}}").unwrap();
+        let note = environment_note(&a, &b).unwrap();
+        assert!(note.contains("cpus"));
+        assert!(note.contains("hostname"));
+        assert!(environment_note(&a, &a).is_none());
+    }
+}

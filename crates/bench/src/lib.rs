@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use ld_core::StatsEvaluator;
 use ld_data::Dataset;
 use ld_stats::FitnessKind;

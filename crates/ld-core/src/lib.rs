@@ -59,7 +59,7 @@ pub use evaluator::{CachingEvaluator, CountingEvaluator, Evaluator, StatsEvaluat
 pub use experiment::{ExperimentSummary, SizeSummary};
 pub use individual::Haplotype;
 pub use init::InitStrategy;
-pub use ld_stats::{EvalScratch, ScratchPool};
+pub use ld_stats::{EvalScratch, KernelPath, ScratchPool};
 pub use population::MultiPopulation;
 pub use sched::{
     EvalBackend, EvalBackendError, EvalService, EvaluatorBackend, FaultEvents, FeasibilityFilter,

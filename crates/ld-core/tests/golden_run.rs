@@ -1,0 +1,108 @@
+//! Whole-run golden equivalence: an entire GA run driven by the packed
+//! word-wide evaluation kernel must be bit-for-bit identical to the same
+//! run driven by the column-store scratch kernel.
+//!
+//! Per-call equivalence (ld-stats' `golden_equiv`) already pins every
+//! kernel to the legacy oracle; this suite closes the loop at the system
+//! level, where any last-ulp fitness difference would compound through
+//! selection, adaptive operator rates, and stagnation counters into a
+//! visibly different trajectory. Identical histories here mean the kernel
+//! swap is invisible to the GA.
+
+use ld_core::{GaConfig, GaEngine, KernelPath, RunResult, StatsEvaluator};
+use ld_stats::{EvalPipeline, FitnessKind};
+
+fn small_config() -> GaConfig {
+    GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 4,
+        matings_per_generation: 8,
+        stagnation_limit: 12,
+        ri_stagnation: 5,
+        max_generations: 60,
+        ..GaConfig::default()
+    }
+}
+
+fn run_with(kind: FitnessKind, path: KernelPath, seed: u64) -> RunResult {
+    let data = ld_data::synthetic::lille_51(42);
+    let pipeline = EvalPipeline::new(&data, kind)
+        .unwrap()
+        .with_kernel_path(path);
+    let eval = StatsEvaluator::new(pipeline);
+    GaEngine::new(&eval, small_config(), seed).unwrap().run()
+}
+
+/// Field-by-field bit comparison of two runs (`RunResult` holds floats, so
+/// no blanket `PartialEq`; `NaN` placeholders compare by bit pattern).
+fn assert_runs_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.seed, b.seed, "{what}: seed");
+    assert_eq!(a.min_size, b.min_size, "{what}: min_size");
+    assert_eq!(a.generations, b.generations, "{what}: generations");
+    assert_eq!(
+        a.total_evaluations, b.total_evaluations,
+        "{what}: total evaluations"
+    );
+    assert_eq!(a.evals_to_best, b.evals_to_best, "{what}: evals-to-best");
+    assert_eq!(a.best_per_size.len(), b.best_per_size.len());
+    for (i, (x, y)) in a.best_per_size.iter().zip(&b.best_per_size).enumerate() {
+        match (x, y) {
+            (Some(hx), Some(hy)) => {
+                assert_eq!(hx.snps(), hy.snps(), "{what}: best snps at size idx {i}");
+                assert_eq!(
+                    hx.fitness().to_bits(),
+                    hy.fitness().to_bits(),
+                    "{what}: best fitness at size idx {i}"
+                );
+            }
+            (None, None) => {}
+            _ => panic!("{what}: best presence differs at size idx {i}"),
+        }
+    }
+    assert_eq!(a.history.len(), b.history.len(), "{what}: history length");
+    for (ga, gb) in a.history.iter().zip(&b.history) {
+        assert_eq!(ga.generation, gb.generation);
+        assert_eq!(ga.evaluations, gb.evaluations, "{what}: gen evaluations");
+        assert_eq!(ga.immigrants, gb.immigrants, "{what}: immigrants");
+        for (x, y) in ga.best_per_size.iter().zip(&gb.best_per_size) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: gen {} best-per-size",
+                ga.generation
+            );
+        }
+        for (x, y) in ga.mutation_rates.iter().zip(&gb.mutation_rates) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: mutation rates");
+        }
+        for (x, y) in ga.crossover_rates.iter().zip(&gb.crossover_rates) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: crossover rates");
+        }
+    }
+}
+
+#[test]
+fn packed_run_matches_scratch_run() {
+    // The paper's objective (CLUMP T1) over the Lille synthetic dataset:
+    // same seed, two kernels, one trajectory.
+    let packed = run_with(FitnessKind::ClumpT1, KernelPath::Packed, 7);
+    let scratch = run_with(FitnessKind::ClumpT1, KernelPath::Scratch, 7);
+    assert!(packed.generations > 0 && packed.total_evaluations > 0);
+    assert_runs_identical(&packed, &scratch, "ClumpT1 seed 7");
+}
+
+#[test]
+fn packed_run_matches_scratch_run_em_lrt() {
+    // EmLrt exercises the pooled two-part fit every evaluation.
+    let packed = run_with(FitnessKind::EmLrt, KernelPath::Packed, 11);
+    let scratch = run_with(FitnessKind::EmLrt, KernelPath::Scratch, 11);
+    assert_runs_identical(&packed, &scratch, "EmLrt seed 11");
+}
+
+#[test]
+fn packed_run_is_reproducible() {
+    let a = run_with(FitnessKind::ClumpT1, KernelPath::Packed, 3);
+    let b = run_with(FitnessKind::ClumpT1, KernelPath::Packed, 3);
+    assert_runs_identical(&a, &b, "packed repeat seed 3");
+}

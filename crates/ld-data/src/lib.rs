@@ -33,6 +33,7 @@ pub mod io;
 pub mod ld;
 pub mod linkage;
 pub mod matrix;
+pub mod packed;
 pub mod snp;
 pub mod status;
 pub mod synthetic;
@@ -46,6 +47,7 @@ pub use genotype::Genotype;
 pub use io::{read_dataset_tsv, write_dataset_tsv};
 pub use ld::{LdTable, PairwiseLd};
 pub use matrix::GenotypeMatrix;
+pub use packed::PackedColumns;
 pub use snp::{Allele, SnpId, SnpInfo};
 pub use status::Status;
 pub use synthetic::{PlantedSignal, SyntheticConfig};

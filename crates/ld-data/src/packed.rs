@@ -1,0 +1,372 @@
+//! Bit-packed genotype columns: 2 bits per call, 32 individuals per word.
+//!
+//! [`crate::column::ColumnMatrix`] already gives the evaluation kernel
+//! contiguous per-SNP columns, but each genotype still occupies a full
+//! byte-sized enum. [`PackedColumns`] packs the same column-major layout
+//! down to 2 bits per genotype inside `u64` lanes, so one word carries 32
+//! individuals and the EM front-end (mask building, allele counting,
+//! completeness filtering) turns into word-wide bitwise ops plus
+//! `count_ones()` instead of a branchy per-genotype `match`.
+//!
+//! ## Lane layout
+//!
+//! SNP `s` occupies the lane slice `lanes[s·wps .. (s+1)·wps]` where
+//! `wps = ⌈n_individuals / 32⌉`. Individual `i` lives in word `i / 32`,
+//! bits `2·(i % 32)` (low) and `2·(i % 32) + 1` (high):
+//!
+//! | code (hi,lo) | genotype |
+//! |--------------|----------|
+//! | `00`         | [`Genotype::HomA1`] |
+//! | `01`         | [`Genotype::Het`] |
+//! | `10`         | [`Genotype::HomA2`] |
+//! | `11`         | [`Genotype::Missing`] |
+//!
+//! The encoding is [`Genotype::to_u8`], chosen so the three *planes* fall
+//! out of two AND/ANDNOT ops per word ([`split_planes`]): with
+//! `lo = w & EVEN` and `hi = (w >> 1) & EVEN`, heterozygotes are
+//! `lo & !hi`, homozygous-mutant is `hi & !lo`, and missing is `hi & lo`.
+//! All three plane masks carry their bits at *even* positions, which is
+//! exactly what `count_ones()` wants and what [`compress_even`] collapses
+//! to a dense `u32` when per-individual bits are needed.
+//!
+//! ## Tail-word handling
+//!
+//! When `n_individuals % 32 != 0` the final word's surplus slots are
+//! padded with the `11` (missing) code. Missing is excluded from every
+//! count and every pattern the kernel builds, so the pad needs no
+//! separate tail mask on the hot path; [`PackedColumns::tail_mask`]
+//! exposes the valid-slot mask anyway for callers (and debug asserts)
+//! that want to reason about the tail explicitly.
+
+use crate::column::ColumnMatrix;
+use crate::genotype::Genotype;
+use crate::matrix::GenotypeMatrix;
+use crate::snp::SnpId;
+
+/// Bitmask of the even (low-of-pair) bit positions of a lane word.
+pub const EVEN_BITS: u64 = 0x5555_5555_5555_5555;
+
+/// Individuals packed per lane word.
+pub const PER_WORD: usize = 32;
+
+/// Column-major genotype store at 2 bits per call (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedColumns {
+    n_individuals: usize,
+    n_snps: usize,
+    /// Lane words per SNP: `⌈n_individuals / 32⌉`.
+    words_per_snp: usize,
+    /// `lanes[s * words_per_snp + w]` holds individuals `32w..32(w+1)`
+    /// of SNP `s`; tail slots are padded with the missing code `11`.
+    lanes: Vec<u64>,
+}
+
+impl PackedColumns {
+    /// Pack a column-major matrix.
+    pub fn from_columns(cols: &ColumnMatrix) -> Self {
+        Self::build(cols.n_individuals(), cols.n_snps(), |s| cols.column(s))
+    }
+
+    /// Pack a row-major matrix (transposing on the fly).
+    pub fn from_matrix(m: &GenotypeMatrix) -> Self {
+        let columns: Vec<Vec<Genotype>> = (0..m.n_snps()).map(|s| m.column(s).collect()).collect();
+        Self::build(m.n_individuals(), m.n_snps(), |s| &columns[s])
+    }
+
+    fn build<'a>(
+        n_individuals: usize,
+        n_snps: usize,
+        column: impl Fn(SnpId) -> &'a [Genotype],
+    ) -> Self {
+        let words_per_snp = n_individuals.div_ceil(PER_WORD);
+        let mut lanes = Vec::with_capacity(n_snps * words_per_snp);
+        for s in 0..n_snps {
+            let col = column(s);
+            debug_assert_eq!(col.len(), n_individuals);
+            for chunk in 0..words_per_snp {
+                // Start from all-missing so tail slots stay padded `11`.
+                let mut word = u64::MAX;
+                for (slot, &g) in col
+                    [chunk * PER_WORD..(chunk * PER_WORD + PER_WORD).min(n_individuals)]
+                    .iter()
+                    .enumerate()
+                {
+                    let shift = 2 * slot;
+                    word = (word & !(0b11 << shift)) | ((g.to_u8() as u64) << shift);
+                }
+                lanes.push(word);
+            }
+        }
+        PackedColumns {
+            n_individuals,
+            n_snps,
+            words_per_snp,
+            lanes,
+        }
+    }
+
+    /// Number of individuals (valid 2-bit slots per SNP).
+    #[inline]
+    pub fn n_individuals(&self) -> usize {
+        self.n_individuals
+    }
+
+    /// Number of SNP markers.
+    #[inline]
+    pub fn n_snps(&self) -> usize {
+        self.n_snps
+    }
+
+    /// Lane words per SNP (`⌈n_individuals / 32⌉`).
+    #[inline]
+    pub fn words_per_snp(&self) -> usize {
+        self.words_per_snp
+    }
+
+    /// The lane words of one SNP, individuals in ascending order.
+    ///
+    /// # Panics
+    /// Panics if `snp` is out of bounds (hot path, mirrors
+    /// [`ColumnMatrix::column`]).
+    #[inline]
+    pub fn snp_lanes(&self, snp: SnpId) -> &[u64] {
+        debug_assert!(snp < self.n_snps);
+        &self.lanes[snp * self.words_per_snp..(snp + 1) * self.words_per_snp]
+    }
+
+    /// Genotype of `individual` at `snp` (unpacked; not for hot loops).
+    #[inline]
+    pub fn get(&self, individual: usize, snp: SnpId) -> Genotype {
+        debug_assert!(individual < self.n_individuals && snp < self.n_snps);
+        let word = self.snp_lanes(snp)[individual / PER_WORD];
+        let code = (word >> (2 * (individual % PER_WORD))) & 0b11;
+        Genotype::from_u8(code as u8).expect("2-bit code is always 0..=3")
+    }
+
+    /// Valid-slot mask for lane word `word_idx`: even-position bits of the
+    /// slots that hold real individuals (all-ones-at-even except possibly
+    /// the final word). Tail padding already decodes as missing, so the
+    /// kernels don't need this — it exists for explicit tail reasoning.
+    #[inline]
+    pub fn tail_mask(&self, word_idx: usize) -> u64 {
+        debug_assert!(word_idx < self.words_per_snp.max(1));
+        let filled = (self.n_individuals - word_idx * PER_WORD).min(PER_WORD);
+        if filled == PER_WORD {
+            EVEN_BITS
+        } else {
+            EVEN_BITS & ((1u64 << (2 * filled)) - 1)
+        }
+    }
+}
+
+/// Split one lane word into its three even-position plane masks
+/// `(het, hom2, missing)` — see the module docs for the derivation.
+#[inline]
+pub fn split_planes(word: u64) -> (u64, u64, u64) {
+    let lo = word & EVEN_BITS;
+    let hi = (word >> 1) & EVEN_BITS;
+    (lo & !hi, hi & !lo, hi & lo)
+}
+
+/// Collapse the even-position bits of `x` (bit `2i`) into a dense `u32`
+/// (bit `i`) — the standard even-bit extraction shuffle.
+#[inline]
+pub fn compress_even(x: u64) -> u32 {
+    let x = x & EVEN_BITS;
+    let x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    let x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    let x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    let x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    let x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// In-place 32×32 bit-matrix transpose (Hacker's Delight §7-3): output row
+/// `c` bit `r` equals input row `r` bit `c`. The packed EM front-end uses
+/// it to turn `k` per-SNP plane rows into 32 per-individual mask columns
+/// in `O(32 log 32)` word ops instead of `32 · k` single-bit probes.
+pub fn transpose32(a: &mut [u32; 32]) {
+    let mut j = 16usize;
+    let mut m = 0x0000_FFFFu32;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 32 {
+            // Swap the high columns of row k with the low columns of
+            // row k + j (LSB-first bit-to-column convention).
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genotype::Genotype as G;
+
+    const ALL: [G; 4] = [G::HomA1, G::Het, G::HomA2, G::Missing];
+
+    /// Deterministic LCG so the randomized suites are reproducible.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    fn random_matrix(rng: &mut Lcg, n: usize, snps: usize) -> GenotypeMatrix {
+        let data: Vec<G> = (0..n * snps)
+            .map(|_| ALL[(rng.next() % 4) as usize])
+            .collect();
+        GenotypeMatrix::from_rows(n, snps, data).unwrap()
+    }
+
+    #[test]
+    fn packed_roundtrip_miri() {
+        // Small, Miri-sized round-trip covering missing calls and a tail
+        // word (n % 32 != 0).
+        let m = GenotypeMatrix::from_rows(
+            3,
+            2,
+            vec![G::HomA1, G::Missing, G::Het, G::HomA2, G::HomA2, G::Het],
+        )
+        .unwrap();
+        let p = PackedColumns::from_matrix(&m);
+        assert_eq!(p.n_individuals(), 3);
+        assert_eq!(p.n_snps(), 2);
+        assert_eq!(p.words_per_snp(), 1);
+        for i in 0..3 {
+            for s in 0..2 {
+                assert_eq!(p.get(i, s), m.get(i, s), "({i},{s})");
+            }
+        }
+        // Tail slots decode as missing.
+        let (_, _, miss) = split_planes(p.snp_lanes(0)[0]);
+        assert_eq!(miss & !p.tail_mask(0), !p.tail_mask(0) & EVEN_BITS);
+    }
+
+    #[test]
+    fn packed_planes_partition_called_slots_miri() {
+        let m =
+            GenotypeMatrix::from_rows(4, 1, vec![G::HomA1, G::Het, G::HomA2, G::Missing]).unwrap();
+        let p = PackedColumns::from_matrix(&m);
+        let (het, hom2, miss) = split_planes(p.snp_lanes(0)[0]);
+        let valid = p.tail_mask(0);
+        assert_eq!(het & valid, 1 << 2);
+        assert_eq!(hom2 & valid, 1 << 4);
+        assert_eq!(miss & valid, 1 << 6);
+        // Planes are disjoint and HomA1 is the absent-from-all-planes code.
+        assert_eq!(het & hom2, 0);
+        assert_eq!(het & miss, 0);
+        assert_eq!(hom2 & miss, 0);
+        assert_eq!((het | hom2 | miss) & 1, 0);
+    }
+
+    /// Property: packing round-trips every ColumnMatrix — all four codes,
+    /// missing included, across sizes straddling the 32-individual word
+    /// boundary (n % 32 ∈ {0, 1, 31, …}).
+    #[test]
+    fn packed_roundtrips_every_column_matrix() {
+        let mut rng = Lcg(0xC0FFEE);
+        for n in [1usize, 2, 31, 32, 33, 53, 64, 65, 100] {
+            for snps in [1usize, 2, 7] {
+                let m = random_matrix(&mut rng, n, snps);
+                let cols = ColumnMatrix::from_matrix(&m);
+                let packed = PackedColumns::from_columns(&cols);
+                assert_eq!(packed.n_individuals(), n);
+                assert_eq!(packed.n_snps(), snps);
+                assert_eq!(packed.words_per_snp(), n.div_ceil(32));
+                for s in 0..snps {
+                    for i in 0..n {
+                        assert_eq!(packed.get(i, s), cols.get(i, s), "n={n} ({i},{s})");
+                    }
+                }
+                // Both construction routes agree.
+                assert_eq!(packed, PackedColumns::from_matrix(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn plane_popcounts_match_scalar_counts() {
+        let mut rng = Lcg(7);
+        for n in [5usize, 32, 61] {
+            let m = random_matrix(&mut rng, n, 3);
+            let p = PackedColumns::from_matrix(&m);
+            for s in 0..3 {
+                let (mut het, mut hom2, mut miss) = (0u32, 0u32, 0u32);
+                for w in 0..p.words_per_snp() {
+                    let (h, h2, mi) = split_planes(p.snp_lanes(s)[w]);
+                    het += h.count_ones();
+                    hom2 += h2.count_ones();
+                    miss += (mi & p.tail_mask(w)).count_ones();
+                }
+                let col: Vec<G> = (0..n).map(|i| m.get(i, s)).collect();
+                assert_eq!(het as usize, col.iter().filter(|g| g.is_het()).count());
+                assert_eq!(
+                    hom2 as usize,
+                    col.iter().filter(|&&g| g == G::HomA2).count()
+                );
+                assert_eq!(miss as usize, col.iter().filter(|g| !g.is_called()).count());
+            }
+        }
+    }
+
+    #[test]
+    fn compress_even_extracts_even_bits() {
+        assert_eq!(compress_even(0), 0);
+        assert_eq!(compress_even(EVEN_BITS), u32::MAX);
+        assert_eq!(compress_even(1 << 2), 1 << 1);
+        assert_eq!(compress_even(1 << 62), 1 << 31);
+        // Odd bits never leak through.
+        assert_eq!(compress_even(!EVEN_BITS), 0);
+        let mut rng = Lcg(99);
+        for _ in 0..200 {
+            let x = rng.next() | (rng.next() << 31);
+            let mut expect = 0u32;
+            for i in 0..32 {
+                expect |= (((x >> (2 * i)) & 1) as u32) << i;
+            }
+            assert_eq!(compress_even(x), expect, "x = {x:#x}");
+        }
+    }
+
+    #[test]
+    fn transpose32_matches_bit_probe() {
+        let mut rng = Lcg(1234);
+        for _ in 0..50 {
+            let mut a = [0u32; 32];
+            for row in a.iter_mut() {
+                *row = rng.next() as u32;
+            }
+            let orig = a;
+            transpose32(&mut a);
+            for (r, orig_row) in orig.iter().enumerate() {
+                for (c, row) in a.iter().enumerate() {
+                    assert_eq!((row >> r) & 1, (orig_row >> c) & 1, "({r},{c})");
+                }
+            }
+            // Involution: transposing twice restores the input.
+            transpose32(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_packs() {
+        let m = GenotypeMatrix::from_rows(0, 3, vec![]).unwrap();
+        let p = PackedColumns::from_matrix(&m);
+        assert_eq!(p.n_individuals(), 0);
+        assert_eq!(p.words_per_snp(), 0);
+        assert_eq!(p.snp_lanes(2), &[] as &[u64]);
+    }
+}

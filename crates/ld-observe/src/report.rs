@@ -46,7 +46,9 @@ pub struct Environment {
     pub arch: String,
     /// Logical CPUs available to the process.
     pub cpus: usize,
-    /// Hostname, when the `HOSTNAME` environment variable is set.
+    /// Hostname: the `HOSTNAME` environment variable when set, otherwise
+    /// `/etc/hostname` (non-login shells — CI runners, containers — often
+    /// don't export `HOSTNAME`, which used to leave this `null`).
     #[serde(default)]
     pub hostname: Option<String>,
 }
@@ -59,9 +61,22 @@ impl Environment {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
             cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
-            hostname: std::env::var("HOSTNAME").ok(),
+            hostname: hostname(),
         }
     }
+}
+
+/// Best-effort hostname: env var first, `/etc/hostname` as the fallback.
+fn hostname() -> Option<String> {
+    std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.trim().is_empty())
+        .or_else(|| {
+            std::fs::read_to_string("/etc/hostname")
+                .ok()
+                .map(|h| h.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
 }
 
 /// The unified report. See the module docs.
@@ -170,6 +185,24 @@ mod tests {
             .to_json();
         assert!(json.contains("\"seed\":2"));
         assert!(!json.contains("\"seed\":1"));
+    }
+
+    #[test]
+    fn environment_probe_is_populated() {
+        let env = Environment::capture();
+        // available_parallelism, not a hardcoded probe: at least one CPU,
+        // and on any Linux host with /etc/hostname the name resolves even
+        // when $HOSTNAME is unset (the common CI-runner case).
+        assert!(env.cpus >= 1);
+        if std::env::var("HOSTNAME").is_err() {
+            let etc = std::fs::read_to_string("/etc/hostname")
+                .ok()
+                .map(|h| h.trim().to_string())
+                .filter(|h| !h.is_empty());
+            assert_eq!(env.hostname, etc);
+        } else {
+            assert!(env.hostname.is_some());
+        }
     }
 
     #[test]

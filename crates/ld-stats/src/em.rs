@@ -25,7 +25,9 @@
 //! SNP of the (ascending) selection.
 
 use crate::error::StatsError;
-use ld_data::{ColumnMatrix, Genotype, SnpId};
+use crate::lanes;
+use ld_data::packed::{compress_even, split_planes, transpose32, EVEN_BITS};
+use ld_data::{ColumnMatrix, Genotype, PackedColumns, SnpId};
 use std::collections::BTreeMap;
 
 /// Widest supported haplotype (bitmask width and 2^k table size guard).
@@ -448,6 +450,7 @@ impl EmEstimator {
             q,
             counts,
             prev_freqs,
+            ..
         } = scratch;
 
         // Pass 1 (column-major): per-individual (hom2, het) bit patterns.
@@ -647,6 +650,361 @@ impl EmEstimator {
         out.refresh_expected();
         Ok(())
     }
+
+    /// Packed-kernel estimation over bit-packed genotype lanes — the
+    /// word-wide rewrite of [`EmEstimator::estimate_into`].
+    ///
+    /// Semantically identical to `estimate_into` over the equivalent
+    /// [`ColumnMatrix`] parts, and **bit-identical** in every output field
+    /// (frequencies, log-likelihood, iteration count, expected counts).
+    /// Two things change mechanically:
+    ///
+    /// * **Front-end** (per call): the per-genotype `match` mask pass
+    ///   becomes plane splits + popcounts over 2-bit lanes
+    ///   ([`ld_data::packed`]), with a 32×32 bit transpose turning per-SNP
+    ///   plane rows into per-individual `(hom2, het)` masks. Allele-2
+    ///   counts are exact integer popcounts (f64 addition of small
+    ///   integers is exact, so accumulation order is free); pattern keys
+    ///   are pooled through the same sort as the scratch path.
+    /// * **Iteration loop** (per iteration): haplotypes that appear in no
+    ///   pair are compacted away (their frequency is exactly `0.0` from
+    ///   iteration 1; iteration 1's convergence test folds their initial
+    ///   values back in as `dead_delta`), the E-step scatter is replaced
+    ///   by a CSR gather whose slot order replays the legacy scatter's
+    ///   accumulation order per haplotype, the `a == b` branch becomes a
+    ///   static `{1.0, 2.0}` multiplier, and the frequency snapshot copy
+    ///   becomes ping-pong buffers. Each transformation preserves the
+    ///   exact per-element floating-point operation sequence; see
+    ///   DESIGN.md §3g for the argument, and the golden suites for the
+    ///   proof over real data.
+    pub fn estimate_packed_into(
+        &self,
+        parts: &[&PackedColumns],
+        snps: &[SnpId],
+        scratch: &mut EmScratch,
+        out: &mut HaplotypeDist,
+    ) -> Result<(), StatsError> {
+        let k = snps.len();
+        let n_total: usize = parts.iter().map(|p| p.n_individuals()).sum();
+        if n_total == 0 {
+            return Err(StatsError::NoObservations {
+                context: "EM input",
+            });
+        }
+        if k == 0 {
+            return Err(StatsError::InvalidParameter(
+                "haplotype must contain at least one SNP".into(),
+            ));
+        }
+        if k > MAX_HAPLOTYPE_SNPS {
+            return Err(StatsError::HaplotypeTooLarge {
+                k,
+                max: MAX_HAPLOTYPE_SNPS,
+            });
+        }
+        for part in parts {
+            if let Some(&s) = snps.iter().find(|&&s| s >= part.n_snps()) {
+                return Err(StatsError::InvalidParameter(format!(
+                    "SNP {s} out of range (column store has {})",
+                    part.n_snps()
+                )));
+            }
+        }
+
+        let EmScratch {
+            keys,
+            patterns,
+            pair_offsets,
+            pairs,
+            weights,
+            a2_counts,
+            q,
+            dense_of,
+            hap_of,
+            ad,
+            bd,
+            mult,
+            pat_counts,
+            hap_off,
+            cursor,
+            slots,
+            frac,
+            f_a,
+            f_b,
+            ..
+        } = scratch;
+
+        // Word-wide front-end: one pass over the lanes yields, per word of
+        // 32 individuals, the three plane masks of every selected SNP.
+        // Missing-anywhere individuals (and the missing-padded tail) drop
+        // out via one OR-reduction; allele-2 counts are popcounts; the
+        // per-individual (hom2, het) pattern masks come from two 32×32
+        // bit transposes instead of k probes per individual.
+        keys.clear();
+        a2_counts.clear();
+        a2_counts.resize(k, 0.0);
+        for part in parts {
+            for wi in 0..part.words_per_snp() {
+                let mut het_rows = [0u32; 32];
+                let mut hom2_rows = [0u32; 32];
+                let mut het_planes = [0u64; MAX_HAPLOTYPE_SNPS];
+                let mut hom2_planes = [0u64; MAX_HAPLOTYPE_SNPS];
+                let mut miss_any = 0u64;
+                for (j, &s) in snps.iter().enumerate() {
+                    let (het, hom2, miss) = split_planes(part.snp_lanes(s)[wi]);
+                    het_planes[j] = het;
+                    hom2_planes[j] = hom2;
+                    miss_any |= miss;
+                    het_rows[j] = compress_even(het);
+                    hom2_rows[j] = compress_even(hom2);
+                }
+                // Individuals complete across all k SNPs (tail padding is
+                // missing-coded, so it is excluded here for free).
+                let called = EVEN_BITS & !miss_any;
+                for (j, a2) in a2_counts.iter_mut().enumerate() {
+                    *a2 += (2 * (hom2_planes[j] & called).count_ones()
+                        + (het_planes[j] & called).count_ones()) as f64;
+                }
+                transpose32(&mut het_rows);
+                transpose32(&mut hom2_rows);
+                let mut live = compress_even(called);
+                while live != 0 {
+                    let i = live.trailing_zeros() as usize;
+                    live &= live - 1;
+                    keys.push(((hom2_rows[i] as u64) << 32) | het_rows[i] as u64);
+                }
+            }
+        }
+        let n_used = keys.len();
+        if n_used == 0 {
+            return Err(StatsError::NoObservations {
+                context: "EM input (all individuals incomplete)",
+            });
+        }
+
+        // Pooling and pair enumeration: same sorted-key order as the
+        // scratch path (and the legacy BTreeMap).
+        keys.sort_unstable();
+        patterns.clear();
+        for &key in keys.iter() {
+            let pat = Pattern {
+                hom2: (key >> 32) as u32,
+                het: key as u32,
+            };
+            match patterns.last_mut() {
+                Some((last, count)) if *last == pat => *count += 1.0,
+                _ => patterns.push((pat, 1.0)),
+            }
+        }
+        pair_offsets.clear();
+        pair_offsets.push(0);
+        pairs.clear();
+        for &(pat, _) in patterns.iter() {
+            for (a, b) in pat.pairs() {
+                pairs.push((a as u32, b as u32));
+            }
+            pair_offsets.push(pairs.len());
+        }
+        pat_counts.clear();
+        pat_counts.extend(patterns.iter().map(|&(_, c)| c));
+
+        // Dense remap of live haplotypes in first-touch (pair-walk) order,
+        // plus the static per-pair multiplier.
+        let np = pairs.len();
+        let n_haps = 1usize << k;
+        dense_of.clear();
+        dense_of.resize(n_haps, u32::MAX);
+        hap_of.clear();
+        ad.clear();
+        ad.resize(np, 0);
+        bd.clear();
+        bd.resize(np, 0);
+        mult.clear();
+        mult.resize(np, 0.0);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let da = &mut dense_of[a as usize];
+            if *da == u32::MAX {
+                *da = hap_of.len() as u32;
+                hap_of.push(a);
+            }
+            ad[i] = *da;
+            let db = &mut dense_of[b as usize];
+            if *db == u32::MAX {
+                *db = hap_of.len() as u32;
+                hap_of.push(b);
+            }
+            bd[i] = *db;
+            mult[i] = if a == b { 1.0 } else { 2.0 };
+        }
+        let nl = hap_of.len();
+
+        // CSR of the fraction slots feeding each dense haplotype, laid out
+        // in the legacy scatter's accumulation order (pairs ascending,
+        // a-side before b-side), so the gather below adds the same values
+        // in the same sequence.
+        hap_off.clear();
+        hap_off.resize(nl + 1, 0);
+        for i in 0..np {
+            hap_off[ad[i] as usize + 1] += 1;
+            hap_off[bd[i] as usize + 1] += 1;
+        }
+        for d in 0..nl {
+            hap_off[d + 1] += hap_off[d];
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&hap_off[..nl]);
+        slots.clear();
+        slots.resize(2 * np, 0);
+        for i in 0..np {
+            let a = ad[i] as usize;
+            slots[cursor[a] as usize] = i as u32;
+            cursor[a] += 1;
+            let b = bd[i] as usize;
+            slots[cursor[b] as usize] = i as u32;
+            cursor[b] += 1;
+        }
+
+        // Linkage-equilibrium start over the full 2^k table — identical
+        // expressions to the scratch path, normalized once here (and once
+        // more after the loop, exactly like the reference).
+        q.clear();
+        q.extend(
+            a2_counts
+                .iter()
+                .map(|&c| (c / (2.0 * n_used as f64)).clamp(1e-6, 1.0 - 1e-6)),
+        );
+        out.freqs.clear();
+        out.freqs.extend((0..n_haps).map(|h| {
+            (0..k)
+                .map(|i| if h >> i & 1 == 1 { q[i] } else { 1.0 - q[i] })
+                .product::<f64>()
+        }));
+        normalize(&mut out.freqs);
+
+        // Haplotypes in no pair receive zero expected count, so from
+        // iteration 1 on their frequency is exactly 0.0 and they drop out
+        // of the arithmetic entirely. Iteration 1's convergence test must
+        // still see their |0 − f_init| change — fold it in as one scalar.
+        let mut dead_delta = 0.0f64;
+        for (h, &fh) in out.freqs.iter().enumerate() {
+            if dense_of[h] == u32::MAX {
+                dead_delta = dead_delta.max(fh);
+            }
+        }
+        f_a.clear();
+        f_a.extend(hap_of.iter().map(|&h| out.freqs[h as usize]));
+        f_b.clear();
+        f_b.resize(nl, 0.0);
+        weights.clear();
+        weights.resize(np, 0.0);
+        frac.clear();
+        frac.resize(np, 0.0);
+
+        let scale = 1.0 / (2.0 * n_used as f64);
+        let mut iterations = 0usize;
+        // `a_feeds`: f_a holds the frequencies entering the next iteration.
+        let mut a_feeds = true;
+        for it in 0..self.config.max_iter {
+            iterations = it + 1;
+            let (f, fnew) = if a_feeds {
+                (&f_a[..], &mut f_b[..])
+            } else {
+                (&f_b[..], &mut f_a[..])
+            };
+            // E-step: per-pattern weight + fraction passes (lane kernels).
+            for (pi, &count) in pat_counts.iter().enumerate() {
+                let (s, e) = (pair_offsets[pi], pair_offsets[pi + 1]);
+                let total = lanes::weight_pass(weights, f, ad, bd, mult, s, e);
+                if total <= 0.0 {
+                    // All compatible pairs currently have zero probability;
+                    // spread uniformly to recover (defensive — the floored
+                    // initialization prevents this on the first pass). The
+                    // span length equals the legacy `(1 << (h−1)).max(1)`.
+                    let fr = count / (e - s) as f64;
+                    frac[s..e].fill(fr);
+                } else {
+                    lanes::frac_pass(frac, weights, count, total, s, e);
+                }
+            }
+            // M-step fused with the CSR gather, two independent max
+            // accumulators (f64 max is associative and commutative for
+            // the non-NaN values here, so the reduction shape is free).
+            let mut m0 = 0.0f64;
+            let mut m1 = 0.0f64;
+            let mut d = 0usize;
+            while d + 2 <= nl {
+                let acc0 =
+                    lanes::gather_sum(frac, slots, hap_off[d] as usize, hap_off[d + 1] as usize);
+                let acc1 = lanes::gather_sum(
+                    frac,
+                    slots,
+                    hap_off[d + 1] as usize,
+                    hap_off[d + 2] as usize,
+                );
+                let n0 = acc0 * scale;
+                m0 = m0.max((n0 - f[d]).abs());
+                fnew[d] = n0;
+                let n1 = acc1 * scale;
+                m1 = m1.max((n1 - f[d + 1]).abs());
+                fnew[d + 1] = n1;
+                d += 2;
+            }
+            let mut max_delta = m0.max(m1);
+            while d < nl {
+                let acc =
+                    lanes::gather_sum(frac, slots, hap_off[d] as usize, hap_off[d + 1] as usize);
+                let n0 = acc * scale;
+                max_delta = max_delta.max((n0 - f[d]).abs());
+                fnew[d] = n0;
+                d += 1;
+            }
+            if it == 0 {
+                max_delta = max_delta.max(dead_delta);
+            }
+            a_feeds = !a_feeds;
+            if max_delta < self.config.tol {
+                break;
+            }
+        }
+
+        // Deferred log-likelihood from the buffer that *fed* the final
+        // iteration (the ping-pong partner), then expansion of the live
+        // frequencies back into the full 2^k table. Dead haplotypes are
+        // exactly 0.0, and `x + 0.0 == x` for the non-negative values
+        // here, so the full-table normalize sums the same bits as the
+        // reference.
+        let mut log_likelihood = f64::NEG_INFINITY;
+        if iterations > 0 {
+            let (f_fin, prev) = if a_feeds {
+                (&f_a[..], &f_b[..])
+            } else {
+                (&f_b[..], &f_a[..])
+            };
+            let mut ll = 0.0;
+            for (pi, &count) in pat_counts.iter().enumerate() {
+                let (s, e) = (pair_offsets[pi], pair_offsets[pi + 1]);
+                let mut total = 0.0;
+                for i in s..e {
+                    total += (mult[i] * prev[ad[i] as usize]) * prev[bd[i] as usize];
+                }
+                if total > 0.0 {
+                    ll += count * total.ln();
+                }
+            }
+            log_likelihood = ll;
+            out.freqs.iter_mut().for_each(|x| *x = 0.0);
+            for (d, &h) in hap_of.iter().enumerate() {
+                out.freqs[h as usize] = f_fin[d];
+            }
+        }
+        normalize(&mut out.freqs);
+        out.k = k;
+        out.log_likelihood = log_likelihood;
+        out.iterations = iterations;
+        out.n_individuals = n_used;
+        out.refresh_expected();
+        Ok(())
+    }
 }
 
 /// Reusable working memory for [`EmEstimator::estimate_into`]: per-call
@@ -681,6 +1039,35 @@ pub struct EmScratch {
     /// log-likelihood can be recomputed once after convergence instead of
     /// paying a `ln` per pattern on every iteration.
     prev_freqs: Vec<f64>,
+
+    // ── packed-kernel buffers ([`EmEstimator::estimate_packed_into`]) ──
+    /// Dense live-haplotype index per original bitmask (`2^k` table,
+    /// `u32::MAX` = haplotype appears in no pair).
+    dense_of: Vec<u32>,
+    /// Original haplotype bitmask per dense index (inverse of `dense_of`).
+    hap_of: Vec<u32>,
+    /// Dense a-side haplotype index of each pair.
+    ad: Vec<u32>,
+    /// Dense b-side haplotype index of each pair.
+    bd: Vec<u32>,
+    /// Static pair multiplier: `1.0` when `a == b`, `2.0` otherwise
+    /// (`(mult · fa) · fb` reproduces the legacy branch bit-for-bit).
+    mult: Vec<f64>,
+    /// Pattern multiplicities, flat (parallel to `patterns`).
+    pat_counts: Vec<f64>,
+    /// CSR offsets: `slots[hap_off[d]..hap_off[d + 1]]` are the fraction
+    /// slots feeding dense haplotype `d`, in legacy scatter order.
+    hap_off: Vec<u32>,
+    /// CSR build cursor (one write head per dense haplotype).
+    cursor: Vec<u32>,
+    /// Flat CSR slot list: indices into `frac`, two per pair.
+    slots: Vec<u32>,
+    /// Per-pair posterior fractions `count · w / total`.
+    frac: Vec<f64>,
+    /// Ping-pong live-haplotype frequency buffer A.
+    f_a: Vec<f64>,
+    /// Ping-pong live-haplotype frequency buffer B.
+    f_b: Vec<f64>,
 }
 
 impl EmScratch {
@@ -1069,6 +1456,228 @@ mod tests {
         let snps: Vec<usize> = (0..MAX_HAPLOTYPE_SNPS + 1).collect();
         assert!(matches!(
             e.estimate_into(&[&wide], &snps, &mut scratch, &mut out),
+            Err(StatsError::HaplotypeTooLarge { .. })
+        ));
+    }
+
+    /// Packed-path fit over the same sample (full estimator pipeline:
+    /// pack → word-wide front-end → compacted EM loop).
+    fn fit_packed(e: &EmEstimator, gs: &[Vec<G>]) -> Result<HaplotypeDist, StatsError> {
+        let cols = columns(gs);
+        let packed = ld_data::PackedColumns::from_columns(&cols);
+        let snps: Vec<usize> = (0..cols.n_snps()).collect();
+        let mut scratch = EmScratch::new();
+        let mut out = HaplotypeDist::empty();
+        e.estimate_packed_into(&[&packed], &snps, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Deterministic genotype sample from a splitmix-style LCG, including
+    /// occasional missing calls when `missing` is set.
+    fn lcg_sample(mut state: u64, n: usize, k: usize, missing: bool) -> Vec<Vec<G>> {
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        (0..n)
+            .map(|_| {
+                (0..k)
+                    .map(|_| match next() % if missing { 7 } else { 6 } {
+                        0 | 1 => G::HomA1,
+                        2 | 3 => G::Het,
+                        4 | 5 => G::HomA2,
+                        _ => G::Missing,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Assert every output field of two fits matches to the last bit.
+    fn assert_bit_identical(a: &HaplotypeDist, b: &HaplotypeDist, what: &str) {
+        assert_eq!(a.k, b.k, "{what}: k");
+        assert_eq!(a.n_individuals, b.n_individuals, "{what}: n");
+        assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+        assert_eq!(
+            a.log_likelihood.to_bits(),
+            b.log_likelihood.to_bits(),
+            "{what}: log-likelihood diverged"
+        );
+        for (x, y) in a.freqs.iter().zip(&b.freqs) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: freqs diverged");
+        }
+        for (x, y) in a
+            .expected_counts_slice()
+            .iter()
+            .zip(b.expected_counts_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: expected diverged");
+        }
+    }
+
+    #[test]
+    fn packed_fit_small_sample_miri() {
+        // Miri-sized: one word of individuals, one complete + one partial
+        // sample, checked bit-for-bit against both reference paths.
+        let gs = vec![
+            vec![G::Het, G::HomA2, G::Het],
+            vec![G::HomA1, G::Missing, G::Het],
+            vec![G::HomA2, G::Het, G::HomA1],
+            vec![G::Het, G::Het, G::Het],
+        ];
+        let legacy = fit(&est(), &gs).unwrap();
+        let scratch = fit_into(&est(), &gs).unwrap();
+        let packed = fit_packed(&est(), &gs).unwrap();
+        assert_bit_identical(&legacy, &scratch, "legacy vs scratch");
+        assert_bit_identical(&scratch, &packed, "scratch vs packed");
+    }
+
+    #[test]
+    fn packed_fit_is_bit_identical_to_scratch_fit() {
+        // Word-boundary coverage: n below, at, just above and well above
+        // the 32-individuals-per-lane width, widths up to 8, with and
+        // without missing calls. Every fit must match the scratch path
+        // (itself pinned to the legacy path above) to the last ulp.
+        let mut cases: Vec<Vec<Vec<G>>> = vec![
+            vec![vec![G::HomA2, G::HomA1]; 10],
+            vec![
+                vec![G::HomA2, G::HomA2, G::Het, G::Het],
+                vec![G::Missing, G::HomA1, G::Het, G::HomA2],
+                vec![G::Het, G::Het, G::Het, G::Het],
+                vec![G::HomA1, G::HomA1, G::HomA2, G::Het],
+                vec![G::HomA2, G::Het, G::HomA1, G::HomA1],
+                vec![G::Het, G::HomA2, G::Het, G::HomA1],
+            ],
+        ];
+        for (seed, n, k, missing) in [
+            (1u64, 31, 3, false),
+            (2, 32, 4, true),
+            (3, 33, 5, true),
+            (4, 100, 6, true),
+            (5, 64, 7, false),
+            (6, 97, 8, true),
+        ] {
+            cases.push(lcg_sample(seed, n, k, missing));
+        }
+        for gs in &cases {
+            let a = fit_into(&est(), gs).unwrap();
+            let b = fit_packed(&est(), gs).unwrap();
+            assert_bit_identical(&a, &b, &format!("n={} k={}", gs.len(), gs[0].len()));
+        }
+    }
+
+    #[test]
+    fn packed_fit_zero_iteration_cap_matches_scratch() {
+        // max_iter = 0 leaves the linkage-equilibrium start in place (the
+        // double normalize must replay identically) with LL = -inf.
+        let e = EmEstimator::new(EmConfig {
+            max_iter: 0,
+            tol: 1e-8,
+        });
+        let gs = lcg_sample(11, 40, 4, true);
+        let cols = columns(&gs);
+        let packed = ld_data::PackedColumns::from_columns(&cols);
+        let mut scratch = EmScratch::new();
+        let (mut a, mut b) = (HaplotypeDist::empty(), HaplotypeDist::empty());
+        e.estimate_into(&[&cols], &[0, 1, 2, 3], &mut scratch, &mut a)
+            .unwrap();
+        e.estimate_packed_into(&[&packed], &[0, 1, 2, 3], &mut scratch, &mut b)
+            .unwrap();
+        assert_eq!(a.iterations, 0);
+        assert!(a.log_likelihood.is_infinite());
+        assert_bit_identical(&a, &b, "max_iter = 0");
+    }
+
+    #[test]
+    fn packed_pooled_fit_matches_scratch_pooled() {
+        // Two unequal parts (part boundaries off the 32-lane grid) pool
+        // exactly like the column-store path.
+        let ga = lcg_sample(21, 37, 3, true);
+        let gb = lcg_sample(22, 18, 3, true);
+        let (ca, cb) = (columns(&ga), columns(&gb));
+        let (pa, pb) = (
+            ld_data::PackedColumns::from_columns(&ca),
+            ld_data::PackedColumns::from_columns(&cb),
+        );
+        let mut scratch = EmScratch::new();
+        let (mut a, mut b) = (HaplotypeDist::empty(), HaplotypeDist::empty());
+        est()
+            .estimate_into(&[&ca, &cb], &[0, 1, 2], &mut scratch, &mut a)
+            .unwrap();
+        est()
+            .estimate_packed_into(&[&pa, &pb], &[0, 1, 2], &mut scratch, &mut b)
+            .unwrap();
+        assert_bit_identical(&a, &b, "pooled two-part fit");
+    }
+
+    #[test]
+    fn packed_fit_reuses_buffers_across_sizes() {
+        // One scratch serves interleaved widths and alternates with the
+        // column-store path; every call must equal a fresh-scratch call.
+        let gs = lcg_sample(31, 45, 5, true);
+        let cols = columns(&gs);
+        let packed = ld_data::PackedColumns::from_columns(&cols);
+        let e = est();
+        let mut shared = EmScratch::new();
+        let mut out = HaplotypeDist::empty();
+        for snps in [
+            vec![0usize, 1, 2, 3, 4],
+            vec![1, 3],
+            vec![0, 2, 4],
+            vec![2],
+            vec![0, 1, 2, 3],
+        ] {
+            e.estimate_packed_into(&[&packed], &snps, &mut shared, &mut out)
+                .unwrap();
+            // Interleave a scratch-path call to dirty the shared buffers.
+            let mut dirty = HaplotypeDist::empty();
+            e.estimate_into(&[&cols], &snps, &mut shared, &mut dirty)
+                .unwrap();
+            let mut fresh_scratch = EmScratch::new();
+            let mut fresh = HaplotypeDist::empty();
+            e.estimate_packed_into(&[&packed], &snps, &mut fresh_scratch, &mut fresh)
+                .unwrap();
+            assert_bit_identical(&out, &fresh, &format!("snps {snps:?}"));
+            assert_bit_identical(&dirty, &fresh, &format!("paths at {snps:?}"));
+        }
+    }
+
+    #[test]
+    fn packed_fit_error_cases() {
+        let e = est();
+        let mut scratch = EmScratch::new();
+        let mut out = HaplotypeDist::empty();
+        let packed_of = |gs: &[Vec<G>]| ld_data::PackedColumns::from_columns(&columns(gs));
+        // No individuals at all.
+        let empty = packed_of(&[]);
+        assert!(matches!(
+            e.estimate_packed_into(&[&empty], &[0], &mut scratch, &mut out),
+            Err(StatsError::NoObservations { .. })
+        ));
+        // All individuals incomplete.
+        let missing = packed_of(&[vec![G::Missing], vec![G::Missing]]);
+        assert!(matches!(
+            e.estimate_packed_into(&[&missing], &[0], &mut scratch, &mut out),
+            Err(StatsError::NoObservations { .. })
+        ));
+        // Zero-width haplotype.
+        let one = packed_of(&[vec![G::Het]]);
+        assert!(matches!(
+            e.estimate_packed_into(&[&one], &[], &mut scratch, &mut out),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        // Out-of-range SNP.
+        assert!(matches!(
+            e.estimate_packed_into(&[&one], &[3], &mut scratch, &mut out),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        // Too wide.
+        let wide = packed_of(&[vec![G::HomA1; MAX_HAPLOTYPE_SNPS + 1]]);
+        let snps: Vec<usize> = (0..MAX_HAPLOTYPE_SNPS + 1).collect();
+        assert!(matches!(
+            e.estimate_packed_into(&[&wide], &snps, &mut scratch, &mut out),
             Err(StatsError::HaplotypeTooLarge { .. })
         ));
     }

@@ -26,7 +26,7 @@ use crate::em::{em_lrt, EmEstimator, HaplotypeDist};
 use crate::error::StatsError;
 use crate::scratch::EvalScratch;
 use crate::table::ContingencyTable;
-use ld_data::{ColumnMatrix, Dataset, Genotype, GenotypeMatrix, SnpId, Status};
+use ld_data::{ColumnMatrix, Dataset, Genotype, GenotypeMatrix, PackedColumns, SnpId, Status};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +48,24 @@ pub enum FitnessKind {
     ClumpT4,
     /// EH likelihood-ratio statistic (H1 per-group vs H0 pooled).
     EmLrt,
+}
+
+/// Which EM kernel backs [`EvalPipeline::evaluate_with`].
+///
+/// Both paths are bit-identical (the golden suites assert it); they differ
+/// only in speed and data layout. The packed path is the default; the
+/// scratch path remains selectable as the in-production oracle and as the
+/// baseline side of the `eval_kernel` benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KernelPath {
+    /// Bit-packed word-wide kernel: 2-bit genotype lanes, plane splits +
+    /// popcounts, compacted CSR-gather EM loop
+    /// ([`crate::em::EmEstimator::estimate_packed_into`]).
+    #[default]
+    Packed,
+    /// Column-store scratch kernel: per-genotype mask pass, full-table EM
+    /// loop ([`crate::em::EmEstimator::estimate_into`]).
+    Scratch,
 }
 
 /// Detailed output of one evaluation.
@@ -89,7 +107,12 @@ pub struct EvalPipeline {
     /// contiguous per-SNP columns instead of gathering rows per call.
     affected_cols: ColumnMatrix,
     unaffected_cols: ColumnMatrix,
+    /// Bit-packed lanes (2 bits per genotype, 32 individuals per word),
+    /// built once per group for the word-wide packed kernel.
+    affected_packed: PackedColumns,
+    unaffected_packed: PackedColumns,
     kind: FitnessKind,
+    path: KernelPath,
     estimator: EmEstimator,
 }
 
@@ -115,12 +138,17 @@ impl EvalPipeline {
             .map_err(|e| StatsError::InvalidParameter(e.to_string()))?;
         let affected_cols = ColumnMatrix::from_matrix(&affected);
         let unaffected_cols = ColumnMatrix::from_matrix(&unaffected);
+        let affected_packed = PackedColumns::from_columns(&affected_cols);
+        let unaffected_packed = PackedColumns::from_columns(&unaffected_cols);
         Ok(EvalPipeline {
             affected,
             unaffected,
             affected_cols,
             unaffected_cols,
+            affected_packed,
+            unaffected_packed,
             kind,
+            path: KernelPath::default(),
             estimator: EmEstimator::default(),
         })
     }
@@ -128,6 +156,22 @@ impl EvalPipeline {
     /// The objective in use.
     pub fn kind(&self) -> FitnessKind {
         self.kind
+    }
+
+    /// The EM kernel currently backing [`EvalPipeline::evaluate_with`].
+    pub fn kernel_path(&self) -> KernelPath {
+        self.path
+    }
+
+    /// Builder-style kernel selection (see [`KernelPath`]).
+    pub fn with_kernel_path(mut self, path: KernelPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Switch the EM kernel in place (see [`KernelPath`]).
+    pub fn set_kernel_path(&mut self, path: KernelPath) {
+        self.path = path;
     }
 
     /// Number of SNPs available.
@@ -167,6 +211,10 @@ impl EvalPipeline {
     /// bit-identical results to the legacy allocating path
     /// ([`EvalPipeline::evaluate_legacy`]) — the EM, table, χ², and CLUMP
     /// arithmetic runs in exactly the same order over the same values.
+    ///
+    /// The EM fits run on the kernel selected by [`KernelPath`] (packed
+    /// word-wide lanes by default); both kernels produce identical bits,
+    /// so the choice is invisible to callers.
     pub fn evaluate_with(
         &self,
         scratch: &mut EvalScratch,
@@ -182,10 +230,24 @@ impl EvalPipeline {
             chi2,
             clump,
         } = scratch;
-        self.estimator
-            .estimate_into(&[&self.affected_cols], snps, em, dist_a)?;
-        self.estimator
-            .estimate_into(&[&self.unaffected_cols], snps, em, dist_b)?;
+        match self.path {
+            KernelPath::Packed => {
+                self.estimator
+                    .estimate_packed_into(&[&self.affected_packed], snps, em, dist_a)?;
+                self.estimator.estimate_packed_into(
+                    &[&self.unaffected_packed],
+                    snps,
+                    em,
+                    dist_b,
+                )?;
+            }
+            KernelPath::Scratch => {
+                self.estimator
+                    .estimate_into(&[&self.affected_cols], snps, em, dist_a)?;
+                self.estimator
+                    .estimate_into(&[&self.unaffected_cols], snps, em, dist_b)?;
+            }
+        }
         table.refill_two_by_m(
             dist_a.expected_counts_slice(),
             dist_b.expected_counts_slice(),
@@ -198,12 +260,20 @@ impl EvalPipeline {
             FitnessKind::EmLrt => {
                 // Pooled (H0) fit over affected-then-unaffected, the same
                 // individual order as the legacy chained iterator.
-                self.estimator.estimate_into(
-                    &[&self.affected_cols, &self.unaffected_cols],
-                    snps,
-                    em,
-                    pooled,
-                )?;
+                match self.path {
+                    KernelPath::Packed => self.estimator.estimate_packed_into(
+                        &[&self.affected_packed, &self.unaffected_packed],
+                        snps,
+                        em,
+                        pooled,
+                    )?,
+                    KernelPath::Scratch => self.estimator.estimate_into(
+                        &[&self.affected_cols, &self.unaffected_cols],
+                        snps,
+                        em,
+                        pooled,
+                    )?,
+                }
                 Ok(
                     (2.0 * (dist_a.log_likelihood + dist_b.log_likelihood - pooled.log_likelihood))
                         .max(0.0),
@@ -443,6 +513,39 @@ mod tests {
         let r = p.clump_analysis(&[8, 12, 15], 200, &mut rng).unwrap();
         assert!(r.statistic(ClumpStatistic::T1) > 10.0);
         assert!(r.mc_p_value(ClumpStatistic::T1).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn kernel_paths_are_bit_identical_for_every_objective() {
+        // The packed default and the scratch oracle must agree to the last
+        // ulp for every objective, including the pooled EmLrt fit.
+        let d = lille_51(42);
+        for kind in [
+            FitnessKind::ClumpT1,
+            FitnessKind::ClumpT2,
+            FitnessKind::ClumpT3,
+            FitnessKind::ClumpT4,
+            FitnessKind::EmLrt,
+        ] {
+            let p = EvalPipeline::new(&d, kind).unwrap();
+            assert_eq!(p.kernel_path(), KernelPath::Packed);
+            let q = p.clone().with_kernel_path(KernelPath::Scratch);
+            for snps in [&[8usize, 12, 15][..], &[0, 24, 38], &[7], &[2, 3]] {
+                let a = p.evaluate(snps).unwrap();
+                let b = q.evaluate(snps).unwrap();
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} {snps:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_path_switches_in_place() {
+        let mut p = pipeline();
+        let packed = p.evaluate(&[8, 12, 15]).unwrap();
+        p.set_kernel_path(KernelPath::Scratch);
+        assert_eq!(p.kernel_path(), KernelPath::Scratch);
+        let scratch = p.evaluate(&[8, 12, 15]).unwrap();
+        assert_eq!(packed.to_bits(), scratch.to_bits());
     }
 
     #[test]

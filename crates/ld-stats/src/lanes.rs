@@ -1,0 +1,209 @@
+//! Inner lane kernels of the packed EM iteration loop.
+//!
+//! [`crate::em::EmEstimator::estimate_packed_into`] spends essentially all
+//! of its time in three tiny loops per iteration: the pair *weight* pass,
+//! the posterior *fraction* pass, and the per-haplotype *gather* sum.
+//! This module holds those loops in two interchangeable flavours:
+//!
+//! * **portable** (default): plain safe indexed loops. The reference.
+//! * **`simd` feature**: the same loops with the bounds checks lifted
+//!   (`get_unchecked` over spans the kernel sized itself) and the
+//!   elementwise fraction pass unrolled 4-wide, so the compiler is free
+//!   to emit vector divisions/multiplies under `-C target-feature=+avx2`
+//!   or similar.
+//!
+//! Both flavours execute the *identical sequence of floating-point
+//! operations per element*: the weight pass and gather sums stay strictly
+//! serial (their accumulation order is observable in the last ulp), and
+//! the fraction pass is elementwise (each `frac[i]` depends only on
+//! `w[i]`), so unrolling cannot change any bit of any element. The golden
+//! suites assert this equivalence; the CI Miri job checks the `unsafe`
+//! lane code against the packed kernel tests.
+//!
+//! Safety contract shared by all three kernels (upheld by the caller in
+//! `em.rs`, re-checked here with `debug_assert!`):
+//!
+//! * `s <= e`, spans index `w`/`frac`/`ad`/`bd`/`mult` which all have
+//!   length ≥ `e` (they are sized to the pair count),
+//! * every `ad[i]`/`bd[i]` is a dense haplotype index `< f.len()`,
+//! * every `slots[i]` in `lo..hi` indexes into `frac`.
+
+#![cfg_attr(feature = "simd", allow(unsafe_code))]
+
+/// E-step weight pass over one pattern's pair span: writes
+/// `w[i] = (mult[i] · f[ad[i]]) · f[bd[i]]` for `i ∈ s..e` and returns the
+/// in-order serial total — the exact expressions and order of the legacy
+/// `2.0 * freqs[a] * freqs[b]` loop (`1.0 · x` and the parse order
+/// `(2.0 · fa) · fb` are both exact).
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+pub(crate) fn weight_pass(
+    w: &mut [f64],
+    f: &[f64],
+    ad: &[u32],
+    bd: &[u32],
+    mult: &[f64],
+    s: usize,
+    e: usize,
+) -> f64 {
+    let mut total = 0.0;
+    for i in s..e {
+        let wi = (mult[i] * f[ad[i] as usize]) * f[bd[i] as usize];
+        w[i] = wi;
+        total += wi;
+    }
+    total
+}
+
+/// See the portable `weight_pass`; identical operation order.
+#[cfg(feature = "simd")]
+#[inline(always)]
+pub(crate) fn weight_pass(
+    w: &mut [f64],
+    f: &[f64],
+    ad: &[u32],
+    bd: &[u32],
+    mult: &[f64],
+    s: usize,
+    e: usize,
+) -> f64 {
+    debug_assert!(s <= e && e <= w.len() && e <= ad.len() && e <= bd.len() && e <= mult.len());
+    let mut total = 0.0;
+    for i in s..e {
+        // SAFETY: span bounds and dense-index ranges per the module
+        // contract (debug-asserted above and in the caller).
+        unsafe {
+            debug_assert!((*ad.get_unchecked(i) as usize) < f.len());
+            debug_assert!((*bd.get_unchecked(i) as usize) < f.len());
+            let wi = (*mult.get_unchecked(i) * *f.get_unchecked(*ad.get_unchecked(i) as usize))
+                * *f.get_unchecked(*bd.get_unchecked(i) as usize);
+            *w.get_unchecked_mut(i) = wi;
+            total += wi;
+        }
+    }
+    total
+}
+
+/// Posterior fraction pass: `frac[i] = count · w[i] / total` for
+/// `i ∈ s..e`. Elementwise — no cross-element dependency — so the `simd`
+/// flavour may unroll freely without changing any element's bits.
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+pub(crate) fn frac_pass(frac: &mut [f64], w: &[f64], count: f64, total: f64, s: usize, e: usize) {
+    for i in s..e {
+        frac[i] = count * w[i] / total;
+    }
+}
+
+/// See the portable `frac_pass`; 4-wide unrolled, same per-element bits.
+#[cfg(feature = "simd")]
+#[inline(always)]
+pub(crate) fn frac_pass(frac: &mut [f64], w: &[f64], count: f64, total: f64, s: usize, e: usize) {
+    debug_assert!(s <= e && e <= frac.len() && e <= w.len());
+    let mut i = s;
+    // SAFETY: `s..e` is within both slices per the module contract.
+    unsafe {
+        while i + 4 <= e {
+            let f0 = count * *w.get_unchecked(i) / total;
+            let f1 = count * *w.get_unchecked(i + 1) / total;
+            let f2 = count * *w.get_unchecked(i + 2) / total;
+            let f3 = count * *w.get_unchecked(i + 3) / total;
+            *frac.get_unchecked_mut(i) = f0;
+            *frac.get_unchecked_mut(i + 1) = f1;
+            *frac.get_unchecked_mut(i + 2) = f2;
+            *frac.get_unchecked_mut(i + 3) = f3;
+            i += 4;
+        }
+        while i < e {
+            *frac.get_unchecked_mut(i) = count * *w.get_unchecked(i) / total;
+            i += 1;
+        }
+    }
+}
+
+/// Gather the posterior fractions feeding one haplotype:
+/// `Σ frac[slots[j]]` for `j ∈ lo..hi`, strictly in slot order (the CSR
+/// build lays slots out in the legacy scatter's accumulation order, so
+/// this serial sum reproduces its bits).
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+pub(crate) fn gather_sum(frac: &[f64], slots: &[u32], lo: usize, hi: usize) -> f64 {
+    let mut acc = 0.0;
+    for &slot in &slots[lo..hi] {
+        acc += frac[slot as usize];
+    }
+    acc
+}
+
+/// See the portable `gather_sum`; identical serial order.
+#[cfg(feature = "simd")]
+#[inline(always)]
+pub(crate) fn gather_sum(frac: &[f64], slots: &[u32], lo: usize, hi: usize) -> f64 {
+    debug_assert!(lo <= hi && hi <= slots.len());
+    let mut acc = 0.0;
+    // SAFETY: `lo..hi` indexes `slots` and every slot indexes `frac`, per
+    // the module contract (the CSR build sized both).
+    unsafe {
+        for j in lo..hi {
+            let slot = *slots.get_unchecked(j) as usize;
+            debug_assert!(slot < frac.len());
+            acc += *frac.get_unchecked(slot);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_lanes_match_reference_miri() {
+        // Exercise all three kernels (whichever flavour is compiled in)
+        // against straightforward reference loops. Under Miri with the
+        // `simd` feature this validates the unchecked indexing.
+        let f = [0.5, 0.25, 0.125, 0.0625, 0.03125];
+        let ad = [0u32, 1, 2, 3, 4, 0];
+        let bd = [1u32, 2, 3, 4, 0, 0];
+        let mult = [2.0, 2.0, 1.0, 2.0, 2.0, 1.0];
+        let mut w = [0.0; 6];
+        let total = weight_pass(&mut w, &f, &ad, &bd, &mult, 1, 5);
+        let mut ref_total = 0.0;
+        for i in 1..5 {
+            let wi = (mult[i] * f[ad[i] as usize]) * f[bd[i] as usize];
+            assert_eq!(w[i].to_bits(), wi.to_bits());
+            ref_total += wi;
+        }
+        assert_eq!(total.to_bits(), ref_total.to_bits());
+        assert_eq!(w[0], 0.0, "outside the span stays untouched");
+        assert_eq!(w[5], 0.0);
+
+        let mut frac = [0.0; 6];
+        frac_pass(&mut frac, &w, 3.0, total, 1, 5);
+        for i in 1..5 {
+            assert_eq!(frac[i].to_bits(), (3.0 * w[i] / total).to_bits());
+        }
+
+        let slots = [1u32, 2, 3, 4, 2, 1];
+        let got = gather_sum(&frac, &slots, 0, 6);
+        let mut want = 0.0;
+        for &s in &slots {
+            want += frac[s as usize];
+        }
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(gather_sum(&frac, &slots, 3, 3), 0.0);
+    }
+
+    #[test]
+    fn frac_pass_tail_handling() {
+        // Span lengths 0..=9 cover every unroll remainder.
+        for len in 0..=9usize {
+            let w: Vec<f64> = (0..len).map(|i| (i + 1) as f64).collect();
+            let mut frac = vec![0.0; len];
+            frac_pass(&mut frac, &w, 2.0, 7.0, 0, len);
+            for i in 0..len {
+                assert_eq!(frac[i].to_bits(), (2.0 * w[i] / 7.0).to_bits());
+            }
+        }
+    }
+}

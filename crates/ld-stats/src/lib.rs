@@ -23,7 +23,12 @@
 //!   ([`EvalScratch`]) behind the allocation-free
 //!   [`EvalPipeline::evaluate_with`] kernel.
 
-#![forbid(unsafe_code)]
+// The portable build forbids unsafe outright. The `simd` feature relaxes
+// the crate level to `deny` so the lane kernels (src/lanes.rs, the only
+// module allowed to opt in) can lift bounds checks out of the packed EM
+// hot spans; everything else still refuses unsafe.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod assoc;
@@ -33,6 +38,7 @@ pub mod em;
 pub mod error;
 pub mod fitness;
 pub mod hwe;
+mod lanes;
 pub mod mc;
 pub mod power;
 pub mod scratch;
@@ -44,7 +50,7 @@ pub use chi2::Chi2Result;
 pub use clump::{ClumpResult, ClumpStatistic};
 pub use em::{EmConfig, EmScratch, HaplotypeDist};
 pub use error::StatsError;
-pub use fitness::{EvalDetail, EvalPipeline, FitnessKind};
+pub use fitness::{EvalDetail, EvalPipeline, FitnessKind, KernelPath};
 pub use hwe::{hwe_chi2, hwe_scan};
 pub use scratch::{EvalScratch, ScratchGuard, ScratchPool};
 pub use table::ContingencyTable;

@@ -1,16 +1,22 @@
-//! Golden equivalence: the scratch-workspace evaluation kernel must be
-//! *numerically invisible* — bit-for-bit identical to the legacy
-//! allocating path for every `FitnessKind`, every haplotype width the GA
-//! explores, and under arbitrary scratch reuse patterns.
+//! Golden equivalence: every evaluation kernel must be *numerically
+//! invisible* — bit-for-bit identical to the legacy allocating path for
+//! every `FitnessKind`, every haplotype width the GA explores (2..=8), and
+//! under arbitrary scratch reuse patterns. Three paths are compared:
 //!
-//! Legacy results come from `evaluate_legacy` / `evaluate_detailed_legacy`,
-//! which preserve the pre-refactor code path verbatim (row gathers,
-//! per-call `Vec`s, BTreeMap pattern pooling).
+//! * **legacy** — `evaluate_legacy` / `evaluate_detailed_legacy`, the
+//!   pre-refactor code preserved verbatim (row gathers, per-call `Vec`s,
+//!   BTreeMap pattern pooling);
+//! * **scratch** — the column-store workspace kernel
+//!   (`KernelPath::Scratch`);
+//! * **packed** — the bit-packed word-wide kernel (`KernelPath::Packed`,
+//!   the default). Building with `--features simd` runs this same suite
+//!   over the unchecked/unrolled lane kernels, closing the fourth flavour
+//!   (packed+simd) of the equivalence matrix.
 
 #![allow(deprecated)] // the whole point of this suite is to call the legacy path
 
 use ld_data::synthetic::lille_51;
-use ld_stats::{EvalPipeline, EvalScratch, FitnessKind};
+use ld_stats::{EvalPipeline, EvalScratch, FitnessKind, KernelPath};
 
 const ALL_KINDS: [FitnessKind; 5] = [
     FitnessKind::ClumpT1,
@@ -20,7 +26,7 @@ const ALL_KINDS: [FitnessKind; 5] = [
     FitnessKind::EmLrt,
 ];
 
-/// Haplotypes of width 2..=6: the planted-signal chain plus background
+/// Haplotypes of width 2..=8: the planted-signal chain plus background
 /// sets (including SNPs with missing genotypes in the synthetic data).
 fn snp_sets() -> Vec<Vec<usize>> {
     vec![
@@ -34,6 +40,10 @@ fn snp_sets() -> Vec<Vec<usize>> {
         vec![1, 9, 22, 35, 50],
         vec![8, 12, 15, 21, 32, 40],
         vec![2, 11, 19, 27, 36, 47],
+        vec![8, 12, 15, 21, 32, 40, 45],
+        vec![4, 10, 18, 26, 33, 41, 49],
+        vec![8, 12, 15, 21, 32, 40, 45, 48],
+        vec![0, 6, 13, 20, 28, 34, 42, 50],
     ]
 }
 
@@ -42,18 +52,26 @@ fn fitness_is_bit_identical_for_all_kinds_and_sizes() {
     for seed in [42u64, 7] {
         let data = lille_51(seed);
         for kind in ALL_KINDS {
-            let p = EvalPipeline::new(&data, kind).unwrap();
+            let packed = EvalPipeline::new(&data, kind).unwrap();
+            assert_eq!(packed.kernel_path(), KernelPath::Packed);
+            let scratch_path = packed.clone().with_kernel_path(KernelPath::Scratch);
             let mut scratch = EvalScratch::new();
             for snps in snp_sets() {
-                let legacy = p.evaluate_legacy(&snps).unwrap();
-                let fast = p.evaluate_with(&mut scratch, &snps).unwrap();
+                let legacy = packed.evaluate_legacy(&snps).unwrap();
+                let fast = scratch_path.evaluate_with(&mut scratch, &snps).unwrap();
                 assert_eq!(
                     legacy.to_bits(),
                     fast.to_bits(),
                     "{kind:?} seed {seed} snps {snps:?}: legacy {legacy} vs scratch {fast}"
                 );
+                let word_wide = packed.evaluate_with(&mut scratch, &snps).unwrap();
+                assert_eq!(
+                    legacy.to_bits(),
+                    word_wide.to_bits(),
+                    "{kind:?} seed {seed} snps {snps:?}: legacy {legacy} vs packed {word_wide}"
+                );
                 // The convenience wrapper (fresh scratch per call) too.
-                let wrapped = p.evaluate(&snps).unwrap();
+                let wrapped = packed.evaluate(&snps).unwrap();
                 assert_eq!(legacy.to_bits(), wrapped.to_bits());
             }
         }
@@ -87,13 +105,17 @@ fn detailed_output_is_bit_identical() {
 
 #[test]
 fn one_scratch_reused_across_kinds_and_sizes_stays_identical() {
-    // Interleave widths and objectives through a single workspace so every
-    // buffer shrinks and regrows: stale state from any previous call must
-    // never leak into the next result.
+    // Interleave widths, objectives, and kernel paths through a single
+    // workspace so every buffer shrinks and regrows: stale state from any
+    // previous call must never leak into the next result.
     let data = lille_51(42);
     let pipelines: Vec<EvalPipeline> = ALL_KINDS
         .iter()
-        .map(|&k| EvalPipeline::new(&data, k).unwrap())
+        .flat_map(|&k| {
+            let p = EvalPipeline::new(&data, k).unwrap();
+            let s = p.clone().with_kernel_path(KernelPath::Scratch);
+            [p, s]
+        })
         .collect();
     let mut scratch = EvalScratch::new();
     for round in 0..3 {
