@@ -113,20 +113,29 @@ impl AdaptiveRates {
         self.applications[op] += 1;
     }
 
+    /// Per-operator profits accumulated so far this generation: mean
+    /// positive normalized progress per application (`0.0` for operators
+    /// that never fired). This is exactly the vector the next
+    /// [`AdaptiveRates::end_generation`] call reallocates on — read it
+    /// *before* that call, which resets the accumulators.
+    pub fn profits(&self) -> Vec<f64> {
+        (0..self.n_ops())
+            .map(|i| {
+                if self.applications[i] == 0 {
+                    0.0
+                } else {
+                    (self.progress_sum[i] / self.applications[i] as f64).max(0.0)
+                }
+            })
+            .collect()
+    }
+
     /// Recompute rates from the accumulated generation statistics and reset
     /// the accumulators.
     pub fn end_generation(&mut self) {
         if self.adaptive {
             let m = self.n_ops();
-            let profits: Vec<f64> = (0..m)
-                .map(|i| {
-                    if self.applications[i] == 0 {
-                        0.0
-                    } else {
-                        (self.progress_sum[i] / self.applications[i] as f64).max(0.0)
-                    }
-                })
-                .collect();
+            let profits = self.profits();
             let total: f64 = profits.iter().sum();
             if total > 0.0 {
                 let spread = self.global_rate - m as f64 * self.delta;

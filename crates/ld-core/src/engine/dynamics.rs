@@ -1,0 +1,309 @@
+//! Per-generation search-dynamics measurement (DESIGN.md §3h).
+//!
+//! Everything here is a *pure read* of engine state — no RNG, no
+//! population mutation — so attaching the layer cannot perturb the
+//! trajectory. The whole module runs only when an observer is attached:
+//! [`DynamicsLayer::attach`] returns `None` for disabled observers and
+//! [`GaRun::observe_dynamics`] early-returns on `None`, leaving the
+//! disabled per-generation path without a single extra allocation (the
+//! `alloc_guard` test in `ld-observe` pins the observer primitives this
+//! rides on).
+
+use std::collections::HashMap;
+
+use ld_observe::dynamics::{ConvergenceDetector, DetectorConfig, DynamicsMetrics};
+use ld_observe::{DynamicsSnapshot, Event, Observer};
+
+use crate::evaluator::Evaluator;
+use crate::individual::Haplotype;
+use crate::population::MultiPopulation;
+use crate::sched::SchedStats;
+
+use super::GaRun;
+
+/// The per-run dynamics state: the sliding-window detector plus the
+/// pre-registered metric handles. Exists only on observed runs.
+pub(crate) struct DynamicsLayer {
+    detector: ConvergenceDetector,
+    metrics: Option<DynamicsMetrics>,
+}
+
+impl DynamicsLayer {
+    /// Build the layer when (and only when) `observer` is enabled. The
+    /// detector window is coupled to the run's own §4.6 criterion — see
+    /// [`DetectorConfig::for_stagnation_limit`].
+    pub(crate) fn attach(observer: &Observer, stagnation_limit: usize) -> Option<Self> {
+        if !observer.enabled() {
+            return None;
+        }
+        Some(DynamicsLayer {
+            detector: ConvergenceDetector::new(DetectorConfig::for_stagnation_limit(
+                stagnation_limit,
+            )),
+            metrics: DynamicsMetrics::register(observer),
+        })
+    }
+}
+
+/// Sum of the finite per-size champion fitnesses — the scalar "best"
+/// series the detector and the gain economics run on.
+pub(crate) fn champion_sum(best_per_size: &[Option<Haplotype>]) -> f64 {
+    best_per_size
+        .iter()
+        .flatten()
+        .map(|h| h.fitness())
+        .filter(|f| f.is_finite())
+        .sum()
+}
+
+/// Measure the population: diversity, fixation, fitness distribution.
+/// O(n² · k) in the population for the pairwise Hamming pass — run only
+/// on observed runs, where populations are a few hundred individuals.
+fn measure_population(pop: &MultiPopulation, snap: &mut DynamicsSnapshot) {
+    let individuals: Vec<&Haplotype> = pop.iter().flat_map(|sp| sp.individuals()).collect();
+    let n = individuals.len();
+    snap.population = n;
+    if n == 0 {
+        return;
+    }
+
+    // Distinct SNP sets. Within a subpopulation §4.6 rejects duplicates,
+    // so anything below 1.0 would flag a replacement-rule regression.
+    let mut seen: std::collections::HashSet<&[ld_data::SnpId]> =
+        std::collections::HashSet::with_capacity(n);
+    for h in &individuals {
+        seen.insert(h.key());
+    }
+    snap.unique_fraction = seen.len() as f64 / n as f64;
+
+    // Mean pairwise Hamming distance = |A| + |B| − 2|A ∩ B| over sorted
+    // SNP sets (merge-walk intersection, same idiom as `diversity.rs`).
+    if n >= 2 {
+        let mut total = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (individuals[i].snps(), individuals[j].snps());
+                let mut inter = 0usize;
+                let (mut x, mut y) = (0usize, 0usize);
+                while x < a.len() && y < b.len() {
+                    match a[x].cmp(&b[y]) {
+                        std::cmp::Ordering::Less => x += 1,
+                        std::cmp::Ordering::Greater => y += 1,
+                        std::cmp::Ordering::Equal => {
+                            inter += 1;
+                            x += 1;
+                            y += 1;
+                        }
+                    }
+                }
+                total += (a.len() + b.len() - 2 * inter) as u64;
+            }
+        }
+        let pairs = (n * (n - 1) / 2) as f64;
+        snap.mean_pairwise_hamming = total as f64 / pairs;
+    }
+
+    // SNP occupancy: usage entropy plus the fixation spectrum.
+    let mut counts: HashMap<ld_data::SnpId, usize> = HashMap::new();
+    for h in &individuals {
+        for &s in h.snps() {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+    }
+    snap.snps_used = counts.len();
+    let memberships: usize = counts.values().sum();
+    if counts.len() > 1 && memberships > 0 {
+        let mut entropy = 0.0;
+        for &c in counts.values() {
+            let p = c as f64 / memberships as f64;
+            entropy -= p * p.ln();
+        }
+        snap.occupancy_entropy = entropy / (counts.len() as f64).ln();
+    } else if counts.len() == 1 {
+        snap.occupancy_entropy = 0.0;
+    }
+    for &c in counts.values() {
+        let occupancy = c as f64 / n as f64;
+        if occupancy >= 0.9 {
+            snap.fixed_snps += 1;
+        }
+        let band = if occupancy <= 0.25 {
+            0
+        } else if occupancy <= 0.5 {
+            1
+        } else if occupancy <= 0.75 {
+            2
+        } else {
+            3
+        };
+        snap.fixation_spectrum[band] += 1;
+    }
+
+    // Fitness distribution quartiles (nearest-rank) and best.
+    let mut fitnesses: Vec<f64> = individuals
+        .iter()
+        .map(|h| h.fitness())
+        .filter(|f| f.is_finite())
+        .collect();
+    if !fitnesses.is_empty() {
+        fitnesses.sort_by(f64::total_cmp);
+        let rank = |p: f64| fitnesses[(((fitnesses.len() - 1) as f64) * p).round() as usize];
+        snap.fitness_q1 = rank(0.25);
+        snap.fitness_median = rank(0.5);
+        snap.fitness_q3 = rank(0.75);
+        snap.best_fitness = *fitnesses.last().expect("non-empty");
+    }
+}
+
+impl<E: Evaluator> GaRun<'_, E> {
+    /// Compute, publish, and return this generation's dynamics snapshot;
+    /// `None` (without measuring anything) on unobserved runs.
+    ///
+    /// `window` is the generation's scheduler window (already taken),
+    /// `prev_best` the champion sum captured at the top of the step.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn observe_dynamics(
+        &mut self,
+        window: &SchedStats,
+        immigrants: usize,
+        prev_best: f64,
+        mutation_profits: &[f64],
+        crossover_profits: &[f64],
+    ) -> Option<DynamicsSnapshot> {
+        self.dynamics.as_ref()?;
+
+        let best_sum = champion_sum(&self.best_per_size);
+        let fitness_gain = (best_sum - prev_best).max(0.0);
+        let mut snap = DynamicsSnapshot {
+            population: 0,
+            unique_fraction: 0.0,
+            mean_pairwise_hamming: 0.0,
+            occupancy_entropy: 0.0,
+            snps_used: 0,
+            fixed_snps: 0,
+            fixation_spectrum: [0; 4],
+            fitness_q1: 0.0,
+            fitness_median: 0.0,
+            fitness_q3: 0.0,
+            best_fitness: 0.0,
+            fitness_gain,
+            true_evals: window.true_evals,
+            cache_hits: window.cache_hits,
+            evals_per_gain: if fitness_gain > 0.0 {
+                window.true_evals as f64 / fitness_gain
+            } else {
+                0.0
+            },
+            immigrants,
+            mutation_rates: self.mutation_rates.rates().to_vec(),
+            mutation_profits: mutation_profits.to_vec(),
+            crossover_rates: self.crossover_rates.rates().to_vec(),
+            crossover_profits: crossover_profits.to_vec(),
+        };
+        measure_population(&self.pop, &mut snap);
+
+        let layer = self.dynamics.as_mut().expect("checked above");
+        if let Some(metrics) = &layer.metrics {
+            metrics.record(&snap);
+        }
+        let verdict = layer.detector.observe(best_sum, snap.occupancy_entropy);
+        if let (Some(v), Some(metrics)) = (&verdict, &layer.metrics) {
+            metrics.record_verdict(v);
+        }
+        let observer = self.service.observer();
+        observer.emit_with(|| Event::Dynamics(Box::new(snap.clone())));
+        if let Some(v) = verdict {
+            observer.emit_with(|| v.to_event());
+        }
+        Some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::MultiPopulation;
+
+    fn hap(snps: &[usize], fitness: f64) -> Haplotype {
+        let mut h = Haplotype::from_sorted(snps.to_vec());
+        h.set_fitness(fitness);
+        h
+    }
+
+    fn blank() -> DynamicsSnapshot {
+        DynamicsSnapshot {
+            population: 0,
+            unique_fraction: 0.0,
+            mean_pairwise_hamming: 0.0,
+            occupancy_entropy: 0.0,
+            snps_used: 0,
+            fixed_snps: 0,
+            fixation_spectrum: [0; 4],
+            fitness_q1: 0.0,
+            fitness_median: 0.0,
+            fitness_q3: 0.0,
+            best_fitness: 0.0,
+            fitness_gain: 0.0,
+            true_evals: 0,
+            cache_hits: 0,
+            evals_per_gain: 0.0,
+            immigrants: 0,
+            mutation_rates: Vec::new(),
+            mutation_profits: Vec::new(),
+            crossover_rates: Vec::new(),
+            crossover_profits: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn measures_diversity_fixation_and_quartiles() {
+        let mut pop = MultiPopulation::new(10, 2, 2, 4);
+        let sub = pop.get_mut(2).unwrap();
+        // {0,1}, {0,2}, {0,3}, {0,9}: SNP 0 fixed (4/4), the rest 1/4.
+        sub.try_insert(hap(&[0, 1], 1.0));
+        sub.try_insert(hap(&[0, 2], 2.0));
+        sub.try_insert(hap(&[0, 3], 3.0));
+        sub.try_insert(hap(&[0, 9], 4.0));
+
+        let mut snap = blank();
+        measure_population(&pop, &mut snap);
+        assert_eq!(snap.population, 4);
+        assert_eq!(snap.unique_fraction, 1.0);
+        // Every pair shares exactly SNP 0: Hamming 2 for all 6 pairs.
+        assert!((snap.mean_pairwise_hamming - 2.0).abs() < 1e-12);
+        assert_eq!(snap.snps_used, 5);
+        assert_eq!(snap.fixed_snps, 1);
+        // SNP 0 occupies 100% (band 3); SNPs 1,2,3,9 occupy 25% (band 0).
+        assert_eq!(snap.fixation_spectrum, [4, 0, 0, 1]);
+        assert!(snap.occupancy_entropy > 0.0 && snap.occupancy_entropy <= 1.0);
+        assert_eq!(snap.best_fitness, 4.0);
+        assert!(snap.fitness_q1 <= snap.fitness_median);
+        assert!(snap.fitness_median <= snap.fitness_q3);
+        assert!(snap.fitness_q3 <= snap.best_fitness);
+    }
+
+    #[test]
+    fn entropy_is_zero_when_one_snp_owns_the_population() {
+        let mut pop = MultiPopulation::new(10, 1, 1, 4);
+        let sub = pop.get_mut(1).unwrap();
+        sub.try_insert(hap(&[3], 1.0));
+        let mut snap = blank();
+        measure_population(&pop, &mut snap);
+        assert_eq!(snap.snps_used, 1);
+        assert_eq!(snap.occupancy_entropy, 0.0);
+        assert_eq!(snap.fixed_snps, 1);
+        assert_eq!(snap.mean_pairwise_hamming, 0.0);
+    }
+
+    #[test]
+    fn champion_sum_skips_missing_and_non_finite() {
+        assert_eq!(champion_sum(&[]), 0.0);
+        let champs = vec![
+            Some(hap(&[0, 1], 2.5)),
+            None,
+            Some(hap(&[2, 3], f64::NAN)),
+            Some(hap(&[4, 5], 1.5)),
+        ];
+        assert_eq!(champion_sum(&champs), 4.0);
+    }
+}

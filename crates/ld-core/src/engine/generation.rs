@@ -42,6 +42,14 @@ impl<E: Evaluator> GaRun<'_, E> {
         // observer is disabled.
         let gen_span = self.service.observer().span(span_names::GENERATION);
         let started = Instant::now();
+        // Champion baseline for the gain economics — a pure read, taken
+        // only when the dynamics layer is attached (no cost disabled).
+        let observing = self.dynamics.is_some();
+        let prev_best = if observing {
+            super::dynamics::champion_sum(&self.best_per_size)
+        } else {
+            0.0
+        };
         let norms = self.pop.normalizer_snapshot();
 
         // ------ Phase A: selection + crossover ------
@@ -62,11 +70,24 @@ impl<E: Evaluator> GaRun<'_, E> {
         drop(replacement_span);
 
         let adaptation_span = self.service.observer().span(span_names::ADAPTATION);
+        // Profits must be read before `end_generation` resets the
+        // accumulators — they are the deltas that trigger reallocation.
+        // `Vec::new()` does not allocate, so the disabled path stays free.
+        let (mutation_profits, crossover_profits) = if observing {
+            (
+                self.mutation_rates.profits(),
+                self.crossover_rates.profits(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
         self.mutation_rates.end_generation();
         self.crossover_rates.end_generation();
         self.service.observer().emit_with(|| Event::RatesAdapted {
             mutation: self.mutation_rates.rates().to_vec(),
             crossover: self.crossover_rates.rates().to_vec(),
+            mutation_profits: mutation_profits.clone(),
+            crossover_profits: crossover_profits.clone(),
         });
 
         // ------ Improvement tracking ------
@@ -109,6 +130,16 @@ impl<E: Evaluator> GaRun<'_, E> {
                 wall_ms: gen_wall_ms,
             });
         drop(gen_span);
+        // Take the scheduler window once: the dynamics snapshot and the
+        // history row must report the same cache-hit/true-eval counts.
+        let window = self.service.take_window();
+        let dynamics = self.observe_dynamics(
+            &window,
+            n_immigrants,
+            prev_best,
+            &mutation_profits,
+            &crossover_profits,
+        );
         self.history.push(GenerationStats {
             generation: self.generation,
             evaluations: self.total_evals,
@@ -116,8 +147,9 @@ impl<E: Evaluator> GaRun<'_, E> {
             mutation_rates: self.mutation_rates.rates().to_vec(),
             crossover_rates: self.crossover_rates.rates().to_vec(),
             immigrants: n_immigrants,
-            sched: self.service.take_window(),
+            sched: window,
             gen_wall_ms,
+            dynamics,
         });
 
         Ok(if improved {

@@ -34,6 +34,7 @@
 //!   `ld-parallel`'s ring-migration islands build on.
 
 mod breeding;
+mod dynamics;
 mod generation;
 mod replacement;
 #[cfg(test)]
@@ -79,6 +80,13 @@ pub struct GenerationStats {
     /// Defaults to zero when deserializing pre-existing checkpoints.
     #[serde(default)]
     pub gen_wall_ms: f64,
+    /// Search-dynamics snapshot (diversity, fixation, fitness quartiles,
+    /// operator economics). `None` on unobserved runs — the snapshot is
+    /// computed only when an observer is attached, so its absence marks
+    /// "not measured", never "measured as zero". Defaults to `None` for
+    /// checkpoints written before the field existed.
+    #[serde(default)]
+    pub dynamics: Option<ld_observe::DynamicsSnapshot>,
 }
 
 /// Result of one GA run.
@@ -155,6 +163,9 @@ pub struct GaRun<'e, E: Evaluator> {
     pub(crate) ri_counter: usize,
     pub(crate) history: Vec<GenerationStats>,
     pub(crate) generation: usize,
+    /// Search-dynamics layer (detector + metric handles); `None` on
+    /// unobserved runs, so the disabled path carries no state at all.
+    pub(crate) dynamics: Option<dynamics::DynamicsLayer>,
 }
 
 /// Build the run's scheduler: sequential dispatch to the borrowed
@@ -297,6 +308,7 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
             config.delta,
             config.scheme.adaptive_crossover,
         );
+        let dynamics = dynamics::DynamicsLayer::attach(service.observer(), config.stagnation_limit);
         Ok(GaRun {
             service,
             evals_to_best: vec![total_evals; n_sizes],
@@ -312,6 +324,7 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
             ri_counter: 0,
             history: Vec::new(),
             generation: 0,
+            dynamics,
         })
     }
 
@@ -337,6 +350,9 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
         generation: usize,
     ) -> Self {
         let service = build_service(evaluator, &cfg, feasibility, None);
+        // Restored runs come up unobserved (the service has no observer),
+        // so no dynamics layer either — attach-at-construction keeps the
+        // invariant "layer present ⟺ observer enabled".
         GaRun {
             service,
             cfg,
@@ -352,6 +368,7 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
             ri_counter,
             history,
             generation,
+            dynamics: None,
         }
     }
 

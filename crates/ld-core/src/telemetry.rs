@@ -63,6 +63,39 @@ pub struct SchedSummary {
     pub fault_events: u64,
 }
 
+/// Search-dynamics trajectory summary over a whole observed run: where
+/// diversity started and ended, what the evaluation spend bought, and
+/// which operators earned their rates. `None` fields never appear — the
+/// whole fold is absent ([`TelemetryReport::dynamics`]) when the run was
+/// not observed.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DynamicsFold {
+    /// Generations that carried a dynamics snapshot.
+    pub observed_generations: usize,
+    /// Mean pairwise Hamming distance at the first observed generation.
+    pub initial_hamming: f64,
+    /// Mean pairwise Hamming distance at the last observed generation.
+    pub final_hamming: f64,
+    /// Occupancy entropy at the first observed generation.
+    pub initial_entropy: f64,
+    /// Occupancy entropy at the last observed generation.
+    pub final_entropy: f64,
+    /// Fixed SNPs (≥ 90% occupancy) at the last observed generation.
+    pub final_fixed_snps: usize,
+    /// Champion fitness gained across all observed generations.
+    pub total_fitness_gain: f64,
+    /// True (backend) evaluations across all observed generations.
+    pub total_true_evals: u64,
+    /// Run-level economics: true evaluations per unit of fitness gained
+    /// (`0.0` when nothing was gained).
+    pub evals_per_gain: f64,
+    /// Per-operator profit totals over the run (SNP, reduction,
+    /// augmentation).
+    pub mutation_profit_totals: Vec<f64>,
+    /// Per-operator profit totals over the run (intra, inter).
+    pub crossover_profit_totals: Vec<f64>,
+}
+
 /// Full telemetry report. `Serialize` so it can become the `telemetry`
 /// section of an `ld-observe` run report.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -79,6 +112,9 @@ pub struct TelemetryReport {
     pub last_improvement: usize,
     /// Scheduler behaviour (batch sizes, dedup, cache, dispatch latency).
     pub sched: SchedSummary,
+    /// Search-dynamics summary; `None` when the run was not observed
+    /// (absent, not zero-as-data).
+    pub dynamics: Option<DynamicsFold>,
 }
 
 /// Analyse a run's history.
@@ -150,7 +186,46 @@ pub fn analyze(result: &RunResult) -> TelemetryReport {
         immigrant_episodes,
         last_improvement,
         sched,
+        dynamics: fold_dynamics(history),
     }
+}
+
+/// Fold the per-generation dynamics snapshots into a run-level summary.
+/// Returns `None` when no generation carried one (unobserved run).
+fn fold_dynamics(history: &[crate::engine::GenerationStats]) -> Option<DynamicsFold> {
+    let observed: Vec<&ld_observe::DynamicsSnapshot> =
+        history.iter().filter_map(|g| g.dynamics.as_ref()).collect();
+    let first = observed.first()?;
+    let last = observed.last().expect("non-empty after first()");
+    let total_fitness_gain: f64 = observed.iter().map(|d| d.fitness_gain).sum();
+    let total_true_evals: u64 = observed.iter().map(|d| d.true_evals).sum();
+    let mut mutation_profit_totals = vec![0.0; first.mutation_profits.len()];
+    let mut crossover_profit_totals = vec![0.0; first.crossover_profits.len()];
+    for d in &observed {
+        for (acc, p) in mutation_profit_totals.iter_mut().zip(&d.mutation_profits) {
+            *acc += p;
+        }
+        for (acc, p) in crossover_profit_totals.iter_mut().zip(&d.crossover_profits) {
+            *acc += p;
+        }
+    }
+    Some(DynamicsFold {
+        observed_generations: observed.len(),
+        initial_hamming: first.mean_pairwise_hamming,
+        final_hamming: last.mean_pairwise_hamming,
+        initial_entropy: first.occupancy_entropy,
+        final_entropy: last.occupancy_entropy,
+        final_fixed_snps: last.fixed_snps,
+        total_fitness_gain,
+        total_true_evals,
+        evals_per_gain: if total_fitness_gain > 0.0 {
+            total_true_evals as f64 / total_fitness_gain
+        } else {
+            0.0
+        },
+        mutation_profit_totals,
+        crossover_profit_totals,
+    })
 }
 
 fn summarize_rates<F>(
@@ -210,6 +285,16 @@ pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std
         "\tsched_retries\tsched_retired\tsched_rejoins\tsched_requeued\tsched_fallbacks"
     )?;
     write!(w, "\tgen_wall_ms")?;
+    // Dynamics columns are empty (not zero) on unobserved runs, so a
+    // plotting tool can tell "not measured" from "measured as zero".
+    write!(
+        w,
+        "\tdyn_hamming\tdyn_unique\tdyn_entropy\tdyn_fixed\tdyn_fit_q1\tdyn_fit_median\tdyn_fit_q3\tdyn_gain\tdyn_evals_per_gain"
+    )?;
+    write!(
+        w,
+        "\tdyn_profit_mut_snp\tdyn_profit_mut_reduction\tdyn_profit_mut_augmentation\tdyn_profit_cross_intra\tdyn_profit_cross_inter"
+    )?;
     writeln!(w)?;
     for g in &result.history {
         write!(w, "{}\t{}", g.generation, g.evaluations)?;
@@ -244,7 +329,44 @@ pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std
             g.sched.requeued,
             g.sched.fallback_batches,
         )?;
-        writeln!(w, "\t{:.3}", g.gen_wall_ms)?;
+        write!(w, "\t{:.3}", g.gen_wall_ms)?;
+        match &g.dynamics {
+            Some(d) => {
+                write!(
+                    w,
+                    "\t{:.6}\t{:.6}\t{:.6}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.3}",
+                    d.mean_pairwise_hamming,
+                    d.unique_fraction,
+                    d.occupancy_entropy,
+                    d.fixed_snps,
+                    d.fitness_q1,
+                    d.fitness_median,
+                    d.fitness_q3,
+                    d.fitness_gain,
+                    d.evals_per_gain,
+                )?;
+                // Pad missing operators (never expected) with empty cells so
+                // the column count stays fixed.
+                for i in 0..3 {
+                    match d.mutation_profits.get(i) {
+                        Some(p) => write!(w, "\t{p:.6}")?,
+                        None => write!(w, "\t")?,
+                    }
+                }
+                for i in 0..2 {
+                    match d.crossover_profits.get(i) {
+                        Some(p) => write!(w, "\t{p:.6}")?,
+                        None => write!(w, "\t")?,
+                    }
+                }
+            }
+            None => {
+                for _ in 0..14 {
+                    write!(w, "\t")?;
+                }
+            }
+        }
+        writeln!(w)?;
     }
     Ok(())
 }
@@ -355,12 +477,74 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), result.generations + 1);
         assert!(lines[0].starts_with("generation\tevaluations\tbest_k2"));
-        assert!(lines[0].ends_with("\tgen_wall_ms"));
+        assert!(lines[0].contains("\tgen_wall_ms\tdyn_hamming"));
+        assert!(lines[0].ends_with("\tdyn_profit_cross_inter"));
         // Every data row has the full column count.
         let n_cols = lines[0].split('\t').count();
         for l in &lines[1..] {
             assert_eq!(l.split('\t').count(), n_cols, "row: {l}");
         }
+    }
+
+    #[test]
+    fn unobserved_run_has_no_dynamics() {
+        let result = run();
+        // The test fixture is unobserved: no snapshots, empty TSV cells.
+        assert!(result.history.iter().all(|g| g.dynamics.is_none()));
+        let report = analyze(&result);
+        assert!(report.dynamics.is_none());
+        let mut buf = Vec::new();
+        write_history_tsv(&result, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for row in text.lines().skip(1) {
+            assert!(row.ends_with("\t\t\t\t\t\t\t\t\t\t\t\t\t\t"), "row: {row}");
+        }
+    }
+
+    #[test]
+    fn dynamics_fold_reconciles_with_snapshots() {
+        let mut result = run();
+        // Graft synthetic snapshots onto the first two generations to
+        // exercise the fold without an observer.
+        let mk = |hamming: f64, gain: f64, evals: u64| ld_observe::DynamicsSnapshot {
+            population: 4,
+            unique_fraction: 1.0,
+            mean_pairwise_hamming: hamming,
+            occupancy_entropy: 0.8,
+            snps_used: 5,
+            fixed_snps: 1,
+            fixation_spectrum: [4, 0, 0, 1],
+            fitness_q1: 1.0,
+            fitness_median: 2.0,
+            fitness_q3: 3.0,
+            best_fitness: 4.0,
+            fitness_gain: gain,
+            true_evals: evals,
+            cache_hits: 0,
+            evals_per_gain: 0.0,
+            immigrants: 0,
+            mutation_rates: vec![0.3, 0.3, 0.3],
+            mutation_profits: vec![0.1, 0.0, 0.2],
+            crossover_rates: vec![0.5, 0.5],
+            crossover_profits: vec![0.05, 0.0],
+        };
+        result.history[0].dynamics = Some(mk(3.0, 2.0, 10));
+        result.history[1].dynamics = Some(mk(1.5, 0.0, 6));
+        let fold = analyze(&result).dynamics.expect("observed generations");
+        assert_eq!(fold.observed_generations, 2);
+        assert_eq!(fold.initial_hamming, 3.0);
+        assert_eq!(fold.final_hamming, 1.5);
+        assert_eq!(fold.total_fitness_gain, 2.0);
+        assert_eq!(fold.total_true_evals, 16);
+        assert!((fold.evals_per_gain - 8.0).abs() < 1e-12);
+        assert_eq!(fold.mutation_profit_totals, vec![0.2, 0.0, 0.4]);
+        assert_eq!(fold.crossover_profit_totals, vec![0.1, 0.0]);
+        // The grafted rows now carry populated dynamics cells.
+        let mut buf = Vec::new();
+        write_history_tsv(&result, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let row1 = text.lines().nth(1).unwrap();
+        assert!(row1.ends_with("\t0.100000\t0.000000\t0.200000\t0.050000\t0.000000"));
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Search-dynamics layer, end to end on real runs: the convergence
+//! detector's firing discipline, per-generation snapshot flow, and the
+//! bit-identity contract — attaching the dynamics layer must not move
+//! the GA trajectory by a single ulp.
+
+use ld_core::{evaluator::FnEvaluator, GaConfig, GaEngine, RunResult};
+use ld_observe::{Event, Observer, Registry, RingSink};
+use ld_stats::{EvalPipeline, FitnessKind};
+use std::sync::Arc;
+
+fn observed(run_id: &str) -> (Observer, Arc<RingSink>) {
+    let ring = Arc::new(RingSink::new(100_000));
+    let observer = Observer::new(run_id, Arc::clone(&ring) as _, Registry::new());
+    (observer, ring)
+}
+
+#[test]
+fn stagnation_detector_fires_on_a_flat_fitness_run() {
+    // A constant objective: nothing ever improves, so every generation
+    // after the first is stagnant. The run's own §4.6 criterion would
+    // stop it at `stagnation_limit`; stepping past that by hand (as an
+    // island driver might) must trip the detector, whose window is
+    // deliberately one generation longer than the criterion.
+    let eval = FnEvaluator::new(20, |_s: &[usize]| 1.0);
+    let cfg = GaConfig {
+        population_size: 30,
+        min_size: 2,
+        max_size: 3,
+        matings_per_generation: 6,
+        stagnation_limit: 6,
+        ri_stagnation: 100, // keep immigrants out of the picture
+        max_generations: 40,
+        ..GaConfig::default()
+    };
+    let (observer, ring) = observed("flat");
+    let engine = GaEngine::new(&eval, cfg, 9)
+        .unwrap()
+        .with_observer(observer);
+    let mut run = engine.start().unwrap();
+    for _ in 0..30 {
+        run.try_step().unwrap();
+    }
+    let events = ring.take();
+    let fired: Vec<u64> = events
+        .iter()
+        .filter(|e| matches!(e.event, Event::Stagnation { .. }))
+        .map(|e| e.generation)
+        .collect();
+    assert!(!fired.is_empty(), "flat run never tripped the detector");
+    // Warm-up plus a full window: never before the run's own criterion
+    // would have ended it.
+    assert!(
+        fired[0] > 6,
+        "detector fired at generation {} — inside the run's own stagnation budget",
+        fired[0]
+    );
+    // A flat run keeps real diversity, so the verdict is stagnation (the
+    // search is stuck but has not collapsed), not convergence.
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.event, Event::Converged { .. })),
+        "flat run misdiagnosed as converged"
+    );
+}
+
+#[test]
+fn detector_is_silent_on_the_reference_trajectory() {
+    // The lille-51 reference run terminates through its own §4.6
+    // criterion; the detector window is longer than that, so a normally
+    // driven run must produce zero detector events — while still
+    // producing one dynamics snapshot per generation.
+    let data = ld_data::synthetic::lille_51(42);
+    let pipeline = EvalPipeline::new(&data, FitnessKind::ClumpT1).unwrap();
+    let eval = ld_core::StatsEvaluator::new(pipeline);
+    let cfg = GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 4,
+        matings_per_generation: 8,
+        stagnation_limit: 12,
+        ri_stagnation: 5,
+        max_generations: 60,
+        ..GaConfig::default()
+    };
+    let (observer, ring) = observed("lille");
+    let result = GaEngine::new(&eval, cfg, 7)
+        .unwrap()
+        .with_observer(observer)
+        .run();
+    let events = ring.take();
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.event, Event::Stagnation { .. } | Event::Converged { .. })),
+        "reference run tripped the detector"
+    );
+    let snapshots = events
+        .iter()
+        .filter(|e| matches!(e.event, Event::Dynamics(_)))
+        .count();
+    assert_eq!(
+        snapshots, result.generations,
+        "one dynamics snapshot per generation"
+    );
+    // Every history row carries its snapshot too, reconciled with the
+    // row's own scheduler window.
+    for g in &result.history {
+        let d = g.dynamics.as_ref().expect("observed row has dynamics");
+        assert_eq!(d.true_evals, g.sched.true_evals);
+        assert_eq!(d.cache_hits, g.sched.cache_hits);
+        assert_eq!(d.immigrants, g.immigrants);
+        assert_eq!(d.unique_fraction, 1.0, "§4.6 duplicate rejection");
+        assert!(d.fitness_q1 <= d.fitness_median && d.fitness_median <= d.fitness_q3);
+    }
+}
+
+/// Bit-level trajectory comparison (subset of the golden-run helper: the
+/// fields the dynamics layer could plausibly perturb).
+fn assert_same_trajectory(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.generations, b.generations, "generations");
+    assert_eq!(a.total_evaluations, b.total_evaluations, "total evals");
+    assert_eq!(a.evals_to_best, b.evals_to_best, "evals-to-best");
+    for (x, y) in a.best_per_size.iter().zip(&b.best_per_size) {
+        match (x, y) {
+            (Some(hx), Some(hy)) => {
+                assert_eq!(hx.snps(), hy.snps(), "champion snps");
+                assert_eq!(hx.fitness().to_bits(), hy.fitness().to_bits());
+            }
+            (None, None) => {}
+            _ => panic!("champion presence differs"),
+        }
+    }
+    for (ga, gb) in a.history.iter().zip(&b.history) {
+        assert_eq!(ga.evaluations, gb.evaluations);
+        assert_eq!(ga.immigrants, gb.immigrants);
+        for (x, y) in ga.best_per_size.iter().zip(&gb.best_per_size) {
+            assert_eq!(x.to_bits(), y.to_bits(), "gen {} best", ga.generation);
+        }
+        for (x, y) in ga
+            .mutation_rates
+            .iter()
+            .chain(&ga.crossover_rates)
+            .zip(gb.mutation_rates.iter().chain(&gb.crossover_rates))
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "gen {} rates", ga.generation);
+        }
+    }
+}
+
+#[test]
+fn dynamics_layer_does_not_move_the_trajectory() {
+    let data = ld_data::synthetic::lille_51(42);
+    let pipeline = EvalPipeline::new(&data, FitnessKind::ClumpT1).unwrap();
+    let eval = ld_core::StatsEvaluator::new(pipeline);
+    let cfg = GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 4,
+        matings_per_generation: 8,
+        stagnation_limit: 12,
+        ri_stagnation: 5,
+        max_generations: 60,
+        ..GaConfig::default()
+    };
+    let bare = GaEngine::new(&eval, cfg.clone(), 7).unwrap().run();
+    let (observer, _ring) = observed("onoff");
+    let watched = GaEngine::new(&eval, cfg, 7)
+        .unwrap()
+        .with_observer(observer)
+        .run();
+    assert_same_trajectory(&bare, &watched);
+    // The only difference: the watched run carries snapshots, the bare
+    // run carries None (absent, not zero).
+    assert!(bare.history.iter().all(|g| g.dynamics.is_none()));
+    assert!(watched.history.iter().all(|g| g.dynamics.is_some()));
+}

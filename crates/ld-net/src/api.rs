@@ -11,6 +11,7 @@
 //! | `/runs` | GET | list runs with state and queue depth |
 //! | `/runs/<id>` | GET | one run's status |
 //! | `/runs/<id>/result` | GET | final result (202 while still running) |
+//! | `/runs/<id>/dynamics` | GET | search-dynamics series (`?since=<gen>` for increments) |
 //!
 //! `/health` additionally grows a per-run section (via
 //! [`ApiHandler::health_runs`](ld_observe::ApiHandler::health_runs)).
@@ -108,6 +109,7 @@ pub struct MultiRunApi {
     server: Arc<EvalServer>,
     launcher: RunLauncher,
     board: RunBoard,
+    dynamics: Option<ld_observe::DynamicsBoard>,
 }
 
 impl MultiRunApi {
@@ -119,7 +121,16 @@ impl MultiRunApi {
             server,
             launcher,
             board,
+            dynamics: None,
         }
+    }
+
+    /// Attach a [`ld_observe::DynamicsBoard`] (the same clone that sits in
+    /// the observer fan-out as a sink) to serve `/runs/<id>/dynamics` and
+    /// enrich run statuses with a search phase.
+    pub fn with_dynamics(mut self, dynamics: ld_observe::DynamicsBoard) -> MultiRunApi {
+        self.dynamics = Some(dynamics);
+        self
     }
 
     /// The board the launcher reports completion through.
@@ -209,7 +220,14 @@ impl MultiRunApi {
             .server
             .run_queue_depth(run_id)
             .map_or(String::new(), |q| format!(",\"queued\":{q}"));
-        Some(format!("{{\"state\":\"{label}\"{queued}{extra}}}"))
+        let dynamics = self
+            .dynamics
+            .as_ref()
+            .and_then(|d| d.status_fragment(run_id))
+            .map_or(String::new(), |frag| format!(",\"dynamics\":{frag}"));
+        Some(format!(
+            "{{\"state\":\"{label}\"{queued}{extra}{dynamics}}}"
+        ))
     }
 
     fn list(&self) -> ApiResponse {
@@ -271,7 +289,7 @@ fn not_found(run_id: &str) -> ApiResponse {
 }
 
 impl ApiHandler for MultiRunApi {
-    fn handle(&self, method: &str, path: &str, body: &[u8]) -> Option<ApiResponse> {
+    fn handle(&self, method: &str, path: &str, query: &str, body: &[u8]) -> Option<ApiResponse> {
         match (method, path) {
             ("POST", "/runs") => Some(self.submit(body)),
             ("GET", "/runs") => Some(self.list()),
@@ -279,6 +297,11 @@ impl ApiHandler for MultiRunApi {
                 let rest = p.strip_prefix("/runs/")?;
                 if let Some(id) = rest.strip_suffix("/result") {
                     Some(self.result(id))
+                } else if let Some(id) = rest.strip_suffix("/dynamics") {
+                    match &self.dynamics {
+                        Some(board) => board.handle(method, path, query, body),
+                        None => Some(not_found(id)),
+                    }
                 } else if rest.contains('/') {
                     None
                 } else {
@@ -377,18 +400,23 @@ mod tests {
     fn submit_status_result_roundtrip() {
         let (_slave, _server, api) = api_fixture(8);
         let resp = api
-            .handle("POST", "/runs", br#"{"run_id":"r1","seed":4,"weight":2}"#)
+            .handle(
+                "POST",
+                "/runs",
+                "",
+                br#"{"run_id":"r1","seed":4,"weight":2}"#,
+            )
             .unwrap();
         assert_eq!(resp.status, 202, "{}", resp.body);
         // The fixture launcher is synchronous, so the result is final by
         // the time the submit response is in hand.
-        let resp = api.handle("GET", "/runs/r1/result", b"").unwrap();
+        let resp = api.handle("GET", "/runs/r1/result", "", b"").unwrap();
         assert_eq!(resp.status, 200, "{}", resp.body);
         assert!(resp.body.contains("best_fitness"), "{}", resp.body);
-        let listing = api.handle("GET", "/runs", b"").unwrap();
+        let listing = api.handle("GET", "/runs", "", b"").unwrap();
         assert_eq!(listing.status, 200);
         assert!(listing.body.contains("\"r1\""), "{}", listing.body);
-        let status = api.handle("GET", "/runs/r1", b"").unwrap();
+        let status = api.handle("GET", "/runs/r1", "", b"").unwrap();
         assert_eq!(status.status, 200);
         assert!(!api.health_runs().is_empty());
     }
@@ -396,15 +424,22 @@ mod tests {
     #[test]
     fn errors_are_mapped_to_http_statuses() {
         let (_slave, server, api) = api_fixture(1);
-        assert_eq!(api.handle("POST", "/runs", b"{").unwrap().status, 400);
+        assert_eq!(api.handle("POST", "/runs", "", b"{").unwrap().status, 400);
         assert_eq!(
-            api.handle("POST", "/runs", b"{\"seed\":1}").unwrap().status,
+            api.handle("POST", "/runs", "", b"{\"seed\":1}")
+                .unwrap()
+                .status,
             400,
             "missing run_id"
         );
-        assert_eq!(api.handle("GET", "/runs/ghost", b"").unwrap().status, 404);
         assert_eq!(
-            api.handle("GET", "/runs/ghost/result", b"").unwrap().status,
+            api.handle("GET", "/runs/ghost", "", b"").unwrap().status,
+            404
+        );
+        assert_eq!(
+            api.handle("GET", "/runs/ghost/result", "", b"")
+                .unwrap()
+                .status,
             404
         );
         // Fill the server's only run slot out-of-band, then submit: the
@@ -412,10 +447,105 @@ mod tests {
         let _held = server
             .submit_run(RunSpec::new("holder", 0xF00D, 51).with_payload(vec![1]))
             .unwrap();
-        let resp = api.handle("POST", "/runs", br#"{"run_id":"r2"}"#).unwrap();
+        let resp = api
+            .handle("POST", "/runs", "", br#"{"run_id":"r2"}"#)
+            .unwrap();
         assert_eq!(resp.status, 503, "{}", resp.body);
         // Unknown routes fall through to the built-ins.
-        assert!(api.handle("GET", "/metrics", b"").is_none());
-        assert!(api.handle("DELETE", "/runs", b"").is_none());
+        assert!(api.handle("GET", "/metrics", "", b"").is_none());
+        assert!(api.handle("DELETE", "/runs", "", b"").is_none());
+    }
+
+    #[test]
+    fn dynamics_route_serves_board_series() {
+        use ld_observe::{DynamicsBoard, DynamicsSnapshot, Envelope, Event, Sink};
+
+        let (_slave, _server, api) = api_fixture(8);
+        // Without a board the route is a 404, not a fall-through.
+        assert_eq!(
+            api.handle("GET", "/runs/r1/dynamics", "", b"")
+                .unwrap()
+                .status,
+            404
+        );
+
+        let board = DynamicsBoard::new();
+        let snap = DynamicsSnapshot {
+            population: 4,
+            unique_fraction: 1.0,
+            mean_pairwise_hamming: 2.0,
+            occupancy_entropy: 0.7,
+            snps_used: 5,
+            fixed_snps: 1,
+            fixation_spectrum: [4, 0, 0, 1],
+            fitness_q1: 1.0,
+            fitness_median: 2.0,
+            fitness_q3: 3.0,
+            best_fitness: 4.0,
+            fitness_gain: 0.5,
+            true_evals: 12,
+            cache_hits: 3,
+            evals_per_gain: 24.0,
+            immigrants: 0,
+            mutation_rates: vec![0.3, 0.3, 0.3],
+            mutation_profits: vec![0.1, 0.0, 0.0],
+            crossover_rates: vec![0.5, 0.5],
+            crossover_profits: vec![0.0, 0.0],
+        };
+        for generation in 1..=3u64 {
+            board.accept(&Envelope {
+                ts_ms: 1,
+                run_id: "r1".to_string(),
+                generation,
+                batch_id: 0,
+                event: Event::Dynamics(Box::new(snap.clone())),
+            });
+        }
+        // Rebuild the api with the board attached (api_fixture returns Arc).
+        let (_slave2, server2, _) = api_fixture(8);
+        let api = MultiRunApi::new(
+            server2,
+            Arc::new(|_req: &RunRequest| Ok(())),
+            RunBoard::new(),
+        )
+        .with_dynamics(board);
+
+        let resp = api.handle("GET", "/runs/r1/dynamics", "", b"").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(v.get("run_id").and_then(|x| x.as_str()), Some("r1"));
+        assert_eq!(v.get("latest_generation").and_then(|x| x.as_u64()), Some(3));
+        let snaps = v.get("snapshots").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(snaps.len(), 3);
+
+        // Incremental polling only returns generations after `since`.
+        let resp = api
+            .handle("GET", "/runs/r1/dynamics", "since=2", b"")
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        let snaps = v.get("snapshots").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].get("generation").and_then(|x| x.as_u64()), Some(3));
+
+        // Bad cursor and unknown run map onto 400/404.
+        assert_eq!(
+            api.handle("GET", "/runs/r1/dynamics", "since=banana", b"")
+                .unwrap()
+                .status,
+            400
+        );
+        assert_eq!(
+            api.handle("GET", "/runs/ghost/dynamics", "", b"")
+                .unwrap()
+                .status,
+            404
+        );
+
+        // The run status carries the board's phase fragment.
+        api.board().start("r1");
+        let status = api.handle("GET", "/runs/r1", "", b"").unwrap();
+        assert!(status.body.contains("\"dynamics\""), "{}", status.body);
+        assert!(status.body.contains("\"searching\""), "{}", status.body);
     }
 }

@@ -178,7 +178,7 @@ fn three_tenants_on_a_faulted_shared_fleet_match_their_solo_references() {
     // spans reconstruct a standalone attribution, and tenants never leak
     // into each other's run_id.
     let envelopes = ring.take();
-    for (run_id, _, _, _) in &tenants {
+    for ((run_id, _, _, _), shared_traj) in tenants.iter().zip(&shared) {
         let summary = TraceSummary::for_run(&envelopes, run_id);
         assert!(
             !summary.generations.is_empty(),
@@ -193,6 +193,29 @@ fn three_tenants_on_a_faulted_shared_fleet_match_their_solo_references() {
         std::fs::write(
             dir.join(format!("trace-summary-{run_id}-{scenario}.txt")),
             summary.render(),
+        )
+        .unwrap();
+        // The same stream splits into per-tenant dynamics traces: one
+        // snapshot per generation, nothing borrowed from the neighbours.
+        let dynamics = ld_observe::DynamicsTrace::for_run(&envelopes, run_id);
+        assert!(
+            !dynamics.is_empty(),
+            "{run_id}: no per-run dynamics in the shared stream"
+        );
+        assert_eq!(dynamics.run_id, *run_id);
+        assert_eq!(
+            dynamics.points.len(),
+            shared_traj.generations,
+            "{run_id}: expected one dynamics snapshot per generation"
+        );
+        std::fs::write(
+            dir.join(format!("dynamics-summary-{run_id}-{scenario}.json")),
+            dynamics.to_json(),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(format!("dynamics-summary-{run_id}-{scenario}.txt")),
+            dynamics.render(),
         )
         .unwrap();
     }

@@ -231,6 +231,40 @@ fn fault_events_carry_engine_spans_and_reconcile_with_the_run_report() {
         report_text.contains(&format!("\"fault_events\":{in_run_faults}")),
         "report's telemetry section must carry the reconciled fault count"
     );
+
+    // ---- Dynamics events reconcile with the history TSV rows,
+    // generation by generation, under every fault plan. ----
+    let dynamics_events: Vec<&Envelope> = events
+        .iter()
+        .filter(|e| matches!(e.event, Event::Dynamics(_)))
+        .collect();
+    assert_eq!(
+        dynamics_events.len(),
+        result.generations,
+        "one dynamics event per generation"
+    );
+    for e in &dynamics_events {
+        let Event::Dynamics(snap) = &e.event else {
+            unreachable!()
+        };
+        let row = &result.history[(e.generation - 1) as usize];
+        assert_eq!(row.generation as u64, e.generation);
+        let d = row.dynamics.as_ref().expect("observed row has dynamics");
+        assert_eq!(&**snap, d, "event and history row diverged");
+        assert_eq!(d.true_evals, row.sched.true_evals);
+        assert_eq!(d.cache_hits, row.sched.cache_hits);
+        assert_eq!(d.immigrants, row.immigrants);
+        assert_eq!(d.mutation_rates, row.mutation_rates);
+        assert_eq!(d.crossover_rates, row.crossover_rates);
+        assert_eq!(d.unique_fraction, 1.0, "§4.6 duplicate rejection");
+        assert!(d.fitness_q1 <= d.fitness_median && d.fitness_median <= d.fitness_q3);
+        assert!(d.fitness_q3 <= d.best_fitness);
+    }
+    // The telemetry fold carries the run-level dynamics summary into the
+    // report.
+    let fold = report.dynamics.as_ref().expect("observed run has a fold");
+    assert_eq!(fold.observed_generations, result.generations);
+    assert!(report_text.contains("\"observed_generations\""));
 }
 
 /// Minimal HTTP GET against the exposition endpoint (no client dep).
@@ -264,13 +298,22 @@ fn latency_attribution_sums_to_the_eval_share_under_faults() {
 
     let dir = artifact_dir();
     let events_path = dir.join(format!("events-latency-{scenario}.jsonl"));
-    let sink = Arc::new(JsonlSink::create(&events_path).unwrap());
-    let observer = Observer::new(format!("latency-{scenario}-42"), sink, Registry::new());
+    let jsonl = Arc::new(JsonlSink::create(&events_path).unwrap());
+    // The dynamics board rides the same fan-out as the JSONL file and
+    // serves the live `/runs/<id>/dynamics` route below.
+    let board = ld_observe::DynamicsBoard::new();
+    let sink = Arc::new(FanoutSink::new(vec![
+        jsonl as Arc<dyn Sink>,
+        Arc::new(board.clone()),
+    ]));
+    let run_id = format!("latency-{scenario}-42");
+    let observer = Observer::new(run_id.clone(), sink, Registry::new());
 
     // Live endpoint for the whole run: `LD_OBSERVE_HTTP` (CI) pins the
     // address so an external curl loop can scrape; otherwise ephemeral.
     let bind_addr = std::env::var("LD_OBSERVE_HTTP").unwrap_or_else(|_| "127.0.0.1:0".to_string());
-    let server = ExposeServer::bind(&bind_addr, observer.clone()).expect("bind scrape endpoint");
+    let server = ExposeServer::bind_with_api(&bind_addr, observer.clone(), Arc::new(board.clone()))
+        .expect("bind scrape endpoint");
 
     let pool = cluster.pool();
     pool.set_observer(observer.clone());
@@ -294,6 +337,29 @@ fn latency_attribution_sums_to_the_eval_share_under_faults() {
     assert!(metrics.contains("ld_net_slave_served_total"), "{metrics}");
     let spans = http_get(server.addr(), "/spans");
     assert!(spans.contains("\"spans\":["), "{spans}");
+    // The per-run dynamics route serves the full series, and `?since=`
+    // returns only the generations after the cursor — the increment a
+    // poller would fetch mid-run.
+    let dynamics = http_get(server.addr(), &format!("/runs/{run_id}/dynamics"));
+    assert!(dynamics.contains("200 OK"), "{dynamics}");
+    assert!(
+        dynamics.contains("\"mean_pairwise_hamming\"") && dynamics.contains("\"phase\""),
+        "{dynamics}"
+    );
+    let latest = board.latest_generation(&run_id).expect("board saw the run");
+    assert!(latest as usize == result.generations, "board is current");
+    let tail = http_get(
+        server.addr(),
+        &format!("/runs/{run_id}/dynamics?since={}", latest - 1),
+    );
+    assert!(tail.contains("200 OK"), "{tail}");
+    assert!(
+        tail.contains(&format!("\"generation\":{latest}"))
+            && !tail.contains(&format!("\"generation\":{}", latest - 1)),
+        "incremental poll must return exactly the post-cursor generations: {tail}"
+    );
+    let missing = http_get(server.addr(), "/runs/no-such-run/dynamics");
+    assert!(missing.contains("404"), "{missing}");
     // CI sets LD_OBSERVE_HTTP and curls from outside: linger briefly so
     // the scrape window outlives the (fast) GA run.
     if std::env::var("LD_OBSERVE_HTTP").is_ok() {
@@ -354,6 +420,20 @@ fn latency_attribution_sums_to_the_eval_share_under_faults() {
         summary.to_json(),
     )
     .unwrap();
+    // The dynamics companion, from the same JSONL stream the CI
+    // `dynamics-summary` step reads.
+    let trace = ld_observe::DynamicsTrace::for_run_jsonl(&text, &run_id);
+    assert!(!trace.is_empty(), "run must leave a dynamics trace");
+    std::fs::write(
+        dir.join(format!("dynamics-summary-{scenario}.txt")),
+        trace.render(),
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join(format!("dynamics-summary-{scenario}.json")),
+        trace.to_json(),
+    )
+    .unwrap();
 }
 
 /// Columns of the history TSV that measure wall time or fault-recovery
@@ -372,6 +452,27 @@ const TIMING_COLUMNS: &[&str] = &[
     "gen_wall_ms",
 ];
 
+/// The search-dynamics columns: populated only on observed runs (empty
+/// cells otherwise), so the on/off comparison must blank them. Their
+/// *values* are pinned deterministic elsewhere (`ld-core`'s
+/// `dynamics_run` suite and the reconciliation test above).
+const DYNAMICS_COLUMNS: &[&str] = &[
+    "dyn_hamming",
+    "dyn_unique",
+    "dyn_entropy",
+    "dyn_fixed",
+    "dyn_fit_q1",
+    "dyn_fit_median",
+    "dyn_fit_q3",
+    "dyn_gain",
+    "dyn_evals_per_gain",
+    "dyn_profit_mut_snp",
+    "dyn_profit_mut_reduction",
+    "dyn_profit_mut_augmentation",
+    "dyn_profit_cross_intra",
+    "dyn_profit_cross_inter",
+];
+
 /// Blank out the timing columns of a history TSV, keeping everything else.
 fn mask_timing_columns(tsv: &str) -> String {
     let mut lines = tsv.lines();
@@ -379,13 +480,13 @@ fn mask_timing_columns(tsv: &str) -> String {
     let masked: Vec<usize> = header
         .split('\t')
         .enumerate()
-        .filter(|(_, name)| TIMING_COLUMNS.contains(name))
+        .filter(|(_, name)| TIMING_COLUMNS.contains(name) || DYNAMICS_COLUMNS.contains(name))
         .map(|(i, _)| i)
         .collect();
     assert_eq!(
         masked.len(),
-        TIMING_COLUMNS.len(),
-        "history TSV header no longer carries all timing columns"
+        TIMING_COLUMNS.len() + DYNAMICS_COLUMNS.len(),
+        "history TSV header no longer carries all timing + dynamics columns"
     );
     let mut out = String::from(header);
     out.push('\n');

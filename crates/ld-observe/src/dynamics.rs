@@ -1,0 +1,1062 @@
+//! Search-dynamics observability: what the *algorithm* is doing.
+//!
+//! PR 3/5 made the system observable (events, metrics, latency spans);
+//! this module makes the search itself observable. The engine computes a
+//! [`DynamicsSnapshot`] per generation — population diversity, per-SNP
+//! fixation, fitness distribution, and the Hong–Wang–Chen operator
+//! economics — but only when an observer is attached; the disabled path
+//! costs nothing (no clock reads, no allocations — pinned by the
+//! alloc-count guard next to the observer's own).
+//!
+//! Layers on top of the snapshot:
+//!
+//! * [`ConvergenceDetector`] — a sliding-window stagnation/convergence
+//!   judge emitting typed [`crate::Event::Stagnation`] /
+//!   [`crate::Event::Converged`] verdicts;
+//! * [`DynamicsMetrics`] — pre-registered registry handles (one lock at
+//!   attach time, none per generation) exposing diversity and
+//!   per-operator rate/profit gauges over Prometheus;
+//! * [`DynamicsBoard`] — a [`crate::Sink`] folding the event stream into
+//!   per-run series served as `GET /runs/<id>/dynamics` (incremental
+//!   polling via `?since=<gen>`) by its [`crate::ApiHandler`] impl;
+//! * [`DynamicsTrace`] — the offline fold behind the `dynamics-summary`
+//!   bin: per-generation tables plus sparklines from a JSONL stream.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Envelope, Event};
+use crate::http::{ApiHandler, ApiResponse};
+use crate::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::observer::Observer;
+use crate::sink::Sink;
+
+/// Canonical mutation-operator names, index-aligned with the engine's
+/// rate vectors (SNP substitution, reduction, augmentation).
+pub const MUTATION_OPS: [&str; 3] = ["snp", "reduction", "augmentation"];
+
+/// Canonical crossover-operator names, index-aligned with the engine's
+/// rate vectors (intra-population, inter-population).
+pub const CROSSOVER_OPS: [&str; 2] = ["intra", "inter"];
+
+/// Histogram buckets for per-generation fitness gain (gains span orders
+/// of magnitude between early search and the convergence tail).
+pub const GAIN_BUCKETS: [f64; 8] = [0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0];
+
+/// One generation's search-dynamics measurements. All fields are finite
+/// by construction (undefined ratios are reported as `0.0`, never
+/// NaN/inf), so every snapshot survives a JSON round trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsSnapshot {
+    /// Individuals across all subpopulations.
+    pub population: usize,
+    /// Distinct SNP sets / population (§4.6 rejects duplicates within a
+    /// subpopulation, so anything below 1.0 means cross-size aliasing —
+    /// impossible today — or a replacement-rule regression).
+    pub unique_fraction: f64,
+    /// Mean pairwise Hamming distance over SNP sets (symmetric-difference
+    /// size, averaged over all unordered pairs; 0 for <2 individuals).
+    pub mean_pairwise_hamming: f64,
+    /// Normalized Shannon entropy of the SNP-occupancy distribution
+    /// (1 = usage spread evenly over used SNPs, → 0 = a few genocliques
+    /// own the population).
+    pub occupancy_entropy: f64,
+    /// SNPs present in at least one individual.
+    pub snps_used: usize,
+    /// SNPs present in ≥ 90% of individuals — the fixation count of
+    /// Burjorjee's genoclique picture.
+    pub fixed_snps: usize,
+    /// SNP counts by occupancy band: `(0, .25]`, `(.25, .5]`, `(.5, .75]`,
+    /// `(.75, 1]` of the population.
+    pub fixation_spectrum: [usize; 4],
+    /// Lower-quartile fitness across all individuals.
+    pub fitness_q1: f64,
+    /// Median fitness across all individuals.
+    pub fitness_median: f64,
+    /// Upper-quartile fitness across all individuals.
+    pub fitness_q3: f64,
+    /// Best fitness in the live population.
+    pub best_fitness: f64,
+    /// Sum of per-size champion improvements this generation (≥ 0).
+    pub fitness_gain: f64,
+    /// Evaluations that actually ran on a backend this generation.
+    pub true_evals: u64,
+    /// Unique requests served by the fitness cache this generation.
+    pub cache_hits: u64,
+    /// True evaluations spent per unit of fitness gained this generation
+    /// (`0.0` when nothing was gained — spend with no return shows up as
+    /// `true_evals` against a zero gain, not as a fake ratio).
+    pub evals_per_gain: f64,
+    /// Random immigrants introduced this generation.
+    pub immigrants: usize,
+    /// Mutation-operator rates after this generation's reallocation
+    /// (index-aligned with [`MUTATION_OPS`]).
+    pub mutation_rates: Vec<f64>,
+    /// Mutation-operator profits (mean positive normalized progress per
+    /// application) that drove the reallocation.
+    pub mutation_profits: Vec<f64>,
+    /// Crossover-operator rates after this generation's reallocation
+    /// (index-aligned with [`CROSSOVER_OPS`]).
+    pub crossover_rates: Vec<f64>,
+    /// Crossover-operator profits that drove the reallocation.
+    pub crossover_profits: Vec<f64>,
+}
+
+impl DynamicsSnapshot {
+    /// Interquartile range of the population fitness distribution.
+    pub fn fitness_iqr(&self) -> f64 {
+        self.fitness_q3 - self.fitness_q1
+    }
+}
+
+/// Thresholds for the sliding-window convergence/stagnation detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Generations ignored entirely before any verdict (initial
+    /// populations legitimately plateau while operators warm up).
+    pub warmup: usize,
+    /// Sliding-window length: a verdict needs `window + 1` observations,
+    /// and compares the newest best against the one `window` generations
+    /// earlier.
+    pub window: usize,
+    /// Relative best-fitness gain over the window at or below which the
+    /// run counts as stagnant.
+    pub min_relative_gain: f64,
+    /// Occupancy entropy below which a stagnant run is judged *converged*
+    /// (diversity collapsed) rather than merely stalled.
+    pub entropy_floor: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            warmup: 10,
+            window: 20,
+            min_relative_gain: 1e-9,
+            entropy_floor: 0.35,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Detector tuned to a run's §4.6 stagnation limit: the window is one
+    /// generation *longer* than the termination criterion, so a normally
+    /// driven run (which stops at `limit` stagnant generations) never
+    /// trips it — verdicts fire only on runs stepped past their own
+    /// criterion (island models, flat objectives, migration revivals).
+    pub fn for_stagnation_limit(limit: usize) -> Self {
+        DetectorConfig {
+            warmup: (limit / 2).max(3),
+            window: limit + 1,
+            ..DetectorConfig::default()
+        }
+    }
+}
+
+/// What the detector concluded about the current window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorVerdict {
+    /// Best fitness has not improved over the window, but diversity
+    /// remains — the search is stalled, not finished.
+    Stagnation {
+        /// Window length the verdict was computed over.
+        window: usize,
+        /// Best fitness at the verdict.
+        best: f64,
+    },
+    /// Best fitness has not improved over the window *and* occupancy
+    /// entropy collapsed below the floor — the population has fixed.
+    Converged {
+        /// Window length the verdict was computed over.
+        window: usize,
+        /// Best fitness at the verdict.
+        best: f64,
+        /// Occupancy entropy at the verdict.
+        occupancy_entropy: f64,
+    },
+}
+
+impl DetectorVerdict {
+    /// Build the typed event announcing this verdict.
+    pub fn to_event(&self) -> Event {
+        match *self {
+            DetectorVerdict::Stagnation { window, best } => Event::Stagnation { window, best },
+            DetectorVerdict::Converged {
+                window,
+                best,
+                occupancy_entropy,
+            } => Event::Converged {
+                window,
+                best,
+                occupancy_entropy,
+            },
+        }
+    }
+}
+
+/// Sliding-window stagnation/convergence judge. Feed it the best fitness
+/// (and current occupancy entropy) once per generation; it fires at most
+/// once per plateau and re-arms as soon as the run improves again.
+#[derive(Debug, Clone)]
+pub struct ConvergenceDetector {
+    cfg: DetectorConfig,
+    seen: usize,
+    ring: VecDeque<f64>,
+    fired: bool,
+}
+
+impl ConvergenceDetector {
+    /// A detector with the given thresholds.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        ConvergenceDetector {
+            cfg,
+            seen: 0,
+            ring: VecDeque::with_capacity(cfg.window + 2),
+            fired: false,
+        }
+    }
+
+    /// The thresholds this detector judges with.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Observe one generation. Returns a verdict when the window first
+    /// turns stagnant (never during warm-up, never before the window is
+    /// full, and never twice for the same plateau).
+    pub fn observe(&mut self, best: f64, occupancy_entropy: f64) -> Option<DetectorVerdict> {
+        self.seen += 1;
+        self.ring.push_back(best);
+        if self.ring.len() > self.cfg.window + 1 {
+            self.ring.pop_front();
+        }
+        if self.seen <= self.cfg.warmup || self.ring.len() < self.cfg.window + 1 {
+            return None;
+        }
+        let oldest = *self.ring.front().expect("window is full");
+        let newest = *self.ring.back().expect("window is full");
+        let relative_gain = (newest - oldest) / oldest.abs().max(1.0);
+        if relative_gain > self.cfg.min_relative_gain {
+            self.fired = false;
+            return None;
+        }
+        if self.fired {
+            return None;
+        }
+        self.fired = true;
+        Some(if occupancy_entropy < self.cfg.entropy_floor {
+            DetectorVerdict::Converged {
+                window: self.cfg.window,
+                best: newest,
+                occupancy_entropy,
+            }
+        } else {
+            DetectorVerdict::Stagnation {
+                window: self.cfg.window,
+                best: newest,
+            }
+        })
+    }
+}
+
+/// Pre-registered registry handles for the dynamics series. Mirrors the
+/// scheduler's `SchedMetrics` pattern: all registry locking happens once
+/// at attach time; the per-generation path only touches atomics.
+pub struct DynamicsMetrics {
+    hamming: Gauge,
+    unique: Gauge,
+    entropy: Gauge,
+    fixed: Gauge,
+    best: Gauge,
+    median: Gauge,
+    evals_per_gain: Gauge,
+    gain: Histogram,
+    mutation_rates: Vec<Gauge>,
+    mutation_profits: Vec<Gauge>,
+    crossover_rates: Vec<Gauge>,
+    crossover_profits: Vec<Gauge>,
+    stagnations: Counter,
+    convergences: Counter,
+}
+
+impl DynamicsMetrics {
+    /// Register the dynamics series on the observer's registry. `None`
+    /// when the observer is disabled or has no registry — the caller
+    /// stores the `Option` and the disabled path never registers (or
+    /// allocates) anything.
+    pub fn register(observer: &Observer) -> Option<Self> {
+        observer.registry().map(Self::register_on)
+    }
+
+    /// [`DynamicsMetrics::register`] against an explicit registry.
+    pub fn register_on(registry: &Registry) -> Self {
+        let op_gauges = |family: &str, ops: &[&str], what: &str, help: &str| -> Vec<Gauge> {
+            ops.iter()
+                .map(|op| registry.gauge_with(what, help, &[("family", family), ("op", op)]))
+                .collect()
+        };
+        let rate_help = "Adaptive per-operator application rate after reallocation.";
+        let profit_help =
+            "Per-operator profit (mean positive normalized progress per application) last generation.";
+        DynamicsMetrics {
+            hamming: registry.gauge(
+                "ld_ga_diversity_hamming",
+                "Mean pairwise Hamming distance over population SNP sets.",
+            ),
+            unique: registry.gauge(
+                "ld_ga_diversity_unique_fraction",
+                "Distinct individuals as a fraction of the population.",
+            ),
+            entropy: registry.gauge(
+                "ld_ga_occupancy_entropy",
+                "Normalized Shannon entropy of SNP occupancy.",
+            ),
+            fixed: registry.gauge(
+                "ld_ga_fixed_snps",
+                "SNPs present in at least 90% of individuals.",
+            ),
+            best: registry.gauge("ld_ga_best_fitness", "Best fitness in the live population."),
+            median: registry.gauge(
+                "ld_ga_fitness_median",
+                "Median fitness across the population.",
+            ),
+            evals_per_gain: registry.gauge(
+                "ld_ga_evals_per_gain",
+                "True evaluations per unit of fitness gained last generation.",
+            ),
+            gain: registry.histogram(
+                "ld_ga_fitness_gain",
+                "Per-generation champion fitness gain.",
+                &GAIN_BUCKETS,
+            ),
+            mutation_rates: op_gauges("mutation", &MUTATION_OPS, "ld_ga_operator_rate", rate_help),
+            mutation_profits: op_gauges(
+                "mutation",
+                &MUTATION_OPS,
+                "ld_ga_operator_profit",
+                profit_help,
+            ),
+            crossover_rates: op_gauges(
+                "crossover",
+                &CROSSOVER_OPS,
+                "ld_ga_operator_rate",
+                rate_help,
+            ),
+            crossover_profits: op_gauges(
+                "crossover",
+                &CROSSOVER_OPS,
+                "ld_ga_operator_profit",
+                profit_help,
+            ),
+            stagnations: registry.counter(
+                "ld_ga_stagnation_events_total",
+                "Sliding-window stagnation verdicts fired.",
+            ),
+            convergences: registry.counter(
+                "ld_ga_converged_events_total",
+                "Sliding-window convergence verdicts fired.",
+            ),
+        }
+    }
+
+    /// Publish one generation's snapshot to the gauges/histograms.
+    pub fn record(&self, snap: &DynamicsSnapshot) {
+        self.hamming.set(snap.mean_pairwise_hamming);
+        self.unique.set(snap.unique_fraction);
+        self.entropy.set(snap.occupancy_entropy);
+        self.fixed.set(snap.fixed_snps as f64);
+        self.best.set(snap.best_fitness);
+        self.median.set(snap.fitness_median);
+        self.evals_per_gain.set(snap.evals_per_gain);
+        self.gain.observe(snap.fitness_gain);
+        let publish = |gauges: &[Gauge], values: &[f64]| {
+            for (g, v) in gauges.iter().zip(values) {
+                g.set(*v);
+            }
+        };
+        publish(&self.mutation_rates, &snap.mutation_rates);
+        publish(&self.mutation_profits, &snap.mutation_profits);
+        publish(&self.crossover_rates, &snap.crossover_rates);
+        publish(&self.crossover_profits, &snap.crossover_profits);
+    }
+
+    /// Count one detector verdict.
+    pub fn record_verdict(&self, verdict: &DetectorVerdict) {
+        match verdict {
+            DetectorVerdict::Stagnation { .. } => self.stagnations.inc(),
+            DetectorVerdict::Converged { .. } => self.convergences.inc(),
+        }
+    }
+}
+
+/// A detector mark in a run's dynamics series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsMark {
+    /// Generation the verdict fired in.
+    pub generation: u64,
+    /// `"stagnation"` or `"converged"`.
+    pub kind: String,
+    /// Best fitness at the verdict.
+    pub best: f64,
+}
+
+#[derive(Default)]
+struct RunDynamics {
+    snapshots: Vec<(u64, DynamicsSnapshot)>,
+    marks: Vec<DynamicsMark>,
+}
+
+impl RunDynamics {
+    fn phase(&self) -> &'static str {
+        match self.marks.last().map(|m| m.kind.as_str()) {
+            Some("converged") => "converged",
+            Some(_) => "stagnated",
+            None => "searching",
+        }
+    }
+}
+
+/// Per-run dynamics series folded live from the event stream. Clone
+/// handles share state, so one board can be both a [`Sink`] in a fanout
+/// and the [`ApiHandler`] behind `GET /runs/<id>/dynamics`.
+#[derive(Clone, Default)]
+pub struct DynamicsBoard {
+    inner: Arc<Mutex<HashMap<String, RunDynamics>>>,
+}
+
+// Owned (non-generic) view: the vendored serde_derive stub cannot derive
+// on lifetime-parameterized types, and this is a cold path.
+#[derive(Serialize)]
+struct DynamicsView {
+    run_id: String,
+    phase: String,
+    latest_generation: u64,
+    since: u64,
+    snapshots: Vec<DynamicsPoint>,
+    events: Vec<DynamicsMark>,
+}
+
+impl DynamicsBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        DynamicsBoard::default()
+    }
+
+    /// Run ids the board has seen dynamics (or a run start) for.
+    pub fn runs(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .inner
+            .lock()
+            .expect("poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Latest generation with a snapshot for `run_id`.
+    pub fn latest_generation(&self, run_id: &str) -> Option<u64> {
+        self.inner
+            .lock()
+            .expect("poisoned")
+            .get(run_id)
+            .and_then(|r| r.snapshots.last().map(|(g, _)| *g))
+    }
+
+    /// A compact JSON fragment (`{"phase":...,"generation":...}`) for
+    /// splicing into a per-run status document; `None` for unknown runs.
+    pub fn status_fragment(&self, run_id: &str) -> Option<String> {
+        let map = self.inner.lock().expect("poisoned");
+        let run = map.get(run_id)?;
+        let generation = run.snapshots.last().map(|(g, _)| *g).unwrap_or(0);
+        Some(format!(
+            "{{\"phase\":{:?},\"generation\":{generation},\"snapshots\":{}}}",
+            run.phase(),
+            run.snapshots.len()
+        ))
+    }
+
+    /// Render the series for `run_id` as one JSON document, keeping only
+    /// generations strictly after `since` (0 = everything). `None` for
+    /// unknown runs.
+    pub fn render(&self, run_id: &str, since: u64) -> Option<String> {
+        let map = self.inner.lock().expect("poisoned");
+        let run = map.get(run_id)?;
+        let view = DynamicsView {
+            run_id: run_id.to_string(),
+            phase: run.phase().to_string(),
+            latest_generation: run.snapshots.last().map(|(g, _)| *g).unwrap_or(0),
+            since,
+            snapshots: run
+                .snapshots
+                .iter()
+                .filter(|(g, _)| *g > since)
+                .map(|(g, s)| DynamicsPoint {
+                    generation: *g,
+                    snapshot: s.clone(),
+                })
+                .collect(),
+            events: run
+                .marks
+                .iter()
+                .filter(|m| m.generation > since)
+                .cloned()
+                .collect(),
+        };
+        Some(serde_json::to_string(&view).unwrap_or_else(|_| "{}".to_string()))
+    }
+}
+
+impl Sink for DynamicsBoard {
+    fn accept(&self, envelope: &Envelope) {
+        let mut map = self.inner.lock().expect("poisoned");
+        match &envelope.event {
+            Event::RunStarted { .. } => {
+                map.entry(envelope.run_id.clone()).or_default();
+            }
+            Event::Dynamics(snapshot) => {
+                map.entry(envelope.run_id.clone())
+                    .or_default()
+                    .snapshots
+                    .push((envelope.generation, (**snapshot).clone()));
+            }
+            Event::Stagnation { best, .. } => {
+                map.entry(envelope.run_id.clone())
+                    .or_default()
+                    .marks
+                    .push(DynamicsMark {
+                        generation: envelope.generation,
+                        kind: "stagnation".to_string(),
+                        best: *best,
+                    });
+            }
+            Event::Converged { best, .. } => {
+                map.entry(envelope.run_id.clone())
+                    .or_default()
+                    .marks
+                    .push(DynamicsMark {
+                        generation: envelope.generation,
+                        kind: "converged".to_string(),
+                        best: *best,
+                    });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extract a query parameter's value from a raw query string
+/// (`"since=12&x=y"` → `query_param(q, "since") == Some("12")`).
+pub fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+impl ApiHandler for DynamicsBoard {
+    /// `GET /runs/<id>/dynamics[?since=<gen>]`; declines everything else.
+    fn handle(&self, method: &str, path: &str, query: &str, _body: &[u8]) -> Option<ApiResponse> {
+        if method != "GET" {
+            return None;
+        }
+        let run_id = path.strip_prefix("/runs/")?.strip_suffix("/dynamics")?;
+        let since = query_param(query, "since").and_then(|v| v.parse::<u64>().ok());
+        if query_param(query, "since").is_some() && since.is_none() {
+            return Some(ApiResponse::json_status(
+                400,
+                "{\"error\":\"since must be a generation number\"}".to_string(),
+            ));
+        }
+        Some(match self.render(run_id, since.unwrap_or(0)) {
+            Some(json) => ApiResponse::json(json),
+            None => ApiResponse::json_status(
+                404,
+                format!("{{\"error\":\"unknown run\",\"run_id\":{run_id:?}}}"),
+            ),
+        })
+    }
+}
+
+/// One generation's point in an offline dynamics fold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsPoint {
+    /// Generation number.
+    pub generation: u64,
+    /// The snapshot emitted in that generation.
+    pub snapshot: DynamicsSnapshot,
+}
+
+/// Offline fold of a run's dynamics stream — the `dynamics-summary`
+/// bin's engine, shaped like [`crate::TraceSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsTrace {
+    /// Run the fold covers (the first run seen, unless filtered).
+    pub run_id: String,
+    /// Per-generation snapshots, ascending by generation.
+    pub points: Vec<DynamicsPoint>,
+    /// Detector verdicts, ascending by generation.
+    pub marks: Vec<DynamicsMark>,
+}
+
+impl DynamicsTrace {
+    /// Fold the dynamics events of `run_id` out of a mixed stream.
+    pub fn for_run(envelopes: &[Envelope], run_id: &str) -> Self {
+        let mut points = Vec::new();
+        let mut marks = Vec::new();
+        for env in envelopes.iter().filter(|e| e.run_id == run_id) {
+            match &env.event {
+                Event::Dynamics(snapshot) => points.push(DynamicsPoint {
+                    generation: env.generation,
+                    snapshot: (**snapshot).clone(),
+                }),
+                Event::Stagnation { best, .. } => marks.push(DynamicsMark {
+                    generation: env.generation,
+                    kind: "stagnation".to_string(),
+                    best: *best,
+                }),
+                Event::Converged { best, .. } => marks.push(DynamicsMark {
+                    generation: env.generation,
+                    kind: "converged".to_string(),
+                    best: *best,
+                }),
+                _ => {}
+            }
+        }
+        points.sort_by_key(|p| p.generation);
+        marks.sort_by_key(|m| m.generation);
+        DynamicsTrace {
+            run_id: run_id.to_string(),
+            points,
+            marks,
+        }
+    }
+
+    /// Fold a single-run stream (the run id is taken from the first
+    /// envelope).
+    pub fn from_envelopes(envelopes: &[Envelope]) -> Self {
+        let run_id = envelopes
+            .first()
+            .map(|e| e.run_id.clone())
+            .unwrap_or_default();
+        Self::for_run(envelopes, &run_id)
+    }
+
+    /// [`DynamicsTrace::from_envelopes`] over JSONL text; unparseable
+    /// lines are skipped.
+    pub fn from_jsonl(text: &str) -> Self {
+        Self::from_envelopes(&parse_jsonl(text))
+    }
+
+    /// [`DynamicsTrace::for_run`] over JSONL text.
+    pub fn for_run_jsonl(text: &str, run_id: &str) -> Self {
+        Self::for_run(&parse_jsonl(text), run_id)
+    }
+
+    /// Whether the fold holds any snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The fold as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Render a per-generation table plus sparklines, à la
+    /// `trace-summary`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "run {}: {} generation(s) with dynamics, {} detector verdict(s)\n",
+            self.run_id,
+            self.points.len(),
+            self.marks.len()
+        );
+        if self.points.is_empty() {
+            out.push_str("(no Dynamics events in the stream)\n");
+            return out;
+        }
+        out.push_str(
+            "gen   unique hamming entropy fixed    best     gain evals/gain  top operator\n",
+        );
+        for p in &self.points {
+            let s = &p.snapshot;
+            out.push_str(&format!(
+                "{:<5} {:>6.3} {:>7.2} {:>7.3} {:>5} {:>7.3} {:>8.3} {:>10.1}  {}\n",
+                p.generation,
+                s.unique_fraction,
+                s.mean_pairwise_hamming,
+                s.occupancy_entropy,
+                s.fixed_snps,
+                s.best_fitness,
+                s.fitness_gain,
+                s.evals_per_gain,
+                top_operator(s),
+            ));
+        }
+        let series = |f: fn(&DynamicsSnapshot) -> f64| -> Vec<f64> {
+            self.points.iter().map(|p| f(&p.snapshot)).collect()
+        };
+        out.push_str(&format!(
+            "\nhamming  {}\nentropy  {}\nbest     {}\ngain     {}\n",
+            sparkline(&series(|s| s.mean_pairwise_hamming)),
+            sparkline(&series(|s| s.occupancy_entropy)),
+            sparkline(&series(|s| s.best_fitness)),
+            sparkline(&series(|s| s.fitness_gain)),
+        ));
+        for m in &self.marks {
+            out.push_str(&format!(
+                "gen {:<4} {} (best {:.3})\n",
+                m.generation, m.kind, m.best
+            ));
+        }
+        out
+    }
+}
+
+fn parse_jsonl(text: &str) -> Vec<Envelope> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<Envelope>(l).ok())
+        .collect()
+}
+
+/// The highest-rate operator across both families, with its rate.
+fn top_operator(s: &DynamicsSnapshot) -> String {
+    let named = |family: &[&str], rates: &[f64]| -> Option<(String, f64)> {
+        rates
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &r)| {
+                let name = family.get(i).copied().unwrap_or("?");
+                (name.to_string(), r)
+            })
+    };
+    let m = named(&MUTATION_OPS, &s.mutation_rates);
+    let c = named(&CROSSOVER_OPS, &s.crossover_rates);
+    match (m, c) {
+        (Some((mn, mr)), Some((cn, cr))) => {
+            if mr >= cr {
+                format!("{mn}({mr:.3})")
+            } else {
+                format!("{cn}({cr:.3})")
+            }
+        }
+        (Some((n, r)), None) | (None, Some((n, r))) => format!("{n}({r:.3})"),
+        (None, None) => "-".to_string(),
+    }
+}
+
+/// A Unicode block-character sparkline over `values` (min–max scaled;
+/// flat series render as a mid-height bar).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if !span.is_finite() || span <= 0.0 {
+                BARS[3]
+            } else {
+                let idx = (((v - min) / span) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(gen_best: f64, entropy: f64) -> DynamicsSnapshot {
+        DynamicsSnapshot {
+            population: 40,
+            unique_fraction: 1.0,
+            mean_pairwise_hamming: 3.0,
+            occupancy_entropy: entropy,
+            snps_used: 20,
+            fixed_snps: 1,
+            fixation_spectrum: [10, 6, 3, 1],
+            fitness_q1: gen_best - 2.0,
+            fitness_median: gen_best - 1.0,
+            fitness_q3: gen_best - 0.5,
+            best_fitness: gen_best,
+            fitness_gain: 0.5,
+            true_evals: 12,
+            cache_hits: 3,
+            evals_per_gain: 24.0,
+            immigrants: 0,
+            mutation_rates: vec![0.4, 0.3, 0.3],
+            mutation_profits: vec![0.1, 0.0, 0.05],
+            crossover_rates: vec![0.6, 0.4],
+            crossover_profits: vec![0.2, 0.1],
+        }
+    }
+
+    fn env(run: &str, generation: u64, event: Event) -> Envelope {
+        Envelope {
+            ts_ms: 1,
+            run_id: run.to_string(),
+            generation,
+            batch_id: 0,
+            event,
+        }
+    }
+
+    #[test]
+    fn detector_never_fires_before_warmup_or_a_full_window() {
+        let mut d = ConvergenceDetector::new(DetectorConfig {
+            warmup: 6,
+            window: 2,
+            min_relative_gain: 1e-9,
+            entropy_floor: 0.0,
+        });
+        // Flat series: the window is full at observation 3, but warm-up
+        // holds any verdict until observation 7.
+        for obs in 1..=6 {
+            assert!(d.observe(5.0, 0.9).is_none(), "fired at observation {obs}");
+        }
+        let verdict = d.observe(5.0, 0.9);
+        assert!(
+            matches!(verdict, Some(DetectorVerdict::Stagnation { window: 2, .. })),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn detector_fires_once_per_plateau_and_rearms_on_improvement() {
+        let mut d = ConvergenceDetector::new(DetectorConfig {
+            warmup: 0,
+            window: 3,
+            min_relative_gain: 1e-9,
+            entropy_floor: 0.0,
+        });
+        let mut verdicts = 0;
+        for _ in 0..10 {
+            if d.observe(1.0, 0.9).is_some() {
+                verdicts += 1;
+            }
+        }
+        assert_eq!(verdicts, 1, "one verdict per plateau");
+        // An improvement re-arms; window must flatten again to re-fire.
+        assert!(d.observe(2.0, 0.9).is_none());
+        for _ in 0..2 {
+            assert!(d.observe(2.0, 0.9).is_none(), "window still sees the gain");
+        }
+        for _ in 0..2 {
+            if let Some(v) = d.observe(2.0, 0.9) {
+                assert!(matches!(v, DetectorVerdict::Stagnation { .. }));
+                verdicts += 1;
+            }
+        }
+        assert_eq!(verdicts, 2, "re-fired after the gain left the window");
+    }
+
+    #[test]
+    fn detector_judges_converged_below_the_entropy_floor() {
+        let mut d = ConvergenceDetector::new(DetectorConfig {
+            warmup: 0,
+            window: 1,
+            min_relative_gain: 1e-9,
+            entropy_floor: 0.5,
+        });
+        assert!(d.observe(3.0, 0.1).is_none(), "window not full yet");
+        let v = d.observe(3.0, 0.1);
+        assert!(
+            matches!(v, Some(DetectorVerdict::Converged { occupancy_entropy, .. }) if occupancy_entropy == 0.1),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn detector_stays_silent_on_a_steadily_improving_series() {
+        let mut d = ConvergenceDetector::new(DetectorConfig {
+            warmup: 0,
+            window: 3,
+            min_relative_gain: 1e-9,
+            entropy_floor: 0.0,
+        });
+        for g in 0..50 {
+            assert!(d.observe(g as f64, 0.9).is_none(), "fired at {g}");
+        }
+    }
+
+    #[test]
+    fn board_folds_serves_and_filters_since() {
+        let board = DynamicsBoard::new();
+        board.accept(&env(
+            "r1",
+            0,
+            Event::RunStarted {
+                seed: 1,
+                n_snps: 20,
+            },
+        ));
+        for g in 1..=3u64 {
+            board.accept(&env(
+                "r1",
+                g,
+                Event::Dynamics(Box::new(snap(10.0 + g as f64, 0.8))),
+            ));
+        }
+        board.accept(&env(
+            "r1",
+            3,
+            Event::Stagnation {
+                window: 5,
+                best: 13.0,
+            },
+        ));
+        assert_eq!(board.latest_generation("r1"), Some(3));
+        assert_eq!(board.runs(), vec!["r1".to_string()]);
+
+        let full = board.render("r1", 0).unwrap();
+        assert!(full.contains("\"latest_generation\":3"), "{full}");
+        assert!(full.contains("\"phase\":\"stagnated\""), "{full}");
+        assert_eq!(full.matches("\"snapshot\":").count(), 3, "{full}");
+
+        let tail = board.render("r1", 2).unwrap();
+        assert_eq!(tail.matches("\"snapshot\":").count(), 1, "{tail}");
+        assert!(tail.contains("\"since\":2"), "{tail}");
+        assert!(tail.contains("\"kind\":\"stagnation\""), "{tail}");
+
+        assert!(board.render("nope", 0).is_none());
+        let frag = board.status_fragment("r1").unwrap();
+        assert!(frag.contains("\"phase\":\"stagnated\""), "{frag}");
+        assert!(frag.contains("\"generation\":3"), "{frag}");
+    }
+
+    #[test]
+    fn board_api_handler_routes_dynamics_only() {
+        let board = DynamicsBoard::new();
+        board.accept(&env("r9", 1, Event::Dynamics(Box::new(snap(1.0, 0.9)))));
+        let ok = board.handle("GET", "/runs/r9/dynamics", "", &[]).unwrap();
+        assert_eq!(ok.status, 200);
+        assert!(ok.body.contains("\"run_id\":\"r9\""), "{}", ok.body);
+        let tail = board
+            .handle("GET", "/runs/r9/dynamics", "since=1", &[])
+            .unwrap();
+        assert_eq!(tail.status, 200);
+        assert_eq!(tail.body.matches("\"snapshot\":").count(), 0);
+        let bad = board
+            .handle("GET", "/runs/r9/dynamics", "since=banana", &[])
+            .unwrap();
+        assert_eq!(bad.status, 400);
+        let missing = board.handle("GET", "/runs/zz/dynamics", "", &[]).unwrap();
+        assert_eq!(missing.status, 404);
+        assert!(board.handle("GET", "/runs/r9/status", "", &[]).is_none());
+        assert!(board.handle("POST", "/runs/r9/dynamics", "", &[]).is_none());
+        assert!(board.handle("GET", "/metrics", "", &[]).is_none());
+    }
+
+    #[test]
+    fn trace_folds_renders_and_roundtrips() {
+        let mut envs = vec![env(
+            "run-a",
+            0,
+            Event::RunStarted {
+                seed: 7,
+                n_snps: 30,
+            },
+        )];
+        for g in 1..=4u64 {
+            envs.push(env(
+                "run-a",
+                g,
+                Event::Dynamics(Box::new(snap(g as f64, 0.9 - 0.1 * g as f64))),
+            ));
+        }
+        envs.push(env(
+            "run-a",
+            4,
+            Event::Converged {
+                window: 3,
+                best: 4.0,
+                occupancy_entropy: 0.2,
+            },
+        ));
+        // A second run's events must not leak into run-a's fold.
+        envs.push(env("run-b", 1, Event::Dynamics(Box::new(snap(99.0, 0.5)))));
+
+        let trace = DynamicsTrace::from_envelopes(&envs);
+        assert_eq!(trace.run_id, "run-a");
+        assert_eq!(trace.points.len(), 4);
+        assert_eq!(trace.marks.len(), 1);
+
+        let rendered = trace.render();
+        assert!(rendered.contains("4 generation(s)"), "{rendered}");
+        assert!(rendered.contains("converged"), "{rendered}");
+        assert!(rendered.contains("hamming"), "{rendered}");
+
+        let jsonl: String = envs
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let reparsed = DynamicsTrace::for_run_jsonl(&jsonl, "run-b");
+        assert_eq!(reparsed.points.len(), 1);
+        assert_eq!(reparsed.points[0].snapshot.best_fitness, 99.0);
+
+        let back: DynamicsTrace = serde_json::from_str(&trace.to_json()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_flat_series() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▄▄▄");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'), "{s}");
+    }
+
+    #[test]
+    fn metrics_register_and_record_without_panicking() {
+        let registry = Registry::new();
+        let m = DynamicsMetrics::register_on(&registry);
+        m.record(&snap(5.0, 0.7));
+        m.record_verdict(&DetectorVerdict::Stagnation {
+            window: 5,
+            best: 5.0,
+        });
+        m.record_verdict(&DetectorVerdict::Converged {
+            window: 5,
+            best: 5.0,
+            occupancy_entropy: 0.1,
+        });
+        let text = registry.prometheus();
+        assert!(text.contains("ld_ga_diversity_hamming 3.0"), "{text}");
+        assert!(
+            text.contains("ld_ga_operator_rate{family=\"mutation\",op=\"snp\"} 0.4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ld_ga_operator_profit{family=\"crossover\",op=\"intra\"} 0.2"),
+            "{text}"
+        );
+        assert!(text.contains("ld_ga_stagnation_events_total 1"), "{text}");
+        assert!(text.contains("ld_ga_converged_events_total 1"), "{text}");
+        assert!(
+            DynamicsMetrics::register(&Observer::disabled()).is_none(),
+            "disabled observers must not register dynamics series"
+        );
+    }
+
+    #[test]
+    fn query_param_parses_pairs() {
+        assert_eq!(query_param("since=12&x=y", "since"), Some("12"));
+        assert_eq!(query_param("x=y", "since"), None);
+        assert_eq!(query_param("", "since"), None);
+        assert_eq!(query_param("since=", "since"), Some(""));
+    }
+}

@@ -53,12 +53,43 @@ pub enum Event {
         /// Engine-side wall clock of the whole generation, milliseconds.
         wall_ms: f64,
     },
-    /// Adaptive operator rates after this generation's reallocation.
+    /// Adaptive operator rates after this generation's reallocation,
+    /// stamped with the profit vectors that triggered it.
     RatesAdapted {
         /// Mutation-operator rates (SNP, reduction, augmentation).
         mutation: Vec<f64>,
         /// Crossover-operator rates (intra, inter).
         crossover: Vec<f64>,
+        /// Mutation-operator profits (mean positive normalized progress
+        /// per application) the reallocation was computed from. Empty in
+        /// streams written before profits were stamped.
+        #[serde(default)]
+        mutation_profits: Vec<f64>,
+        /// Crossover-operator profits the reallocation was computed from.
+        #[serde(default)]
+        crossover_profits: Vec<f64>,
+    },
+    /// A per-generation search-dynamics snapshot (diversity, fixation,
+    /// fitness distribution, operator economics). Boxed: the payload is
+    /// an order of magnitude larger than any other variant.
+    Dynamics(Box<crate::dynamics::DynamicsSnapshot>),
+    /// The sliding-window detector judged the run stagnant: best fitness
+    /// flat over the window while diversity remains.
+    Stagnation {
+        /// Window length (generations) the verdict was computed over.
+        window: usize,
+        /// Best fitness at the verdict.
+        best: f64,
+    },
+    /// The sliding-window detector judged the run converged: best fitness
+    /// flat over the window *and* occupancy entropy collapsed.
+    Converged {
+        /// Window length (generations) the verdict was computed over.
+        window: usize,
+        /// Best fitness at the verdict.
+        best: f64,
+        /// Occupancy entropy at the verdict.
+        occupancy_entropy: f64,
     },
     /// A random-immigrant episode fired.
     ImmigrantEpisode {
@@ -211,6 +242,9 @@ impl Event {
             Event::GenerationStarted => "generation_started",
             Event::GenerationFinished { .. } => "generation_finished",
             Event::RatesAdapted { .. } => "rates_adapted",
+            Event::Dynamics(_) => "dynamics",
+            Event::Stagnation { .. } => "stagnation",
+            Event::Converged { .. } => "converged",
             Event::ImmigrantEpisode { .. } => "immigrant_episode",
             Event::BatchDispatched { .. } => "batch_dispatched",
             Event::BatchCompleted { .. } => "batch_completed",
@@ -277,6 +311,43 @@ mod tests {
         assert!(Event::FallbackActivated { residue: 3 }.is_fault_event());
         assert!(!Event::GenerationStarted.is_fault_event());
         assert_eq!(Event::GenerationStarted.kind(), "generation_started");
+    }
+
+    #[test]
+    fn dynamics_events_are_not_fault_events_and_rates_carry_profits() {
+        // The detector verdicts and snapshots describe the search, not
+        // the evaluation layer; the SchedStats reconciliation must not
+        // count them.
+        let stagnation = Event::Stagnation {
+            window: 9,
+            best: 4.5,
+        };
+        let converged = Event::Converged {
+            window: 9,
+            best: 4.5,
+            occupancy_entropy: 0.2,
+        };
+        assert!(!stagnation.is_fault_event());
+        assert!(!converged.is_fault_event());
+        assert_eq!(stagnation.kind(), "stagnation");
+        assert_eq!(converged.kind(), "converged");
+
+        // A PR-3-era RatesAdapted (no profit fields) still parses: the
+        // profit vectors default to empty, absent-not-zero.
+        let legacy: Event =
+            serde_json::from_str("{\"RatesAdapted\":{\"mutation\":[0.5],\"crossover\":[0.5]}}")
+                .unwrap();
+        match legacy {
+            Event::RatesAdapted {
+                mutation_profits,
+                crossover_profits,
+                ..
+            } => {
+                assert!(mutation_profits.is_empty());
+                assert!(crossover_profits.is_empty());
+            }
+            other => panic!("parsed as {:?}", other.kind()),
+        }
     }
 
     #[test]

@@ -65,9 +65,12 @@ impl ApiResponse {
 /// Extension seam for layers above the observer: extra HTTP routes plus
 /// per-run health sections, mounted via [`ExposeServer::bind_with_api`].
 pub trait ApiHandler: Send + Sync {
-    /// Handle `method path` with `body` (empty for GETs). Return `None`
-    /// to decline the route (it then falls through to the built-ins).
-    fn handle(&self, method: &str, path: &str, body: &[u8]) -> Option<ApiResponse>;
+    /// Handle `method path` with `body` (empty for GETs). `query` is the
+    /// raw query string without the leading `?` (empty when absent) —
+    /// handlers that poll incrementally (`GET /runs/<id>/dynamics?since=N`)
+    /// parse it with [`crate::dynamics::query_param`]. Return `None` to
+    /// decline the route (it then falls through to the built-ins).
+    fn handle(&self, method: &str, path: &str, query: &str, body: &[u8]) -> Option<ApiResponse>;
 
     /// Per-run status sections merged into `/health` as
     /// `"runs": { "<run_id>": <fragment>, ... }`. Each fragment must be a
@@ -190,8 +193,13 @@ fn serve_one(
     let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
     let mut parts = head.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path).to_string();
+    let target = parts.next().unwrap_or("");
+    // Split the query off but keep it: API handlers see it (incremental
+    // polling), built-in routes ignore it.
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     // Read the body when the client declared one (POST submissions).
     let content_length: usize = head
@@ -212,7 +220,7 @@ fn serve_one(
     }
 
     // API routes first (they may accept POST); built-ins after.
-    let api_response = api.and_then(|a| a.handle(&method, &path, &body));
+    let api_response = api.and_then(|a| a.handle(&method, &path, &query, &body));
     let (status, content_type, body) = match api_response {
         Some(r) => (status_line(r.status), r.content_type, r.body),
         None if method != "GET" => (
@@ -395,7 +403,13 @@ mod tests {
     /// Echo handler: accepts POST /echo, reports one fake run section.
     struct EchoApi;
     impl ApiHandler for EchoApi {
-        fn handle(&self, method: &str, path: &str, body: &[u8]) -> Option<ApiResponse> {
+        fn handle(
+            &self,
+            method: &str,
+            path: &str,
+            query: &str,
+            body: &[u8],
+        ) -> Option<ApiResponse> {
             match (method, path) {
                 ("POST", "/echo") => Some(ApiResponse::json_status(
                     201,
@@ -404,7 +418,7 @@ mod tests {
                         String::from_utf8_lossy(body).into_owned()
                     ),
                 )),
-                ("GET", "/echo") => Some(ApiResponse::json("{\"echo\":null}".into())),
+                ("GET", "/echo") => Some(ApiResponse::json(format!("{{\"query\":{query:?}}}"))),
                 _ => None,
             }
         }
@@ -423,8 +437,16 @@ mod tests {
         let (head, body) = post(server.addr(), "/echo", "{\"k\":1}");
         assert!(head.starts_with("HTTP/1.1 201"), "{head}");
         assert!(body.contains("{\\\"k\\\":1}"), "{body}");
-        // GET on an api route works too.
-        let (head, _) = get(server.addr(), "/echo");
+        // GET on an api route works too, and the query string reaches
+        // the handler (incremental polling depends on this).
+        let (head, body) = get(server.addr(), "/echo");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"query\":\"\""), "{body}");
+        let (head, body) = get(server.addr(), "/echo?since=4&full=1");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"query\":\"since=4&full=1\""), "{body}");
+        // Built-ins still match when a query string is present.
+        let (head, _) = get(server.addr(), "/health?verbose=1");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         // Non-GET on a route the handler declines is still a 405.
         let (head, _) = post(server.addr(), "/metrics", "");

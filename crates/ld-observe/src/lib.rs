@@ -32,10 +32,16 @@
 //!   run's JSONL span stream (the `trace-summary` bin's engine).
 //! * [`SizeTimingBank`] — the shared per-size evaluation timing fold
 //!   behind `ld-parallel`'s `TimingEvaluator`.
+//! * [`dynamics`] — search-dynamics observability: per-generation
+//!   [`DynamicsSnapshot`]s (diversity, fixation, operator economics),
+//!   the sliding-window [`ConvergenceDetector`], the live per-run
+//!   [`DynamicsBoard`] behind `GET /runs/<id>/dynamics`, and the
+//!   [`DynamicsTrace`] fold behind the `dynamics-summary` bin.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamics;
 pub mod event;
 pub mod http;
 pub mod metrics;
@@ -46,6 +52,10 @@ pub mod span;
 pub mod timing;
 pub mod trace;
 
+pub use dynamics::{
+    ConvergenceDetector, DetectorConfig, DetectorVerdict, DynamicsBoard, DynamicsMark,
+    DynamicsMetrics, DynamicsPoint, DynamicsSnapshot, DynamicsTrace,
+};
 pub use event::{Envelope, Event, Phase};
 pub use http::{ApiHandler, ApiResponse, ExposeServer};
 pub use metrics::{

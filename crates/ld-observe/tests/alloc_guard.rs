@@ -76,6 +76,14 @@ fn disabled_observer_fast_path_performs_zero_allocations() {
         obs.emit_with(|| Event::SlaveRetired {
             slave: "never-built".to_string(),
         });
+        // The search-dynamics layer rides the same primitives: a disabled
+        // observer must refuse metric registration without allocating, and
+        // the snapshot-building closure must never run.
+        assert!(ld_observe::DynamicsMetrics::register(&obs).is_none());
+        obs.emit_with(|| Event::Stagnation {
+            window: 21,
+            best: 1.0,
+        });
         obs.set_generation(1);
         let _ = obs.begin_batch();
         obs.end_batch();

@@ -39,6 +39,35 @@ fn golden_registry() -> Registry {
     h.observe(0.7);
     h.observe(42.0);
     h.observe(5000.0);
+    // The search-dynamics series, fed one deterministic snapshot and one
+    // detector verdict so every family carries a value.
+    let dynamics = ld_observe::DynamicsMetrics::register_on(&reg);
+    dynamics.record(&ld_observe::DynamicsSnapshot {
+        population: 120,
+        unique_fraction: 1.0,
+        mean_pairwise_hamming: 3.25,
+        occupancy_entropy: 0.75,
+        snps_used: 18,
+        fixed_snps: 2,
+        fixation_spectrum: [12, 3, 1, 2],
+        fitness_q1: 10.0,
+        fitness_median: 12.5,
+        fitness_q3: 14.0,
+        best_fitness: 16.0,
+        fitness_gain: 0.5,
+        true_evals: 64,
+        cache_hits: 16,
+        evals_per_gain: 128.0,
+        immigrants: 0,
+        mutation_rates: vec![0.5, 0.25, 0.15],
+        mutation_profits: vec![0.02, 0.0, 0.01],
+        crossover_rates: vec![0.4, 0.3],
+        crossover_profits: vec![0.05, 0.0],
+    });
+    dynamics.record_verdict(&ld_observe::DetectorVerdict::Stagnation {
+        window: 21,
+        best: 16.0,
+    });
     reg
 }
 

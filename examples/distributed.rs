@@ -227,7 +227,7 @@ fn run_multi_tenant(runs: usize, n_slaves: usize, observe_addr: Option<String>) 
             1 + r % 3
         );
         let resp = api
-            .handle("POST", "/runs", body.as_bytes())
+            .handle("POST", "/runs", "", body.as_bytes())
             .expect("route exists");
         println!("  POST /runs {body} -> {} {}", resp.status, resp.body);
         assert_eq!(resp.status, 202, "admission failed: {}", resp.body);
@@ -237,7 +237,7 @@ fn run_multi_tenant(runs: usize, n_slaves: usize, observe_addr: Option<String>) 
     for r in 0..runs {
         let path = format!("/runs/run-{r}/result");
         loop {
-            let resp = api.handle("GET", &path, b"").expect("route exists");
+            let resp = api.handle("GET", &path, "", b"").expect("route exists");
             if resp.status == 200 {
                 println!("  GET {path} -> {}", resp.body);
                 break;

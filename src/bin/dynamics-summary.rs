@@ -1,0 +1,90 @@
+//! `dynamics-summary` — search-dynamics trajectory from a run's JSONL
+//! event stream.
+//!
+//! Reads the `Dynamics` (and `Stagnation`/`Converged`) events an
+//! observed run wrote (see `ld-observe`'s `JsonlSink`) and prints the
+//! per-generation diversity, fixation, fitness-distribution, and
+//! operator-economics series as a table with sparklines — the "is this
+//! run still searching?" companion to `trace-summary`'s "where did the
+//! time go?".
+//!
+//! ```text
+//! dynamics-summary <events.jsonl> [--run <id>] [--json <out.json>]
+//! ```
+//!
+//! Without `--run`, events from every run in the file are folded into
+//! one trace (fine for single-tenant streams). With `--json`, the full
+//! series is also exported as pretty-printed JSON (what the CI fault
+//! matrix uploads as artifact).
+
+use ld_observe::DynamicsTrace;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dynamics-summary <events.jsonl> [--run <id>] [--json <out.json>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut events_path: Option<&str> = None;
+    let mut run_id: Option<&str> = None;
+    let mut json_out: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--run" => {
+                let Some(id) = args.get(i + 1) else {
+                    return usage();
+                };
+                run_id = Some(id);
+                i += 2;
+            }
+            "--json" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                json_out = Some(path);
+                i += 2;
+            }
+            "-h" | "--help" => return usage(),
+            path if events_path.is_none() => {
+                events_path = Some(path);
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(events_path) = events_path else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(events_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dynamics-summary: reading {events_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match run_id {
+        Some(id) => DynamicsTrace::for_run_jsonl(&text, id),
+        None => DynamicsTrace::from_jsonl(&text),
+    };
+    if trace.is_empty() {
+        eprintln!(
+            "dynamics-summary: no dynamics events in {events_path}{}",
+            run_id.map_or(String::new(), |id| format!(" for run {id}"))
+        );
+        return ExitCode::FAILURE;
+    }
+    print!("{}", trace.render());
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(path, trace.to_json()) {
+            eprintln!("dynamics-summary: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
