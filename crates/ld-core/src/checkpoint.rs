@@ -7,19 +7,41 @@
 //! state — so a restored run continues **bit-identically** to the
 //! uninterrupted one. The struct is `serde`-serializable; pick any format
 //! (the `hga` CLI uses JSON).
+//!
+//! Bit-identity is stricter than "same RNG": per-generation history rows
+//! record cache hit / true-eval splits, so the restored run must also see
+//! the *same cache warmth* the interrupted run would have had. Version-2
+//! checkpoints therefore capture the scheduler cache (exact generational
+//! structure, [`CacheSnapshot`]), the lifetime scheduler counters
+//! ([`SchedStats`]), and — on observed runs — the convergence detector's
+//! sliding window ([`DetectorState`]), so verdicts fire on the same
+//! generation they would have without the interruption. All of these are
+//! `#[serde(default)]`: version-1 checkpoint files still load, they just
+//! resume with a cold cache and fresh counters.
 
 use crate::adaptive::AdaptiveRates;
 use crate::config::GaConfig;
-use crate::engine::{FeasibilityFilter, GaRun, GenerationStats};
+use crate::engine::{FeasibilityFilter, GaRun, GenerationStats, StoreAttachment};
 use crate::evaluator::Evaluator;
 use crate::individual::Haplotype;
 use crate::population::MultiPopulation;
+use crate::sched::SchedStats;
+use crate::store::CacheSnapshot;
+use ld_observe::dynamics::DetectorState;
+use ld_observe::{Event, Observer};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+
+/// Newest checkpoint format this build writes (and the highest it reads).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Complete serializable state of a [`GaRun`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Checkpoint {
+    /// Format version. Missing in version-1 files (deserializes as 0);
+    /// restore accepts anything up to [`CHECKPOINT_VERSION`].
+    #[serde(default)]
+    pub version: u32,
     /// Configuration of the run.
     pub config: GaConfig,
     /// Original seed (provenance only; the live state is in `rng`).
@@ -46,13 +68,33 @@ pub struct Checkpoint {
     pub crossover_rates: Vec<f64>,
     /// Per-generation telemetry so far.
     pub history: Vec<GenerationStats>,
+    /// Lifetime scheduler counters at capture time, carried forward on
+    /// restore so `sched_stats()` totals survive the interruption.
+    /// Defaults to zeros for version-1 files.
+    #[serde(default)]
+    pub sched_totals: SchedStats,
+    /// Exact contents and generational structure of the scheduler's hot
+    /// fitness cache. `None` when the run had no cache attached (or the
+    /// file predates version 2); restoring `None` resumes cold.
+    #[serde(default)]
+    pub cache: Option<CacheSnapshot>,
+    /// Convergence-detector sliding window (observed runs only). `None`
+    /// on unobserved runs and version-1 files.
+    #[serde(default)]
+    pub dynamics: Option<DetectorState>,
 }
 
 impl<'e, E: Evaluator> GaRun<'e, E> {
     /// Capture the run state. Valid between generations (i.e. any time
     /// [`GaRun::step`] is not executing — which is always, from safe code).
+    ///
+    /// Also flushes the run's on-disk fitness store (if one is attached),
+    /// so the durable tier is at least as fresh as the checkpoint file the
+    /// caller is about to write.
     pub fn checkpoint(&self) -> Checkpoint {
+        self.service.flush_store();
         Checkpoint {
+            version: CHECKPOINT_VERSION,
             config: self.cfg().clone(),
             seed: self.seed(),
             rng: self.rng_state().clone(),
@@ -70,6 +112,9 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
             mutation_rates: self.mutation_rates().rates().to_vec(),
             crossover_rates: self.crossover_rates().rates().to_vec(),
             history: self.history().to_vec(),
+            sched_totals: self.sched_stats().clone(),
+            cache: self.service.cache_snapshot(),
+            dynamics: self.detector_state(),
         }
     }
 
@@ -81,6 +126,40 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
         checkpoint: Checkpoint,
         feasibility: Option<FeasibilityFilter>,
     ) -> Result<Self, String> {
+        Self::restore_observed(evaluator, checkpoint, feasibility, Observer::disabled())
+    }
+
+    /// [`GaRun::restore`] with an [`Observer`] attached from the first
+    /// post-resume batch. Emits [`Event::RunResumed`] and re-attaches the
+    /// dynamics layer from the checkpointed detector state, so convergence
+    /// verdicts fire on the same generation as the uninterrupted run.
+    pub fn restore_observed(
+        evaluator: &'e E,
+        checkpoint: Checkpoint,
+        feasibility: Option<FeasibilityFilter>,
+        observer: Observer,
+    ) -> Result<Self, String> {
+        Self::restore_full(evaluator, checkpoint, feasibility, observer, None)
+    }
+
+    /// [`GaRun::restore_observed`] with an optional shared
+    /// [`crate::FitnessStore`] attachment replacing the run-private
+    /// `sched_cache` tier (see [`crate::GaEngine::with_store`]). The
+    /// checkpointed hot-cache contents are loaded into whichever tier ends
+    /// up attached.
+    pub fn restore_full(
+        evaluator: &'e E,
+        checkpoint: Checkpoint,
+        feasibility: Option<FeasibilityFilter>,
+        observer: Observer,
+        store: Option<StoreAttachment>,
+    ) -> Result<Self, String> {
+        if checkpoint.version > CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} is newer than this build understands ({})",
+                checkpoint.version, CHECKPOINT_VERSION
+            ));
+        }
         let cfg = &checkpoint.config;
         cfg.validate(evaluator.n_snps())?;
         let n_sizes = cfg.max_size - cfg.min_size + 1;
@@ -140,7 +219,8 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
             .restore_rates(&checkpoint.crossover_rates)
             .map_err(|e| format!("crossover rates: {e}"))?;
 
-        Ok(GaRun::from_parts(
+        let generation = checkpoint.generation;
+        let mut run = GaRun::from_parts(
             evaluator,
             checkpoint.config,
             checkpoint.rng,
@@ -155,8 +235,25 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
             checkpoint.stagnation,
             checkpoint.ri_counter,
             checkpoint.history,
-            checkpoint.generation,
-        ))
+            generation,
+            observer,
+            checkpoint.dynamics,
+            store,
+        );
+        // Rehydrate the scheduler: lifetime counters continue from the
+        // captured totals, and the hot cache comes back with its exact
+        // generational structure so per-generation hit counts replay
+        // identically (a no-op when the restored run has no cache tier).
+        run.service.restore_totals(checkpoint.sched_totals);
+        if let Some(snapshot) = &checkpoint.cache {
+            run.service.restore_cache_snapshot(snapshot);
+        }
+        let obs = run.service.observer();
+        obs.set_generation(generation as u64);
+        obs.emit_with(|| Event::RunResumed {
+            generation: generation as u64,
+        });
+        Ok(run)
     }
 }
 
@@ -229,6 +326,159 @@ mod tests {
         );
         assert_eq!(a.evaluations, b.evaluations);
         assert_eq!(a.mutation_rates, b.mutation_rates);
+    }
+
+    /// The PR-9 property: with a scheduler cache AND an observer attached,
+    /// resume still replays bit-identically — per-generation cache-hit /
+    /// true-eval splits and dynamics snapshots included — because the
+    /// checkpoint captures the cache's exact generational structure and
+    /// the detector's sliding window.
+    #[test]
+    fn resume_with_cache_and_observer_is_bit_identical() {
+        use ld_observe::{Registry, RingSink};
+        use std::sync::Arc;
+
+        let eval = toy();
+        let cached_cfg = GaConfig {
+            sched_cache: 64,
+            ..cfg()
+        };
+        let observer = |sink: &Arc<RingSink>| {
+            Observer::new(
+                "cp-test",
+                sink.clone() as Arc<dyn ld_observe::Sink>,
+                Registry::new(),
+            )
+        };
+
+        let ref_sink = Arc::new(RingSink::new(4096));
+        let mut reference = GaRun::new_observed(
+            &eval,
+            cached_cfg.clone(),
+            11,
+            None,
+            None,
+            observer(&ref_sink),
+        )
+        .unwrap();
+        loop {
+            match reference.step() {
+                StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+                _ => {}
+            }
+        }
+        let ref_totals = reference.sched_stats().clone();
+        let reference = reference.finish();
+
+        let first_sink = Arc::new(RingSink::new(4096));
+        let mut first = GaRun::new_observed(
+            &eval,
+            cached_cfg.clone(),
+            11,
+            None,
+            None,
+            observer(&first_sink),
+        )
+        .unwrap();
+        for _ in 0..7 {
+            let _ = first.step();
+        }
+        let cp = first.checkpoint();
+        assert_eq!(cp.version, CHECKPOINT_VERSION);
+        assert!(cp.cache.as_ref().is_some_and(|c| !c.is_empty()));
+        assert!(cp.dynamics.is_some());
+        drop(first);
+
+        let res_sink = Arc::new(RingSink::new(4096));
+        let mut resumed = GaRun::restore_observed(&eval, cp, None, observer(&res_sink)).unwrap();
+        loop {
+            match resumed.step() {
+                StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
+                _ => {}
+            }
+        }
+        let res_totals = resumed.sched_stats().clone();
+        let resumed = resumed.finish();
+
+        assert_eq!(resumed.generations, reference.generations);
+        assert_eq!(resumed.total_evaluations, reference.total_evaluations);
+        // Lifetime scheduler counters carried across the interruption.
+        assert_eq!(res_totals.cache_hits, ref_totals.cache_hits);
+        assert_eq!(res_totals.true_evals, ref_totals.true_evals);
+        assert_eq!(res_totals.cache_misses, ref_totals.cache_misses);
+        // Every post-resume history row agrees on the warmth-sensitive
+        // split and the dynamics snapshot (no wall-clock inside either).
+        for (a, b) in resumed.history.iter().zip(reference.history.iter()) {
+            assert_eq!(a.evaluations, b.evaluations, "gen {}", a.generation);
+            assert_eq!(
+                a.sched.cache_hits, b.sched.cache_hits,
+                "gen {}",
+                a.generation
+            );
+            assert_eq!(
+                a.sched.true_evals, b.sched.true_evals,
+                "gen {}",
+                a.generation
+            );
+            assert_eq!(a.dynamics, b.dynamics, "gen {}", a.generation);
+        }
+        // The resumed run announced itself and re-entered at the right
+        // generation.
+        assert!(res_sink
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::RunResumed { generation: 7 })));
+        // Detector verdicts fire on the same generations as the
+        // uninterrupted run — the sliding window was restored, not reset.
+        let verdicts = |evs: &[ld_observe::Envelope]| -> Vec<(u64, &'static str)> {
+            evs.iter()
+                .filter_map(|e| match &e.event {
+                    Event::Stagnation { .. } => Some((e.generation, "stagnation")),
+                    Event::Converged { .. } => Some((e.generation, "converged")),
+                    _ => None,
+                })
+                .filter(|(g, _)| *g > 7)
+                .collect()
+        };
+        assert_eq!(verdicts(&res_sink.events()), verdicts(&ref_sink.events()));
+    }
+
+    /// Version-1 checkpoint JSON (no version / sched_totals / cache /
+    /// dynamics fields) still restores — cold cache, fresh counters.
+    #[test]
+    fn legacy_v1_checkpoint_json_still_loads() {
+        let eval = toy();
+        let mut run = GaRun::new(&eval, cfg(), 5, None).unwrap();
+        for _ in 0..3 {
+            let _ = run.step();
+        }
+        let mut json: serde_json::Value = serde_json::to_value(&run.checkpoint()).unwrap();
+        let dropped = ["version", "sched_totals", "cache", "dynamics"];
+        match &mut json {
+            serde_json::Value::Object(pairs) => {
+                let before = pairs.len();
+                pairs.retain(|(k, _)| !dropped.contains(&k.as_str()));
+                assert_eq!(before - pairs.len(), dropped.len(), "v2 fields missing");
+            }
+            _ => panic!("checkpoint did not serialize as an object"),
+        }
+        let legacy: Checkpoint = serde_json::from_value(json).unwrap();
+        assert_eq!(legacy.version, 0);
+        assert!(legacy.cache.is_none());
+        let mut restored = GaRun::restore(&eval, legacy, None).unwrap();
+        let _ = restored.step();
+        assert_eq!(restored.generation(), 4);
+    }
+
+    #[test]
+    fn restore_rejects_future_versions() {
+        let eval = toy();
+        let mut run = GaRun::new(&eval, cfg(), 5, None).unwrap();
+        let _ = run.step();
+        let mut cp = run.checkpoint();
+        cp.version = CHECKPOINT_VERSION + 1;
+        let err = GaRun::restore(&eval, cp, None).err().expect("must reject");
+        assert!(err.contains("newer"), "err: {err}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use ld_observe::dynamics::{ConvergenceDetector, DetectorConfig, DynamicsMetrics};
+use ld_observe::dynamics::{ConvergenceDetector, DetectorConfig, DetectorState, DynamicsMetrics};
 use ld_observe::{DynamicsSnapshot, Event, Observer};
 
 use crate::evaluator::Evaluator;
@@ -42,6 +42,25 @@ impl DynamicsLayer {
             )),
             metrics: DynamicsMetrics::register(observer),
         })
+    }
+
+    /// Re-attach the layer on checkpoint resume, restoring the detector's
+    /// exact sliding-window state so verdicts fire on the same generation
+    /// they would have in the uninterrupted run. Falls back to `None` for
+    /// disabled observers, mirroring [`DynamicsLayer::attach`].
+    pub(crate) fn attach_with_state(observer: &Observer, state: DetectorState) -> Option<Self> {
+        if !observer.enabled() {
+            return None;
+        }
+        Some(DynamicsLayer {
+            detector: ConvergenceDetector::from_state(state),
+            metrics: DynamicsMetrics::register(observer),
+        })
+    }
+
+    /// Export the detector's sliding-window state for checkpointing.
+    pub(crate) fn detector_state(&self) -> DetectorState {
+        self.detector.state()
     }
 }
 
@@ -103,18 +122,24 @@ fn measure_population(pop: &MultiPopulation, snap: &mut DynamicsSnapshot) {
         snap.mean_pairwise_hamming = total as f64 / pairs;
     }
 
-    // SNP occupancy: usage entropy plus the fixation spectrum.
+    // SNP occupancy: usage entropy plus the fixation spectrum. The fold
+    // runs over counts *sorted by SNP id*: float addition is not
+    // associative, so hash-order summation would make the last ulp of the
+    // entropy differ between two otherwise identical runs — and the
+    // checkpoint/resume bit-identity tests compare these snapshots.
     let mut counts: HashMap<ld_data::SnpId, usize> = HashMap::new();
     for h in &individuals {
         for &s in h.snps() {
             *counts.entry(s).or_insert(0) += 1;
         }
     }
+    let mut counts: Vec<(ld_data::SnpId, usize)> = counts.into_iter().collect();
+    counts.sort_unstable();
     snap.snps_used = counts.len();
-    let memberships: usize = counts.values().sum();
+    let memberships: usize = counts.iter().map(|&(_, c)| c).sum();
     if counts.len() > 1 && memberships > 0 {
         let mut entropy = 0.0;
-        for &c in counts.values() {
+        for &(_, c) in &counts {
             let p = c as f64 / memberships as f64;
             entropy -= p * p.ln();
         }
@@ -122,7 +147,7 @@ fn measure_population(pop: &MultiPopulation, snap: &mut DynamicsSnapshot) {
     } else if counts.len() == 1 {
         snap.occupancy_entropy = 0.0;
     }
-    for &c in counts.values() {
+    for &(_, c) in &counts {
         let occupancy = c as f64 / n as f64;
         if occupancy >= 0.9 {
             snap.fixed_snps += 1;

@@ -47,6 +47,9 @@ use crate::individual::Haplotype;
 use crate::population::MultiPopulation;
 use crate::rng::random_haplotype;
 use crate::sched::{EvalBackend, EvalBackendError, EvalService, EvaluatorBackend, SchedStats};
+use crate::store::FitnessStore;
+use ld_data::DatasetFingerprint;
+use ld_observe::dynamics::DetectorState;
 use ld_observe::{Event, Observer};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -168,21 +171,32 @@ pub struct GaRun<'e, E: Evaluator> {
     pub(crate) dynamics: Option<dynamics::DynamicsLayer>,
 }
 
+/// A shared tiered fitness store plus the dataset fingerprint naming this
+/// run's evaluations inside it — the pair [`GaEngine::with_store`] and the
+/// checkpoint-resume paths thread down to the scheduler.
+pub type StoreAttachment = (Arc<FitnessStore>, DatasetFingerprint);
+
 /// Build the run's scheduler: sequential dispatch to the borrowed
-/// evaluator, the configured cache, the caller's feasibility filter, and an
-/// optional fallback backend for when the primary evaluator fails.
+/// evaluator, the configured cache (or a caller-supplied tiered store),
+/// the caller's feasibility filter, and an optional fallback backend for
+/// when the primary evaluator fails.
 fn build_service<'e, E: Evaluator>(
     evaluator: &'e E,
     cfg: &GaConfig,
     feasibility: Option<FeasibilityFilter>,
     fallback: Option<Arc<dyn EvalBackend>>,
+    store: Option<StoreAttachment>,
 ) -> EvalService<EvaluatorBackend<'e, E>> {
     let mut service =
         EvalService::new(EvaluatorBackend::new(evaluator)).with_feasibility(feasibility);
     if let Some(fb) = fallback {
         service = service.with_fallback(fb);
     }
-    if cfg.sched_cache > 0 {
+    if let Some((store, fp)) = store {
+        // An explicit store attachment wins over `sched_cache`: the store
+        // carries its own hot-tier capacity and (optionally) a disk tier.
+        service = service.with_store(store, fp);
+    } else if cfg.sched_cache > 0 {
         service = service.with_cache(cfg.sched_cache);
     }
     service
@@ -233,6 +247,32 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
         fallback: Option<Arc<dyn EvalBackend>>,
         observer: Observer,
     ) -> Result<Self, String> {
+        Self::new_full(
+            evaluator,
+            config,
+            seed,
+            feasibility,
+            fallback,
+            observer,
+            None,
+        )
+    }
+
+    /// [`GaRun::new_observed`] with an optional shared [`FitnessStore`]
+    /// attachment. When present, the store replaces the run-private
+    /// `sched_cache` tier: evaluations are memoized under the given
+    /// dataset fingerprint, surviving across runs (and, with a disk tier,
+    /// across processes).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_full(
+        evaluator: &'e E,
+        config: GaConfig,
+        seed: u64,
+        feasibility: Option<FeasibilityFilter>,
+        fallback: Option<Arc<dyn EvalBackend>>,
+        observer: Observer,
+        store: Option<StoreAttachment>,
+    ) -> Result<Self, String> {
         config.validate(evaluator.n_snps())?;
         let n_snps = evaluator.n_snps();
         let n_sizes = config.max_size - config.min_size + 1;
@@ -244,7 +284,7 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
             config.population_size,
         );
         let mut service =
-            build_service(evaluator, &config, feasibility, fallback).with_observer(observer);
+            build_service(evaluator, &config, feasibility, fallback, store).with_observer(observer);
         service.observer().set_generation(0);
         service
             .observer()
@@ -331,6 +371,12 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
     /// Rebuild a run from previously captured parts (checkpoint restore;
     /// see [`crate::checkpoint`]). Crate-visible so the checkpoint module
     /// owns the validation logic.
+    ///
+    /// When `observer` is enabled the dynamics layer is re-attached: from
+    /// `detector` when the checkpoint captured the sliding-window state
+    /// (verdicts then fire on the same generation as the uninterrupted
+    /// run), or fresh for legacy checkpoints — either way the invariant
+    /// "layer present ⟺ observer enabled" holds.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         evaluator: &'e E,
@@ -348,11 +394,16 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
         ri_counter: usize,
         history: Vec<GenerationStats>,
         generation: usize,
+        observer: Observer,
+        detector: Option<DetectorState>,
+        store: Option<StoreAttachment>,
     ) -> Self {
-        let service = build_service(evaluator, &cfg, feasibility, None);
-        // Restored runs come up unobserved (the service has no observer),
-        // so no dynamics layer either — attach-at-construction keeps the
-        // invariant "layer present ⟺ observer enabled".
+        let service =
+            build_service(evaluator, &cfg, feasibility, None, store).with_observer(observer);
+        let dynamics = match detector {
+            Some(state) => dynamics::DynamicsLayer::attach_with_state(service.observer(), state),
+            None => dynamics::DynamicsLayer::attach(service.observer(), cfg.stagnation_limit),
+        };
         GaRun {
             service,
             cfg,
@@ -368,8 +419,15 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
             ri_counter,
             history,
             generation,
-            dynamics: None,
+            dynamics,
         }
+    }
+
+    /// The detector's sliding-window state, when a dynamics layer is
+    /// attached (observed runs only) — captured into checkpoints so resume
+    /// does not shift convergence verdicts.
+    pub(crate) fn detector_state(&self) -> Option<DetectorState> {
+        self.dynamics.as_ref().map(|d| d.detector_state())
     }
 
     /// The live multi-population (read-only).
@@ -428,8 +486,10 @@ impl<'e, E: Evaluator> GaRun<'e, E> {
         self.total_evals
     }
 
-    /// Lifetime scheduler counters (including initialization batches;
-    /// reset on checkpoint restore — observability, not run state).
+    /// Lifetime scheduler counters (including initialization batches).
+    /// Checkpoints capture them ([`crate::Checkpoint::sched_totals`]) and
+    /// restore carries them forward, so a resumed run reports the same
+    /// lifetime totals as the uninterrupted one.
     pub fn sched_stats(&self) -> &SchedStats {
         self.service.stats()
     }
@@ -515,6 +575,7 @@ pub struct GaEngine<'e, E: Evaluator> {
     feasibility: Option<FeasibilityFilter>,
     fallback: Option<Arc<dyn EvalBackend>>,
     observer: Observer,
+    store: Option<StoreAttachment>,
 }
 
 impl<'e, E: Evaluator> GaEngine<'e, E> {
@@ -528,6 +589,7 @@ impl<'e, E: Evaluator> GaEngine<'e, E> {
             feasibility: None,
             fallback: None,
             observer: Observer::disabled(),
+            store: None,
         })
     }
 
@@ -557,15 +619,26 @@ impl<'e, E: Evaluator> GaEngine<'e, E> {
         self
     }
 
+    /// Memoize evaluations in a shared tiered [`FitnessStore`] under the
+    /// dataset's content fingerprint, instead of the run-private
+    /// [`GaConfig::sched_cache`] tier. The same store can back many runs
+    /// (and, when opened with a directory, many processes): a second run
+    /// over the same dataset starts warm.
+    pub fn with_store(mut self, store: Arc<FitnessStore>, fingerprint: DatasetFingerprint) -> Self {
+        self.store = Some((store, fingerprint));
+        self
+    }
+
     /// Start a steppable run (island-model building block).
     pub fn start(&self) -> Result<GaRun<'e, E>, String> {
-        GaRun::new_observed(
+        GaRun::new_full(
             self.evaluator,
             self.config.clone(),
             self.seed,
             self.feasibility.clone(),
             self.fallback.clone(),
             self.observer.clone(),
+            self.store.clone(),
         )
     }
 

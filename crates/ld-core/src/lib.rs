@@ -47,12 +47,13 @@ pub mod population;
 pub mod rng;
 pub mod sched;
 pub mod selection;
+pub mod store;
 pub mod subpop;
 pub mod telemetry;
 
 pub use checkpoint::Checkpoint;
 pub use config::{GaConfig, Scheme};
-pub use engine::{GaEngine, GaRun, RunResult, StepOutcome};
+pub use engine::{GaEngine, GaRun, RunResult, StepOutcome, StoreAttachment};
 pub use evaluator::{CachingEvaluator, CountingEvaluator, Evaluator, StatsEvaluator};
 // Re-exported so scratch-aware backends (ld-parallel workers, ld-net slave
 // loops) can hold per-worker workspaces without depending on ld-stats.
@@ -66,4 +67,8 @@ pub use sched::{
     SchedStats, ShardedCache, WeightedFairQueue,
 };
 pub use selection::SelectionStrategy;
+pub use store::{
+    CacheEntry, CacheShardSnapshot, CacheSnapshot, FitnessStore, InsertOutcome, SnpSetKey,
+    StoreHit, StoreRecovery, StoredFitness,
+};
 pub use subpop::SubPopulation;

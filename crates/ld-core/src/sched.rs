@@ -24,7 +24,9 @@
 //! unique unevaluated SNP sets after coalescing, **before** the cache probe.
 //! The engine sums these into `RunResult::total_evaluations`, so the metric
 //! is a pure function of the GA trajectory and is unaffected by cache
-//! warmth (which checkpoint/resume does not preserve). The number of
+//! warmth (the count is the same whether a probe hits or misses; v2
+//! checkpoints snapshot the hot tier so warmth itself also survives
+//! resume). The number of
 //! evaluations that actually reached the backend is
 //! [`SchedStats::true_evals`]; with the cache disabled (the default) the two
 //! are equal.
@@ -43,7 +45,8 @@
 
 use crate::evaluator::Evaluator;
 use crate::individual::Haplotype;
-use ld_data::SnpId;
+use crate::store::{CacheSnapshot, FitnessStore};
+use ld_data::{DatasetFingerprint, SnpId};
 use ld_observe::span::names as span_names;
 use ld_observe::{Counter, Event, Histogram, Observer, LATENCY_MS_BUCKETS};
 use parking_lot::RwLock;
@@ -410,14 +413,28 @@ pub(crate) fn default_shard_count() -> usize {
         .clamp(1, 64)
 }
 
+/// One shard's exported `(young, old)` generations, as entry lists
+/// (see [`ShardedCache::export_generations`]).
+pub(crate) type ShardGenerations<V> = (Vec<(Vec<SnpId>, V)>, Vec<(Vec<SnpId>, V)>);
+
 /// One shard: two hash-map generations for O(1) amortized eviction.
-#[derive(Debug, Default)]
-struct Shard {
-    young: HashMap<Vec<SnpId>, f64>,
-    old: HashMap<Vec<SnpId>, f64>,
+#[derive(Debug)]
+struct Shard<V> {
+    young: HashMap<Vec<SnpId>, V>,
+    old: HashMap<Vec<SnpId>, V>,
 }
 
-/// A bounded, sharded fitness memo table.
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            young: HashMap::new(),
+            old: HashMap::new(),
+        }
+    }
+}
+
+/// A bounded, sharded fitness memo table — the *hot tier* of the
+/// [`crate::store::FitnessStore`].
 ///
 /// Keys are sorted SNP sets; shard choice is an FNV fold over the ids.
 /// Boundedness uses a two-generation scheme: inserts land in the *young*
@@ -425,15 +442,19 @@ struct Shard {
 /// young becomes old. Hits in the old generation are promoted. Eviction is
 /// therefore O(1) amortized with no per-entry bookkeeping, at the cost of a
 /// resident size that can transiently reach ~2× the configured capacity.
+///
+/// The value type is generic (default `f64`, the historical shape) so the
+/// tiered store can annotate entries with provenance without a parallel
+/// table that would desynchronize on eviction.
 #[derive(Debug)]
-pub struct ShardedCache {
-    shards: Vec<RwLock<Shard>>,
+pub struct ShardedCache<V = f64> {
+    shards: Vec<RwLock<Shard<V>>>,
     /// Young-generation budget per shard; `usize::MAX` when unbounded.
     per_shard: usize,
     capacity: usize,
 }
 
-impl ShardedCache {
+impl<V: Clone> ShardedCache<V> {
     /// An unbounded cache (the historical [`crate::CachingEvaluator`]
     /// behaviour).
     pub fn unbounded() -> Self {
@@ -442,7 +463,14 @@ impl ShardedCache {
 
     /// A cache holding roughly `capacity` SNP sets (0 = unbounded).
     pub fn with_capacity(capacity: usize) -> Self {
-        let n = default_shard_count();
+        Self::with_shards(capacity, default_shard_count())
+    }
+
+    /// A cache with an explicit shard count. Checkpoint restore uses this
+    /// so a snapshot taken on one machine rebuilds with the same shard
+    /// geometry (and therefore the same eviction trajectory) on another.
+    pub(crate) fn with_shards(capacity: usize, n: usize) -> Self {
+        let n = n.max(1);
         ShardedCache {
             shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
             per_shard: if capacity == 0 {
@@ -464,7 +492,7 @@ impl ShardedCache {
         self.shards.len()
     }
 
-    fn shard(&self, snps: &[SnpId]) -> &RwLock<Shard> {
+    fn shard(&self, snps: &[SnpId]) -> &RwLock<Shard<V>> {
         // Cheap FNV-style fold over the SNP ids.
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for &s in snps {
@@ -474,12 +502,12 @@ impl ShardedCache {
     }
 
     /// Look up a SNP set, promoting old-generation hits.
-    pub fn probe(&self, snps: &[SnpId]) -> Option<f64> {
+    pub fn probe(&self, snps: &[SnpId]) -> Option<V> {
         let shard = self.shard(snps);
         {
             let s = shard.read();
-            if let Some(&f) = s.young.get(snps) {
-                return Some(f);
+            if let Some(f) = s.young.get(snps) {
+                return Some(f.clone());
             }
             if !s.old.contains_key(snps) {
                 return None;
@@ -489,22 +517,27 @@ impl ShardedCache {
         // entry may have been evicted between the locks).
         let mut s = shard.write();
         let f = s.old.remove(snps)?;
-        Self::insert_into(&mut s, self.per_shard, snps.to_vec(), f);
+        Self::insert_into(&mut s, self.per_shard, snps.to_vec(), f.clone());
         Some(f)
     }
 
-    /// Memoize a SNP set's fitness.
-    pub fn insert(&self, snps: Vec<SnpId>, fitness: f64) {
+    /// Memoize a SNP set's fitness. Returns how many resident entries the
+    /// insert evicted (an entire old generation is dropped when the young
+    /// generation fills its budget; 0 otherwise).
+    pub fn insert(&self, snps: Vec<SnpId>, fitness: V) -> u64 {
         let mut s = self.shard(&snps).write();
-        Self::insert_into(&mut s, self.per_shard, snps, fitness);
+        Self::insert_into(&mut s, self.per_shard, snps, fitness)
     }
 
-    fn insert_into(s: &mut Shard, per_shard: usize, snps: Vec<SnpId>, fitness: f64) {
+    fn insert_into(s: &mut Shard<V>, per_shard: usize, snps: Vec<SnpId>, fitness: V) -> u64 {
+        let mut evicted = 0u64;
         if s.young.len() >= per_shard {
+            evicted = s.old.len() as u64;
             s.old = std::mem::take(&mut s.young);
         }
         s.old.remove(&snps);
         s.young.insert(snps, fitness);
+        evicted
     }
 
     /// Entries currently resident (both generations).
@@ -530,6 +563,40 @@ impl ShardedCache {
             s.young.clear();
             s.old.clear();
         }
+    }
+
+    /// Export the exact generational contents, one `(young, old)` pair
+    /// per shard. Checkpoints capture this verbatim: restoring young/old
+    /// membership (not just the entry set) is what makes the resumed
+    /// run's eviction and promotion trajectory — and therefore its
+    /// per-generation hit counts — identical to the uninterrupted run's.
+    pub(crate) fn export_generations(&self) -> Vec<ShardGenerations<V>> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let s = shard.read();
+                (
+                    s.young
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                    s.old.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Load one shard's generations verbatim (inverse of
+    /// [`ShardedCache::export_generations`]; `idx` must be in range).
+    pub(crate) fn load_shard(
+        &self,
+        idx: usize,
+        young: Vec<(Vec<SnpId>, V)>,
+        old: Vec<(Vec<SnpId>, V)>,
+    ) {
+        let mut s = self.shards[idx].write();
+        s.young = young.into_iter().collect();
+        s.old = old.into_iter().collect();
     }
 }
 
@@ -574,6 +641,17 @@ pub struct SchedStats {
     /// the primary backend failed.
     #[serde(default)]
     pub fallback_batches: u64,
+    /// Scheduled evaluations the fitness store could *not* serve (they
+    /// went to the backend). Only counted when a store is attached, so
+    /// `cache_hits + cache_misses == scheduled()` exactly then.
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// Hot-tier entries evicted by the store's two-generation scheme.
+    #[serde(default)]
+    pub cache_evictions: u64,
+    /// Freshly computed results appended to the store's disk tier.
+    #[serde(default)]
+    pub cache_persists: u64,
 }
 
 impl SchedStats {
@@ -632,6 +710,9 @@ impl SchedStats {
         self.rejoins += other.rejoins;
         self.requeued += other.requeued;
         self.fallback_batches += other.fallback_batches;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_persists += other.cache_persists;
     }
 }
 
@@ -644,6 +725,10 @@ struct SchedMetrics {
     true_evals: Counter,
     fault_events: Counter,
     dispatch_ms: Histogram,
+    store_hits: Counter,
+    store_misses: Counter,
+    store_evictions: Counter,
+    store_persists: Counter,
 }
 
 impl SchedMetrics {
@@ -675,8 +760,31 @@ impl SchedMetrics {
                 "Wall-clock time of one backend dispatch, milliseconds.",
                 LATENCY_MS_BUCKETS,
             ),
+            store_hits: reg.counter(
+                "ld_cache_hits_total",
+                "Scheduled evaluations served by the tiered fitness store.",
+            ),
+            store_misses: reg.counter(
+                "ld_cache_misses_total",
+                "Scheduled evaluations the fitness store could not serve.",
+            ),
+            store_evictions: reg.counter(
+                "ld_cache_evictions_total",
+                "Hot-tier entries evicted by the store's generation scheme.",
+            ),
+            store_persists: reg.counter(
+                "ld_cache_persists_total",
+                "Fresh results appended to the fitness store's disk tier.",
+            ),
         })
     }
+}
+
+/// The service's view of a [`FitnessStore`]: a shared (or private)
+/// store plus the dataset identity this service evaluates against.
+struct ServiceStore {
+    store: Arc<FitnessStore>,
+    fp: DatasetFingerprint,
 }
 
 /// The unified batch-evaluation scheduler (see the module docs for the
@@ -684,7 +792,7 @@ impl SchedMetrics {
 pub struct EvalService<B: EvalBackend> {
     backend: B,
     fallback: Option<Arc<dyn EvalBackend>>,
-    cache: Option<ShardedCache>,
+    store: Option<ServiceStore>,
     feasibility: Option<FeasibilityFilter>,
     totals: SchedStats,
     window: SchedStats,
@@ -699,7 +807,7 @@ impl<B: EvalBackend> EvalService<B> {
         EvalService {
             backend,
             fallback: None,
-            cache: None,
+            store: None,
             feasibility: None,
             totals: SchedStats::default(),
             window: SchedStats::default(),
@@ -736,12 +844,29 @@ impl<B: EvalBackend> EvalService<B> {
         self
     }
 
-    /// Enable the bounded sharded cache (`capacity` SNP sets; 0 =
-    /// unbounded). Cache hits skip the backend but still count as
-    /// scheduled evaluations (see the module docs).
-    pub fn with_cache(mut self, capacity: usize) -> Self {
-        self.cache = Some(ShardedCache::with_capacity(capacity));
+    /// Enable a private hot-tier-only fitness store (`capacity` SNP
+    /// sets; 0 = unbounded). Store hits skip the backend but still count
+    /// as scheduled evaluations (see the module docs).
+    pub fn with_cache(self, capacity: usize) -> Self {
+        self.with_store(
+            Arc::new(FitnessStore::in_memory(capacity)),
+            DatasetFingerprint::LOCAL,
+        )
+    }
+
+    /// Attach a (possibly shared, possibly disk-backed) tiered
+    /// [`FitnessStore`]; this service's probes and inserts are keyed
+    /// under `fp`. Replaces any store installed by
+    /// [`EvalService::with_cache`].
+    pub fn with_store(mut self, store: Arc<FitnessStore>, fp: DatasetFingerprint) -> Self {
+        self.store = Some(ServiceStore { store, fp });
         self
+    }
+
+    /// The dataset fingerprint this service's store entries are keyed
+    /// under (`None` without a store).
+    pub fn store_fingerprint(&self) -> Option<DatasetFingerprint> {
+        self.store.as_ref().map(|s| s.fp)
     }
 
     /// Install (or clear) the feasibility filter.
@@ -835,21 +960,43 @@ impl<B: EvalBackend> EvalService<B> {
         let coalesced = pending.len() as u64 - scheduled;
         drop(coalesce_span);
 
-        // Cache probe.
+        // A torn-tail recovery performed when the store's disk tier was
+        // opened surfaces here, on the first batch, as a typed event in
+        // the run's stream (the AtomicBool fast path keeps this free on
+        // every later batch).
+        if let Some(st) = &self.store {
+            if let Some(r) = st.store.take_recovery() {
+                self.observer.emit_with(|| Event::StoreRecovered {
+                    kept_records: r.kept_records,
+                    dropped_bytes: r.dropped_bytes,
+                });
+            }
+        }
+
+        // Store probe (hot tier, then disk tier).
         let cache_span = self.observer.span(span_names::CACHE);
         let mut cache_hits = 0u64;
         let mut misses: Vec<usize> = Vec::with_capacity(groups.len());
         for (g, (key, members)) in groups.iter().enumerate() {
-            match self.cache.as_ref().and_then(|c| c.probe(key)) {
-                Some(f) => {
+            match self
+                .store
+                .as_ref()
+                .and_then(|st| st.store.probe(st.fp, key))
+            {
+                Some(hit) => {
                     cache_hits += 1;
                     for &i in members {
-                        batch[i].set_fitness(f);
+                        batch[i].set_fitness(hit.fitness);
                     }
                 }
                 None => misses.push(g),
             }
         }
+        let cache_misses = if self.store.is_some() {
+            misses.len() as u64
+        } else {
+            0
+        };
         drop(cache_span);
 
         self.observer.emit_with(|| Event::BatchDispatched {
@@ -866,6 +1013,8 @@ impl<B: EvalBackend> EvalService<B> {
         let mut dispatch_ns = 0u64;
         let mut depth = 0u64;
         let mut fallback_batches = 0u64;
+        let mut cache_evictions = 0u64;
+        let mut cache_persists = 0u64;
         let mut dispatch_err: Option<EvalBackendError> = None;
         if !misses.is_empty() {
             let mut jobs: Vec<Haplotype> = misses
@@ -918,8 +1067,10 @@ impl<B: EvalBackend> EvalService<B> {
                 let apply_span = self.observer.span(span_names::APPLY);
                 for (&g, job) in misses.iter().zip(&jobs) {
                     let f = job.fitness();
-                    if let Some(cache) = &self.cache {
-                        cache.insert(groups[g].0.clone(), f);
+                    if let Some(st) = &self.store {
+                        let outcome = st.store.insert(st.fp, &groups[g].0, f, 0);
+                        cache_evictions += outcome.evicted;
+                        cache_persists += u64::from(outcome.persisted);
                     }
                     for &i in &groups[g].1 {
                         batch[i].set_fitness(f);
@@ -943,12 +1094,19 @@ impl<B: EvalBackend> EvalService<B> {
             s.rejoins += faults.rejoins;
             s.requeued += faults.requeued;
             s.fallback_batches += fallback_batches;
+            s.cache_misses += cache_misses;
+            s.cache_evictions += cache_evictions;
+            s.cache_persists += cache_persists;
         }
         if let Some(m) = &self.metrics {
             m.requested.add(pending.len() as u64);
             m.coalesced.add(coalesced);
             m.cache_hits.add(cache_hits);
             m.true_evals.add(true_evals);
+            m.store_hits.add(cache_hits);
+            m.store_misses.add(cache_misses);
+            m.store_evictions.add(cache_evictions);
+            m.store_persists.add(cache_persists);
             m.fault_events.add(
                 faults.retries
                     + faults.retirements
@@ -987,9 +1145,45 @@ impl<B: EvalBackend> EvalService<B> {
         std::mem::take(&mut self.window)
     }
 
-    /// Entries resident in the cache (0 when caching is disabled).
+    /// Entries resident in the store's hot tier for this service's
+    /// fingerprint (0 without a store).
     pub fn cache_len(&self) -> usize {
-        self.cache.as_ref().map_or(0, ShardedCache::len)
+        self.store.as_ref().map_or(0, |st| st.store.len(st.fp))
+    }
+
+    /// The attached fitness store, if any (shared handles stay shared).
+    pub fn store(&self) -> Option<&Arc<FitnessStore>> {
+        self.store.as_ref().map(|st| &st.store)
+    }
+
+    /// Exact hot-tier snapshot for this service's fingerprint, for
+    /// checkpoints (`None` without a store).
+    pub fn cache_snapshot(&self) -> Option<CacheSnapshot> {
+        self.store.as_ref().map(|st| st.store.snapshot(st.fp))
+    }
+
+    /// Rebuild the hot tier verbatim from a checkpointed snapshot. A
+    /// no-op without a store (the restored run was configured cacheless,
+    /// so its trajectory never consults one).
+    pub fn restore_cache_snapshot(&mut self, snap: &CacheSnapshot) {
+        if let Some(st) = &self.store {
+            st.store.restore_snapshot(st.fp, snap);
+        }
+    }
+
+    /// Overwrite the lifetime counters from a checkpoint, so fault and
+    /// store accounting survives resume instead of restarting from zero.
+    pub fn restore_totals(&mut self, totals: SchedStats) {
+        self.totals = totals;
+    }
+
+    /// Fsync the store's disk tier, if any — called when a checkpoint is
+    /// written so the persistent memo is at least as fresh as the
+    /// checkpoint that references its warmth.
+    pub fn flush_store(&self) {
+        if let Some(st) = &self.store {
+            let _ = st.store.flush();
+        }
     }
 }
 
@@ -1454,5 +1648,159 @@ mod tests {
             }
         }
         assert_eq!(run1_order, vec![1, 3]);
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ld-sched-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Read one counter family out of a registry snapshot.
+    fn counter_value(reg: &ld_observe::Registry, name: &str) -> u64 {
+        let snap = reg.snapshot();
+        let fam = snap
+            .families
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("metric {name} not registered"));
+        fam.series[0].value as u64
+    }
+
+    #[test]
+    fn store_counters_reconcile_with_metrics_registry() {
+        // The acceptance property behind `/metrics`: the `ld_cache_*`
+        // counter family must reconcile exactly with the `SchedStats`
+        // totals the history TSV and `SchedSummary` are built from.
+        let dir = tmp_dir("metrics");
+        let store = Arc::new(FitnessStore::open(&dir, 4).unwrap());
+        let sink: Arc<dyn ld_observe::Sink> = Arc::new(ld_observe::RingSink::new(16));
+        let observer = Observer::new("sched-metrics", sink, ld_observe::Registry::new());
+        let counter = CountingEvaluator::new(toy());
+        let mut svc = EvalService::new(EvaluatorBackend::new(&counter))
+            .with_store(store, DatasetFingerprint::from_raw(0xD))
+            .with_observer(observer);
+
+        // 160 distinct sets overflow the 4-entry hot tier no matter the
+        // machine's shard count (≤ 64 shards ⇒ some shard sees ≥ 3
+        // inserts ⇒ a generation rotation drops a non-empty old
+        // generation). The replay then hits — hot tier or disk tier.
+        let mut first: Vec<Haplotype> = (0..160usize)
+            .map(|i| Haplotype::new(vec![i, i + 1]))
+            .collect();
+        svc.submit(&mut first).unwrap();
+        let mut replay: Vec<Haplotype> = (0..160usize)
+            .map(|i| Haplotype::new(vec![i, i + 1]))
+            .collect();
+        svc.submit(&mut replay).unwrap();
+
+        let s = svc.stats().clone();
+        assert_eq!(s.cache_hits, 160, "replay fully served by the store");
+        assert_eq!(s.cache_misses, 160, "first pass is all misses");
+        assert_eq!(
+            s.cache_hits + s.cache_misses,
+            s.requested - s.coalesced,
+            "every scheduled evaluation is a hit or a miss"
+        );
+        assert_eq!(s.true_evals, s.cache_misses, "exactly the misses dispatch");
+        assert_eq!(
+            s.cache_persists, s.true_evals,
+            "every fresh result persisted"
+        );
+        assert!(s.cache_evictions > 0, "4-entry hot tier must rotate");
+
+        let reg = svc.observer().registry().expect("observer has a registry");
+        assert_eq!(counter_value(reg, "ld_cache_hits_total"), s.cache_hits);
+        assert_eq!(counter_value(reg, "ld_cache_misses_total"), s.cache_misses);
+        assert_eq!(
+            counter_value(reg, "ld_cache_evictions_total"),
+            s.cache_evictions
+        );
+        assert_eq!(
+            counter_value(reg, "ld_cache_persists_total"),
+            s.cache_persists
+        );
+        // And the families render in the Prometheus exposition `/metrics`
+        // serves verbatim.
+        let text = reg.prometheus();
+        for name in [
+            "ld_cache_hits_total",
+            "ld_cache_misses_total",
+            "ld_cache_evictions_total",
+            "ld_cache_persists_total",
+        ] {
+            assert!(
+                text.contains(name),
+                "{name} missing from exposition:\n{text}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_disk_tier_recovery_reaches_the_event_stream() {
+        // A kill mid-append leaves a torn tail. The next run over the same
+        // cache directory must recover (drop only the damaged suffix),
+        // surface a typed `StoreRecovered` event in its stream, and keep
+        // serving the intact records — never panic.
+        let dir = tmp_dir("torn");
+        let fp = DatasetFingerprint::from_raw(0xF00D);
+        {
+            let store = FitnessStore::open(&dir, 64).unwrap();
+            for i in 0..4usize {
+                store.insert(fp, &[i, i + 1], 100.0 + i as f64, 0);
+            }
+            store.flush().unwrap();
+        }
+        let log = dir.join("fitness.log");
+        let len = std::fs::metadata(&log).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&log).unwrap();
+        file.set_len(len - 7).unwrap(); // mid-record, not a frame boundary
+        drop(file);
+
+        let store = Arc::new(FitnessStore::open(&dir, 64).unwrap());
+        let sink = Arc::new(ld_observe::RingSink::new(16));
+        let observer = Observer::new(
+            "torn-tail",
+            sink.clone() as Arc<dyn ld_observe::Sink>,
+            ld_observe::Registry::new(),
+        );
+        let counter = CountingEvaluator::new(toy());
+        let mut svc = EvalService::new(EvaluatorBackend::new(&counter))
+            .with_store(store, fp)
+            .with_observer(observer);
+
+        let mut batch: Vec<Haplotype> = (0..4usize)
+            .map(|i| Haplotype::new(vec![i, i + 1]))
+            .collect();
+        svc.submit(&mut batch).unwrap();
+        // Survivors carry the seeded values (proof they came from disk);
+        // only the torn record re-evaluates, through toy()'s sum.
+        for (i, h) in batch.iter().take(3).enumerate() {
+            assert_eq!(h.fitness(), 100.0 + i as f64);
+        }
+        assert_eq!(batch[3].fitness(), 7.0, "torn record re-evaluated");
+        assert_eq!(svc.stats().cache_hits, 3);
+        assert_eq!(svc.stats().true_evals, 1);
+
+        let recovered: Vec<(u64, u64)> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::StoreRecovered {
+                    kept_records,
+                    dropped_bytes,
+                } => Some((*kept_records, *dropped_bytes)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recovered.len(), 1, "recovery surfaces exactly once");
+        assert_eq!(recovered[0].0, 3, "only the damaged suffix dropped");
+        assert!(recovered[0].1 > 0, "dropped byte count recorded");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,875 @@
+//! Tiered, content-addressed fitness store.
+//!
+//! Every fitness the GA ever computes is a pure function of
+//! `(dataset, SNP set)`: the paper's workloads re-evaluate the same pairs
+//! constantly — within a generation (coalescing), across generations (the
+//! scheduler cache), and, at fleet scale, across *runs and tenants*. The
+//! [`FitnessStore`] is the single home for that memo, keyed by
+//! ([`DatasetFingerprint`], canonical SNP-set key), with two tiers:
+//!
+//! * **Hot tier** — the scheduler's bounded two-generation
+//!   [`ShardedCache`], one per fingerprint. Lock-light, O(1) amortized
+//!   eviction, lives and dies with the process.
+//! * **Disk tier** (optional) — a log-structured append-only file of
+//!   CRC-framed records. The index is rebuilt by scanning on open; a
+//!   corrupt or torn tail is truncated (the damaged suffix dropped, all
+//!   records before it kept) and reported through
+//!   [`FitnessStore::take_recovery`] — never a panic. When the log
+//!   outgrows its budget it is compacted in place: live index entries are
+//!   rewritten newest-wins to a fresh log which atomically replaces the
+//!   old one.
+//!
+//! **Durability policy**: appends go straight to the file descriptor but
+//! are *not* fsynced per record — a crash can lose the most recent
+//! appends, which is safe because every record is a recomputable memo.
+//! [`FitnessStore::flush`] (called when a checkpoint is written) and
+//! compaction do fsync. The log assumes a single writing process.
+//!
+//! Every entry carries an `owner` token (the run key that paid for the
+//! true evaluation; 0 for local/unattributed work), which is how the
+//! multi-tenant eval server accounts cross-tenant hits.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ld_data::{DatasetFingerprint, SnpId};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use crate::sched::ShardedCache;
+
+/// Canonical byte key of a SNP set: ids sorted ascending, deduplicated,
+/// each encoded as a little-endian `u64`.
+///
+/// Two properties the store relies on (and the property tests pin):
+/// permutation invariance (any ordering of the same ids yields the same
+/// key) and size distinction (sets of different cardinality can never
+/// collide, because the encoding is fixed-width).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SnpSetKey(Vec<u8>);
+
+impl SnpSetKey {
+    /// Canonicalize `ids` (sort + dedup) and encode.
+    pub fn from_ids(ids: &[SnpId]) -> SnpSetKey {
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut bytes = Vec::with_capacity(sorted.len() * 8);
+        for id in sorted {
+            bytes.extend_from_slice(&(id as u64).to_le_bytes());
+        }
+        SnpSetKey(bytes)
+    }
+
+    /// The canonical bytes (what the disk tier frames).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of SNPs in the canonicalized set.
+    pub fn len(&self) -> usize {
+        self.0.len() / 8
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Decode back to the sorted id list.
+    pub fn ids(&self) -> Vec<SnpId> {
+        self.0
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")) as SnpId)
+            .collect()
+    }
+}
+
+/// A fitness plus the provenance the store keeps per entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredFitness {
+    /// The memoized fitness.
+    pub fitness: f64,
+    /// Run key that paid for the true evaluation (0 = local/unknown).
+    pub owner: u64,
+}
+
+/// A successful [`FitnessStore::probe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreHit {
+    /// The memoized fitness.
+    pub fitness: f64,
+    /// Run key that originally paid for the evaluation (0 = local).
+    pub owner: u64,
+    /// Whether the hit was served by the disk tier (and promoted) rather
+    /// than the hot tier.
+    pub from_disk: bool,
+}
+
+/// What [`FitnessStore::insert`] did, for the caller's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InsertOutcome {
+    /// Hot-tier entries evicted by this insert (a whole old generation
+    /// when the young generation rolled over; usually 0).
+    pub evicted: u64,
+    /// Whether the record was appended to the disk tier.
+    pub persisted: bool,
+}
+
+/// Report of a torn/corrupt-tail recovery performed when the disk tier
+/// was opened. Surfaced once through [`FitnessStore::take_recovery`] so
+/// the evaluation layer can emit a typed `StoreRecovered` event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreRecovery {
+    /// Records successfully re-indexed from the log.
+    pub kept_records: u64,
+    /// Bytes of damaged tail dropped by truncation.
+    pub dropped_bytes: u64,
+}
+
+/// One store entry as captured in a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Sorted SNP set.
+    pub snps: Vec<SnpId>,
+    /// Memoized fitness.
+    pub fitness: f64,
+    /// Provenance token (`serde(default)` keeps older snapshots loadable).
+    #[serde(default)]
+    pub owner: u64,
+}
+
+/// One hot-tier shard's exact generational contents.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheShardSnapshot {
+    /// Young-generation entries.
+    pub young: Vec<CacheEntry>,
+    /// Old-generation entries.
+    pub old: Vec<CacheEntry>,
+}
+
+/// Exact snapshot of one fingerprint's hot tier, embedded in checkpoints.
+///
+/// The young/old split and the shard geometry are captured verbatim: a
+/// restored cache must replay the *same* promotions and evictions the
+/// uninterrupted run would have performed, or the resumed history's
+/// per-generation hit counts drift.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// Shard count the cache was built with.
+    pub shard_count: usize,
+    /// Configured capacity (0 = unbounded).
+    pub capacity: usize,
+    /// Per-shard generational contents.
+    pub shards: Vec<CacheShardSnapshot>,
+}
+
+impl CacheSnapshot {
+    /// Total entries captured (both generations, all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.young.len() + s.old.len())
+            .sum()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven, built at compile time.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3) of `bytes` — the per-record frame check.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Disk tier
+// ---------------------------------------------------------------------
+
+/// Largest record payload the scanner will believe. A corrupt length
+/// prefix must not trigger a giant allocation: panels are thousands of
+/// SNPs wide and haplotypes a handful of markers, so 1 MiB is generous.
+const MAX_RECORD_BYTES: u32 = 1 << 20;
+
+/// Log file name inside the store directory.
+const LOG_NAME: &str = "fitness.log";
+
+struct DiskTier {
+    path: PathBuf,
+    file: File,
+    /// Full in-memory index of the log, newest-wins.
+    index: HashMap<(u64, SnpSetKey), StoredFitness>,
+    /// Current log length in bytes (== file length; appends only).
+    bytes: u64,
+    /// Compaction threshold in bytes.
+    max_bytes: u64,
+}
+
+impl DiskTier {
+    /// Open (creating if absent) the log under `dir`, rebuild the index
+    /// by scanning, and truncate any corrupt/torn tail.
+    fn open(dir: &Path, max_bytes: u64) -> std::io::Result<(DiskTier, Option<StoreRecovery>)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(LOG_NAME);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+
+        let mut index = HashMap::new();
+        let mut pos = 0usize;
+        let mut kept = 0u64;
+        let mut torn = false;
+        while pos < raw.len() {
+            match parse_record(&raw[pos..]) {
+                Some((consumed, fp, key, value)) => {
+                    index.insert((fp, key), value);
+                    kept += 1;
+                    pos += consumed;
+                }
+                None => {
+                    torn = true;
+                    break;
+                }
+            }
+        }
+        let recovery = if torn {
+            let dropped = (raw.len() - pos) as u64;
+            file.set_len(pos as u64)?;
+            file.sync_data()?;
+            Some(StoreRecovery {
+                kept_records: kept,
+                dropped_bytes: dropped,
+            })
+        } else {
+            None
+        };
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            DiskTier {
+                path,
+                file,
+                index,
+                bytes: pos as u64,
+                max_bytes,
+            },
+            recovery,
+        ))
+    }
+
+    fn append(&mut self, fp: u64, key: &SnpSetKey, value: StoredFitness) -> std::io::Result<()> {
+        let rec = encode_record(fp, key, value);
+        self.file.write_all(&rec)?;
+        self.bytes += rec.len() as u64;
+        self.index.insert((fp, key.clone()), value);
+        Ok(())
+    }
+
+    /// Rewrite the log from the live index (newest-wins survives; dead
+    /// duplicates are dropped), fsync, and atomically swap it in.
+    fn compact(&mut self) -> std::io::Result<()> {
+        let tmp_path = self.path.with_extension("log.compact");
+        let mut tmp = File::create(&tmp_path)?;
+        let mut bytes = 0u64;
+        for ((fp, key), value) in &self.index {
+            let rec = encode_record(*fp, key, *value);
+            tmp.write_all(&rec)?;
+            bytes += rec.len() as u64;
+        }
+        tmp.sync_data()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.bytes = bytes;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Frame one record: `[crc32 u32][len u32][payload]` with payload
+/// `[fp u64][owner u64][k u32][k × id u64][fitness f64 bits]`, all
+/// little-endian. The CRC covers the payload only.
+fn encode_record(fp: u64, key: &SnpSetKey, value: StoredFitness) -> Vec<u8> {
+    let k = key.len() as u32;
+    let mut payload = Vec::with_capacity(8 + 8 + 4 + key.as_bytes().len() + 8);
+    payload.extend_from_slice(&fp.to_le_bytes());
+    payload.extend_from_slice(&value.owner.to_le_bytes());
+    payload.extend_from_slice(&k.to_le_bytes());
+    payload.extend_from_slice(key.as_bytes());
+    payload.extend_from_slice(&value.fitness.to_bits().to_le_bytes());
+    let mut rec = Vec::with_capacity(8 + payload.len());
+    rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+/// Parse one record from the front of `bytes`; `None` on any damage
+/// (short header, absurd length, short payload, CRC mismatch, malformed
+/// payload) — the scanner treats that as the torn tail.
+fn parse_record(bytes: &[u8]) -> Option<(usize, u64, SnpSetKey, StoredFitness)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    let len = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    if len > MAX_RECORD_BYTES || bytes.len() < 8 + len as usize {
+        return None;
+    }
+    let payload = &bytes[8..8 + len as usize];
+    if crc32(payload) != crc {
+        return None;
+    }
+    if payload.len() < 8 + 8 + 4 + 8 {
+        return None;
+    }
+    let fp = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let owner = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+    let k = u32::from_le_bytes(payload[16..20].try_into().ok()?) as usize;
+    if payload.len() != 20 + k * 8 + 8 {
+        return None;
+    }
+    let key = SnpSetKey(payload[20..20 + k * 8].to_vec());
+    let fitness = f64::from_bits(u64::from_le_bytes(
+        payload[20 + k * 8..20 + k * 8 + 8].try_into().ok()?,
+    ));
+    Some((8 + len as usize, fp, key, StoredFitness { fitness, owner }))
+}
+
+// ---------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------
+
+/// The tiered content-addressed fitness store (see the module docs).
+///
+/// Cheap to share: probes take one sharded read lock on the hot path;
+/// the disk tier's mutex is touched only on hot-tier misses and inserts.
+pub struct FitnessStore {
+    /// Hot-tier capacity per fingerprint (0 = unbounded).
+    capacity: usize,
+    /// One hot tier per dataset fingerprint.
+    hot: RwLock<HashMap<u64, Arc<ShardedCache<StoredFitness>>>>,
+    disk: Option<Mutex<DiskTier>>,
+    /// Lock-free fast path for [`FitnessStore::take_recovery`].
+    recovery_pending: AtomicBool,
+    recovery: Mutex<Option<StoreRecovery>>,
+    compactions: AtomicU64,
+}
+
+impl std::fmt::Debug for FitnessStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitnessStore")
+            .field("capacity", &self.capacity)
+            .field("fingerprints", &self.hot.read().len())
+            .field("disk", &self.disk.is_some())
+            .finish()
+    }
+}
+
+impl FitnessStore {
+    /// A hot-tier-only store (`capacity` SNP sets per fingerprint,
+    /// 0 = unbounded). This is what `sched_cache > 0` builds internally.
+    pub fn in_memory(capacity: usize) -> FitnessStore {
+        FitnessStore {
+            capacity,
+            hot: RwLock::new(HashMap::new()),
+            disk: None,
+            recovery_pending: AtomicBool::new(false),
+            recovery: Mutex::new(None),
+            compactions: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a store with a persistent disk tier under `dir` (created if
+    /// absent), with the default 64 MiB compaction threshold. Recovers
+    /// from a torn tail; see [`FitnessStore::take_recovery`].
+    pub fn open(dir: impl AsRef<Path>, capacity: usize) -> std::io::Result<FitnessStore> {
+        Self::open_with(dir, capacity, 64 << 20)
+    }
+
+    /// [`FitnessStore::open`] with an explicit log-size budget in bytes;
+    /// the log is compacted (newest-wins) when an append pushes it past
+    /// the budget.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        capacity: usize,
+        max_log_bytes: u64,
+    ) -> std::io::Result<FitnessStore> {
+        let (tier, recovery) = DiskTier::open(dir.as_ref(), max_log_bytes)?;
+        Ok(FitnessStore {
+            capacity,
+            hot: RwLock::new(HashMap::new()),
+            disk: Some(Mutex::new(tier)),
+            recovery_pending: AtomicBool::new(recovery.is_some()),
+            recovery: Mutex::new(recovery),
+            compactions: AtomicU64::new(0),
+        })
+    }
+
+    /// The hot tier serving `fp`, created on first touch.
+    fn hot_tier(&self, fp: u64) -> Arc<ShardedCache<StoredFitness>> {
+        if let Some(tier) = self.hot.read().get(&fp) {
+            return Arc::clone(tier);
+        }
+        let mut map = self.hot.write();
+        Arc::clone(
+            map.entry(fp)
+                .or_insert_with(|| Arc::new(ShardedCache::with_capacity(self.capacity))),
+        )
+    }
+
+    /// Look up a SNP set under `fp`. Hot-tier hits are cheapest; disk
+    /// hits are promoted into the hot tier on the way out.
+    pub fn probe(&self, fp: DatasetFingerprint, snps: &[SnpId]) -> Option<StoreHit> {
+        let tier = self.hot_tier(fp.as_u64());
+        if let Some(v) = tier.probe(snps) {
+            return Some(StoreHit {
+                fitness: v.fitness,
+                owner: v.owner,
+                from_disk: false,
+            });
+        }
+        let disk = self.disk.as_ref()?;
+        let key = SnpSetKey::from_ids(snps);
+        let v = *disk.lock().index.get(&(fp.as_u64(), key))?;
+        tier.insert(snps.to_vec(), v);
+        Some(StoreHit {
+            fitness: v.fitness,
+            owner: v.owner,
+            from_disk: true,
+        })
+    }
+
+    /// Memoize a freshly computed fitness under `fp`, attributed to
+    /// `owner` (the run key that paid for it; 0 for local work).
+    /// Write-through: the record also lands in the disk tier when one is
+    /// attached.
+    pub fn insert(
+        &self,
+        fp: DatasetFingerprint,
+        snps: &[SnpId],
+        fitness: f64,
+        owner: u64,
+    ) -> InsertOutcome {
+        let value = StoredFitness { fitness, owner };
+        let evicted = self.hot_tier(fp.as_u64()).insert(snps.to_vec(), value);
+        let mut persisted = false;
+        if let Some(disk) = &self.disk {
+            let key = SnpSetKey::from_ids(snps);
+            let mut tier = disk.lock();
+            // Best-effort durability: an I/O error degrades the store to
+            // hot-only behaviour for this record rather than failing the
+            // evaluation that produced it.
+            if tier.append(fp.as_u64(), &key, value).is_ok() {
+                persisted = true;
+                if tier.bytes > tier.max_bytes && tier.compact().is_ok() {
+                    self.compactions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        InsertOutcome { evicted, persisted }
+    }
+
+    /// Entries resident in `fp`'s hot tier.
+    pub fn len(&self, fp: DatasetFingerprint) -> usize {
+        self.hot
+            .read()
+            .get(&fp.as_u64())
+            .map_or(0, |tier| tier.len())
+    }
+
+    /// Records live in the disk index (all fingerprints; 0 without a
+    /// disk tier).
+    pub fn disk_len(&self) -> usize {
+        self.disk.as_ref().map_or(0, |d| d.lock().index.len())
+    }
+
+    /// Whether a disk tier is attached.
+    pub fn is_persistent(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Log compactions performed since open.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Fsync the disk tier (no-op without one). Called when a checkpoint
+    /// is written so the store is at least as fresh as the checkpoint.
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.disk {
+            Some(d) => d.lock().flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// The torn-tail recovery performed at open, if any — yielded exactly
+    /// once (the evaluation layer emits it as a `StoreRecovered` event).
+    pub fn take_recovery(&self) -> Option<StoreRecovery> {
+        if !self.recovery_pending.load(Ordering::Acquire) {
+            return None;
+        }
+        self.recovery_pending.store(false, Ordering::Release);
+        self.recovery.lock().take()
+    }
+
+    /// Capture `fp`'s hot tier exactly (shard geometry and young/old
+    /// membership included) for a checkpoint.
+    pub fn snapshot(&self, fp: DatasetFingerprint) -> CacheSnapshot {
+        let tier = self.hot_tier(fp.as_u64());
+        let to_entries = |pairs: Vec<(Vec<SnpId>, StoredFitness)>| {
+            pairs
+                .into_iter()
+                .map(|(snps, v)| CacheEntry {
+                    snps,
+                    fitness: v.fitness,
+                    owner: v.owner,
+                })
+                .collect()
+        };
+        CacheSnapshot {
+            shard_count: tier.shard_count(),
+            capacity: tier.capacity(),
+            shards: tier
+                .export_generations()
+                .into_iter()
+                .map(|(young, old)| CacheShardSnapshot {
+                    young: to_entries(young),
+                    old: to_entries(old),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild `fp`'s hot tier verbatim from a checkpoint snapshot,
+    /// replacing whatever was resident.
+    pub fn restore_snapshot(&self, fp: DatasetFingerprint, snap: &CacheSnapshot) {
+        let tier = Arc::new(ShardedCache::with_shards(snap.capacity, snap.shard_count));
+        let to_pairs = |entries: &[CacheEntry]| {
+            entries
+                .iter()
+                .map(|e| {
+                    (
+                        e.snps.clone(),
+                        StoredFitness {
+                            fitness: e.fitness,
+                            owner: e.owner,
+                        },
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        for (idx, shard) in snap.shards.iter().enumerate().take(snap.shard_count) {
+            tier.load_shard(idx, to_pairs(&shard.young), to_pairs(&shard.old));
+        }
+        self.hot.write().insert(fp.as_u64(), tier);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic PRNG for property-style loops (the vendored proptest
+    /// is a no-op stub; this is the repo's standard idiom).
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ld-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const FP: DatasetFingerprint = DatasetFingerprint::LOCAL;
+
+    // ---------------- canonical key properties ----------------
+
+    #[test]
+    fn key_is_permutation_invariant() {
+        let mut state = 0xFACE_u64;
+        for _ in 0..200 {
+            let k = (splitmix64(&mut state) % 6 + 1) as usize;
+            let ids: Vec<SnpId> = (0..k)
+                .map(|_| (splitmix64(&mut state) % 1000) as SnpId)
+                .collect();
+            let canonical = SnpSetKey::from_ids(&ids);
+            // Fisher–Yates over a copy: every permutation must agree.
+            let mut shuffled = ids.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            assert_eq!(SnpSetKey::from_ids(&shuffled), canonical);
+            // And a reversed copy, the adversarial ordering.
+            let mut reversed = ids.clone();
+            reversed.reverse();
+            assert_eq!(SnpSetKey::from_ids(&reversed), canonical);
+        }
+    }
+
+    #[test]
+    fn keys_of_different_set_sizes_never_collide() {
+        let mut state = 0xBEEF_u64;
+        for _ in 0..200 {
+            let k = (splitmix64(&mut state) % 5 + 1) as usize;
+            let mut ids: Vec<SnpId> = Vec::new();
+            while ids.len() < k + 1 {
+                let id = (splitmix64(&mut state) % 500) as SnpId;
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+            let smaller = SnpSetKey::from_ids(&ids[..k]);
+            let larger = SnpSetKey::from_ids(&ids[..k + 1]);
+            assert_ne!(smaller, larger);
+            assert_eq!(smaller.len(), k);
+            assert_eq!(larger.len(), k + 1);
+        }
+    }
+
+    #[test]
+    fn key_round_trips_and_dedups() {
+        let key = SnpSetKey::from_ids(&[9, 3, 3, 7]);
+        assert_eq!(key.ids(), vec![3, 7, 9]);
+        assert_eq!(key.len(), 3);
+        assert!(SnpSetKey::from_ids(&[]).is_empty());
+    }
+
+    // ---------------- hot tier ----------------
+
+    #[test]
+    fn hot_only_store_memoizes_per_fingerprint() {
+        let store = FitnessStore::in_memory(0);
+        let fp_a = DatasetFingerprint::from_raw(1);
+        let fp_b = DatasetFingerprint::from_raw(2);
+        store.insert(fp_a, &[1, 2], 5.0, 7);
+        assert_eq!(
+            store.probe(fp_a, &[1, 2]),
+            Some(StoreHit {
+                fitness: 5.0,
+                owner: 7,
+                from_disk: false
+            })
+        );
+        // Same SNP set under a different dataset: distinct universe.
+        assert_eq!(store.probe(fp_b, &[1, 2]), None);
+        assert_eq!(store.len(fp_a), 1);
+        assert_eq!(store.len(fp_b), 0);
+        assert!(!store.is_persistent());
+    }
+
+    #[test]
+    fn snapshot_round_trips_generational_structure() {
+        let store = FitnessStore::in_memory(8);
+        let mut state = 0xD1CE_u64;
+        for i in 0..40 {
+            let ids = vec![(splitmix64(&mut state) % 100) as SnpId, 200 + i as SnpId];
+            store.insert(FP, &ids, i as f64, i as u64);
+        }
+        let snap = store.snapshot(FP);
+        assert_eq!(snap.len(), store.len(FP));
+
+        // Hash-map iteration order is arbitrary, so compare each
+        // generation as a sorted set — membership is what must survive.
+        fn normalized(snap: &CacheSnapshot) -> CacheSnapshot {
+            let mut s = snap.clone();
+            for shard in &mut s.shards {
+                shard.young.sort_by(|a, b| a.snps.cmp(&b.snps));
+                shard.old.sort_by(|a, b| a.snps.cmp(&b.snps));
+            }
+            s
+        }
+
+        let restored = FitnessStore::in_memory(8);
+        restored.restore_snapshot(FP, &snap);
+        assert_eq!(restored.len(FP), store.len(FP));
+        assert_eq!(normalized(&restored.snapshot(FP)), normalized(&snap));
+
+        // JSON round-trip (what checkpoints do).
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CacheSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    // ---------------- disk tier properties ----------------
+
+    #[test]
+    fn disk_tier_round_trips_across_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let mut state = 0xAB5E_u64;
+        let mut expected: Vec<(Vec<SnpId>, f64, u64)> = Vec::new();
+        {
+            let store = FitnessStore::open(&dir, 0).unwrap();
+            for i in 0..100u64 {
+                let k = (splitmix64(&mut state) % 5 + 1) as usize;
+                let ids: Vec<SnpId> = (0..k)
+                    .map(|_| (splitmix64(&mut state) % 400) as SnpId)
+                    .collect();
+                let canonical = SnpSetKey::from_ids(&ids).ids();
+                let fitness = (splitmix64(&mut state) % 1_000_000) as f64 / 1e3;
+                store.insert(FP, &ids, fitness, i);
+                expected.retain(|(snps, _, _)| *snps != canonical);
+                expected.push((canonical, fitness, i));
+            }
+            store.flush().unwrap();
+        }
+        let store = FitnessStore::open(&dir, 0).unwrap();
+        assert!(store.take_recovery().is_none(), "clean log, no recovery");
+        assert_eq!(store.disk_len(), expected.len());
+        for (snps, fitness, owner) in &expected {
+            let hit = store.probe(FP, snps).expect("record survived reopen");
+            assert_eq!(hit.fitness, *fitness);
+            assert_eq!(hit.owner, *owner);
+            assert!(hit.from_disk);
+            // Second probe: promoted to the hot tier.
+            assert!(!store.probe(FP, snps).unwrap().from_disk);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_recovery_drops_only_the_last_partial_record() {
+        let dir = tmp_dir("torn");
+        {
+            let store = FitnessStore::open(&dir, 0).unwrap();
+            for i in 0..20usize {
+                store.insert(FP, &[i, i + 100], i as f64, 0);
+            }
+            store.flush().unwrap();
+        }
+        // Tear the tail: chop half of the final record off.
+        let log = dir.join(LOG_NAME);
+        let len = std::fs::metadata(&log).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&log).unwrap();
+        file.set_len(len - 20).unwrap();
+        drop(file);
+
+        let store = FitnessStore::open(&dir, 0).unwrap();
+        let recovery = store.take_recovery().expect("torn tail must be reported");
+        assert_eq!(recovery.kept_records, 19);
+        assert!(recovery.dropped_bytes > 0);
+        assert!(store.take_recovery().is_none(), "yielded exactly once");
+        assert_eq!(store.disk_len(), 19);
+        for i in 0..19usize {
+            assert!(store.probe(FP, &[i, i + 100]).is_some(), "record {i} kept");
+        }
+        assert!(store.probe(FP, &[19, 119]).is_none(), "torn record dropped");
+        // The truncated log reopens clean.
+        drop(store);
+        let store = FitnessStore::open(&dir, 0).unwrap();
+        assert!(store.take_recovery().is_none());
+        assert_eq!(store.disk_len(), 19);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_crc_mid_log_truncates_from_the_damage() {
+        let dir = tmp_dir("crc");
+        {
+            let store = FitnessStore::open(&dir, 0).unwrap();
+            for i in 0..10usize {
+                store.insert(FP, &[i], i as f64, 0);
+            }
+            store.flush().unwrap();
+        }
+        // Flip one payload byte of the 8th record.
+        let log = dir.join(LOG_NAME);
+        let mut bytes = std::fs::read(&log).unwrap();
+        let rec_len = bytes.len() / 10;
+        let target = rec_len * 7 + 12;
+        bytes[target] ^= 0xFF;
+        std::fs::write(&log, &bytes).unwrap();
+
+        let store = FitnessStore::open(&dir, 0).unwrap();
+        let recovery = store.take_recovery().expect("corruption must be reported");
+        assert_eq!(recovery.kept_records, 7);
+        assert_eq!(store.disk_len(), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_preserves_newest_wins() {
+        let dir = tmp_dir("compact");
+        // Tiny budget: every few appends trigger a compaction.
+        let store = FitnessStore::open_with(&dir, 0, 256).unwrap();
+        for round in 0..30u64 {
+            for key in 0..4usize {
+                store.insert(FP, &[key], (round * 10 + key as u64) as f64, round);
+            }
+        }
+        assert!(store.compactions() > 0, "budget of 256 B must compact");
+        assert_eq!(store.disk_len(), 4, "dead versions dropped");
+        drop(store);
+        // Reopen: only the newest version of each key survives.
+        let store = FitnessStore::open_with(&dir, 0, 256).unwrap();
+        assert!(store.take_recovery().is_none(), "compacted log is clean");
+        assert_eq!(store.disk_len(), 4);
+        for key in 0..4usize {
+            let hit = store.probe(FP, &[key]).unwrap();
+            assert_eq!(hit.fitness, (29 * 10 + key as u64) as f64);
+            assert_eq!(hit.owner, 29);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

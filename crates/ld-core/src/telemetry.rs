@@ -284,6 +284,10 @@ pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std
         w,
         "\tsched_retries\tsched_retired\tsched_rejoins\tsched_requeued\tsched_fallbacks"
     )?;
+    write!(
+        w,
+        "\tsched_cache_misses\tsched_cache_evictions\tsched_cache_persists"
+    )?;
     write!(w, "\tgen_wall_ms")?;
     // Dynamics columns are empty (not zero) on unobserved runs, so a
     // plotting tool can tell "not measured" from "measured as zero".
@@ -328,6 +332,11 @@ pub fn write_history_tsv<W: std::io::Write>(result: &RunResult, mut w: W) -> std
             g.sched.rejoins,
             g.sched.requeued,
             g.sched.fallback_batches,
+        )?;
+        write!(
+            w,
+            "\t{}\t{}\t{}",
+            g.sched.cache_misses, g.sched.cache_evictions, g.sched.cache_persists,
         )?;
         write!(w, "\t{:.3}", g.gen_wall_ms)?;
         match &g.dynamics {
@@ -477,7 +486,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), result.generations + 1);
         assert!(lines[0].starts_with("generation\tevaluations\tbest_k2"));
-        assert!(lines[0].contains("\tgen_wall_ms\tdyn_hamming"));
+        assert!(lines[0].contains("\tsched_cache_misses\tsched_cache_evictions\tsched_cache_persists\tgen_wall_ms\tdyn_hamming"));
         assert!(lines[0].ends_with("\tdyn_profit_cross_inter"));
         // Every data row has the full column count.
         let n_cols = lines[0].split('\t').count();

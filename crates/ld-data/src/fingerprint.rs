@@ -1,0 +1,109 @@
+//! Content-addressed dataset identity.
+//!
+//! A [`DatasetFingerprint`] is the canonical 64-bit FNV-1a digest of a
+//! dataset's encoded bytes. It is the single source of truth for "are
+//! these two tenants evaluating against the same panel?" — the network
+//! layer registers datasets on slaves under it, the eval server shares
+//! slave residency and fitness-store entries by it, and the persistent
+//! fitness store keys every record with it.
+//!
+//! The digest was born in `ld-net::wire` (where it still has a
+//! delegating re-export so the v3 wire format is unchanged); this module
+//! is its canonical home so that layers below the network — the
+//! scheduler's fitness store, checkpoints — can speak the same identity
+//! without depending on the wire crate.
+
+use serde::{Deserialize, Serialize};
+
+/// 64-bit FNV-1a content fingerprint of a dataset's encoded bytes.
+///
+/// Two masters encoding the same columns always derive the same
+/// fingerprint, so caches and slave-side dataset stores are shared by
+/// content, not by name. The inner value is exactly the `u64` carried in
+/// v3 `RegisterDataset` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DatasetFingerprint(u64);
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl DatasetFingerprint {
+    /// The fingerprint of a purely local (non-networked) evaluation
+    /// context: a private in-process cache that never leaves the run has
+    /// no dataset bytes to hash, so it uses the reserved value `0`.
+    pub const LOCAL: DatasetFingerprint = DatasetFingerprint(0);
+
+    /// Digest `bytes` with 64-bit FNV-1a.
+    ///
+    /// This is byte-for-byte the historical `ld-net::wire::fingerprint`
+    /// computation; wire frames built from this value are identical to
+    /// frames built before the relocation.
+    pub fn from_bytes(bytes: &[u8]) -> DatasetFingerprint {
+        let mut hash = FNV_OFFSET;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        DatasetFingerprint(hash)
+    }
+
+    /// Wrap a raw fingerprint received from the wire or a stored record.
+    pub fn from_raw(raw: u64) -> DatasetFingerprint {
+        DatasetFingerprint(raw)
+    }
+
+    /// The raw 64-bit value (what v3 frames and store records carry).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for DatasetFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_fnv1a_vectors() {
+        // Published FNV-1a 64-bit test vectors; any drift here would
+        // silently orphan every record in an existing on-disk store.
+        assert_eq!(DatasetFingerprint::from_bytes(b"").as_u64(), FNV_OFFSET);
+        assert_eq!(
+            DatasetFingerprint::from_bytes(b"a").as_u64(),
+            0xaf63_dc4c_8601_ec8c
+        );
+        assert_eq!(
+            DatasetFingerprint::from_bytes(b"hello").as_u64(),
+            0xa430_d846_80aa_bd0b
+        );
+    }
+
+    #[test]
+    fn content_addressed_not_identity_addressed() {
+        let a = vec![1u8, 2, 3, 4];
+        let b = a.clone();
+        let c = vec![1u8, 2, 3, 5];
+        assert_eq!(
+            DatasetFingerprint::from_bytes(&a),
+            DatasetFingerprint::from_bytes(&b)
+        );
+        assert_ne!(
+            DatasetFingerprint::from_bytes(&a),
+            DatasetFingerprint::from_bytes(&c)
+        );
+    }
+
+    #[test]
+    fn raw_round_trip_and_display() {
+        let fp = DatasetFingerprint::from_raw(0xDEAD_BEEF);
+        assert_eq!(fp.as_u64(), 0xDEAD_BEEF);
+        assert_eq!(format!("{fp}"), "0x00000000deadbeef");
+    }
+}

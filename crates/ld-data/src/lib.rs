@@ -26,6 +26,7 @@ pub mod column;
 pub mod constraints;
 pub mod dataset;
 pub mod error;
+pub mod fingerprint;
 pub mod freq;
 pub mod genotype;
 pub mod impute;
@@ -42,6 +43,7 @@ pub use column::ColumnMatrix;
 pub use constraints::{ConstraintReport, HaplotypeConstraints};
 pub use dataset::Dataset;
 pub use error::DataError;
+pub use fingerprint::DatasetFingerprint;
 pub use freq::AlleleFreqTable;
 pub use genotype::Genotype;
 pub use io::{read_dataset_tsv, write_dataset_tsv};

@@ -64,6 +64,7 @@ pub use api::{MultiRunApi, RunBoard, RunLauncher, RunRequest};
 pub use cluster::{LocalCluster, SharedCluster};
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;
+pub use ld_data::DatasetFingerprint;
 pub use master::{PoolConfig, PoolError, TcpSlavePool};
-pub use server::{EvalServer, RunHandle, RunSpec, ServerConfig, SubmitError};
+pub use server::{EvalServer, RunHandle, RunSpec, RunStoreStats, ServerConfig, SubmitError};
 pub use slave::{DatasetLoader, ObjectiveStore, SlaveServer};

@@ -41,9 +41,10 @@
 use crate::master::PoolConfig;
 use crate::protocol::{read_message, write_message, Message, ProtoError, PROTOCOL_VERSION};
 use ld_core::{
-    EvalBackend, EvalBackendError, Evaluator, FaultEvents, Haplotype, WeightedFairQueue,
+    EvalBackend, EvalBackendError, Evaluator, FaultEvents, FitnessStore, Haplotype,
+    WeightedFairQueue,
 };
-use ld_data::SnpId;
+use ld_data::{DatasetFingerprint, SnpId};
 use ld_observe::span::names as span_names;
 use ld_observe::{Event, Observer};
 use std::collections::{HashMap, HashSet};
@@ -66,6 +67,13 @@ pub struct ServerConfig {
     /// Batches one run may have in flight before its dispatches fail
     /// fast with [`EvalBackendError::Saturated`] (0 = unbounded).
     pub max_outstanding_batches: usize,
+    /// Shared tiered fitness store, consulted before any job reaches the
+    /// fleet and fed by every completed evaluation. Keyed by dataset
+    /// fingerprint, so tenants evaluating the *same* dataset memoize for
+    /// each other (cross-tenant hits are accounted per run, see
+    /// [`RunHandle::store_stats`]); tenants on different datasets never
+    /// collide. `None` (the default) disables server-side memoization.
+    pub store: Option<Arc<FitnessStore>>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +82,7 @@ impl Default for ServerConfig {
             pool: PoolConfig::default(),
             max_runs: 8,
             max_outstanding_batches: 4,
+            store: None,
         }
     }
 }
@@ -196,6 +205,10 @@ struct RunShared {
     observer: Observer,
     outstanding_batches: AtomicUsize,
     faults: RunFaults,
+    /// Jobs served from the shared fitness store instead of the fleet.
+    store_hits: AtomicU64,
+    /// Store hits whose entry was paid for by a *different* tenant.
+    cross_tenant_hits: AtomicU64,
 }
 
 /// Completion cell of one in-flight batch.
@@ -393,6 +406,8 @@ impl EvalServer {
             weight: spec.weight,
             observer: spec.observer.clone(),
             outstanding_batches: AtomicUsize::new(0),
+            store_hits: AtomicU64::new(0),
+            cross_tenant_hits: AtomicU64::new(0),
             faults: RunFaults {
                 retries: AtomicU64::new(0),
                 requeued: AtomicU64::new(0),
@@ -522,6 +537,11 @@ impl EvalServer {
         &self.shared.cfg
     }
 
+    /// The shared fitness store, when one is configured.
+    pub fn store(&self) -> Option<&Arc<FitnessStore>> {
+        self.shared.cfg.store.as_ref()
+    }
+
     /// Stop the server: fail all queued work, wake every worker and
     /// waiting dispatcher. Idempotent; also run on drop.
     pub fn stop(&self) {
@@ -595,6 +615,15 @@ impl Drop for RunHandleInner {
     }
 }
 
+/// Per-run shared-store accounting (see [`ServerConfig::store`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStoreStats {
+    /// Jobs this run had answered by the shared store (no fleet work).
+    pub hits: u64,
+    /// Of those, hits on entries a *different* tenant paid for.
+    pub cross_tenant_hits: u64,
+}
+
 impl RunHandle {
     /// The tenant's run id.
     pub fn run_id(&self) -> &str {
@@ -604,6 +633,16 @@ impl RunHandle {
     /// The dataset fingerprint this run evaluates against.
     pub fn fingerprint(&self) -> u64 {
         self.inner.run.fingerprint
+    }
+
+    /// Lifetime shared-store accounting for this run. All zeros when the
+    /// server runs without a store.
+    pub fn store_stats(&self) -> RunStoreStats {
+        let run = &self.inner.run;
+        RunStoreStats {
+            hits: run.store_hits.load(Ordering::Relaxed),
+            cross_tenant_hits: run.cross_tenant_hits.load(Ordering::Relaxed),
+        }
     }
 
     /// Whether this run is still admitted on the server.
@@ -640,44 +679,68 @@ impl RunHandle {
             });
         }
         let cell = BatchCell::new(total);
-        let enqueue = (|| {
-            let mut st = shared.state.lock().unwrap();
-            if shared.stopped.load(Ordering::Relaxed) {
-                return Err(EvalBackendError::Backend("eval server stopped".into()));
+        // Server-side memoization: jobs answered by the shared store never
+        // reach the queue. An entry paid for by another tenant (owner ≠
+        // this run's key) is a cross-tenant hit — the whole point of
+        // sharing one store per fingerprint across runs.
+        let misses: Vec<(usize, Vec<SnpId>)> = match &shared.cfg.store {
+            Some(store) => {
+                let fp = DatasetFingerprint::from_raw(run.fingerprint);
+                jobs.into_iter()
+                    .enumerate()
+                    .filter_map(|(index, snps)| match store.probe(fp, &snps) {
+                        Some(hit) => {
+                            run.store_hits.fetch_add(1, Ordering::Relaxed);
+                            if hit.owner != 0 && hit.owner != run.key {
+                                run.cross_tenant_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            cell.complete(index, hit.fitness);
+                            None
+                        }
+                        None => Some((index, snps)),
+                    })
+                    .collect()
             }
-            if !st.runs.contains_key(&run.run_id) {
-                return Err(EvalBackendError::Backend(format!(
-                    "run {:?} is closed",
-                    run.run_id
-                )));
+            None => jobs.into_iter().enumerate().collect(),
+        };
+        if !misses.is_empty() {
+            let outstanding = misses.len();
+            let enqueue = (|| {
+                let mut st = shared.state.lock().unwrap();
+                if shared.stopped.load(Ordering::Relaxed) {
+                    return Err(EvalBackendError::Backend("eval server stopped".into()));
+                }
+                if !st.runs.contains_key(&run.run_id) {
+                    return Err(EvalBackendError::Backend(format!(
+                        "run {:?} is closed",
+                        run.run_id
+                    )));
+                }
+                if st.retired == shared.n_workers {
+                    // Whole fleet down: fail fast so the tenant's fallback
+                    // backend takes the batch (workers keep probing and will
+                    // serve again after a rejoin).
+                    return Err(EvalBackendError::AllWorkersFailed { outstanding, total });
+                }
+                for (index, snps) in misses {
+                    st.queue.push(
+                        run.key,
+                        Job {
+                            run: Arc::clone(run),
+                            batch: Arc::clone(&cell),
+                            index,
+                            snps,
+                        },
+                    );
+                }
+                Ok(())
+            })();
+            if let Err(e) = enqueue {
+                run.outstanding_batches.fetch_sub(1, Ordering::SeqCst);
+                return Err(e);
             }
-            if st.retired == shared.n_workers {
-                // Whole fleet down: fail fast so the tenant's fallback
-                // backend takes the batch (workers keep probing and will
-                // serve again after a rejoin).
-                return Err(EvalBackendError::AllWorkersFailed {
-                    outstanding: total,
-                    total,
-                });
-            }
-            for (index, snps) in jobs.into_iter().enumerate() {
-                st.queue.push(
-                    run.key,
-                    Job {
-                        run: Arc::clone(run),
-                        batch: Arc::clone(&cell),
-                        index,
-                        snps,
-                    },
-                );
-            }
-            Ok(())
-        })();
-        if let Err(e) = enqueue {
-            run.outstanding_batches.fetch_sub(1, Ordering::SeqCst);
-            return Err(e);
+            shared.work_cv.notify_all();
         }
-        shared.work_cv.notify_all();
         let (results, failed) = {
             let mut st = cell.state.lock().unwrap();
             while st.pending > 0 {
@@ -1055,6 +1118,12 @@ fn attempt_job(
         let id = shared.next_req.fetch_add(1, Ordering::Relaxed);
         match request_once(io, id, &run, &job.snps, &obs) {
             Ok(RequestReply::Fitness(fitness, compute)) => {
+                if let Some(store) = &shared.cfg.store {
+                    // Feed the shared store, stamped with this tenant's
+                    // key so later hits can tell cross-tenant reuse apart.
+                    let fp = DatasetFingerprint::from_raw(run.fingerprint);
+                    let _ = store.insert(fp, &job.snps, fitness, run.key);
+                }
                 if let Some(compute_us) = compute {
                     // The slave's own clock, carved out of the round-trip
                     // for per-tenant attribution.
@@ -1215,6 +1284,7 @@ mod tests {
             },
             max_runs: 8,
             max_outstanding_batches: 4,
+            store: None,
         }
     }
 
@@ -1244,6 +1314,68 @@ mod tests {
         }
         assert_eq!(a.try_evaluate_one(&[2, 3]).unwrap(), 5.0);
         assert_eq!(b.try_evaluate_one(&[2, 3]).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn shared_store_memoizes_across_tenants_by_fingerprint() {
+        let (_slaves, addrs) = fleet(2, 4);
+        let mut cfg = fast_cfg();
+        cfg.store = Some(Arc::new(FitnessStore::in_memory(256)));
+        let server = EvalServer::connect(&addrs, cfg, Observer::disabled()).unwrap();
+        // Two tenants on the SAME dataset, one on a different one.
+        let a = server.submit_run(spec("run-a", 0xA, 2)).unwrap();
+        let b = server.submit_run(spec("run-b", 0xA, 2)).unwrap();
+        let c = server.submit_run(spec("run-c", 0xC, 5)).unwrap();
+
+        // Tenant A pays for the evaluation...
+        assert_eq!(a.try_evaluate_one(&[2, 3]).unwrap(), 10.0);
+        assert_eq!(
+            a.store_stats(),
+            RunStoreStats {
+                hits: 0,
+                cross_tenant_hits: 0
+            }
+        );
+        // ...a repeat by A hits its own entry (not cross-tenant)...
+        assert_eq!(a.try_evaluate_one(&[2, 3]).unwrap(), 10.0);
+        assert_eq!(
+            a.store_stats(),
+            RunStoreStats {
+                hits: 1,
+                cross_tenant_hits: 0
+            }
+        );
+        // ...and tenant B (same fingerprint) reuses it cross-tenant.
+        assert_eq!(b.try_evaluate_one(&[2, 3]).unwrap(), 10.0);
+        assert_eq!(
+            b.store_stats(),
+            RunStoreStats {
+                hits: 1,
+                cross_tenant_hits: 1
+            }
+        );
+        // Tenant C evaluates a different dataset: same SNP set, different
+        // fingerprint, so it must NOT see A's value.
+        assert_eq!(c.try_evaluate_one(&[2, 3]).unwrap(), 25.0);
+        assert_eq!(
+            c.store_stats(),
+            RunStoreStats {
+                hits: 0,
+                cross_tenant_hits: 0
+            }
+        );
+        // A fully store-served batch completes without touching the queue.
+        let mut batch = vec![Haplotype::new(vec![2, 3])];
+        b.dispatch(&mut batch).unwrap();
+        assert_eq!(batch[0].fitness(), 10.0);
+        assert_eq!(b.store_stats().hits, 2);
+        assert_eq!(
+            server
+                .store()
+                .unwrap()
+                .len(DatasetFingerprint::from_raw(0xA)),
+            1
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! fixed-width fields, length-prefixed strings — so a frame written by
 //! any build decodes in any other.
 
-use ld_data::{Dataset, Genotype, GenotypeMatrix, SnpInfo, Status};
+use ld_data::{Dataset, DatasetFingerprint, Genotype, GenotypeMatrix, SnpInfo, Status};
 
 /// Leading magic of an encoded dataset (`"LDDS"` + format version).
 const MAGIC: &[u8; 4] = b"LDDS";
@@ -113,13 +113,12 @@ pub fn decode_dataset(bytes: &[u8]) -> Result<Dataset, String> {
 
 /// Content fingerprint of a columns blob (64-bit FNV-1a). Two tenants
 /// registering byte-identical datasets share one resident copy per slave.
+///
+/// Delegates to [`ld_data::DatasetFingerprint`], the canonical home of
+/// the digest since the fitness store began keying records with it; the
+/// value (and therefore the v3 wire format) is unchanged.
 pub fn fingerprint(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    DatasetFingerprint::from_bytes(bytes).as_u64()
 }
 
 fn push_str(out: &mut Vec<u8>, s: &str) {
@@ -189,6 +188,42 @@ mod tests {
         let c = encode_dataset(&lille_51(43));
         assert_eq!(fingerprint(&a), fingerprint(&b));
         assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn fingerprint_relocation_keeps_v3_frames_byte_identical() {
+        // The digest moved from an inline loop here to
+        // `ld_data::DatasetFingerprint`. This test re-rolls the
+        // historical pre-relocation computation by hand and proves a v3
+        // `RegisterDataset` frame built from the relocated digest is
+        // byte-for-byte what the old code produced.
+        let blob = encode_dataset(&lille_51(42));
+        let mut legacy: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &blob {
+            legacy ^= u64::from(b);
+            legacy = legacy.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(fingerprint(&blob), legacy);
+
+        let frame = crate::protocol::Message::RegisterDataset {
+            handle: fingerprint(&blob),
+            fingerprint: fingerprint(&blob),
+            n_snps: 51,
+            payload: blob.clone(),
+        }
+        .encode();
+        // Hand-rolled frame: [len u32][tag=5][handle u64][fingerprint
+        // u64][n_snps u32][blob len u32][blob] — the v3 layout.
+        let mut expected = Vec::new();
+        let payload_len = 8 + 8 + 4 + 4 + blob.len();
+        expected.extend_from_slice(&(payload_len as u32 + 1).to_le_bytes());
+        expected.push(5);
+        expected.extend_from_slice(&legacy.to_le_bytes());
+        expected.extend_from_slice(&legacy.to_le_bytes());
+        expected.extend_from_slice(&51u32.to_le_bytes());
+        expected.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        expected.extend_from_slice(&blob);
+        assert_eq!(&frame[..], &expected[..]);
     }
 
     #[test]

@@ -223,6 +223,32 @@ impl ConvergenceDetector {
         &self.cfg
     }
 
+    /// Export the detector's complete internal state for checkpointing.
+    ///
+    /// A resumed run rebuilt with [`ConvergenceDetector::from_state`]
+    /// continues the plateau analysis exactly where this detector stood:
+    /// same warm-up progress, same sliding window, same fired latch — so
+    /// `Stagnation`/`Converged` verdicts land on the same generations as
+    /// in an uninterrupted run.
+    pub fn state(&self) -> DetectorState {
+        DetectorState {
+            cfg: self.cfg,
+            seen: self.seen,
+            ring: self.ring.iter().copied().collect(),
+            fired: self.fired,
+        }
+    }
+
+    /// Rebuild a detector from a checkpointed [`DetectorState`].
+    pub fn from_state(state: DetectorState) -> Self {
+        ConvergenceDetector {
+            cfg: state.cfg,
+            seen: state.seen,
+            ring: state.ring.into_iter().collect(),
+            fired: state.fired,
+        }
+    }
+
     /// Observe one generation. Returns a verdict when the window first
     /// turns stagnant (never during warm-up, never before the window is
     /// full, and never twice for the same plateau).
@@ -259,6 +285,22 @@ impl ConvergenceDetector {
             }
         })
     }
+}
+
+/// Serializable snapshot of a [`ConvergenceDetector`]'s internal state
+/// (the window ring is flattened to a `Vec`, oldest first). Checkpoints
+/// embed one so a resumed observed run emits verdicts on the same
+/// generations as the uninterrupted reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorState {
+    /// Thresholds the detector was judging with.
+    pub cfg: DetectorConfig,
+    /// Generations observed so far (warm-up progress).
+    pub seen: usize,
+    /// Sliding best-fitness window, oldest first.
+    pub ring: Vec<f64>,
+    /// Whether the current plateau already fired a verdict.
+    pub fired: bool,
 }
 
 /// Pre-registered registry handles for the dynamics series. Mirrors the

@@ -185,6 +185,23 @@ pub enum Event {
         /// shipped).
         resident: bool,
     },
+    /// A run was restored from a checkpoint and will continue from
+    /// `generation` with its scheduler cache, fault counters, and
+    /// dynamics-detector state re-established.
+    RunResumed {
+        /// Generation the checkpoint was taken at (the next step emits
+        /// `generation + 1`).
+        generation: u64,
+    },
+    /// The on-disk fitness store recovered from a corrupt or torn log
+    /// tail on open: the damaged suffix was truncated, every record
+    /// before it was kept, and the run proceeds.
+    StoreRecovered {
+        /// Records successfully re-indexed from the log.
+        kept_records: u64,
+        /// Bytes of damaged tail dropped by truncation.
+        dropped_bytes: u64,
+    },
     /// A socket-level failure in a server accept/connection loop that was
     /// absorbed (logged and survived) rather than crashing the daemon.
     SlaveIoError {
@@ -258,6 +275,8 @@ impl Event {
             Event::RunRejected { .. } => "run_rejected",
             Event::RunClosed { .. } => "run_closed",
             Event::DatasetRegistered { .. } => "dataset_registered",
+            Event::RunResumed { .. } => "run_resumed",
+            Event::StoreRecovered { .. } => "store_recovered",
             Event::SlaveIoError { .. } => "slave_io_error",
             Event::SpanClosed { .. } => "span_closed",
             Event::Custom { .. } => "custom",

@@ -53,8 +53,8 @@ pub mod timing;
 pub mod trace;
 
 pub use dynamics::{
-    ConvergenceDetector, DetectorConfig, DetectorVerdict, DynamicsBoard, DynamicsMark,
-    DynamicsMetrics, DynamicsPoint, DynamicsSnapshot, DynamicsTrace,
+    ConvergenceDetector, DetectorConfig, DetectorState, DetectorVerdict, DynamicsBoard,
+    DynamicsMark, DynamicsMetrics, DynamicsPoint, DynamicsSnapshot, DynamicsTrace,
 };
 pub use event::{Envelope, Event, Phase};
 pub use http::{ApiHandler, ApiResponse, ExposeServer};

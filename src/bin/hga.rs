@@ -169,15 +169,31 @@ fn cmd_qc(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Drive a (possibly resumed) run to termination, saving a checkpoint at
-/// the end when `--save-state` is given.
+/// Write a checkpoint atomically (tmp + rename): a `kill -9` mid-write
+/// leaves the previous checkpoint intact, never a torn JSON file.
+fn write_checkpoint(cp: &haplo_ga::ga::Checkpoint, path: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    let file = std::fs::File::create(&tmp).map_err(|e| format!("create {tmp}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    serde_json::to_writer(&mut w, cp).map_err(|e| format!("write {tmp}: {e}"))?;
+    use std::io::Write;
+    w.flush().map_err(|e| format!("flush {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {tmp} -> {path}: {e}"))
+}
+
+/// Drive a (possibly resumed) run to termination: checkpoint every
+/// `--checkpoint-every N` generations, and once more at the end when
+/// `--save-state` is given. `store` (from `--cache-dir`) memoizes
+/// evaluations across runs under the dataset's content fingerprint.
 fn drive<E: Evaluator>(
     evaluator: &E,
     args: &Args,
     config: &GaConfig,
     seed: u64,
+    store: Option<haplo_ga::ga::StoreAttachment>,
 ) -> Result<haplo_ga::ga::RunResult, String> {
     use haplo_ga::ga::{Checkpoint, GaRun, StepOutcome};
+    use haplo_ga::observe::Observer;
     let mut run = match args.get("resume") {
         Some(path) => {
             let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
@@ -187,21 +203,33 @@ fn drive<E: Evaluator>(
                 "resuming from {path}: generation {}, {} evaluations so far",
                 cp.generation, cp.total_evaluations
             );
-            GaRun::restore(evaluator, cp, None)?
+            GaRun::restore_full(evaluator, cp, None, Observer::disabled(), store)?
         }
-        None => GaRun::new(evaluator, config.clone(), seed, None)?,
+        None => GaRun::new_full(
+            evaluator,
+            config.clone(),
+            seed,
+            None,
+            None,
+            Observer::disabled(),
+            store,
+        )?,
     };
+    let every = args.usize_or("checkpoint-every", 0);
+    let cp_path = args.get("save-state").unwrap_or("hga-checkpoint.json");
     loop {
-        match run.step() {
+        let outcome = run.step();
+        if every > 0 && run.generation() % every == 0 {
+            write_checkpoint(&run.checkpoint(), cp_path)?;
+        }
+        match outcome {
             StepOutcome::StagnationLimitReached | StepOutcome::GenerationCapReached => break,
             _ => {}
         }
     }
-    if let Some(path) = args.get("save-state") {
-        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-        serde_json::to_writer(std::io::BufWriter::new(file), &run.checkpoint())
-            .map_err(|e| format!("write {path}: {e}"))?;
-        println!("checkpoint written to {path}");
+    if args.get("save-state").is_some() {
+        write_checkpoint(&run.checkpoint(), cp_path)?;
+        println!("checkpoint written to {cp_path}");
     }
     Ok(run.finish())
 }
@@ -223,18 +251,38 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "GA on {} ({:?} fitness), sizes {}..={}, population {}, {} worker(s), seed {seed}",
         d.label, kind, config.min_size, config.max_size, config.population_size, workers
     );
+    // `--cache-dir DIR`: a persistent tiered fitness store, keyed by the
+    // dataset file's content fingerprint. A second run over the same data
+    // (any seed whose trajectory revisits SNP sets) starts warm.
+    let store = match args.get("cache-dir") {
+        Some(dir) => {
+            use haplo_ga::data::DatasetFingerprint;
+            use haplo_ga::ga::FitnessStore;
+            let data_path = args.get("data").expect("load_dataset checked --data");
+            let bytes = std::fs::read(data_path).map_err(|e| format!("read {data_path}: {e}"))?;
+            let fp = DatasetFingerprint::from_bytes(&bytes);
+            let store = FitnessStore::open(Path::new(dir), args.usize_or("cache-capacity", 65_536))
+                .map_err(|e| format!("open fitness store {dir}: {e}"))?;
+            println!(
+                "fitness store at {dir}: {} entr(ies) on disk, dataset fingerprint {fp}",
+                store.disk_len()
+            );
+            Some((std::sync::Arc::new(store), fp))
+        }
+        None => None,
+    };
     let t0 = std::time::Instant::now();
     let result = if let Some(slaves) = args.get("slaves") {
         // Distributed evaluation over TCP slave daemons (`hga slave`).
         let addrs: Vec<String> = slaves.split(',').map(|s| s.trim().to_string()).collect();
         let pool = TcpSlavePool::connect(&addrs).map_err(|e| e.to_string())?;
         println!("connected to {} remote slave(s)", pool.alive());
-        drive(&pool, args, &config, seed)?
+        drive(&pool, args, &config, seed, store)?
     } else if workers > 1 {
         let par = MasterSlaveEvaluator::new(objective, workers);
-        drive(&par, args, &config, seed)?
+        drive(&par, args, &config, seed, store)?
     } else {
-        drive(&objective, args, &config, seed)?
+        drive(&objective, args, &config, seed, store)?
     };
     println!(
         "done in {:.1?}: {} generations, {} evaluations\n",
@@ -389,6 +437,7 @@ commands:
              [--max-size K] [--population P] [--stagnation G] [--seed S]
              [--fitness t1|t2|t3|t4|lrt] [--trace history.tsv]
              [--save-state cp.json] [--resume cp.json]
+             [--checkpoint-every N] [--cache-dir DIR] [--cache-capacity C]
   slave      --data FILE [--bind ADDR]          evaluation slave daemon
   enumerate  --data FILE --size K [--top M]     exhaustive baseline
   eval       --data FILE --snps a,b,c [--mc N]  score one haplotype

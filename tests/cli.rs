@@ -133,6 +133,93 @@ fn run_command_small_ga() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Sum one sched_* column of a history TSV written by `--trace`.
+fn column_sum(tsv: &str, name: &str) -> u64 {
+    let mut lines = tsv.lines();
+    let header: Vec<&str> = lines.next().expect("header").split('\t').collect();
+    let idx = header
+        .iter()
+        .position(|c| *c == name)
+        .unwrap_or_else(|| panic!("column {name} missing from {header:?}"));
+    lines
+        .map(|l| l.split('\t').nth(idx).unwrap().parse::<u64>().unwrap())
+        .sum()
+}
+
+#[test]
+fn cache_dir_warms_across_runs_and_checkpoint_resume_works() {
+    let dir = workdir();
+    let out_dir = dir.join("study-store");
+    let cache_dir = dir.join("fitness-cache");
+    let cp = dir.join("cp.json");
+    let out = hga()
+        .args(["generate", "--snps", "51", "--seed", "9", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let genotypes = out_dir.join("genotypes.tsv");
+
+    let run = |trace: &PathBuf, extra: &[&str]| {
+        let mut cmd = hga();
+        cmd.arg("run")
+            .arg("--data")
+            .arg(&genotypes)
+            .args(["--max-size", "3", "--population", "40", "--stagnation", "5"])
+            .args(["--seed", "1"])
+            .arg("--cache-dir")
+            .arg(&cache_dir)
+            .arg("--trace")
+            .arg(trace)
+            .args(extra);
+        let out = cmd.output().expect("run GA");
+        assert!(
+            out.status.success(),
+            "run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // Cold run: populates the on-disk store and writes checkpoints.
+    let t_cold = dir.join("cold.tsv");
+    let stdout = run(
+        &t_cold,
+        &[
+            "--save-state",
+            cp.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+        ],
+    );
+    assert!(stdout.contains("fitness store"), "stdout: {stdout}");
+    assert!(cp.exists(), "checkpoint not written");
+    assert!(cache_dir.join("fitness.log").exists(), "disk tier missing");
+
+    // Warm run, same seed: the trajectory revisits exactly the same SNP
+    // sets, so nearly everything is served from the store.
+    let t_warm = dir.join("warm.tsv");
+    run(&t_warm, &[]);
+    let cold_tsv = std::fs::read_to_string(&t_cold).unwrap();
+    let warm_tsv = std::fs::read_to_string(&t_warm).unwrap();
+    let cold_true = column_sum(&cold_tsv, "sched_true_evals");
+    let warm_true = column_sum(&warm_tsv, "sched_true_evals");
+    let warm_hits = column_sum(&warm_tsv, "sched_cache_hits");
+    assert!(cold_true > 0, "cold run did no true evaluations");
+    assert!(
+        warm_true * 10 <= cold_true,
+        "warm run not >=90% served from the store: cold {cold_true}, warm {warm_true}"
+    );
+    assert!(warm_hits > 0, "warm run recorded no cache hits");
+
+    // Resume from the periodic checkpoint: continues and terminates.
+    let t_res = dir.join("resumed.tsv");
+    let stdout = run(&t_res, &["--resume", cp.to_str().unwrap()]);
+    assert!(stdout.contains("resuming from"), "stdout: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn missing_data_flag_reports_error() {
     let out = hga().args(["qc"]).output().expect("run qc");
