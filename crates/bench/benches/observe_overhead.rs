@@ -1,0 +1,133 @@
+//! Observer overhead: the same GA run with no observer, with a ring-sink
+//! observer, and with a flight-recorder observer.
+//!
+//! The observability plane's design bet is that instrumentation left in
+//! the engine costs ~nothing when disabled (a branch on `None`) and
+//! stays cheap when enabled (bounded rings, no per-event I/O). This
+//! bench pins both claims as ratios: ns per generation for each
+//! configuration, plus the enabled/disabled overhead factor. Ratios of
+//! same-process measurements transfer across hosts far better than raw
+//! nanoseconds, so the committed JSON doubles as a reviewable baseline.
+//!
+//! Uses the repo's hand-rolled timing loop (not criterion) so it accepts
+//! the standard `--report <path>` flag and emits
+//! `BENCH_observe_overhead.json` through the same `RunReport` machinery
+//! as the other harnesses.
+//!
+//! `cargo bench -p bench --bench observe_overhead -- --quick --report BENCH_observe_overhead.json`
+
+use ld_core::evaluator::FnEvaluator;
+use ld_core::{GaConfig, GaEngine};
+use ld_data::SnpId;
+use ld_observe::{FlightRecorder, Observer, Registry, RingSink};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn ga_cfg() -> GaConfig {
+    GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 4,
+        matings_per_generation: 6,
+        stagnation_limit: 1_000, // never stop early: fixed generation count
+        max_generations: 30,
+        ..GaConfig::default()
+    }
+}
+
+/// One full GA run under `observer`; returns (ns per generation,
+/// generations). Same evaluator, config and seed every time, so all
+/// configurations execute identical GA arithmetic.
+fn run_once(observer: Observer, seed: u64) -> (f64, usize) {
+    // A deliberately cheap objective: with evaluation nearly free, the
+    // observer's share of the generation is at its most visible.
+    let eval = FnEvaluator::new(51, |s: &[SnpId]| {
+        s.iter().map(|&x| x as f64).sum::<f64>() + 10.0 * s.len() as f64
+    });
+    let start = Instant::now();
+    let result = GaEngine::new(&eval, ga_cfg(), seed)
+        .unwrap()
+        .with_observer(observer)
+        .run();
+    let ns = start.elapsed().as_nanos() as f64;
+    black_box(result.total_evaluations);
+    (ns / result.generations as f64, result.generations)
+}
+
+/// Best (minimum) ns/generation per configuration across `rounds`
+/// interleaved repetitions, so frequency scaling hits all alike.
+fn interleaved_mins(rounds: usize, paths: &mut [&mut dyn FnMut() -> f64]) -> Vec<f64> {
+    for f in paths.iter_mut() {
+        f();
+    }
+    let mut best = vec![f64::INFINITY; paths.len()];
+    for _ in 0..rounds {
+        for (b, f) in best.iter_mut().zip(paths.iter_mut()) {
+            *b = b.min(f());
+        }
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 3 } else { 9 };
+    let seed = 11u64;
+
+    let mut disabled = || run_once(Observer::disabled(), seed).0;
+    let mut ring = || {
+        let sink = Arc::new(RingSink::new(1 << 14));
+        run_once(Observer::new("ring", sink, Registry::new()), seed).0
+    };
+    let mut flight = || {
+        // No path attached: pure in-memory black box, as a run carries it
+        // between dumps (persistence is off the generation's path).
+        let recorder = Arc::new(FlightRecorder::new(1 << 14));
+        run_once(Observer::new("flight", recorder, Registry::new()), seed).0
+    };
+    let best = interleaved_mins(rounds, &mut [&mut disabled, &mut ring, &mut flight]);
+    let (disabled_ns, ring_ns, flight_ns) = (best[0], best[1], best[2]);
+    let ring_overhead = ring_ns / disabled_ns;
+    let flight_overhead = flight_ns / disabled_ns;
+
+    println!(
+        "{}",
+        bench::markdown_table(
+            &["config", "ns_per_generation", "overhead_vs_disabled",],
+            &[
+                vec![
+                    "disabled".into(),
+                    format!("{disabled_ns:.0}"),
+                    "1.00".into()
+                ],
+                vec![
+                    "ring".into(),
+                    format!("{ring_ns:.0}"),
+                    format!("{ring_overhead:.2}"),
+                ],
+                vec![
+                    "flight".into(),
+                    format!("{flight_ns:.0}"),
+                    format!("{flight_overhead:.2}"),
+                ],
+            ]
+        )
+    );
+
+    if let Some(path) = bench::arg_str("report") {
+        let report = ld_observe::RunReport::new("observe_overhead")
+            .section("params", &[("quick", quick as usize), ("rounds", rounds)])
+            .raw_section(
+                "observe_overhead",
+                format!(
+                    "{{\"disabled_ns_per_gen\":{disabled_ns:.1},\
+                     \"ring_ns_per_gen\":{ring_ns:.1},\
+                     \"flight_ns_per_gen\":{flight_ns:.1},\
+                     \"ring_overhead\":{ring_overhead:.4},\
+                     \"flight_overhead\":{flight_overhead:.4}}}"
+                ),
+            );
+        bench::write_report(&report, &path);
+    }
+}

@@ -1129,7 +1129,16 @@ impl<B: EvalBackend> EvalService<B> {
         drop(batch_span);
         self.observer.end_batch();
         match dispatch_err {
-            Some(err) => Err(err),
+            Some(err) => {
+                // The batch is about to surface an unrecoverable backend
+                // failure (no fallback, or the fallback failed too): flag
+                // it as fatal so an attached flight recorder dumps its
+                // black box before the run unwinds.
+                self.observer.emit_with(|| Event::EvalFatal {
+                    detail: err.to_string(),
+                });
+                Err(err)
+            }
             None => Ok(scheduled),
         }
     }
@@ -1424,9 +1433,16 @@ mod tests {
 
     #[test]
     fn backend_failure_without_fallback_surfaces_typed_error() {
+        let sink = Arc::new(ld_observe::RingSink::new(64));
+        let observer = Observer::new(
+            "sched-fatal",
+            Arc::clone(&sink) as Arc<dyn ld_observe::Sink>,
+            ld_observe::Registry::new(),
+        );
         let mut svc = EvalService::new(FlakyBackend {
             complete_before_failing: 0,
-        });
+        })
+        .with_observer(observer);
         let mut batch = vec![Haplotype::new(vec![1, 2]), Haplotype::new(vec![3, 4])];
         let err = svc.submit(&mut batch).unwrap_err();
         assert_eq!(
@@ -1443,6 +1459,16 @@ mod tests {
         assert_eq!(svc.stats().requeued, 3);
         assert_eq!(svc.stats().fallback_batches, 0);
         assert!(svc.stats().fault_events() > 0);
+        // The unrecoverable failure was flagged as fatal in the event
+        // stream (the flight recorder's dump trigger).
+        let fatal = sink.take().into_iter().find_map(|env| match env.event {
+            Event::EvalFatal { detail } => Some(detail),
+            _ => None,
+        });
+        assert!(
+            fatal.as_deref().is_some_and(|d| d.contains("worker")),
+            "missing EvalFatal: {fatal:?}"
+        );
     }
 
     #[test]

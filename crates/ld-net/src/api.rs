@@ -12,6 +12,7 @@
 //! | `/runs/<id>` | GET | one run's status |
 //! | `/runs/<id>/result` | GET | final result (202 while still running) |
 //! | `/runs/<id>/dynamics` | GET | search-dynamics series (`?since=<gen>` for increments) |
+//! | `/fleet` | GET | per-slave watchdog baselines and standing anomaly verdicts |
 //!
 //! `/health` additionally grows a per-run section (via
 //! [`ApiHandler::health_runs`](ld_observe::ApiHandler::health_runs)).
@@ -293,6 +294,7 @@ impl ApiHandler for MultiRunApi {
         match (method, path) {
             ("POST", "/runs") => Some(self.submit(body)),
             ("GET", "/runs") => Some(self.list()),
+            ("GET", "/fleet") => self.server.watch().handle(method, path, query, body),
             ("GET", p) => {
                 let rest = p.strip_prefix("/runs/")?;
                 if let Some(id) = rest.strip_suffix("/result") {
@@ -454,6 +456,30 @@ mod tests {
         // Unknown routes fall through to the built-ins.
         assert!(api.handle("GET", "/metrics", "", b"").is_none());
         assert!(api.handle("DELETE", "/runs", "", b"").is_none());
+    }
+
+    #[test]
+    fn fleet_route_serves_watchdog_rollup() {
+        let (slave, _server, api) = api_fixture(8);
+        // One submitted run = one real evaluation over the fleet, so the
+        // watchdog has at least one sample for the slave.
+        let resp = api
+            .handle("POST", "/runs", "", br#"{"run_id":"r1","seed":4}"#)
+            .unwrap();
+        assert_eq!(resp.status, 202, "{}", resp.body);
+        let resp = api.handle("GET", "/fleet", "", b"").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        let slaves = v.get("slaves").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(slaves.len(), 1, "{}", resp.body);
+        assert_eq!(
+            slaves[0].get("addr").and_then(|x| x.as_str()),
+            Some(slave.addr().to_string().as_str())
+        );
+        assert!(slaves[0].get("samples").and_then(|x| x.as_u64()).unwrap() >= 1);
+        assert!(slaves[0].get("flagged").unwrap().is_null(), "{}", resp.body);
+        // Non-GET still falls through to the built-in 405.
+        assert!(api.handle("POST", "/fleet", "", b"").is_none());
     }
 
     #[test]

@@ -27,12 +27,21 @@ use crate::protocol::{
 use ld_core::{EvalBackend, EvalBackendError, Evaluator, FaultEvents, Haplotype};
 use ld_data::SnpId;
 use ld_observe::span::names as span_names;
-use ld_observe::{Counter, Event, Gauge, Histogram, Observer, SlaveHealth, LATENCY_MS_BUCKETS};
+use ld_observe::{
+    Counter, Event, FleetWatch, Gauge, Histogram, Observer, SlaveHealth, LATENCY_MS_BUCKETS,
+};
 use std::io::BufWriter;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 /// Tunable fault-tolerance knobs of a [`TcpSlavePool`].
 #[derive(Debug, Clone)]
@@ -102,8 +111,17 @@ struct SlaveSlot {
     /// Requests that carried a compute-time report (v2 peers only).
     compute_samples: AtomicU64,
     /// Most recent request or reconnect failure, for the health table.
+    /// Cleared on the next successful request, so a populated value
+    /// means "failing now", not "failed once long ago".
     /// Lock order: `link` before `last_error` (never the reverse).
     last_error: Mutex<Option<String>>,
+    /// Failures over the slot's lifetime (never reset: history survives
+    /// the `last_error` clear).
+    errors: AtomicU64,
+    /// Wall-clock timestamp (ms since epoch) of the most recent failure;
+    /// 0 = never failed. Not cleared on success, so the health table can
+    /// still say *when* a recovered slave last failed.
+    last_error_ts_ms: AtomicU64,
     /// Per-slave metric handles, registered when an observer attaches.
     metrics: OnceLock<SlotMetrics>,
 }
@@ -122,17 +140,24 @@ impl SlaveSlot {
             compute_us: AtomicU64::new(0),
             compute_samples: AtomicU64::new(0),
             last_error: Mutex::new(None),
+            errors: AtomicU64::new(0),
+            last_error_ts_ms: AtomicU64::new(0),
             metrics: OnceLock::new(),
         }
     }
 
     fn note_error(&self, err: &ProtoError) {
         *self.last_error.lock().unwrap() = Some(err.to_string());
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.last_error_ts_ms.store(now_ms(), Ordering::Relaxed);
     }
 
     /// Record one successfully served request: its round-trip time and,
-    /// for v2 slaves, the slave's own compute time.
+    /// for v2 slaves, the slave's own compute time. Clears `last_error` —
+    /// the slot is demonstrably healthy again — while `errors` and
+    /// `last_error_ts_ms` keep the history.
     fn note_served(&self, rtt: Duration, compute: Option<SlaveCompute>) {
+        self.last_error.lock().unwrap().take();
         self.served.fetch_add(1, Ordering::Relaxed);
         self.rtt_ns
             .fetch_add(rtt.as_nanos() as u64, Ordering::Relaxed);
@@ -186,6 +211,9 @@ pub struct TcpSlavePool {
     observer: OnceLock<Observer>,
     /// Gauge mirroring [`TcpSlavePool::alive`], updated on retire/rejoin.
     active_gauge: OnceLock<Gauge>,
+    /// Fleet anomaly watchdog, created when an observer attaches; `None`
+    /// means the whole anomaly layer is inert (no baselines, no locks).
+    watch: OnceLock<FleetWatch>,
 }
 
 /// Pool construction errors.
@@ -255,6 +283,7 @@ impl TcpSlavePool {
             faults: PoolFaults::default(),
             observer: OnceLock::new(),
             active_gauge: OnceLock::new(),
+            watch: OnceLock::new(),
         })
     }
 
@@ -374,12 +403,24 @@ impl TcpSlavePool {
                 slave: slot.addr.clone(),
             });
         }
+        // The anomaly watchdog rides the observer: per-request samples
+        // start flowing the moment one is attached, and verdicts are
+        // emitted as typed events into the same stream.
+        let watch = FleetWatch::default();
+        watch.set_observer(observer.clone());
+        let _ = self.watch.set(watch);
         let _ = self.observer.set(observer);
     }
 
     /// The attached observer, or a disabled one.
     fn obs(&self) -> Observer {
         self.observer.get().cloned().unwrap_or_default()
+    }
+
+    /// The fleet watchdog, present once an observer is attached. Useful
+    /// for mounting its `GET /fleet` rollup on an expose server.
+    pub fn watch(&self) -> Option<&FleetWatch> {
+        self.watch.get()
     }
 
     fn update_active_gauge(&self) {
@@ -389,8 +430,11 @@ impl TcpSlavePool {
     }
 
     /// Per-slave health table: requests served, mean round-trip time,
-    /// retired flag, and the most recent error. Feeds the unified run
-    /// report; counters accumulate over the pool's lifetime.
+    /// retired flag, the most recent error (populated only while the
+    /// slave is actually failing — cleared by the next success), the
+    /// failure history (`errors`, `last_error_ts_ms`), and any standing
+    /// watchdog verdict. Feeds the unified run report; counters
+    /// accumulate over the pool's lifetime.
     pub fn health(&self) -> Vec<SlaveHealth> {
         self.slaves
             .iter()
@@ -398,6 +442,7 @@ impl TcpSlavePool {
                 let served = s.served.load(Ordering::Relaxed);
                 let rtt_ns = s.rtt_ns.load(Ordering::Relaxed);
                 let compute_samples = s.compute_samples.load(Ordering::Relaxed);
+                let error_ts = s.last_error_ts_ms.load(Ordering::Relaxed);
                 SlaveHealth {
                     addr: s.addr.clone(),
                     served,
@@ -419,6 +464,13 @@ impl TcpSlavePool {
                     },
                     retired: s.link.lock().unwrap().io.is_none(),
                     last_error: s.last_error.lock().unwrap().clone(),
+                    errors: s.errors.load(Ordering::Relaxed),
+                    last_error_ts_ms: if error_ts == 0 { None } else { Some(error_ts) },
+                    flagged: self
+                        .watch
+                        .get()
+                        .and_then(|w| w.flagged(&s.addr))
+                        .map(|k| k.as_str().to_string()),
                 }
             })
             .collect()
@@ -457,6 +509,9 @@ impl TcpSlavePool {
             let obs = self.obs();
             for addr in rejoined {
                 obs.emit_with(|| Event::SlaveRejoined { slave: addr.into() });
+                if let Some(w) = self.watch.get() {
+                    w.note_rejoined(addr);
+                }
             }
             self.update_active_gauge();
         }
@@ -474,6 +529,9 @@ impl TcpSlavePool {
         self.obs().emit_with(|| Event::SlaveRetired {
             slave: slot.addr.clone(),
         });
+        if let Some(w) = self.watch.get() {
+            w.note_retired(&slot.addr);
+        }
         self.update_active_gauge();
     }
 
@@ -573,7 +631,16 @@ impl TcpSlavePool {
             let started = Instant::now();
             match Self::request_once(io, id, snps, &obs) {
                 Ok((fitness, compute)) => {
-                    slot.note_served(started.elapsed(), compute);
+                    let rtt = started.elapsed();
+                    slot.note_served(rtt, compute);
+                    if let Some(w) = self.watch.get() {
+                        w.observe_request(
+                            &slot.addr,
+                            rtt,
+                            compute.map(|c| f64::from(c.compute_us) / 1e3),
+                            attempt > 0,
+                        );
+                    }
                     if let Some(c) = compute {
                         // The slave's own clock: a synthetic span nested
                         // under this request, so attribution can carve

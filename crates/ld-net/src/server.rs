@@ -46,7 +46,7 @@ use ld_core::{
 };
 use ld_data::{DatasetFingerprint, SnpId};
 use ld_observe::span::names as span_names;
-use ld_observe::{Event, Observer};
+use ld_observe::{Event, FleetWatch, Observer};
 use std::collections::{HashMap, HashSet};
 use std::io::BufWriter;
 use std::net::TcpStream;
@@ -74,6 +74,13 @@ pub struct ServerConfig {
     /// [`RunHandle::store_stats`]); tenants on different datasets never
     /// collide. `None` (the default) disables server-side memoization.
     pub store: Option<Arc<FitnessStore>>,
+    /// When set, a slave the fleet watchdog has *confirmed* as a
+    /// straggler is de-weighted — its worker concedes one bounded beat
+    /// per claim so healthy peers get first shot at the backlog — instead
+    /// of being retired. A straggler is slow, not wrong: it keeps
+    /// serving (and is never starved; after the yield it claims whatever
+    /// remains). Off by default.
+    pub deweight_stragglers: bool,
 }
 
 impl Default for ServerConfig {
@@ -83,9 +90,15 @@ impl Default for ServerConfig {
             max_runs: 8,
             max_outstanding_batches: 4,
             store: None,
+            deweight_stragglers: false,
         }
     }
 }
+
+/// How long a de-weighted straggler's worker concedes the queue to
+/// healthy peers before each claim (see
+/// [`ServerConfig::deweight_stragglers`]).
+const STRAGGLER_YIELD: Duration = Duration::from_millis(2);
 
 /// Everything the server needs to admit one tenant run.
 #[derive(Clone)]
@@ -289,6 +302,10 @@ struct ServerShared {
     /// Lifetime fleet counters backing every run's retire/rejoin deltas.
     retirements: AtomicU64,
     rejoins: AtomicU64,
+    /// Fleet anomaly watchdog: per-slave RTT / compute / retry baselines
+    /// fed by every served request, verdicts emitted on the fleet
+    /// observer and served over `GET /fleet`.
+    watch: FleetWatch,
 }
 
 impl ServerShared {
@@ -345,6 +362,8 @@ impl EvalServer {
                 slave: addr.clone(),
             });
         }
+        let watch = FleetWatch::default();
+        watch.set_observer(observer.clone());
         let shared = Arc::new(ServerShared {
             state: Mutex::new(QueueState {
                 queue: WeightedFairQueue::new(),
@@ -360,6 +379,7 @@ impl EvalServer {
             next_req: AtomicU64::new(1),
             retirements: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),
+            watch,
         });
         let workers = addrs
             .iter()
@@ -540,6 +560,12 @@ impl EvalServer {
     /// The shared fitness store, when one is configured.
     pub fn store(&self) -> Option<&Arc<FitnessStore>> {
         self.shared.cfg.store.as_ref()
+    }
+
+    /// The fleet anomaly watchdog (per-slave baselines, standing
+    /// verdicts, and the `GET /fleet` rollup).
+    pub fn watch(&self) -> &FleetWatch {
+        &self.shared.watch
     }
 
     /// Stop the server: fail all queued work, wake every worker and
@@ -982,11 +1008,25 @@ fn worker_loop(shared: &Arc<ServerShared>, addr: &str) {
         let claim_started = Instant::now();
         let job = {
             let mut st = shared.state.lock().unwrap();
+            let mut yielded = false;
             loop {
                 if shared.stopped.load(Ordering::Relaxed) {
                     drop(st);
                     shutdown_conn(conn);
                     return;
+                }
+                if !yielded
+                    && shared.cfg.deweight_stragglers
+                    && !st.queue.is_empty()
+                    && shared.watch.is_straggler(addr)
+                {
+                    // De-weighted: concede one bounded beat so healthy
+                    // peers claim first, then take whatever remains —
+                    // a straggler is slow, not wrong, and never starves.
+                    yielded = true;
+                    let (guard, _) = shared.work_cv.wait_timeout(st, STRAGGLER_YIELD).unwrap();
+                    st = guard;
+                    continue;
                 }
                 if let Some((_key, job)) = st.queue.claim() {
                     break job;
@@ -1028,6 +1068,7 @@ fn worker_loop(shared: &Arc<ServerShared>, addr: &str) {
                             st.retired -= 1;
                             drop(st);
                             shared.rejoins.fetch_add(1, Ordering::Relaxed);
+                            shared.watch.note_rejoined(addr);
                             shared.observer.emit_with(|| Event::SlaveRejoined {
                                 slave: addr.to_string(),
                             });
@@ -1116,8 +1157,18 @@ fn attempt_job(
             }
         }
         let id = shared.next_req.fetch_add(1, Ordering::Relaxed);
+        let req_started = Instant::now();
         match request_once(io, id, &run, &job.snps, &obs) {
             Ok(RequestReply::Fitness(fitness, compute)) => {
+                // Feed the fleet watchdog: round-trip as this worker saw
+                // it, the slave's own compute clock, and whether the
+                // ladder had to retry to get here.
+                shared.watch.observe_request(
+                    addr,
+                    req_started.elapsed(),
+                    compute.map(|us| f64::from(us) / 1e3),
+                    attempt > 0,
+                );
                 if let Some(store) = &shared.cfg.store {
                     // Feed the shared store, stamped with this tenant's
                     // key so later hits can tell cross-tenant reuse apart.
@@ -1237,6 +1288,7 @@ fn retire_and_requeue(shared: &ServerShared, addr: &str, job: Job) {
             ServerShared::purge_all(&mut st);
         }
     }
+    shared.watch.note_retired(addr);
     shared.observer.emit_with(|| Event::SlaveRetired {
         slave: addr.to_string(),
     });
@@ -1285,6 +1337,7 @@ mod tests {
             max_runs: 8,
             max_outstanding_batches: 4,
             store: None,
+            deweight_stragglers: false,
         }
     }
 

@@ -1,0 +1,180 @@
+//! Watchdog acceptance test for the `slow-slave` fault plan: the fleet
+//! anomaly watchdog must flag *exactly* the delayed slave as a
+//! `Straggler` (typed `SlaveAnomaly` in the JSONL stream, standing
+//! verdict in the `GET /fleet` rollup), the server must de-weight it —
+//! fewer claims, never retirement, never starvation — and none of it may
+//! touch the GA's arithmetic: best haplotypes stay bit-identical to a
+//! fault-free solo reference.
+#![cfg(feature = "fault-inject")]
+
+use ld_core::{GaConfig, GaEngine, StatsEvaluator};
+use ld_data::SnpId;
+use ld_net::wire;
+use ld_net::{DatasetLoader, FaultPlan, PoolConfig, RunSpec, ServerConfig, SharedCluster};
+use ld_observe::{
+    AnomalyKind, ApiHandler, Event, FanoutSink, JsonlSink, Observer, Registry, RingSink, Sink,
+};
+use ld_stats::FitnessKind;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fast_cfg() -> ServerConfig {
+    ServerConfig {
+        pool: PoolConfig {
+            request_timeout: Duration::from_secs(2),
+            max_retries: 1,
+            retry_backoff: Duration::from_millis(5),
+            rejoin_backoff: Duration::from_millis(10),
+            max_rejoin_backoff: Duration::from_millis(200),
+        },
+        deweight_stragglers: true,
+        ..ServerConfig::default()
+    }
+}
+
+fn ga_cfg() -> GaConfig {
+    GaConfig {
+        population_size: 40,
+        min_size: 2,
+        max_size: 3,
+        matings_per_generation: 6,
+        stagnation_limit: 8,
+        max_generations: 25,
+        ..GaConfig::default()
+    }
+}
+
+fn stats_loader() -> DatasetLoader {
+    Arc::new(|_fp, _n_snps, payload: &[u8]| {
+        let data = wire::decode_dataset(payload)?;
+        StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1)
+            .map(|e| Arc::new(e) as Arc<dyn ld_core::Evaluator>)
+            .map_err(|e| e.to_string())
+    })
+}
+
+/// Artifact directory: `LD_OBSERVE_DIR` in CI, a scratch dir otherwise.
+fn artifact_dir() -> PathBuf {
+    let dir = match std::env::var("LD_OBSERVE_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => std::env::temp_dir().join(format!("ld-watchdog-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).expect("artifact dir");
+    dir
+}
+
+fn champions(result: &ld_core::RunResult) -> Vec<Option<(Vec<SnpId>, u64)>> {
+    (2..=3)
+        .map(|k| {
+            result
+                .best_of_size(k)
+                .map(|h| (h.snps().to_vec(), h.fitness().to_bits()))
+        })
+        .collect()
+}
+
+#[test]
+fn slow_slave_is_flagged_straggler_deweighted_and_harmless() {
+    let plans = FaultPlan::matrix("slow-slave", 3, 42).unwrap();
+    let victim_idx = plans
+        .iter()
+        .position(|p| !p.is_none())
+        .expect("slow-slave scripts one victim");
+
+    let dir = artifact_dir();
+    let events_path = dir.join("watchdog-straggler-events.jsonl");
+    let ring = Arc::new(RingSink::new(1 << 16));
+    let jsonl = Arc::new(JsonlSink::create(&events_path).unwrap());
+    let sink = Arc::new(FanoutSink::new(vec![
+        Arc::clone(&ring) as Arc<dyn Sink>,
+        jsonl,
+    ]));
+    let registry = Registry::new();
+    let fleet_observer = Observer::new("fleet", Arc::clone(&sink) as Arc<dyn Sink>, registry);
+
+    let cluster =
+        SharedCluster::spawn_shared_faulty(3, stats_loader(), &plans, fast_cfg(), fleet_observer)
+            .unwrap();
+    let victim_addr = cluster.slaves()[victim_idx].addr().to_string();
+
+    let data = ld_data::synthetic::lille_51(100);
+    let payload = wire::encode_dataset(&data);
+    let fingerprint = wire::fingerprint(&payload);
+    let handle = cluster
+        .server()
+        .submit_run(RunSpec::new("straggler-run", fingerprint, data.n_snps()).with_payload(payload))
+        .unwrap();
+    let result = GaEngine::new(&handle, ga_cfg(), 7)
+        .unwrap()
+        .try_run()
+        .expect("run must survive a merely slow slave");
+
+    // The GA's arithmetic is untouched: bit-identical to the same seed on
+    // a dedicated in-process evaluator.
+    let solo = StatsEvaluator::from_dataset(&data, FitnessKind::ClumpT1).unwrap();
+    let reference = GaEngine::new(&solo, ga_cfg(), 7).unwrap().run();
+    assert_eq!(result.generations, reference.generations);
+    assert_eq!(result.total_evaluations, reference.total_evaluations);
+    assert_eq!(champions(&result), champions(&reference));
+
+    // The watchdog confirmed exactly the delayed slave, exactly once, as
+    // a straggler (slow network, normal compute — not drift).
+    let envelopes = ring.take();
+    let anomalies: Vec<(String, AnomalyKind)> = envelopes
+        .iter()
+        .filter_map(|env| match &env.event {
+            Event::SlaveAnomaly { slave, kind, .. } => Some((slave.clone(), *kind)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        anomalies,
+        vec![(victim_addr.clone(), AnomalyKind::Straggler)],
+        "watchdog must flag the victim once and nobody else"
+    );
+    // The standing verdict survives to the end of the run and is what
+    // `GET /fleet` serves.
+    let watch = cluster.server().watch();
+    assert_eq!(watch.flagged(&victim_addr), Some(AnomalyKind::Straggler));
+    let rollup = watch
+        .handle("GET", "/fleet", "", b"")
+        .expect("watch serves /fleet");
+    assert_eq!(rollup.status, 200);
+    let v: serde_json::Value = serde_json::from_str(&rollup.body).unwrap();
+    let flagged: Vec<&str> = v
+        .get("slaves")
+        .and_then(|s| s.as_array())
+        .unwrap()
+        .iter()
+        .filter(|s| s.get("flagged").is_some_and(|f| !f.is_null()))
+        .map(|s| s.get("addr").and_then(|a| a.as_str()).unwrap())
+        .collect();
+    assert_eq!(flagged, vec![victim_addr.as_str()], "{}", rollup.body);
+
+    // De-weighted, NOT retired: the slave kept serving (never starved),
+    // no retirement was ever recorded, and the fleet count stayed whole.
+    assert_eq!(cluster.server().alive(), 3);
+    assert!(
+        !envelopes
+            .iter()
+            .any(|env| matches!(env.event, Event::SlaveRetired { .. })),
+        "a slow slave must never be retired"
+    );
+    for (i, slave) in cluster.slaves().iter().enumerate() {
+        assert!(
+            slave.served() > 0,
+            "slave {i} was starved ({} served)",
+            slave.served()
+        );
+    }
+
+    // The typed anomaly is in the JSONL artifact too (what CI uploads).
+    sink.flush();
+    let text = std::fs::read_to_string(&events_path).unwrap();
+    assert!(
+        text.contains("SlaveAnomaly") && text.contains("Straggler"),
+        "JSONL stream at {} lacks the typed anomaly",
+        events_path.display()
+    );
+}

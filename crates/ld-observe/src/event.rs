@@ -226,6 +226,55 @@ pub enum Event {
         /// Duration, nanoseconds.
         duration_ns: u64,
     },
+    /// The fleet watchdog confirmed an anomaly on one slave (see
+    /// `crate::watch`). Informational — the recovery ladder is *not*
+    /// invoked for anomalies, so this is deliberately not a fault event.
+    SlaveAnomaly {
+        /// Address of the flagged slave.
+        slave: String,
+        /// What class of misbehaviour was confirmed.
+        kind: AnomalyKind,
+        /// Baseline metric the verdict was computed over (`"rtt_ms"`,
+        /// `"compute_ms"`, `"retry_rate"`, `"membership"`).
+        metric: String,
+        /// The slave's smoothed value of that metric at confirmation.
+        value: f64,
+        /// The fleet baseline (median of per-slave EWMAs) it was judged
+        /// against.
+        baseline: f64,
+        /// Robust z-score (MAD-normalized distance from the baseline).
+        zscore: f64,
+    },
+    /// A previously flagged slave returned to baseline and its anomaly
+    /// was cleared.
+    AnomalyCleared {
+        /// Address of the recovered slave.
+        slave: String,
+        /// The anomaly class that was cleared.
+        kind: AnomalyKind,
+    },
+    /// The flight recorder persisted its ring to disk. Appended as the
+    /// final line of every dump, so a dump is self-describing: `events`
+    /// and `dropped` say how much of the stream the file holds.
+    FlightDumped {
+        /// Path the dump was written to.
+        path: String,
+        /// Why the dump fired (`"on-demand"`, `"panic: ..."`,
+        /// `"fatal: ..."`, `"periodic"`).
+        reason: String,
+        /// Envelopes in the dump (excluding this trailer).
+        events: u64,
+        /// Envelopes the bounded ring had discarded before the dump.
+        dropped: u64,
+    },
+    /// A typed fatal error the run cannot recover from (all workers
+    /// failed with no fallback, store recovery failure). Emitting this is
+    /// the flight recorder's dump trigger: it persists its ring the
+    /// moment the event passes through.
+    EvalFatal {
+        /// The underlying error, stringified.
+        detail: String,
+    },
     /// Anything a layer above wants to trace without a dedicated variant.
     Custom {
         /// Free-form event label.
@@ -233,6 +282,32 @@ pub enum Event {
         /// Free-form payload.
         detail: String,
     },
+}
+
+/// Class of confirmed per-slave misbehaviour (see `crate::watch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// Consistently slower round trips than the rest of the fleet; the
+    /// node is correct but stretches every synchronous generation.
+    Straggler,
+    /// Oscillating membership or retry rate: the node keeps dropping
+    /// requests or bouncing through retire/rejoin.
+    Flapping,
+    /// Slave-reported compute time drifting away from the fleet —
+    /// the node itself got slower (thermal, contention), not the path
+    /// to it.
+    Drift,
+}
+
+impl AnomalyKind {
+    /// Stable snake_case label (`"straggler"`, `"flapping"`, `"drift"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnomalyKind::Straggler => "straggler",
+            AnomalyKind::Flapping => "flapping",
+            AnomalyKind::Drift => "drift",
+        }
+    }
 }
 
 impl Event {
@@ -279,6 +354,10 @@ impl Event {
             Event::StoreRecovered { .. } => "store_recovered",
             Event::SlaveIoError { .. } => "slave_io_error",
             Event::SpanClosed { .. } => "span_closed",
+            Event::SlaveAnomaly { .. } => "slave_anomaly",
+            Event::AnomalyCleared { .. } => "anomaly_cleared",
+            Event::FlightDumped { .. } => "flight_dumped",
+            Event::EvalFatal { .. } => "eval_fatal",
             Event::Custom { .. } => "custom",
         }
     }
@@ -401,5 +480,50 @@ mod tests {
         }
         assert_eq!(events[0].kind(), "run_admitted");
         assert_eq!(events[4].kind(), "slave_io_error");
+    }
+
+    #[test]
+    fn watchdog_and_forensic_events_are_not_fault_events() {
+        // Anomaly verdicts describe fleet health, not the recovery
+        // ladder; the SchedStats reconciliation must not count them. A
+        // straggler is explicitly NOT retired, so counting its anomaly as
+        // a fault event would break hits+faults bookkeeping.
+        let events = [
+            Event::SlaveAnomaly {
+                slave: "10.0.0.1:7171".into(),
+                kind: AnomalyKind::Straggler,
+                metric: "rtt_ms".into(),
+                value: 18.0,
+                baseline: 0.6,
+                zscore: 11.2,
+            },
+            Event::AnomalyCleared {
+                slave: "10.0.0.1:7171".into(),
+                kind: AnomalyKind::Straggler,
+            },
+            Event::FlightDumped {
+                path: "dump.jsonl".into(),
+                reason: "on-demand".into(),
+                events: 812,
+                dropped: 4,
+            },
+            Event::EvalFatal {
+                detail: "all 3 workers failed".into(),
+            },
+        ];
+        for e in &events {
+            assert!(!e.is_fault_event(), "{:?}", e.kind());
+        }
+        assert_eq!(events[0].kind(), "slave_anomaly");
+        assert_eq!(events[1].kind(), "anomaly_cleared");
+        assert_eq!(events[2].kind(), "flight_dumped");
+        assert_eq!(events[3].kind(), "eval_fatal");
+        assert_eq!(AnomalyKind::Drift.as_str(), "drift");
+
+        // Round-trip: the anomaly kind serializes as its variant name.
+        let json = serde_json::to_string(&events[0]).unwrap();
+        assert!(json.contains("\"Straggler\""), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, events[0]);
     }
 }

@@ -1,0 +1,860 @@
+//! Flight recorder: black-box capture of the event stream for crash
+//! forensics.
+//!
+//! A [`FlightRecorder`] is a [`Sink`] — attach it to an observer's
+//! fanout and it keeps the most recent `capacity` envelopes in a bounded
+//! ring, counting what it discards. Unlike [`crate::RingSink`] (a test
+//! helper), the recorder knows how to *persist* itself: an atomic
+//! tmp+rename JSONL dump fires
+//!
+//! * on demand ([`FlightRecorder::dump`]),
+//! * from an installed panic hook ([`FlightRecorder::install_panic_hook`]),
+//! * the moment a typed fatal [`Event::EvalFatal`] passes through the
+//!   sink (all workers failed with no fallback, store recovery failure),
+//! * and optionally on a cadence ([`FlightRecorder::persist_every`]) so
+//!   a dump survives even deaths no hook can observe (SIGKILL/SIGABRT).
+//!
+//! Every dump ends with a synthetic [`Event::FlightDumped`] trailer
+//! carrying the reason, the event count, and the ring's lifetime drop
+//! count — so a truncated dump is self-describing, and the file stays
+//! pure JSONL-of-envelopes (readable by `trace-summary`,
+//! `dynamics-summary`, and the `postmortem` bin alike).
+//!
+//! [`Postmortem`] is the offline half: it folds a dump back into a
+//! human-readable timeline — the last N generations, the span tail, and
+//! per-slave state right before the end — without re-running anything.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Envelope, Event};
+use crate::metrics::{Counter, Registry};
+use crate::sink::{dropped_counter, Sink};
+
+/// Default ring capacity: enough for the full event stream of the last
+/// few dozen generations of a mid-size run (spans included) while
+/// staying a few MB in memory.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 16_384;
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+struct FlightInner {
+    buf: Mutex<VecDeque<Envelope>>,
+    capacity: usize,
+    dropped: AtomicU64,
+    drop_metric: OnceLock<Counter>,
+    /// Default dump destination for the panic hook, fatal-event trigger,
+    /// and periodic persister.
+    path: Mutex<Option<PathBuf>>,
+}
+
+/// Bounded, drop-counting black box over the full event stream. Cheap to
+/// clone; clones share state (so one handle can sit in a sink fanout
+/// while another lives in a panic hook).
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the most recent `capacity` envelopes
+    /// (`capacity` ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(FlightInner {
+                buf: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+                capacity: capacity.max(1),
+                dropped: AtomicU64::new(0),
+                drop_metric: OnceLock::new(),
+                path: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Builder: set the default dump path (see [`FlightRecorder::set_path`]).
+    pub fn with_path<P: Into<PathBuf>>(self, path: P) -> Self {
+        self.set_path(path);
+        self
+    }
+
+    /// Set the default dump destination used by the panic hook, the
+    /// fatal-event trigger, and [`FlightRecorder::dump`].
+    pub fn set_path<P: Into<PathBuf>>(&self, path: P) {
+        *self.inner.path.lock().expect("flight path poisoned") = Some(path.into());
+    }
+
+    /// The configured default dump destination, if any.
+    pub fn path(&self) -> Option<PathBuf> {
+        self.inner
+            .path
+            .lock()
+            .expect("flight path poisoned")
+            .clone()
+    }
+
+    /// Mirror ring overflow into `registry` as
+    /// `ld_observe_events_dropped_total{ring="flight"}`. First call wins.
+    pub fn attach_drop_metric(&self, registry: &Registry) {
+        let _ = self
+            .inner
+            .drop_metric
+            .set(dropped_counter(registry, "flight"));
+    }
+
+    /// Envelopes currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.buf.lock().expect("flight ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Envelopes discarded at capacity over the recorder's lifetime.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the retained envelopes, oldest first.
+    pub fn events(&self) -> Vec<Envelope> {
+        self.inner
+            .buf
+            .lock()
+            .expect("flight ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Persist the ring to the configured default path. Returns the path
+    /// written. Errors if no path was configured.
+    pub fn dump(&self, reason: &str) -> std::io::Result<PathBuf> {
+        let path = self.path().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "flight recorder has no dump path configured",
+            )
+        })?;
+        self.dump_to(&path, reason)?;
+        Ok(path)
+    }
+
+    /// Persist the ring to `path` as JSONL, atomically: the dump is
+    /// written to `<path>.tmp`, fsynced, and renamed into place, so a
+    /// reader never observes a half-written file and a crash mid-dump
+    /// leaves any previous dump intact.
+    pub fn dump_to(&self, path: &Path, reason: &str) -> std::io::Result<()> {
+        // Snapshot under the lock, serialize outside it: a dump must not
+        // stall the emitting threads for the duration of the disk write.
+        let events = self.events();
+        let dropped = self.dropped();
+        let last = events.last();
+        let trailer = Envelope {
+            ts_ms: now_ms(),
+            run_id: last.map(|e| e.run_id.clone()).unwrap_or_default(),
+            generation: last.map(|e| e.generation).unwrap_or(0),
+            batch_id: 0,
+            event: Event::FlightDumped {
+                path: path.display().to_string(),
+                reason: reason.to_string(),
+                events: events.len() as u64,
+                dropped,
+            },
+        };
+
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let file = std::fs::File::create(&tmp)?;
+            let mut w = std::io::BufWriter::new(file);
+            for env in &events {
+                let line = serde_json::to_string(env)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                w.write_all(line.as_bytes())?;
+                w.write_all(b"\n")?;
+            }
+            let line = serde_json::to_string(&trailer)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Install a panic hook that dumps the ring to the configured path
+    /// before delegating to the previously installed hook. The hook holds
+    /// a clone of this recorder, so the ring stays alive for as long as
+    /// the hook does. Call at most once per process.
+    pub fn install_panic_hook(&self) {
+        let recorder = self.clone();
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let _ = recorder.dump(&format!("panic: {msg}"));
+            previous(info);
+        }));
+    }
+
+    /// Spawn a thread rewriting the dump at the configured path every
+    /// `interval` until the returned handle is dropped or stopped. A
+    /// final dump happens on stop. Because each rewrite is atomic, the
+    /// on-disk dump is always consistent — this is what survives a
+    /// SIGKILL/SIGABRT no panic hook can observe.
+    pub fn persist_every(&self, interval: Duration) -> FlightPersistHandle {
+        let recorder = self.clone();
+        let (tx, rx) = mpsc::channel::<()>();
+        let thread = std::thread::spawn(move || loop {
+            let stop = matches!(
+                rx.recv_timeout(interval),
+                Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected)
+            );
+            let reason = if stop { "final" } else { "periodic" };
+            let _ = recorder.dump(reason);
+            if stop {
+                break;
+            }
+        });
+        FlightPersistHandle {
+            stop_tx: Some(tx),
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn accept(&self, envelope: &Envelope) {
+        {
+            let mut buf = self.inner.buf.lock().expect("flight ring poisoned");
+            if buf.len() == self.inner.capacity {
+                buf.pop_front();
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(metric) = self.inner.drop_metric.get() {
+                    metric.inc();
+                }
+            }
+            buf.push_back(envelope.clone());
+        }
+        // A typed fatal is the black box's trigger: persist immediately,
+        // while the process is still standing. Best-effort — a dump
+        // failure must not turn a fatal into a panic.
+        if let Event::EvalFatal { detail } = &envelope.event {
+            let _ = self.dump(&format!("fatal: {detail}"));
+        }
+    }
+
+    fn flush(&self) {
+        if self.path().is_some() {
+            let _ = self.dump("flush");
+        }
+    }
+}
+
+/// Stops and joins the periodic persist thread on drop, after one final
+/// dump.
+pub struct FlightPersistHandle {
+    stop_tx: Option<mpsc::Sender<()>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FlightPersistHandle {
+    /// Stop the persister after one final dump, blocking until it exits.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(tx) = self.stop_tx.take() {
+            let _ = tx.send(());
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FlightPersistHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Postmortem: folding a dump back into a timeline.
+// ---------------------------------------------------------------------
+
+/// One generation's forensic summary inside a [`Postmortem`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenerationForensics {
+    /// Generation number.
+    pub generation: u64,
+    /// Whether a `GenerationFinished` was seen (false = the run died
+    /// inside this generation).
+    pub finished: bool,
+    /// `improved` flag from `GenerationFinished`, when seen.
+    #[serde(default)]
+    pub improved: Option<bool>,
+    /// Engine wall clock of the generation, ms, when seen.
+    #[serde(default)]
+    pub wall_ms: Option<f64>,
+    /// Scheduler batches dispatched during the generation.
+    pub batches: u64,
+    /// Fault-recovery events (retries, retirements, rejoins, requeues,
+    /// fallbacks) during the generation.
+    pub fault_events: u64,
+    /// Non-span, non-dynamics event kinds worth reading, in order
+    /// (`"slave_anomaly(straggler) 10.0.0.1:7171"`, `"store_recovered"`,
+    /// ...).
+    pub notable: Vec<String>,
+}
+
+/// Per-slave state right before the end of the stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlaveForensics {
+    /// Slave address.
+    pub addr: String,
+    /// Request retries charged to the slave.
+    pub retries: u64,
+    /// Jobs requeued after its failures.
+    pub requeued: u64,
+    /// Whether the slave's last membership transition was a retirement.
+    pub retired: bool,
+    /// Retire→rejoin round trips observed.
+    pub rejoins: u64,
+    /// Anomaly verdicts, as `"<kind>@g<generation>"`, cleared ones
+    /// suffixed `"(cleared)"`.
+    pub anomalies: Vec<String>,
+}
+
+/// One span in the tail of a dump.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanTailEntry {
+    /// Span taxonomy name.
+    pub name: String,
+    /// Generation the span belonged to.
+    pub generation: u64,
+    /// Duration, milliseconds.
+    pub duration_ms: f64,
+}
+
+/// Offline fold of a flight-recorder dump — the `postmortem` bin's
+/// engine, shaped like [`crate::TraceSummary`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Postmortem {
+    /// Run the dump belongs to (first non-empty `run_id` seen).
+    pub run_id: String,
+    /// Why the dump fired, from the `FlightDumped` trailer if present.
+    #[serde(default)]
+    pub reason: Option<String>,
+    /// Envelopes parsed (excluding the trailer).
+    pub events: u64,
+    /// Ring drops reported by the trailer (the stream prefix lost before
+    /// the dump).
+    pub dropped: u64,
+    /// Lines that failed to parse as envelopes (a torn dump tail).
+    pub unparseable: u64,
+    /// First event timestamp, ms since epoch.
+    pub first_ts_ms: u64,
+    /// Last event timestamp, ms since epoch.
+    pub last_ts_ms: u64,
+    /// Highest generation with any event in the dump.
+    pub last_generation: u64,
+    /// The last N generations, ascending.
+    pub generations: Vec<GenerationForensics>,
+    /// Per-slave state, sorted by address.
+    pub slaves: Vec<SlaveForensics>,
+    /// The last spans closed before the end, oldest first.
+    pub span_tail: Vec<SpanTailEntry>,
+    /// `EvalFatal` details, in order.
+    pub fatals: Vec<String>,
+}
+
+/// Generations retained in a rendered postmortem by default.
+pub const DEFAULT_LAST_GENERATIONS: usize = 8;
+
+/// Spans retained in the postmortem tail.
+const SPAN_TAIL_LEN: usize = 12;
+
+impl Postmortem {
+    /// Fold a dump's JSONL text, keeping the last `last_n` generations.
+    /// Unparseable lines are counted, not fatal — a dump from a dying
+    /// process may have a torn tail.
+    pub fn from_jsonl(text: &str, last_n: usize) -> Postmortem {
+        let mut envelopes: Vec<Envelope> = Vec::new();
+        let mut unparseable = 0u64;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<Envelope>(line) {
+                Ok(env) => envelopes.push(env),
+                Err(_) => unparseable += 1,
+            }
+        }
+
+        let mut run_id = String::new();
+        let mut reason = None;
+        let mut dropped = 0u64;
+        let mut fatals = Vec::new();
+        let mut gens: BTreeMap<u64, GenerationForensics> = BTreeMap::new();
+        let mut slaves: BTreeMap<String, SlaveForensics> = BTreeMap::new();
+        let mut span_tail: VecDeque<SpanTailEntry> = VecDeque::new();
+        let mut events = 0u64;
+
+        for env in &envelopes {
+            if run_id.is_empty() && !env.run_id.is_empty() {
+                run_id = env.run_id.clone();
+            }
+            if let Event::FlightDumped {
+                reason: r,
+                dropped: d,
+                ..
+            } = &env.event
+            {
+                reason = Some(r.clone());
+                dropped = dropped.max(*d);
+                continue; // the trailer describes the dump, not the run
+            }
+            events += 1;
+            let gen = gens
+                .entry(env.generation)
+                .or_insert_with(|| GenerationForensics {
+                    generation: env.generation,
+                    finished: false,
+                    improved: None,
+                    wall_ms: None,
+                    batches: 0,
+                    fault_events: 0,
+                    notable: Vec::new(),
+                });
+            if env.event.is_fault_event() {
+                gen.fault_events += 1;
+            }
+            match &env.event {
+                Event::GenerationFinished {
+                    improved, wall_ms, ..
+                } => {
+                    gen.finished = true;
+                    gen.improved = Some(*improved);
+                    gen.wall_ms = Some(*wall_ms);
+                }
+                Event::BatchDispatched { .. } => gen.batches += 1,
+                Event::SpanClosed {
+                    name, duration_ns, ..
+                } => {
+                    if span_tail.len() == SPAN_TAIL_LEN {
+                        span_tail.pop_front();
+                    }
+                    span_tail.push_back(SpanTailEntry {
+                        name: name.clone(),
+                        generation: env.generation,
+                        duration_ms: *duration_ns as f64 / 1e6,
+                    });
+                }
+                Event::EvalFatal { detail } => {
+                    fatals.push(detail.clone());
+                    gen.notable.push(format!("eval_fatal: {detail}"));
+                }
+                Event::RequestRetried { slave, .. } => {
+                    let s = slaves
+                        .entry(slave.clone())
+                        .or_insert_with(|| empty_slave(slave));
+                    s.retries += 1;
+                }
+                Event::JobRequeued { slave } => {
+                    let s = slaves
+                        .entry(slave.clone())
+                        .or_insert_with(|| empty_slave(slave));
+                    s.requeued += 1;
+                }
+                Event::SlaveRetired { slave } => {
+                    let s = slaves
+                        .entry(slave.clone())
+                        .or_insert_with(|| empty_slave(slave));
+                    s.retired = true;
+                    gen.notable.push(format!("slave_retired {slave}"));
+                }
+                Event::SlaveRejoined { slave } => {
+                    let s = slaves
+                        .entry(slave.clone())
+                        .or_insert_with(|| empty_slave(slave));
+                    s.retired = false;
+                    s.rejoins += 1;
+                    gen.notable.push(format!("slave_rejoined {slave}"));
+                }
+                Event::SlaveJoined { slave } => {
+                    slaves
+                        .entry(slave.clone())
+                        .or_insert_with(|| empty_slave(slave));
+                }
+                Event::SlaveAnomaly { slave, kind, .. } => {
+                    let s = slaves
+                        .entry(slave.clone())
+                        .or_insert_with(|| empty_slave(slave));
+                    s.anomalies
+                        .push(format!("{}@g{}", kind.as_str(), env.generation));
+                    gen.notable
+                        .push(format!("slave_anomaly({}) {slave}", kind.as_str()));
+                }
+                Event::AnomalyCleared { slave, kind } => {
+                    let s = slaves
+                        .entry(slave.clone())
+                        .or_insert_with(|| empty_slave(slave));
+                    s.anomalies
+                        .push(format!("{}@g{}(cleared)", kind.as_str(), env.generation));
+                }
+                Event::StoreRecovered { .. }
+                | Event::FallbackActivated { .. }
+                | Event::Stagnation { .. }
+                | Event::Converged { .. }
+                | Event::RunResumed { .. } => {
+                    gen.notable.push(env.event.kind().to_string());
+                }
+                _ => {}
+            }
+        }
+
+        let last_generation = gens.keys().next_back().copied().unwrap_or(0);
+        let keep = last_n.max(1);
+        let generations: Vec<GenerationForensics> = gens
+            .into_values()
+            .rev()
+            .take(keep)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+
+        Postmortem {
+            run_id,
+            reason,
+            events,
+            dropped,
+            unparseable,
+            first_ts_ms: envelopes.first().map(|e| e.ts_ms).unwrap_or(0),
+            last_ts_ms: envelopes.last().map(|e| e.ts_ms).unwrap_or(0),
+            last_generation,
+            generations,
+            slaves: slaves.into_values().collect(),
+            span_tail: span_tail.into_iter().collect(),
+            fatals,
+        }
+    }
+
+    /// Render the postmortem as a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "flight dump: run {:?} — {} events ({} dropped before capture, {} unparseable lines)\n",
+            self.run_id, self.events, self.dropped, self.unparseable
+        ));
+        if let Some(reason) = &self.reason {
+            out.push_str(&format!("dump reason: {reason}\n"));
+        }
+        out.push_str(&format!(
+            "time range: {} ms .. {} ms ({} ms covered), last generation {}\n",
+            self.first_ts_ms,
+            self.last_ts_ms,
+            self.last_ts_ms.saturating_sub(self.first_ts_ms),
+            self.last_generation
+        ));
+
+        out.push_str(&format!("\nlast {} generations:\n", self.generations.len()));
+        for g in &self.generations {
+            let status = if g.finished {
+                format!(
+                    "finished improved={} wall={:.1}ms",
+                    g.improved.unwrap_or(false),
+                    g.wall_ms.unwrap_or(0.0)
+                )
+            } else {
+                "UNFINISHED (stream ends inside this generation)".to_string()
+            };
+            out.push_str(&format!(
+                "  gen {:>4}  {status}  batches={} faults={}\n",
+                g.generation, g.batches, g.fault_events
+            ));
+            for note in &g.notable {
+                out.push_str(&format!("            • {note}\n"));
+            }
+        }
+
+        if !self.slaves.is_empty() {
+            out.push_str("\nper-slave state:\n");
+            for s in &self.slaves {
+                out.push_str(&format!(
+                    "  {}  retries={} requeued={} rejoins={} retired={}{}\n",
+                    s.addr,
+                    s.retries,
+                    s.requeued,
+                    s.rejoins,
+                    if s.retired { "yes" } else { "no" },
+                    if s.anomalies.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" anomalies=[{}]", s.anomalies.join(", "))
+                    }
+                ));
+            }
+        }
+
+        if !self.span_tail.is_empty() {
+            out.push_str("\nspan tail (most recent last):\n");
+            for sp in &self.span_tail {
+                out.push_str(&format!(
+                    "  g{:<4} {:<14} {:>9.3} ms\n",
+                    sp.generation, sp.name, sp.duration_ms
+                ));
+            }
+        }
+
+        if !self.fatals.is_empty() {
+            out.push_str("\nfatal errors:\n");
+            for f in &self.fatals {
+                out.push_str(&format!("  ✗ {f}\n"));
+            }
+        }
+        out
+    }
+
+    /// Pretty-printed JSON of the fold (what CI uploads as artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+fn empty_slave(addr: &str) -> SlaveForensics {
+    SlaveForensics {
+        addr: addr.to_string(),
+        retries: 0,
+        requeued: 0,
+        retired: false,
+        rejoins: 0,
+        anomalies: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AnomalyKind;
+
+    fn env(gen: u64, event: Event) -> Envelope {
+        Envelope {
+            ts_ms: 1000 + gen,
+            run_id: "r1".into(),
+            generation: gen,
+            batch_id: 0,
+            event,
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ld-flight-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn ring_counts_drops_and_dump_roundtrips() {
+        let rec = FlightRecorder::new(3);
+        for g in 0..5 {
+            rec.accept(&env(g, Event::GenerationStarted));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+
+        let path = temp_path("roundtrip");
+        rec.dump_to(&path, "on-demand").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "3 events + trailer");
+        let trailer: Envelope = serde_json::from_str(lines[3]).unwrap();
+        match trailer.event {
+            Event::FlightDumped {
+                events,
+                dropped,
+                reason,
+                ..
+            } => {
+                assert_eq!(events, 3);
+                assert_eq!(dropped, 2);
+                assert_eq!(reason, "on-demand");
+            }
+            other => panic!("trailer was {:?}", other.kind()),
+        }
+        // No half-written tmp left behind.
+        assert!(!path.with_extension("jsonl.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fatal_event_triggers_a_dump() {
+        let path = temp_path("fatal");
+        std::fs::remove_file(&path).ok();
+        let rec = FlightRecorder::new(8).with_path(&path);
+        rec.accept(&env(4, Event::GenerationStarted));
+        assert!(!path.exists(), "no dump before the fatal");
+        rec.accept(&env(
+            4,
+            Event::EvalFatal {
+                detail: "all 2 workers failed".into(),
+            },
+        ));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"EvalFatal\""), "{text}");
+        assert!(text.contains("fatal: all 2 workers failed"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn panic_hook_dumps_before_unwinding_continues() {
+        let path = temp_path("panic");
+        std::fs::remove_file(&path).ok();
+        let rec = FlightRecorder::new(8).with_path(&path);
+        rec.accept(&env(7, Event::GenerationStarted));
+        rec.install_panic_hook();
+        let result = std::panic::catch_unwind(|| panic!("injected test panic"));
+        assert!(result.is_err());
+        // Restore the default hook so later test panics print normally.
+        let _ = std::panic::take_hook();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("panic: injected test panic"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn periodic_persister_leaves_a_consistent_dump() {
+        let path = temp_path("periodic");
+        std::fs::remove_file(&path).ok();
+        let rec = FlightRecorder::new(64).with_path(&path);
+        rec.accept(&env(1, Event::GenerationStarted));
+        let handle = rec.persist_every(Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !path.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(path.exists(), "periodic persister never wrote a dump");
+        handle.stop();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let last = text.lines().last().unwrap();
+        let trailer: Envelope = serde_json::from_str(last).unwrap();
+        assert!(matches!(trailer.event, Event::FlightDumped { .. }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn postmortem_folds_a_dump_into_a_timeline() {
+        let mut stream = Vec::new();
+        for g in 1..=3u64 {
+            stream.push(env(g, Event::GenerationStarted));
+            stream.push(env(
+                g,
+                Event::BatchDispatched {
+                    phase: "crossover".into(),
+                    requested: 10,
+                    coalesced: 0,
+                    cache_hits: 2,
+                    dispatched: 8,
+                },
+            ));
+            stream.push(env(
+                g,
+                Event::SpanClosed {
+                    name: "generation".into(),
+                    id: g,
+                    parent: 0,
+                    start_ns: g * 1000,
+                    duration_ns: 2_500_000,
+                },
+            ));
+            if g < 3 {
+                stream.push(env(
+                    g,
+                    Event::GenerationFinished {
+                        improved: g == 1,
+                        best_per_size: vec![1.0],
+                        wall_ms: 3.5,
+                    },
+                ));
+            }
+        }
+        stream.push(env(
+            2,
+            Event::SlaveAnomaly {
+                slave: "10.0.0.9:7171".into(),
+                kind: AnomalyKind::Straggler,
+                metric: "rtt_ms".into(),
+                value: 18.0,
+                baseline: 0.5,
+                zscore: 9.0,
+            },
+        ));
+        stream.push(env(
+            3,
+            Event::EvalFatal {
+                detail: "all workers failed".into(),
+            },
+        ));
+
+        let rec = FlightRecorder::new(64);
+        for e in &stream {
+            rec.accept(e);
+        }
+        let path = temp_path("postmortem");
+        rec.dump_to(&path, "fatal: all workers failed").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let pm = Postmortem::from_jsonl(&text, 8);
+        assert_eq!(pm.run_id, "r1");
+        assert_eq!(pm.reason.as_deref(), Some("fatal: all workers failed"));
+        assert_eq!(pm.last_generation, 3);
+        assert_eq!(pm.unparseable, 0);
+        // The last generation never finished: the stream died inside it.
+        let last = pm.generations.last().unwrap();
+        assert_eq!(last.generation, 3);
+        assert!(!last.finished);
+        assert_eq!(pm.fatals, vec!["all workers failed".to_string()]);
+        let sick = pm
+            .slaves
+            .iter()
+            .find(|s| s.addr == "10.0.0.9:7171")
+            .unwrap();
+        assert_eq!(sick.anomalies, vec!["straggler@g2".to_string()]);
+        assert!(!sick.retired);
+
+        let rendered = pm.render();
+        assert!(rendered.contains("UNFINISHED"), "{rendered}");
+        assert!(rendered.contains("slave_anomaly(straggler)"), "{rendered}");
+        assert!(rendered.contains("eval_fatal"), "{rendered}");
+
+        // Torn tail: truncating mid-line costs exactly one unparseable
+        // line, never the whole dump.
+        let torn = &text[..text.len() - 20];
+        let pm2 = Postmortem::from_jsonl(torn, 8);
+        assert_eq!(pm2.unparseable, 1);
+        assert!(pm2.events > 0);
+    }
+}

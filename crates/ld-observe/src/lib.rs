@@ -32,6 +32,14 @@
 //!   run's JSONL span stream (the `trace-summary` bin's engine).
 //! * [`SizeTimingBank`] — the shared per-size evaluation timing fold
 //!   behind `ld-parallel`'s `TimingEvaluator`.
+//! * [`flight`] — the abnormal-path black box: a bounded, drop-counting
+//!   [`FlightRecorder`] over the full event stream with atomic JSONL
+//!   dumps (on demand, panic hook, typed fatal, periodic), and the
+//!   [`Postmortem`] fold behind the `postmortem` bin.
+//! * [`watch`] — the fleet anomaly watchdog: robust per-slave EWMA/MAD
+//!   baselines over RTT, slave compute, and retry rate, typed
+//!   [`Event::SlaveAnomaly`] verdicts (straggler / flapping / drift),
+//!   and the `GET /fleet` rollup.
 //! * [`dynamics`] — search-dynamics observability: per-generation
 //!   [`DynamicsSnapshot`]s (diversity, fixation, operator economics),
 //!   the sliding-window [`ConvergenceDetector`], the live per-run
@@ -43,6 +51,7 @@
 
 pub mod dynamics;
 pub mod event;
+pub mod flight;
 pub mod http;
 pub mod metrics;
 pub mod observer;
@@ -51,12 +60,17 @@ pub mod sink;
 pub mod span;
 pub mod timing;
 pub mod trace;
+pub mod watch;
 
 pub use dynamics::{
     ConvergenceDetector, DetectorConfig, DetectorState, DetectorVerdict, DynamicsBoard,
     DynamicsMark, DynamicsMetrics, DynamicsPoint, DynamicsSnapshot, DynamicsTrace,
 };
-pub use event::{Envelope, Event, Phase};
+pub use event::{AnomalyKind, Envelope, Event, Phase};
+pub use flight::{
+    FlightPersistHandle, FlightRecorder, Postmortem, DEFAULT_FLIGHT_CAPACITY,
+    DEFAULT_LAST_GENERATIONS,
+};
 pub use http::{ApiHandler, ApiResponse, ExposeServer};
 pub use metrics::{
     BucketCount, Counter, FamilySnapshot, FlushHandle, Gauge, Histogram, MetricsSnapshot, Registry,
@@ -68,3 +82,4 @@ pub use sink::{FanoutSink, JsonlSink, RingSink, Sink, StderrSink};
 pub use span::{ClosedSpan, SpanGuard, SpanId, SpanTree};
 pub use timing::{SizeTiming, SizeTimingBank, MAX_TRACKED_SIZE};
 pub use trace::{GenerationBreakdown, TraceSummary};
+pub use watch::{FleetWatch, WatchConfig};

@@ -70,6 +70,8 @@ impl Observer {
     /// An enabled observer writing events to `sink` and metrics to
     /// `registry`, stamping every envelope with `run_id`.
     pub fn new(run_id: impl Into<String>, sink: Arc<dyn Sink>, registry: Registry) -> Self {
+        let spans = SpanTree::new(SPAN_RING_CAPACITY);
+        spans.attach_drop_metric(&registry);
         Observer {
             inner: Some(Arc::new(ObserverInner {
                 sink,
@@ -80,7 +82,7 @@ impl Observer {
                 current_batch: AtomicU64::new(0),
                 epoch: Instant::now(),
                 span_seq: AtomicU64::new(0),
-                spans: SpanTree::new(SPAN_RING_CAPACITY),
+                spans,
                 dispatch_span: AtomicU64::new(0),
             })),
         }

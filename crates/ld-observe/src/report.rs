@@ -30,9 +30,24 @@ pub struct SlaveHealth {
     pub mean_compute_ms: Option<f64>,
     /// Whether the slave is currently retired from the pool.
     pub retired: bool,
-    /// Most recent transport/protocol error observed, if any.
+    /// Most recent transport/protocol error, populated only while the
+    /// slave is actually failing: the next successful request clears it
+    /// (`errors` / `last_error_ts_ms` keep the history).
     #[serde(default)]
     pub last_error: Option<String>,
+    /// Failures over the slave's lifetime (not reset by recovery).
+    #[serde(default)]
+    pub errors: u64,
+    /// Wall-clock timestamp (ms since epoch) of the most recent failure,
+    /// surviving the `last_error` clear — distinguishes "failing now"
+    /// from "failed once at gen 3". `None` = never failed.
+    #[serde(default)]
+    pub last_error_ts_ms: Option<u64>,
+    /// Standing watchdog verdict (`"straggler"`, `"flapping"`,
+    /// `"drift"`), if the fleet watchdog has one confirmed against this
+    /// slave.
+    #[serde(default)]
+    pub flagged: Option<String>,
 }
 
 /// Build/host facts worth pinning to an experiment artifact.
@@ -214,6 +229,9 @@ mod tests {
             mean_compute_ms: Some(0.9),
             retired: false,
             last_error: Some("deadline".into()),
+            errors: 3,
+            last_error_ts_ms: Some(1_700_000_000_000),
+            flagged: Some("straggler".into()),
         };
         let back: SlaveHealth = serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
         assert_eq!(back, h);
@@ -224,5 +242,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(legacy.mean_compute_ms, None);
+        // Pre-watchdog reports parse too: no error history, no verdict.
+        assert_eq!(legacy.errors, 0);
+        assert_eq!(legacy.last_error_ts_ms, None);
+        assert_eq!(legacy.flagged, None);
     }
 }

@@ -9,9 +9,30 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::event::Envelope;
+use crate::metrics::{Counter, Registry};
+
+/// Name of the shared ring-overflow counter family. Labelled by `ring`
+/// (`"events"` for a [`RingSink`], `"spans"` for the observer's
+/// `SpanTree`, `"flight"` for the flight recorder).
+pub const EVENTS_DROPPED_METRIC: &str = "ld_observe_events_dropped_total";
+
+pub(crate) const EVENTS_DROPPED_HELP: &str =
+    "Entries discarded by a bounded observability ring at capacity.";
+
+/// Register the `ld_observe_events_dropped_total` series for one named
+/// ring. Shared by every bounded ring in the crate so the label scheme
+/// stays consistent.
+pub(crate) fn dropped_counter(registry: &Registry, ring: &str) -> Counter {
+    registry.counter_with(
+        EVENTS_DROPPED_METRIC,
+        EVENTS_DROPPED_HELP,
+        &[("ring", ring)],
+    )
+}
 
 /// Receiver of the structured event stream.
 pub trait Sink: Send + Sync {
@@ -64,10 +85,14 @@ impl Drop for JsonlSink {
 
 /// Bounded in-memory ring buffer, for tests and post-mortem capture.
 ///
-/// Keeps the most recent `capacity` envelopes; older ones are dropped.
+/// Keeps the most recent `capacity` envelopes; older ones are dropped
+/// and counted, so a truncated capture is self-describing
+/// ([`RingSink::dropped`]).
 pub struct RingSink {
     buf: Mutex<VecDeque<Envelope>>,
     capacity: usize,
+    dropped: AtomicU64,
+    drop_metric: OnceLock<Counter>,
 }
 
 impl RingSink {
@@ -76,7 +101,15 @@ impl RingSink {
         RingSink {
             buf: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
             capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+            drop_metric: OnceLock::new(),
         }
+    }
+
+    /// Mirror overflow drops into `registry` as
+    /// `ld_observe_events_dropped_total{ring="events"}`. First call wins.
+    pub fn attach_drop_metric(&self, registry: &Registry) {
+        let _ = self.drop_metric.set(dropped_counter(registry, "events"));
     }
 
     /// Snapshot of the retained events, oldest first.
@@ -98,6 +131,12 @@ impl RingSink {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Envelopes discarded at capacity over the ring's lifetime (not
+    /// reset by [`RingSink::take`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
 }
 
 impl Sink for RingSink {
@@ -105,6 +144,10 @@ impl Sink for RingSink {
         let mut buf = self.buf.lock().unwrap();
         if buf.len() == self.capacity {
             buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(metric) = self.drop_metric.get() {
+                metric.inc();
+            }
         }
         buf.push_back(envelope.clone());
     }
@@ -174,13 +217,33 @@ mod tests {
     #[test]
     fn ring_drops_oldest_beyond_capacity() {
         let ring = RingSink::new(3);
+        assert_eq!(ring.dropped(), 0);
         for n in 0..5 {
             ring.accept(&env(n));
         }
         let kept: Vec<u64> = ring.events().iter().map(|e| e.batch_id).collect();
         assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
         assert_eq!(ring.take().len(), 3);
         assert!(ring.is_empty());
+        // take() does not reset the lifetime drop count.
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn ring_drops_are_mirrored_into_the_registry() {
+        let registry = Registry::new();
+        let ring = RingSink::new(2);
+        ring.attach_drop_metric(&registry);
+        for n in 0..5 {
+            ring.accept(&env(n));
+        }
+        assert_eq!(ring.dropped(), 3);
+        let text = registry.prometheus();
+        assert!(
+            text.contains("ld_observe_events_dropped_total{ring=\"events\"} 3"),
+            "{text}"
+        );
     }
 
     #[test]

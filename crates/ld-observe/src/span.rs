@@ -22,7 +22,8 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use serde::Serialize;
@@ -116,6 +117,8 @@ impl ClosedSpan {
 pub struct SpanTree {
     buf: Mutex<VecDeque<ClosedSpan>>,
     capacity: usize,
+    dropped: AtomicU64,
+    drop_metric: OnceLock<crate::metrics::Counter>,
 }
 
 impl SpanTree {
@@ -128,13 +131,33 @@ impl SpanTree {
         SpanTree {
             buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
             capacity,
+            dropped: AtomicU64::new(0),
+            drop_metric: OnceLock::new(),
         }
+    }
+
+    /// Mirror overflow drops into `registry` as
+    /// `ld_observe_events_dropped_total{ring="spans"}`. First call wins;
+    /// the observer attaches this at construction.
+    pub fn attach_drop_metric(&self, registry: &crate::metrics::Registry) {
+        let _ = self
+            .drop_metric
+            .set(crate::sink::dropped_counter(registry, "spans"));
+    }
+
+    /// Spans discarded at capacity over the ring's lifetime.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     pub(crate) fn push(&self, span: ClosedSpan) {
         let mut buf = self.buf.lock().expect("span ring poisoned");
         if buf.len() == self.capacity {
             buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(metric) = self.drop_metric.get() {
+                metric.inc();
+            }
         }
         buf.push_back(span);
     }
@@ -320,6 +343,7 @@ mod tests {
     #[test]
     fn ring_is_bounded_and_fifo() {
         let tree = SpanTree::new(3);
+        assert_eq!(tree.dropped(), 0);
         for i in 1..=5 {
             tree.push(span(i, 0, i * 10, 1));
         }
@@ -331,6 +355,23 @@ mod tests {
             "oldest spans evicted first"
         );
         assert_eq!(tree.capacity(), 3);
+        assert_eq!(tree.dropped(), 2, "evictions are counted");
+    }
+
+    #[test]
+    fn span_drops_are_mirrored_into_the_registry() {
+        let registry = crate::metrics::Registry::new();
+        let tree = SpanTree::new(2);
+        tree.attach_drop_metric(&registry);
+        for i in 1..=5 {
+            tree.push(span(i, 0, i * 10, 1));
+        }
+        assert_eq!(tree.dropped(), 3);
+        let text = registry.prometheus();
+        assert!(
+            text.contains("ld_observe_events_dropped_total{ring=\"spans\"} 3"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,582 @@
+//! Fleet anomaly watchdog: robust per-slave baselines over the
+//! per-request timing the network layer already measures.
+//!
+//! The paper's master–slave GA is synchronous per generation, so one
+//! misbehaving slave stretches *every* generation — the GenHap
+//! experience on heterogeneous clusters. The watchdog's job is to name
+//! the sick node while the run is still going, without ever touching
+//! the search itself:
+//!
+//! * [`FleetWatch::observe_request`] feeds one sample per completed
+//!   request — round-trip time, the slave's self-reported compute time
+//!   (protocol v2), and whether the request needed a retry. Each slave
+//!   keeps EWMA baselines of all three.
+//! * Verdicts are *fleet-relative and robust*: a slave is compared to
+//!   the median of all per-slave EWMAs, normalized by the MAD across
+//!   the fleet — so a uniformly slow network flags nobody, and one
+//!   outlier cannot drag the baseline toward itself.
+//! * A breach must persist for [`WatchConfig::confirm`] consecutive
+//!   samples before a typed [`Event::SlaveAnomaly`] fires (debounce),
+//!   and an equally long clean streak emits [`Event::AnomalyCleared`].
+//!
+//! Three anomaly classes ([`AnomalyKind`]):
+//!
+//! * **Straggler** — round trips consistently above the fleet (slow
+//!   link or overloaded host; the node is *correct*, so the right
+//!   response is de-weighting its claim share, not retirement).
+//! * **Drift** — slave-reported compute time drifting from the fleet:
+//!   the node itself got slower (thermal, co-tenant contention), as
+//!   opposed to the path to it.
+//! * **Flapping** — oscillating membership (retire→rejoin round trips)
+//!   or a sustained retry rate: the node keeps dropping requests.
+//!
+//! The watchdog is also an [`ApiHandler`]: `GET /fleet` serves a JSON
+//! rollup of every baseline and verdict, mountable standalone or via
+//! `MultiRunApi::with_fleet` in `ld-net`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use serde::Serialize;
+
+use crate::event::{AnomalyKind, Event};
+use crate::http::{ApiHandler, ApiResponse};
+use crate::observer::Observer;
+
+/// Tunables for the watchdog. The defaults are deliberately
+/// conservative: flagging a healthy slave de-weights it for nothing,
+/// while missing a straggler merely keeps today's behaviour.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// EWMA smoothing factor for all per-slave baselines (0..1; higher
+    /// forgets faster).
+    pub alpha: f64,
+    /// Robust z-score (MAD-normalized distance from the fleet median)
+    /// a slave's RTT/compute EWMA must exceed to breach.
+    pub z_threshold: f64,
+    /// Absolute floor: an RTT breach also requires the slave's EWMA to
+    /// exceed the fleet median by this many milliseconds, so
+    /// microsecond-scale jitter on a loopback fleet can never flag.
+    pub min_excess_ms: f64,
+    /// Consecutive breaching samples before an anomaly is confirmed,
+    /// and consecutive clean samples before it is cleared.
+    pub confirm: u32,
+    /// Samples a slave must contribute before it can breach (and before
+    /// its baseline joins the fleet median).
+    pub min_samples: u64,
+    /// EWMA retry rate (fraction of requests needing a retry) above
+    /// which a slave breaches as flapping.
+    pub retry_rate_threshold: f64,
+    /// Membership transitions (retire or rejoin) after which a slave
+    /// breaches as flapping regardless of retry rate.
+    pub flap_transitions: u32,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            alpha: 0.2,
+            z_threshold: 4.0,
+            min_excess_ms: 2.0,
+            confirm: 3,
+            min_samples: 6,
+            retry_rate_threshold: 0.25,
+            flap_transitions: 3,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Baseline {
+    samples: u64,
+    rtt_ewma_ms: f64,
+    /// EWMA of |sample − mean|: a robust spread proxy kept per slave
+    /// (reported in the rollup; verdicts use the cross-fleet MAD).
+    rtt_dev_ms: f64,
+    compute_ewma_ms: Option<f64>,
+    retry_rate: f64,
+    /// Retire/rejoin transitions seen.
+    transitions: u32,
+    /// Last computed robust z of the RTT EWMA against the fleet.
+    last_rtt_z: f64,
+    last_compute_z: f64,
+    /// Current confirmed anomaly, if any.
+    flagged: Option<AnomalyKind>,
+    /// Candidate anomaly being debounced and its streak length.
+    breach: Option<(AnomalyKind, u32)>,
+    /// Clean samples since the last breach while flagged.
+    clean_streak: u32,
+    anomalies_emitted: u64,
+}
+
+struct WatchInner {
+    cfg: WatchConfig,
+    slaves: Mutex<BTreeMap<String, Baseline>>,
+    observer: Mutex<Observer>,
+    emitted_total: AtomicU64,
+}
+
+/// The fleet watchdog. Cheap to clone; clones share state, so one
+/// handle can be fed by pool workers while another serves `GET /fleet`.
+#[derive(Clone)]
+pub struct FleetWatch {
+    inner: Arc<WatchInner>,
+}
+
+impl Default for FleetWatch {
+    fn default() -> Self {
+        FleetWatch::new(WatchConfig::default())
+    }
+}
+
+/// Robust location/scale of a set of per-slave EWMAs: (median,
+/// MAD-derived sigma with a floor so homogeneous fleets divide sanely).
+fn fleet_baseline(values: &mut [f64]) -> Option<(f64, f64)> {
+    if values.len() < 2 {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN baselines"));
+    let median = values[values.len() / 2];
+    let mut devs: Vec<f64> = values.iter().map(|v| (v - median).abs()).collect();
+    devs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN deviations"));
+    let mad = devs[devs.len() / 2];
+    // 1.4826 · MAD ≈ σ for a normal distribution; floor the scale at
+    // 10% of the median (relative noise) and an absolute 0.25 ms so a
+    // sub-millisecond loopback fleet cannot produce infinite z-scores.
+    let sigma = (1.4826 * mad).max(0.1 * median).max(0.25);
+    Some((median, sigma))
+}
+
+impl FleetWatch {
+    /// A watchdog with the given tunables.
+    pub fn new(cfg: WatchConfig) -> Self {
+        FleetWatch {
+            inner: Arc::new(WatchInner {
+                cfg,
+                slaves: Mutex::new(BTreeMap::new()),
+                observer: Mutex::new(Observer::disabled()),
+                emitted_total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Route confirmed verdicts into `observer` as typed
+    /// [`Event::SlaveAnomaly`] / [`Event::AnomalyCleared`] events.
+    pub fn set_observer(&self, observer: Observer) {
+        *self.inner.observer.lock().expect("watch observer poisoned") = observer;
+    }
+
+    /// Feed one completed request: the measured round trip, the slave's
+    /// self-reported compute time (protocol v2; `None` for v1 peers),
+    /// and whether any retry was needed to get the answer.
+    pub fn observe_request(
+        &self,
+        slave: &str,
+        rtt: Duration,
+        compute_ms: Option<f64>,
+        retried: bool,
+    ) {
+        let cfg = self.inner.cfg.clone();
+        let rtt_ms = rtt.as_secs_f64() * 1e3;
+        let mut verdicts: Vec<(String, Event)> = Vec::new();
+        {
+            let mut slaves = self.inner.slaves.lock().expect("watch state poisoned");
+            // Update this slave's baselines first.
+            let b = slaves.entry(slave.to_string()).or_default();
+            b.samples += 1;
+            if b.samples == 1 {
+                b.rtt_ewma_ms = rtt_ms;
+                b.rtt_dev_ms = 0.0;
+            } else {
+                b.rtt_dev_ms =
+                    (1.0 - cfg.alpha) * b.rtt_dev_ms + cfg.alpha * (rtt_ms - b.rtt_ewma_ms).abs();
+                b.rtt_ewma_ms = (1.0 - cfg.alpha) * b.rtt_ewma_ms + cfg.alpha * rtt_ms;
+            }
+            if let Some(c) = compute_ms {
+                b.compute_ewma_ms = Some(match b.compute_ewma_ms {
+                    Some(prev) => (1.0 - cfg.alpha) * prev + cfg.alpha * c,
+                    None => c,
+                });
+            }
+            b.retry_rate =
+                (1.0 - cfg.alpha) * b.retry_rate + cfg.alpha * if retried { 1.0 } else { 0.0 };
+
+            // Fleet-relative location/scale over warmed-up peers.
+            let mut rtts: Vec<f64> = slaves
+                .values()
+                .filter(|s| s.samples >= cfg.min_samples)
+                .map(|s| s.rtt_ewma_ms)
+                .collect();
+            let rtt_fleet = fleet_baseline(&mut rtts);
+            let mut computes: Vec<f64> = slaves
+                .values()
+                .filter(|s| s.samples >= cfg.min_samples)
+                .filter_map(|s| s.compute_ewma_ms)
+                .collect();
+            let compute_fleet = fleet_baseline(&mut computes);
+
+            let b = slaves.get_mut(slave).expect("just inserted");
+            let warmed = b.samples >= cfg.min_samples;
+
+            let mut breach: Option<(AnomalyKind, &'static str, f64, f64, f64)> = None;
+            if warmed {
+                if let Some((median, sigma)) = rtt_fleet {
+                    b.last_rtt_z = (b.rtt_ewma_ms - median) / sigma;
+                    if b.last_rtt_z > cfg.z_threshold && b.rtt_ewma_ms > median + cfg.min_excess_ms
+                    {
+                        breach = Some((
+                            AnomalyKind::Straggler,
+                            "rtt_ms",
+                            b.rtt_ewma_ms,
+                            median,
+                            b.last_rtt_z,
+                        ));
+                    }
+                }
+                if breach.is_none() {
+                    if let (Some(compute), Some((median, sigma))) =
+                        (b.compute_ewma_ms, compute_fleet)
+                    {
+                        b.last_compute_z = (compute - median) / sigma;
+                        if b.last_compute_z > cfg.z_threshold {
+                            breach = Some((
+                                AnomalyKind::Drift,
+                                "compute_ms",
+                                compute,
+                                median,
+                                b.last_compute_z,
+                            ));
+                        }
+                    }
+                }
+                if breach.is_none()
+                    && (b.retry_rate > cfg.retry_rate_threshold
+                        || b.transitions >= cfg.flap_transitions)
+                {
+                    breach = Some((
+                        AnomalyKind::Flapping,
+                        if b.transitions >= cfg.flap_transitions {
+                            "membership"
+                        } else {
+                            "retry_rate"
+                        },
+                        if b.transitions >= cfg.flap_transitions {
+                            f64::from(b.transitions)
+                        } else {
+                            b.retry_rate
+                        },
+                        if b.transitions >= cfg.flap_transitions {
+                            f64::from(cfg.flap_transitions)
+                        } else {
+                            cfg.retry_rate_threshold
+                        },
+                        0.0,
+                    ));
+                }
+            }
+
+            match breach {
+                Some((kind, metric, value, baseline, zscore)) => {
+                    b.clean_streak = 0;
+                    let streak = match b.breach {
+                        Some((k, n)) if k == kind => n + 1,
+                        _ => 1,
+                    };
+                    b.breach = Some((kind, streak));
+                    if streak >= cfg.confirm && b.flagged != Some(kind) {
+                        b.flagged = Some(kind);
+                        b.anomalies_emitted += 1;
+                        self.inner.emitted_total.fetch_add(1, Ordering::Relaxed);
+                        verdicts.push((
+                            slave.to_string(),
+                            Event::SlaveAnomaly {
+                                slave: slave.to_string(),
+                                kind,
+                                metric: metric.to_string(),
+                                value,
+                                baseline,
+                                zscore,
+                            },
+                        ));
+                    }
+                }
+                None => {
+                    b.breach = None;
+                    if let Some(kind) = b.flagged {
+                        b.clean_streak += 1;
+                        if b.clean_streak >= cfg.confirm {
+                            b.flagged = None;
+                            b.clean_streak = 0;
+                            verdicts.push((
+                                slave.to_string(),
+                                Event::AnomalyCleared {
+                                    slave: slave.to_string(),
+                                    kind,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Emit outside the state lock: the sink fanout may do IO.
+        if !verdicts.is_empty() {
+            let obs = self
+                .inner
+                .observer
+                .lock()
+                .expect("watch observer poisoned")
+                .clone();
+            for (_, event) in verdicts {
+                obs.emit(event);
+            }
+        }
+    }
+
+    /// Record a membership transition: the pool retired this slave.
+    pub fn note_retired(&self, slave: &str) {
+        let mut slaves = self.inner.slaves.lock().expect("watch state poisoned");
+        slaves.entry(slave.to_string()).or_default().transitions += 1;
+    }
+
+    /// Record a membership transition: a retired slave rejoined.
+    pub fn note_rejoined(&self, slave: &str) {
+        let mut slaves = self.inner.slaves.lock().expect("watch state poisoned");
+        slaves.entry(slave.to_string()).or_default().transitions += 1;
+    }
+
+    /// The confirmed anomaly currently standing against `slave`, if any.
+    pub fn flagged(&self, slave: &str) -> Option<AnomalyKind> {
+        self.inner
+            .slaves
+            .lock()
+            .expect("watch state poisoned")
+            .get(slave)
+            .and_then(|b| b.flagged)
+    }
+
+    /// Whether `slave` is currently flagged as a straggler (the claim
+    /// de-weighting predicate).
+    pub fn is_straggler(&self, slave: &str) -> bool {
+        self.flagged(slave) == Some(AnomalyKind::Straggler)
+    }
+
+    /// Every currently flagged slave with its anomaly kind, sorted by
+    /// address.
+    pub fn flagged_slaves(&self) -> Vec<(String, AnomalyKind)> {
+        self.inner
+            .slaves
+            .lock()
+            .expect("watch state poisoned")
+            .iter()
+            .filter_map(|(addr, b)| b.flagged.map(|k| (addr.clone(), k)))
+            .collect()
+    }
+
+    /// Total anomalies confirmed over the watchdog's lifetime.
+    pub fn anomalies_emitted(&self) -> u64 {
+        self.inner.emitted_total.load(Ordering::Relaxed)
+    }
+
+    /// The `GET /fleet` JSON rollup: every slave's baselines, robust
+    /// z-scores, and standing verdicts.
+    pub fn rollup_json(&self) -> String {
+        let slaves = self.inner.slaves.lock().expect("watch state poisoned");
+        let view = FleetRollup {
+            slaves: slaves
+                .iter()
+                .map(|(addr, b)| SlaveRollup {
+                    addr: addr.clone(),
+                    samples: b.samples,
+                    rtt_ewma_ms: b.rtt_ewma_ms,
+                    rtt_dev_ms: b.rtt_dev_ms,
+                    rtt_z: b.last_rtt_z,
+                    compute_ewma_ms: b.compute_ewma_ms,
+                    compute_z: b.last_compute_z,
+                    retry_rate: b.retry_rate,
+                    transitions: b.transitions,
+                    flagged: b.flagged.map(|k| k.as_str().to_string()),
+                    anomalies_emitted: b.anomalies_emitted,
+                })
+                .collect(),
+            anomalies_emitted: self.inner.emitted_total.load(Ordering::Relaxed),
+        };
+        serde_json::to_string(&view).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// The `GET /fleet` document.
+#[derive(Serialize)]
+struct FleetRollup {
+    slaves: Vec<SlaveRollup>,
+    anomalies_emitted: u64,
+}
+
+/// One slave's row in the `/fleet` rollup.
+#[derive(Serialize)]
+struct SlaveRollup {
+    addr: String,
+    samples: u64,
+    rtt_ewma_ms: f64,
+    rtt_dev_ms: f64,
+    rtt_z: f64,
+    compute_ewma_ms: Option<f64>,
+    compute_z: f64,
+    retry_rate: f64,
+    transitions: u32,
+    flagged: Option<String>,
+    anomalies_emitted: u64,
+}
+
+impl ApiHandler for FleetWatch {
+    /// `GET /fleet`; declines everything else.
+    fn handle(&self, method: &str, path: &str, _query: &str, _body: &[u8]) -> Option<ApiResponse> {
+        if method == "GET" && path == "/fleet" {
+            Some(ApiResponse::json(self.rollup_json()))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::sink::RingSink;
+
+    fn ms(v: f64) -> Duration {
+        Duration::from_secs_f64(v / 1e3)
+    }
+
+    fn watch_with_ring() -> (FleetWatch, Arc<RingSink>) {
+        let watch = FleetWatch::new(WatchConfig::default());
+        let ring = Arc::new(RingSink::new(256));
+        watch.set_observer(Observer::new("wtest", ring.clone(), Registry::new()));
+        (watch, ring)
+    }
+
+    /// Feed `n` healthy samples for two peers plus one sample stream for
+    /// the slave under test.
+    fn warm_peers(watch: &FleetWatch, n: usize) {
+        for _ in 0..n {
+            watch.observe_request("peer-a:1", ms(0.5), Some(0.4), false);
+            watch.observe_request("peer-b:1", ms(0.6), Some(0.5), false);
+        }
+    }
+
+    #[test]
+    fn sustained_slow_rtt_confirms_a_straggler_once() {
+        let (watch, ring) = watch_with_ring();
+        warm_peers(&watch, 10);
+        for _ in 0..12 {
+            watch.observe_request("victim:1", ms(15.0), Some(0.4), false);
+        }
+        assert_eq!(watch.flagged("victim:1"), Some(AnomalyKind::Straggler));
+        assert!(watch.is_straggler("victim:1"));
+        assert!(!watch.is_straggler("peer-a:1"));
+
+        let anomalies: Vec<_> = ring
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.event, Event::SlaveAnomaly { .. }))
+            .collect();
+        assert_eq!(anomalies.len(), 1, "debounce emits exactly one verdict");
+        match &anomalies[0].event {
+            Event::SlaveAnomaly {
+                slave,
+                kind,
+                metric,
+                zscore,
+                ..
+            } => {
+                assert_eq!(slave, "victim:1");
+                assert_eq!(*kind, AnomalyKind::Straggler);
+                assert_eq!(metric, "rtt_ms");
+                assert!(*zscore > 4.0, "z={zscore}");
+            }
+            other => panic!("{:?}", other.kind()),
+        }
+        assert_eq!(watch.anomalies_emitted(), 1);
+    }
+
+    #[test]
+    fn healthy_homogeneous_fleet_never_flags() {
+        let (watch, ring) = watch_with_ring();
+        for _ in 0..50 {
+            watch.observe_request("a:1", ms(0.50), Some(0.4), false);
+            watch.observe_request("b:1", ms(0.55), Some(0.45), false);
+            watch.observe_request("c:1", ms(0.60), Some(0.5), false);
+        }
+        assert!(watch.flagged_slaves().is_empty());
+        assert!(ring
+            .events()
+            .iter()
+            .all(|e| !matches!(e.event, Event::SlaveAnomaly { .. })));
+    }
+
+    #[test]
+    fn recovery_clears_the_flag_after_a_clean_streak() {
+        let (watch, ring) = watch_with_ring();
+        warm_peers(&watch, 10);
+        for _ in 0..12 {
+            watch.observe_request("victim:1", ms(15.0), None, false);
+        }
+        assert!(watch.is_straggler("victim:1"));
+        // Back to fleet-normal round trips: EWMA decays, then the clean
+        // streak clears the verdict.
+        for _ in 0..60 {
+            watch.observe_request("victim:1", ms(0.5), None, false);
+        }
+        assert_eq!(watch.flagged("victim:1"), None);
+        assert!(ring
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::AnomalyCleared { .. })));
+    }
+
+    #[test]
+    fn compute_drift_flags_drift_not_straggler() {
+        let (watch, _ring) = watch_with_ring();
+        warm_peers(&watch, 10);
+        // Same round trips as the fleet, but self-reported compute is an
+        // order of magnitude above: the *node* is sick, not the path.
+        for _ in 0..12 {
+            watch.observe_request("hot:1", ms(0.55), Some(8.0), false);
+        }
+        assert_eq!(watch.flagged("hot:1"), Some(AnomalyKind::Drift));
+    }
+
+    #[test]
+    fn membership_oscillation_flags_flapping() {
+        let (watch, _ring) = watch_with_ring();
+        warm_peers(&watch, 10);
+        watch.note_retired("flappy:1");
+        watch.note_rejoined("flappy:1");
+        watch.note_retired("flappy:1");
+        for _ in 0..12 {
+            watch.observe_request("flappy:1", ms(0.55), None, false);
+        }
+        assert_eq!(watch.flagged("flappy:1"), Some(AnomalyKind::Flapping));
+    }
+
+    #[test]
+    fn rollup_serves_fleet_state_over_get_fleet() {
+        let (watch, _ring) = watch_with_ring();
+        warm_peers(&watch, 10);
+        for _ in 0..12 {
+            watch.observe_request("victim:1", ms(15.0), None, false);
+        }
+        let resp = watch.handle("GET", "/fleet", "", &[]).expect("handled");
+        assert_eq!(resp.status, 200);
+        let body = resp.body;
+        assert!(body.contains("\"addr\":\"victim:1\""), "{body}");
+        assert!(body.contains("\"flagged\":\"straggler\""), "{body}");
+        assert!(body.contains("\"anomalies_emitted\":1"), "{body}");
+        // Other routes fall through.
+        assert!(watch.handle("GET", "/metrics", "", &[]).is_none());
+        assert!(watch.handle("POST", "/fleet", "", &[]).is_none());
+    }
+}

@@ -84,6 +84,19 @@ fn disabled_observer_fast_path_performs_zero_allocations() {
             window: 21,
             best: 1.0,
         });
+        // Watchdog/forensics events ride the same guard: the closure
+        // (and its String/format! builds) must never run when disabled.
+        obs.emit_with(|| Event::SlaveAnomaly {
+            slave: "never-built".to_string(),
+            kind: ld_observe::AnomalyKind::Straggler,
+            metric: "rtt_ms".to_string(),
+            value: 15.0,
+            baseline: 0.5,
+            zscore: 40.0,
+        });
+        obs.emit_with(|| Event::EvalFatal {
+            detail: format!("never built {}", 7),
+        });
         obs.set_generation(1);
         let _ = obs.begin_batch();
         obs.end_batch();

@@ -191,9 +191,9 @@ fn drive<E: Evaluator>(
     config: &GaConfig,
     seed: u64,
     store: Option<haplo_ga::ga::StoreAttachment>,
+    observer: &haplo_ga::observe::Observer,
 ) -> Result<haplo_ga::ga::RunResult, String> {
     use haplo_ga::ga::{Checkpoint, GaRun, StepOutcome};
-    use haplo_ga::observe::Observer;
     let mut run = match args.get("resume") {
         Some(path) => {
             let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
@@ -203,7 +203,7 @@ fn drive<E: Evaluator>(
                 "resuming from {path}: generation {}, {} evaluations so far",
                 cp.generation, cp.total_evaluations
             );
-            GaRun::restore_full(evaluator, cp, None, Observer::disabled(), store)?
+            GaRun::restore_full(evaluator, cp, None, observer.clone(), store)?
         }
         None => GaRun::new_full(
             evaluator,
@@ -211,7 +211,7 @@ fn drive<E: Evaluator>(
             seed,
             None,
             None,
-            Observer::disabled(),
+            observer.clone(),
             store,
         )?,
     };
@@ -271,18 +271,39 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         None => None,
     };
+    // `--flight-recorder PATH`: a bounded in-memory black box over the
+    // run's full event stream, persisted atomically to PATH — every few
+    // hundred milliseconds, on panic, and on typed fatal errors — so a
+    // crashed run leaves forensics behind (render with `postmortem`).
+    let mut _flight_persist = None;
+    let observer = match args.get("flight-recorder") {
+        Some(path) => {
+            use haplo_ga::observe::{FlightRecorder, Observer, Registry, DEFAULT_FLIGHT_CAPACITY};
+            let recorder = FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY).with_path(path);
+            recorder.install_panic_hook();
+            _flight_persist = Some(recorder.persist_every(std::time::Duration::from_millis(250)));
+            println!("flight recorder armed: {path}");
+            Observer::new(
+                format!("hga-{seed}"),
+                std::sync::Arc::new(recorder),
+                Registry::new(),
+            )
+        }
+        None => haplo_ga::observe::Observer::disabled(),
+    };
     let t0 = std::time::Instant::now();
     let result = if let Some(slaves) = args.get("slaves") {
         // Distributed evaluation over TCP slave daemons (`hga slave`).
         let addrs: Vec<String> = slaves.split(',').map(|s| s.trim().to_string()).collect();
         let pool = TcpSlavePool::connect(&addrs).map_err(|e| e.to_string())?;
+        pool.set_observer(observer.clone());
         println!("connected to {} remote slave(s)", pool.alive());
-        drive(&pool, args, &config, seed, store)?
+        drive(&pool, args, &config, seed, store, &observer)?
     } else if workers > 1 {
         let par = MasterSlaveEvaluator::new(objective, workers);
-        drive(&par, args, &config, seed, store)?
+        drive(&par, args, &config, seed, store, &observer)?
     } else {
-        drive(&objective, args, &config, seed, store)?
+        drive(&objective, args, &config, seed, store, &observer)?
     };
     println!(
         "done in {:.1?}: {} generations, {} evaluations\n",
@@ -438,6 +459,7 @@ commands:
              [--fitness t1|t2|t3|t4|lrt] [--trace history.tsv]
              [--save-state cp.json] [--resume cp.json]
              [--checkpoint-every N] [--cache-dir DIR] [--cache-capacity C]
+             [--flight-recorder dump.jsonl]
   slave      --data FILE [--bind ADDR]          evaluation slave daemon
   enumerate  --data FILE --size K [--top M]     exhaustive baseline
   eval       --data FILE --snps a,b,c [--mc N]  score one haplotype

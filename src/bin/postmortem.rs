@@ -1,0 +1,78 @@
+//! `postmortem` — render a flight-recorder dump into a crash timeline.
+//!
+//! Reads the JSONL black box a [`ld_observe::FlightRecorder`] dumped
+//! (on demand, on panic, on a typed fatal, or periodically) and folds
+//! it into the forensics a responder needs first: why the dump exists,
+//! the last N generations (with the unfinished one called out),
+//! per-slave fault state, the span tail, and any fatal errors.
+//!
+//! ```text
+//! postmortem <dump.jsonl> [--json <out.json>] [--last <N>]
+//! ```
+//!
+//! `--last` widens the generation window (default
+//! [`ld_observe::DEFAULT_LAST_GENERATIONS`]); with `--json`, the full
+//! fold is also exported as pretty-printed JSON (what the CI
+//! crash-forensics job inspects).
+
+use ld_observe::{Postmortem, DEFAULT_LAST_GENERATIONS};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: postmortem <dump.jsonl> [--json <out.json>] [--last <N>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dump_path: Option<&str> = None;
+    let mut json_out: Option<&str> = None;
+    let mut last_n = DEFAULT_LAST_GENERATIONS;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                json_out = Some(path);
+                i += 2;
+            }
+            "--last" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                last_n = n;
+                i += 2;
+            }
+            "-h" | "--help" => return usage(),
+            path if dump_path.is_none() => {
+                dump_path = Some(path);
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(dump_path) = dump_path else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(dump_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("postmortem: reading {dump_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pm = Postmortem::from_jsonl(&text, last_n);
+    print!("{}", pm.render());
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(path, pm.to_json()) {
+            eprintln!("postmortem: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
